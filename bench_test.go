@@ -1,0 +1,548 @@
+package iatf
+
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (§6) plus the design ablations of DESIGN.md and native
+// wall-clock comparisons. The Figure benchmarks run the cycle-level
+// machine models and attach the modeled results as benchmark metrics;
+// `go run ./cmd/iatf-bench` prints the full series tables.
+
+import (
+	"math/rand"
+	"testing"
+
+	"iatf/internal/bench"
+	"iatf/internal/core"
+	"iatf/internal/kopt"
+	"iatf/internal/ktmpl"
+	"iatf/internal/machine"
+	"iatf/internal/matrix"
+	"iatf/internal/vec"
+)
+
+var benchSizes = []int{2, 4, 8, 16, 32}
+
+func benchCfg() bench.Config {
+	return bench.Config{Matrices: 32, Sizes: benchSizes}
+}
+
+func findSeries(b *testing.B, ss []bench.Series, lib string) bench.Series {
+	b.Helper()
+	for _, s := range ss {
+		if s.Lib == lib {
+			return s
+		}
+	}
+	b.Fatalf("series %q missing", lib)
+	return bench.Series{}
+}
+
+// BenchmarkFigure4_Tiling compares the tile decompositions of a 15×15
+// SGEMM: traditional M-vectorized strips versus the compact layout's
+// small full-SIMD kernels (paper Figure 4).
+func BenchmarkFigure4_Tiling(b *testing.B) {
+	var compact, traditional int
+	for i := 0; i < b.N; i++ {
+		cm := ktmpl.SplitDim(15, ktmpl.MTiles(vec.S))
+		cn := ktmpl.SplitDim(15, ktmpl.NTiles(vec.S))
+		tm := ktmpl.SplitDim(15, []int{12, 8, 4, 2, 1})
+		tn := ktmpl.SplitDim(15, []int{8, 4, 2, 1})
+		compact = len(cm) * len(cn)
+		traditional = len(tm) * len(tn)
+	}
+	b.ReportMetric(float64(compact), "compact-kernels")
+	b.ReportMetric(float64(traditional), "traditional-kernels")
+}
+
+// BenchmarkFigure5_Optimizer measures the modeled cycle gain of the
+// kernel optimizer on the 4×4 DGEMM kernel (paper Figure 5).
+func BenchmarkFigure5_Optimizer(b *testing.B) {
+	spec := ktmpl.GEMMSpec{DT: vec.D, MC: 4, NC: 4, K: 16, StrideC: 16}
+	opts := kopt.Options{Prof: machine.Kunpeng920(), ElemBytes: 8, Prefetch: true}
+	var raw, opt int64
+	for i := 0; i < b.N; i++ {
+		prog, err := ktmpl.GenGEMM(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		raw = kopt.Cost(prog, opts)
+		opt = kopt.Cost(kopt.Optimize(prog, opts), opts)
+	}
+	b.ReportMetric(float64(raw), "raw-cycles")
+	b.ReportMetric(float64(opt), "optimized-cycles")
+}
+
+// BenchmarkFigure7_GEMM_NN regenerates the Figure 7 comparison per data
+// type and reports the modeled IATF throughput and headline speedups.
+func BenchmarkFigure7_GEMM_NN(b *testing.B) {
+	for _, dt := range vec.DTypes {
+		b.Run(dt.String()+"gemm", func(b *testing.B) {
+			var ss []bench.Series
+			var err error
+			for i := 0; i < b.N; i++ {
+				ss, err = bench.GEMMFigure(dt, matrix.NoTrans, matrix.NoTrans, benchCfg())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			iatf := findSeries(b, ss, "IATF")
+			if p, ok := iatf.At(8); ok {
+				b.ReportMetric(p.GFLOPS, "model-GFLOPS@8")
+			}
+			s1, _ := bench.MaxSpeedup(iatf, findSeries(b, ss, "OpenBLAS-loop"))
+			b.ReportMetric(s1, "max-speedup-vs-OpenBLAS")
+			s2, _ := bench.MaxSpeedup(iatf, findSeries(b, ss, "ARMPL-batch"))
+			b.ReportMetric(s2, "max-speedup-vs-ARMPL")
+		})
+	}
+}
+
+// BenchmarkFigure8_GEMM_Modes regenerates the Figure 8 mode comparison
+// (NN/NT/TN/TT) for dgemm.
+func BenchmarkFigure8_GEMM_Modes(b *testing.B) {
+	modes := []struct {
+		name   string
+		ta, tb matrix.Trans
+	}{
+		{"NN", matrix.NoTrans, matrix.NoTrans},
+		{"NT", matrix.NoTrans, matrix.Transpose},
+		{"TN", matrix.Transpose, matrix.NoTrans},
+		{"TT", matrix.Transpose, matrix.Transpose},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			var ss []bench.Series
+			var err error
+			for i := 0; i < b.N; i++ {
+				ss, err = bench.GEMMFigure(vec.D, m.ta, m.tb, benchCfg())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			iatf := findSeries(b, ss, "IATF")
+			if p, ok := iatf.At(16); ok {
+				b.ReportMetric(p.GFLOPS, "model-GFLOPS@16")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure9_TRSM_LNLN regenerates Figure 9 per data type.
+func BenchmarkFigure9_TRSM_LNLN(b *testing.B) {
+	for _, dt := range vec.DTypes {
+		b.Run(dt.String()+"trsm", func(b *testing.B) {
+			var ss []bench.Series
+			var err error
+			for i := 0; i < b.N; i++ {
+				ss, err = bench.TRSMFigure(dt, matrix.Lower, matrix.NoTrans, matrix.NonUnit, benchCfg())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			iatf := findSeries(b, ss, "IATF")
+			s1, _ := bench.MaxSpeedup(iatf, findSeries(b, ss, "OpenBLAS-loop"))
+			b.ReportMetric(s1, "max-speedup-vs-OpenBLAS")
+			s2, _ := bench.MaxSpeedup(iatf, findSeries(b, ss, "ARMPL-loop"))
+			b.ReportMetric(s2, "max-speedup-vs-ARMPL")
+		})
+	}
+}
+
+// BenchmarkFigure10_TRSM_Modes regenerates the Figure 10 mode comparison
+// (LNLN/LNUN/LTLN/LTUN) for strsm.
+func BenchmarkFigure10_TRSM_Modes(b *testing.B) {
+	modes := []struct {
+		name string
+		uplo matrix.Uplo
+		ta   matrix.Trans
+		diag matrix.Diag
+	}{
+		{"LNLN", matrix.Lower, matrix.NoTrans, matrix.NonUnit},
+		{"LNUN", matrix.Upper, matrix.NoTrans, matrix.NonUnit},
+		{"LTLN", matrix.Lower, matrix.Transpose, matrix.NonUnit},
+		{"LTUN", matrix.Upper, matrix.Transpose, matrix.NonUnit},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			var ss []bench.Series
+			var err error
+			for i := 0; i < b.N; i++ {
+				ss, err = bench.TRSMFigure(vec.S, m.uplo, m.ta, m.diag, benchCfg())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			iatf := findSeries(b, ss, "IATF")
+			if p, ok := iatf.At(16); ok {
+				b.ReportMetric(p.GFLOPS, "model-GFLOPS@16")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure11_GEMM_PctPeak regenerates the percent-of-peak
+// comparison against the MKL-compact stand-in on the Xeon model.
+func BenchmarkFigure11_GEMM_PctPeak(b *testing.B) {
+	for _, dt := range vec.DTypes {
+		b.Run(dt.String()+"gemm", func(b *testing.B) {
+			var ss []bench.Series
+			var err error
+			for i := 0; i < b.N; i++ {
+				ss, err = bench.PctPeakFigure(dt, false, benchCfg())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			arm := findSeries(b, ss, "IATF (Kunpeng 920)")
+			x86 := findSeries(b, ss, "MKL-compact (Xeon 6240)")
+			if p, ok := arm.At(16); ok {
+				b.ReportMetric(100*p.PctPeak, "kunpeng-pct-peak@16")
+			}
+			if p, ok := x86.At(16); ok {
+				b.ReportMetric(100*p.PctPeak, "xeon-pct-peak@16")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure12_TRSM_PctPeak regenerates the TRSM percent-of-peak
+// comparison.
+func BenchmarkFigure12_TRSM_PctPeak(b *testing.B) {
+	for _, dt := range []vec.DType{vec.D, vec.Z} {
+		b.Run(dt.String()+"trsm", func(b *testing.B) {
+			var ss []bench.Series
+			var err error
+			for i := 0; i < b.N; i++ {
+				ss, err = bench.PctPeakFigure(dt, true, benchCfg())
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			arm := findSeries(b, ss, "IATF (Kunpeng 920)")
+			if p, ok := arm.At(16); ok {
+				b.ReportMetric(100*p.PctPeak, "kunpeng-pct-peak@16")
+			}
+		})
+	}
+}
+
+// BenchmarkHeadlineSpeedups reproduces the §1 "up to" summary for sgemm.
+func BenchmarkHeadlineSpeedups(b *testing.B) {
+	var ss []bench.Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		ss, err = bench.GEMMFigure(vec.S, matrix.NoTrans, matrix.NoTrans, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	iatf := findSeries(b, ss, "IATF")
+	for _, lib := range []string{"OpenBLAS-loop", "ARMPL-batch", "LIBXSMM"} {
+		s, _ := bench.MaxSpeedup(iatf, findSeries(b, ss, lib))
+		b.ReportMetric(s, "vs-"+lib)
+	}
+}
+
+// --- Native wall-clock benchmarks: compact kernels vs naive loop ---
+
+func nativeGEMMBench[T Scalar](b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	const count = 2048
+	a := randBatch[T](rng, count, n, n)
+	bb := randBatch[T](rng, count, n, n)
+	c := randBatch[T](rng, count, n, n)
+	ca, cb, cc := Pack(a), Pack(bb), Pack(c)
+	var z T
+	flopsPerOp := 2.0
+	switch any(z).(type) {
+	case complex64, complex128:
+		flopsPerOp = 8.0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := GEMM(NoTrans, NoTrans, T(1), ca, cb, T(1), cc); err != nil {
+			b.Fatal(err)
+		}
+	}
+	gflops := flopsPerOp * float64(count) * float64(n*n*n) * float64(b.N) / b.Elapsed().Seconds() / 1e9
+	b.ReportMetric(gflops, "GFLOPS")
+}
+
+func naiveGEMMBench[T Scalar](b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(1))
+	const count = 2048
+	a := randBatch[T](rng, count, n, n)
+	bb := randBatch[T](rng, count, n, n)
+	c := randBatch[T](rng, count, n, n)
+	var z T
+	flopsPerOp := 2.0
+	switch any(z).(type) {
+	case complex64, complex128:
+		flopsPerOp = 8.0
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		matrix.RefGEMMBatch(NoTrans, NoTrans, T(1), a.inner, bb.inner, T(1), c.inner)
+	}
+	gflops := flopsPerOp * float64(count) * float64(n*n*n) * float64(b.N) / b.Elapsed().Seconds() / 1e9
+	b.ReportMetric(gflops, "GFLOPS")
+}
+
+func BenchmarkNativeGEMMCompact(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run("sgemm-"+itoa(n), func(b *testing.B) { nativeGEMMBench[float32](b, n) })
+	}
+	b.Run("dgemm-8", func(b *testing.B) { nativeGEMMBench[float64](b, 8) })
+	b.Run("cgemm-8", func(b *testing.B) { nativeGEMMBench[complex64](b, 8) })
+	b.Run("zgemm-8", func(b *testing.B) { nativeGEMMBench[complex128](b, 8) })
+}
+
+func BenchmarkNativeGEMMNaiveLoop(b *testing.B) {
+	for _, n := range benchSizes {
+		b.Run("sgemm-"+itoa(n), func(b *testing.B) { naiveGEMMBench[float32](b, n) })
+	}
+	b.Run("dgemm-8", func(b *testing.B) { naiveGEMMBench[float64](b, 8) })
+}
+
+func BenchmarkNativeTRSMCompact(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run("strsm-"+itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			const count = 2048
+			a := randTriBatch[float32](rng, count, n)
+			bb := randBatch[float32](rng, count, n, n)
+			ca, cb := Pack(a), Pack(bb)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := TRSM(Left, Lower, NoTrans, NonUnit, float32(1), ca, cb); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkNativeTRSMNaiveLoop(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run("strsm-"+itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(2))
+			const count = 2048
+			a := randTriBatch[float32](rng, count, n)
+			bb := randBatch[float32](rng, count, n, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				matrix.RefTRSMBatch(Left, Lower, NoTrans, NonUnit, float32(1), a.inner, bb.inner)
+			}
+		})
+	}
+}
+
+// --- Design ablations (modeled cycles on the Kunpeng 920 profile) ---
+
+func ablationGFLOPS(b *testing.B, tun core.Tuning, n int) float64 {
+	b.Helper()
+	g, err := bench.IATFGEMM(vec.D, n, matrix.NoTrans, matrix.NoTrans, tun,
+		bench.Config{Matrices: 32, Sizes: []int{n}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkAblationSchedule: instruction scheduling on versus off
+// (Figure 5's point, end to end).
+func BenchmarkAblationSchedule(b *testing.B) {
+	var on, off float64
+	for i := 0; i < b.N; i++ {
+		on = ablationGFLOPS(b, core.DefaultTuning(), 16)
+		t := core.DefaultTuning()
+		t.DisableOptimizer = true
+		off = ablationGFLOPS(b, t, 16)
+	}
+	b.ReportMetric(on, "scheduled-GFLOPS")
+	b.ReportMetric(off, "unscheduled-GFLOPS")
+}
+
+// BenchmarkAblationPingPong: template double-buffering versus SUB-only
+// kernels, as modeled static cost.
+func BenchmarkAblationPingPong(b *testing.B) {
+	spec := ktmpl.GEMMSpec{DT: vec.D, MC: 4, NC: 4, K: 16, StrideC: 16}
+	opts := kopt.Options{Prof: machine.Kunpeng920(), ElemBytes: 8}
+	var pp, sub int64
+	for i := 0; i < b.N; i++ {
+		a, err := ktmpl.GenGEMM(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := ktmpl.GenGEMMNoPingPong(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pp = kopt.Cost(kopt.Optimize(a, opts), opts)
+		sub = kopt.Cost(kopt.Optimize(c, opts), opts)
+	}
+	b.ReportMetric(float64(pp), "pingpong-cycles")
+	b.ReportMetric(float64(sub), "sub-only-cycles")
+}
+
+// BenchmarkAblationKernelSize validates the CMAR-optimal 4×4 choice
+// against alternative kernel shapes (Eq. 2).
+func BenchmarkAblationKernelSize(b *testing.B) {
+	for _, sz := range [][2]int{{4, 4}, {2, 4}, {4, 2}, {2, 2}, {1, 4}} {
+		b.Run(itoa(sz[0])+"x"+itoa(sz[1]), func(b *testing.B) {
+			var g float64
+			for i := 0; i < b.N; i++ {
+				p := core.GEMMProblem{DT: vec.D, M: 16, N: 16, K: 16, Alpha: 1, Beta: 1, Count: 32}
+				pl, err := core.NewGEMMPlanWithKernel(p, core.DefaultTuning(), sz[0], sz[1])
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim := machine.NewSim(machine.Kunpeng920(), 8)
+				cycles, err := core.SimGEMM(pl, 16, sim)
+				if err != nil {
+					b.Fatal(err)
+				}
+				g = 2 * 16 * 16 * 16 * 32 / (float64(cycles) / 2.6e9) / 1e9
+			}
+			b.ReportMetric(g, "model-GFLOPS")
+			b.ReportMetric(ktmpl.CMAR(vec.D, sz[0], sz[1]), "CMAR")
+		})
+	}
+}
+
+// BenchmarkAblationNoPack: the A no-packing fast path versus forced
+// packing on a shape that qualifies for it.
+func BenchmarkAblationNoPack(b *testing.B) {
+	var nopack, packed float64
+	for i := 0; i < b.N; i++ {
+		nopack = ablationGFLOPS(b, core.DefaultTuning(), 4)
+		t := core.DefaultTuning()
+		t.ForcePackA = true
+		packed = ablationGFLOPS(b, t, 4)
+	}
+	b.ReportMetric(nopack, "nopack-GFLOPS")
+	b.ReportMetric(packed, "forced-pack-GFLOPS")
+}
+
+// BenchmarkAblationBatchCount: L1-sized super-batches versus packing the
+// whole batch at once (the Batch Counter's reason to exist).
+func BenchmarkAblationBatchCount(b *testing.B) {
+	var l1, whole float64
+	for i := 0; i < b.N; i++ {
+		l1 = ablationGFLOPS(b, core.DefaultTuning(), 16)
+		t := core.DefaultTuning()
+		t.ForceGroupsPerBatch = 1 << 20
+		whole = ablationGFLOPS(b, t, 16)
+	}
+	b.ReportMetric(l1, "l1-batched-GFLOPS")
+	b.ReportMetric(whole, "whole-batch-GFLOPS")
+}
+
+// BenchmarkAblationTRSMRect: the FMLS rectangular kernel versus calling
+// the general GEMM kernel for the TRSM update (Eq. 4's saving).
+func BenchmarkAblationTRSMRect(b *testing.B) {
+	opts := kopt.Options{Prof: machine.Kunpeng920(), ElemBytes: 8}
+	var rect, gemm int64
+	for i := 0; i < b.N; i++ {
+		r, err := ktmpl.GenTRSMRect(ktmpl.RectSpec{DT: vec.D, MC: 4, NC: 4, K: 8, StrideC: 16, StrideX: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		g, err := ktmpl.GenGEMM(ktmpl.GEMMSpec{DT: vec.D, MC: 4, NC: 4, K: 8, StrideC: 16})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rect = kopt.Cost(kopt.Optimize(r, opts), opts)
+		gemm = kopt.Cost(kopt.Optimize(g, opts), opts)
+	}
+	b.ReportMetric(float64(rect), "fmls-rect-cycles")
+	b.ReportMetric(float64(gemm), "gemm-call-cycles")
+}
+
+// BenchmarkAblationRecipDiag: reciprocal-diagonal packing versus FDIV in
+// the triangular kernel (§4.4's division-latency argument).
+func BenchmarkAblationRecipDiag(b *testing.B) {
+	opts := kopt.Options{Prof: machine.Kunpeng920(), ElemBytes: 8}
+	var mul, div int64
+	for i := 0; i < b.N; i++ {
+		m, err := ktmpl.GenTRSMTri(ktmpl.TriSpec{DT: vec.D, M: 4, NCols: 8, StrideB: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, err := ktmpl.GenTRSMTri(ktmpl.TriSpec{DT: vec.D, M: 4, NCols: 8, StrideB: 4, DivDiag: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mul = kopt.Cost(kopt.Optimize(m, opts), opts)
+		div = kopt.Cost(kopt.Optimize(d, opts), opts)
+	}
+	b.ReportMetric(float64(mul), "reciprocal-cycles")
+	b.ReportMetric(float64(div), "division-cycles")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkExtensionTRMM reports the modeled throughput of the compact
+// TRMM extension against the loop baselines.
+func BenchmarkExtensionTRMM(b *testing.B) {
+	var ss []bench.Series
+	var err error
+	for i := 0; i < b.N; i++ {
+		ss, err = bench.TRMMFigure(vec.S, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	iatf := findSeries(b, ss, "IATF-ext")
+	if p, ok := iatf.At(16); ok {
+		b.ReportMetric(p.GFLOPS, "model-GFLOPS@16")
+	}
+	s1, _ := bench.MaxSpeedup(iatf, findSeries(b, ss, "OpenBLAS-loop"))
+	b.ReportMetric(s1, "max-speedup-vs-OpenBLAS")
+}
+
+// BenchmarkNativeFactor measures the wall-clock batched factorizations.
+func BenchmarkNativeFactor(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const count, n = 2048, 8
+	b.Run("lu-d8", func(b *testing.B) {
+		a := randDominantBatch[float64](rng, count, n)
+		ca := Pack(a)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			work := ca.Clone()
+			if _, err := LU(work); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cholesky-d8", func(b *testing.B) {
+		m := randBatch[float64](rng, count, n, n)
+		a := NewBatch[float64](count, n, n)
+		matrix.RefGEMMBatch(Transpose, NoTrans, 1.0, m.inner, m.inner, 0.0, a.inner)
+		for v := 0; v < count; v++ {
+			for i := 0; i < n; i++ {
+				a.Set(v, i, i, a.At(v, i, i)+float64(n))
+			}
+		}
+		ca := Pack(a)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			work := ca.Clone()
+			if _, err := Cholesky(work); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,288 @@
+// Command iatf-bench regenerates the paper's evaluation (§6) on the cycle
+// models: every figure's series as text tables, the headline speedup
+// summary, and the design ablations. Output is suitable for pasting into
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	iatf-bench                 # everything
+//	iatf-bench -fig 7          # one figure (7, 8, 9, 10, 11, 12)
+//	iatf-bench -headline       # §1 speedup summary
+//	iatf-bench -ablations      # design ablations
+//	iatf-bench -ext            # TRMM extension figure
+//	iatf-bench -matrices 128   # simulated batch per point
+//	iatf-bench -maxsize 33     # largest square size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"iatf/internal/bench"
+	"iatf/internal/core"
+	"iatf/internal/machine"
+	"iatf/internal/matrix"
+	"iatf/internal/vec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iatf-bench: ")
+	var (
+		fig      = flag.Int("fig", 0, "regenerate one figure (7–12); 0 = all")
+		headline = flag.Bool("headline", false, "print the §1 headline speedups")
+		ablation = flag.Bool("ablations", false, "print the design ablations")
+		ext      = flag.Bool("ext", false, "print the TRMM extension figure")
+		matrices = flag.Int("matrices", 64, "simulated batch per point")
+		maxSize  = flag.Int("maxsize", 33, "largest square size")
+		step     = flag.Int("step", 1, "size step")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Matrices: *matrices}
+	for n := 1; n <= *maxSize; n += *step {
+		cfg.Sizes = append(cfg.Sizes, n)
+	}
+
+	all := *fig == 0 && !*headline && !*ablation && !*ext
+	if all || *fig == 7 {
+		figure7(cfg)
+	}
+	if all || *fig == 8 {
+		figure8(cfg)
+	}
+	if all || *fig == 9 {
+		figure9(cfg)
+	}
+	if all || *fig == 10 {
+		figure10(cfg)
+	}
+	if all || *fig == 11 {
+		figure11(cfg)
+	}
+	if all || *fig == 12 {
+		figure12(cfg)
+	}
+	if all || *headline {
+		printHeadline(cfg)
+	}
+	if all || *ablation {
+		printAblations(cfg)
+	}
+	if all || *ext {
+		printExtension(cfg)
+	}
+}
+
+func printExtension(cfg bench.Config) {
+	for _, dt := range vec.DTypes {
+		ss, err := bench.TRMMFigure(dt, cfg)
+		check(err)
+		fmt.Print(bench.FormatTable(
+			fmt.Sprintf("Extension: %strmm LNLN, GFLOPS (compact TRMM, not in the paper)", dt), ss, false))
+		fmt.Println()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func figure7(cfg bench.Config) {
+	for _, dt := range vec.DTypes {
+		ss, err := bench.GEMMFigure(dt, matrix.NoTrans, matrix.NoTrans, cfg)
+		check(err)
+		fmt.Print(bench.FormatTable(
+			fmt.Sprintf("Figure 7: %sgemm NN, GFLOPS (Kunpeng 920 model)", dt), ss, false))
+		fmt.Println()
+	}
+}
+
+func figure8(cfg bench.Config) {
+	modes := [][2]matrix.Trans{
+		{matrix.NoTrans, matrix.NoTrans},
+		{matrix.NoTrans, matrix.Transpose},
+		{matrix.Transpose, matrix.NoTrans},
+		{matrix.Transpose, matrix.Transpose},
+	}
+	for _, dt := range vec.DTypes {
+		for _, m := range modes {
+			ss, err := bench.GEMMFigure(dt, m[0], m[1], cfg)
+			check(err)
+			fmt.Print(bench.FormatTable(
+				fmt.Sprintf("Figure 8: %sgemm %v%v, GFLOPS", dt, m[0], m[1]), ss, false))
+			fmt.Println()
+		}
+	}
+}
+
+func figure9(cfg bench.Config) {
+	for _, dt := range vec.DTypes {
+		ss, err := bench.TRSMFigure(dt, matrix.Lower, matrix.NoTrans, matrix.NonUnit, cfg)
+		check(err)
+		fmt.Print(bench.FormatTable(
+			fmt.Sprintf("Figure 9: %strsm LNLN, GFLOPS (Kunpeng 920 model)", dt), ss, false))
+		fmt.Println()
+	}
+}
+
+func figure10(cfg bench.Config) {
+	modes := []struct {
+		name string
+		uplo matrix.Uplo
+		ta   matrix.Trans
+		diag matrix.Diag
+	}{
+		{"LNLN", matrix.Lower, matrix.NoTrans, matrix.NonUnit},
+		{"LNUN", matrix.Upper, matrix.NoTrans, matrix.NonUnit},
+		{"LTLN", matrix.Lower, matrix.Transpose, matrix.NonUnit},
+		{"LTUN", matrix.Upper, matrix.Transpose, matrix.NonUnit},
+	}
+	for _, dt := range vec.DTypes {
+		for _, m := range modes {
+			ss, err := bench.TRSMFigure(dt, m.uplo, m.ta, m.diag, cfg)
+			check(err)
+			fmt.Print(bench.FormatTable(
+				fmt.Sprintf("Figure 10: %strsm %s, GFLOPS", dt, m.name), ss, false))
+			fmt.Println()
+		}
+	}
+}
+
+func figure11(cfg bench.Config) {
+	for _, dt := range vec.DTypes {
+		ss, err := bench.PctPeakFigure(dt, false, cfg)
+		check(err)
+		fmt.Print(bench.FormatTable(
+			fmt.Sprintf("Figure 11: %sgemm NN, percent of machine peak", dt), ss, true))
+		fmt.Println()
+	}
+}
+
+func figure12(cfg bench.Config) {
+	for _, dt := range vec.DTypes {
+		ss, err := bench.PctPeakFigure(dt, true, cfg)
+		check(err)
+		fmt.Print(bench.FormatTable(
+			fmt.Sprintf("Figure 12: %strsm LNLN, percent of machine peak", dt), ss, true))
+		fmt.Println()
+	}
+}
+
+func printHeadline(cfg bench.Config) {
+	// Size 1 is a degenerate point (pure overhead ratio on both sides);
+	// report "up to" over sizes ≥ 2 as the meaningful range.
+	var sizes []int
+	for _, n := range cfg.Sizes {
+		if n >= 2 {
+			sizes = append(sizes, n)
+		}
+	}
+	cfg.Sizes = sizes
+	fmt.Println("# Headline speedups (paper §1: 'up to' across sizes ≥ 2)")
+	fmt.Printf("%-8s %-16s %-14s %-14s\n", "routine", "vs OpenBLAS-loop", "vs ARMPL", "vs LIBXSMM")
+	find := func(ss []bench.Series, lib string) bench.Series {
+		for _, s := range ss {
+			if s.Lib == lib {
+				return s
+			}
+		}
+		return bench.Series{}
+	}
+	for _, dt := range vec.DTypes {
+		ss, err := bench.GEMMFigure(dt, matrix.NoTrans, matrix.NoTrans, cfg)
+		check(err)
+		iatf := find(ss, "IATF")
+		vsO, atO := bench.MaxSpeedup(iatf, find(ss, "OpenBLAS-loop"))
+		vsA, atA := bench.MaxSpeedup(iatf, find(ss, "ARMPL-batch"))
+		line := fmt.Sprintf("%-8s %6.1fx (n=%2d) %6.1fx (n=%2d)", dt.String()+"gemm", vsO, atO, vsA, atA)
+		if !dt.IsComplex() {
+			vsX, atX := bench.MaxSpeedup(iatf, find(ss, "LIBXSMM"))
+			line += fmt.Sprintf(" %6.1fx (n=%2d)", vsX, atX)
+		}
+		fmt.Println(line)
+	}
+	for _, dt := range vec.DTypes {
+		ss, err := bench.TRSMFigure(dt, matrix.Lower, matrix.NoTrans, matrix.NonUnit, cfg)
+		check(err)
+		iatf := find(ss, "IATF")
+		vsO, atO := bench.MaxSpeedup(iatf, find(ss, "OpenBLAS-loop"))
+		vsA, atA := bench.MaxSpeedup(iatf, find(ss, "ARMPL-loop"))
+		fmt.Printf("%-8s %6.1fx (n=%2d) %6.1fx (n=%2d)\n", dt.String()+"trsm", vsO, atO, vsA, atA)
+	}
+	fmt.Println()
+}
+
+func printAblations(cfg bench.Config) {
+	fmt.Println("# Design ablations (dgemm NN, GFLOPS on the Kunpeng 920 model)")
+	sizes := []int{4, 8, 16, 32}
+	configs := []struct {
+		name string
+		tun  core.Tuning
+	}{
+		{"full IATF", core.DefaultTuning()},
+		{"no instruction scheduling", func() core.Tuning {
+			t := core.DefaultTuning()
+			t.DisableOptimizer = true
+			return t
+		}()},
+		{"no C prefetch", func() core.Tuning {
+			t := core.DefaultTuning()
+			t.DisablePrefetch = true
+			return t
+		}()},
+		{"forced A packing", func() core.Tuning {
+			t := core.DefaultTuning()
+			t.ForcePackA = true
+			return t
+		}()},
+		{"whole-batch packing", func() core.Tuning {
+			t := core.DefaultTuning()
+			t.ForceGroupsPerBatch = 1 << 20
+			return t
+		}()},
+	}
+	fmt.Printf("%-28s", "configuration")
+	for _, n := range sizes {
+		fmt.Printf(" %8s", fmt.Sprintf("n=%d", n))
+	}
+	fmt.Println()
+	acfg := bench.Config{Matrices: cfg.Matrices, Sizes: sizes}
+	for _, c := range configs {
+		fmt.Printf("%-28s", c.name)
+		for _, n := range sizes {
+			g, err := bench.IATFGEMM(vec.D, n, matrix.NoTrans, matrix.NoTrans, c.tun, acfg)
+			check(err)
+			fmt.Printf(" %8.3f", g)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n# Kernel-size ablation (dgemm 16x16x16, CMAR validation)")
+	fmt.Printf("%-10s %10s %10s\n", "kernel", "CMAR", "GFLOPS")
+	for _, sz := range [][2]int{{4, 4}, {4, 2}, {2, 4}, {3, 3}, {2, 2}, {1, 4}} {
+		g := kernelSizeGFLOPS(sz[0], sz[1], acfg)
+		fmt.Printf("%dx%-8d %10.3f %10.3f\n", sz[0], sz[1],
+			float64(sz[0]*sz[1])/float64(sz[0]+sz[1]), g)
+	}
+	fmt.Println()
+}
+
+// kernelSizeGFLOPS forces a specific main kernel by tiling M and N with
+// that size only (via a synthetic problem whose dims are multiples of it).
+func kernelSizeGFLOPS(mc, nc int, cfg bench.Config) float64 {
+	tun := core.DefaultTuning()
+	const dim = 16
+	p := core.GEMMProblem{DT: vec.D, M: dim, N: dim, K: dim, Alpha: 1, Beta: 1, Count: cfg.Matrices}
+	pl, err := core.NewGEMMPlanWithKernel(p, tun, mc, nc)
+	check(err)
+	sim := machine.NewSim(tun.Prof, 8)
+	groups := (cfg.Matrices + 1) / 2
+	cycles, err := core.SimGEMM(pl, groups, sim)
+	check(err)
+	flops := 2.0 * dim * dim * dim * float64(groups*2)
+	return flops / (float64(cycles) / (tun.Prof.FreqGHz * 1e9)) / 1e9
+}

@@ -1,0 +1,238 @@
+// Command iatf-info inspects the install-time artifacts and run-time
+// decisions of the framework: the Table 1 kernel registry, the Table 2
+// machine models, the Figure 4 tiling comparison, CMAR analysis (Eq. 2/3)
+// and concrete execution-plan decisions for a given problem.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"iatf/internal/core"
+	"iatf/internal/ktmpl"
+	"iatf/internal/machine"
+	"iatf/internal/matrix"
+	"iatf/internal/vec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iatf-info: ")
+	var (
+		kernelsF  = flag.Bool("kernels", false, "print the Table 1 kernel registry")
+		machinesF = flag.Bool("machines", false, "print the Table 2 machine models")
+		cmarF     = flag.Bool("cmar", false, "print the CMAR kernel-size analysis (Eq. 2/3)")
+		tilingF   = flag.Int("tiling", 0, "print the Figure 4 tiling comparison for an N×N SGEMM")
+		planM     = flag.Int("m", 0, "with -plan*: matrix rows")
+		planN     = flag.Int("n", 0, "with -plan*: matrix cols")
+		planK     = flag.Int("k", 0, "with -plan-gemm: reduction length")
+		planType  = flag.String("type", "s", "with -plan*: data type")
+		planGEMM  = flag.Bool("plan-gemm", false, "print the execution-plan decisions for a GEMM problem")
+		planTRSM  = flag.Bool("plan-trsm", false, "print the execution-plan decisions for a TRSM problem")
+		planTRMM  = flag.Bool("plan-trmm", false, "print the execution-plan decisions for a TRMM problem (extension)")
+		tuneF     = flag.Bool("tune", false, "empirically autotune the GEMM tiling for -m/-n/-k on the cycle model")
+		count     = flag.Int("count", 16384, "batch size for plan queries")
+	)
+	flag.Parse()
+
+	any := false
+	if *kernelsF {
+		printKernels()
+		any = true
+	}
+	if *machinesF {
+		printMachines()
+		any = true
+	}
+	if *cmarF {
+		printCMAR()
+		any = true
+	}
+	if *tilingF > 0 {
+		printTiling(*tilingF)
+		any = true
+	}
+	if *planGEMM || *planTRSM || *planTRMM || *tuneF {
+		dt, err := vec.ParseDType(*planType)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *planGEMM {
+			printGEMMPlan(dt, *planM, *planN, *planK, *count)
+		}
+		if *planTRSM {
+			printTRSMPlan(dt, *planM, *planN, *count)
+		}
+		if *planTRMM {
+			printTRMMPlan(dt, *planM, *planN, *count)
+		}
+		if *tuneF {
+			printTune(dt, *planM, *planN, *planK, *count)
+		}
+		any = true
+	}
+	if !any {
+		printKernels()
+		fmt.Println()
+		printMachines()
+	}
+}
+
+func printKernels() {
+	fmt.Println("# Generated kernel registry (paper Table 1)")
+	fmt.Printf("%-8s %-12s %-10s %s\n", "type", "routine", "main", "all sizes")
+	for _, dt := range vec.DTypes {
+		main := ktmpl.MainGEMMKernel(dt)
+		fmt.Printf("%-8s %-12s %dx%-8d", dt.String()+"gemm", "GEMM", main.MC, main.NC)
+		for _, s := range ktmpl.GEMMKernelSizes(dt) {
+			fmt.Printf(" %dx%d", s.MC, s.NC)
+		}
+		fmt.Println()
+	}
+	for _, dt := range vec.DTypes {
+		main := ktmpl.MainTRSMKernel(dt)
+		fmt.Printf("%-8s %-12s %dx%-8d", dt.String()+"trsm", "TRSM-rect", main.MC, main.NC)
+		for _, s := range ktmpl.TRSMRectSizes(dt) {
+			fmt.Printf(" %dx%d", s.MC, s.NC)
+		}
+		fmt.Printf("   (triangular: M ≤ %d register-resident)\n", ktmpl.MaxTriM(dt))
+	}
+}
+
+func printMachines() {
+	fmt.Println("# Machine models (paper Table 2)")
+	for _, p := range []machine.Profile{machine.Kunpeng920(), machine.XeonGold6240(), machine.Graviton2()} {
+		fmt.Printf("%s:\n", p.Name)
+		fmt.Printf("  freq %.1f GHz, SIMD %d bits\n", p.FreqGHz, p.VectorBits)
+		fmt.Printf("  peak FP64 %.1f GFLOPS, FP32 %.1f GFLOPS\n",
+			p.PeakGFLOPS(vec.D), p.PeakGFLOPS(vec.S))
+		fmt.Printf("  issue: %d mem, %d FP32 / %d FP64 ports", p.MemPorts, p.FPPorts32, p.FPPorts64)
+		if p.GroupWidth > 0 {
+			fmt.Printf(" (coupled: mem+FP ≤ %d per cycle)", p.GroupWidth)
+		}
+		fmt.Println()
+		for _, l := range p.Cache.Levels {
+			fmt.Printf("  %s: %d KB, %d-way, %d B lines, %d cycles\n",
+				l.Name, l.SizeBytes>>10, l.Ways, l.LineBytes, l.HitCycles)
+		}
+		fmt.Printf("  memory: %d cycles, %d prefetch streams\n", p.Cache.MemoryCycles, p.Cache.StreamSlots)
+	}
+}
+
+func printCMAR() {
+	fmt.Println("# CMAR kernel-size analysis (Eq. 2/3, 32 vector registers)")
+	for _, dt := range []vec.DType{vec.D, vec.Z} {
+		kind := "real"
+		if dt.IsComplex() {
+			kind = "complex"
+		}
+		fmt.Printf("%s (%s): mc x nc -> registers, CMAR\n", dt, kind)
+		for mcv := 1; mcv <= 6; mcv++ {
+			for ncv := 1; ncv <= 6; ncv++ {
+				regs := ktmpl.RegistersNeeded(dt, mcv, ncv)
+				if regs > 32 {
+					continue
+				}
+				fmt.Printf("  %dx%d -> %2d regs, CMAR %.3f\n", mcv, ncv, regs, ktmpl.CMAR(dt, mcv, ncv))
+			}
+		}
+		mc, nc := ktmpl.OptimalKernel(dt)
+		fmt.Printf("  optimal: %dx%d\n", mc, nc)
+	}
+}
+
+func printTiling(n int) {
+	fmt.Printf("# Tiling of a %dx%d SGEMM C matrix (paper Figure 4)\n", n, n)
+	// Traditional: M-vectorized 12-row and 4-row strips, 8/4-wide tiles.
+	fmt.Println("traditional (per-matrix, M-vectorized):")
+	tradM := ktmpl.SplitDim(n, []int{12, 8, 4, 2, 1})
+	tradN := ktmpl.SplitDim(n, []int{8, 4, 2, 1})
+	fmt.Printf("  row strips %v × col tiles %v = %d kernels, %d full-SIMD\n",
+		tradM, tradN, len(tradM)*len(tradN), countFull(tradM, 4)*len(tradN))
+	fmt.Println("compact (SIMD-friendly layout):")
+	cm := ktmpl.SplitDim(n, ktmpl.MTiles(vec.S))
+	cn := ktmpl.SplitDim(n, ktmpl.NTiles(vec.S))
+	fmt.Printf("  row tiles %v × col tiles %v = %d kernels, all full-SIMD\n",
+		cm, cn, len(cm)*len(cn))
+}
+
+func countFull(tiles []int, vl int) int {
+	c := 0
+	for _, t := range tiles {
+		if t%vl == 0 {
+			c++
+		}
+	}
+	return c
+}
+
+func printGEMMPlan(dt vec.DType, m, n, k, count int) {
+	if m < 1 || n < 1 || k < 1 {
+		log.Fatal("-plan-gemm requires -m, -n, -k")
+	}
+	p := core.GEMMProblem{DT: dt, M: m, N: n, K: k, Alpha: 1, Beta: 1, Count: count}
+	pl, err := core.NewGEMMPlan(p, core.DefaultTuning())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# Execution plan: %sgemm %dx%dx%d, batch %d\n", dt, m, n, k, count)
+	fmt.Printf("  M tiles: %v\n", pl.MTiles)
+	fmt.Printf("  N tiles: %v\n", pl.NTiles)
+	fmt.Printf("  pack A: %v (no-packing fast path when false)\n", pl.PackA)
+	fmt.Printf("  super-batch: %d interleave groups (%d matrices)\n",
+		pl.GroupsPerBatch, pl.GroupsPerBatch*dt.Pack())
+	fmt.Printf("  kernel instructions per group: %d\n", pl.Instructions())
+}
+
+func printTRMMPlan(dt vec.DType, m, n, count int) {
+	if m < 1 || n < 1 {
+		log.Fatal("-plan-trmm requires -m, -n")
+	}
+	p := core.TRMMProblem{DT: dt, M: m, N: n, Side: matrix.Left, Uplo: matrix.Lower,
+		TransA: matrix.NoTrans, Diag: matrix.NonUnit, Alpha: 1, Count: count}
+	pl, err := core.NewTRMMPlan(p, core.DefaultTuning())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# Execution plan: %strmm LNLN %dx%d, batch %d (extension)\n", dt, m, n, count)
+	fmt.Printf("  panels: %v\n", pl.Panels)
+	fmt.Printf("  column tiles: %v\n", pl.ColTiles)
+	fmt.Printf("  pack B: %v, reverse: %v, transpose: %v\n", pl.PackB, pl.ReverseB, pl.TransposeB)
+	fmt.Printf("  super-batch: %d interleave groups\n", pl.GroupsPerBatch)
+}
+
+func printTune(dt vec.DType, m, n, k, count int) {
+	if m < 1 || n < 1 || k < 1 {
+		log.Fatal("-tune requires -m, -n, -k")
+	}
+	p := core.GEMMProblem{DT: dt, M: m, N: n, K: k, Alpha: 1, Beta: 1, Count: count}
+	pl, err := core.AutotuneGEMM(p, core.DefaultTuning())
+	if err != nil {
+		log.Fatal(err)
+	}
+	def, err := core.NewGEMMPlan(p, core.DefaultTuning())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# Autotuned plan: %sgemm %dx%dx%d\n", dt, m, n, k)
+	fmt.Printf("  analytic tiling:  M %v × N %v\n", def.MTiles, def.NTiles)
+	fmt.Printf("  empirical tiling: M %v × N %v\n", pl.MTiles, pl.NTiles)
+}
+
+func printTRSMPlan(dt vec.DType, m, n, count int) {
+	if m < 1 || n < 1 {
+		log.Fatal("-plan-trsm requires -m, -n")
+	}
+	p := core.TRSMProblem{DT: dt, M: m, N: n, Side: matrix.Left, Uplo: matrix.Lower,
+		TransA: matrix.NoTrans, Diag: matrix.NonUnit, Alpha: 1, Count: count}
+	pl, err := core.NewTRSMPlan(p, core.DefaultTuning())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# Execution plan: %strsm LNLN %dx%d, batch %d\n", dt, m, n, count)
+	fmt.Printf("  panels: %v (register-resident triangle ≤ %d)\n", pl.Panels, ktmpl.MaxTriM(dt))
+	fmt.Printf("  column tiles: %v\n", pl.ColTiles)
+	fmt.Printf("  pack B: %v, reverse: %v, transpose: %v\n", pl.PackB, pl.ReverseB, pl.TransposeB)
+	fmt.Printf("  super-batch: %d interleave groups\n", pl.GroupsPerBatch)
+}

@@ -1,0 +1,71 @@
+package iatf_test
+
+import (
+	"fmt"
+
+	"iatf"
+)
+
+// ExampleGEMM multiplies a batch of 2×2 matrices.
+func ExampleGEMM() {
+	const count = 3
+	a := iatf.NewBatch[float64](count, 2, 2)
+	b := iatf.NewBatch[float64](count, 2, 2)
+	c := iatf.NewBatch[float64](count, 2, 2)
+	for m := 0; m < count; m++ {
+		// A = [[1, 0], [0, 2]] scaled by the matrix index + 1; B = I.
+		s := float64(m + 1)
+		a.Set(m, 0, 0, s)
+		a.Set(m, 1, 1, 2*s)
+		b.Set(m, 0, 0, 1)
+		b.Set(m, 1, 1, 1)
+	}
+	ca, cb, cc := iatf.Pack(a), iatf.Pack(b), iatf.Pack(c)
+	if err := iatf.GEMM(iatf.NoTrans, iatf.NoTrans, 1.0, ca, cb, 0.0, cc); err != nil {
+		panic(err)
+	}
+	out := cc.Unpack()
+	fmt.Println(out.At(0, 0, 0), out.At(1, 0, 0), out.At(2, 1, 1))
+	// Output: 1 2 6
+}
+
+// ExampleTRSM solves a batch of lower-triangular systems in place.
+func ExampleTRSM() {
+	a := iatf.NewBatch[float64](1, 2, 2)
+	a.Set(0, 0, 0, 2) // [[2, 0], [1, 4]]
+	a.Set(0, 1, 0, 1)
+	a.Set(0, 1, 1, 4)
+	b := iatf.NewBatch[float64](1, 2, 1)
+	b.Set(0, 0, 0, 4) // rhs (4, 9)ᵀ → x = (2, 1.75)ᵀ
+	b.Set(0, 1, 0, 9)
+	ca, cb := iatf.Pack(a), iatf.Pack(b)
+	if err := iatf.TRSM(iatf.Left, iatf.Lower, iatf.NoTrans, iatf.NonUnit, 1.0, ca, cb); err != nil {
+		panic(err)
+	}
+	x := cb.Unpack()
+	fmt.Println(x.At(0, 0, 0), x.At(0, 1, 0))
+	// Output: 2 1.75
+}
+
+// ExampleLU factors and solves a batch of small systems.
+func ExampleLU() {
+	a := iatf.NewBatch[float64](1, 2, 2)
+	a.Set(0, 0, 0, 4) // [[4, 3], [6, 3]]
+	a.Set(0, 0, 1, 3)
+	a.Set(0, 1, 0, 6)
+	a.Set(0, 1, 1, 3)
+	b := iatf.NewBatch[float64](1, 2, 1)
+	b.Set(0, 0, 0, 10) // rhs (10, 12)ᵀ → x = (1, 2)ᵀ
+	b.Set(0, 1, 0, 12)
+	ca, cb := iatf.Pack(a), iatf.Pack(b)
+	info, err := iatf.LU(ca)
+	if err != nil || info[0] != 0 {
+		panic("factorization failed")
+	}
+	if err := iatf.LUSolve(ca, cb); err != nil {
+		panic(err)
+	}
+	x := cb.Unpack()
+	fmt.Printf("%.0f %.0f\n", x.At(0, 0, 0), x.At(0, 1, 0))
+	// Output: 1 2
+}

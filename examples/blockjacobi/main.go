@@ -1,0 +1,147 @@
+// Block-Jacobi example: preconditioned iterative solvers factor the
+// diagonal blocks of a large sparse system once and then apply
+// block-local triangular solves every iteration — a large group of
+// fixed-size small TRSMs, one of the paper's PDE-simulation motivations.
+//
+// The demo builds a block-tridiagonal SPD system (a 1-D Laplacian with
+// b×b blocks), factors every diagonal block at once with the compact
+// batched Cholesky, and runs block-Jacobi iterations where the
+// preconditioner application is one compact batched CholeskySolve (two
+// TRSMs: forward with L, backward with Lᵀ) across all blocks.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"iatf"
+)
+
+const (
+	blockSize = 5
+	nBlocks   = 2048
+	n         = blockSize * nBlocks
+)
+
+func main() {
+	log.SetFlags(0)
+	rng := rand.New(rand.NewSource(7))
+
+	// System: tridiagonal Laplacian scaled so diagonal blocks dominate.
+	diag := func(i, j int) float64 {
+		switch {
+		case i == j:
+			return 4
+		case i-j == 1 || j-i == 1:
+			return -1
+		}
+		return 0
+	}
+	offdiag := -0.5 // coupling between neighbouring blocks (scalar band)
+
+	// Right-hand side and unknown.
+	bvec := make([]float64, n)
+	for i := range bvec {
+		bvec[i] = rng.Float64()
+	}
+	x := make([]float64, n)
+
+	// Factor every diagonal block at once: D = L·Lᵀ via the compact
+	// batched Cholesky (each block is perturbed slightly so the batch is
+	// genuinely heterogeneous).
+	lb := iatf.NewBatch[float64](nBlocks, blockSize, blockSize)
+	perturb := make([]float64, nBlocks)
+	for e := 0; e < nBlocks; e++ {
+		perturb[e] = 0.1 * rng.Float64()
+		for i := 0; i < blockSize; i++ {
+			for j := 0; j < blockSize; j++ {
+				lb.Set(e, i, j, diag(i, j))
+			}
+			lb.Set(e, i, i, lb.At(e, i, i)+perturb[e])
+		}
+	}
+	cl := iatf.Pack(lb)
+	info, err := iatf.Cholesky(cl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for e, code := range info {
+		if code != 0 {
+			log.Fatalf("block %d not SPD (column %d)", e, code-1)
+		}
+	}
+
+	// matvec of the full system.
+	matvec := func(v []float64) []float64 {
+		out := make([]float64, n)
+		for e := 0; e < nBlocks; e++ {
+			for i := 0; i < blockSize; i++ {
+				gi := e*blockSize + i
+				sum := perturb[e] * v[gi]
+				for j := 0; j < blockSize; j++ {
+					sum += diag(i, j) * v[e*blockSize+j]
+				}
+				if gi > 0 {
+					sum += offdiag * v[gi-1]
+				}
+				if gi < n-1 {
+					sum += offdiag * v[gi+1]
+				}
+				out[gi] = sum
+			}
+		}
+		return out
+	}
+
+	// Preconditioner: z = D⁻¹ r via the batched Cholesky solve.
+	precond := func(r []float64) []float64 {
+		rb := iatf.NewBatch[float64](nBlocks, blockSize, 1)
+		copy(rb.Data(), r)
+		cr := iatf.Pack(rb)
+		if err := iatf.CholeskySolve(cl, cr); err != nil {
+			log.Fatal(err)
+		}
+		return cr.Unpack().Data()
+	}
+
+	norm := func(v []float64) float64 {
+		s := 0.0
+		for _, x := range v {
+			s += x * x
+		}
+		return math.Sqrt(s)
+	}
+
+	// Preconditioned Richardson iteration: x += D⁻¹(b - Ax).
+	res0 := norm(bvec)
+	var iters int
+	for iters = 1; iters <= 200; iters++ {
+		ax := matvec(x)
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = bvec[i] - ax[i]
+		}
+		if norm(r) < 1e-10*res0 {
+			break
+		}
+		z := precond(r)
+		for i := range x {
+			x[i] += z[i]
+		}
+	}
+
+	ax := matvec(x)
+	r := make([]float64, n)
+	for i := range r {
+		r[i] = bvec[i] - ax[i]
+	}
+	rel := norm(r) / res0
+	fmt.Printf("block-Jacobi solve: %d unknowns in %d blocks of %d\n", n, nBlocks, blockSize)
+	fmt.Printf("converged in %d iterations, relative residual %.3e\n", iters, rel)
+	if rel > 1e-8 {
+		log.Fatal("did not converge")
+	}
+	fmt.Println("OK — batched Cholesky factorization once, batched triangular solves per iteration")
+}

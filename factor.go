@@ -1,0 +1,184 @@
+package iatf
+
+import (
+	"fmt"
+
+	"iatf/internal/core"
+)
+
+// LU factors every matrix of the compact batch in place into L\U
+// (Doolittle: unit lower triangle below the diagonal, upper triangle with
+// the diagonal — no pivoting, intended for the diagonally dominant blocks
+// batched solvers feed it). The returned info slice holds one code per
+// matrix: 0 on success, k+1 if pivot column k was exactly zero.
+//
+// Together with LUSolve this extends the framework with LAPACK-style
+// compact kernels (cf. the compact BLAS/LAPACK design the paper builds
+// on).
+func LU[T Scalar](a *Compact[T]) ([]int, error) {
+	return LUParallel(1, a)
+}
+
+// LUParallel is LU with `workers` goroutines splitting the batch.
+func LUParallel[T Scalar](workers int, a *Compact[T]) ([]int, error) {
+	if err := a.check("A"); err != nil {
+		return nil, err
+	}
+	if a.f32 != nil {
+		return core.ExecFactorNative(core.LUKind, a.f32, workers)
+	}
+	return core.ExecFactorNative(core.LUKind, a.f64, workers)
+}
+
+// LUSolve solves A·X = B for every matrix of the batch, where a holds
+// the LU factors produced by LU. B is overwritten with X.
+func LUSolve[T Scalar](a, b *Compact[T]) error {
+	if err := TRSM(Left, Lower, NoTrans, Unit, T(1), a, b); err != nil {
+		return fmt.Errorf("iatf: LU forward solve: %w", err)
+	}
+	if err := TRSM(Left, Upper, NoTrans, NonUnit, T(1), a, b); err != nil {
+		return fmt.Errorf("iatf: LU backward solve: %w", err)
+	}
+	return nil
+}
+
+// Cholesky factors every matrix of the compact batch in place into its
+// lower Cholesky factor L (A = L·Lᵀ; the strict upper triangle is left
+// untouched). Real element types only. info codes are per matrix: 0 on
+// success, k+1 at the first non-positive pivot.
+func Cholesky[T Scalar](a *Compact[T]) ([]int, error) {
+	return CholeskyParallel(1, a)
+}
+
+// CholeskyParallel is Cholesky with `workers` goroutines splitting the
+// batch.
+func CholeskyParallel[T Scalar](workers int, a *Compact[T]) ([]int, error) {
+	if err := a.check("A"); err != nil {
+		return nil, err
+	}
+	if a.dt.IsComplex() {
+		return nil, fmt.Errorf("iatf: Cholesky supports real element types only")
+	}
+	if a.f32 != nil {
+		return core.ExecFactorNative(core.CholeskyKind, a.f32, workers)
+	}
+	return core.ExecFactorNative(core.CholeskyKind, a.f64, workers)
+}
+
+// CholeskySolve solves A·X = B for every matrix of the batch, where a
+// holds the Cholesky factors produced by Cholesky. B is overwritten.
+func CholeskySolve[T Scalar](a, b *Compact[T]) error {
+	if err := TRSM(Left, Lower, NoTrans, NonUnit, T(1), a, b); err != nil {
+		return fmt.Errorf("iatf: Cholesky forward solve: %w", err)
+	}
+	if err := TRSM(Left, Lower, Transpose, NonUnit, T(1), a, b); err != nil {
+		return fmt.Errorf("iatf: Cholesky backward solve: %w", err)
+	}
+	return nil
+}
+
+// Pivots is the opaque pivot record returned by LUPivoted.
+type Pivots struct {
+	inner *core.Pivots
+}
+
+// LUPivoted factors every matrix in place with partial pivoting
+// (P·A = L·U) — the robust form for matrices that are not diagonally
+// dominant. The returned Pivots must be passed to LUSolvePivoted.
+func LUPivoted[T Scalar](a *Compact[T]) (*Pivots, []int, error) {
+	return LUPivotedParallel(1, a)
+}
+
+// LUPivotedParallel is LUPivoted with `workers` goroutines.
+func LUPivotedParallel[T Scalar](workers int, a *Compact[T]) (*Pivots, []int, error) {
+	if err := a.check("A"); err != nil {
+		return nil, nil, err
+	}
+	var (
+		p    *core.Pivots
+		info []int
+		err  error
+	)
+	if a.f32 != nil {
+		p, info, err = core.ExecLUPivNative(a.f32, workers)
+	} else {
+		p, info, err = core.ExecLUPivNative(a.f64, workers)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Pivots{inner: p}, info, nil
+}
+
+// LUSolvePivoted solves A·X = B for every matrix of the batch using the
+// factors and pivots from LUPivoted. B is overwritten with X.
+func LUSolvePivoted[T Scalar](a *Compact[T], piv *Pivots, b *Compact[T]) error {
+	if piv == nil || piv.inner == nil {
+		return fmt.Errorf("iatf: nil pivot record")
+	}
+	if err := b.check("B"); err != nil {
+		return err
+	}
+	var err error
+	if a.f32 != nil {
+		err = core.ExecLUPivSolveNative(a.f32, piv.inner, b.f32, 1)
+	} else {
+		err = core.ExecLUPivSolveNative(a.f64, piv.inner, b.f64, 1)
+	}
+	if err != nil {
+		return err
+	}
+	return LUSolve(a, b)
+}
+
+// Invert replaces every matrix of the compact batch with its inverse,
+// computed via the pivoted LU factorization and a solve against the
+// identity. Matrices reported singular in the returned info are left in
+// an unspecified state.
+func Invert[T Scalar](a *Compact[T]) ([]int, error) {
+	if err := a.check("A"); err != nil {
+		return nil, err
+	}
+	if a.Rows() != a.Cols() {
+		return nil, fmt.Errorf("iatf: Invert requires square matrices, got %dx%d", a.Rows(), a.Cols())
+	}
+	n, count := a.Rows(), a.Count()
+	factors := a.Clone()
+	piv, info, err := LUPivoted(factors)
+	if err != nil {
+		return nil, err
+	}
+	// Identity batch as the right-hand side.
+	eye := NewBatch[T](count, n, n)
+	one := scalarOne[T]()
+	for m := 0; m < count; m++ {
+		for i := 0; i < n; i++ {
+			eye.Set(m, i, i, one)
+		}
+	}
+	x := Pack(eye)
+	if err := LUSolvePivoted(factors, piv, x); err != nil {
+		return nil, err
+	}
+	if a.f32 != nil {
+		copy(a.f32.Data, x.f32.Data)
+	} else {
+		copy(a.f64.Data, x.f64.Data)
+	}
+	return info, nil
+}
+
+// scalarOne returns 1 in the scalar type.
+func scalarOne[T Scalar]() T {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return any(float32(1)).(T)
+	case float64:
+		return any(float64(1)).(T)
+	case complex64:
+		return any(complex64(1)).(T)
+	default:
+		return any(complex128(1)).(T)
+	}
+}

@@ -1,0 +1,183 @@
+package iatf
+
+import (
+	"fmt"
+
+	"iatf/internal/core"
+)
+
+// GEMM computes C = alpha·op(A)·op(B) + beta·C over every matrix of the
+// compact batches. op(A) must be M×K, op(B) K×N and C M×N, with equal
+// batch counts.
+//
+// The call generates an input-aware execution plan (kernel sizes from the
+// Table 1 registry for the concrete M, N, K, packing kernels or the
+// no-packing fast path, and an L1-sized super-batch) and executes it with
+// the native kernels. Generated, schedule-optimized kernels are memoized
+// process-wide, so repeated calls with the same shape only pay for
+// execution.
+func GEMM[T Scalar](ta, tb Trans, alpha T, a, b *Compact[T], beta T, c *Compact[T]) error {
+	return GEMMParallel(1, ta, tb, alpha, a, b, beta, c)
+}
+
+// GEMMParallel is GEMM with `workers` goroutines splitting the batch.
+// Interleave groups are independent, so the speedup is near-linear until
+// memory bandwidth saturates — the multi-core extension the paper lists
+// as future work.
+func GEMMParallel[T Scalar](workers int, ta, tb Trans, alpha T, a, b *Compact[T], beta T, c *Compact[T]) error {
+	for _, chk := range []struct {
+		c    *Compact[T]
+		name string
+	}{{a, "A"}, {b, "B"}, {c, "C"}} {
+		if err := chk.c.check(chk.name); err != nil {
+			return err
+		}
+	}
+	m, n := c.Rows(), c.Cols()
+	k := a.Cols()
+	if ta == Transpose {
+		k = a.Rows()
+	}
+	oaR, oaC := a.Rows(), a.Cols()
+	if ta == Transpose {
+		oaR, oaC = oaC, oaR
+	}
+	obR, obC := b.Rows(), b.Cols()
+	if tb == Transpose {
+		obR, obC = obC, obR
+	}
+	if oaR != m || oaC != k || obR != k || obC != n {
+		return fmt.Errorf("iatf: GEMM shape mismatch: op(A)=%dx%d op(B)=%dx%d C=%dx%d",
+			oaR, oaC, obR, obC, m, n)
+	}
+	if a.Count() != c.Count() || b.Count() != c.Count() {
+		return fmt.Errorf("iatf: GEMM batch count mismatch: %d/%d/%d", a.Count(), b.Count(), c.Count())
+	}
+	p := core.GEMMProblem{
+		DT: a.dt, M: m, N: n, K: k,
+		TransA: ta, TransB: tb,
+		Alpha: scalarToComplex(alpha),
+		Beta:  scalarToComplex(beta),
+		Count: c.Count(),
+	}
+	pl, err := core.NewGEMMPlan(p, core.DefaultTuning())
+	if err != nil {
+		return err
+	}
+	if a.f32 != nil {
+		return core.ExecGEMMNativeParallel(pl, a.f32, b.f32, c.f32, workers)
+	}
+	return core.ExecGEMMNativeParallel(pl, a.f64, b.f64, c.f64, workers)
+}
+
+// TRSM solves op(A)·X = alpha·B (Left) or X·op(A) = alpha·B (Right) for
+// every matrix of the compact batches, overwriting B with X. A must be
+// square (M×M for Left, N×N for Right) and triangular per uplo/diag; the
+// other triangle is never read.
+func TRSM[T Scalar](side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Compact[T]) error {
+	return TRSMParallel(1, side, uplo, ta, diag, alpha, a, b)
+}
+
+// TRSMParallel is TRSM with `workers` goroutines splitting the batch.
+func TRSMParallel[T Scalar](workers int, side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Compact[T]) error {
+	if err := a.check("A"); err != nil {
+		return err
+	}
+	if err := b.check("B"); err != nil {
+		return err
+	}
+	if a.Rows() != a.Cols() {
+		return fmt.Errorf("iatf: TRSM A must be square, got %dx%d", a.Rows(), a.Cols())
+	}
+	p := core.TRSMProblem{
+		DT: a.dt, M: b.Rows(), N: b.Cols(),
+		Side: side, Uplo: uplo, TransA: ta, Diag: diag,
+		Alpha: scalarToComplex(alpha),
+		Count: b.Count(),
+	}
+	pl, err := core.NewTRSMPlan(p, core.DefaultTuning())
+	if err != nil {
+		return err
+	}
+	if a.f32 != nil {
+		return core.ExecTRSMNativeParallel(pl, a.f32, b.f32, workers)
+	}
+	return core.ExecTRSMNativeParallel(pl, a.f64, b.f64, workers)
+}
+
+// TRMM computes B = alpha·op(A)·B (Left) or B = alpha·B·op(A) (Right)
+// for every matrix of the compact batches, where A is triangular per
+// uplo/diag — the compact triangular matrix multiply, this library's
+// extension of the framework beyond the paper's GEMM/TRSM (its stated
+// future work). B is overwritten.
+func TRMM[T Scalar](side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Compact[T]) error {
+	return TRMMParallel(1, side, uplo, ta, diag, alpha, a, b)
+}
+
+// TRMMParallel is TRMM with `workers` goroutines splitting the batch.
+func TRMMParallel[T Scalar](workers int, side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Compact[T]) error {
+	if err := a.check("A"); err != nil {
+		return err
+	}
+	if err := b.check("B"); err != nil {
+		return err
+	}
+	if a.Rows() != a.Cols() {
+		return fmt.Errorf("iatf: TRMM A must be square, got %dx%d", a.Rows(), a.Cols())
+	}
+	p := core.TRMMProblem{
+		DT: a.dt, M: b.Rows(), N: b.Cols(),
+		Side: side, Uplo: uplo, TransA: ta, Diag: diag,
+		Alpha: scalarToComplex(alpha),
+		Count: b.Count(),
+	}
+	pl, err := core.NewTRMMPlan(p, core.DefaultTuning())
+	if err != nil {
+		return err
+	}
+	if a.f32 != nil {
+		return core.ExecTRMMNativeParallel(pl, a.f32, b.f32, workers)
+	}
+	return core.ExecTRMMNativeParallel(pl, a.f64, b.f64, workers)
+}
+
+// SYRK computes the symmetric rank-k update C = alpha·op(A)·op(A)ᵀ + beta·C
+// for every matrix of the compact batches, touching only the uplo
+// triangle of C (diagonal included). op(A) is N×K and C is N×N. With
+// Transpose the update is alpha·op(A)ᵀ·op(A) on a K×N input. Part of the
+// framework's level-3 extension set.
+func SYRK[T Scalar](uplo Uplo, trans Trans, alpha T, a *Compact[T], beta T, c *Compact[T]) error {
+	return SYRKParallel(1, uplo, trans, alpha, a, beta, c)
+}
+
+// SYRKParallel is SYRK with `workers` goroutines splitting the batch.
+func SYRKParallel[T Scalar](workers int, uplo Uplo, trans Trans, alpha T, a *Compact[T], beta T, c *Compact[T]) error {
+	if err := a.check("A"); err != nil {
+		return err
+	}
+	if err := c.check("C"); err != nil {
+		return err
+	}
+	if c.Rows() != c.Cols() {
+		return fmt.Errorf("iatf: SYRK C must be square, got %dx%d", c.Rows(), c.Cols())
+	}
+	k := a.Cols()
+	if trans == Transpose {
+		k = a.Rows()
+	}
+	p := core.SYRKProblem{
+		DT: a.dt, N: c.Rows(), K: k,
+		Uplo: uplo, Trans: trans,
+		Alpha: scalarToComplex(alpha),
+		Beta:  scalarToComplex(beta),
+		Count: c.Count(),
+	}
+	pl, err := core.NewSYRKPlan(p, core.DefaultTuning())
+	if err != nil {
+		return err
+	}
+	if a.f32 != nil {
+		return core.ExecSYRKNativeParallel(pl, a.f32, c.f32, workers)
+	}
+	return core.ExecSYRKNativeParallel(pl, a.f64, c.f64, workers)
+}

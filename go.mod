@@ -1,0 +1,3 @@
+module iatf
+
+go 1.22

@@ -1,0 +1,50 @@
+package iatf
+
+import "fmt"
+
+// Grouped interfaces: real workloads often hold several groups of
+// matrices, each group internally fixed-size but sizes differing between
+// groups (the group_count style of MKL's gemm_batch and the Batched BLAS
+// proposal). IATF's framework is per-fixed-size by design; the grouped
+// calls plan and execute each group independently, reusing the memoized
+// install-time kernels across groups that share shapes.
+
+// GEMMGroup is one fixed-size group of a grouped GEMM call:
+// C = Alpha·op(A)·op(B) + Beta·C over the group's batch.
+type GEMMGroup[T Scalar] struct {
+	TransA, TransB Trans
+	Alpha, Beta    T
+	A, B, C        *Compact[T]
+}
+
+// GEMMGrouped executes every group, splitting `workers` goroutines within
+// each group's batch. It stops at the first error, reporting the group
+// index.
+func GEMMGrouped[T Scalar](workers int, groups []GEMMGroup[T]) error {
+	for i, g := range groups {
+		if err := GEMMParallel(workers, g.TransA, g.TransB, g.Alpha, g.A, g.B, g.Beta, g.C); err != nil {
+			return fmt.Errorf("iatf: group %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// TRSMGroup is one fixed-size group of a grouped TRSM call.
+type TRSMGroup[T Scalar] struct {
+	Side   Side
+	Uplo   Uplo
+	TransA Trans
+	Diag   Diag
+	Alpha  T
+	A, B   *Compact[T]
+}
+
+// TRSMGrouped executes every group of triangular solves.
+func TRSMGrouped[T Scalar](workers int, groups []TRSMGroup[T]) error {
+	for i, g := range groups {
+		if err := TRSMParallel(workers, g.Side, g.Uplo, g.TransA, g.Diag, g.Alpha, g.A, g.B); err != nil {
+			return fmt.Errorf("iatf: group %d: %w", i, err)
+		}
+	}
+	return nil
+}

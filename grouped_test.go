@@ -1,0 +1,95 @@
+package iatf
+
+import (
+	"math/rand"
+	"testing"
+
+	"iatf/internal/matrix"
+)
+
+// Grouped GEMM over heterogeneous shapes must match per-group oracles.
+func TestGEMMGrouped(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	type shape struct{ count, n int }
+	shapes := []shape{{10, 3}, {6, 8}, {4, 15}}
+	var groups []GEMMGroup[float64]
+	var wants []*Batch[float64]
+	for _, s := range shapes {
+		a := randBatch[float64](rng, s.count, s.n, s.n)
+		b := randBatch[float64](rng, s.count, s.n, s.n)
+		c := randBatch[float64](rng, s.count, s.n, s.n)
+		want := &Batch[float64]{inner: c.inner.Clone()}
+		matrix.RefGEMMBatch(NoTrans, NoTrans, 2.0, a.inner, b.inner, 1.0, want.inner)
+		wants = append(wants, want)
+		groups = append(groups, GEMMGroup[float64]{
+			TransA: NoTrans, TransB: NoTrans, Alpha: 2, Beta: 1,
+			A: Pack(a), B: Pack(b), C: Pack(c),
+		})
+	}
+	if err := GEMMGrouped(2, groups); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range groups {
+		got := g.C.Unpack()
+		if !matrix.WithinTol(got.Data(), wants[i].Data(), 1e-10) {
+			t.Errorf("group %d: max diff %g", i, matrix.MaxAbsDiff(got.Data(), wants[i].Data()))
+		}
+	}
+}
+
+func TestTRSMGrouped(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type shape struct{ count, m, n int }
+	shapes := []shape{{8, 4, 4}, {5, 9, 3}}
+	var groups []TRSMGroup[float32]
+	var wants []*Batch[float32]
+	for _, s := range shapes {
+		a := randTriBatch[float32](rng, s.count, s.m)
+		b := randBatch[float32](rng, s.count, s.m, s.n)
+		want := &Batch[float32]{inner: b.inner.Clone()}
+		matrix.RefTRSMBatch(Left, Lower, NoTrans, NonUnit, float32(1), a.inner, want.inner)
+		wants = append(wants, want)
+		groups = append(groups, TRSMGroup[float32]{
+			Side: Left, Uplo: Lower, TransA: NoTrans, Diag: NonUnit, Alpha: 1,
+			A: Pack(a), B: Pack(b),
+		})
+	}
+	if err := TRSMGrouped(1, groups); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range groups {
+		got := g.B.Unpack()
+		if !matrix.WithinTol(got.Data(), wants[i].Data(), 1e-3) {
+			t.Errorf("group %d: max diff %g", i, matrix.MaxAbsDiff(got.Data(), wants[i].Data()))
+		}
+	}
+}
+
+// A broken group must be reported with its index.
+func TestGroupedErrorReportsIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	good := GEMMGroup[float64]{
+		TransA: NoTrans, TransB: NoTrans, Alpha: 1, Beta: 1,
+		A: Pack(randBatch[float64](rng, 2, 2, 2)),
+		B: Pack(randBatch[float64](rng, 2, 2, 2)),
+		C: Pack(randBatch[float64](rng, 2, 2, 2)),
+	}
+	bad := good
+	bad.B = Pack(randBatch[float64](rng, 2, 5, 2)) // shape mismatch
+	err := GEMMGrouped(1, []GEMMGroup[float64]{good, bad})
+	if err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+	if want := "group 1"; !contains(err.Error(), want) {
+		t.Errorf("error %q lacks %q", err, want)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

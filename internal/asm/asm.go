@@ -1,0 +1,237 @@
+// Package asm defines the ARMv8-NEON-like vector instruction IR that the
+// IATF install-time stage generates, optimizes and (in this reproduction)
+// interprets and times. The instruction set is exactly the subset that
+// appears in the paper's generated kernels (Figure 5): quad-register
+// loads/stores, vector multiply and fused multiply-add/subtract (plain and
+// by-element forms), pointer arithmetic, broadcast loads and prefetch.
+//
+// Memory operands use *element* offsets internally; the printer renders the
+// byte offsets real ARMv8 assembly would carry.
+package asm
+
+import "fmt"
+
+// Op enumerates the modeled instructions.
+type Op uint8
+
+const (
+	NOP Op = iota
+	// Memory.
+	LDR  // ldr qD, [P, #off]          — load one 128-bit register
+	LDP  // ldp qD, qD2, [P, #off]     — load a pair of registers
+	STR  // str qD, [P, #off]
+	STP  // stp qD, qD2, [P, #off]
+	LD1R // ld1r {vD}, [P, #off]       — load scalar, broadcast to all lanes
+	PRFM // prfm pldl1keep, [P, #off]  — software prefetch, no arch effect
+	// Vector arithmetic.
+	FMUL  // vD = vA * vB
+	FMLA  // vD += vA * vB
+	FMLS  // vD -= vA * vB
+	FADD  // vD = vA + vB
+	FSUB  // vD = vA - vB
+	FDIV  // vD = vA / vB (long latency; kernels avoid it by design)
+	FMULe // vD = vA * vB[lane]        — by-element form (baseline kernels)
+	FMLAe // vD += vA * vB[lane]
+	FMLSe // vD -= vA * vB[lane]
+	MOVI  // vD = 0
+	MOVV  // vD = vA (register move, NEON orr alias)
+	// Scalar/pointer arithmetic.
+	ADDI // P += #off (element units)
+)
+
+var opNames = map[Op]string{
+	NOP: "nop", LDR: "ldr", LDP: "ldp", STR: "str", STP: "stp",
+	LD1R: "ld1r", PRFM: "prfm", FMUL: "fmul", FMLA: "fmla", FMLS: "fmls",
+	FADD: "fadd", FSUB: "fsub", FDIV: "fdiv", FMULe: "fmul", FMLAe: "fmla",
+	FMLSe: "fmls", MOVI: "movi", MOVV: "mov", ADDI: "add",
+}
+
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsMem reports whether the op touches memory.
+func (o Op) IsMem() bool {
+	switch o {
+	case LDR, LDP, STR, STP, LD1R, PRFM:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the op reads memory into registers.
+func (o Op) IsLoad() bool {
+	switch o {
+	case LDR, LDP, LD1R:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the op writes memory.
+func (o Op) IsStore() bool { return o == STR || o == STP }
+
+// IsFP reports whether the op executes on a floating-point pipe.
+func (o Op) IsFP() bool {
+	switch o {
+	case FMUL, FMLA, FMLS, FADD, FSUB, FDIV, FMULe, FMLAe, FMLSe, MOVI, MOVV:
+		return true
+	}
+	return false
+}
+
+// IsAcc reports whether the destination register is also a source
+// (accumulating forms).
+func (o Op) IsAcc() bool {
+	switch o {
+	case FMLA, FMLS, FMLAe, FMLSe:
+		return true
+	}
+	return false
+}
+
+// PReg is a pointer (address) register. The enum fixes the calling
+// convention of every generated kernel.
+type PReg uint8
+
+const (
+	PA     PReg = iota // packed A panel
+	PB                 // packed B panel
+	PC                 // C (output) block
+	PAlpha             // scalar parameter block (alpha, and re/im for complex)
+	PX                 // TRSM: previously solved X panels
+	P5                 // scratch
+	P6                 // scratch
+	P7                 // scratch
+	NumPRegs
+)
+
+var pregNames = [NumPRegs]string{"pA", "pB", "pC", "pAl", "pX", "p5", "p6", "p7"}
+
+func (p PReg) String() string {
+	if int(p) < len(pregNames) {
+		return pregNames[p]
+	}
+	return fmt.Sprintf("p?%d", uint8(p))
+}
+
+// NumVRegs is the architectural vector register count (ARMv8: V0–V31).
+const NumVRegs = 32
+
+// Instr is one IR instruction. Field use by op class:
+//
+//   - loads: D (and D2 for LDP) destinations, P base, Off element offset
+//   - stores: D (and D2 for STP) sources, P base, Off element offset
+//   - arithmetic: D destination (and source for accumulating ops), A and B
+//     sources, Lane for by-element forms
+//   - ADDI: P destination and source, Off element increment
+type Instr struct {
+	Op      Op
+	D, D2   uint8
+	A, B    uint8
+	Lane    uint8
+	P       PReg
+	Off     int32
+	Comment string
+}
+
+// RegMask is a dependence bitmask: bits 0–31 are V0–V31, bits 32–39 the
+// pointer registers.
+type RegMask uint64
+
+func vbit(r uint8) RegMask           { return 1 << r }
+func pbit(p PReg) RegMask            { return 1 << (32 + uint(p)) }
+func (m RegMask) Has(r RegMask) bool { return m&r != 0 }
+
+// Reads returns the register-read set of the instruction.
+func (in Instr) Reads() RegMask {
+	var m RegMask
+	switch in.Op {
+	case LDR, LDP, LD1R, PRFM:
+		m |= pbit(in.P)
+	case STR:
+		m |= pbit(in.P) | vbit(in.D)
+	case STP:
+		m |= pbit(in.P) | vbit(in.D) | vbit(in.D2)
+	case FMUL, FMLA, FMLS, FADD, FSUB, FDIV, FMULe, FMLAe, FMLSe:
+		m |= vbit(in.A) | vbit(in.B)
+		if in.Op.IsAcc() {
+			m |= vbit(in.D)
+		}
+	case MOVV:
+		m |= vbit(in.A)
+	case ADDI:
+		m |= pbit(in.P)
+	}
+	return m
+}
+
+// Writes returns the register-write set of the instruction.
+func (in Instr) Writes() RegMask {
+	var m RegMask
+	switch in.Op {
+	case LDR, LD1R:
+		m = vbit(in.D)
+	case LDP:
+		m = vbit(in.D) | vbit(in.D2)
+	case FMUL, FMLA, FMLS, FADD, FSUB, FDIV, FMULe, FMLAe, FMLSe, MOVI, MOVV:
+		m = vbit(in.D)
+	case ADDI:
+		m = pbit(in.P)
+	}
+	return m
+}
+
+// DependsOn reports whether instruction b must stay after instruction a:
+// any register RAW/WAR/WAW hazard, or a memory-ordering hazard (stores are
+// ordering barriers against every other memory operation; prefetches are
+// not).
+func DependsOn(a, b Instr) bool {
+	if b.Reads().Has(a.Writes()) || // RAW
+		b.Writes().Has(a.Reads()) || // WAR
+		b.Writes().Has(a.Writes()) && b.Writes() != 0 { // WAW
+		return true
+	}
+	aMem := a.Op.IsMem() && a.Op != PRFM
+	bMem := b.Op.IsMem() && b.Op != PRFM
+	if aMem && bMem && (a.Op.IsStore() || b.Op.IsStore()) {
+		return true
+	}
+	return false
+}
+
+// Prog is an instruction sequence — one generated kernel body.
+type Prog []Instr
+
+// FlopCount returns the number of lane-wise arithmetic instructions
+// (multiply-accumulate counts once; the caller scales by lanes and by 2 for
+// fused ops when converting to FLOPs).
+func (p Prog) FlopCount() (fma, other int) {
+	for _, in := range p {
+		switch in.Op {
+		case FMLA, FMLS, FMLAe, FMLSe:
+			fma++
+		case FMUL, FADD, FSUB, FDIV, FMULe:
+			other++
+		}
+	}
+	return
+}
+
+// Counts returns the number of memory and floating-point instructions —
+// the quantities the paper's CMAR analysis (Eq. 2/3) reasons about.
+func (p Prog) Counts() (mem, fp int) {
+	for _, in := range p {
+		switch {
+		case in.Op == PRFM || in.Op == ADDI || in.Op == NOP:
+		case in.Op.IsMem():
+			mem++
+		case in.Op.IsFP():
+			fp++
+		}
+	}
+	return
+}

@@ -1,0 +1,186 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op                        Op
+		mem, load, store, fp, acc bool
+	}{
+		{LDR, true, true, false, false, false},
+		{LDP, true, true, false, false, false},
+		{STR, true, false, true, false, false},
+		{STP, true, false, true, false, false},
+		{LD1R, true, true, false, false, false},
+		{PRFM, true, false, false, false, false},
+		{FMUL, false, false, false, true, false},
+		{FMLA, false, false, false, true, true},
+		{FMLS, false, false, false, true, true},
+		{FMLAe, false, false, false, true, true},
+		{FMULe, false, false, false, true, false},
+		{MOVI, false, false, false, true, false},
+		{ADDI, false, false, false, false, false},
+		{NOP, false, false, false, false, false},
+	}
+	for _, c := range cases {
+		if c.op.IsMem() != c.mem || c.op.IsLoad() != c.load || c.op.IsStore() != c.store ||
+			c.op.IsFP() != c.fp || c.op.IsAcc() != c.acc {
+			t.Errorf("%v: mem=%v load=%v store=%v fp=%v acc=%v", c.op,
+				c.op.IsMem(), c.op.IsLoad(), c.op.IsStore(), c.op.IsFP(), c.op.IsAcc())
+		}
+	}
+}
+
+func TestReadsWrites(t *testing.T) {
+	ldp := Instr{Op: LDP, D: 0, D2: 1, P: PA}
+	if !ldp.Writes().Has(vbit(0)) || !ldp.Writes().Has(vbit(1)) {
+		t.Error("LDP writes both destinations")
+	}
+	if !ldp.Reads().Has(pbit(PA)) {
+		t.Error("LDP reads its base pointer")
+	}
+	fmla := Instr{Op: FMLA, D: 16, A: 0, B: 8}
+	if !fmla.Reads().Has(vbit(16)) {
+		t.Error("FMLA reads its accumulator")
+	}
+	if !fmla.Reads().Has(vbit(0)) || !fmla.Reads().Has(vbit(8)) {
+		t.Error("FMLA reads both operands")
+	}
+	if !fmla.Writes().Has(vbit(16)) {
+		t.Error("FMLA writes its accumulator")
+	}
+	fmul := Instr{Op: FMUL, D: 16, A: 0, B: 8}
+	if fmul.Reads().Has(vbit(16)) {
+		t.Error("FMUL must not read its destination")
+	}
+	addi := Instr{Op: ADDI, P: PB, Off: 4}
+	if !addi.Reads().Has(pbit(PB)) || !addi.Writes().Has(pbit(PB)) {
+		t.Error("ADDI reads and writes its pointer")
+	}
+	str := Instr{Op: STR, D: 3, P: PC}
+	if !str.Reads().Has(vbit(3)) || str.Writes() != 0 {
+		t.Error("STR reads its data register and writes nothing")
+	}
+}
+
+func TestDependsOn(t *testing.T) {
+	load := Instr{Op: LDR, D: 0, P: PA}
+	use := Instr{Op: FMUL, D: 16, A: 0, B: 8}
+	if !DependsOn(load, use) {
+		t.Error("RAW: fmul depends on load of its operand")
+	}
+	if DependsOn(use, Instr{Op: FMUL, D: 17, A: 1, B: 9}) {
+		t.Error("independent fmuls must not depend")
+	}
+	// WAR: a load overwriting a register a previous op reads.
+	if !DependsOn(use, Instr{Op: LDR, D: 0, P: PA}) {
+		t.Error("WAR: reload of a consumed register must stay after the consumer")
+	}
+	// Pointer increment orders against subsequent loads from that pointer.
+	inc := Instr{Op: ADDI, P: PA, Off: 4}
+	if !DependsOn(inc, load) || !DependsOn(load, inc) {
+		t.Error("pointer increment must order against loads via that pointer")
+	}
+	// Store/load memory ordering is conservative.
+	st := Instr{Op: STR, D: 5, P: PC}
+	ld := Instr{Op: LDR, D: 6, P: PB}
+	if !DependsOn(st, ld) || !DependsOn(ld, st) {
+		t.Error("stores are memory barriers in both directions")
+	}
+	// Prefetch is not an ordering barrier.
+	if DependsOn(Instr{Op: PRFM, P: PC}, ld) {
+		t.Error("prefetch must not order against loads")
+	}
+	// Two loads never conflict (kernels are store-free until SAVE).
+	if DependsOn(load, Instr{Op: LDR, D: 7, P: PB}) {
+		t.Error("independent loads must not depend")
+	}
+}
+
+func TestFormatMatchesFigure5Style(t *testing.T) {
+	s := SyntaxFor(8)
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: LDP, D: 8, D2: 9, P: PB}, "ldp q8, q9, [pB]"},
+		{Instr{Op: ADDI, P: PB, Off: 4}, "add pB, pB, #32"},
+		{Instr{Op: FMUL, D: 16, A: 0, B: 8}, "fmul v16.2d, v0.2d, v8.2d"},
+		{Instr{Op: FMLA, D: 31, A: 3, B: 11}, "fmla v31.2d, v3.2d, v11.2d"},
+		{Instr{Op: FMLS, D: 20, A: 1, B: 9}, "fmls v20.2d, v1.2d, v9.2d"},
+		{Instr{Op: LDR, D: 0, P: PA, Off: 2}, "ldr q0, [pA, #16]"},
+		{Instr{Op: STR, D: 0, P: PC}, "str q0, [pC]"},
+		{Instr{Op: STP, D: 0, D2: 1, P: PC, Off: 4}, "stp q0, q1, [pC, #32]"},
+		{Instr{Op: PRFM, P: PC}, "prfm pldl1keep, [pC]"},
+		{Instr{Op: LD1R, D: 30, P: PAlpha}, "ld1r {v30.2d}, [pAl]"},
+		{Instr{Op: MOVI, D: 16}, "movi v16.16b, #0"},
+	}
+	for _, c := range cases {
+		if got := s.Format(c.in); got != c.want {
+			t.Errorf("Format = %q want %q", got, c.want)
+		}
+	}
+	// float32 arrangement and by-element lane reference.
+	s32 := SyntaxFor(4)
+	got := s32.Format(Instr{Op: FMLAe, D: 16, A: 0, B: 8, Lane: 2})
+	if got != "fmla v16.4s, v0.4s, v8.s[2]" {
+		t.Errorf("by-element format = %q", got)
+	}
+	if got := s32.Format(Instr{Op: ADDI, P: PA, Off: 4}); got != "add pA, pA, #16" {
+		t.Errorf("float32 byte offset = %q", got)
+	}
+}
+
+func TestFormatProgAndComments(t *testing.T) {
+	p := Prog{
+		{Op: LDR, D: 0, P: PA, Comment: "For I"},
+		{Op: FMUL, D: 16, A: 0, B: 8},
+	}
+	out := SyntaxFor(8).FormatProg(p)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "// For I") {
+		t.Errorf("comment missing: %q", lines[0])
+	}
+}
+
+func TestProgCounts(t *testing.T) {
+	p := Prog{
+		{Op: LDP, D: 0, D2: 1, P: PA},
+		{Op: ADDI, P: PA, Off: 4},
+		{Op: PRFM, P: PC},
+		{Op: FMUL, D: 16, A: 0, B: 8},
+		{Op: FMLA, D: 17, A: 1, B: 8},
+		{Op: FMLS, D: 18, A: 1, B: 9},
+		{Op: STR, D: 16, P: PC},
+	}
+	mem, fp := p.Counts()
+	if mem != 2 || fp != 3 {
+		t.Errorf("Counts = (%d, %d), want (2, 3)", mem, fp)
+	}
+	fma, other := p.FlopCount()
+	if fma != 2 || other != 1 {
+		t.Errorf("FlopCount = (%d, %d), want (2, 1)", fma, other)
+	}
+}
+
+func TestMOVVClassification(t *testing.T) {
+	mv := Instr{Op: MOVV, D: 3, A: 7}
+	if !MOVV.IsFP() || MOVV.IsMem() || MOVV.IsAcc() {
+		t.Error("MOVV classification")
+	}
+	if !mv.Reads().Has(vbit(7)) || !mv.Writes().Has(vbit(3)) {
+		t.Error("MOVV reads A and writes D")
+	}
+	if MOVV.String() != "mov" {
+		t.Errorf("MOVV name %q", MOVV)
+	}
+	if got := SyntaxFor(8).Format(mv); got != "mov v3.16b, v7.16b" {
+		t.Errorf("MOVV format %q", got)
+	}
+}

@@ -1,0 +1,77 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Syntax carries the per-data-type details needed to render the IR as
+// ARMv8 assembly text: the lane arrangement specifier and the element size
+// used to convert element offsets into byte offsets.
+type Syntax struct {
+	Arr       string // "4s" for float32 lanes, "2d" for float64 lanes
+	LaneRef   string // "s" or "d"
+	ElemBytes int
+}
+
+// SyntaxFor returns the assembly syntax for a real element width in bytes.
+func SyntaxFor(elemBytes int) Syntax {
+	if elemBytes == 4 {
+		return Syntax{Arr: "4s", LaneRef: "s", ElemBytes: 4}
+	}
+	return Syntax{Arr: "2d", LaneRef: "d", ElemBytes: 8}
+}
+
+func (s Syntax) addr(p PReg, off int32) string {
+	if off == 0 {
+		return fmt.Sprintf("[%s]", p)
+	}
+	return fmt.Sprintf("[%s, #%d]", p, int(off)*s.ElemBytes)
+}
+
+// Format renders one instruction as ARMv8-style assembly.
+func (s Syntax) Format(in Instr) string {
+	var body string
+	switch in.Op {
+	case NOP:
+		body = "nop"
+	case LDR:
+		body = fmt.Sprintf("ldr q%d, %s", in.D, s.addr(in.P, in.Off))
+	case LDP:
+		body = fmt.Sprintf("ldp q%d, q%d, %s", in.D, in.D2, s.addr(in.P, in.Off))
+	case STR:
+		body = fmt.Sprintf("str q%d, %s", in.D, s.addr(in.P, in.Off))
+	case STP:
+		body = fmt.Sprintf("stp q%d, q%d, %s", in.D, in.D2, s.addr(in.P, in.Off))
+	case LD1R:
+		body = fmt.Sprintf("ld1r {v%d.%s}, %s", in.D, s.Arr, s.addr(in.P, in.Off))
+	case PRFM:
+		body = fmt.Sprintf("prfm pldl1keep, %s", s.addr(in.P, in.Off))
+	case FMUL, FMLA, FMLS, FADD, FSUB, FDIV:
+		body = fmt.Sprintf("%s v%d.%s, v%d.%s, v%d.%s", in.Op, in.D, s.Arr, in.A, s.Arr, in.B, s.Arr)
+	case FMULe, FMLAe, FMLSe:
+		body = fmt.Sprintf("%s v%d.%s, v%d.%s, v%d.%s[%d]", in.Op, in.D, s.Arr, in.A, s.Arr, in.B, s.LaneRef, in.Lane)
+	case MOVI:
+		body = fmt.Sprintf("movi v%d.16b, #0", in.D)
+	case MOVV:
+		body = fmt.Sprintf("mov v%d.16b, v%d.16b", in.D, in.A)
+	case ADDI:
+		body = fmt.Sprintf("add %s, %s, #%d", in.P, in.P, int(in.Off)*s.ElemBytes)
+	default:
+		body = in.Op.String()
+	}
+	if in.Comment != "" {
+		return fmt.Sprintf("%-40s // %s", body, in.Comment)
+	}
+	return body
+}
+
+// FormatProg renders a whole kernel body, one instruction per line.
+func (s Syntax) FormatProg(p Prog) string {
+	var b strings.Builder
+	for _, in := range p {
+		b.WriteString(s.Format(in))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package asm
+
+import (
+	"fmt"
+
+	"iatf/internal/vec"
+)
+
+// VM interprets kernel IR against a flat memory of E elements, mirroring a
+// NEON register file. It is the functional backend that proves generated
+// (and optimizer-rescheduled) kernels compute the right answer, and its
+// Trace hook feeds the cycle-level pipeline model.
+type VM[E vec.Float] struct {
+	V   [NumVRegs]vec.V[E]
+	P   [NumPRegs]int // element offsets into Mem
+	Mem []E
+
+	// Trace, when non-nil, is invoked for every executed instruction.
+	// addr is the element offset touched by memory operations and -1
+	// otherwise.
+	Trace func(in Instr, addr int)
+}
+
+// Reset clears registers and pointers (memory is left alone).
+func (m *VM[E]) Reset() {
+	m.V = [NumVRegs]vec.V[E]{}
+	m.P = [NumPRegs]int{}
+}
+
+func (m *VM[E]) load(r uint8, addr, vl int) error {
+	if addr < 0 || addr+vl > len(m.Mem) {
+		return fmt.Errorf("load of %d elements at %d outside memory of %d", vl, addr, len(m.Mem))
+	}
+	m.V[r] = vec.Load(m.Mem[addr:], vl)
+	return nil
+}
+
+func (m *VM[E]) store(r uint8, addr, vl int) error {
+	if addr < 0 || addr+vl > len(m.Mem) {
+		return fmt.Errorf("store of %d elements at %d outside memory of %d", vl, addr, len(m.Mem))
+	}
+	vec.Store(m.Mem[addr:], m.V[r], vl)
+	return nil
+}
+
+// Run executes the program. Execution stops at the first fault, which is
+// reported with its instruction index — a generated kernel faulting is
+// always a generator bug, so the error is made easy to trace.
+func (m *VM[E]) Run(p Prog) error {
+	vl := vec.Lanes[E]()
+	for idx, in := range p {
+		addr := -1
+		if in.Op.IsMem() {
+			addr = m.P[in.P] + int(in.Off)
+		}
+		var err error
+		switch in.Op {
+		case NOP, PRFM:
+			// no architectural effect
+		case LDR:
+			err = m.load(in.D, addr, vl)
+		case LDP:
+			if err = m.load(in.D, addr, vl); err == nil {
+				err = m.load(in.D2, addr+vl, vl)
+			}
+		case STR:
+			err = m.store(in.D, addr, vl)
+		case STP:
+			if err = m.store(in.D, addr, vl); err == nil {
+				err = m.store(in.D2, addr+vl, vl)
+			}
+		case LD1R:
+			if addr < 0 || addr >= len(m.Mem) {
+				err = fmt.Errorf("ld1r at %d outside memory of %d", addr, len(m.Mem))
+			} else {
+				m.V[in.D] = vec.Dup(m.Mem[addr])
+			}
+		case FMUL:
+			m.V[in.D] = vec.Mul(m.V[in.A], m.V[in.B])
+		case FMLA:
+			m.V[in.D] = vec.FMA(m.V[in.D], m.V[in.A], m.V[in.B])
+		case FMLS:
+			m.V[in.D] = vec.FMS(m.V[in.D], m.V[in.A], m.V[in.B])
+		case FADD:
+			m.V[in.D] = vec.Add(m.V[in.A], m.V[in.B])
+		case FSUB:
+			m.V[in.D] = vec.Sub(m.V[in.A], m.V[in.B])
+		case FDIV:
+			m.V[in.D] = vec.Div(m.V[in.A], m.V[in.B])
+		case FMULe:
+			m.V[in.D] = vec.Mul(m.V[in.A], vec.Dup(m.V[in.B][in.Lane]))
+		case FMLAe:
+			m.V[in.D] = vec.FMA(m.V[in.D], m.V[in.A], vec.Dup(m.V[in.B][in.Lane]))
+		case FMLSe:
+			m.V[in.D] = vec.FMS(m.V[in.D], m.V[in.A], vec.Dup(m.V[in.B][in.Lane]))
+		case MOVI:
+			m.V[in.D] = vec.Zero[E]()
+		case MOVV:
+			m.V[in.D] = m.V[in.A]
+		case ADDI:
+			m.P[in.P] += int(in.Off)
+		default:
+			err = fmt.Errorf("unknown op %v", in.Op)
+		}
+		if err != nil {
+			return fmt.Errorf("asm: instr %d (%s): %w", idx, SyntaxFor(8).Format(in), err)
+		}
+		if m.Trace != nil {
+			m.Trace(in, addr)
+		}
+	}
+	return nil
+}

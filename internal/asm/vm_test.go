@@ -1,0 +1,172 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+func newVM64(mem []float64) *VM[float64] {
+	return &VM[float64]{Mem: mem}
+}
+
+func TestVMLoadComputeStore(t *testing.T) {
+	// mem: A = [1 2], B = [3 4], C at 4.
+	m := newVM64([]float64{1, 2, 3, 4, 0, 0})
+	m.P[PA] = 0
+	m.P[PB] = 2
+	m.P[PC] = 4
+	p := Prog{
+		{Op: LDR, D: 0, P: PA},
+		{Op: LDR, D: 1, P: PB},
+		{Op: FMUL, D: 2, A: 0, B: 1}, // [3, 8]
+		{Op: FMLA, D: 2, A: 0, B: 1}, // [6, 16]
+		{Op: FMLS, D: 2, A: 0, B: 0}, // [5, 12]
+		{Op: STR, D: 2, P: PC},
+	}
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[4] != 5 || m.Mem[5] != 12 {
+		t.Errorf("C = %v, want [5 12]", m.Mem[4:6])
+	}
+}
+
+func TestVMLDPAndSTPPairs(t *testing.T) {
+	m := newVM64([]float64{1, 2, 3, 4, 0, 0, 0, 0})
+	p := Prog{
+		{Op: LDP, D: 0, D2: 1, P: PA},
+		{Op: STP, D: 1, D2: 0, P: PA, Off: 4}, // swapped pair
+	}
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 4, 1, 2}
+	for i, w := range want {
+		if m.Mem[4+i] != w {
+			t.Errorf("mem[%d] = %v want %v", 4+i, m.Mem[4+i], w)
+		}
+	}
+}
+
+func TestVMLD1RBroadcast(t *testing.T) {
+	m := &VM[float32]{Mem: []float32{0, 7}}
+	p := Prog{{Op: LD1R, D: 3, P: PAlpha, Off: 1}}
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	for lane := 0; lane < 4; lane++ {
+		if m.V[3][lane] != 7 {
+			t.Errorf("lane %d = %v", lane, m.V[3][lane])
+		}
+	}
+}
+
+func TestVMByElementForms(t *testing.T) {
+	m := &VM[float32]{Mem: []float32{1, 2, 3, 4, 10, 20, 30, 40}}
+	p := Prog{
+		{Op: LDR, D: 0, P: PA},                 // [1 2 3 4]
+		{Op: LDR, D: 1, P: PA, Off: 4},         // [10 20 30 40]
+		{Op: FMULe, D: 2, A: 0, B: 1, Lane: 2}, // [30 60 90 120]
+		{Op: FMLAe, D: 2, A: 0, B: 1, Lane: 0}, // +[10 20 30 40]
+		{Op: FMLSe, D: 2, A: 0, B: 1, Lane: 1}, // -[20 40 60 80]
+	}
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	want := [4]float32{20, 40, 60, 80}
+	if m.V[2] != want {
+		t.Errorf("V2 = %v want %v", m.V[2], want)
+	}
+}
+
+func TestVMADDIAndOffsets(t *testing.T) {
+	m := newVM64([]float64{1, 2, 3, 4})
+	p := Prog{
+		{Op: ADDI, P: PA, Off: 2},
+		{Op: LDR, D: 0, P: PA},
+	}
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if m.V[0][0] != 3 || m.V[0][1] != 4 {
+		t.Errorf("V0 = %v", m.V[0])
+	}
+}
+
+func TestVMMOVIZeroesAndArith(t *testing.T) {
+	m := newVM64([]float64{2, 3})
+	p := Prog{
+		{Op: LDR, D: 0, P: PA},
+		{Op: MOVI, D: 1},
+		{Op: FADD, D: 1, A: 1, B: 0}, // [2 3]
+		{Op: FSUB, D: 2, A: 1, B: 0}, // [0 0]
+		{Op: FDIV, D: 3, A: 1, B: 0}, // [1 1]
+	}
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if m.V[1] != ([4]float64{2, 3, 0, 0}) {
+		t.Errorf("FADD = %v", m.V[1])
+	}
+	if m.V[2] != ([4]float64{}) {
+		t.Errorf("FSUB = %v", m.V[2])
+	}
+	if m.V[3][0] != 1 || m.V[3][1] != 1 {
+		t.Errorf("FDIV = %v", m.V[3])
+	}
+}
+
+func TestVMFaultReporting(t *testing.T) {
+	m := newVM64([]float64{1})
+	err := m.Run(Prog{{Op: NOP}, {Op: LDR, D: 0, P: PA}})
+	if err == nil {
+		t.Fatal("out-of-bounds load did not error")
+	}
+	if !strings.Contains(err.Error(), "instr 1") {
+		t.Errorf("error lacks instruction index: %v", err)
+	}
+	if err := m.Run(Prog{{Op: LD1R, D: 0, P: PA, Off: 5}}); err == nil {
+		t.Error("out-of-bounds ld1r did not error")
+	}
+	if err := m.Run(Prog{{Op: STR, D: 0, P: PA, Off: -3}}); err == nil {
+		t.Error("negative-address store did not error")
+	}
+}
+
+func TestVMTraceHook(t *testing.T) {
+	m := newVM64([]float64{1, 2, 3, 4})
+	var ops []Op
+	var addrs []int
+	m.Trace = func(in Instr, addr int) {
+		ops = append(ops, in.Op)
+		addrs = append(addrs, addr)
+	}
+	p := Prog{
+		{Op: LDR, D: 0, P: PA, Off: 2},
+		{Op: FMUL, D: 1, A: 0, B: 0},
+		{Op: PRFM, P: PA},
+	}
+	if err := m.Run(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 || ops[0] != LDR || ops[1] != FMUL || ops[2] != PRFM {
+		t.Errorf("trace ops = %v", ops)
+	}
+	if addrs[0] != 2 || addrs[1] != -1 || addrs[2] != 0 {
+		t.Errorf("trace addrs = %v", addrs)
+	}
+}
+
+func TestVMReset(t *testing.T) {
+	m := newVM64([]float64{5, 6})
+	if err := m.Run(Prog{{Op: LDR, D: 7, P: PA}, {Op: ADDI, P: PB, Off: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	m.Reset()
+	if m.V[7] != ([4]float64{}) || m.P[PB] != 0 {
+		t.Error("Reset did not clear state")
+	}
+	if m.Mem[0] != 5 {
+		t.Error("Reset must not clear memory")
+	}
+}

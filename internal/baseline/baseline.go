@@ -1,0 +1,386 @@
+// Package baseline models the libraries the paper compares IATF against
+// (§6, Figures 7–10): looped calls to OpenBLAS GEMM/TRSM, the ARMPL
+// batched interface, and LIBXSMM's specialized small-matrix kernels. Each
+// model streams the instruction sequence its library would execute on one
+// conventional (column-major, per-matrix) batch into the pipeline model —
+// it produces timing, not results; the functional semantics of every
+// baseline are the matrix.Ref oracles.
+//
+// The models encode the structural properties the paper's analysis
+// attributes the baselines' small-size weakness to (§1):
+//
+//  1. per-call overhead — parameter validation and dispatch paid per
+//     matrix by looped interfaces, once per batch by batched ones;
+//  2. partial SIMD lanes — vectorization along the M dimension of a
+//     single matrix, so M < vector-length strips waste lanes while paying
+//     full vector-instruction cost, and tiny tiles expose the FMA latency
+//     through short accumulator chains;
+//  3. edge processing — tail strips and narrow column tiles run at the
+//     same instruction cost with fewer useful flops;
+//  4. packing overhead — classic GEMMs pack A and B panels even when the
+//     matrix is a handful of elements (LIBXSMM's selling point is
+//     skipping this, which the model reflects);
+//  5. unvectorized triangular solves with per-element division — the ARM
+//     FDIV latency the IATF reciprocal packing avoids.
+package baseline
+
+import (
+	"iatf/internal/asm"
+	"iatf/internal/machine"
+	"iatf/internal/vec"
+)
+
+// GEMMModel parameterizes one library's batched-GEMM behaviour.
+type GEMMModel struct {
+	Name string
+	// CallOverhead is charged once per library call: per matrix for
+	// looped interfaces, once per batch for batched ones.
+	CallOverhead int64
+	// PerMatrix is the light dispatch cost batched interfaces pay per
+	// matrix (pointer arithmetic, size checks, kernel selection).
+	PerMatrix int64
+	// Batched marks batch interfaces (CallOverhead once).
+	Batched bool
+	// Pack emits the classic A/B panel packing copies per matrix.
+	Pack bool
+	// StripRegs is the height of the M-vectorized register strip (vector
+	// registers per column strip of the micro-kernel).
+	StripRegs int
+	// TileCols is the micro-kernel width in columns.
+	TileCols int
+}
+
+// OpenBLASLoop models looping over OpenBLAS sgemm/dgemm/... calls: full
+// per-call overhead and per-matrix packing — the paper's weakest
+// comparator on small sizes.
+func OpenBLASLoop() GEMMModel {
+	return GEMMModel{Name: "OpenBLAS-loop", CallOverhead: 420, Pack: true,
+		StripRegs: 4, TileCols: 4}
+}
+
+// ARMPLBatch models the ARMPL batched GEMM interface: one call overhead
+// for the whole batch, light per-matrix dispatch, conventional kernels
+// underneath (no SIMD-friendly layout).
+func ARMPLBatch() GEMMModel {
+	return GEMMModel{Name: "ARMPL-batch", CallOverhead: 420, PerMatrix: 70,
+		Batched: true, Pack: true, StripRegs: 4, TileCols: 4}
+}
+
+// LIBXSMM models LIBXSMM's dispatch of a JIT-specialized kernel per fixed
+// shape: minimal dispatch, no packing, no parameter checks. It supports
+// only real types and has no TRSM, as in the paper.
+func LIBXSMM() GEMMModel {
+	return GEMMModel{Name: "LIBXSMM", CallOverhead: 180, PerMatrix: 18,
+		Batched: true, StripRegs: 4, TileCols: 4}
+}
+
+// geometry of a conventional (interleaved complex) matrix element in real
+// components.
+func elemWidth(dt vec.DType) int {
+	if dt.IsComplex() {
+		return 2
+	}
+	return 1
+}
+
+// fpPerMAC is the vector FP instructions one multiply-accumulate on one
+// register strip costs (complex arithmetic on interleaved storage needs
+// four).
+func fpPerMAC(dt vec.DType) int {
+	if dt.IsComplex() {
+		return 4
+	}
+	return 1
+}
+
+// emitter streams synthetic instructions into the pipeline model with a
+// realistic register-dependence shape.
+type emitter struct {
+	sim *machine.Sim
+}
+
+func (e *emitter) load(reg uint8, addr int) {
+	e.sim.Exec(asm.Instr{Op: asm.LDR, D: reg, P: asm.P5}, addr)
+}
+
+func (e *emitter) store(reg uint8, addr int) {
+	e.sim.Exec(asm.Instr{Op: asm.STR, D: reg, P: asm.P6}, addr)
+}
+
+func (e *emitter) fmla(d, a, b uint8) {
+	e.sim.Exec(asm.Instr{Op: asm.FMLAe, D: d, A: a, B: b}, -1)
+}
+
+func (e *emitter) fmul(d, a, b uint8) {
+	e.sim.Exec(asm.Instr{Op: asm.FMUL, D: d, A: a, B: b}, -1)
+}
+
+func (e *emitter) fdiv(d, a, b uint8) {
+	e.sim.Exec(asm.Instr{Op: asm.FDIV, D: d, A: a, B: b}, -1)
+}
+
+// copyRegion streams a packing copy of n elements with eight-deep
+// load/store waves (memcpy-grade memory-level parallelism).
+func (e *emitter) copyRegion(src, dst, n, vl int) {
+	for base := 0; base < n; base += 8 * vl {
+		w := 0
+		for off := base; off < n && w < 8; off += vl {
+			e.load(uint8(w), src+off)
+			w++
+		}
+		w = 0
+		for off := base; off < n && w < 8; off += vl {
+			e.store(uint8(w), dst+off)
+			w++
+		}
+	}
+}
+
+// RunGEMM streams the model's execution of `count` M×N×K matrices through
+// the pipeline model. Matrix data lives at the conventional batch layout:
+// A matrices back to back from address 0, then B, then C, then the pack
+// workspace (element units of the real component type).
+func (m GEMMModel) RunGEMM(sim *machine.Sim, dt vec.DType, M, N, K, count int) {
+	vl := sim.Prof.Lanes(dt.ElemBytes())
+	s := elemWidth(dt)
+	lenA, lenB, lenC := M*K*s, K*N*s, M*N*s
+	aBase, bBase := 0, count*lenA
+	cBase := bBase + count*lenB
+	workA := cBase + count*lenC
+	workB := workA + lenA
+
+	e := &emitter{sim: sim}
+	if m.Batched {
+		sim.AddCycles(m.CallOverhead)
+	}
+	for mi := 0; mi < count; mi++ {
+		if m.Batched {
+			sim.AddCycles(m.PerMatrix)
+		} else {
+			sim.AddCycles(m.CallOverhead)
+		}
+		aB, bB, cB := aBase+mi*lenA, bBase+mi*lenB, cBase+mi*lenC
+		if m.Pack {
+			e.copyRegion(aB, workA, lenA, vl)
+			e.copyRegion(bB, workB, lenB, vl)
+			aB, bB = workA, workB
+		}
+		m.matrixGEMM(e, dt, M, N, K, aB, bB, cB, vl, s)
+	}
+}
+
+// matrixGEMM streams the traditional GOTO-style micro-kernel sweep over
+// one matrix: M-vectorized strips of StripRegs vector registers against
+// TileCols-wide column tiles, scalar-equivalent tail strips, C update
+// with alpha.
+func (m GEMMModel) matrixGEMM(e *emitter, dt vec.DType, M, N, K, aB, bB, cB, vl, s int) {
+	rowsPerReg := vl / s // matrix rows one vector register covers
+	if rowsPerReg < 1 {
+		rowsPerReg = 1
+	}
+	fpMAC := fpPerMAC(dt)
+
+	for j0 := 0; j0 < N; j0 += m.TileCols {
+		nc := min(m.TileCols, N-j0)
+		for i0 := 0; i0 < M; i0 += m.StripRegs * rowsPerReg {
+			rows := min(m.StripRegs*rowsPerReg, M-i0)
+			sv := (rows + rowsPerReg - 1) / rowsPerReg // strip registers
+			// Accumulators: regs 8..8+sv·nc-1 (≤16).
+			for k := 0; k < K; k++ {
+				abuf := uint8((k % 2) * 4)
+				// A strip loads.
+				for r := 0; r < sv; r++ {
+					e.load(abuf+uint8(r), aB+(k*M+i0+r*rowsPerReg)*s)
+				}
+				// B row values (by-element operands).
+				bvals := nc * s
+				bregs := (bvals + vl - 1) / vl
+				for r := 0; r < bregs; r++ {
+					e.load(24+uint8(k%2)+uint8(r)%2, bB+(j0*K+k)*s+r*vl)
+				}
+				// Multiply-accumulate.
+				for c := 0; c < nc; c++ {
+					for r := 0; r < sv; r++ {
+						acc := 8 + uint8(c*sv+r)%16
+						for f := 0; f < fpMAC; f++ {
+							e.sim.Exec(asm.Instr{Op: asm.FMLAe, D: acc, A: abuf + uint8(r), B: 24 + uint8(k%2)}, -1)
+						}
+					}
+				}
+			}
+			// C update: load, scale-accumulate, store per column.
+			for c := 0; c < nc; c++ {
+				for r := 0; r < sv; r++ {
+					addr := cB + ((j0+c)*M+i0+r*rowsPerReg)*s
+					e.load(uint8(r), addr)
+					e.fmla(uint8(r), 8+uint8(c*sv+r)%16, 26)
+					e.store(uint8(r), addr)
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TRSMModel parameterizes one library's looped TRSM behaviour.
+type TRSMModel struct {
+	Name         string
+	CallOverhead int64
+	// VectorizeCols solves groups of vl B-columns simultaneously (the
+	// better traditional implementations); otherwise the solve is scalar
+	// per column, and either way every row pays an FDIV — no reciprocal
+	// packing.
+	VectorizeCols bool
+}
+
+// OpenBLASLoopTRSM models looping over OpenBLAS trsm calls: scalar
+// column-by-column forward substitution with a division per element.
+func OpenBLASLoopTRSM() TRSMModel {
+	return TRSMModel{Name: "OpenBLAS-loop", CallOverhead: 420}
+}
+
+// ARMPLLoopTRSM models looping over ARMPL trsm calls: column-group
+// vectorized substitution, still division-based.
+func ARMPLLoopTRSM() TRSMModel {
+	return TRSMModel{Name: "ARMPL-loop", CallOverhead: 420, VectorizeCols: true}
+}
+
+// RunTRSM streams the model's execution of `count` M×M lower triangular
+// solves against M×N right-hand sides.
+func (m TRSMModel) RunTRSM(sim *machine.Sim, dt vec.DType, M, N, count int) {
+	vl := sim.Prof.Lanes(dt.ElemBytes())
+	s := elemWidth(dt)
+	lenA, lenB := M*M*s, M*N*s
+	aBase, bBase := 0, count*lenA
+	e := &emitter{sim: sim}
+	fpMAC := fpPerMAC(dt)
+
+	colGroup := 1
+	if m.VectorizeCols {
+		colGroup = vl / s
+		if colGroup < 1 {
+			colGroup = 1
+		}
+	}
+	for mi := 0; mi < count; mi++ {
+		sim.AddCycles(m.CallOverhead)
+		aB, bB := aBase+mi*lenA, bBase+mi*lenB
+		if m.VectorizeCols && N > 1 {
+			// The optimized library hoists the diagonal reciprocals out
+			// of the column loop: M divisions per matrix, serialized.
+			for i := 0; i < M; i++ {
+				e.load(1, aB+(i*M+i)*s)
+				for f := 0; f < fpPerDiv(dt); f++ {
+					e.fdiv(30, 30, 1)
+				}
+				e.store(30, aB+(i*M+i)*s)
+			}
+		}
+		for j0 := 0; j0 < N; j0 += colGroup {
+			for i := 0; i < M; i++ {
+				// x_i accumulates in register 8 — a serial dependence
+				// chain, as in the scalar substitution loop.
+				e.load(8, bB+(j0*M+i)*s)
+				for k := 0; k < i; k++ {
+					e.load(0+uint8(k%4), aB+(k*M+i)*s)
+					e.load(4+uint8(k%4), bB+(j0*M+k)*s)
+					for f := 0; f < fpMAC; f++ {
+						e.sim.Exec(asm.Instr{Op: asm.FMLSe, D: 8, A: uint8(k % 4), B: 4 + uint8(k%4)}, -1)
+					}
+				}
+				if m.VectorizeCols && N > 1 {
+					// Multiply by the hoisted reciprocal.
+					e.load(1, aB+(i*M+i)*s)
+					for f := 0; f < fpMAC; f++ {
+						e.fmul(8, 8, 1)
+					}
+				} else {
+					// Divide by the diagonal — the latency IATF's
+					// reciprocal packing removes (complex division
+					// expands to several).
+					e.load(1, aB+(i*M+i)*s)
+					for f := 0; f < fpPerDiv(dt); f++ {
+						e.fdiv(8, 8, 1)
+					}
+				}
+				e.store(8, bB+(j0*M+i)*s)
+			}
+		}
+	}
+}
+
+// fpPerDiv returns division instructions per element solve: complex
+// division expands to two real divisions plus multiplies, modeled as two
+// FDIVs.
+func fpPerDiv(dt vec.DType) int {
+	if dt.IsComplex() {
+		return 2
+	}
+	return 1
+}
+
+// TRMMModel parameterizes a looped triangular-multiply baseline — used by
+// the TRMM extension figure (TRMM is not in the paper's evaluation; the
+// model mirrors the TRSM ones minus the division).
+type TRMMModel struct {
+	Name          string
+	CallOverhead  int64
+	VectorizeCols bool
+}
+
+// OpenBLASLoopTRMM models looping over trmm calls with a scalar
+// column-by-column multiply.
+func OpenBLASLoopTRMM() TRMMModel {
+	return TRMMModel{Name: "OpenBLAS-loop", CallOverhead: 420}
+}
+
+// ARMPLLoopTRMM models looping over vectorized trmm calls.
+func ARMPLLoopTRMM() TRMMModel {
+	return TRMMModel{Name: "ARMPL-loop", CallOverhead: 420, VectorizeCols: true}
+}
+
+// RunTRMM streams the model's execution of `count` M×M lower triangular
+// multiplies against M×N right-hand sides (B := A·B, computed bottom-up).
+func (m TRMMModel) RunTRMM(sim *machine.Sim, dt vec.DType, M, N, count int) {
+	vl := sim.Prof.Lanes(dt.ElemBytes())
+	s := elemWidth(dt)
+	lenA, lenB := M*M*s, M*N*s
+	aBase, bBase := 0, count*lenA
+	e := &emitter{sim: sim}
+	fpMAC := fpPerMAC(dt)
+	colGroup := 1
+	if m.VectorizeCols {
+		colGroup = vl / s
+		if colGroup < 1 {
+			colGroup = 1
+		}
+	}
+	for mi := 0; mi < count; mi++ {
+		sim.AddCycles(m.CallOverhead)
+		aB, bB := aBase+mi*lenA, bBase+mi*lenB
+		for j0 := 0; j0 < N; j0 += colGroup {
+			for i := M - 1; i >= 0; i-- {
+				// acc in register 8: x_i·a_ii + Σ_{k<i} a_ik·x_k.
+				e.load(8, bB+(j0*M+i)*s)
+				e.load(1, aB+(i*M+i)*s)
+				for f := 0; f < fpMAC; f++ {
+					e.fmul(8, 8, 1)
+				}
+				for k := 0; k < i; k++ {
+					e.load(0+uint8(k%4), aB+(k*M+i)*s)
+					e.load(4+uint8(k%4), bB+(j0*M+k)*s)
+					for f := 0; f < fpMAC; f++ {
+						e.sim.Exec(asm.Instr{Op: asm.FMLAe, D: 8, A: uint8(k % 4), B: 4 + uint8(k%4)}, -1)
+					}
+				}
+				e.store(8, bB+(j0*M+i)*s)
+			}
+		}
+	}
+}

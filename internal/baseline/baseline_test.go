@@ -1,0 +1,156 @@
+package baseline
+
+import (
+	"testing"
+
+	"iatf/internal/machine"
+	"iatf/internal/vec"
+)
+
+func newSim(dt vec.DType) *machine.Sim {
+	return machine.NewSim(machine.Kunpeng920(), dt.ElemBytes())
+}
+
+// Per-call overhead must dominate looped interfaces at tiny sizes: the
+// batched model with identical kernels must be faster.
+func TestBatchedAmortizesOverhead(t *testing.T) {
+	for _, dt := range vec.DTypes {
+		loop := newSim(dt)
+		OpenBLASLoop().RunGEMM(loop, dt, 2, 2, 2, 64)
+		batch := newSim(dt)
+		ARMPLBatch().RunGEMM(batch, dt, 2, 2, 2, 64)
+		if batch.Cycles() >= loop.Cycles() {
+			t.Errorf("%v: batch %d ≥ loop %d cycles", dt, batch.Cycles(), loop.Cycles())
+		}
+	}
+}
+
+// LIBXSMM skips packing: its model must stream fewer memory instructions
+// than the packing models for the same problem.
+func TestLIBXSMMSkipsPacking(t *testing.T) {
+	a := newSim(vec.S)
+	LIBXSMM().RunGEMM(a, vec.S, 4, 4, 4, 32)
+	b := newSim(vec.S)
+	ARMPLBatch().RunGEMM(b, vec.S, 4, 4, 4, 32)
+	if a.MemInstrs >= b.MemInstrs {
+		t.Errorf("LIBXSMM mem instrs %d ≥ ARMPL %d", a.MemInstrs, b.MemInstrs)
+	}
+}
+
+// The FP instruction count must scale with the arithmetic: complex
+// multiplies cost 4 vector ops.
+func TestComplexCostsFourOps(t *testing.T) {
+	r := newSim(vec.S)
+	LIBXSMM().RunGEMM(r, vec.S, 4, 4, 4, 8)
+	c := newSim(vec.C)
+	LIBXSMM().RunGEMM(c, vec.C, 4, 4, 4, 8)
+	// Complex: same tile structure but 4 FP per MAC and half the rows per
+	// register (more strips). Expect at least 4× the FP stream.
+	if c.FPInstrs < 4*r.FPInstrs {
+		t.Errorf("complex FP %d < 4× real FP %d", c.FPInstrs, r.FPInstrs)
+	}
+}
+
+// Partial-lane waste: M=2 and M=4 sgemm strips cost the same vector
+// instructions per K step (both one strip), so modeled cycles should be
+// close while useful flops differ 2× — the effect that hands IATF its
+// small-size advantage.
+func TestPartialLaneWaste(t *testing.T) {
+	m2 := newSim(vec.S)
+	LIBXSMM().RunGEMM(m2, vec.S, 2, 2, 2, 64)
+	m4 := newSim(vec.S)
+	LIBXSMM().RunGEMM(m4, vec.S, 4, 4, 4, 64)
+	// 8× the flops for much less than 8× the cycles.
+	if ratio := float64(m4.Cycles()) / float64(m2.Cycles()); ratio > 5 {
+		t.Errorf("4³ costs %.1f× the 2³ cycles; lane waste not modeled", ratio)
+	}
+}
+
+// The scalar OpenBLAS TRSM model pays one division per element; the
+// vectorized ARMPL model hoists reciprocals — M divisions per matrix.
+func TestTRSMDivisionModel(t *testing.T) {
+	const M, N = 8, 8
+	scalar := newSim(vec.S)
+	OpenBLASLoopTRSM().RunTRSM(scalar, vec.S, M, N, 16)
+	vecd := newSim(vec.S)
+	ARMPLLoopTRSM().RunTRSM(vecd, vec.S, M, N, 16)
+	if vecd.Cycles() >= scalar.Cycles() {
+		t.Errorf("vectorized TRSM %d ≥ scalar %d cycles", vecd.Cycles(), scalar.Cycles())
+	}
+}
+
+// Larger matrices must take more cycles, and the per-flop cost must fall
+// (overhead amortization) for every model.
+func TestModelsScaleSensibly(t *testing.T) {
+	models := []GEMMModel{OpenBLASLoop(), ARMPLBatch(), LIBXSMM()}
+	for _, m := range models {
+		small := newSim(vec.D)
+		m.RunGEMM(small, vec.D, 2, 2, 2, 32)
+		large := newSim(vec.D)
+		m.RunGEMM(large, vec.D, 16, 16, 16, 32)
+		if large.Cycles() <= small.Cycles() {
+			t.Errorf("%s: 16³ (%d) not slower than 2³ (%d)", m.Name, large.Cycles(), small.Cycles())
+		}
+		cpfSmall := float64(small.Cycles()) / (2 * 2 * 2 * 2)
+		cpfLarge := float64(large.Cycles()) / (2 * 16 * 16 * 16)
+		if cpfLarge >= cpfSmall {
+			t.Errorf("%s: cycles/flop did not fall with size (%.2f → %.2f)", m.Name, cpfSmall, cpfLarge)
+		}
+	}
+	for _, m := range []TRSMModel{OpenBLASLoopTRSM(), ARMPLLoopTRSM()} {
+		small := newSim(vec.D)
+		m.RunTRSM(small, vec.D, 2, 2, 32)
+		large := newSim(vec.D)
+		m.RunTRSM(large, vec.D, 16, 16, 32)
+		if large.Cycles() <= small.Cycles() {
+			t.Errorf("%s TRSM: 16 (%d) not slower than 2 (%d)", m.Name, large.Cycles(), small.Cycles())
+		}
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	if OpenBLASLoop().Name != "OpenBLAS-loop" || ARMPLBatch().Name != "ARMPL-batch" ||
+		LIBXSMM().Name != "LIBXSMM" {
+		t.Error("GEMM model names")
+	}
+	if OpenBLASLoopTRSM().Name != "OpenBLAS-loop" || ARMPLLoopTRSM().Name != "ARMPL-loop" {
+		t.Error("TRSM model names")
+	}
+}
+
+func TestHelperFunctions(t *testing.T) {
+	if elemWidth(vec.S) != 1 || elemWidth(vec.Z) != 2 {
+		t.Error("elemWidth")
+	}
+	if fpPerMAC(vec.D) != 1 || fpPerMAC(vec.C) != 4 {
+		t.Error("fpPerMAC")
+	}
+	if fpPerDiv(vec.S) != 1 || fpPerDiv(vec.Z) != 2 {
+		t.Error("fpPerDiv")
+	}
+	if min(3, 5) != 3 || min(5, 3) != 3 {
+		t.Error("min")
+	}
+}
+
+// The TRMM loop models must behave like the TRSM ones minus division:
+// vectorized beats scalar, and both scale with size.
+func TestTRMMModels(t *testing.T) {
+	scalar := newSim(vec.S)
+	OpenBLASLoopTRMM().RunTRMM(scalar, vec.S, 8, 8, 16)
+	vecd := newSim(vec.S)
+	ARMPLLoopTRMM().RunTRMM(vecd, vec.S, 8, 8, 16)
+	if vecd.Cycles() >= scalar.Cycles() {
+		t.Errorf("vectorized TRMM %d ≥ scalar %d cycles", vecd.Cycles(), scalar.Cycles())
+	}
+	small := newSim(vec.Z)
+	OpenBLASLoopTRMM().RunTRMM(small, vec.Z, 2, 2, 16)
+	large := newSim(vec.Z)
+	OpenBLASLoopTRMM().RunTRMM(large, vec.Z, 12, 12, 16)
+	if large.Cycles() <= small.Cycles() {
+		t.Error("TRMM model does not scale with size")
+	}
+	if OpenBLASLoopTRMM().Name != "OpenBLAS-loop" || ARMPLLoopTRMM().Name != "ARMPL-loop" {
+		t.Error("TRMM model names")
+	}
+}

@@ -1,0 +1,307 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"iatf/internal/core"
+	"iatf/internal/matrix"
+	"iatf/internal/vec"
+)
+
+// Small, fast evaluation grid for tests.
+func testCfg() Config {
+	return Config{Matrices: 32, Sizes: []int{2, 4, 8, 16, 32}}
+}
+
+func series(t *testing.T, ss []Series, lib string) Series {
+	t.Helper()
+	for _, s := range ss {
+		if s.Lib == lib {
+			return s
+		}
+	}
+	t.Fatalf("series %q missing", lib)
+	return Series{}
+}
+
+// Figure 7's qualitative content: for every data type under NN, IATF
+// leads ARMPL-batch and OpenBLAS-loop at every small size, and
+// OpenBLAS-loop (per-call overhead) trails ARMPL-batch.
+func TestFigure7WhoWins(t *testing.T) {
+	cfg := testCfg()
+	for _, dt := range vec.DTypes {
+		ss, err := GEMMFigure(dt, matrix.NoTrans, matrix.NoTrans, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iatf := series(t, ss, "IATF")
+		armpl := series(t, ss, "ARMPL-batch")
+		obl := series(t, ss, "OpenBLAS-loop")
+		for _, n := range cfg.Sizes {
+			pi, _ := iatf.At(n)
+			pa, _ := armpl.At(n)
+			po, _ := obl.At(n)
+			if pi.GFLOPS <= pa.GFLOPS {
+				t.Errorf("%sgemm n=%d: IATF %.2f ≤ ARMPL %.2f", dt, n, pi.GFLOPS, pa.GFLOPS)
+			}
+			if pi.GFLOPS <= po.GFLOPS {
+				t.Errorf("%sgemm n=%d: IATF %.2f ≤ OpenBLAS %.2f", dt, n, pi.GFLOPS, po.GFLOPS)
+			}
+			if n <= 8 && pa.GFLOPS <= po.GFLOPS {
+				t.Errorf("%sgemm n=%d: ARMPL-batch %.2f ≤ OpenBLAS-loop %.2f (batch interface must amortize call overhead)",
+					dt, n, pa.GFLOPS, po.GFLOPS)
+			}
+		}
+	}
+}
+
+// LIBXSMM's profile from the paper: strong at mid sizes (it may approach
+// or match IATF), but at particularly small sizes IATF keeps a multiple.
+func TestFigure7LIBXSMMShape(t *testing.T) {
+	cfg := testCfg()
+	for _, dt := range []vec.DType{vec.S, vec.D} {
+		ss, err := GEMMFigure(dt, matrix.NoTrans, matrix.NoTrans, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iatf := series(t, ss, "IATF")
+		xsmm := series(t, ss, "LIBXSMM")
+		p2, _ := iatf.At(2)
+		x2, _ := xsmm.At(2)
+		if p2.GFLOPS < 2*x2.GFLOPS {
+			t.Errorf("%sgemm n=2: IATF %.2f not ≥2× LIBXSMM %.2f", dt, p2.GFLOPS, x2.GFLOPS)
+		}
+		// LIBXSMM beats the packing libraries at small-mid sizes.
+		a8, _ := series(t, ss, "ARMPL-batch").At(8)
+		x8, _ := xsmm.At(8)
+		if x8.GFLOPS <= a8.GFLOPS {
+			t.Errorf("%sgemm n=8: LIBXSMM %.2f ≤ ARMPL %.2f", dt, x8.GFLOPS, a8.GFLOPS)
+		}
+	}
+}
+
+// Headline speedups (§1): "up to" ratios must land in the paper's order
+// of magnitude — at least the paper's factor halved, at most a few times
+// it (the baselines are models, not the vendors' binaries).
+func TestHeadlineSpeedupRanges(t *testing.T) {
+	cfg := testCfg()
+	paper := map[vec.DType]struct{ vsOBL, vsARMPL float64 }{
+		vec.S: {21, 8}, vec.D: {7, 4}, vec.C: {12, 8}, vec.Z: {6, 5},
+	}
+	for _, dt := range vec.DTypes {
+		ss, err := GEMMFigure(dt, matrix.NoTrans, matrix.NoTrans, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iatf := series(t, ss, "IATF")
+		want := paper[dt]
+		if r, at := MaxSpeedup(iatf, series(t, ss, "OpenBLAS-loop")); r < want.vsOBL/2 || r > want.vsOBL*4 {
+			t.Errorf("%sgemm vs OpenBLAS: %.1fx at n=%d (paper: up to %.0fx)", dt, r, at, want.vsOBL)
+		}
+		if r, at := MaxSpeedup(iatf, series(t, ss, "ARMPL-batch")); r < want.vsARMPL/2 || r > want.vsARMPL*4 {
+			t.Errorf("%sgemm vs ARMPL: %.1fx at n=%d (paper: up to %.0fx)", dt, r, at, want.vsARMPL)
+		}
+	}
+}
+
+// Figure 9: TRSM ordering IATF > ARMPL-loop > OpenBLAS-loop for every
+// type, with the division-bound OpenBLAS model far behind at larger
+// sizes.
+func TestFigure9TRSMOrdering(t *testing.T) {
+	cfg := testCfg()
+	paper := map[vec.DType]struct{ vsOBL, vsARMPL float64 }{
+		vec.S: {28, 7}, vec.D: {12, 5}, vec.C: {10, 4}, vec.Z: {5, 3},
+	}
+	for _, dt := range vec.DTypes {
+		ss, err := TRSMFigure(dt, matrix.Lower, matrix.NoTrans, matrix.NonUnit, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iatf := series(t, ss, "IATF")
+		armpl := series(t, ss, "ARMPL-loop")
+		obl := series(t, ss, "OpenBLAS-loop")
+		for _, n := range cfg.Sizes {
+			pi, _ := iatf.At(n)
+			pa, _ := armpl.At(n)
+			po, _ := obl.At(n)
+			if pi.GFLOPS <= pa.GFLOPS || pi.GFLOPS <= po.GFLOPS {
+				t.Errorf("%strsm n=%d: IATF %.2f vs ARMPL %.2f / OpenBLAS %.2f", dt, n, pi.GFLOPS, pa.GFLOPS, po.GFLOPS)
+			}
+			if n >= 8 && pa.GFLOPS <= po.GFLOPS {
+				t.Errorf("%strsm n=%d: ARMPL %.2f ≤ OpenBLAS %.2f", dt, n, pa.GFLOPS, po.GFLOPS)
+			}
+		}
+		want := paper[dt]
+		if r, at := MaxSpeedup(iatf, obl); r < want.vsOBL/2.5 || r > want.vsOBL*6 {
+			t.Errorf("%strsm vs OpenBLAS: %.1fx at n=%d (paper: up to %.0fx)", dt, r, at, want.vsOBL)
+		}
+		if r, at := MaxSpeedup(iatf, armpl); r < want.vsARMPL/2 || r > want.vsARMPL*10 {
+			t.Errorf("%strsm vs ARMPL: %.1fx at n=%d (paper: up to %.0fx)", dt, r, at, want.vsARMPL)
+		}
+	}
+}
+
+// Figure 11's qualitative content for double precision: IATF's
+// percent-of-peak on the Kunpeng model beats the MKL-compact stand-in on
+// the Xeon model at most sizes (paper: "significant advantages on
+// double-precision ... both real and complex").
+func TestFigure11DoublePrecisionAdvantage(t *testing.T) {
+	cfg := Config{Matrices: 32, Sizes: []int{4, 8, 16, 32}}
+	for _, dt := range []vec.DType{vec.D, vec.Z} {
+		ss, err := PctPeakFigure(dt, false, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		arm := series(t, ss, "IATF (Kunpeng 920)")
+		x86 := series(t, ss, "MKL-compact (Xeon 6240)")
+		wins := 0
+		for _, n := range cfg.Sizes {
+			pa, _ := arm.At(n)
+			px, _ := x86.At(n)
+			if pa.PctPeak > px.PctPeak {
+				wins++
+			}
+			if pa.PctPeak > 1 || px.PctPeak > 1 {
+				t.Errorf("%v n=%d: pct-peak exceeds 1 (%.2f / %.2f)", dt, n, pa.PctPeak, px.PctPeak)
+			}
+		}
+		if wins < 3 {
+			t.Errorf("%v: Kunpeng wins only %d/%d sizes in pct-of-peak", dt, wins, len(cfg.Sizes))
+		}
+	}
+}
+
+func TestFigure12TRSMPctPeakRuns(t *testing.T) {
+	cfg := Config{Matrices: 32, Sizes: []int{4, 16}}
+	ss, err := PctPeakFigure(vec.D, true, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range ss {
+		for _, p := range s.Points {
+			if p.GFLOPS <= 0 || p.PctPeak <= 0 || p.PctPeak > 1 {
+				t.Errorf("%s n=%d: GFLOPS=%.2f pct=%.2f", s.Lib, p.Size, p.GFLOPS, p.PctPeak)
+			}
+		}
+	}
+}
+
+func TestGEMMModesAllRun(t *testing.T) {
+	cfg := Config{Matrices: 16, Sizes: []int{3, 5}}
+	for _, mode := range [][2]matrix.Trans{
+		{matrix.NoTrans, matrix.NoTrans},
+		{matrix.NoTrans, matrix.Transpose},
+		{matrix.Transpose, matrix.NoTrans},
+		{matrix.Transpose, matrix.Transpose},
+	} {
+		ss, err := GEMMFigure(vec.D, mode[0], mode[1], cfg)
+		if err != nil {
+			t.Fatalf("mode %v%v: %v", mode[0], mode[1], err)
+		}
+		iatf := series(t, ss, "IATF")
+		for _, p := range iatf.Points {
+			if p.GFLOPS <= 0 {
+				t.Errorf("mode %v%v n=%d: %.2f GFLOPS", mode[0], mode[1], p.Size, p.GFLOPS)
+			}
+		}
+	}
+}
+
+func TestTRSMModesAllRun(t *testing.T) {
+	cfg := Config{Matrices: 16, Sizes: []int{4, 7}}
+	for _, m := range []struct {
+		uplo matrix.Uplo
+		ta   matrix.Trans
+		diag matrix.Diag
+	}{
+		{matrix.Lower, matrix.NoTrans, matrix.NonUnit},   // LNLN
+		{matrix.Upper, matrix.NoTrans, matrix.NonUnit},   // LNUN
+		{matrix.Lower, matrix.Transpose, matrix.NonUnit}, // LTLN
+		{matrix.Upper, matrix.Transpose, matrix.NonUnit}, // LTUN
+	} {
+		ss, err := TRSMFigure(vec.S, m.uplo, m.ta, m.diag, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iatf := series(t, ss, "IATF")
+		for _, p := range iatf.Points {
+			if p.GFLOPS <= 0 {
+				t.Errorf("mode %v%v%v n=%d nonpositive", m.uplo, m.ta, m.diag, p.Size)
+			}
+		}
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	ss := []Series{
+		{Lib: "A", Points: []Point{{2, 1.5, 0.15}, {4, 3, 0.3}}},
+		{Lib: "B", Points: []Point{{2, 0.5, 0.05}}},
+	}
+	out := FormatTable("demo", ss, false)
+	if !strings.Contains(out, "# demo") || !strings.Contains(out, "1.500") || !strings.Contains(out, "-") {
+		t.Errorf("table:\n%s", out)
+	}
+	pct := FormatTable("demo", ss, true)
+	if !strings.Contains(pct, "15.0%") {
+		t.Errorf("pct table:\n%s", pct)
+	}
+}
+
+func TestMaxSpeedup(t *testing.T) {
+	a := Series{Points: []Point{{2, 10, 0}, {4, 8, 0}}}
+	b := Series{Points: []Point{{2, 1, 0}, {4, 4, 0}}}
+	r, at := MaxSpeedup(a, b)
+	if r != 10 || at != 2 {
+		t.Errorf("MaxSpeedup = %.1f at %d", r, at)
+	}
+}
+
+// The native-lane Kunpeng MKL-compact tuning and the AVX-512 tuning use
+// different group counts; Config.groups must account for lane overrides.
+func TestConfigGroups(t *testing.T) {
+	cfg := Config{Matrices: 64}
+	if cfg.groups(vec.S, 0) != 16 || cfg.groups(vec.D, 0) != 32 {
+		t.Error("native group counts wrong")
+	}
+	if cfg.groups(vec.S, 16) != 4 {
+		t.Error("overridden group count wrong")
+	}
+}
+
+// The ablation tunings must run through the harness (used by the ablation
+// benchmarks in bench_test.go at the repo root).
+func TestAblationTuningsRun(t *testing.T) {
+	cfg := Config{Matrices: 16, Sizes: []int{8}}
+	for _, tun := range []core.Tuning{
+		func() core.Tuning { t := core.DefaultTuning(); t.DisableOptimizer = true; return t }(),
+		func() core.Tuning { t := core.DefaultTuning(); t.DisablePrefetch = true; return t }(),
+		func() core.Tuning { t := core.DefaultTuning(); t.ForcePackA = true; return t }(),
+		func() core.Tuning { t := core.DefaultTuning(); t.ForceGroupsPerBatch = 64; return t }(),
+	} {
+		if _, err := IATFGEMM(vec.D, 8, matrix.NoTrans, matrix.NoTrans, tun, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// The TRMM extension figure must show IATF leading both loop baselines.
+func TestTRMMExtensionFigure(t *testing.T) {
+	cfg := Config{Matrices: 32, Sizes: []int{2, 8, 16}}
+	for _, dt := range []vec.DType{vec.S, vec.Z} {
+		ss, err := TRMMFigure(dt, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iatf := series(t, ss, "IATF-ext")
+		for _, n := range cfg.Sizes {
+			pi, _ := iatf.At(n)
+			pa, _ := series(t, ss, "ARMPL-loop").At(n)
+			po, _ := series(t, ss, "OpenBLAS-loop").At(n)
+			if pi.GFLOPS <= pa.GFLOPS || pi.GFLOPS <= po.GFLOPS {
+				t.Errorf("%strmm n=%d: IATF %.2f vs ARMPL %.2f / OpenBLAS %.2f",
+					dt, n, pi.GFLOPS, pa.GFLOPS, po.GFLOPS)
+			}
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package cache implements a small set-associative cache hierarchy
+// simulator. It supplies the load/store latencies the pipeline model
+// consumes, which is how the reproduction captures the two cache effects
+// the paper's design leans on: the batch counter keeping each super-batch
+// L1-resident, and packing turning strided matrix walks into streaming
+// line-friendly access.
+package cache
+
+import "fmt"
+
+// LevelConfig describes one cache level.
+type LevelConfig struct {
+	Name      string
+	SizeBytes int
+	LineBytes int
+	Ways      int
+	HitCycles int // total access latency on a hit at this level
+}
+
+// Config describes a hierarchy: inner levels first, then main memory.
+type Config struct {
+	Levels       []LevelConfig
+	MemoryCycles int // latency when every level misses
+	// StreamSlots enables a hardware stream prefetcher with that many
+	// concurrent stream trackers. A miss that continues a detected
+	// ascending or descending line stream costs only the innermost hit
+	// latency — the prefetch ran ahead. Zero disables the prefetcher.
+	StreamSlots int
+}
+
+// Stats counts accesses per level.
+type Stats struct {
+	Name   string
+	Hits   uint64
+	Misses uint64
+}
+
+type level struct {
+	cfg     LevelConfig
+	sets    [][]uint64 // per-set LRU stack of line tags, front = MRU
+	numSets int
+	stats   Stats
+}
+
+func newLevel(cfg LevelConfig) *level {
+	if cfg.LineBytes <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic(fmt.Sprintf("cache: invalid level config %+v", cfg))
+	}
+	numSets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	if numSets < 1 {
+		numSets = 1
+	}
+	sets := make([][]uint64, numSets)
+	for i := range sets {
+		sets[i] = make([]uint64, 0, cfg.Ways)
+	}
+	return &level{cfg: cfg, sets: sets, numSets: numSets, stats: Stats{Name: cfg.Name}}
+}
+
+// access probes one line address; returns true on hit. On miss the line is
+// allocated (write-allocate for stores too), evicting LRU.
+func (l *level) access(lineAddr uint64) bool {
+	set := l.sets[int(lineAddr)%l.numSets]
+	for i, tag := range set {
+		if tag == lineAddr {
+			// Move to front (MRU).
+			copy(set[1:i+1], set[:i])
+			set[0] = lineAddr
+			l.stats.Hits++
+			return true
+		}
+	}
+	l.stats.Misses++
+	if len(set) < l.cfg.Ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = lineAddr
+	l.sets[int(lineAddr)%l.numSets] = set
+	return false
+}
+
+// stream is one hardware-prefetcher tracker: the last line touched, the
+// detected constant line stride, and how many times the stride repeated.
+type stream struct {
+	last   uint64
+	stride int64
+	conf   int
+	live   bool
+}
+
+// Hierarchy is a simulated multi-level data cache.
+type Hierarchy struct {
+	cfg      Config
+	levels   []*level
+	streams  []stream
+	nextSlot int
+	// PrefetchedMisses counts misses hidden by the stream prefetcher.
+	PrefetchedMisses uint64
+}
+
+// New builds a hierarchy from the configuration.
+func New(cfg Config) *Hierarchy {
+	h := &Hierarchy{cfg: cfg, streams: make([]stream, cfg.StreamSlots)}
+	for _, lc := range cfg.Levels {
+		h.levels = append(h.levels, newLevel(lc))
+	}
+	return h
+}
+
+// maxStride is the largest line stride (either direction) the modeled
+// prefetcher trains on, matching typical hardware stride prefetchers.
+const maxStride = 16
+
+// streamAdvance updates the prefetcher state for a line access and
+// reports whether the line continues a trained constant-stride stream
+// (so an outstanding prefetch would already cover it).
+func (h *Hierarchy) streamAdvance(lineAddr uint64) bool {
+	for i := range h.streams {
+		s := &h.streams[i]
+		if !s.live {
+			continue
+		}
+		d := int64(lineAddr) - int64(s.last)
+		switch {
+		case d == 0:
+			return true
+		case s.stride != 0 && d == s.stride:
+			s.last = lineAddr
+			s.conf++
+			// The first repeat trains the stream; from then on the
+			// prefetcher runs ahead.
+			return s.conf >= 1
+		case s.stride == 0 && d >= -maxStride && d <= maxStride:
+			s.stride = d
+			s.conf = 1
+			s.last = lineAddr
+			return false
+		}
+	}
+	// New stream: claim a slot round-robin.
+	if len(h.streams) > 0 {
+		h.streams[h.nextSlot] = stream{last: lineAddr, live: true}
+		h.nextSlot = (h.nextSlot + 1) % len(h.streams)
+	}
+	return false
+}
+
+// Access simulates a data access of size bytes at byte address addr and
+// returns its latency in cycles. Accesses that straddle cache lines probe
+// every line touched; the reported latency is the slowest line (the
+// accesses pipeline). Misses allocate at every level they traverse.
+func (h *Hierarchy) Access(addr uint64, size int, _ bool) int {
+	if len(h.levels) == 0 {
+		return h.cfg.MemoryCycles
+	}
+	if size < 1 {
+		size = 1
+	}
+	line := uint64(h.levels[0].cfg.LineBytes)
+	first := addr / line
+	last := (addr + uint64(size) - 1) / line
+	worst := 0
+	for ln := first; ln <= last; ln++ {
+		lat := h.accessLine(ln)
+		if lat > worst {
+			worst = lat
+		}
+	}
+	return worst
+}
+
+func (h *Hierarchy) accessLine(lineAddr uint64) int {
+	covered := false
+	if len(h.streams) > 0 {
+		covered = h.streamAdvance(lineAddr)
+	}
+	for _, l := range h.levels {
+		hit := l.access(lineAddr)
+		if hit {
+			return l.cfg.HitCycles
+		}
+	}
+	if covered && len(h.levels) > 0 {
+		h.PrefetchedMisses++
+		return h.levels[0].cfg.HitCycles
+	}
+	return h.cfg.MemoryCycles
+}
+
+// Prefetch warms the line containing addr without charging latency — the
+// effect of PRFM issued far enough ahead.
+func (h *Hierarchy) Prefetch(addr uint64) {
+	if len(h.levels) == 0 {
+		return
+	}
+	line := uint64(h.levels[0].cfg.LineBytes)
+	h.accessLine(addr / line)
+}
+
+// Stats returns per-level counters, innermost first.
+func (h *Hierarchy) Stats() []Stats {
+	out := make([]Stats, len(h.levels))
+	for i, l := range h.levels {
+		out[i] = l.stats
+	}
+	return out
+}
+
+// Reset clears contents and statistics.
+func (h *Hierarchy) Reset() {
+	for i, l := range h.levels {
+		h.levels[i] = newLevel(l.cfg)
+	}
+	h.streams = make([]stream, h.cfg.StreamSlots)
+	h.nextSlot = 0
+	h.PrefetchedMisses = 0
+}
+
+// LineBytes returns the innermost level's line size (64 if no levels).
+func (h *Hierarchy) LineBytes() int {
+	if len(h.levels) == 0 {
+		return 64
+	}
+	return h.levels[0].cfg.LineBytes
+}

@@ -1,0 +1,220 @@
+package cache
+
+import "testing"
+
+func tiny() Config {
+	return Config{
+		Levels: []LevelConfig{
+			{Name: "L1", SizeBytes: 512, LineBytes: 64, Ways: 2, HitCycles: 4},   // 4 sets
+			{Name: "L2", SizeBytes: 4096, LineBytes: 64, Ways: 4, HitCycles: 14}, // 16 sets
+		},
+		MemoryCycles: 100,
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(tiny())
+	if lat := h.Access(0, 8, false); lat != 100 {
+		t.Errorf("cold access latency = %d, want 100", lat)
+	}
+	if lat := h.Access(8, 8, false); lat != 4 {
+		t.Errorf("warm same-line latency = %d, want 4 (L1 hit)", lat)
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	h := New(tiny())
+	// Lines mapping to L1 set 0 (4 sets × 64B): addresses k*256.
+	h.Access(0, 1, false)
+	h.Access(256, 1, false)
+	h.Access(512, 1, false) // evicts line 0 from 2-way L1 set
+	if lat := h.Access(0, 1, false); lat != 14 {
+		t.Errorf("latency = %d, want 14 (L2 hit after L1 eviction)", lat)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	h := New(tiny())
+	h.Access(0, 1, false)   // set0: [0]
+	h.Access(256, 1, false) // set0: [256, 0]
+	h.Access(0, 1, false)   // touch 0 → MRU: [0, 256]
+	h.Access(512, 1, false) // evicts 256, not 0
+	if lat := h.Access(0, 1, false); lat != 4 {
+		t.Errorf("recently used line evicted: lat=%d", lat)
+	}
+	if lat := h.Access(256, 1, false); lat == 4 {
+		t.Error("LRU line survived eviction")
+	}
+}
+
+func TestStraddlingAccessTakesWorstLine(t *testing.T) {
+	h := New(tiny())
+	h.Access(0, 1, false) // warm line 0
+	// 8 bytes spanning lines 0 (warm) and 1 (cold): worst = memory.
+	if lat := h.Access(60, 8, false); lat != 100 {
+		t.Errorf("straddling latency = %d, want 100", lat)
+	}
+	// Both lines now warm.
+	if lat := h.Access(60, 8, false); lat != 4 {
+		t.Errorf("second straddling latency = %d, want 4", lat)
+	}
+}
+
+func TestPrefetchWarmsLine(t *testing.T) {
+	h := New(tiny())
+	h.Prefetch(128)
+	if lat := h.Access(128, 8, false); lat != 4 {
+		t.Errorf("post-prefetch latency = %d, want 4", lat)
+	}
+}
+
+func TestWriteAllocates(t *testing.T) {
+	h := New(tiny())
+	h.Access(64, 8, true)
+	if lat := h.Access(64, 8, false); lat != 4 {
+		t.Errorf("load after store latency = %d, want 4", lat)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	h := New(tiny())
+	h.Access(0, 1, false)
+	h.Access(0, 1, false)
+	st := h.Stats()
+	if st[0].Name != "L1" || st[0].Hits != 1 || st[0].Misses != 1 {
+		t.Errorf("L1 stats = %+v", st[0])
+	}
+	if st[1].Misses != 1 {
+		t.Errorf("L2 stats = %+v", st[1])
+	}
+	h.Reset()
+	if lat := h.Access(0, 1, false); lat != 100 {
+		t.Errorf("post-reset latency = %d, want 100", lat)
+	}
+	if h.Stats()[0].Misses != 1 {
+		t.Errorf("post-reset stats not cleared: %+v", h.Stats()[0])
+	}
+}
+
+func TestNoLevelsFallsBackToMemory(t *testing.T) {
+	h := New(Config{MemoryCycles: 42})
+	if lat := h.Access(123, 64, false); lat != 42 {
+		t.Errorf("lat = %d", lat)
+	}
+	h.Prefetch(0) // must not panic
+	if h.LineBytes() != 64 {
+		t.Errorf("default LineBytes = %d", h.LineBytes())
+	}
+}
+
+func TestWorkingSetFitsL1(t *testing.T) {
+	h := New(tiny())
+	// 512-byte working set = exactly L1 capacity; stream it twice.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 512; a += 64 {
+			h.Access(a, 8, false)
+		}
+	}
+	st := h.Stats()[0]
+	if st.Misses != 8 || st.Hits != 8 {
+		t.Errorf("L1-resident set: hits=%d misses=%d, want 8/8", st.Hits, st.Misses)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid config did not panic")
+		}
+	}()
+	New(Config{Levels: []LevelConfig{{SizeBytes: 0, LineBytes: 64, Ways: 1}}})
+}
+
+func TestStreamPrefetcherSequential(t *testing.T) {
+	cfg := tiny()
+	cfg.StreamSlots = 4
+	h := New(cfg)
+	// Sequential sweep: after two training accesses the prefetcher covers
+	// every subsequent new line at L1 latency.
+	lat0 := h.Access(0, 8, false)
+	lat1 := h.Access(64, 8, false)
+	if lat0 != 100 || lat1 != 100 {
+		t.Errorf("training accesses = %d,%d, want 100,100", lat0, lat1)
+	}
+	for a := uint64(128); a < 2048; a += 64 {
+		if lat := h.Access(a, 8, false); lat != 4 {
+			t.Fatalf("streamed access at %d = %d, want 4 (prefetched)", a, lat)
+		}
+	}
+	if h.PrefetchedMisses == 0 {
+		t.Error("no prefetched misses recorded")
+	}
+}
+
+func TestStreamPrefetcherStride(t *testing.T) {
+	cfg := tiny()
+	cfg.StreamSlots = 4
+	h := New(cfg)
+	// Constant stride of 4 lines (256 B), within the trainable range.
+	h.Access(0, 8, false)
+	h.Access(256, 8, false)
+	for a := uint64(512); a < 8192; a += 256 {
+		if lat := h.Access(a, 8, false); lat != 4 && lat != 14 {
+			t.Fatalf("strided access at %d = %d, want covered", a, lat)
+		}
+	}
+}
+
+func TestStreamPrefetcherRandomNotCovered(t *testing.T) {
+	cfg := tiny()
+	cfg.StreamSlots = 4
+	h := New(cfg)
+	// Pseudo-random far-apart lines never train a stream.
+	addrs := []uint64{0, 40960, 4096, 81920, 12288, 57344}
+	covered := h.PrefetchedMisses
+	for _, a := range addrs {
+		h.Access(a, 8, false)
+	}
+	if h.PrefetchedMisses != covered {
+		t.Errorf("random access pattern was prefetched %d times", h.PrefetchedMisses-covered)
+	}
+}
+
+func TestStreamPrefetcherInterleaved(t *testing.T) {
+	cfg := tiny()
+	cfg.StreamSlots = 4
+	h := New(cfg)
+	// Two interleaved sequential streams must both train.
+	h.Access(0, 8, false)
+	h.Access(1<<20, 8, false)
+	h.Access(64, 8, false)
+	h.Access(1<<20+64, 8, false)
+	misses := 0
+	for i := uint64(2); i < 20; i++ {
+		if h.Access(i*64, 8, false) == 100 {
+			misses++
+		}
+		if h.Access(1<<20+i*64, 8, false) == 100 {
+			misses++
+		}
+	}
+	if misses != 0 {
+		t.Errorf("%d uncovered misses in interleaved streams", misses)
+	}
+}
+
+func TestResetClearsStreams(t *testing.T) {
+	cfg := tiny()
+	cfg.StreamSlots = 2
+	h := New(cfg)
+	h.Access(0, 8, false)
+	h.Access(64, 8, false)
+	h.Access(128, 8, false)
+	h.Reset()
+	if h.PrefetchedMisses != 0 {
+		t.Error("Reset did not clear PrefetchedMisses")
+	}
+	if lat := h.Access(192, 8, false); lat != 100 {
+		t.Errorf("stream survived Reset: lat=%d", lat)
+	}
+}

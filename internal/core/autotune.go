@@ -1,0 +1,94 @@
+package core
+
+import (
+	"sync"
+
+	"iatf/internal/ktmpl"
+	"iatf/internal/machine"
+)
+
+// Empirical autotuning. The paper's run-time stage selects kernels
+// analytically (CMAR-optimal main kernel, greedy edge tiling). The
+// analytic choice is usually right, but edge-heavy shapes sometimes favor
+// a different decomposition (e.g. leading with 3-wide tiles when
+// M mod 4 == 3). AutotuneGEMM evaluates a small set of candidate tilings
+// on the cycle model — the machine-in-a-library that install-time tuning
+// frameworks use in place of hardware measurements — and caches the
+// winner per problem shape. This realizes the "Auto-tune" keyword of the
+// paper beyond its analytic selection.
+
+// tuneKey identifies a tuning decision.
+type tuneKey struct {
+	dt      int
+	m, n, k int
+	prof    string
+}
+
+var (
+	tuneMu    sync.Mutex
+	tuneCache = map[tuneKey]*GEMMPlan{}
+)
+
+// candidateTilings returns the tile-size preference lists to try: the
+// analytic default first, then alternatives that lead with each smaller
+// kernel height/width.
+func candidateTilings(p GEMMProblem) [][2][]int {
+	mt := ktmpl.MTiles(p.DT)
+	nt := ktmpl.NTiles(p.DT)
+	cands := [][2][]int{{mt, nt}}
+	// Lead with smaller main kernels (still padded out by the full edge
+	// set, so coverage is guaranteed).
+	for lead := mt[0] - 1; lead >= 2; lead-- {
+		cands = append(cands, [2][]int{descending(lead), nt})
+	}
+	for lead := nt[0] - 1; lead >= 2; lead-- {
+		cands = append(cands, [2][]int{mt, descending(lead)})
+	}
+	return cands
+}
+
+// AutotuneGEMM returns the lowest-modeled-cycle plan among the candidate
+// tilings for the problem, memoized per (dtype, M, N, K, machine).
+// Candidates are evaluated on a small steady-state batch of the tuning
+// profile's machine model.
+func AutotuneGEMM(p GEMMProblem, tun Tuning) (*GEMMPlan, error) {
+	key := tuneKey{dt: int(p.DT), m: p.M, n: p.N, k: p.K, prof: tun.Prof.Name}
+	tuneMu.Lock()
+	if pl, ok := tuneCache[key]; ok {
+		tuneMu.Unlock()
+		// Re-plan with the cached tiling but the caller's exact problem
+		// (alpha/beta/count differ without affecting kernel choice).
+		return newGEMMPlan(p, tun, pl.MTiles, pl.NTiles)
+	}
+	tuneMu.Unlock()
+
+	var best *GEMMPlan
+	var bestCycles int64 = -1
+	const tuneGroups = 4
+	for _, cand := range candidateTilings(p) {
+		pl, err := newGEMMPlan(p, tun, cand[0], cand[1])
+		if err != nil {
+			return nil, err
+		}
+		sim := machine.NewSim(tun.Prof, p.DT.ElemBytes())
+		cycles, err := SimGEMM(pl, tuneGroups, sim)
+		if err != nil {
+			return nil, err
+		}
+		if bestCycles < 0 || cycles < bestCycles {
+			best, bestCycles = pl, cycles
+		}
+	}
+	tuneMu.Lock()
+	tuneCache[key] = best
+	tuneMu.Unlock()
+	return best, nil
+}
+
+// TuneCacheSize reports the number of memoized tuning decisions (for
+// tests and the info tool).
+func TuneCacheSize() int {
+	tuneMu.Lock()
+	defer tuneMu.Unlock()
+	return len(tuneCache)
+}

@@ -1,0 +1,485 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"iatf/internal/kernels"
+	"iatf/internal/layout"
+	"iatf/internal/matrix"
+	"iatf/internal/vec"
+)
+
+// The native backend executes plans with the pure-Go kernels directly on
+// the compact storage — no simulation arena, no copies. Packing is done
+// with the same panel orders as the pack package (the VM/native
+// backend-equivalence tests pin them to each other bit for bit), but
+// reads and writes separate slices so operands stay in place.
+//
+// Group-level parallelism implements the paper's stated future work
+// (multi-core): interleave groups are fully independent, so workers split
+// the group range, each with private packing buffers.
+
+// npackA packs the A row panels of one group (N-shape).
+func npackA[E vec.Float](src []E, rows int, trans bool, mtiles []int, k, bl int, dst []E) {
+	cur := 0
+	i0 := 0
+	for _, mc := range mtiles {
+		if !trans {
+			run := mc * bl
+			s := i0 * bl
+			for l := 0; l < k; l++ {
+				copy(dst[cur:cur+run], src[s:s+run])
+				s += rows * bl
+				cur += run
+			}
+		} else {
+			colStride := rows * bl
+			base := i0 * colStride
+			for l := 0; l < k; l++ {
+				s := base + l*bl
+				for r := 0; r < mc; r++ {
+					copy(dst[cur:cur+bl], src[s:s+bl])
+					s += colStride
+					cur += bl
+				}
+			}
+		}
+		i0 += mc
+	}
+}
+
+// npackB packs the B column panels of one group (Z-shape).
+func npackB[E vec.Float](src []E, rows int, trans bool, ntiles []int, k, bl int, dst []E) {
+	cur := 0
+	j0 := 0
+	for _, nc := range ntiles {
+		if !trans {
+			colStride := rows * bl
+			base := j0 * colStride
+			for l := 0; l < k; l++ {
+				s := base + l*bl
+				for cc := 0; cc < nc; cc++ {
+					copy(dst[cur:cur+bl], src[s:s+bl])
+					s += colStride
+					cur += bl
+				}
+			}
+		} else {
+			run := nc * bl
+			s := j0 * bl
+			for l := 0; l < k; l++ {
+				copy(dst[cur:cur+run], src[s:s+run])
+				s += rows * bl
+				cur += run
+			}
+		}
+		j0 += nc
+	}
+}
+
+// nscale scales a dense group region by a (possibly complex) scalar.
+func nscale[E vec.Float](data []E, n int, cplx bool, vl int, re, im float64) {
+	if !cplx {
+		r := E(re)
+		for i := 0; i < n*vl; i++ {
+			data[i] *= r
+		}
+		return
+	}
+	for b := 0; b < n; b++ {
+		off := b * 2 * vl
+		for lane := 0; lane < vl; lane++ {
+			x := float64(data[off+lane])
+			y := float64(data[off+vl+lane])
+			data[off+lane] = E(x*re - y*im)
+			data[off+vl+lane] = E(x*im + y*re)
+		}
+	}
+}
+
+// ExecGEMMNative runs the plan with the native Go kernels, optionally
+// with worker-parallel groups. C is updated in place.
+func ExecGEMMNative[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E]) error {
+	return ExecGEMMNativeParallel(pl, a, b, c, 1)
+}
+
+// ExecGEMMNativeParallel is ExecGEMMNative with `workers` goroutines
+// splitting the interleave groups.
+func ExecGEMMNativeParallel[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E], workers int) error {
+	p := pl.P
+	if pl.Tun.VL != 0 && pl.Tun.VL != p.DT.Pack() {
+		return fmt.Errorf("core: native execution requires the native lane count")
+	}
+	if a.Type != p.DT || b.Type != p.DT || c.Type != p.DT {
+		return fmt.Errorf("core: dtype mismatch")
+	}
+	if a.Count != p.Count || b.Count != p.Count || c.Count != p.Count {
+		return fmt.Errorf("core: batch count mismatch")
+	}
+	wantAR := p.M
+	if p.TransA == matrix.Transpose {
+		wantAR = p.K
+	}
+	wantBR := p.K
+	if p.TransB == matrix.Transpose {
+		wantBR = p.N
+	}
+	if a.Rows != wantAR || b.Rows != wantBR || c.Rows != p.M || c.Cols != p.N {
+		return fmt.Errorf("core: shape mismatch A=%dx%d B=%dx%d C=%dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+	}
+	groups := a.Groups()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > groups {
+		workers = groups
+	}
+	if workers == 1 {
+		gemmWorker(pl, a, b, c, 0, groups)
+		return nil
+	}
+	var wg sync.WaitGroup
+	chunk := (groups + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > groups {
+			hi = groups
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmWorker(pl, a, b, c, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+func gemmWorker[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E], gLo, gHi int) {
+	p := pl.P
+	vl := p.DT.Pack()
+	bl := blockLen(p.DT, vl)
+	cplx := p.DT.IsComplex()
+	lenA := p.M * p.K * bl
+	lenB := p.K * p.N * bl
+	lenC := p.M * p.N * bl
+	transA := p.TransA == matrix.Transpose
+	transB := p.TransB == matrix.Transpose
+
+	gb := pl.GroupsPerBatch
+	var packA []E
+	if pl.PackA {
+		packA = make([]E, gb*lenA)
+	}
+	packB := make([]E, gb*lenB)
+	alphaRe, alphaIm := E(real(p.Alpha)), E(imag(p.Alpha))
+
+	for sb := gLo; sb < gHi; sb += gb {
+		end := sb + gb
+		if end > gHi {
+			end = gHi
+		}
+		for g := sb; g < end; g++ {
+			slot := g - sb
+			if pl.PackA {
+				npackA(a.Data[g*lenA:(g+1)*lenA], a.Rows, transA, pl.MTiles, p.K, bl, packA[slot*lenA:])
+			}
+			npackB(b.Data[g*lenB:(g+1)*lenB], b.Rows, transB, pl.NTiles, p.K, bl, packB[slot*lenB:])
+		}
+		for g := sb; g < end; g++ {
+			slot := g - sb
+			cg := c.Data[g*lenC : (g+1)*lenC]
+			ovw := p.Beta == 0
+			if p.Beta != 1 && !ovw {
+				nscale(cg, p.M*p.N, cplx, vl, real(p.Beta), imag(p.Beta))
+			}
+			for _, t := range pl.tiles {
+				kOff := 0
+				for _, kc := range pl.KChunks {
+					var pa []E
+					if pl.PackA {
+						pa = packA[slot*lenA+(t.i0*p.K+kOff*t.mc)*bl:]
+					} else {
+						pa = a.Data[g*lenA+kOff*p.M*bl:]
+					}
+					pb := packB[slot*lenB+(t.j0*p.K+kOff*t.nc)*bl:]
+					cb := cg[(t.j0*p.M+t.i0)*bl:]
+					// Only the first chunk may overwrite (beta = 0);
+					// later chunks always accumulate.
+					chunkOvw := ovw && kOff == 0
+					if cplx {
+						kernels.GEMMCplx(pa, pb, cb, t.mc, t.nc, kc, p.M, vl, alphaRe, alphaIm, chunkOvw)
+					} else {
+						kernels.GEMM(pa, pb, cb, t.mc, t.nc, kc, p.M, vl, alphaRe, chunkOvw)
+					}
+					kOff += kc
+				}
+			}
+		}
+	}
+}
+
+// npackTri packs the triangle of one group — the native twin of
+// pack.Tri. recip stores the diagonal as reciprocals (TRSM); TRMM packs
+// the true diagonal.
+func npackTri[E vec.Float](src []E, m int, reverse, swap, unit, recip bool, panels []int, cplx bool, vl, bl int, dst []E) {
+	cur := 0
+	srcBlock := func(i, j int) int {
+		if reverse {
+			i, j = m-1-i, m-1-j
+		}
+		if swap {
+			i, j = j, i
+		}
+		return (j*m + i) * bl
+	}
+	r0 := 0
+	for _, q := range panels {
+		for l := 0; l < r0; l++ {
+			for r := 0; r < q; r++ {
+				s := srcBlock(r0+r, l)
+				copy(dst[cur:cur+bl], src[s:s+bl])
+				cur += bl
+			}
+		}
+		for i := 0; i < q; i++ {
+			for j := 0; j <= i; j++ {
+				s := srcBlock(r0+i, r0+j)
+				switch {
+				case i != j:
+					copy(dst[cur:cur+bl], src[s:s+bl])
+				case unit:
+					for lane := 0; lane < vl; lane++ {
+						dst[cur+lane] = 1
+						if cplx {
+							dst[cur+vl+lane] = 0
+						}
+					}
+				case !recip:
+					copy(dst[cur:cur+bl], src[s:s+bl])
+				case !cplx:
+					for lane := 0; lane < vl; lane++ {
+						if v := src[s+lane]; v != 0 {
+							dst[cur+lane] = 1 / v
+						} else {
+							dst[cur+lane] = 0
+						}
+					}
+				default:
+					for lane := 0; lane < vl; lane++ {
+						re := float64(src[s+lane])
+						im := float64(src[s+vl+lane])
+						den := re*re + im*im
+						if den != 0 {
+							dst[cur+lane] = E(re / den)
+							dst[cur+vl+lane] = E(-im / den)
+						} else {
+							dst[cur+lane] = 0
+							dst[cur+vl+lane] = 0
+						}
+					}
+				}
+				cur += bl
+			}
+		}
+		r0 += q
+	}
+}
+
+// nBCopy/nBUncopy canonicalize B — the native twins of pack.BCopy/BUncopy.
+func nBCopy[E vec.Float](src []E, rows, cols int, reverse, transpose bool, bl int, dst []E) {
+	dr, dc := rows, cols
+	if transpose {
+		dr, dc = dc, dr
+	}
+	for j := 0; j < dc; j++ {
+		for i := 0; i < dr; i++ {
+			si, sj := i, j
+			if transpose {
+				si, sj = j, i
+			}
+			if reverse {
+				if transpose {
+					sj = cols - 1 - sj
+				} else {
+					si = rows - 1 - si
+				}
+			}
+			s := (sj*rows + si) * bl
+			d := (j*dr + i) * bl
+			copy(dst[d:d+bl], src[s:s+bl])
+		}
+	}
+}
+
+func nBUncopy[E vec.Float](dst []E, rows, cols int, reverse, transpose bool, bl int, src []E) {
+	dr, dc := rows, cols
+	if transpose {
+		dr, dc = dc, dr
+	}
+	for j := 0; j < dc; j++ {
+		for i := 0; i < dr; i++ {
+			si, sj := i, j
+			if transpose {
+				si, sj = j, i
+			}
+			if reverse {
+				if transpose {
+					sj = cols - 1 - sj
+				} else {
+					si = rows - 1 - si
+				}
+			}
+			s := (j*dr + i) * bl
+			d := (sj*rows + si) * bl
+			copy(dst[d:d+bl], src[s:s+bl])
+		}
+	}
+}
+
+// ExecTRSMNative runs the TRSM plan with the native Go kernels,
+// overwriting B with the solution.
+func ExecTRSMNative[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E]) error {
+	return ExecTRSMNativeParallel(pl, a, b, 1)
+}
+
+// ExecTRSMNativeParallel is ExecTRSMNative with worker-parallel groups.
+func ExecTRSMNativeParallel[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], workers int) error {
+	p := pl.P
+	if pl.Tun.VL != 0 && pl.Tun.VL != p.DT.Pack() {
+		return fmt.Errorf("core: native execution requires the native lane count")
+	}
+	if a.Count != p.Count || b.Count != p.Count {
+		return fmt.Errorf("core: batch count mismatch")
+	}
+	if a.Rows != pl.MEff || a.Cols != pl.MEff || b.Rows != p.M || b.Cols != p.N {
+		return fmt.Errorf("core: shape mismatch A=%dx%d B=%dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	groups := a.Groups()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > groups {
+		workers = groups
+	}
+	if workers == 1 {
+		trsmWorker(pl, a, b, 0, groups)
+		return nil
+	}
+	var wg sync.WaitGroup
+	chunk := (groups + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > groups {
+			hi = groups
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			trsmWorker(pl, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+func trsmWorker[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], gLo, gHi int) {
+	p := pl.P
+	vl := p.DT.Pack()
+	bl := blockLen(p.DT, vl)
+	cplx := p.DT.IsComplex()
+	lenA := pl.MEff * pl.MEff * bl
+	lenB := p.M * p.N * bl
+	lenTri := 0
+	{
+		r0 := 0
+		for _, q := range pl.Panels {
+			lenTri += (q*r0 + q*(q+1)/2) * bl
+			r0 += q
+		}
+	}
+	transAEff := p.TransA == matrix.Transpose
+	if p.Side == matrix.Right {
+		transAEff = !transAEff
+	}
+	upper := p.Uplo == matrix.Upper
+	effUpper := upper != transAEff
+
+	gb := pl.GroupsPerBatch
+	packTri := make([]E, gb*lenTri)
+	var packB []E
+	lenPB := 0
+	if pl.PackB {
+		lenPB = pl.MEff * pl.NEff * bl
+		packB = make([]E, gb*lenPB)
+	}
+
+	for sb := gLo; sb < gHi; sb += gb {
+		end := sb + gb
+		if end > gHi {
+			end = gHi
+		}
+		for g := sb; g < end; g++ {
+			slot := g - sb
+			npackTri(a.Data[g*lenA:(g+1)*lenA], pl.MEff, effUpper, transAEff,
+				p.Diag == matrix.Unit, true, pl.Panels, cplx, vl, bl, packTri[slot*lenTri:])
+			var target []E
+			if pl.PackB {
+				nBCopy(b.Data[g*lenB:(g+1)*lenB], p.M, p.N, pl.ReverseB, pl.TransposeB, bl, packB[slot*lenPB:])
+				target = packB[slot*lenPB : (slot+1)*lenPB]
+			} else {
+				target = b.Data[g*lenB : (g+1)*lenB]
+			}
+			if p.Alpha != 1 {
+				nscale(target, pl.MEff*pl.NEff, cplx, vl, real(p.Alpha), imag(p.Alpha))
+			}
+		}
+		for g := sb; g < end; g++ {
+			slot := g - sb
+			tri := packTri[slot*lenTri:]
+			var target []E
+			if pl.PackB {
+				target = packB[slot*lenPB:]
+			} else {
+				target = b.Data[g*lenB:]
+			}
+			j0 := 0
+			for _, ct := range pl.ColTiles {
+				colBase := j0 * pl.MEff * bl
+				for _, st := range pl.steps {
+					if st.r0 > 0 {
+						if cplx {
+							kernels.RectCplx(tri[st.rectOff:], target[colBase:],
+								target[colBase+st.r0*bl:], st.q, ct, st.r0, pl.MEff, pl.MEff, vl)
+						} else {
+							kernels.Rect(tri[st.rectOff:], target[colBase:],
+								target[colBase+st.r0*bl:], st.q, ct, st.r0, pl.MEff, pl.MEff, vl)
+						}
+					}
+					if cplx {
+						kernels.TriCplx(tri[st.triOff:], target[colBase+st.r0*bl:], st.q, ct, pl.MEff, vl)
+					} else {
+						kernels.Tri(tri[st.triOff:], target[colBase+st.r0*bl:], st.q, ct, pl.MEff, vl)
+					}
+				}
+				j0 += ct
+			}
+		}
+		if pl.PackB {
+			for g := sb; g < end; g++ {
+				slot := g - sb
+				nBUncopy(b.Data[g*lenB:(g+1)*lenB], p.M, p.N, pl.ReverseB, pl.TransposeB, bl, packB[slot*lenPB:])
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"iatf/internal/kernels"
+	"iatf/internal/layout"
+	"iatf/internal/vec"
+)
+
+// Compact batched factorizations: every matrix of the batch is factored
+// in place, vectorized across interleave lanes. Unlike the level-3
+// routines these need no packing or tiling plan — the matrices are
+// L1-resident and each group is one kernel call — so the "plan" is just
+// the worker split.
+
+// factorKind selects the factorization.
+type factorKind int
+
+const (
+	factorLU factorKind = iota
+	factorCholesky
+)
+
+// ExecFactorNative factors every matrix of the compact batch in place
+// and returns per-matrix info codes (0 = success; k+1 = first failing
+// pivot column, as in LAPACK). Cholesky is real-only and uses the lower
+// triangle.
+func ExecFactorNative[E vec.Float](kind factorKind, a *layout.Compact[E], workers int) ([]int, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("core: factorization requires square matrices, got %dx%d", a.Rows, a.Cols)
+	}
+	if kind == factorCholesky && a.Type.IsComplex() {
+		return nil, fmt.Errorf("core: compact Cholesky supports real types only")
+	}
+	n := a.Rows
+	vl := a.Type.Pack()
+	groups := a.Groups()
+	groupLen := a.GroupLen()
+	cplx := a.Type.IsComplex()
+	info := make([]int, groups*vl)
+
+	worker := func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			grp := a.Data[g*groupLen : (g+1)*groupLen]
+			gi := info[g*vl : (g+1)*vl]
+			switch {
+			case kind == factorCholesky:
+				kernels.Cholesky(grp, n, vl, gi)
+			case cplx:
+				kernels.LUCplx(grp, n, vl, gi)
+			default:
+				kernels.LU(grp, n, vl, gi)
+			}
+		}
+	}
+	runGroups(worker, groups, workers)
+	return info[:a.Count], nil
+}
+
+// LUKind and CholeskyKind expose the factor kinds to the public API.
+const (
+	LUKind       = factorLU
+	CholeskyKind = factorCholesky
+)
+
+// Pivots holds the partial-pivoting record of a pivoted LU factorization:
+// for matrix lane v and column k, row Data[g·n·vl + k·vl + lane] was
+// swapped into position k.
+type Pivots struct {
+	N      int
+	VL     int
+	Groups int
+	Data   []int32
+}
+
+// ExecLUPivNative factors every matrix with partial pivoting, returning
+// the pivot record and per-matrix info codes.
+func ExecLUPivNative[E vec.Float](a *layout.Compact[E], workers int) (*Pivots, []int, error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("core: LU requires square matrices, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	vl := a.Type.Pack()
+	groups := a.Groups()
+	groupLen := a.GroupLen()
+	cplx := a.Type.IsComplex()
+	info := make([]int, groups*vl)
+	piv := &Pivots{N: n, VL: vl, Groups: groups, Data: make([]int32, groups*n*vl)}
+
+	worker := func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			kernels.LUPiv(a.Data[g*groupLen:(g+1)*groupLen], n, vl, cplx,
+				piv.Data[g*n*vl:(g+1)*n*vl], info[g*vl:(g+1)*vl])
+		}
+	}
+	runGroups(worker, groups, workers)
+	return piv, info[:a.Count], nil
+}
+
+// ExecLUPivSolveNative applies the pivot permutation to B and solves
+// L·U·X = P·B in place using the native triangular kernels via TRSM plans.
+func ExecLUPivSolveNative[E vec.Float](a *layout.Compact[E], piv *Pivots, b *layout.Compact[E], workers int) error {
+	if piv == nil || piv.N != a.Rows || piv.Groups != a.Groups() {
+		return fmt.Errorf("core: pivot record does not match the factorization")
+	}
+	if b.Rows != a.Rows || b.Count != a.Count {
+		return fmt.Errorf("core: B shape mismatch")
+	}
+	vl := a.Type.Pack()
+	cplx := a.Type.IsComplex()
+	groupLen := b.GroupLen()
+	worker := func(lo, hi int) {
+		for g := lo; g < hi; g++ {
+			kernels.ApplyPivots(b.Data[g*groupLen:(g+1)*groupLen], b.Rows, b.Cols, vl, cplx,
+				piv.Data[g*piv.N*vl:(g+1)*piv.N*vl])
+		}
+	}
+	runGroups(worker, b.Groups(), workers)
+	return nil
+}
+
+// runGroups splits [0, groups) across workers.
+func runGroups(worker func(lo, hi int), groups, workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > groups {
+		workers = groups
+	}
+	if workers == 1 {
+		worker(0, groups)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (groups + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > groups {
+			hi = groups
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			worker(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

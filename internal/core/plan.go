@@ -1,0 +1,463 @@
+// Package core implements the IATF run-time stage (paper §5): given the
+// input matrix properties — size, data type, transposition, side, triangle,
+// diagonal — it generates an execution plan:
+//
+//   - the Batch Counter picks how many interleave groups to pack per
+//     super-batch so the packed working set stays inside the L1 data cache;
+//   - the Pack Selector chooses packing kernels, or the no-packing fast
+//     path when the computing kernel can already walk the operand
+//     sequentially;
+//   - the Execution Plan Generator tiles the problem over the Table 1
+//     kernel sizes, instantiates the install-time kernel templates for the
+//     concrete K, and schedules them through the kernel optimizer.
+//
+// Plans are data: the executors in this package run them functionally on
+// the asm VM and, optionally, through the machine pipeline model in the
+// same pass.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"iatf/internal/asm"
+	"iatf/internal/kopt"
+	"iatf/internal/ktmpl"
+	"iatf/internal/machine"
+	"iatf/internal/matrix"
+	"iatf/internal/vec"
+)
+
+// Tuning holds the machine parameters the run-time stage tunes against.
+type Tuning struct {
+	Prof machine.Profile
+	// L1Budget is the packed-working-set budget in bytes per super-batch
+	// (the Batch Counter's bound). Zero selects the profile's L1 size.
+	L1Budget int
+	// DisableOptimizer skips the instruction scheduler (ablation).
+	DisableOptimizer bool
+	// DisablePrefetch skips PRFM insertion (ablation).
+	DisablePrefetch bool
+	// ForceGroupsPerBatch overrides the batch counter (ablation); 0 = auto.
+	ForceGroupsPerBatch int
+	// ForcePackA disables the A no-packing fast path (ablation).
+	ForcePackA bool
+	// VL overrides the vector lane count (the MKL-compact model); 0 = native.
+	VL int
+}
+
+// DefaultTuning targets the Kunpeng 920 model.
+func DefaultTuning() Tuning {
+	return Tuning{Prof: machine.Kunpeng920()}
+}
+
+func (t Tuning) l1() int {
+	if t.L1Budget > 0 {
+		return t.L1Budget
+	}
+	if len(t.Prof.Cache.Levels) > 0 {
+		return t.Prof.Cache.Levels[0].SizeBytes
+	}
+	return 64 << 10
+}
+
+func (t Tuning) lanes(dt vec.DType) int {
+	if t.VL > 0 {
+		return t.VL
+	}
+	return t.Prof.Lanes(dt.ElemBytes())
+}
+
+func (t Tuning) optimize(p asm.Prog, dt vec.DType) asm.Prog {
+	if t.DisableOptimizer {
+		return p
+	}
+	return kopt.Optimize(p, kopt.Options{
+		Prof:      t.Prof,
+		ElemBytes: dt.ElemBytes(),
+		Prefetch:  !t.DisablePrefetch,
+	})
+}
+
+// kernelCache memoizes generated+scheduled kernels across plans. The
+// install-time stage of the paper generates kernels ahead of time; the
+// cache is this reproduction's equivalent, keyed by the full parameter
+// tuple (specs are comparable structs).
+type kernelKey struct {
+	spec any
+	opt  bool
+	pf   bool
+}
+
+var (
+	kernelMu    sync.Mutex
+	kernelCache = map[kernelKey]asm.Prog{}
+)
+
+func (t Tuning) cached(spec any, gen func() (asm.Prog, error), dt vec.DType) (asm.Prog, error) {
+	key := kernelKey{spec: spec, opt: !t.DisableOptimizer, pf: !t.DisablePrefetch}
+	kernelMu.Lock()
+	p, ok := kernelCache[key]
+	kernelMu.Unlock()
+	if ok {
+		return p, nil
+	}
+	raw, err := gen()
+	if err != nil {
+		return nil, err
+	}
+	p = t.optimize(raw, dt)
+	kernelMu.Lock()
+	kernelCache[key] = p
+	kernelMu.Unlock()
+	return p, nil
+}
+
+// GEMMProblem describes a compact batched GEMM: C = alpha·op(A)·op(B) + beta·C
+// over Count matrices.
+type GEMMProblem struct {
+	DT             vec.DType
+	M, N, K        int
+	TransA, TransB matrix.Trans
+	Alpha, Beta    complex128
+	Count          int
+}
+
+// Mode returns the two-letter mode string ("NN", "NT", ...).
+func (p GEMMProblem) Mode() string { return p.TransA.String() + p.TransB.String() }
+
+// FLOPs returns the useful floating-point work of the whole batch.
+func (p GEMMProblem) FLOPs() float64 {
+	return p.DT.FlopsPerElem() * float64(p.M) * float64(p.N) * float64(p.K) * float64(p.Count)
+}
+
+// maxKernelK caps the reduction length of one generated straight-line
+// kernel; longer reductions are split into sequential accumulating chunks
+// (the kernels accumulate into C, so chunking is exact). The cap bounds
+// both kernel length and the optimizer's O(n²) dependence analysis.
+const maxKernelK = 48
+
+// maxTriDim bounds the triangular routines' matrix dimension: their
+// packed-triangle kernels have K = panel offset, which is not chunked.
+// The paper's domain is small matrices (1–33); 128 leaves generous room.
+const maxTriDim = 128
+
+// splitK returns the K-chunk lengths.
+func splitK(k int) []int {
+	var out []int
+	for k > maxKernelK {
+		out = append(out, maxKernelK)
+		k -= maxKernelK
+	}
+	return append(out, k)
+}
+
+// tile is one kernel invocation footprint within the M×N tiling. A tile
+// runs one program per K chunk, each consuming the next packed K range.
+type tile struct {
+	i0, mc int
+	j0, nc int
+	progs  []asm.Prog // one per K chunk
+}
+
+// GEMMPlan is a generated execution plan for a GEMMProblem.
+type GEMMPlan struct {
+	P   GEMMProblem
+	Tun Tuning
+
+	MTiles, NTiles []int
+	KChunks        []int // reduction split into bounded kernel lengths
+	PackA          bool  // false = no-packing fast path for A (§4.4)
+	GroupsPerBatch int   // Batch Counter decision, in interleave groups
+
+	tiles []tile
+}
+
+// NewGEMMPlan runs the run-time stage for a GEMM problem.
+func NewGEMMPlan(p GEMMProblem, tun Tuning) (*GEMMPlan, error) {
+	return newGEMMPlan(p, tun, ktmpl.MTiles(p.DT), ktmpl.NTiles(p.DT))
+}
+
+// NewGEMMPlanWithKernel builds a plan whose tiling leads with a forced
+// main kernel size instead of the CMAR-optimal one — the kernel-size
+// ablation that validates Eq. 2/3.
+func NewGEMMPlanWithKernel(p GEMMProblem, tun Tuning, mc, nc int) (*GEMMPlan, error) {
+	if ktmpl.RegistersNeeded(p.DT, mc, nc) > 32 {
+		return nil, fmt.Errorf("core: forced kernel %dx%d exceeds the register file", mc, nc)
+	}
+	msizes := descending(mc)
+	nsizes := descending(nc)
+	return newGEMMPlan(p, tun, msizes, nsizes)
+}
+
+func descending(n int) []int {
+	out := make([]int, 0, n)
+	for s := n; s >= 1; s-- {
+		out = append(out, s)
+	}
+	return out
+}
+
+func newGEMMPlan(p GEMMProblem, tun Tuning, msizes, nsizes []int) (*GEMMPlan, error) {
+	if p.M < 1 || p.N < 1 || p.K < 1 || p.Count < 1 {
+		return nil, fmt.Errorf("core: invalid GEMM problem %dx%dx%d count %d", p.M, p.N, p.K, p.Count)
+	}
+	pl := &GEMMPlan{P: p, Tun: tun}
+	pl.MTiles = ktmpl.SplitDim(p.M, msizes)
+	pl.NTiles = ktmpl.SplitDim(p.N, nsizes)
+
+	// Pack Selector: A skips packing in non-transposed mode when a single
+	// row panel covers M — the native compact order already is the
+	// N-shaped panel.
+	mainMC := msizes[0]
+	pl.PackA = tun.ForcePackA || !(p.TransA == matrix.NoTrans && p.M <= mainMC)
+
+	// Batch Counter: packed A + packed B + the C tile per group must fit
+	// the L1 budget.
+	bl := blockLen(p.DT, tun.lanes(p.DT))
+	perGroup := (p.M*p.K + p.K*p.N + p.M*p.N) * bl * p.DT.ElemBytes()
+	gb := tun.l1() / perGroup
+	if gb < 1 {
+		gb = 1
+	}
+	if tun.ForceGroupsPerBatch > 0 {
+		gb = tun.ForceGroupsPerBatch
+	}
+	maxGroups := (p.Count + p.DT.Pack() - 1) / p.DT.Pack()
+	if tun.VL > 0 {
+		maxGroups = (p.Count + tun.VL - 1) / tun.VL
+	}
+	if gb > maxGroups {
+		gb = maxGroups
+	}
+	pl.GroupsPerBatch = gb
+
+	// Execution Plan Generator: one optimized kernel per tile and K chunk.
+	pl.KChunks = splitK(p.K)
+	i0 := 0
+	for _, mc := range pl.MTiles {
+		j0 := 0
+		for _, nc := range pl.NTiles {
+			t := tile{i0: i0, mc: mc, j0: j0, nc: nc}
+			for _, kc := range pl.KChunks {
+				spec := ktmpl.GEMMSpec{DT: p.DT, MC: mc, NC: nc, K: kc, StrideC: p.M, VL: tun.VL}
+				prog, err := tun.cached(spec, func() (asm.Prog, error) { return ktmpl.GenGEMM(spec) }, p.DT)
+				if err != nil {
+					return nil, err
+				}
+				t.progs = append(t.progs, prog)
+			}
+			pl.tiles = append(pl.tiles, t)
+			j0 += nc
+		}
+		i0 += mc
+	}
+	return pl, nil
+}
+
+// blockLen returns the element footprint of one compact block.
+func blockLen(dt vec.DType, vl int) int {
+	if dt.IsComplex() {
+		return 2 * vl
+	}
+	return vl
+}
+
+// Instructions returns the total instruction count of all tile kernels —
+// a cheap proxy used by tests and the info tool.
+func (pl *GEMMPlan) Instructions() int {
+	n := 0
+	for _, t := range pl.tiles {
+		for _, p := range t.progs {
+			n += len(p)
+		}
+	}
+	return n
+}
+
+// TRSMProblem describes a compact batched TRSM: solve
+// op(A)·X = alpha·B (Left) or X·op(A) = alpha·B (Right), overwriting B.
+type TRSMProblem struct {
+	DT     vec.DType
+	M, N   int // B is M×N; A is M×M (Left) or N×N (Right)
+	Side   matrix.Side
+	Uplo   matrix.Uplo
+	TransA matrix.Trans
+	Diag   matrix.Diag
+	Alpha  complex128
+	Count  int
+}
+
+// Mode returns the four-letter mode string the paper uses (e.g. "LNLN":
+// Left, Non-transposed, Lower, Non-unit).
+func (p TRSMProblem) Mode() string {
+	return p.Side.String() + p.TransA.String() + p.Uplo.String() + p.Diag.String()
+}
+
+// FLOPs returns the useful floating-point work of the whole batch
+// (triangular solve: M²·N multiply-adds for Left, N²·M for Right).
+func (p TRSMProblem) FLOPs() float64 {
+	dim := float64(p.M)
+	other := float64(p.N)
+	if p.Side == matrix.Right {
+		dim, other = other, dim
+	}
+	return p.DT.FlopsPerElem() / 2 * dim * dim * other * float64(p.Count)
+}
+
+// trsmStep is one panel's kernel pair within a column tile.
+type trsmStep struct {
+	r0, q   int              // panel rows
+	rectOff int              // element offset of the panel's rectangular part in the packed triangle
+	triOff  int              // element offset of the panel's triangular part
+	rect    map[int]asm.Prog // keyed by column-tile width
+	tri     map[int]asm.Prog
+}
+
+// TRSMPlan is a generated execution plan for a TRSMProblem.
+type TRSMPlan struct {
+	P   TRSMProblem
+	Tun Tuning
+
+	// Canonicalized geometry: the solver always runs Left/Lower/NoTrans.
+	MEff, NEff     int  // triangle dim and B width after side reduction
+	TransposeB     bool // Right side: solve against Bᵀ
+	ReverseB       bool // effective-upper: index-reversed
+	PackB          bool // B copied into a canonical buffer
+	Panels         []int
+	ColTiles       []int
+	GroupsPerBatch int
+
+	steps []trsmStep
+}
+
+// NewTRSMPlan runs the run-time stage for a TRSM problem.
+func NewTRSMPlan(p TRSMProblem, tun Tuning) (*TRSMPlan, error) {
+	if p.M < 1 || p.N < 1 || p.Count < 1 {
+		return nil, fmt.Errorf("core: invalid TRSM problem %dx%d count %d", p.M, p.N, p.Count)
+	}
+	if p.M > maxTriDim || p.N > maxTriDim {
+		return nil, fmt.Errorf("core: TRSM supports dimensions up to %d (got %dx%d); this is a small-matrix library", maxTriDim, p.M, p.N)
+	}
+	pl := &TRSMPlan{P: p, Tun: tun}
+
+	// Side reduction: X·op(A) = αB  ⇔  op(A)ᵀ·Xᵀ = αBᵀ.
+	transA := p.TransA == matrix.Transpose
+	pl.MEff, pl.NEff = p.M, p.N
+	if p.Side == matrix.Right {
+		pl.MEff, pl.NEff = p.N, p.M
+		pl.TransposeB = true
+		transA = !transA
+	}
+	upper := p.Uplo == matrix.Upper
+	pl.ReverseB = upper != transA // effective triangle is upper
+
+	// Pack Selector: B needs the canonical buffer only when its row order
+	// or orientation changes; the plain lower solve runs in place
+	// (§4.4's no-packing strategy for LNLN).
+	pl.PackB = pl.TransposeB || pl.ReverseB
+
+	// Panels: whole triangle in registers when it fits (M ≤ 5 real,
+	// M ≤ 3 complex); otherwise main-kernel-height panels.
+	if pl.MEff <= ktmpl.MaxTriM(p.DT) {
+		pl.Panels = []int{pl.MEff}
+	} else {
+		q := ktmpl.TRSMPanel(p.DT)
+		sizes := make([]int, 0, q)
+		for s := q; s >= 1; s-- {
+			sizes = append(sizes, s)
+		}
+		pl.Panels = ktmpl.SplitDim(pl.MEff, sizes)
+	}
+	ncSizes := make([]int, 0, 4)
+	for s := ktmpl.MainTRSMKernel(p.DT).NC; s >= 1; s-- {
+		ncSizes = append(ncSizes, s)
+	}
+	pl.ColTiles = ktmpl.SplitDim(pl.NEff, ncSizes)
+
+	// Batch Counter: packed triangle + B per group within L1.
+	vl := tun.lanes(p.DT)
+	bl := blockLen(p.DT, vl)
+	triElems := (pl.MEff * (pl.MEff + 1) / 2) * bl
+	perGroup := (triElems + pl.MEff*pl.NEff*bl) * p.DT.ElemBytes()
+	gb := tun.l1() / perGroup
+	if gb < 1 {
+		gb = 1
+	}
+	if tun.ForceGroupsPerBatch > 0 {
+		gb = tun.ForceGroupsPerBatch
+	}
+	pack := p.DT.Pack()
+	if tun.VL > 0 {
+		pack = tun.VL
+	}
+	maxGroups := (p.Count + pack - 1) / pack
+	if gb > maxGroups {
+		gb = maxGroups
+	}
+	pl.GroupsPerBatch = gb
+
+	// Kernels per panel × column-tile width.
+	r0, off := 0, 0
+	for _, q := range pl.Panels {
+		st := trsmStep{r0: r0, q: q, rectOff: off, triOff: off + q*r0*bl,
+			rect: map[int]asm.Prog{}, tri: map[int]asm.Prog{}}
+		for _, ct := range dedupe(pl.ColTiles) {
+			if r0 > 0 {
+				spec := ktmpl.RectSpec{DT: p.DT, MC: q, NC: ct, K: r0,
+					StrideC: pl.MEff, StrideX: pl.MEff, VL: tun.VL}
+				prog, err := tun.cached(spec, func() (asm.Prog, error) { return ktmpl.GenTRSMRect(spec) }, p.DT)
+				if err != nil {
+					return nil, err
+				}
+				st.rect[ct] = prog
+			}
+			spec := ktmpl.TriSpec{DT: p.DT, M: q, NCols: ct, StrideB: pl.MEff, VL: tun.VL}
+			prog, err := tun.cached(spec, func() (asm.Prog, error) { return ktmpl.GenTRSMTri(spec) }, p.DT)
+			if err != nil {
+				return nil, err
+			}
+			st.tri[ct] = prog
+		}
+		pl.steps = append(pl.steps, st)
+		off += (q*r0 + q*(q+1)/2) * bl
+		r0 += q
+	}
+	return pl, nil
+}
+
+func dedupe(xs []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Preinstall runs the install-time stage eagerly: it generates and
+// schedule-optimizes every Table 1 computing kernel for reductions up to
+// maxK, populating the process-wide kernel cache so later plans pay no
+// generation latency — the paper's ahead-of-time install-time stage made
+// explicit. It returns the number of kernels now cached.
+func Preinstall(tun Tuning, maxK int) (int, error) {
+	if maxK < 1 {
+		maxK = 1
+	}
+	for _, dt := range vec.DTypes {
+		for _, sz := range ktmpl.GEMMKernelSizes(dt) {
+			for k := 1; k <= maxK && k <= maxKernelK; k++ {
+				spec := ktmpl.GEMMSpec{DT: dt, MC: sz.MC, NC: sz.NC, K: k, StrideC: sz.MC, VL: tun.VL}
+				if _, err := tun.cached(spec, func() (asm.Prog, error) { return ktmpl.GenGEMM(spec) }, dt); err != nil {
+					return 0, err
+				}
+			}
+		}
+	}
+	kernelMu.Lock()
+	defer kernelMu.Unlock()
+	return len(kernelCache), nil
+}

@@ -1,0 +1,452 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"iatf/internal/asm"
+	"iatf/internal/kernels"
+	"iatf/internal/ktmpl"
+	"iatf/internal/layout"
+	"iatf/internal/machine"
+	"iatf/internal/matrix"
+	"iatf/internal/pack"
+	"iatf/internal/vec"
+)
+
+// Compact batched TRMM — B := alpha·op(A)·B (Left) or alpha·B·op(A)
+// (Right) with triangular A — is this library's extension of the IATF
+// framework to a further level-3 routine (the paper's future work). It
+// reuses the whole run-time machinery of TRSM: side reduction, triangle
+// canonicalization, panel decomposition, column tiling and L1 batching;
+// the dataflow runs bottom-up instead of top-down and the kernels are the
+// multiplying forms (TriMul, RectAdd), on both the native and the VM/cycle
+// backends.
+
+// TRMMProblem describes a compact batched TRMM.
+type TRMMProblem struct {
+	DT     vec.DType
+	M, N   int // B is M×N; A is M×M (Left) or N×N (Right)
+	Side   matrix.Side
+	Uplo   matrix.Uplo
+	TransA matrix.Trans
+	Diag   matrix.Diag
+	Alpha  complex128
+	Count  int
+}
+
+// Mode returns the four-letter mode string.
+func (p TRMMProblem) Mode() string {
+	return p.Side.String() + p.TransA.String() + p.Uplo.String() + p.Diag.String()
+}
+
+// FLOPs returns the useful floating-point work of the whole batch.
+func (p TRMMProblem) FLOPs() float64 {
+	dim := float64(p.M)
+	other := float64(p.N)
+	if p.Side == matrix.Right {
+		dim, other = other, dim
+	}
+	return p.DT.FlopsPerElem() / 2 * dim * dim * other * float64(p.Count)
+}
+
+// TRMMPlan is the generated execution plan; the geometry fields have the
+// same meaning as in TRSMPlan.
+type TRMMPlan struct {
+	P   TRMMProblem
+	Tun Tuning
+
+	MEff, NEff     int
+	TransposeB     bool
+	ReverseB       bool
+	PackB          bool
+	Panels         []int
+	ColTiles       []int
+	GroupsPerBatch int
+
+	steps []trmmStep
+}
+
+type trmmStep struct {
+	r0, q   int
+	rectOff int
+	triOff  int
+	rect    map[int]asm.Prog // IR kernels for the VM/cycle backend
+	tri     map[int]asm.Prog
+}
+
+// distinct cache-key wrappers: TriSpec/RectSpec are shared with TRSM but
+// generate different programs here.
+type trmmTriKey struct{ s ktmpl.TriSpec }
+type trmmRectKey struct{ s ktmpl.RectSpec }
+
+// NewTRMMPlan runs the run-time stage for a TRMM problem.
+func NewTRMMPlan(p TRMMProblem, tun Tuning) (*TRMMPlan, error) {
+	if p.M < 1 || p.N < 1 || p.Count < 1 {
+		return nil, fmt.Errorf("core: invalid TRMM problem %dx%d count %d", p.M, p.N, p.Count)
+	}
+	if p.M > maxTriDim || p.N > maxTriDim {
+		return nil, fmt.Errorf("core: TRMM supports dimensions up to %d (got %dx%d)", maxTriDim, p.M, p.N)
+	}
+	pl := &TRMMPlan{P: p, Tun: tun}
+
+	transA := p.TransA == matrix.Transpose
+	pl.MEff, pl.NEff = p.M, p.N
+	if p.Side == matrix.Right {
+		pl.MEff, pl.NEff = p.N, p.M
+		pl.TransposeB = true
+		transA = !transA
+	}
+	upper := p.Uplo == matrix.Upper
+	pl.ReverseB = upper != transA
+	pl.PackB = pl.TransposeB || pl.ReverseB
+
+	if pl.MEff <= ktmpl.MaxTriM(p.DT) {
+		pl.Panels = []int{pl.MEff}
+	} else {
+		q := ktmpl.TRSMPanel(p.DT)
+		pl.Panels = ktmpl.SplitDim(pl.MEff, descending(q))
+	}
+	pl.ColTiles = ktmpl.SplitDim(pl.NEff, descending(ktmpl.MainTRSMKernel(p.DT).NC))
+
+	vl := tun.lanes(p.DT)
+	bl := blockLen(p.DT, vl)
+	triElems := (pl.MEff * (pl.MEff + 1) / 2) * bl
+	perGroup := (triElems + pl.MEff*pl.NEff*bl) * p.DT.ElemBytes()
+	gb := tun.l1() / perGroup
+	if gb < 1 {
+		gb = 1
+	}
+	if tun.ForceGroupsPerBatch > 0 {
+		gb = tun.ForceGroupsPerBatch
+	}
+	maxGroups := (p.Count + p.DT.Pack() - 1) / p.DT.Pack()
+	if gb > maxGroups {
+		gb = maxGroups
+	}
+	pl.GroupsPerBatch = gb
+
+	r0, off := 0, 0
+	for _, q := range pl.Panels {
+		st := trmmStep{r0: r0, q: q, rectOff: off, triOff: off + q*r0*bl,
+			rect: map[int]asm.Prog{}, tri: map[int]asm.Prog{}}
+		for _, ct := range dedupe(pl.ColTiles) {
+			if r0 > 0 {
+				spec := ktmpl.RectSpec{DT: p.DT, MC: q, NC: ct, K: r0,
+					StrideC: pl.MEff, StrideX: pl.MEff, VL: tun.VL}
+				prog, err := tun.cached(trmmRectKey{spec}, func() (asm.Prog, error) { return ktmpl.GenTRMMRect(spec) }, p.DT)
+				if err != nil {
+					return nil, err
+				}
+				st.rect[ct] = prog
+			}
+			spec := ktmpl.TriSpec{DT: p.DT, M: q, NCols: ct, StrideB: pl.MEff, VL: tun.VL}
+			prog, err := tun.cached(trmmTriKey{spec}, func() (asm.Prog, error) { return ktmpl.GenTRMMTri(spec) }, p.DT)
+			if err != nil {
+				return nil, err
+			}
+			st.tri[ct] = prog
+		}
+		pl.steps = append(pl.steps, st)
+		off += (q*r0 + q*(q+1)/2) * bl
+		r0 += q
+	}
+	return pl, nil
+}
+
+// ExecTRMMNative runs the plan with the native kernels, overwriting B.
+func ExecTRMMNative[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E]) error {
+	return ExecTRMMNativeParallel(pl, a, b, 1)
+}
+
+// ExecTRMMNativeParallel is ExecTRMMNative with worker-parallel groups.
+func ExecTRMMNativeParallel[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], workers int) error {
+	p := pl.P
+	if pl.Tun.VL != 0 && pl.Tun.VL != p.DT.Pack() {
+		return fmt.Errorf("core: native execution requires the native lane count")
+	}
+	if a.Count != p.Count || b.Count != p.Count {
+		return fmt.Errorf("core: batch count mismatch")
+	}
+	if a.Rows != pl.MEff || a.Cols != pl.MEff || b.Rows != p.M || b.Cols != p.N {
+		return fmt.Errorf("core: shape mismatch A=%dx%d B=%dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	groups := a.Groups()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > groups {
+		workers = groups
+	}
+	if workers == 1 {
+		trmmWorker(pl, a, b, 0, groups)
+		return nil
+	}
+	var wg sync.WaitGroup
+	chunk := (groups + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > groups {
+			hi = groups
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			trmmWorker(pl, a, b, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return nil
+}
+
+func trmmWorker[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], gLo, gHi int) {
+	p := pl.P
+	vl := p.DT.Pack()
+	bl := blockLen(p.DT, vl)
+	cplx := p.DT.IsComplex()
+	lenA := pl.MEff * pl.MEff * bl
+	lenB := p.M * p.N * bl
+	lenTri := 0
+	{
+		r0 := 0
+		for _, q := range pl.Panels {
+			lenTri += (q*r0 + q*(q+1)/2) * bl
+			r0 += q
+		}
+	}
+	transAEff := p.TransA == matrix.Transpose
+	if p.Side == matrix.Right {
+		transAEff = !transAEff
+	}
+	effUpper := (p.Uplo == matrix.Upper) != transAEff
+
+	gb := pl.GroupsPerBatch
+	packTri := make([]E, gb*lenTri)
+	var packB []E
+	lenPB := 0
+	if pl.PackB {
+		lenPB = pl.MEff * pl.NEff * bl
+		packB = make([]E, gb*lenPB)
+	}
+
+	for sb := gLo; sb < gHi; sb += gb {
+		end := sb + gb
+		if end > gHi {
+			end = gHi
+		}
+		for g := sb; g < end; g++ {
+			slot := g - sb
+			npackTri(a.Data[g*lenA:(g+1)*lenA], pl.MEff, effUpper, transAEff,
+				p.Diag == matrix.Unit, false, pl.Panels, cplx, vl, bl, packTri[slot*lenTri:])
+			var target []E
+			if pl.PackB {
+				nBCopy(b.Data[g*lenB:(g+1)*lenB], p.M, p.N, pl.ReverseB, pl.TransposeB, bl, packB[slot*lenPB:])
+				target = packB[slot*lenPB : (slot+1)*lenPB]
+			} else {
+				target = b.Data[g*lenB : (g+1)*lenB]
+			}
+			if p.Alpha != 1 {
+				nscale(target, pl.MEff*pl.NEff, cplx, vl, real(p.Alpha), imag(p.Alpha))
+			}
+		}
+		for g := sb; g < end; g++ {
+			slot := g - sb
+			tri := packTri[slot*lenTri:]
+			var target []E
+			if pl.PackB {
+				target = packB[slot*lenPB:]
+			} else {
+				target = b.Data[g*lenB:]
+			}
+			j0 := 0
+			for _, ct := range pl.ColTiles {
+				colBase := j0 * pl.MEff * bl
+				// Bottom-up: each panel multiplies its own rows before
+				// any panel above it is touched, so the rectangular
+				// accumulation always reads original values.
+				for s := len(pl.steps) - 1; s >= 0; s-- {
+					st := pl.steps[s]
+					if cplx {
+						kernels.TriMulCplx(tri[st.triOff:], target[colBase+st.r0*bl:], st.q, ct, pl.MEff, vl)
+					} else {
+						kernels.TriMul(tri[st.triOff:], target[colBase+st.r0*bl:], st.q, ct, pl.MEff, vl)
+					}
+					if st.r0 > 0 {
+						if cplx {
+							kernels.RectAddCplx(tri[st.rectOff:], target[colBase:],
+								target[colBase+st.r0*bl:], st.q, ct, st.r0, pl.MEff, pl.MEff, vl)
+						} else {
+							kernels.RectAdd(tri[st.rectOff:], target[colBase:],
+								target[colBase+st.r0*bl:], st.q, ct, st.r0, pl.MEff, pl.MEff, vl)
+						}
+					}
+				}
+				j0 += ct
+			}
+		}
+		if pl.PackB {
+			for g := sb; g < end; g++ {
+				slot := g - sb
+				nBUncopy(b.Data[g*lenB:(g+1)*lenB], p.M, p.N, pl.ReverseB, pl.TransposeB, bl, packB[slot*lenPB:])
+			}
+		}
+	}
+}
+
+// trmmLayout lays out the VM arena for the TRMM sim/VM backend (same
+// scheme as trsmLayout).
+func trmmLayout(pl *TRMMPlan, groups int) trsmOffsets {
+	p := pl.P
+	bl := blockLen(p.DT, pl.Tun.lanes(p.DT))
+	var o trsmOffsets
+	o.lenA = pl.MEff * pl.MEff * bl
+	o.lenB = p.M * p.N * bl
+	o.a = 0
+	o.b = o.a + groups*o.lenA
+	o.packTri = o.b + groups*o.lenB
+	o.lenTri = pack.TriLen(bl, pl.Panels)
+	o.packB = o.packTri + pl.GroupsPerBatch*o.lenTri
+	if pl.PackB {
+		o.lenPB = pl.MEff * pl.NEff * bl
+	}
+	o.total = o.packB + pl.GroupsPerBatch*o.lenPB
+	return o
+}
+
+// runTRMM executes the plan on the VM backend, optionally feeding the
+// pipeline model — the cycle-model twin of trmmWorker.
+func runTRMM[E vec.Float](pl *TRMMPlan, ar *arena[E], o trsmOffsets, sim *machine.Sim) error {
+	p := pl.P
+	vm := &asm.VM[E]{Mem: ar.mem}
+	if sim != nil {
+		vm.Trace = func(in asm.Instr, addr int) { sim.Exec(in, addr) }
+	}
+	var rec *pack.Recorder
+	if sim != nil {
+		rec = &pack.Recorder{}
+	}
+	ctx := &pack.Ctx[E]{Mem: ar.mem, DT: p.DT, VL: ar.vl, Rec: rec}
+
+	transAEff := p.TransA == matrix.Transpose
+	if p.Side == matrix.Right {
+		transAEff = !transAEff
+	}
+	tm := pack.NewTriMap(pl.MEff, p.Uplo == matrix.Upper, transAEff, p.Diag == matrix.Unit)
+	tm.Recip = false
+
+	bl := ar.bl
+	gb := pl.GroupsPerBatch
+	for sb := 0; sb < ar.groups; sb += gb {
+		end := sb + gb
+		if end > ar.groups {
+			end = ar.groups
+		}
+		for g := sb; g < end; g++ {
+			slot := g - sb
+			srcA := pack.Geom{Off: o.a + g*o.lenA, Rows: pl.MEff, Cols: pl.MEff, BlockLen: bl}
+			pack.Tri(ctx, srcA, tm, pl.Panels, o.packTri+slot*o.lenTri)
+			geomB := pack.Geom{Off: o.b + g*o.lenB, Rows: p.M, Cols: p.N, BlockLen: bl}
+			target := geomB
+			if pl.PackB {
+				pack.BCopy(ctx, geomB, pl.ReverseB, pl.TransposeB, o.packB+slot*o.lenPB)
+				target = pack.Geom{Off: o.packB + slot*o.lenPB, Rows: pl.MEff, Cols: pl.NEff, BlockLen: bl}
+			}
+			if p.Alpha != 1 {
+				pack.Scale(ctx, target, real(p.Alpha), imag(p.Alpha))
+			}
+		}
+		replayPacking(sim, rec, ar.vl)
+
+		for g := sb; g < end; g++ {
+			slot := g - sb
+			triBase := o.packTri + slot*o.lenTri
+			targetOff := o.b + g*o.lenB
+			if pl.PackB {
+				targetOff = o.packB + slot*o.lenPB
+			}
+			j0 := 0
+			for _, ct := range pl.ColTiles {
+				colBase := targetOff + j0*pl.MEff*bl
+				for s := len(pl.steps) - 1; s >= 0; s-- {
+					st := pl.steps[s]
+					if sim != nil {
+						sim.AddCycles(kernelDispatchCycles)
+					}
+					vm.P[asm.PA] = triBase + st.triOff
+					vm.P[asm.PB] = colBase + st.r0*bl
+					if err := vm.Run(st.tri[ct]); err != nil {
+						return fmt.Errorf("core: trmm tri panel r0=%d: %w", st.r0, err)
+					}
+					if st.r0 > 0 {
+						vm.P[asm.PA] = triBase + st.rectOff
+						vm.P[asm.PX] = colBase
+						vm.P[asm.PC] = colBase + st.r0*bl
+						if err := vm.Run(st.rect[ct]); err != nil {
+							return fmt.Errorf("core: trmm rect panel r0=%d: %w", st.r0, err)
+						}
+					}
+				}
+				j0 += ct
+			}
+		}
+		if pl.PackB {
+			for g := sb; g < end; g++ {
+				slot := g - sb
+				geomB := pack.Geom{Off: o.b + g*o.lenB, Rows: p.M, Cols: p.N, BlockLen: bl}
+				pack.BUncopy(ctx, geomB, pl.ReverseB, pl.TransposeB, o.packB+slot*o.lenPB)
+			}
+			replayPacking(sim, rec, ar.vl)
+		}
+	}
+	return nil
+}
+
+// ExecTRMM runs the plan on the VM backend (and through the pipeline
+// model when sim is non-nil), overwriting B.
+func ExecTRMM[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], sim *machine.Sim) error {
+	p := pl.P
+	if a.Count != p.Count || b.Count != p.Count {
+		return fmt.Errorf("core: batch count mismatch")
+	}
+	if a.Rows != pl.MEff || a.Cols != pl.MEff || b.Rows != p.M || b.Cols != p.N {
+		return fmt.Errorf("core: shape mismatch A=%dx%d B=%dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if pl.Tun.VL != 0 && pl.Tun.VL != p.DT.Pack() {
+		return fmt.Errorf("core: ExecTRMM requires the native lane count; use SimTRMM for the %d-lane model", pl.Tun.VL)
+	}
+	groups := a.Groups()
+	o := trmmLayout(pl, groups)
+	ar := &arena[E]{mem: make([]E, o.total), vl: p.DT.Pack(), bl: blockLen(p.DT, p.DT.Pack()), groups: groups}
+	copy(ar.mem[o.a:], a.Data)
+	copy(ar.mem[o.b:], b.Data)
+	if err := runTRMM(pl, ar, o, sim); err != nil {
+		return err
+	}
+	copy(b.Data, ar.mem[o.b:o.b+groups*o.lenB])
+	return nil
+}
+
+// SimTRMM executes the plan on a synthetic arena purely for timing.
+func SimTRMM(pl *TRMMPlan, groups int, sim *machine.Sim) (int64, error) {
+	p := pl.P
+	o := trmmLayout(pl, groups)
+	vl := pl.Tun.lanes(p.DT)
+	var err error
+	if p.DT.ElemBytes() == 8 {
+		ar := &arena[float64]{mem: make([]float64, o.total), vl: vl, bl: blockLen(p.DT, vl), groups: groups}
+		fillArena(ar.mem)
+		err = runTRMM(pl, ar, o, sim)
+	} else {
+		ar := &arena[float32]{mem: make([]float32, o.total), vl: vl, bl: blockLen(p.DT, vl), groups: groups}
+		fillArena(ar.mem)
+		err = runTRMM(pl, ar, o, sim)
+	}
+	if err != nil {
+		return 0, err
+	}
+	return sim.Cycles(), nil
+}

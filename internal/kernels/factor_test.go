@@ -1,0 +1,225 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildGroup fills a compact group of count lanes of n×n matrices with
+// per-lane values from gen.
+func buildGroup(n, vl int, gen func(lane, i, j int) float64) []float64 {
+	a := make([]float64, n*n*vl)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			for l := 0; l < vl; l++ {
+				a[(j*n+i)*vl+l] = gen(l, i, j)
+			}
+		}
+	}
+	return a
+}
+
+// LU factors must reconstruct the original matrix per lane.
+func TestLUKernelReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n, vl = 5, 2
+	orig := make([][5][5]float64, vl)
+	a := buildGroup(n, vl, func(l, i, j int) float64 {
+		v := rng.Float64()
+		if i == j {
+			v += float64(n)
+		}
+		orig[l][i][j] = v
+		return v
+	})
+	info := make([]int, vl)
+	LU(a, n, vl, info)
+	for l := 0; l < vl; l++ {
+		if info[l] != 0 {
+			t.Fatalf("lane %d flagged singular", l)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				for k := 0; k <= i && k <= j; k++ {
+					lv := a[(k*n+i)*vl+l]
+					if k == i {
+						lv = 1
+					}
+					uv := a[(j*n+k)*vl+l]
+					sum += lv * uv
+				}
+				if math.Abs(sum-orig[l][i][j]) > 1e-10 {
+					t.Fatalf("lane %d (%d,%d): L·U=%v want %v", l, i, j, sum, orig[l][i][j])
+				}
+			}
+		}
+	}
+}
+
+// Cholesky factors must reconstruct per lane; non-SPD lanes are flagged.
+func TestCholeskyKernelReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const n, vl = 4, 2
+	// Lane 0: SPD (MᵀM + nI); lane 1: indefinite (flagged).
+	var m [4][4]float64
+	for i := range m {
+		for j := range m {
+			m[i][j] = rng.Float64()
+		}
+	}
+	var spd [4][4]float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			for k := 0; k < n; k++ {
+				spd[i][j] += m[k][i] * m[k][j]
+			}
+		}
+		spd[i][i] += float64(n)
+	}
+	a := buildGroup(n, vl, func(l, i, j int) float64 {
+		if l == 0 {
+			return spd[i][j]
+		}
+		if i == j {
+			return -1 // negative diagonal: not SPD
+		}
+		return 0
+	})
+	info := make([]int, vl)
+	Cholesky(a, n, vl, info)
+	if info[0] != 0 {
+		t.Fatalf("SPD lane flagged: %v", info)
+	}
+	if info[1] != 1 {
+		t.Fatalf("indefinite lane not flagged at column 0: %v", info)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := 0.0
+			for k := 0; k <= j; k++ {
+				sum += a[(k*n+i)*vl] * a[(k*n+j)*vl]
+			}
+			if math.Abs(sum-spd[i][j]) > 1e-10 {
+				t.Fatalf("(%d,%d): L·Lᵀ=%v want %v", i, j, sum, spd[i][j])
+			}
+		}
+	}
+}
+
+// LUPiv must factor a permutation-requiring matrix and record pivots that
+// reproduce P·A = L·U per lane.
+func TestLUPivKernel(t *testing.T) {
+	const n, vl = 3, 2
+	// Lane 0 needs a swap at column 0; lane 1 is already fine.
+	src := [2][3][3]float64{
+		{{0, 1, 2}, {1, 1, 1}, {2, 0, 1}},
+		{{3, 1, 0}, {1, 2, 1}, {0, 1, 2}},
+	}
+	a := buildGroup(n, vl, func(l, i, j int) float64 { return src[l][i][j] })
+	piv := make([]int32, n*vl)
+	info := make([]int, vl)
+	LUPiv(a, n, vl, false, piv, info)
+	for l := 0; l < vl; l++ {
+		if info[l] != 0 {
+			t.Fatalf("lane %d flagged singular", l)
+		}
+		// Apply the recorded pivots to the original and compare L·U.
+		var pa [3][3]float64
+		pa = src[l]
+		for k := 0; k < n; k++ {
+			r := int(piv[k*vl+l])
+			pa[k], pa[r] = pa[r], pa[k]
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum := 0.0
+				for k := 0; k <= i && k <= j; k++ {
+					lv := a[(k*n+i)*vl+l]
+					if k == i {
+						lv = 1
+					}
+					sum += lv * a[(j*n+k)*vl+l]
+				}
+				if math.Abs(sum-pa[i][j]) > 1e-12 {
+					t.Fatalf("lane %d (%d,%d): L·U=%v want %v", l, i, j, sum, pa[i][j])
+				}
+			}
+		}
+	}
+	if piv[0] == 0 && piv[1] == 0 {
+		t.Error("no pivot recorded for the zero-leading lane")
+	}
+}
+
+// ApplyPivots must permute B rows per lane exactly as recorded.
+func TestApplyPivotsKernel(t *testing.T) {
+	const rows, cols, vl = 3, 2, 2
+	b := make([]float64, rows*cols*vl)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			for l := 0; l < vl; l++ {
+				b[(j*rows+i)*vl+l] = float64(100*l + 10*i + j)
+			}
+		}
+	}
+	// Lane 0: swap rows 0↔2 at step 0; lane 1: identity.
+	piv := []int32{2, 0, 1, 1, 2, 2}
+	ApplyPivots(b, rows, cols, vl, false, piv)
+	// Lane 0 row 0 now holds old row 2; lane 1 untouched.
+	if b[0] != 20 || b[(0*rows+2)*vl] != 0 {
+		t.Errorf("lane 0 swap wrong: %v", b)
+	}
+	if b[1] != 100 {
+		t.Errorf("lane 1 modified: %v", b)
+	}
+}
+
+// Complex LU via the kernel: verify on a lane against complex128 math.
+func TestLUCplxKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, vl = 4, 2
+	orig := make([][4][4]complex128, vl)
+	a := make([]float64, n*n*2*vl)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			for l := 0; l < vl; l++ {
+				v := complex(rng.Float64(), rng.Float64())
+				if i == j {
+					v += complex(float64(n), 0)
+				}
+				orig[l][i][j] = v
+				off := (j*n + i) * 2 * vl
+				a[off+l] = real(v)
+				a[off+vl+l] = imag(v)
+			}
+		}
+	}
+	info := make([]int, vl)
+	LUCplx(a, n, vl, info)
+	for l := 0; l < vl; l++ {
+		if info[l] != 0 {
+			t.Fatalf("lane %d flagged", l)
+		}
+		at := func(i, j int) complex128 {
+			off := (j*n + i) * 2 * vl
+			return complex(a[off+l], a[off+vl+l])
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				sum := complex(0, 0)
+				for k := 0; k <= i && k <= j; k++ {
+					lv := at(i, k)
+					if k == i {
+						lv = 1
+					}
+					sum += lv * at(k, j)
+				}
+				if d := sum - orig[l][i][j]; math.Hypot(real(d), imag(d)) > 1e-10 {
+					t.Fatalf("lane %d (%d,%d): %v want %v", l, i, j, sum, orig[l][i][j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package kernels
+
+import "iatf/internal/vec"
+
+// TRMM kernels — the compact triangular matrix multiply, this library's
+// extension of the IATF framework to a further level-3 routine (the
+// paper's stated future work). The blocked algorithm mirrors TRSM with
+// the dataflow reversed: panels are processed bottom-up so each panel's
+// update reads only still-original rows.
+//
+//	B_i := Tri(i,i)·B_i            (TriMul, register-resident triangle)
+//	B_i += L(i, j<i)·B_j           (RectAdd, FMLA form of the Eq. 4 kernel)
+//
+// The packed triangle stores true diagonal values (ones for Unit); alpha
+// is pre-scaled into B exactly as in TRSM.
+
+// TriMul multiplies ncols columns of B in place by the register-resident
+// lower triangle (m ≤ 5 real). Rows are processed bottom-up so x_j
+// (j < i) is still the original value when row i consumes it.
+func TriMul[E vec.Float](pa, b []E, m, ncols, strideB, vl int) {
+	if vl == 4 {
+		triMul4(pa, b, m, ncols, strideB)
+		return
+	}
+	if vl == 2 {
+		triMul2(pa, b, m, ncols, strideB)
+		return
+	}
+	var a [15]vec.V[E]
+	n := m * (m + 1) / 2
+	for i := 0; i < n; i++ {
+		a[i] = vec.Load(pa[i*vl:], vl)
+	}
+	var x [5]vec.V[E]
+	for l := 0; l < ncols; l++ {
+		off := l * strideB * vl
+		for i := 0; i < m; i++ {
+			x[i] = vec.Load(b[off+i*vl:], vl)
+		}
+		for i := m - 1; i >= 0; i-- {
+			row := i * (i + 1) / 2
+			acc := vec.Mul(x[i], a[row+i])
+			for j := 0; j < i; j++ {
+				acc = vec.FMA(acc, a[row+j], x[j])
+			}
+			x[i] = acc
+		}
+		for i := 0; i < m; i++ {
+			vec.Store(b[off+i*vl:], x[i], vl)
+		}
+	}
+}
+
+func triMul4[E vec.Float](pa, b []E, m, ncols, strideB int) {
+	var a [15]*[4]E
+	n := m * (m + 1) / 2
+	for i := 0; i < n; i++ {
+		a[i] = (*[4]E)(pa[i*4:])
+	}
+	var x [5][4]E
+	for l := 0; l < ncols; l++ {
+		off := l * strideB * 4
+		for i := 0; i < m; i++ {
+			x[i] = *(*[4]E)(b[off+i*4:])
+		}
+		for i := m - 1; i >= 0; i-- {
+			row := i * (i + 1) / 2
+			d := a[row+i]
+			var acc [4]E
+			acc[0] = x[i][0] * d[0]
+			acc[1] = x[i][1] * d[1]
+			acc[2] = x[i][2] * d[2]
+			acc[3] = x[i][3] * d[3]
+			for j := 0; j < i; j++ {
+				fma4(&acc, a[row+j], &x[j])
+			}
+			x[i] = acc
+		}
+		for i := 0; i < m; i++ {
+			*(*[4]E)(b[off+i*4:]) = x[i]
+		}
+	}
+}
+
+func triMul2[E vec.Float](pa, b []E, m, ncols, strideB int) {
+	var a [15]*[2]E
+	n := m * (m + 1) / 2
+	for i := 0; i < n; i++ {
+		a[i] = (*[2]E)(pa[i*2:])
+	}
+	var x [5][2]E
+	for l := 0; l < ncols; l++ {
+		off := l * strideB * 2
+		for i := 0; i < m; i++ {
+			x[i] = *(*[2]E)(b[off+i*2:])
+		}
+		for i := m - 1; i >= 0; i-- {
+			row := i * (i + 1) / 2
+			d := a[row+i]
+			var acc [2]E
+			acc[0] = x[i][0] * d[0]
+			acc[1] = x[i][1] * d[1]
+			for j := 0; j < i; j++ {
+				fma2(&acc, a[row+j], &x[j])
+			}
+			x[i] = acc
+		}
+		for i := 0; i < m; i++ {
+			*(*[2]E)(b[off+i*2:]) = x[i]
+		}
+	}
+}
+
+// TriMulCplx is the complex form of TriMul (m ≤ 3).
+func TriMulCplx[E vec.Float](pa, b []E, m, ncols, strideB, vl int) {
+	bl := 2 * vl
+	var aRe, aIm [6]vec.V[E]
+	n := m * (m + 1) / 2
+	for i := 0; i < n; i++ {
+		aRe[i] = vec.Load(pa[i*bl:], vl)
+		aIm[i] = vec.Load(pa[i*bl+vl:], vl)
+	}
+	var xRe, xIm [3]vec.V[E]
+	for l := 0; l < ncols; l++ {
+		off := l * strideB * bl
+		for i := 0; i < m; i++ {
+			xRe[i] = vec.Load(b[off+i*bl:], vl)
+			xIm[i] = vec.Load(b[off+i*bl+vl:], vl)
+		}
+		for i := m - 1; i >= 0; i-- {
+			row := i * (i + 1) / 2
+			dRe, dIm := aRe[row+i], aIm[row+i]
+			accRe := vec.Sub(vec.Mul(xRe[i], dRe), vec.Mul(xIm[i], dIm))
+			accIm := vec.Add(vec.Mul(xRe[i], dIm), vec.Mul(xIm[i], dRe))
+			for j := 0; j < i; j++ {
+				accRe = vec.FMA(accRe, aRe[row+j], xRe[j])
+				accRe = vec.FMS(accRe, aIm[row+j], xIm[j])
+				accIm = vec.FMA(accIm, aRe[row+j], xIm[j])
+				accIm = vec.FMA(accIm, aIm[row+j], xRe[j])
+			}
+			xRe[i], xIm[i] = accRe, accIm
+		}
+		for i := 0; i < m; i++ {
+			vec.Store(b[off+i*bl:], xRe[i], vl)
+			vec.Store(b[off+i*bl+vl:], xIm[i], vl)
+		}
+	}
+}
+
+// RectAdd applies B_tile += L·X — the accumulating (FMLA) form of the
+// TRSM rectangular kernel, used by the blocked TRMM.
+func RectAdd[E vec.Float](pa, x, c []E, mc, nc, k, strideC, strideX, vl int) {
+	if vl == 4 {
+		rectAdd4(pa, x, c, mc, nc, k, strideC, strideX)
+		return
+	}
+	if vl == 2 {
+		rectAdd2(pa, x, c, mc, nc, k, strideC, strideX)
+		return
+	}
+	var acc [4][4]vec.V[E]
+	for cc := 0; cc < nc; cc++ {
+		for r := 0; r < mc; r++ {
+			acc[r][cc] = vec.Load(c[(cc*strideC+r)*vl:], vl)
+		}
+	}
+	ao := 0
+	for l := 0; l < k; l++ {
+		var av, xv [4]vec.V[E]
+		for r := 0; r < mc; r++ {
+			av[r] = vec.Load(pa[ao:], vl)
+			ao += vl
+		}
+		for cc := 0; cc < nc; cc++ {
+			xv[cc] = vec.Load(x[(cc*strideX+l)*vl:], vl)
+		}
+		for cc := 0; cc < nc; cc++ {
+			for r := 0; r < mc; r++ {
+				acc[r][cc] = vec.FMA(acc[r][cc], av[r], xv[cc])
+			}
+		}
+	}
+	for cc := 0; cc < nc; cc++ {
+		for r := 0; r < mc; r++ {
+			vec.Store(c[(cc*strideC+r)*vl:], acc[r][cc], vl)
+		}
+	}
+}
+
+func rectAdd4[E vec.Float](pa, x, c []E, mc, nc, k, strideC, strideX int) {
+	var acc [16][4]E
+	for cc := 0; cc < nc; cc++ {
+		for r := 0; r < mc; r++ {
+			acc[cc*4+r] = *(*[4]E)(c[(cc*strideC+r)*4:])
+		}
+	}
+	ao := 0
+	for l := 0; l < k; l++ {
+		var av, xv [4]*[4]E
+		for r := 0; r < mc; r++ {
+			av[r] = (*[4]E)(pa[ao:])
+			ao += 4
+		}
+		for cc := 0; cc < nc; cc++ {
+			xv[cc] = (*[4]E)(x[(cc*strideX+l)*4:])
+		}
+		for cc := 0; cc < nc; cc++ {
+			for r := 0; r < mc; r++ {
+				fma4(&acc[cc*4+r], av[r], xv[cc])
+			}
+		}
+	}
+	for cc := 0; cc < nc; cc++ {
+		for r := 0; r < mc; r++ {
+			*(*[4]E)(c[(cc*strideC+r)*4:]) = acc[cc*4+r]
+		}
+	}
+}
+
+func rectAdd2[E vec.Float](pa, x, c []E, mc, nc, k, strideC, strideX int) {
+	var acc [16][2]E
+	for cc := 0; cc < nc; cc++ {
+		for r := 0; r < mc; r++ {
+			acc[cc*4+r] = *(*[2]E)(c[(cc*strideC+r)*2:])
+		}
+	}
+	ao := 0
+	for l := 0; l < k; l++ {
+		var av, xv [4]*[2]E
+		for r := 0; r < mc; r++ {
+			av[r] = (*[2]E)(pa[ao:])
+			ao += 2
+		}
+		for cc := 0; cc < nc; cc++ {
+			xv[cc] = (*[2]E)(x[(cc*strideX+l)*2:])
+		}
+		for cc := 0; cc < nc; cc++ {
+			for r := 0; r < mc; r++ {
+				fma2(&acc[cc*4+r], av[r], xv[cc])
+			}
+		}
+	}
+	for cc := 0; cc < nc; cc++ {
+		for r := 0; r < mc; r++ {
+			*(*[2]E)(c[(cc*strideC+r)*2:]) = acc[cc*4+r]
+		}
+	}
+}
+
+// RectAddCplx is the complex form of RectAdd (mc, nc ≤ 2).
+func RectAddCplx[E vec.Float](pa, x, c []E, mc, nc, k, strideC, strideX, vl int) {
+	bl := 2 * vl
+	var accRe, accIm [2][2]vec.V[E]
+	for cc := 0; cc < nc; cc++ {
+		for r := 0; r < mc; r++ {
+			off := (cc*strideC + r) * bl
+			accRe[r][cc] = vec.Load(c[off:], vl)
+			accIm[r][cc] = vec.Load(c[off+vl:], vl)
+		}
+	}
+	ao := 0
+	for l := 0; l < k; l++ {
+		var aRe, aIm, xRe, xIm [2]vec.V[E]
+		for r := 0; r < mc; r++ {
+			aRe[r] = vec.Load(pa[ao:], vl)
+			aIm[r] = vec.Load(pa[ao+vl:], vl)
+			ao += bl
+		}
+		for cc := 0; cc < nc; cc++ {
+			off := (cc*strideX + l) * bl
+			xRe[cc] = vec.Load(x[off:], vl)
+			xIm[cc] = vec.Load(x[off+vl:], vl)
+		}
+		for cc := 0; cc < nc; cc++ {
+			for r := 0; r < mc; r++ {
+				accRe[r][cc] = vec.FMA(accRe[r][cc], aRe[r], xRe[cc])
+				accRe[r][cc] = vec.FMS(accRe[r][cc], aIm[r], xIm[cc])
+				accIm[r][cc] = vec.FMA(accIm[r][cc], aRe[r], xIm[cc])
+				accIm[r][cc] = vec.FMA(accIm[r][cc], aIm[r], xRe[cc])
+			}
+		}
+	}
+	for cc := 0; cc < nc; cc++ {
+		for r := 0; r < mc; r++ {
+			off := (cc*strideC + r) * bl
+			vec.Store(c[off:], accRe[r][cc], vl)
+			vec.Store(c[off+vl:], accIm[r][cc], vl)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TriMul against a scalar bottom-up multiply, all widths.
+func TestTriMulDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, vl := range []int{2, 4, 3} { // 3 exercises the generic path
+		for m := 1; m <= 5; m++ {
+			const ncols, pad = 3, 1
+			strideB := m + pad
+			tri := m * (m + 1) / 2
+			pa := make([]float64, tri*vl)
+			for i := range pa {
+				pa[i] = rng.Float64()
+			}
+			b := make([]float64, ncols*strideB*vl)
+			for i := range b {
+				b[i] = rng.Float64()
+			}
+			orig := append([]float64(nil), b...)
+			TriMul(pa, b, m, ncols, strideB, vl)
+			for lane := 0; lane < vl; lane++ {
+				for l := 0; l < ncols; l++ {
+					for i := 0; i < m; i++ {
+						row := i * (i + 1) / 2
+						want := orig[(l*strideB+i)*vl+lane] * pa[(row+i)*vl+lane]
+						for j := 0; j < i; j++ {
+							want += pa[(row+j)*vl+lane] * orig[(l*strideB+j)*vl+lane]
+						}
+						got := b[(l*strideB+i)*vl+lane]
+						if math.Abs(got-want) > 1e-12 {
+							t.Fatalf("vl=%d m=%d col %d row %d lane %d: %v want %v",
+								vl, m, l, i, lane, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// RectAdd must accumulate +L·X, all widths.
+func TestRectAddDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, vl := range []int{2, 4, 3} {
+		const mc, nc, k, strideC, strideX = 3, 2, 4, 4, 5
+		pa := make([]float64, k*mc*vl)
+		x := make([]float64, nc*strideX*vl)
+		c := make([]float64, nc*strideC*vl)
+		for i := range pa {
+			pa[i] = rng.Float64()
+		}
+		for i := range x {
+			x[i] = rng.Float64()
+		}
+		for i := range c {
+			c[i] = rng.Float64()
+		}
+		orig := append([]float64(nil), c...)
+		RectAdd(pa, x, c, mc, nc, k, strideC, strideX, vl)
+		for lane := 0; lane < vl; lane++ {
+			for r := 0; r < mc; r++ {
+				for cc := 0; cc < nc; cc++ {
+					want := orig[(cc*strideC+r)*vl+lane]
+					for l := 0; l < k; l++ {
+						want += pa[(l*mc+r)*vl+lane] * x[(cc*strideX+l)*vl+lane]
+					}
+					got := c[(cc*strideC+r)*vl+lane]
+					if math.Abs(got-want) > 1e-12 {
+						t.Fatalf("vl=%d (%d,%d) lane %d: %v want %v", vl, r, cc, lane, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TriMulCplx and RectAddCplx against complex128 scalar math.
+func TestTRMMCplxKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	const m, ncols, vl, strideB = 3, 2, 2, 4
+	bl := 2 * vl
+	tri := m * (m + 1) / 2
+	pa := make([]float64, tri*bl)
+	for i := range pa {
+		pa[i] = rng.Float64()
+	}
+	b := make([]float64, ncols*strideB*bl)
+	for i := range b {
+		b[i] = rng.Float64()
+	}
+	orig := append([]float64(nil), b...)
+	TriMulCplx(pa, b, m, ncols, strideB, vl)
+	cAt := func(s []float64, blockOff, lane int) complex128 {
+		return complex(s[blockOff*bl+lane], s[blockOff*bl+vl+lane])
+	}
+	for lane := 0; lane < vl; lane++ {
+		for l := 0; l < ncols; l++ {
+			for i := 0; i < m; i++ {
+				row := i * (i + 1) / 2
+				want := cAt(orig, l*strideB+i, lane) * cAt(pa, row+i, lane)
+				for j := 0; j < i; j++ {
+					want += cAt(pa, row+j, lane) * cAt(orig, l*strideB+j, lane)
+				}
+				got := cAt(b, l*strideB+i, lane)
+				if d := got - want; math.Hypot(real(d), imag(d)) > 1e-12 {
+					t.Fatalf("tri col %d row %d lane %d: %v want %v", l, i, lane, got, want)
+				}
+			}
+		}
+	}
+
+	const mc, nc, k, sC, sX = 2, 2, 3, 3, 4
+	rpa := make([]float64, k*mc*bl)
+	rx := make([]float64, nc*sX*bl)
+	rc := make([]float64, nc*sC*bl)
+	for i := range rpa {
+		rpa[i] = rng.Float64()
+	}
+	for i := range rx {
+		rx[i] = rng.Float64()
+	}
+	for i := range rc {
+		rc[i] = rng.Float64()
+	}
+	rorig := append([]float64(nil), rc...)
+	RectAddCplx(rpa, rx, rc, mc, nc, k, sC, sX, vl)
+	for lane := 0; lane < vl; lane++ {
+		for r := 0; r < mc; r++ {
+			for cc := 0; cc < nc; cc++ {
+				want := cAt(rorig, cc*sC+r, lane)
+				for l := 0; l < k; l++ {
+					want += cAt(rpa, l*mc+r, lane) * cAt(rx, cc*sX+l, lane)
+				}
+				got := cAt(rc, cc*sC+r, lane)
+				if d := got - want; math.Hypot(real(d), imag(d)) > 1e-12 {
+					t.Fatalf("rect (%d,%d) lane %d: %v want %v", r, cc, lane, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,375 @@
+// Package kopt is the IATF kernel optimizer (paper §4.3, Figure 5). A
+// directly generated kernel issues its loads back to back and its
+// arithmetic back to back, stalling the in-order pipeline twice: dependent
+// instructions sit too close together, and computation cannot hide load
+// latency. The optimizer rebuilds the instruction schedule:
+//
+//  1. it constructs the register/memory dependence DAG of the kernel,
+//  2. it list-schedules the DAG against the target machine's issue ports
+//     and latencies, which both spreads dependent pairs apart and
+//     interleaves loads between calculation instructions, and
+//  3. it inserts PRFM prefetches for the C tile at the start of the kernel
+//     (A and B are already L1-resident after packing; C is not).
+//
+// Every transformation preserves the dependence order, which Verify checks
+// structurally and the package tests check behaviourally by executing the
+// kernel before and after on the asm VM.
+package kopt
+
+import (
+	"fmt"
+	"sort"
+
+	"iatf/internal/asm"
+	"iatf/internal/machine"
+)
+
+// Options configure the optimizer for a target machine.
+type Options struct {
+	Prof      machine.Profile
+	ElemBytes int
+	// AssumedLoadCycles is the load latency the static scheduler plans
+	// for (the L1 hit latency; packed operands are L1-resident by
+	// design). Zero selects the profile's innermost cache latency.
+	AssumedLoadCycles int
+	// Prefetch inserts PRFM instructions for the C-tile lines.
+	Prefetch bool
+}
+
+func (o Options) loadLat() int {
+	if o.AssumedLoadCycles > 0 {
+		return o.AssumedLoadCycles
+	}
+	if len(o.Prof.Cache.Levels) > 0 {
+		return o.Prof.Cache.Levels[0].HitCycles
+	}
+	return 4
+}
+
+func (o Options) latency(in asm.Instr) int {
+	switch {
+	case in.Op == asm.PRFM:
+		return 1
+	case in.Op.IsLoad():
+		return o.loadLat()
+	case in.Op.IsStore():
+		return 1
+	case in.Op == asm.FDIV:
+		if o.ElemBytes == 4 {
+			return o.Prof.LatDiv32
+		}
+		return o.Prof.LatDiv64
+	case in.Op == asm.FMLA, in.Op == asm.FMLS, in.Op == asm.FMLAe, in.Op == asm.FMLSe:
+		return o.Prof.LatFMA
+	case in.Op == asm.FMUL, in.Op == asm.FMULe:
+		return o.Prof.LatMul
+	case in.Op == asm.FADD, in.Op == asm.FSUB:
+		return o.Prof.LatAdd
+	}
+	return 1
+}
+
+// Optimize returns a rescheduled copy of the kernel. The input program is
+// not modified.
+func Optimize(p asm.Prog, o Options) asm.Prog {
+	if o.Prefetch {
+		p = insertPrefetch(p, o)
+	}
+	return schedule(p, o)
+}
+
+// insertPrefetch prepends one PRFM per distinct C-tile cache line touched
+// by the kernel's stores (§4.3: "matrix C is still in the memory, thus we
+// use the PRFM instruction ... to prefetch it at the beginning").
+func insertPrefetch(p asm.Prog, o Options) asm.Prog {
+	lineElems := 64 / o.ElemBytes
+	seen := map[int32]bool{}
+	var lines []int32
+	for _, in := range p {
+		if in.P != asm.PC || !in.Op.IsMem() || in.Op == asm.PRFM {
+			continue
+		}
+		ln := in.Off / int32(lineElems)
+		if !seen[ln] {
+			seen[ln] = true
+			lines = append(lines, ln)
+		}
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	out := make(asm.Prog, 0, len(p)+len(lines))
+	for i, ln := range lines {
+		cmt := ""
+		if i == 0 {
+			cmt = "prefetch C"
+		}
+		out = append(out, asm.Instr{Op: asm.PRFM, P: asm.PC, Off: ln * int32(lineElems), Comment: cmt})
+	}
+	return append(out, p...)
+}
+
+// schedule performs latency- and port-aware list scheduling over the
+// dependence DAG.
+func schedule(p asm.Prog, o Options) asm.Prog {
+	n := len(p)
+	if n < 2 {
+		return append(asm.Prog(nil), p...)
+	}
+
+	// Dependence edges carry type-specific delays: a true (RAW) dependence
+	// waits for the producer's latency; an output (WAW) dependence only
+	// needs the next cycle; anti (WAR) and memory-ordering dependences
+	// only constrain issue order.
+	type edge struct{ to, delay int }
+	succs := make([][]edge, n)
+	preds := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !asm.DependsOn(p[i], p[j]) {
+				continue
+			}
+			delay := 0
+			switch {
+			case p[j].Reads().Has(p[i].Writes()):
+				delay = o.latency(p[i])
+			case p[j].Writes().Has(p[i].Writes()):
+				delay = 1
+			}
+			succs[i] = append(succs[i], edge{j, delay})
+			preds[j] = append(preds[j], i)
+		}
+	}
+
+	// Critical-path priority: longest delay-weighted path to any sink.
+	prio := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		best := 0
+		for _, e := range succs[i] {
+			if v := prio[e.to] + e.delay; v > best {
+				best = v
+			}
+		}
+		prio[i] = best + 1
+	}
+
+	indeg := make([]int, n)
+	for i := range preds {
+		indeg[i] = len(preds[i])
+	}
+	// predDone[i]: cycle when i's operands are available.
+	predDone := make([]int64, n)
+
+	fpPorts := o.Prof.FPPorts(o.ElemBytes)
+	type slot struct{ mem, fp, intg int }
+	slots := map[int64]slot{}
+	canIssue := func(in asm.Instr, c int64) bool {
+		s := slots[c]
+		switch {
+		case in.Op.IsMem():
+			if s.mem >= o.Prof.MemPorts {
+				return false
+			}
+			if o.Prof.GroupWidth > 0 && s.mem+s.fp >= o.Prof.GroupWidth {
+				return false
+			}
+		case in.Op.IsFP():
+			if s.fp >= fpPorts {
+				return false
+			}
+			if o.Prof.GroupWidth > 0 && s.mem+s.fp >= o.Prof.GroupWidth {
+				return false
+			}
+		default:
+			if s.intg >= o.Prof.IntPorts {
+				return false
+			}
+		}
+		return true
+	}
+	issue := func(in asm.Instr, c int64) {
+		s := slots[c]
+		switch {
+		case in.Op.IsMem():
+			s.mem++
+		case in.Op.IsFP():
+			s.fp++
+		default:
+			s.intg++
+		}
+		slots[c] = s
+	}
+
+	var ready []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+
+	out := make(asm.Prog, 0, n)
+	var clock int64
+	for len(out) < n {
+		// Pick the ready instruction with the earliest feasible issue
+		// cycle; break ties by critical-path priority, then program order.
+		bestIdx, bestPos := -1, -1
+		var bestCycle int64
+		for pos, i := range ready {
+			c := predDone[i]
+			if c < clock {
+				c = clock
+			}
+			for !canIssue(p[i], c) {
+				c++
+			}
+			better := bestIdx < 0 || c < bestCycle ||
+				(c == bestCycle && prio[i] > prio[bestIdx]) ||
+				(c == bestCycle && prio[i] == prio[bestIdx] && i < bestIdx)
+			if better {
+				bestIdx, bestPos, bestCycle = i, pos, c
+			}
+		}
+		i := bestIdx
+		issue(p[i], bestCycle)
+		if bestCycle > clock {
+			// Allow later picks to back-fill earlier cycles only up to
+			// port limits already recorded; advancing the clock keeps the
+			// schedule in nondecreasing cycle order per pick, which is
+			// what an in-order front end can actually realize.
+			clock = bestCycle
+		}
+		out = append(out, p[i])
+		ready = append(ready[:bestPos], ready[bestPos+1:]...)
+		for _, e := range succs[i] {
+			if done := bestCycle + int64(e.delay); done > predDone[e.to] {
+				predDone[e.to] = done
+			}
+			indeg[e.to]--
+			if indeg[e.to] == 0 {
+				ready = append(ready, e.to)
+			}
+		}
+	}
+	return out
+}
+
+// Verify checks that sched is a permutation of orig that preserves every
+// dependence pair's relative order. PRFM instructions added by the
+// optimizer are ignored.
+func Verify(orig, sched asm.Prog) error {
+	var s2 asm.Prog
+	for _, in := range sched {
+		if in.Op == asm.PRFM {
+			continue
+		}
+		s2 = append(s2, in)
+	}
+	var o2 asm.Prog
+	for _, in := range orig {
+		if in.Op == asm.PRFM {
+			continue
+		}
+		o2 = append(o2, in)
+	}
+	if len(o2) != len(s2) {
+		return fmt.Errorf("kopt: schedule has %d instructions, original %d", len(s2), len(o2))
+	}
+	// Match each scheduled instruction to an original occurrence
+	// (instructions may repeat; match greedily in order).
+	used := make([]bool, len(o2))
+	pos := make([]int, len(s2))
+	for i, in := range s2 {
+		found := -1
+		for j, oin := range o2 {
+			if !used[j] && oin == in {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return fmt.Errorf("kopt: scheduled instruction %d not in original: %+v", i, in)
+		}
+		used[found] = true
+		pos[i] = found
+	}
+	// Dependence pairs in the original must keep their order.
+	where := make([]int, len(o2))
+	for i, j := range pos {
+		where[j] = i
+	}
+	for a := 0; a < len(o2); a++ {
+		for b := a + 1; b < len(o2); b++ {
+			if asm.DependsOn(o2[a], o2[b]) && where[a] > where[b] {
+				return fmt.Errorf("kopt: dependence violated: original %d must precede %d", a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// Cost statically evaluates a schedule: the cycle count of issuing the
+// program in its given order under the options' port and latency model
+// (loads at the assumed L1 latency). It is the objective Figure 5's
+// transformation improves, and the ablation benchmarks report it.
+func Cost(p asm.Prog, o Options) int64 {
+	fpPorts := o.Prof.FPPorts(o.ElemBytes)
+	var regReady [40]int64
+	var cycle int64
+	mem, fp, intg := 0, 0, 0
+	advance := func(to int64) {
+		if to > cycle {
+			cycle = to
+			mem, fp, intg = 0, 0, 0
+		}
+	}
+	maxEnd := int64(0)
+	for _, in := range p {
+		ready := cycle
+		m := in.Reads()
+		for r := 0; m != 0 && r < 40; r++ {
+			if m&1 != 0 && regReady[r] > ready {
+				ready = regReady[r]
+			}
+			m >>= 1
+		}
+		advance(ready)
+		for {
+			ok := true
+			switch {
+			case in.Op.IsMem():
+				ok = mem < o.Prof.MemPorts &&
+					(o.Prof.GroupWidth == 0 || mem+fp < o.Prof.GroupWidth)
+			case in.Op.IsFP():
+				ok = fp < fpPorts &&
+					(o.Prof.GroupWidth == 0 || mem+fp < o.Prof.GroupWidth)
+			default:
+				ok = intg < o.Prof.IntPorts
+			}
+			if ok {
+				break
+			}
+			advance(cycle + 1)
+		}
+		switch {
+		case in.Op.IsMem():
+			mem++
+		case in.Op.IsFP():
+			fp++
+		default:
+			intg++
+		}
+		done := cycle + int64(o.latency(in))
+		w := in.Writes()
+		for r := 0; w != 0 && r < 40; r++ {
+			if w&1 != 0 {
+				regReady[r] = done
+			}
+			w >>= 1
+		}
+		if done > maxEnd {
+			maxEnd = done
+		}
+	}
+	if cycle+1 > maxEnd {
+		maxEnd = cycle + 1
+	}
+	return maxEnd
+}

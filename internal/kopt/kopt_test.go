@@ -1,0 +1,261 @@
+package kopt
+
+import (
+	"math/rand"
+	"testing"
+
+	"iatf/internal/asm"
+	"iatf/internal/ktmpl"
+	"iatf/internal/machine"
+	"iatf/internal/vec"
+)
+
+func opts(dt vec.DType) Options {
+	return Options{Prof: machine.Kunpeng920(), ElemBytes: dt.ElemBytes(), Prefetch: true}
+}
+
+// The optimizer must preserve the dependence structure of every generated
+// GEMM kernel in the registry.
+func TestOptimizePreservesDependences(t *testing.T) {
+	for _, dt := range vec.DTypes {
+		for _, sz := range ktmpl.GEMMKernelSizes(dt) {
+			s := ktmpl.GEMMSpec{DT: dt, MC: sz.MC, NC: sz.NC, K: 7, StrideC: sz.MC}
+			prog, err := ktmpl.GenGEMM(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt := Optimize(prog, opts(dt))
+			if err := Verify(prog, opt); err != nil {
+				t.Errorf("%v %dx%d: %v", dt, sz.MC, sz.NC, err)
+			}
+		}
+	}
+}
+
+// Behavioural equivalence: the optimized kernel must compute bit-identical
+// results on the VM.
+func TestOptimizedKernelSameResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dt := range []vec.DType{vec.D, vec.C} {
+		sz := ktmpl.MainGEMMKernel(dt)
+		s := ktmpl.GEMMSpec{DT: dt, MC: sz.MC, NC: sz.NC, K: 9, StrideC: sz.MC + 1}
+		prog, err := ktmpl.GenGEMM(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Optimize(prog, opts(dt))
+
+		bl := dt.Pack()
+		if dt.IsComplex() {
+			bl *= 2
+		}
+		lenA := s.K * s.MC * bl
+		lenB := s.K * s.NC * bl
+		lenC := s.NC * s.StrideC * bl
+		if dt.Real() == vec.S {
+			compareRun[float32](t, prog, opt, rng, lenA, lenB, lenC)
+		} else {
+			compareRun[float64](t, prog, opt, rng, lenA, lenB, lenC)
+		}
+	}
+}
+
+func compareRun[E vec.Float](t *testing.T, a, b asm.Prog, rng *rand.Rand, lenA, lenB, lenC int) {
+	t.Helper()
+	mem := make([]E, lenA+lenB+lenC+2)
+	for i := range mem {
+		mem[i] = E(rng.Float64())
+	}
+	run := func(p asm.Prog) []E {
+		m := make([]E, len(mem))
+		copy(m, mem)
+		vm := &asm.VM[E]{Mem: m}
+		vm.P[asm.PA] = 0
+		vm.P[asm.PB] = lenA
+		vm.P[asm.PC] = lenA + lenB
+		vm.P[asm.PAlpha] = lenA + lenB + lenC
+		if err := vm.Run(p); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	ra, rb := run(a), run(b)
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("memory diverges at %d: %v vs %v", i, ra[i], rb[i])
+		}
+	}
+}
+
+// Figure 5's point: the optimized schedule must cost fewer modeled cycles
+// than the directly generated one for the 4×4 DGEMM kernel.
+func TestOptimizeImprovesCost(t *testing.T) {
+	s := ktmpl.GEMMSpec{DT: vec.D, MC: 4, NC: 4, K: 16, StrideC: 4}
+	prog, err := ktmpl.GenGEMM(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts(vec.D)
+	raw := Cost(prog, o)
+	opt := Cost(Optimize(prog, o), o)
+	if opt >= raw {
+		t.Errorf("optimized cost %d not better than raw %d", opt, raw)
+	}
+	// The kernel is FP-bound at one FMA port: 16 K-steps × 16 FMAs ≥ 256
+	// cycles. The optimized schedule should be within 40%% of that bound.
+	if opt > 256*14/10 {
+		t.Errorf("optimized cost %d too far from the 256-cycle FP bound", opt)
+	}
+}
+
+// The optimizer must also improve (or at least not hurt) every other
+// registry kernel.
+func TestOptimizeNeverHurts(t *testing.T) {
+	for _, dt := range vec.DTypes {
+		for _, sz := range ktmpl.GEMMKernelSizes(dt) {
+			s := ktmpl.GEMMSpec{DT: dt, MC: sz.MC, NC: sz.NC, K: 8, StrideC: sz.MC}
+			prog, err := ktmpl.GenGEMM(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := opts(dt)
+			if c, r := Cost(Optimize(prog, o), o), Cost(prog, o); c > r {
+				t.Errorf("%v %dx%d: optimized %d > raw %d", dt, sz.MC, sz.NC, c, r)
+			}
+		}
+	}
+}
+
+func TestPrefetchInsertion(t *testing.T) {
+	s := ktmpl.GEMMSpec{DT: vec.D, MC: 4, NC: 4, K: 4, StrideC: 4}
+	prog, err := ktmpl.GenGEMM(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(prog, opts(vec.D))
+	prfm := 0
+	for _, in := range opt {
+		if in.Op == asm.PRFM {
+			prfm++
+			if in.P != asm.PC {
+				t.Error("prefetch must target the C pointer")
+			}
+		}
+	}
+	// C tile: 4 columns × 4 blocks × 2 f64 = 32 doubles per column at
+	// stride 4 blocks; 4 distinct 64-byte lines.
+	if prfm != 4 {
+		t.Errorf("prefetch count = %d, want 4", prfm)
+	}
+	// Without the option, none.
+	noPf := Optimize(prog, Options{Prof: machine.Kunpeng920(), ElemBytes: 8})
+	for _, in := range noPf {
+		if in.Op == asm.PRFM {
+			t.Error("prefetch inserted without Prefetch option")
+		}
+	}
+}
+
+// The optimizer must interleave loads among calculation instructions: in
+// the optimized kernel no long run of consecutive loads should remain.
+func TestLoadsAreInterleaved(t *testing.T) {
+	s := ktmpl.GEMMSpec{DT: vec.D, MC: 4, NC: 4, K: 16, StrideC: 4}
+	prog, err := ktmpl.GenGEMM(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(prog, opts(vec.D))
+	// The TEMPLATE_I prologue legitimately streams loads before any
+	// operand is computable; measure interleaving after the first FP
+	// instruction, where the raw kernel still has 4-LDP runs per step.
+	maxRun, run := 0, 0
+	seenFP := false
+	for _, in := range opt {
+		switch {
+		case in.Op.IsFP():
+			seenFP = true
+			run = 0
+		case in.Op.IsLoad() && seenFP:
+			run++
+			if run > maxRun {
+				maxRun = run
+			}
+		}
+	}
+	if maxRun > 3 {
+		t.Errorf("longest post-prologue load run = %d, want ≤ 3", maxRun)
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	s := ktmpl.GEMMSpec{DT: vec.S, MC: 3, NC: 3, K: 5, StrideC: 3}
+	prog, err := ktmpl.GenGEMM(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Optimize(prog, opts(vec.S))
+	b := Optimize(prog, opts(vec.S))
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestOptimizeTRSMKernels(t *testing.T) {
+	tri, err := ktmpl.GenTRSMTri(ktmpl.TriSpec{DT: vec.D, M: 4, NCols: 8, StrideB: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := opts(vec.D)
+	optTri := Optimize(tri, o)
+	if err := Verify(tri, optTri); err != nil {
+		t.Errorf("tri: %v", err)
+	}
+	if Cost(optTri, o) > Cost(tri, o) {
+		t.Error("tri optimization hurt")
+	}
+	rect, err := ktmpl.GenTRSMRect(ktmpl.RectSpec{DT: vec.D, MC: 4, NC: 4, K: 8, StrideC: 4, StrideX: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	optRect := Optimize(rect, o)
+	if err := Verify(rect, optRect); err != nil {
+		t.Errorf("rect: %v", err)
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	p := asm.Prog{
+		{Op: asm.LDR, D: 0, P: asm.PA},
+		{Op: asm.FMUL, D: 1, A: 0, B: 0},
+	}
+	swapped := asm.Prog{p[1], p[0]}
+	if err := Verify(p, swapped); err == nil {
+		t.Error("Verify accepted a dependence violation")
+	}
+	if err := Verify(p, asm.Prog{p[0]}); err == nil {
+		t.Error("Verify accepted a dropped instruction")
+	}
+	foreign := asm.Prog{p[0], {Op: asm.FMUL, D: 2, A: 2, B: 2}}
+	if err := Verify(p, foreign); err == nil {
+		t.Error("Verify accepted a foreign instruction")
+	}
+}
+
+func TestCostEmptyAndTiny(t *testing.T) {
+	o := opts(vec.D)
+	if Optimize(nil, o) != nil && len(Optimize(nil, o)) != 0 {
+		t.Error("Optimize(nil) not empty")
+	}
+	one := asm.Prog{{Op: asm.FMUL, D: 0, A: 1, B: 2}}
+	if got := Optimize(one, Options{Prof: machine.Kunpeng920(), ElemBytes: 8}); len(got) != 1 {
+		t.Error("single instruction lost")
+	}
+	if Cost(one, o) < 1 {
+		t.Error("cost must be positive")
+	}
+}

@@ -1,0 +1,97 @@
+package kopt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iatf/internal/asm"
+	"iatf/internal/machine"
+	"iatf/internal/vec"
+)
+
+type vecV = vec.V[float64]
+
+// randProg builds a random but well-formed kernel-like program: loads
+// from pA/pB into low registers, arithmetic into high registers, pointer
+// bumps, and a trailing store.
+func randProg(rng *rand.Rand, n int) asm.Prog {
+	p := make(asm.Prog, 0, n+1)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			p = append(p, asm.Instr{Op: asm.LDR, D: uint8(rng.Intn(8)), P: asm.PA, Off: int32(rng.Intn(8))})
+		case 1:
+			p = append(p, asm.Instr{Op: asm.LDP, D: uint8(rng.Intn(4) * 2), D2: uint8(rng.Intn(4)*2 + 1), P: asm.PB})
+		case 2:
+			p = append(p, asm.Instr{Op: asm.FMUL, D: uint8(16 + rng.Intn(16)), A: uint8(rng.Intn(16)), B: uint8(rng.Intn(16))})
+		case 3:
+			p = append(p, asm.Instr{Op: asm.FMLA, D: uint8(16 + rng.Intn(16)), A: uint8(rng.Intn(16)), B: uint8(rng.Intn(16))})
+		case 4:
+			p = append(p, asm.Instr{Op: asm.ADDI, P: asm.PA, Off: int32(1 + rng.Intn(4))})
+		case 5:
+			p = append(p, asm.Instr{Op: asm.FMLS, D: uint8(16 + rng.Intn(16)), A: uint8(rng.Intn(16)), B: uint8(rng.Intn(16))})
+		}
+	}
+	p = append(p, asm.Instr{Op: asm.STR, D: uint8(16 + rng.Intn(16)), P: asm.PC})
+	return p
+}
+
+// Property: for arbitrary well-formed programs, the optimizer produces a
+// dependence-preserving permutation that never costs more cycles.
+func TestOptimizePropertyRandomPrograms(t *testing.T) {
+	o := Options{Prof: machine.Kunpeng920(), ElemBytes: 8}
+	f := func(seed int64, size uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + int(size)%60
+		p := randProg(rng, n)
+		opt := Optimize(p, o)
+		if err := Verify(p, opt); err != nil {
+			t.Logf("seed=%d: %v", seed, err)
+			return false
+		}
+		return Cost(opt, o) <= Cost(p, o)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: optimized programs execute identically on the VM for random
+// programs and random memory.
+func TestOptimizePropertyVMEquivalence(t *testing.T) {
+	o := Options{Prof: machine.Kunpeng920(), ElemBytes: 8}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randProg(rng, 40)
+		opt := Optimize(p, o)
+		mem := make([]float64, 256)
+		for i := range mem {
+			mem[i] = rng.Float64()
+		}
+		run := func(prog asm.Prog) ([]float64, [32]vecV) {
+			m := make([]float64, len(mem))
+			copy(m, mem)
+			vm := &asm.VM[float64]{Mem: m}
+			vm.P[asm.PB] = 32
+			vm.P[asm.PC] = 128
+			if err := vm.Run(prog); err != nil {
+				t.Fatalf("seed=%d: %v", seed, err)
+			}
+			return m, vm.V
+		}
+		m1, v1 := run(p)
+		m2, v2 := run(opt)
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				return false
+			}
+		}
+		// Architectural register state must match too (the optimizer
+		// reorders but never changes dataflow).
+		return v1 == v2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

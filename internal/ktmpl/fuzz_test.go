@@ -1,0 +1,59 @@
+package ktmpl
+
+import (
+	"testing"
+
+	"iatf/internal/vec"
+)
+
+// FuzzSplitDim asserts the tiler always covers the dimension exactly with
+// registered tile sizes, for every data type's tile sets.
+func FuzzSplitDim(f *testing.F) {
+	f.Add(uint8(15), uint8(0))
+	f.Add(uint8(33), uint8(3))
+	f.Add(uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, n8, dtSel uint8) {
+		n := 1 + int(n8)%128
+		dt := vec.DTypes[int(dtSel)%4]
+		for _, sizes := range [][]int{MTiles(dt), NTiles(dt)} {
+			tiles := SplitDim(n, sizes)
+			sum := 0
+			for _, tl := range tiles {
+				sum += tl
+				ok := false
+				for _, s := range sizes {
+					if tl == s {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("tile %d not in allowed sizes %v", tl, sizes)
+				}
+			}
+			if sum != n {
+				t.Fatalf("SplitDim(%d, %v) covers %d", n, sizes, sum)
+			}
+		}
+	})
+}
+
+// FuzzGenGEMM asserts generation never panics and always passes the
+// instruction-count audit for arbitrary valid specs.
+func FuzzGenGEMM(f *testing.F) {
+	f.Add(uint8(0), uint8(4), uint8(4), uint8(8))
+	f.Add(uint8(3), uint8(3), uint8(2), uint8(1))
+	f.Fuzz(func(t *testing.T, dtSel, mc8, nc8, k8 uint8) {
+		dt := vec.DTypes[int(dtSel)%4]
+		sizes := GEMMKernelSizes(dt)
+		sz := sizes[int(mc8)%len(sizes)]
+		k := 1 + int(k8)%40
+		s := GEMMSpec{DT: dt, MC: sz.MC, NC: sz.NC, K: k, StrideC: sz.MC + int(nc8)%3}
+		prog, err := GenGEMM(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := GEMMFirstIsFirstK(s, prog); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

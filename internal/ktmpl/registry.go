@@ -1,0 +1,122 @@
+package ktmpl
+
+import "iatf/internal/vec"
+
+// Size is a kernel tile size (rows × columns in element blocks).
+type Size struct{ MC, NC int }
+
+// MainGEMMKernel returns the CMAR-optimal main kernel size of Table 1:
+// 4×4 for s/d, 3×2 for c/z.
+func MainGEMMKernel(dt vec.DType) Size {
+	if dt.IsComplex() {
+		return Size{3, 2}
+	}
+	return Size{4, 4}
+}
+
+// GEMMKernelSizes returns every generated compact GEMM kernel size for a
+// data type — the main kernel plus all edge kernels of Table 1.
+func GEMMKernelSizes(dt vec.DType) []Size {
+	var out []Size
+	if dt.IsComplex() {
+		// Main 3×2; edge 3×1, 2×{1,2}, 1×{1,2}.
+		for mc := 3; mc >= 1; mc-- {
+			for nc := 2; nc >= 1; nc-- {
+				if RegistersNeeded(dt, mc, nc) <= 32 {
+					out = append(out, Size{mc, nc})
+				}
+			}
+		}
+		return out
+	}
+	// Main 4×4; edge 4×{1,2,3}, 3×{1..4}, 2×{1..4}, 1×{1..4}.
+	for mc := 4; mc >= 1; mc-- {
+		for nc := 4; nc >= 1; nc-- {
+			out = append(out, Size{mc, nc})
+		}
+	}
+	return out
+}
+
+// MainTRSMKernel returns the main rectangular TRSM kernel size of
+// Table 1: 4×4 for s/d, 2×2 for c/z.
+func MainTRSMKernel(dt vec.DType) Size {
+	if dt.IsComplex() {
+		return Size{2, 2}
+	}
+	return Size{4, 4}
+}
+
+// TRSMPanel returns the triangular panel width the blocked TRSM uses —
+// equal to the main rectangular kernel height.
+func TRSMPanel(dt vec.DType) int { return MainTRSMKernel(dt).MC }
+
+// TRSMRectSizes returns every generated TRSM rectangular kernel size:
+// Table 1 lists {4,3,2,1}×4 for s/d and {2,1}×2 for c/z; narrower column
+// tails reuse the same row heights with nc < main.
+func TRSMRectSizes(dt vec.DType) []Size {
+	var out []Size
+	main := MainTRSMKernel(dt)
+	for mc := main.MC; mc >= 1; mc-- {
+		for nc := main.NC; nc >= 1; nc-- {
+			out = append(out, Size{mc, nc})
+		}
+	}
+	return out
+}
+
+// MTiles returns the row-panel heights available when tiling the M
+// dimension of a compact GEMM (the mc values of Table 1).
+func MTiles(dt vec.DType) []int {
+	if dt.IsComplex() {
+		return []int{3, 2, 1}
+	}
+	return []int{4, 3, 2, 1}
+}
+
+// NTiles returns the column-panel widths available when tiling N.
+func NTiles(dt vec.DType) []int {
+	if dt.IsComplex() {
+		return []int{2, 1}
+	}
+	return []int{4, 3, 2, 1}
+}
+
+// SplitDim partitions a dimension of size n into tiles drawn from the
+// allowed sizes, minimizing first the number of tiles and then the number
+// of unit-width tiles — e.g. 15 with {4,3,2,1} becomes [4 4 4 3], the
+// decomposition Figure 4(b) shows for 15×15 SGEMM, and 4 with {3,2,1}
+// becomes [2 2] rather than [3 1].
+func SplitDim(n int, sizes []int) []int {
+	if n <= 0 {
+		return nil
+	}
+	const inf = int(1e9)
+	type st struct{ tiles, units, first int }
+	dp := make([]st, n+1)
+	for i := 1; i <= n; i++ {
+		dp[i] = st{inf, inf, 0}
+		for _, sz := range sizes {
+			if sz > i {
+				continue
+			}
+			cand := st{dp[i-sz].tiles + 1, dp[i-sz].units, sz}
+			if sz == 1 {
+				cand.units++
+			}
+			if cand.tiles < dp[i].tiles ||
+				(cand.tiles == dp[i].tiles && cand.units < dp[i].units) ||
+				(cand.tiles == dp[i].tiles && cand.units == dp[i].units && sz > dp[i].first) {
+				dp[i] = cand
+			}
+		}
+	}
+	if dp[n].tiles >= inf {
+		return nil
+	}
+	var out []int
+	for i := n; i > 0; i -= dp[i].first {
+		out = append(out, dp[i].first)
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+// Package ktmpl implements the install-time kernel machinery of IATF: the
+// six abstract GEMM computing-kernel templates (paper Algorithm 2), the
+// computing-kernel generator that composes them by K (Algorithm 3), the
+// register-resident TRSM triangular kernel (Algorithm 4), the FMLS-based
+// TRSM rectangular kernel (Eq. 4), the compute-to-memory-access-ratio
+// (CMAR) analysis that fixes the optimal kernel sizes (Eq. 2/3), and the
+// Table 1 kernel-size registry.
+//
+// Kernels are emitted as asm.Prog instruction sequences. Because the IR is
+// straight-line (real IATF kernels carry their K-loop in generated
+// assembly), a kernel is generated per concrete parameter tuple and cached
+// by the run-time stage.
+package ktmpl
+
+import (
+	"fmt"
+
+	"iatf/internal/vec"
+)
+
+// Op distinguishes the two level-3 routines IATF generates kernels for.
+type Op int
+
+const (
+	GEMM Op = iota
+	TRSM
+)
+
+func (o Op) String() string {
+	if o == TRSM {
+		return "trsm"
+	}
+	return "gemm"
+}
+
+// GEMMSpec fully determines one generated compact GEMM kernel.
+type GEMMSpec struct {
+	DT vec.DType
+	MC int // C-tile rows (in element blocks)
+	NC int // C-tile columns
+	K  int // reduction length
+	// StrideC is the distance in element blocks between consecutive
+	// columns of the C tile inside the compact batch (the matrix row
+	// count M).
+	StrideC int
+	// VL is the vector lane count of the real component type. Zero means
+	// the native 128-bit value (4 for S/C, 2 for D/Z); the MKL-compact
+	// model generates the same kernels at AVX-512 widths.
+	VL int
+}
+
+func (s GEMMSpec) vl() int {
+	if s.VL != 0 {
+		return s.VL
+	}
+	return s.DT.Pack()
+}
+
+// comps is the number of vector registers one element block occupies
+// (2 for complex: re and im planes).
+func (s GEMMSpec) comps() int {
+	if s.DT.IsComplex() {
+		return 2
+	}
+	return 1
+}
+
+// blockLen is the element footprint of one block: VL·comps.
+func (s GEMMSpec) blockLen() int { return s.vl() * s.comps() }
+
+// Validate checks the register budget the templates assume.
+func (s GEMMSpec) Validate() error {
+	if s.MC < 1 || s.NC < 1 {
+		return fmt.Errorf("ktmpl: kernel size %dx%d invalid", s.MC, s.NC)
+	}
+	if s.K < 1 {
+		return fmt.Errorf("ktmpl: K=%d invalid", s.K)
+	}
+	if s.StrideC < s.MC {
+		return fmt.Errorf("ktmpl: StrideC=%d smaller than MC=%d", s.StrideC, s.MC)
+	}
+	need := RegistersNeeded(s.DT, s.MC, s.NC)
+	if need > 32 {
+		return fmt.Errorf("ktmpl: %v %dx%d kernel needs %d vector registers (max 32)", s.DT, s.MC, s.NC, need)
+	}
+	return nil
+}
+
+// RegistersNeeded returns the vector-register demand of an mc×nc kernel
+// with ping-pong double buffering: 2mc+2nc+mc·nc for real types (paper
+// §4.2.1) and 4mc+4nc+2mc·nc for complex (paper §4.2.2).
+func RegistersNeeded(dt vec.DType, mc, nc int) int {
+	if dt.IsComplex() {
+		return 4*mc + 4*nc + 2*mc*nc
+	}
+	return 2*mc + 2*nc + mc*nc
+}
+
+// CMAR returns the compute-to-memory-access ratio of an mc×nc kernel:
+// Eq. 2 (mc·nc/(mc+nc)) for real types and Eq. 3 (4mc·nc/2(mc+nc)) for
+// complex.
+func CMAR(dt vec.DType, mc, nc int) float64 {
+	m, n := float64(mc), float64(nc)
+	if dt.IsComplex() {
+		return 4 * m * n / (2 * (m + n))
+	}
+	return m * n / (m + n)
+}
+
+// OptimalKernel returns the (mc, nc) maximizing CMAR under the 32-register
+// budget — the paper's install-time kernel-size analysis. Ties prefer the
+// larger mc (the paper picks 3×2 over 2×3 for complex).
+func OptimalKernel(dt vec.DType) (mc, nc int) {
+	best := -1.0
+	for m := 1; m <= 8; m++ {
+		for n := 1; n <= 8; n++ {
+			if RegistersNeeded(dt, m, n) > 32 {
+				continue
+			}
+			r := CMAR(dt, m, n)
+			if r > best || (r == best && m > mc) {
+				best, mc, nc = r, m, n
+			}
+		}
+	}
+	return mc, nc
+}
+
+// TemplateID names the six abstract templates of Algorithm 2.
+type TemplateID int
+
+const (
+	TplI TemplateID = iota
+	TplM1
+	TplM2
+	TplE
+	TplSUB
+	TplSAVE
+)
+
+var tplNames = [...]string{"TEMPLATE_I", "TEMPLATE_M1", "TEMPLATE_M2", "TEMPLATE_E", "TEMPLATE_SUB", "TEMPLATE_SAVE"}
+
+func (t TemplateID) String() string {
+	if int(t) < len(tplNames) {
+		return tplNames[t]
+	}
+	return fmt.Sprintf("TEMPLATE(%d)", int(t))
+}

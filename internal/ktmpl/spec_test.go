@@ -1,0 +1,213 @@
+package ktmpl
+
+import (
+	"testing"
+
+	"iatf/internal/vec"
+)
+
+// Eq. 2/3 with the 32-register budget must yield the paper's optimal
+// kernel sizes: 4×4 for real, 3×2 for complex.
+func TestOptimalKernelMatchesPaper(t *testing.T) {
+	for _, dt := range []vec.DType{vec.S, vec.D} {
+		if mc, nc := OptimalKernel(dt); mc != 4 || nc != 4 {
+			t.Errorf("%v optimal = %dx%d, want 4x4", dt, mc, nc)
+		}
+	}
+	for _, dt := range []vec.DType{vec.C, vec.Z} {
+		if mc, nc := OptimalKernel(dt); mc != 3 || nc != 2 {
+			t.Errorf("%v optimal = %dx%d, want 3x2", dt, mc, nc)
+		}
+	}
+}
+
+func TestRegistersNeeded(t *testing.T) {
+	// 4×4 real: 2·4+2·4+16 = 32 — exactly the register file.
+	if n := RegistersNeeded(vec.D, 4, 4); n != 32 {
+		t.Errorf("real 4x4 needs %d, want 32", n)
+	}
+	// 3×2 complex: 12+8+12 = 32.
+	if n := RegistersNeeded(vec.Z, 3, 2); n != 32 {
+		t.Errorf("complex 3x2 needs %d, want 32", n)
+	}
+	// 4×5 real would exceed.
+	if n := RegistersNeeded(vec.S, 4, 5); n <= 32 {
+		t.Errorf("real 4x5 needs %d, want >32", n)
+	}
+}
+
+func TestCMARValues(t *testing.T) {
+	if r := CMAR(vec.D, 4, 4); r != 2.0 {
+		t.Errorf("CMAR(4,4) = %v, want 2", r)
+	}
+	if r := CMAR(vec.C, 3, 2); r != 2.4 {
+		t.Errorf("complex CMAR(3,2) = %v, want 2.4", r)
+	}
+	// Symmetry of Eq. 3: 3×2 and 2×3 tie.
+	if CMAR(vec.C, 3, 2) != CMAR(vec.C, 2, 3) {
+		t.Error("complex CMAR must be symmetric")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := GEMMSpec{DT: vec.D, MC: 4, NC: 4, K: 8, StrideC: 4}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []GEMMSpec{
+		{DT: vec.D, MC: 0, NC: 4, K: 8, StrideC: 4},
+		{DT: vec.D, MC: 4, NC: 4, K: 0, StrideC: 4},
+		{DT: vec.D, MC: 4, NC: 4, K: 8, StrideC: 3},
+		{DT: vec.D, MC: 5, NC: 5, K: 8, StrideC: 5},
+		{DT: vec.Z, MC: 3, NC: 3, K: 8, StrideC: 3},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestTemplateNames(t *testing.T) {
+	want := []string{"TEMPLATE_I", "TEMPLATE_M1", "TEMPLATE_M2", "TEMPLATE_E", "TEMPLATE_SUB", "TEMPLATE_SAVE"}
+	for i, w := range want {
+		if TemplateID(i).String() != w {
+			t.Errorf("TemplateID(%d) = %q want %q", i, TemplateID(i), w)
+		}
+	}
+}
+
+func TestRegistryMatchesTable1(t *testing.T) {
+	// Main kernels.
+	for _, dt := range []vec.DType{vec.S, vec.D} {
+		if MainGEMMKernel(dt) != (Size{4, 4}) || MainTRSMKernel(dt) != (Size{4, 4}) {
+			t.Errorf("%v main kernels wrong", dt)
+		}
+	}
+	for _, dt := range []vec.DType{vec.C, vec.Z} {
+		if MainGEMMKernel(dt) != (Size{3, 2}) || MainTRSMKernel(dt) != (Size{2, 2}) {
+			t.Errorf("%v main kernels wrong", dt)
+		}
+	}
+	// Real GEMM: all 16 sizes 4×4 … 1×1.
+	sizes := GEMMKernelSizes(vec.S)
+	if len(sizes) != 16 {
+		t.Errorf("real GEMM kernel count = %d, want 16", len(sizes))
+	}
+	has := func(list []Size, s Size) bool {
+		for _, x := range list {
+			if x == s {
+				return true
+			}
+		}
+		return false
+	}
+	for mc := 1; mc <= 4; mc++ {
+		for nc := 1; nc <= 4; nc++ {
+			if !has(sizes, Size{mc, nc}) {
+				t.Errorf("real GEMM registry missing %dx%d", mc, nc)
+			}
+		}
+	}
+	// Complex GEMM: exactly Table 1's six sizes.
+	csizes := GEMMKernelSizes(vec.Z)
+	wantC := []Size{{3, 2}, {3, 1}, {2, 2}, {2, 1}, {1, 2}, {1, 1}}
+	if len(csizes) != len(wantC) {
+		t.Errorf("complex GEMM kernel count = %d, want %d (%v)", len(csizes), len(wantC), csizes)
+	}
+	for _, s := range wantC {
+		if !has(csizes, s) {
+			t.Errorf("complex GEMM registry missing %dx%d", s.MC, s.NC)
+		}
+	}
+	// Every registered size must fit the register file.
+	for _, dt := range vec.DTypes {
+		for _, s := range GEMMKernelSizes(dt) {
+			if RegistersNeeded(dt, s.MC, s.NC) > 32 {
+				t.Errorf("%v %dx%d exceeds 32 registers", dt, s.MC, s.NC)
+			}
+		}
+	}
+	// TRSM rectangular kernels include Table 1's {4,3,2,1}×4 (s/d) and
+	// {2,1}×2 (c/z).
+	rs := TRSMRectSizes(vec.D)
+	for mc := 1; mc <= 4; mc++ {
+		if !has(rs, Size{mc, 4}) {
+			t.Errorf("TRSM rect registry missing %dx4", mc)
+		}
+	}
+	rc := TRSMRectSizes(vec.C)
+	for mc := 1; mc <= 2; mc++ {
+		if !has(rc, Size{mc, 2}) {
+			t.Errorf("complex TRSM rect registry missing %dx2", mc)
+		}
+	}
+}
+
+func TestMaxTriM(t *testing.T) {
+	// Paper §4.2.2: 2M + M(M+1)/2 ≤ 32 ⇒ M ≤ 5.
+	if MaxTriM(vec.S) != 5 || MaxTriM(vec.D) != 5 {
+		t.Error("real MaxTriM != 5")
+	}
+	if MaxTriM(vec.C) != 3 || MaxTriM(vec.Z) != 3 {
+		t.Error("complex MaxTriM != 3")
+	}
+	if TriRegistersNeeded(vec.D, 5) > 32 {
+		t.Error("M=5 real triangle must fit")
+	}
+	if TriRegistersNeeded(vec.D, 6) <= 32 {
+		t.Error("M=6 real triangle must not fit")
+	}
+	if TriRegistersNeeded(vec.Z, 3) > 32 {
+		t.Error("M=3 complex triangle must fit")
+	}
+	if TriRegistersNeeded(vec.Z, 4) <= 32 {
+		t.Error("M=4 complex triangle must not fit")
+	}
+}
+
+func TestSplitDim(t *testing.T) {
+	cases := []struct {
+		n     int
+		sizes []int
+		want  []int
+	}{
+		{15, []int{4, 3, 2, 1}, []int{4, 4, 4, 3}}, // Figure 4(b)
+		{16, []int{4, 3, 2, 1}, []int{4, 4, 4, 4}},
+		{5, []int{4, 3, 2, 1}, []int{3, 2}}, // avoid a 1-wide tile
+		{4, []int{3, 2, 1}, []int{2, 2}},    // avoid 3+1
+		{1, []int{4, 3, 2, 1}, []int{1}},
+		{3, []int{2, 1}, []int{2, 1}},
+		{0, []int{4}, nil},
+	}
+	for _, c := range cases {
+		got := SplitDim(c.n, c.sizes)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitDim(%d, %v) = %v, want %v", c.n, c.sizes, got, c.want)
+			continue
+		}
+		sum := 0
+		for i := range got {
+			sum += got[i]
+			if got[i] != c.want[i] {
+				t.Errorf("SplitDim(%d, %v) = %v, want %v", c.n, c.sizes, got, c.want)
+				break
+			}
+		}
+		if c.n > 0 && sum != c.n {
+			t.Errorf("SplitDim(%d) sums to %d", c.n, sum)
+		}
+	}
+	// Property: every n from 1 to 64 is exactly covered for both tile sets.
+	for _, sizes := range [][]int{{4, 3, 2, 1}, {3, 2, 1}, {2, 1}} {
+		for n := 1; n <= 64; n++ {
+			sum := 0
+			for _, s := range SplitDim(n, sizes) {
+				sum += s
+			}
+			if sum != n {
+				t.Fatalf("SplitDim(%d, %v) does not cover: %d", n, sizes, sum)
+			}
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package ktmpl
+
+import (
+	"fmt"
+
+	"iatf/internal/asm"
+)
+
+// TRMM kernel generation — the IR twins of the native TRMM kernels, so
+// the extension routine runs on the VM/cycle-model backend exactly like
+// GEMM and TRSM.
+
+// GenTRMMTri generates the triangular multiply kernel: the register-
+// resident triangle (true diagonal values, ones for Unit handled by
+// packing) multiplies NCols columns of B in place, rows bottom-up so
+// still-original values feed each row's accumulation. The TriSpec calling
+// convention matches GenTRSMTri; DivDiag is rejected.
+func GenTRMMTri(s TriSpec) (asm.Prog, error) {
+	if s.DivDiag {
+		return nil, fmt.Errorf("ktmpl: TRMM has no division to ablate")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g := &triGen{s: s}
+	// Load the packed triangle.
+	nregs := (s.M * (s.M + 1) / 2) * s.comps()
+	base := int(g.aReg(0, 0, 0))
+	vl := s.vl()
+	cmt := "load triangle of A"
+	i := 0
+	for ; i+1 < nregs; i += 2 {
+		g.emit(asm.Instr{Op: asm.LDP, D: uint8(base + i), D2: uint8(base + i + 1), P: asm.PA, Off: int32(i * vl), Comment: cmt})
+		cmt = ""
+	}
+	if i < nregs {
+		g.emit(asm.Instr{Op: asm.LDR, D: uint8(base + i), P: asm.PA, Off: int32(i * vl), Comment: cmt})
+	}
+
+	g.loadCol(0, 0, "For column 0")
+	for l := 0; l < s.NCols; l++ {
+		buf := l % 2
+		if l+1 < s.NCols {
+			g.loadCol(1-buf, l+1, fmt.Sprintf("For column %d", l+1))
+		}
+		g.mulCol(buf)
+		g.storeCol(buf, l)
+	}
+	return g.prog, nil
+}
+
+// mulCol emits the bottom-up triangular multiply for the column in
+// buffer b: x_i = Σ_{j<i} a(i,j)·x_j + a(i,i)·x_i, rows descending.
+func (g *triGen) mulCol(b int) {
+	for i := g.s.M - 1; i >= 0; i-- {
+		if g.s.DT.IsComplex() {
+			g.mulColComplexRow(b, i)
+			continue
+		}
+		r := g.bReg(b, i, 0)
+		// x_i *= a_ii first (x_i's old value is only needed here), then
+		// accumulate the sub-diagonal terms from still-original rows.
+		g.emit(asm.Instr{Op: asm.FMUL, D: r, A: r, B: g.aReg(i, i, 0)})
+		for j := 0; j < i; j++ {
+			g.emit(asm.Instr{Op: asm.FMLA, D: r, A: g.aReg(i, j, 0), B: g.bReg(b, j, 0)})
+		}
+	}
+}
+
+// mulColComplexRow emits one complex row of the bottom-up multiply using
+// the two scratch registers for the in-place complex product.
+func (g *triGen) mulColComplexRow(b, i int) {
+	br, bi := g.bReg(b, i, 0), g.bReg(b, i, 1)
+	dr, di := g.aReg(i, i, 0), g.aReg(i, i, 1)
+	// (br, bi) := (br, bi)·(dr, di), via scratch copies of the old value.
+	g.emit(asm.Instr{Op: asm.MOVV, D: triScratch0, A: br})
+	g.emit(asm.Instr{Op: asm.MOVV, D: triScratch1, A: bi})
+	g.emit(asm.Instr{Op: asm.FMUL, D: br, A: triScratch0, B: dr})
+	g.emit(asm.Instr{Op: asm.FMLS, D: br, A: triScratch1, B: di})
+	g.emit(asm.Instr{Op: asm.FMUL, D: bi, A: triScratch0, B: di})
+	g.emit(asm.Instr{Op: asm.FMLA, D: bi, A: triScratch1, B: dr})
+	// += a(i,j)·x_j for the still-original rows.
+	for j := 0; j < i; j++ {
+		ar, ai := g.aReg(i, j, 0), g.aReg(i, j, 1)
+		xr, xi := g.bReg(b, j, 0), g.bReg(b, j, 1)
+		g.emit(asm.Instr{Op: asm.FMLA, D: br, A: ar, B: xr})
+		g.emit(asm.Instr{Op: asm.FMLS, D: br, A: ai, B: xi})
+		g.emit(asm.Instr{Op: asm.FMLA, D: bi, A: ar, B: xi})
+		g.emit(asm.Instr{Op: asm.FMLA, D: bi, A: ai, B: xr})
+	}
+}
+
+// GenTRMMRect generates the rectangular accumulation kernel of the
+// blocked TRMM: B_tile += L·X — the FMLA twin of the TRSM rectangular
+// kernel, with the same calling convention.
+func GenTRMMRect(s RectSpec) (asm.Prog, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	g := &gemmGen{s: s.gemm()}
+	g.xStride = s.StrideX
+
+	comps := g.s.comps()
+	for c := 0; c < s.NC; c++ {
+		off := c * s.StrideC * g.s.blockLen()
+		cmt := ""
+		if c == 0 {
+			cmt = "preload B tile"
+		}
+		g.loadSeqAt(asm.PC, int(g.cReg(0, c, 0)), s.MC*comps, off, cmt)
+	}
+	g.body(modeAdd)
+	for c := 0; c < s.NC; c++ {
+		off := c * s.StrideC * g.s.blockLen()
+		g.storeSeq(asm.PC, int(g.cReg(0, c, 0)), s.MC*comps, off)
+	}
+	return g.prog, nil
+}

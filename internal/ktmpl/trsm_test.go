@@ -1,0 +1,334 @@
+package ktmpl
+
+import (
+	"math/rand"
+	"testing"
+
+	"iatf/internal/asm"
+	"iatf/internal/vec"
+)
+
+// buildTri synthesizes a packed triangle (row-wise, reciprocal diagonal)
+// and a B tile, returning per-lane logical values for reference.
+func runTriKernel[E vec.Float](t *testing.T, s TriSpec) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(100*s.M + s.NCols)))
+	vl := s.vl()
+	comps := s.comps()
+	bl := s.blockLen()
+	cplx := s.DT.IsComplex()
+
+	randVal := func() complex128 {
+		if cplx {
+			return complex(rng.Float64(), rng.Float64())
+		}
+		return complex(rng.Float64(), 0)
+	}
+	// Logical lower-triangular A (diagonal bounded away from zero) and B.
+	a := make([][][]complex128, vl)
+	b := make([][][]complex128, vl)
+	for l := 0; l < vl; l++ {
+		a[l] = make([][]complex128, s.M)
+		b[l] = make([][]complex128, s.M)
+		for i := 0; i < s.M; i++ {
+			a[l][i] = make([]complex128, s.M)
+			b[l][i] = make([]complex128, s.NCols)
+			for j := 0; j <= i; j++ {
+				a[l][i][j] = randVal()
+			}
+			a[l][i][i] += 2 // condition the diagonal
+			for c := 0; c < s.NCols; c++ {
+				b[l][i][c] = randVal()
+			}
+		}
+	}
+
+	triBlocks := s.M * (s.M + 1) / 2
+	lenA := triBlocks * bl
+	lenB := s.NCols * s.StrideB * bl
+	mem := make([]E, lenA+lenB)
+	write := func(off int, vals func(lane int) complex128) {
+		for l := 0; l < vl; l++ {
+			v := vals(l)
+			mem[off+l] = E(real(v))
+			if comps == 2 {
+				mem[off+vl+l] = E(imag(v))
+			}
+		}
+	}
+	// Packed triangle: row i blocks (i,0..i); diagonal stored reciprocal.
+	idx := 0
+	for i := 0; i < s.M; i++ {
+		for j := 0; j <= i; j++ {
+			i, j := i, j
+			write(idx*bl, func(l int) complex128 {
+				if i == j {
+					return 1 / a[l][i][i]
+				}
+				return a[l][i][j]
+			})
+			idx++
+		}
+	}
+	for c := 0; c < s.NCols; c++ {
+		for i := 0; i < s.M; i++ {
+			c, i := c, i
+			write(lenA+(c*s.StrideB+i)*bl, func(l int) complex128 { return b[l][i][c] })
+		}
+	}
+
+	prog, err := GenTRSMTri(s)
+	if err != nil {
+		t.Fatalf("%v M=%d N=%d: %v", s.DT, s.M, s.NCols, err)
+	}
+	vm := &asm.VM[E]{Mem: mem}
+	vm.P[asm.PA] = 0
+	vm.P[asm.PB] = lenA
+	if err := vm.Run(prog); err != nil {
+		t.Fatalf("%v M=%d N=%d: %v", s.DT, s.M, s.NCols, err)
+	}
+
+	// Reference forward substitution per lane; note the kernel multiplies
+	// by the packed reciprocal, so the reference must too (a separate
+	// rounding from division).
+	tol := 1e-12
+	var e E
+	if _, ok := any(e).(float32); ok {
+		tol = 1e-4
+	}
+	for l := 0; l < vl; l++ {
+		for c := 0; c < s.NCols; c++ {
+			x := make([]complex128, s.M)
+			for i := 0; i < s.M; i++ {
+				v := b[l][i][c]
+				for j := 0; j < i; j++ {
+					v -= a[l][i][j] * x[j]
+				}
+				x[i] = v * (1 / a[l][i][i])
+			}
+			for i := 0; i < s.M; i++ {
+				off := lenA + (c*s.StrideB+i)*bl + l
+				gre := float64(mem[off])
+				gim := 0.0
+				if comps == 2 {
+					gim = float64(mem[off+vl])
+				}
+				if dabs(gre-real(x[i])) > tol || dabs(gim-imag(x[i])) > tol {
+					t.Fatalf("%v M=%d N=%d lane=%d X(%d,%d) = (%g,%g), want %v",
+						s.DT, s.M, s.NCols, l, i, c, gre, gim, x[i])
+				}
+			}
+		}
+	}
+}
+
+func TestGenTRSMTriCorrect(t *testing.T) {
+	for _, dt := range vec.DTypes {
+		for m := 1; m <= MaxTriM(dt); m++ {
+			for _, n := range []int{1, 2, 3, 4, 7} {
+				s := TriSpec{DT: dt, M: m, NCols: n, StrideB: m + 1}
+				if dt.Real() == vec.S {
+					runTriKernel[float32](t, s)
+				} else {
+					runTriKernel[float64](t, s)
+				}
+			}
+		}
+	}
+}
+
+func TestTriSpecValidate(t *testing.T) {
+	bad := []TriSpec{
+		{DT: vec.D, M: 6, NCols: 1, StrideB: 6},
+		{DT: vec.Z, M: 4, NCols: 1, StrideB: 4},
+		{DT: vec.D, M: 0, NCols: 1, StrideB: 1},
+		{DT: vec.D, M: 3, NCols: 0, StrideB: 3},
+		{DT: vec.D, M: 3, NCols: 2, StrideB: 2},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad tri spec %d accepted", i)
+		}
+	}
+}
+
+// Triangular kernels must stay within the register file, including the
+// complex scratch registers.
+func TestTriKernelRegisterBudget(t *testing.T) {
+	for _, dt := range vec.DTypes {
+		for m := 1; m <= MaxTriM(dt); m++ {
+			prog, err := GenTRSMTri(TriSpec{DT: dt, M: m, NCols: 4, StrideB: m})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, in := range prog {
+				for _, r := range []uint8{in.D, in.D2, in.A, in.B} {
+					if r >= asm.NumVRegs {
+						t.Fatalf("%v M=%d instr %d uses V%d", dt, m, i, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// runRectKernel validates B_tile -= L·X with strided X reads.
+func runRectKernel[E vec.Float](t *testing.T, s RectSpec) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(int64(10000*s.MC + 100*s.NC + s.K)))
+	vl := s.gemm().vl()
+	comps := s.gemm().comps()
+	bl := s.gemm().blockLen()
+	cplx := s.DT.IsComplex()
+
+	randVal := func() complex128 {
+		if cplx {
+			return complex(rng.Float64(), rng.Float64())
+		}
+		return complex(rng.Float64(), 0)
+	}
+	alloc3 := func(rows, cols int) [][][]complex128 {
+		out := make([][][]complex128, vl)
+		for l := range out {
+			out[l] = make([][]complex128, rows)
+			for r := range out[l] {
+				out[l][r] = make([]complex128, cols)
+				for c := range out[l][r] {
+					out[l][r][c] = randVal()
+				}
+			}
+		}
+		return out
+	}
+	lmat := alloc3(s.MC, s.K) // L panel
+	x := alloc3(s.K, s.NC)    // solved X rows
+	btile := alloc3(s.MC, s.NC)
+
+	lenA := s.K * s.MC * bl
+	lenX := s.NC * s.StrideX * bl
+	lenC := s.NC * s.StrideC * bl
+	mem := make([]E, lenA+lenX+lenC)
+	pa, px, pc := 0, lenA, lenA+lenX
+	write := func(off int, vals func(lane int) complex128) {
+		for l := 0; l < vl; l++ {
+			v := vals(l)
+			mem[off+l] = E(real(v))
+			if comps == 2 {
+				mem[off+vl+l] = E(imag(v))
+			}
+		}
+	}
+	for k := 0; k < s.K; k++ {
+		for r := 0; r < s.MC; r++ {
+			k, r := k, r
+			write(pa+(k*s.MC+r)*bl, func(l int) complex128 { return lmat[l][r][k] })
+		}
+		for c := 0; c < s.NC; c++ {
+			k, c := k, c
+			write(px+(c*s.StrideX+k)*bl, func(l int) complex128 { return x[l][k][c] })
+		}
+	}
+	for c := 0; c < s.NC; c++ {
+		for r := 0; r < s.MC; r++ {
+			c, r := c, r
+			write(pc+(c*s.StrideC+r)*bl, func(l int) complex128 { return btile[l][r][c] })
+		}
+	}
+
+	prog, err := GenTRSMRect(s)
+	if err != nil {
+		t.Fatalf("%v %dx%d K=%d: %v", s.DT, s.MC, s.NC, s.K, err)
+	}
+	vm := &asm.VM[E]{Mem: mem}
+	vm.P[asm.PA] = pa
+	vm.P[asm.PX] = px
+	vm.P[asm.PC] = pc
+	if err := vm.Run(prog); err != nil {
+		t.Fatalf("%v %dx%d K=%d: %v", s.DT, s.MC, s.NC, s.K, err)
+	}
+
+	tol := 1e-12 * float64(s.K+1)
+	var e E
+	if _, ok := any(e).(float32); ok {
+		tol = 1e-4 * float64(s.K+1)
+	}
+	for l := 0; l < vl; l++ {
+		for r := 0; r < s.MC; r++ {
+			for c := 0; c < s.NC; c++ {
+				want := btile[l][r][c]
+				for k := 0; k < s.K; k++ {
+					want -= lmat[l][r][k] * x[l][k][c]
+				}
+				off := pc + (c*s.StrideC+r)*bl + l
+				gre := float64(mem[off])
+				gim := 0.0
+				if comps == 2 {
+					gim = float64(mem[off+vl])
+				}
+				if dabs(gre-real(want)) > tol || dabs(gim-imag(want)) > tol {
+					t.Fatalf("%v %dx%d K=%d lane=%d B(%d,%d) = (%g,%g), want %v",
+						s.DT, s.MC, s.NC, s.K, l, r, c, gre, gim, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGenTRSMRectCorrect(t *testing.T) {
+	for _, dt := range vec.DTypes {
+		for _, sz := range TRSMRectSizes(dt) {
+			for _, k := range []int{1, 2, 3, 4, 5, 8, 9} {
+				s := RectSpec{DT: dt, MC: sz.MC, NC: sz.NC, K: k,
+					StrideC: sz.MC + 1, StrideX: k + 2}
+				if dt.Real() == vec.S {
+					runRectKernel[float32](t, s)
+				} else {
+					runRectKernel[float64](t, s)
+				}
+			}
+		}
+	}
+}
+
+// Eq. 4's claim: the FMLS rectangular kernel must contain no FMUL scaling
+// pass and no alpha load — only the preload, the FMLS body and the store.
+func TestRectKernelSavesMultiplies(t *testing.T) {
+	s := RectSpec{DT: vec.D, MC: 4, NC: 4, K: 8, StrideC: 4, StrideX: 8}
+	prog, err := GenTRSMRect(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range prog {
+		if in.Op == asm.FMUL || in.Op == asm.FMULe {
+			t.Errorf("instr %d is an FMUL; rect kernel must be pure FMLS", i)
+		}
+		if in.Op == asm.LD1R {
+			t.Errorf("instr %d loads alpha; rect kernel has no SAVE scaling", i)
+		}
+	}
+	fma, other := prog.FlopCount()
+	if fma != 4*4*8 || other != 0 {
+		t.Errorf("rect kernel flops = %d fma + %d other, want 128 + 0", fma, other)
+	}
+	// Compared against a direct GEMM call (alpha=-1), the rect kernel
+	// saves exactly MC·NC multiply instructions.
+	gs := GEMMSpec{DT: vec.D, MC: 4, NC: 4, K: 8, StrideC: 4}
+	gp, err := GenGEMM(gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gfma, gother := gp.FlopCount()
+	if gfma+gother != fma+4*4 {
+		t.Errorf("GEMM kernel has %d flops, rect %d: want a %d-instruction saving",
+			gfma+gother, fma, 4*4)
+	}
+}
+
+func TestRectSpecValidate(t *testing.T) {
+	if err := (RectSpec{DT: vec.D, MC: 4, NC: 4, K: 4, StrideC: 4, StrideX: 0}).Validate(); err == nil {
+		t.Error("StrideX=0 accepted")
+	}
+	if err := (RectSpec{DT: vec.D, MC: 5, NC: 5, K: 4, StrideC: 5, StrideX: 4}).Validate(); err == nil {
+		t.Error("oversized rect kernel accepted")
+	}
+}

@@ -1,0 +1,52 @@
+package layout
+
+import (
+	"testing"
+
+	"iatf/internal/matrix"
+	"iatf/internal/vec"
+)
+
+// FuzzRoundTrip drives the pack/unpack pair with arbitrary shapes and
+// data, asserting the round trip is lossless and never panics for valid
+// dimensions.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(3), uint8(4), uint8(5), int64(1))
+	f.Add(uint8(1), uint8(1), uint8(1), int64(2))
+	f.Add(uint8(16), uint8(2), uint8(33), int64(3))
+	f.Fuzz(func(t *testing.T, count8, rows8, cols8 uint8, seed int64) {
+		count := 1 + int(count8)%40
+		rows := 1 + int(rows8)%12
+		cols := 1 + int(cols8)%12
+		b := matrix.NewBatch[float32](count, rows, cols)
+		x := float32(seed%97) + 0.5
+		for i := range b.Data {
+			x = x*1.37 + 0.11
+			if x > 1e6 {
+				x = 0.25
+			}
+			b.Data[i] = x
+		}
+		got := ToBatch(FromBatch(vec.S, b))
+		for i := range b.Data {
+			if got.Data[i] != b.Data[i] {
+				t.Fatalf("round trip diverges at %d", i)
+			}
+		}
+		// Complex too.
+		bc := matrix.NewBatch[complex128](count, rows, cols)
+		for i := range bc.Data {
+			x = x*1.37 + 0.11
+			if x > 1e6 {
+				x = 0.25
+			}
+			bc.Data[i] = complex(float64(x), float64(-x))
+		}
+		gotC := ToBatchComplex[complex128](FromBatchComplex[complex128, float64](vec.Z, bc))
+		for i := range bc.Data {
+			if gotC.Data[i] != bc.Data[i] {
+				t.Fatalf("complex round trip diverges at %d", i)
+			}
+		}
+	})
+}

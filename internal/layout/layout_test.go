@@ -1,0 +1,252 @@
+package layout
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"iatf/internal/matrix"
+	"iatf/internal/vec"
+)
+
+func TestSizesAndGroups(t *testing.T) {
+	cases := []struct {
+		dt                       vec.DType
+		count, rows, cols        int
+		p, comps, groups, blkLen int
+	}{
+		{vec.S, 9, 3, 3, 4, 1, 3, 4},
+		{vec.D, 9, 3, 3, 2, 1, 5, 2},
+		{vec.C, 4, 2, 5, 4, 2, 1, 8},
+		{vec.Z, 5, 2, 2, 2, 2, 3, 4},
+	}
+	for _, cse := range cases {
+		var got interface {
+			P() int
+			Comps() int
+			Groups() int
+			BlockLen() int
+			GroupLen() int
+		}
+		if cse.dt.Real() == vec.S {
+			got = NewCompact[float32](cse.dt, cse.count, cse.rows, cse.cols)
+		} else {
+			got = NewCompact[float64](cse.dt, cse.count, cse.rows, cse.cols)
+		}
+		if got.P() != cse.p || got.Comps() != cse.comps || got.Groups() != cse.groups || got.BlockLen() != cse.blkLen {
+			t.Errorf("%v: P=%d comps=%d groups=%d blk=%d, want %+v",
+				cse.dt, got.P(), got.Comps(), got.Groups(), got.BlockLen(), cse)
+		}
+		if got.GroupLen() != cse.rows*cse.cols*cse.blkLen {
+			t.Errorf("%v GroupLen = %d", cse.dt, got.GroupLen())
+		}
+	}
+}
+
+func TestElementTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("float32 storage for D dtype did not panic")
+		}
+	}()
+	NewCompact[float32](vec.D, 1, 1, 1)
+}
+
+// Figure 3 of the paper: for 3×3 float32 matrices, the first vector block
+// must contain element (0,0) of matrices 0..3, the next block element (1,0)
+// of matrices 0..3 (column-major within the group).
+func TestFigure3LayoutOrder(t *testing.T) {
+	b := matrix.NewBatch[float32](8, 3, 3)
+	for v := 0; v < 8; v++ {
+		m := b.Mat(v)
+		for j := 0; j < 3; j++ {
+			for i := 0; i < 3; i++ {
+				m.Set(i, j, float32(100*v+10*i+j))
+			}
+		}
+	}
+	c := FromBatch(vec.S, b)
+	// Block 0: element (0,0) of matrices 0..3.
+	want := []float32{0, 100, 200, 300}
+	for lane, w := range want {
+		if c.Data[lane] != w {
+			t.Errorf("block0 lane %d = %v want %v", lane, c.Data[lane], w)
+		}
+	}
+	// Block 1: element (1,0) of matrices 0..3.
+	want = []float32{10, 110, 210, 310}
+	for lane, w := range want {
+		if c.Data[4+lane] != w {
+			t.Errorf("block1 lane %d = %v want %v", lane, c.Data[4+lane], w)
+		}
+	}
+	// Second group starts with element (0,0) of matrices 4..7.
+	g1 := c.Index(1, 0, 0)
+	want = []float32{400, 500, 600, 700}
+	for lane, w := range want {
+		if c.Data[g1+lane] != w {
+			t.Errorf("group1 block0 lane %d = %v want %v", lane, c.Data[g1+lane], w)
+		}
+	}
+}
+
+func TestComplexSplitPlanes(t *testing.T) {
+	b := matrix.NewBatch[complex64](2, 1, 1)
+	b.Mat(0).Set(0, 0, 1+2i)
+	b.Mat(1).Set(0, 0, 3+4i)
+	c := FromBatchComplex[complex64, float32](vec.C, b)
+	// One block: [re0 re1 pad pad | im0 im1 pad pad].
+	want := []float32{1, 3, 0, 0, 2, 4, 0, 0}
+	if len(c.Data) != len(want) {
+		t.Fatalf("data len %d want %d", len(c.Data), len(want))
+	}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Errorf("data[%d] = %v want %v", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestPaddingLanesAreZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	b := matrix.RandBatch[float64](rng, 3, 4, 2) // P=2 → 2 groups, 1 padding lane
+	c := FromBatch(vec.D, b)
+	for j := 0; j < 2; j++ {
+		for i := 0; i < 4; i++ {
+			off := c.Index(1, i, j) + 1 // lane 1 of group 1 = matrix 3 = padding
+			if c.Data[off] != 0 {
+				t.Errorf("padding lane (%d,%d) = %v, want 0", i, j, c.Data[off])
+			}
+		}
+	}
+}
+
+func TestRoundTripReal(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, dt := range []vec.DType{vec.S, vec.D} {
+		for _, count := range []int{1, 2, 3, 4, 5, 8, 9} {
+			if dt == vec.S {
+				b := matrix.RandBatch[float32](rng, count, 3, 5)
+				got := ToBatch(FromBatch(dt, b))
+				if matrix.MaxAbsDiff(got.Data, b.Data) != 0 {
+					t.Errorf("%v count=%d round trip failed", dt, count)
+				}
+			} else {
+				b := matrix.RandBatch[float64](rng, count, 3, 5)
+				got := ToBatch(FromBatch(dt, b))
+				if matrix.MaxAbsDiff(got.Data, b.Data) != 0 {
+					t.Errorf("%v count=%d round trip failed", dt, count)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripComplex(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, count := range []int{1, 3, 4, 7} {
+		bc := matrix.RandBatch[complex64](rng, count, 2, 3)
+		gotC := ToBatchComplex[complex64](FromBatchComplex[complex64, float32](vec.C, bc))
+		if matrix.MaxAbsDiff(gotC.Data, bc.Data) != 0 {
+			t.Errorf("C count=%d round trip failed", count)
+		}
+		bz := matrix.RandBatch[complex128](rng, count, 2, 3)
+		gotZ := ToBatchComplex[complex128](FromBatchComplex[complex128, float64](vec.Z, bz))
+		if matrix.MaxAbsDiff(gotZ.Data, bz.Data) != 0 {
+			t.Errorf("Z count=%d round trip failed", count)
+		}
+	}
+}
+
+// Property: At/Set are mutually consistent at random coordinates.
+func TestAtSetProperty(t *testing.T) {
+	c := NewCompact[float64](vec.Z, 5, 4, 3)
+	f := func(v, i, j uint8, re, im float64) bool {
+		vi, ii, ji := int(v)%5, int(i)%4, int(j)%3
+		c.Set(vi, ii, ji, re, im)
+		gre, gim := c.At(vi, ii, ji)
+		return gre == re && gim == im
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := NewCompact[float32](vec.S, 4, 2, 2)
+	c.Set(0, 0, 0, 1, 0)
+	d := c.Clone()
+	d.Set(0, 0, 0, 2, 0)
+	if re, _ := c.At(0, 0, 0); re != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestDTypeGuards(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("FromBatch with complex dtype", func() {
+		FromBatch(vec.C, matrix.NewBatch[float32](1, 1, 1))
+	})
+	mustPanic("ToBatch with complex dtype", func() {
+		ToBatch(NewCompact[float32](vec.C, 1, 1, 1))
+	})
+	mustPanic("FromBatchComplex with real dtype", func() {
+		FromBatchComplex[complex64, float32](vec.S, matrix.NewBatch[complex64](1, 1, 1))
+	})
+	mustPanic("ToBatchComplex with real dtype", func() {
+		ToBatchComplex[complex64](NewCompact[float32](vec.S, 1, 1, 1))
+	})
+}
+
+func TestReplicateReal(t *testing.T) {
+	src := []float64{1, 2, 3, 4, 5, 6} // 2×3 column-major
+	c := ReplicateReal(vec.D, src, 2, 3, 5)
+	if c.Count != 5 || c.Rows != 2 || c.Cols != 3 {
+		t.Fatalf("dims: %+v", c)
+	}
+	for v := 0; v < 5; v++ {
+		for j := 0; j < 3; j++ {
+			for i := 0; i < 2; i++ {
+				re, _ := c.At(v, i, j)
+				if re != src[j*2+i] {
+					t.Fatalf("matrix %d (%d,%d) = %v", v, i, j, re)
+				}
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("complex dtype accepted by ReplicateReal")
+		}
+	}()
+	ReplicateReal(vec.C, []float32{1}, 1, 1, 1)
+}
+
+func TestReplicateComplex(t *testing.T) {
+	src := []complex64{1 + 2i, 3, 4i, 5 - 1i} // 2×2
+	c := ReplicateComplex[complex64, float32](vec.C, src, 2, 2, 6)
+	for v := 0; v < 6; v++ {
+		for j := 0; j < 2; j++ {
+			for i := 0; i < 2; i++ {
+				re, im := c.At(v, i, j)
+				want := src[j*2+i]
+				if re != real(want) || im != imag(want) {
+					t.Fatalf("matrix %d (%d,%d) = (%v,%v)", v, i, j, re, im)
+				}
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("real dtype accepted by ReplicateComplex")
+		}
+	}()
+	ReplicateComplex[complex64, float32](vec.S, src, 2, 2, 1)
+}

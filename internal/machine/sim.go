@@ -1,0 +1,194 @@
+package machine
+
+import (
+	"iatf/internal/asm"
+	"iatf/internal/cache"
+)
+
+// Sim is an in-order dual-issue pipeline scoreboard. Instructions are fed
+// in program order (Exec); the simulator advances a cycle counter under the
+// profile's issue-port constraints and register-dependency latencies, with
+// load latencies supplied by the cache hierarchy.
+//
+// One Sim instance models one element width (4 or 8 bytes), which fixes
+// the FP port count and the byte scaling of trace addresses.
+type Sim struct {
+	Prof      Profile
+	Cache     *cache.Hierarchy
+	ElemBytes int
+
+	// regReady[r] is the cycle at which register r's value is available;
+	// indices 0–31 are V registers, 32–39 pointer registers.
+	regReady [40]int64
+
+	cycle   int64 // current issue cycle
+	slotMem int   // memory instructions issued in the current cycle
+	slotFP  int
+	slotInt int
+
+	// Statistics.
+	Instrs      int64
+	MemInstrs   int64
+	FPInstrs    int64
+	StallCycles int64
+	fpPorts     int
+
+	// OnIssue, when non-nil, observes every issued instruction with its
+	// issue cycle and completion latency — the hook behind the pipeline
+	// trace tool.
+	OnIssue func(cycle int64, in asm.Instr, lat int)
+}
+
+// NewSim builds a simulator for one kernel-execution experiment.
+func NewSim(p Profile, elemBytes int) *Sim {
+	return &Sim{
+		Prof:      p,
+		Cache:     cache.New(p.Cache),
+		ElemBytes: elemBytes,
+		fpPorts:   p.FPPorts(elemBytes),
+	}
+}
+
+// Reset clears pipeline state and statistics but keeps cache contents, so
+// repeated kernel invocations see a warm cache — matching the paper's
+// measurement of 100 repetitions.
+func (s *Sim) Reset() {
+	s.regReady = [40]int64{}
+	s.cycle = 0
+	s.slotMem, s.slotFP, s.slotInt = 0, 0, 0
+	s.Instrs, s.MemInstrs, s.FPInstrs, s.StallCycles = 0, 0, 0, 0
+}
+
+func (s *Sim) advance(to int64) {
+	if to > s.cycle {
+		s.cycle = to
+		s.slotMem, s.slotFP, s.slotInt = 0, 0, 0
+	}
+}
+
+func regIndexes(m asm.RegMask, out []int) []int {
+	for r := 0; m != 0 && r < 40; r++ {
+		if m&1 != 0 {
+			out = append(out, r)
+		}
+		m >>= 1
+	}
+	return out
+}
+
+// Exec issues one instruction. elemAddr is the element offset the
+// instruction touches (from the VM trace; ignored for non-memory ops).
+// The corresponding modeled byte address is elemAddr·ElemBytes.
+func (s *Sim) Exec(in asm.Instr, elemAddr int) {
+	s.Instrs++
+
+	// Operand readiness (registers are read at issue).
+	var idxbuf [8]int
+	ready := s.cycle
+	for _, r := range regIndexes(in.Reads(), idxbuf[:0]) {
+		if s.regReady[r] > ready {
+			ready = s.regReady[r]
+		}
+	}
+	if ready > s.cycle {
+		s.StallCycles += ready - s.cycle
+	}
+	s.advance(ready)
+
+	// Port allocation.
+	isMem := in.Op.IsMem()
+	isFP := in.Op.IsFP()
+	for {
+		memOK := !isMem || s.slotMem < s.Prof.MemPorts
+		fpOK := !isFP || s.slotFP < s.fpPorts
+		groupOK := true
+		if s.Prof.GroupWidth > 0 && (isMem || isFP) {
+			groupOK = s.slotMem+s.slotFP < s.Prof.GroupWidth
+		}
+		intOK := isMem || isFP || s.slotInt < s.Prof.IntPorts
+		if memOK && fpOK && groupOK && intOK {
+			break
+		}
+		s.advance(s.cycle + 1)
+	}
+	switch {
+	case isMem:
+		s.slotMem++
+		s.MemInstrs++
+	case isFP:
+		s.slotFP++
+		s.FPInstrs++
+	default:
+		s.slotInt++
+	}
+
+	// Completion latency.
+	lat := 1
+	switch {
+	case in.Op == asm.PRFM:
+		s.Cache.Prefetch(uint64(elemAddr) * uint64(s.ElemBytes))
+		lat = 1
+	case in.Op.IsLoad():
+		size := s.Prof.VectorBits / 8
+		if in.Op == asm.LDP {
+			size *= 2
+		}
+		if in.Op == asm.LD1R {
+			size = s.ElemBytes
+		}
+		lat = s.Cache.Access(uint64(elemAddr)*uint64(s.ElemBytes), size, false)
+	case in.Op.IsStore():
+		size := s.Prof.VectorBits / 8
+		if in.Op == asm.STP {
+			size *= 2
+		}
+		// Stores retire through a write buffer; they charge the cache
+		// (allocation) but do not stall dependents.
+		s.Cache.Access(uint64(elemAddr)*uint64(s.ElemBytes), size, true)
+		lat = 1
+	case in.Op == asm.FDIV:
+		if s.ElemBytes == 4 {
+			lat = s.Prof.LatDiv32
+		} else {
+			lat = s.Prof.LatDiv64
+		}
+	case in.Op == asm.FMLA, in.Op == asm.FMLS, in.Op == asm.FMLAe, in.Op == asm.FMLSe:
+		lat = s.Prof.LatFMA
+	case in.Op == asm.FMUL, in.Op == asm.FMULe:
+		lat = s.Prof.LatMul
+	case in.Op == asm.FADD, in.Op == asm.FSUB:
+		lat = s.Prof.LatAdd
+	}
+	done := s.cycle + int64(lat)
+	for _, r := range regIndexes(in.Writes(), idxbuf[:0]) {
+		s.regReady[r] = done
+	}
+	if s.OnIssue != nil {
+		s.OnIssue(s.cycle, in, lat)
+	}
+}
+
+// AddCycles charges flat overhead cycles (library call setup, dispatch) —
+// used by the baseline models, which pay per-call costs IATF's execution
+// plan amortizes.
+func (s *Sim) AddCycles(n int64) {
+	s.advance(s.cycle + n)
+}
+
+// Cycles returns the total cycle count: the issue cursor advanced past the
+// latest in-flight result.
+func (s *Sim) Cycles() int64 {
+	c := s.cycle + 1
+	for _, r := range s.regReady {
+		if r > c {
+			c = r
+		}
+	}
+	return c
+}
+
+// Seconds converts the current cycle count to seconds at the profile
+// frequency.
+func (s *Sim) Seconds() float64 {
+	return float64(s.Cycles()) / (s.Prof.FreqGHz * 1e9)
+}

@@ -1,0 +1,297 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"iatf/internal/asm"
+	"iatf/internal/vec"
+)
+
+func TestProfilePeaks(t *testing.T) {
+	kp := Kunpeng920()
+	// Table 2: FP64 10.4, FP32 41.6 GFLOPS.
+	if g := kp.PeakGFLOPS(vec.D); math.Abs(g-10.4) > 1e-9 {
+		t.Errorf("Kunpeng FP64 peak = %v, want 10.4", g)
+	}
+	if g := kp.PeakGFLOPS(vec.S); math.Abs(g-41.6) > 1e-9 {
+		t.Errorf("Kunpeng FP32 peak = %v, want 41.6", g)
+	}
+	if g := kp.PeakGFLOPS(vec.Z); math.Abs(g-10.4) > 1e-9 {
+		t.Errorf("Kunpeng Z peak = %v, want 10.4", g)
+	}
+	xe := XeonGold6240()
+	// Table 2: FP64 83.2, FP32 166.4 GFLOPS.
+	if g := xe.PeakGFLOPS(vec.D); math.Abs(g-83.2) > 1e-9 {
+		t.Errorf("Xeon FP64 peak = %v, want 83.2", g)
+	}
+	if g := xe.PeakGFLOPS(vec.S); math.Abs(g-166.4) > 1e-9 {
+		t.Errorf("Xeon FP32 peak = %v, want 166.4", g)
+	}
+	if kp.Lanes(4) != 4 || kp.Lanes(8) != 2 || xe.Lanes(4) != 16 || xe.Lanes(8) != 8 {
+		t.Error("lane counts wrong")
+	}
+}
+
+// A long stream of independent FP64 FMAs must sustain 1 per cycle on the
+// Kunpeng model (its FP64 port count), i.e. reach model peak.
+func TestSustainedFMAThroughputFP64(t *testing.T) {
+	s := NewSim(Kunpeng920(), 8)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		// Round-robin over 8 accumulators so latency is hidden.
+		s.Exec(asm.Instr{Op: asm.FMLA, D: uint8(16 + i%8), A: 0, B: 1}, -1)
+	}
+	if c := s.Cycles(); c > n+10 {
+		t.Errorf("cycles = %d for %d independent FMAs, want ≈%d", c, n, n)
+	}
+}
+
+// FP32 can dual-issue calculation instructions on Kunpeng (paper §6.3).
+func TestFP32DualIssue(t *testing.T) {
+	s := NewSim(Kunpeng920(), 4)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		s.Exec(asm.Instr{Op: asm.FMLA, D: uint8(8 + i%16), A: 0, B: 1}, -1)
+	}
+	if c := s.Cycles(); c > n/2+10 {
+		t.Errorf("cycles = %d for %d FP32 FMAs, want ≈%d", c, n, n/2)
+	}
+}
+
+// The Kunpeng coupling constraint: a load and two FP32 ops cannot all
+// issue in one cycle, so a 1:2 load:fma mix runs at ≥1.5 instr classes
+// ... i.e. 1000 (load+fma+fma) triples need ≥1500 cycles, not 1000.
+func TestKunpengMemFPCoupling(t *testing.T) {
+	s := NewSim(Kunpeng920(), 4)
+	// Warm one line so loads are uniform L1 hits.
+	s.Exec(asm.Instr{Op: asm.LDR, D: 0, P: asm.PA}, 0)
+	s.Reset()
+	const n = 500
+	for i := 0; i < n; i++ {
+		s.Exec(asm.Instr{Op: asm.LDR, D: uint8(i % 4), P: asm.PA}, 0)
+		s.Exec(asm.Instr{Op: asm.FMLA, D: uint8(8 + (2*i)%16), A: 4, B: 5}, -1)
+		s.Exec(asm.Instr{Op: asm.FMLA, D: uint8(8 + (2*i+1)%16), A: 4, B: 5}, -1)
+	}
+	c := s.Cycles()
+	if c < 3*n/2 {
+		t.Errorf("cycles = %d, want ≥ %d (mem+2FP cannot co-issue)", c, 3*n/2)
+	}
+	// On the Xeon model the same mix issues in ~n cycles (2 FP + 2 mem ports).
+	x := NewSim(XeonGold6240(), 4)
+	x.Exec(asm.Instr{Op: asm.LDR, D: 0, P: asm.PA}, 0)
+	x.Reset()
+	for i := 0; i < n; i++ {
+		x.Exec(asm.Instr{Op: asm.LDR, D: uint8(i % 4), P: asm.PA}, 0)
+		x.Exec(asm.Instr{Op: asm.FMLA, D: uint8(8 + (2*i)%16), A: 4, B: 5}, -1)
+		x.Exec(asm.Instr{Op: asm.FMLA, D: uint8(8 + (2*i+1)%16), A: 4, B: 5}, -1)
+	}
+	if xc := x.Cycles(); xc > n+20 {
+		t.Errorf("Xeon cycles = %d, want ≈%d", xc, n)
+	}
+}
+
+// A dependent FMA chain pays the FMA latency per link.
+func TestDependencyChainLatency(t *testing.T) {
+	s := NewSim(Kunpeng920(), 8)
+	const n = 100
+	for i := 0; i < n; i++ {
+		s.Exec(asm.Instr{Op: asm.FMLA, D: 16, A: 0, B: 1}, -1) // same accumulator
+	}
+	c := s.Cycles()
+	want := int64(n * Kunpeng920().LatFMA)
+	if c < want {
+		t.Errorf("chain cycles = %d, want ≥ %d", c, want)
+	}
+	if s.StallCycles == 0 {
+		t.Error("dependent chain must record stalls")
+	}
+}
+
+// A dependent consumer of a load stalls for the L1 latency; an independent
+// one does not.
+func TestLoadUseStall(t *testing.T) {
+	prof := Kunpeng920()
+	s := NewSim(prof, 8)
+	s.Exec(asm.Instr{Op: asm.LDR, D: 0, P: asm.PA}, 0) // cold: memory latency
+	s.Exec(asm.Instr{Op: asm.LDR, D: 1, P: asm.PA}, 0) // warm: L1
+	s.Reset()
+	s.Exec(asm.Instr{Op: asm.LDR, D: 0, P: asm.PA}, 0)
+	s.Exec(asm.Instr{Op: asm.FMUL, D: 16, A: 0, B: 0}, -1) // dependent
+	c := s.Cycles()
+	if c < int64(prof.Cache.Levels[0].HitCycles) {
+		t.Errorf("dependent fmul did not wait for load: %d cycles", c)
+	}
+}
+
+// Pointer arithmetic (ADDI) must not consume mem/FP slots.
+func TestIntOpsDoNotStealPorts(t *testing.T) {
+	s := NewSim(Kunpeng920(), 8)
+	s.Exec(asm.Instr{Op: asm.LDR, D: 0, P: asm.PA}, 0)
+	s.Reset()
+	const n = 300
+	for i := 0; i < n; i++ {
+		s.Exec(asm.Instr{Op: asm.LDR, D: uint8(i % 4), P: asm.PA}, 0)
+		s.Exec(asm.Instr{Op: asm.FMLA, D: uint8(8 + i%8), A: 4, B: 5}, -1)
+		s.Exec(asm.Instr{Op: asm.ADDI, P: asm.PA, Off: 0}, -1)
+	}
+	if c := s.Cycles(); c > n+20 {
+		t.Errorf("cycles = %d, want ≈%d (ldr+fmla+add per cycle)", c, n)
+	}
+}
+
+func TestPrefetchWarmsCacheInSim(t *testing.T) {
+	s := NewSim(Kunpeng920(), 8)
+	s.Exec(asm.Instr{Op: asm.PRFM, P: asm.PC}, 100)
+	s.Exec(asm.Instr{Op: asm.LDR, D: 0, P: asm.PC}, 100)
+	s.Exec(asm.Instr{Op: asm.FMUL, D: 16, A: 0, B: 0}, -1)
+	c := s.Cycles()
+	if c > 12 {
+		t.Errorf("prefetched load chain took %d cycles", c)
+	}
+}
+
+func TestAddCyclesAndSeconds(t *testing.T) {
+	s := NewSim(Kunpeng920(), 8)
+	s.AddCycles(259)
+	if c := s.Cycles(); c != 260 {
+		t.Errorf("Cycles = %d, want 260", c)
+	}
+	wantSec := 260.0 / 2.6e9
+	if sec := s.Seconds(); math.Abs(sec-wantSec) > 1e-15 {
+		t.Errorf("Seconds = %v, want %v", sec, wantSec)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	s := NewSim(Kunpeng920(), 8)
+	s.Exec(asm.Instr{Op: asm.LDR, D: 0, P: asm.PA}, 0)
+	s.Exec(asm.Instr{Op: asm.FMLA, D: 16, A: 0, B: 1}, -1)
+	s.Exec(asm.Instr{Op: asm.ADDI, P: asm.PA, Off: 1}, -1)
+	if s.Instrs != 3 || s.MemInstrs != 1 || s.FPInstrs != 1 {
+		t.Errorf("stats = %d/%d/%d", s.Instrs, s.MemInstrs, s.FPInstrs)
+	}
+}
+
+func TestLatencyClasses(t *testing.T) {
+	prof := Kunpeng920()
+	// FDIV latency differs by element width.
+	s64 := NewSim(prof, 8)
+	s64.Exec(asm.Instr{Op: asm.FDIV, D: 1, A: 0, B: 0}, -1)
+	s64.Exec(asm.Instr{Op: asm.FMUL, D: 2, A: 1, B: 1}, -1) // dependent
+	if c := s64.Cycles(); c < int64(prof.LatDiv64) {
+		t.Errorf("FP64 div chain = %d cycles, want ≥ %d", c, prof.LatDiv64)
+	}
+	s32 := NewSim(prof, 4)
+	s32.Exec(asm.Instr{Op: asm.FDIV, D: 1, A: 0, B: 0}, -1)
+	s32.Exec(asm.Instr{Op: asm.FMUL, D: 2, A: 1, B: 1}, -1)
+	if c := s32.Cycles(); c >= s64.Cycles() {
+		t.Errorf("FP32 div chain (%d) should be shorter than FP64 (%d)", c, s64.Cycles())
+	}
+	// FADD/FSUB use the add latency.
+	sa := NewSim(prof, 8)
+	sa.Exec(asm.Instr{Op: asm.FADD, D: 1, A: 0, B: 0}, -1)
+	sa.Exec(asm.Instr{Op: asm.FSUB, D: 2, A: 1, B: 1}, -1)
+	if c := sa.Cycles(); c < int64(2*prof.LatAdd) {
+		t.Errorf("add chain = %d cycles, want ≥ %d", c, 2*prof.LatAdd)
+	}
+}
+
+func TestLD1RAndStoreClasses(t *testing.T) {
+	s := NewSim(Kunpeng920(), 8)
+	s.Exec(asm.Instr{Op: asm.LD1R, D: 0, P: asm.PAlpha}, 5)
+	s.Exec(asm.Instr{Op: asm.STP, D: 0, D2: 1, P: asm.PC}, 64)
+	s.Exec(asm.Instr{Op: asm.STR, D: 0, P: asm.PC}, 128)
+	if s.MemInstrs != 3 {
+		t.Errorf("mem instrs = %d, want 3", s.MemInstrs)
+	}
+	// Stores retire through the write buffer: an independent FP op after
+	// a store must not stall.
+	s2 := NewSim(Kunpeng920(), 8)
+	s2.Exec(asm.Instr{Op: asm.STR, D: 0, P: asm.PC}, 0) // cold line
+	s2.Exec(asm.Instr{Op: asm.FMUL, D: 1, A: 2, B: 3}, -1)
+	// Both issue in cycle 0 (mem + FP dual issue); total time is just the
+	// FMUL's own latency, not the store's cold-miss latency.
+	if c := s2.Cycles(); c > int64(Kunpeng920().LatMul)+1 {
+		t.Errorf("store+independent fmul = %d cycles, want ≤ %d", c, Kunpeng920().LatMul+1)
+	}
+}
+
+func TestXeonDualLoadPorts(t *testing.T) {
+	x := NewSim(XeonGold6240(), 8)
+	x.Exec(asm.Instr{Op: asm.LDR, D: 0, P: asm.PA}, 0)
+	x.Reset()
+	const n = 400
+	for i := 0; i < n; i++ {
+		x.Exec(asm.Instr{Op: asm.LDR, D: uint8(i % 8), P: asm.PA}, 0)
+	}
+	if c := x.Cycles(); c > n/2+20 {
+		t.Errorf("Xeon streamed %d loads in %d cycles, want ≈%d (2 ports)", n, c, n/2)
+	}
+	k := NewSim(Kunpeng920(), 8)
+	k.Exec(asm.Instr{Op: asm.LDR, D: 0, P: asm.PA}, 0)
+	k.Reset()
+	for i := 0; i < n; i++ {
+		k.Exec(asm.Instr{Op: asm.LDR, D: uint8(i % 8), P: asm.PA}, 0)
+	}
+	if c := k.Cycles(); c < n {
+		t.Errorf("Kunpeng streamed %d loads in %d cycles, want ≥ %d (1 port)", n, c, n)
+	}
+}
+
+func TestMOVIAndMOVVIssueOnFPPipe(t *testing.T) {
+	s := NewSim(Kunpeng920(), 8)
+	s.Exec(asm.Instr{Op: asm.MOVI, D: 0}, -1)
+	s.Exec(asm.Instr{Op: asm.MOVV, D: 1, A: 0}, -1)
+	if s.FPInstrs != 2 {
+		t.Errorf("FP instrs = %d, want 2", s.FPInstrs)
+	}
+}
+
+func TestOnIssueHook(t *testing.T) {
+	s := NewSim(Kunpeng920(), 8)
+	var cycles []int64
+	var lats []int
+	s.OnIssue = func(c int64, in asm.Instr, lat int) {
+		cycles = append(cycles, c)
+		lats = append(lats, lat)
+	}
+	s.Exec(asm.Instr{Op: asm.LDR, D: 0, P: asm.PA}, 0) // cold miss
+	s.Exec(asm.Instr{Op: asm.FMLA, D: 16, A: 0, B: 1}, -1)
+	if len(cycles) != 2 {
+		t.Fatalf("observed %d issues", len(cycles))
+	}
+	if lats[0] != Kunpeng920().Cache.MemoryCycles {
+		t.Errorf("cold load latency = %d", lats[0])
+	}
+	if lats[1] != Kunpeng920().LatFMA {
+		t.Errorf("FMA latency = %d", lats[1])
+	}
+	if cycles[1] <= cycles[0] {
+		t.Errorf("dependent FMA issued at %d, load at %d", cycles[1], cycles[0])
+	}
+}
+
+// Graviton2: FP64 peak 20 GFLOPS, no mem/FP coupling — the same load+2FMA
+// mix that throttles the Kunpeng model runs at full rate.
+func TestGraviton2Profile(t *testing.T) {
+	g := Graviton2()
+	if p := g.PeakGFLOPS(vec.D); math.Abs(p-20) > 1e-9 {
+		t.Errorf("Graviton2 FP64 peak = %v, want 20", p)
+	}
+	if p := g.PeakGFLOPS(vec.S); math.Abs(p-40) > 1e-9 {
+		t.Errorf("Graviton2 FP32 peak = %v, want 40", p)
+	}
+	s := NewSim(g, 8)
+	s.Exec(asm.Instr{Op: asm.LDR, D: 0, P: asm.PA}, 0)
+	s.Reset()
+	const n = 400
+	for i := 0; i < n; i++ {
+		s.Exec(asm.Instr{Op: asm.LDR, D: uint8(i % 4), P: asm.PA}, 0)
+		s.Exec(asm.Instr{Op: asm.FMLA, D: uint8(8 + (2*i)%16), A: 4, B: 5}, -1)
+		s.Exec(asm.Instr{Op: asm.FMLA, D: uint8(8 + (2*i+1)%16), A: 4, B: 5}, -1)
+	}
+	if c := s.Cycles(); c > n+20 {
+		t.Errorf("Graviton2 mixed stream = %d cycles, want ≈%d (uncoupled issue)", c, n)
+	}
+}

@@ -1,0 +1,167 @@
+// Package matrix provides the conventional (column-major) small-matrix
+// substrate: matrix and batch containers, the BLAS mode parameters, random
+// workload initialization following the paper's test scheme, and a reference
+// GEMM/TRSM oracle that every generated kernel is validated against.
+package matrix
+
+import "fmt"
+
+// Scalar is the set of element types the library supports: the BLAS s, d,
+// c, z types.
+type Scalar interface {
+	~float32 | ~float64 | ~complex64 | ~complex128
+}
+
+// Trans selects op(A) in GEMM and TRSM.
+type Trans int
+
+const (
+	NoTrans Trans = iota
+	Transpose
+)
+
+func (t Trans) String() string {
+	if t == Transpose {
+		return "T"
+	}
+	return "N"
+}
+
+// Side selects whether the triangular matrix appears on the left (AX = αB)
+// or the right (XA = αB) in TRSM.
+type Side int
+
+const (
+	Left Side = iota
+	Right
+)
+
+func (s Side) String() string {
+	if s == Right {
+		return "R"
+	}
+	return "L"
+}
+
+// Uplo selects whether the triangular matrix is lower or upper triangular.
+type Uplo int
+
+const (
+	Lower Uplo = iota
+	Upper
+)
+
+func (u Uplo) String() string {
+	if u == Upper {
+		return "U"
+	}
+	return "L"
+}
+
+// Flip returns the opposite triangle; transposing a triangular matrix flips
+// its uplo.
+func (u Uplo) Flip() Uplo {
+	if u == Upper {
+		return Lower
+	}
+	return Upper
+}
+
+// Diag reports whether the triangular matrix has an implicit unit diagonal.
+type Diag int
+
+const (
+	NonUnit Diag = iota
+	Unit
+)
+
+func (d Diag) String() string {
+	if d == Unit {
+		return "U"
+	}
+	return "N"
+}
+
+// Mat is a dense column-major matrix, the conventional BLAS storage every
+// baseline consumes and the compact layout converts from.
+type Mat[T Scalar] struct {
+	Rows, Cols int
+	Stride     int // column stride (leading dimension); >= Rows
+	Data       []T
+}
+
+// New allocates a zeroed rows×cols column-major matrix with minimal stride.
+func New[T Scalar](rows, cols int) *Mat[T] {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %d×%d", rows, cols))
+	}
+	return &Mat[T]{Rows: rows, Cols: cols, Stride: rows, Data: make([]T, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Mat[T]) At(i, j int) T { return m.Data[j*m.Stride+i] }
+
+// Set assigns element (i, j).
+func (m *Mat[T]) Set(i, j int, x T) { m.Data[j*m.Stride+i] = x }
+
+// Clone returns a deep copy with compact stride.
+func (m *Mat[T]) Clone() *Mat[T] {
+	c := New[T](m.Rows, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		copy(c.Data[j*c.Stride:j*c.Stride+m.Rows], m.Data[j*m.Stride:j*m.Stride+m.Rows])
+	}
+	return c
+}
+
+// T returns a newly allocated transpose.
+func (m *Mat[T]) T() *Mat[T] {
+	t := New[T](m.Cols, m.Rows)
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Op returns op(m): m itself for NoTrans, a fresh transpose for Transpose.
+func (m *Mat[T]) Op(tr Trans) *Mat[T] {
+	if tr == Transpose {
+		return m.T()
+	}
+	return m
+}
+
+// Batch is a group of equally sized matrices stored back to back in
+// conventional column-major order — the input format of every batched BLAS
+// interface the paper compares against, and the source format the IATF
+// packing kernels read.
+type Batch[T Scalar] struct {
+	Count      int
+	Rows, Cols int
+	Data       []T // Count contiguous Rows×Cols column-major matrices
+}
+
+// NewBatch allocates a zeroed batch of count rows×cols matrices.
+func NewBatch[T Scalar](count, rows, cols int) *Batch[T] {
+	if count < 0 {
+		panic("matrix: negative batch count")
+	}
+	return &Batch[T]{Count: count, Rows: rows, Cols: cols, Data: make([]T, count*rows*cols)}
+}
+
+// MatLen returns the number of elements of one matrix in the batch.
+func (b *Batch[T]) MatLen() int { return b.Rows * b.Cols }
+
+// Mat returns a view of matrix v; mutating the view mutates the batch.
+func (b *Batch[T]) Mat(v int) *Mat[T] {
+	off := v * b.MatLen()
+	return &Mat[T]{Rows: b.Rows, Cols: b.Cols, Stride: b.Rows, Data: b.Data[off : off+b.MatLen()]}
+}
+
+// Clone returns a deep copy.
+func (b *Batch[T]) Clone() *Batch[T] {
+	c := NewBatch[T](b.Count, b.Rows, b.Cols)
+	copy(c.Data, b.Data)
+	return c
+}

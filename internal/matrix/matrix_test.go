@@ -1,0 +1,148 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New[float64](3, 2)
+	if m.Rows != 3 || m.Cols != 2 || m.Stride != 3 || len(m.Data) != 6 {
+		t.Fatalf("New shape: %+v", m)
+	}
+	m.Set(2, 1, 7.5)
+	if m.At(2, 1) != 7.5 {
+		t.Errorf("At(2,1) = %v", m.At(2, 1))
+	}
+	// Column-major: (2,1) is element 1*3+2 = 5.
+	if m.Data[5] != 7.5 {
+		t.Errorf("column-major placement wrong: %v", m.Data)
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1, 2) did not panic")
+		}
+	}()
+	New[float32](-1, 2)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := RandMat[float32](rng, 4, 5)
+	c := m.Clone()
+	c.Set(0, 0, -99)
+	if m.At(0, 0) == -99 {
+		t.Error("Clone shares storage with original")
+	}
+	c.Set(0, 0, m.At(0, 0))
+	if MaxAbsDiff(m.Data, c.Data) != 0 {
+		t.Error("Clone differs from original")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := New[float64](2, 3)
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 2; i++ {
+			m.Set(i, j, float64(10*i+j))
+		}
+	}
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T shape %d×%d", tr.Rows, tr.Cols)
+	}
+	for j := 0; j < 3; j++ {
+		for i := 0; i < 2; i++ {
+			if tr.At(j, i) != m.At(i, j) {
+				t.Errorf("T(%d,%d) = %v want %v", j, i, tr.At(j, i), m.At(i, j))
+			}
+		}
+	}
+	// Double transpose is identity.
+	if MaxAbsDiff(tr.T().Data, m.Data) != 0 {
+		t.Error("T(T(m)) != m")
+	}
+}
+
+func TestOp(t *testing.T) {
+	m := New[float64](2, 3)
+	if m.Op(NoTrans) != m {
+		t.Error("Op(NoTrans) should return the receiver")
+	}
+	if o := m.Op(Transpose); o.Rows != 3 || o.Cols != 2 {
+		t.Error("Op(Transpose) wrong shape")
+	}
+}
+
+func TestBatchMatViews(t *testing.T) {
+	b := NewBatch[float64](3, 2, 2)
+	b.Mat(1).Set(1, 1, 42)
+	if b.Data[1*4+3] != 42 {
+		t.Errorf("batch view did not write through: %v", b.Data)
+	}
+	if b.MatLen() != 4 {
+		t.Errorf("MatLen = %d", b.MatLen())
+	}
+	c := b.Clone()
+	c.Mat(0).Set(0, 0, -1)
+	if b.Mat(0).At(0, 0) == -1 {
+		t.Error("Batch.Clone shares storage")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if NoTrans.String() != "N" || Transpose.String() != "T" {
+		t.Error("Trans strings")
+	}
+	if Left.String() != "L" || Right.String() != "R" {
+		t.Error("Side strings")
+	}
+	if Lower.String() != "L" || Upper.String() != "U" {
+		t.Error("Uplo strings")
+	}
+	if NonUnit.String() != "N" || Unit.String() != "U" {
+		t.Error("Diag strings")
+	}
+	if Lower.Flip() != Upper || Upper.Flip() != Lower {
+		t.Error("Uplo.Flip")
+	}
+}
+
+func TestFillRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := make([]float64, 1000)
+	Fill(rng, s)
+	for _, x := range s {
+		if x < 0 || x >= 1 {
+			t.Fatalf("Fill out of range: %v", x)
+		}
+	}
+	c := make([]complex128, 100)
+	Fill(rng, c)
+	for _, x := range c {
+		if real(x) < 0 || real(x) >= 1 || imag(x) < 0 || imag(x) >= 1 {
+			t.Fatalf("complex Fill out of range: %v", x)
+		}
+	}
+}
+
+func TestRandTriangularDiagonalBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := RandTriangular[float64](rng, 20)
+	for i := 0; i < 20; i++ {
+		if d := m.At(i, i); d < 1.5 || d >= 2.5 {
+			t.Errorf("diag[%d] = %v outside [1.5, 2.5)", i, d)
+		}
+	}
+	bc := RandTriangularBatch[complex64](rng, 5, 7)
+	for v := 0; v < 5; v++ {
+		for i := 0; i < 7; i++ {
+			if re := real(bc.Mat(v).At(i, i)); re < 1.5 || re >= 2.5 {
+				t.Errorf("batch %d diag[%d] real = %v", v, i, re)
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package matrix
+
+import "math"
+
+// absOf returns |x| as float64 for any supported scalar (modulus for
+// complex).
+func absOf[T Scalar](x T) float64 {
+	switch v := any(x).(type) {
+	case float32:
+		return math.Abs(float64(v))
+	case float64:
+		return math.Abs(v)
+	case complex64:
+		return math.Hypot(float64(real(v)), float64(imag(v)))
+	case complex128:
+		return math.Hypot(real(v), imag(v))
+	}
+	return 0
+}
+
+// MaxAbs returns the largest element magnitude in s (0 for empty).
+func MaxAbs[T Scalar](s []T) float64 {
+	max := 0.0
+	for _, x := range s {
+		if a := absOf(x); a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// MaxAbsDiff returns the largest element-wise |a[i]-b[i]|. It panics if the
+// lengths differ, because a silent truncation would hide a layout bug.
+func MaxAbsDiff[T Scalar](a, b []T) float64 {
+	if len(a) != len(b) {
+		panic("matrix: MaxAbsDiff length mismatch")
+	}
+	max := 0.0
+	for i := range a {
+		if d := absOf(a[i] - b[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// WithinTol reports whether every element of got is within tol of want,
+// relative to the magnitude of want (absolute when want is tiny). This is
+// the acceptance test used to validate kernels against the reference
+// oracle.
+func WithinTol[T Scalar](got, want []T, tol float64) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	scale := MaxAbs(want)
+	if scale < 1 {
+		scale = 1
+	}
+	return MaxAbsDiff(got, want) <= tol*scale
+}
+
+// Tol returns a validation tolerance appropriate for the element type and
+// the reduction length k: single precision needs a looser bound, and the
+// error of a k-term accumulation grows with k.
+func Tol[T Scalar](k int) float64 {
+	var x T
+	base := 1e-13
+	switch any(x).(type) {
+	case float32, complex64:
+		base = 1e-5
+	}
+	if k < 1 {
+		k = 1
+	}
+	return base * float64(k)
+}

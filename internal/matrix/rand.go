@@ -1,0 +1,84 @@
+package matrix
+
+import "math/rand"
+
+// Fill populates the slice with uniform random values in (0, 1), the
+// initialization scheme the paper adopts from Jia et al. for benchmarking.
+// Complex elements get independent random real and imaginary parts.
+func Fill[T Scalar](rng *rand.Rand, s []T) {
+	switch d := any(s).(type) {
+	case []float32:
+		for i := range d {
+			d[i] = rng.Float32()
+		}
+	case []float64:
+		for i := range d {
+			d[i] = rng.Float64()
+		}
+	case []complex64:
+		for i := range d {
+			d[i] = complex(rng.Float32(), rng.Float32())
+		}
+	case []complex128:
+		for i := range d {
+			d[i] = complex(rng.Float64(), rng.Float64())
+		}
+	}
+}
+
+// RandMat returns a rows×cols matrix filled by Fill.
+func RandMat[T Scalar](rng *rand.Rand, rows, cols int) *Mat[T] {
+	m := New[T](rows, cols)
+	Fill(rng, m.Data)
+	return m
+}
+
+// RandBatch returns a batch of count matrices filled by Fill.
+func RandBatch[T Scalar](rng *rand.Rand, count, rows, cols int) *Batch[T] {
+	b := NewBatch[T](count, rows, cols)
+	Fill(rng, b.Data)
+	return b
+}
+
+// conditionDiag replaces a diagonal element with a value of magnitude in
+// [1.5, 2.5). The paper fills TRSM inputs with uniform (0,1) values, but a
+// random (0,1) diagonal makes triangular systems arbitrarily ill-conditioned
+// as M grows; bounding the diagonal away from zero keeps solve-and-verify
+// tests meaningful without changing the instruction stream the benchmarks
+// measure. The deviation is recorded in EXPERIMENTS.md.
+func conditionDiag[T Scalar](rng *rand.Rand, m *Mat[T], i int) {
+	switch d := any(m.Data).(type) {
+	case []float32:
+		d[i*m.Stride+i] = 1.5 + rng.Float32()
+	case []float64:
+		d[i*m.Stride+i] = 1.5 + rng.Float64()
+	case []complex64:
+		d[i*m.Stride+i] = complex(1.5+rng.Float32(), rng.Float32())
+	case []complex128:
+		d[i*m.Stride+i] = complex(1.5+rng.Float64(), rng.Float64())
+	}
+}
+
+// RandTriangular returns an n×n matrix filled by Fill whose diagonal is
+// bounded away from zero (see conditionDiag). The full square is populated;
+// TRSM implementations must honor uplo/diag and ignore the other triangle.
+func RandTriangular[T Scalar](rng *rand.Rand, n int) *Mat[T] {
+	m := RandMat[T](rng, n, n)
+	for i := 0; i < n; i++ {
+		conditionDiag(rng, m, i)
+	}
+	return m
+}
+
+// RandTriangularBatch returns a batch of count n×n matrices per
+// RandTriangular.
+func RandTriangularBatch[T Scalar](rng *rand.Rand, count, n int) *Batch[T] {
+	b := RandBatch[T](rng, count, n, n)
+	for v := 0; v < count; v++ {
+		m := b.Mat(v)
+		for i := 0; i < n; i++ {
+			conditionDiag(rng, m, i)
+		}
+	}
+	return b
+}

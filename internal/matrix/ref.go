@@ -1,0 +1,188 @@
+package matrix
+
+import "fmt"
+
+// RefGEMM computes C = alpha*op(A)*op(B) + beta*C with straightforward
+// triple loops. It is the correctness oracle for every generated kernel and
+// the computational core of the loop-call baselines.
+func RefGEMM[T Scalar](ta, tb Trans, alpha T, a, b *Mat[T], beta T, c *Mat[T]) {
+	oa, ob := a.Op(ta), b.Op(tb)
+	if oa.Rows != c.Rows || ob.Cols != c.Cols || oa.Cols != ob.Rows {
+		panic(fmt.Sprintf("matrix: GEMM shape mismatch op(A)=%d×%d op(B)=%d×%d C=%d×%d",
+			oa.Rows, oa.Cols, ob.Rows, ob.Cols, c.Rows, c.Cols))
+	}
+	k := oa.Cols
+	for j := 0; j < c.Cols; j++ {
+		for i := 0; i < c.Rows; i++ {
+			var sum T
+			for l := 0; l < k; l++ {
+				sum += oa.At(i, l) * ob.At(l, j)
+			}
+			c.Set(i, j, alpha*sum+beta*c.At(i, j))
+		}
+	}
+}
+
+// RefTRSM overwrites B with the solution X of op(A)·X = alpha·B (Left) or
+// X·op(A) = alpha·B (Right), where A is triangular per uplo/diag. A is
+// m×m for Left and n×n for Right, B is m×n.
+func RefTRSM[T Scalar](side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Mat[T]) {
+	if side == Right {
+		// X·op(A) = αB  ⇔  op(A)ᵀ·Xᵀ = αBᵀ. Transposing A flips the
+		// triangle and the trans flag.
+		bt := b.T()
+		RefTRSM(Left, uplo, flipTrans(ta), diag, alpha, a, bt)
+		for j := 0; j < b.Cols; j++ {
+			for i := 0; i < b.Rows; i++ {
+				b.Set(i, j, bt.At(j, i))
+			}
+		}
+		return
+	}
+	if a.Rows != a.Cols || a.Rows != b.Rows {
+		panic(fmt.Sprintf("matrix: TRSM shape mismatch A=%d×%d B=%d×%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	t := a
+	u := uplo
+	if ta == Transpose {
+		t = a.T()
+		u = uplo.Flip()
+	}
+	m, n := b.Rows, b.Cols
+	for j := 0; j < n; j++ {
+		for i := 0; i < m; i++ {
+			b.Set(i, j, alpha*b.At(i, j))
+		}
+		if u == Lower {
+			for i := 0; i < m; i++ {
+				x := b.At(i, j)
+				for kk := 0; kk < i; kk++ {
+					x -= t.At(i, kk) * b.At(kk, j)
+				}
+				if diag == NonUnit {
+					x /= t.At(i, i)
+				}
+				b.Set(i, j, x)
+			}
+		} else {
+			for i := m - 1; i >= 0; i-- {
+				x := b.At(i, j)
+				for kk := i + 1; kk < m; kk++ {
+					x -= t.At(i, kk) * b.At(kk, j)
+				}
+				if diag == NonUnit {
+					x /= t.At(i, i)
+				}
+				b.Set(i, j, x)
+			}
+		}
+	}
+}
+
+func flipTrans(t Trans) Trans {
+	if t == NoTrans {
+		return Transpose
+	}
+	return NoTrans
+}
+
+// RefGEMMBatch applies RefGEMM to every matrix triple of three batches —
+// the semantics of "loop around library GEMM calls".
+func RefGEMMBatch[T Scalar](ta, tb Trans, alpha T, a, b *Batch[T], beta T, c *Batch[T]) {
+	if a.Count != b.Count || a.Count != c.Count {
+		panic("matrix: batch count mismatch")
+	}
+	for v := 0; v < a.Count; v++ {
+		RefGEMM(ta, tb, alpha, a.Mat(v), b.Mat(v), beta, c.Mat(v))
+	}
+}
+
+// RefTRSMBatch applies RefTRSM to every matrix pair of two batches.
+func RefTRSMBatch[T Scalar](side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Batch[T]) {
+	if a.Count != b.Count {
+		panic("matrix: batch count mismatch")
+	}
+	for v := 0; v < a.Count; v++ {
+		RefTRSM(side, uplo, ta, diag, alpha, a.Mat(v), b.Mat(v))
+	}
+}
+
+// RefTRMM overwrites B with alpha·op(A)·B (Left) or alpha·B·op(A)
+// (Right), where A is triangular per uplo/diag — the triangular matrix
+// multiply, the natural companion of RefTRSM.
+func RefTRMM[T Scalar](side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Mat[T]) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("matrix: TRMM A must be square")
+	}
+	// Materialize the effective triangle and multiply.
+	tri := New[T](n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			keep := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+			if keep {
+				tri.Set(i, j, a.At(i, j))
+			}
+		}
+	}
+	if diag == Unit {
+		for i := 0; i < n; i++ {
+			tri.Set(i, i, T(1))
+		}
+	}
+	out := New[T](b.Rows, b.Cols)
+	if side == Left {
+		RefGEMM(ta, NoTrans, alpha, tri, b, T(0), out)
+	} else {
+		RefGEMM(NoTrans, ta, alpha, b, tri, T(0), out)
+	}
+	for j := 0; j < b.Cols; j++ {
+		for i := 0; i < b.Rows; i++ {
+			b.Set(i, j, out.At(i, j))
+		}
+	}
+}
+
+// RefTRMMBatch applies RefTRMM to every matrix pair of two batches.
+func RefTRMMBatch[T Scalar](side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Batch[T]) {
+	if a.Count != b.Count {
+		panic("matrix: batch count mismatch")
+	}
+	for v := 0; v < a.Count; v++ {
+		RefTRMM(side, uplo, ta, diag, alpha, a.Mat(v), b.Mat(v))
+	}
+}
+
+// RefSYRK computes the symmetric rank-k update C := alpha·A·Aᵀ + beta·C
+// (NoTrans) or C := alpha·Aᵀ·A + beta·C (Transpose), touching only the
+// uplo triangle of C (including the diagonal).
+func RefSYRK[T Scalar](uplo Uplo, trans Trans, alpha T, a *Mat[T], beta T, c *Mat[T]) {
+	oa := a.Op(trans)
+	n, k := oa.Rows, oa.Cols
+	if c.Rows != n || c.Cols != n {
+		panic(fmt.Sprintf("matrix: SYRK shape mismatch op(A)=%dx%d C=%dx%d", n, k, c.Rows, c.Cols))
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			inTri := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+			if !inTri {
+				continue
+			}
+			var sum T
+			for l := 0; l < k; l++ {
+				sum += oa.At(i, l) * oa.At(j, l)
+			}
+			c.Set(i, j, alpha*sum+beta*c.At(i, j))
+		}
+	}
+}
+
+// RefSYRKBatch applies RefSYRK to every matrix pair of two batches.
+func RefSYRKBatch[T Scalar](uplo Uplo, trans Trans, alpha T, a *Batch[T], beta T, c *Batch[T]) {
+	if a.Count != c.Count {
+		panic("matrix: batch count mismatch")
+	}
+	for v := 0; v < a.Count; v++ {
+		RefSYRK(uplo, trans, alpha, a.Mat(v), beta, c.Mat(v))
+	}
+}

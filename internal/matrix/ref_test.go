@@ -1,0 +1,315 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// handGEMM is an independently coded check for RefGEMM on a worked example.
+func TestRefGEMMWorkedExample(t *testing.T) {
+	// A = [1 2; 3 4] (column-major), B = [5 6; 7 8], C0 = [1 1; 1 1].
+	a := &Mat[float64]{Rows: 2, Cols: 2, Stride: 2, Data: []float64{1, 3, 2, 4}}
+	b := &Mat[float64]{Rows: 2, Cols: 2, Stride: 2, Data: []float64{5, 7, 6, 8}}
+	c := &Mat[float64]{Rows: 2, Cols: 2, Stride: 2, Data: []float64{1, 1, 1, 1}}
+	RefGEMM(NoTrans, NoTrans, 2.0, a, b, 3.0, c)
+	// AB = [19 22; 43 50]; 2AB+3C = [41 47; 89 103].
+	want := []float64{41, 89, 47, 103}
+	if MaxAbsDiff(c.Data, want) != 0 {
+		t.Errorf("GEMM = %v want %v", c.Data, want)
+	}
+}
+
+// Transposed modes must agree with explicitly materialized transposes fed
+// through the NN path.
+func TestRefGEMMTransModes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const m, n, k = 5, 4, 6
+	for _, ta := range []Trans{NoTrans, Transpose} {
+		for _, tb := range []Trans{NoTrans, Transpose} {
+			ar, ac := dims(ta, m, k)
+			br, bc := dims(tb, k, n)
+			a := RandMat[float64](rng, ar, ac)
+			b := RandMat[float64](rng, br, bc)
+			c := RandMat[float64](rng, m, n)
+			want := c.Clone()
+			RefGEMM(NoTrans, NoTrans, 1.5, a.Op(ta), b.Op(tb), 0.5, want)
+			RefGEMM(ta, tb, 1.5, a, b, 0.5, c)
+			if !WithinTol(c.Data, want.Data, 1e-14) {
+				t.Errorf("mode %v%v mismatch", ta, tb)
+			}
+		}
+	}
+}
+
+func dims(tr Trans, r, c int) (int, int) {
+	if tr == Transpose {
+		return c, r
+	}
+	return r, c
+}
+
+func TestRefGEMMShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("shape mismatch did not panic")
+		}
+	}()
+	RefGEMM(NoTrans, NoTrans, 1.0, New[float64](2, 3), New[float64](4, 2), 0.0, New[float64](2, 2))
+}
+
+// TRSM property: multiplying the solution back must recover alpha*B for
+// every side/uplo/trans/diag combination and every scalar type.
+func TestRefTRSMSolveMultiplyRoundTrip(t *testing.T) {
+	testTRSMRoundTrip[float32](t, 1e-3)
+	testTRSMRoundTrip[float64](t, 1e-10)
+	testTRSMRoundTrip[complex64](t, 1e-3)
+	testTRSMRoundTrip[complex128](t, 1e-10)
+}
+
+func testTRSMRoundTrip[T Scalar](t *testing.T, tol float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	alpha := T(2)
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Lower, Upper} {
+			for _, ta := range []Trans{NoTrans, Transpose} {
+				for _, diag := range []Diag{NonUnit, Unit} {
+					for _, mn := range [][2]int{{1, 1}, {3, 2}, {5, 7}, {8, 8}} {
+						m, n := mn[0], mn[1]
+						adim := m
+						if side == Right {
+							adim = n
+						}
+						a := RandTriangular[T](rng, adim)
+						b := RandMat[T](rng, m, n)
+						x := b.Clone()
+						RefTRSM(side, uplo, ta, diag, alpha, a, x)
+
+						// Build the effective triangular matrix and multiply back.
+						tri := triangularize(a, uplo, diag)
+						check := New[T](m, n)
+						if side == Left {
+							RefGEMM(ta, NoTrans, T(1), tri, x, T(0), check)
+						} else {
+							RefGEMM(NoTrans, ta, T(1), x, tri, T(0), check)
+						}
+						want := b.Clone()
+						for i := range want.Data {
+							want.Data[i] *= alpha
+						}
+						if !WithinTol(check.Data, want.Data, tol) {
+							t.Errorf("%T %v%v%v%v m=%d n=%d: residual %g", alpha,
+								side, ta, uplo, diag, m, n, MaxAbsDiff(check.Data, want.Data))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// triangularize extracts the triangle TRSM actually uses, applying the
+// implicit unit diagonal.
+func triangularize[T Scalar](a *Mat[T], uplo Uplo, diag Diag) *Mat[T] {
+	n := a.Rows
+	out := New[T](n, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			keep := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+			if keep {
+				out.Set(i, j, a.At(i, j))
+			}
+		}
+	}
+	if diag == Unit {
+		for i := 0; i < n; i++ {
+			out.Set(i, i, T(1))
+		}
+	}
+	return out
+}
+
+func TestRefTRSMUnitDiagIgnoresStoredDiagonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := RandTriangular[float64](rng, 4)
+	b := RandMat[float64](rng, 4, 3)
+	x1 := b.Clone()
+	RefTRSM(Left, Lower, NoTrans, Unit, 1.0, a, x1)
+	for i := 0; i < 4; i++ {
+		a.Set(i, i, 1e9) // must not matter
+	}
+	x2 := b.Clone()
+	RefTRSM(Left, Lower, NoTrans, Unit, 1.0, a, x2)
+	if MaxAbsDiff(x1.Data, x2.Data) != 0 {
+		t.Error("Unit diag TRSM read the stored diagonal")
+	}
+}
+
+func TestRefBatchOpsMatchPerMatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const count, m, n, k = 6, 4, 3, 5
+	a := RandBatch[float64](rng, count, m, k)
+	b := RandBatch[float64](rng, count, k, n)
+	c := RandBatch[float64](rng, count, m, n)
+	want := c.Clone()
+	for v := 0; v < count; v++ {
+		RefGEMM(NoTrans, NoTrans, 1.0, a.Mat(v), b.Mat(v), 2.0, want.Mat(v))
+	}
+	RefGEMMBatch(NoTrans, NoTrans, 1.0, a, b, 2.0, c)
+	if MaxAbsDiff(c.Data, want.Data) != 0 {
+		t.Error("RefGEMMBatch != per-matrix RefGEMM")
+	}
+
+	ta := RandTriangularBatch[float64](rng, count, m)
+	tb := RandBatch[float64](rng, count, m, n)
+	wantB := tb.Clone()
+	for v := 0; v < count; v++ {
+		RefTRSM(Left, Lower, NoTrans, NonUnit, 1.0, ta.Mat(v), wantB.Mat(v))
+	}
+	RefTRSMBatch(Left, Lower, NoTrans, NonUnit, 1.0, ta, tb)
+	if MaxAbsDiff(tb.Data, wantB.Data) != 0 {
+		t.Error("RefTRSMBatch != per-matrix RefTRSM")
+	}
+}
+
+func TestNormHelpers(t *testing.T) {
+	if MaxAbs([]float64{}) != 0 {
+		t.Error("MaxAbs empty")
+	}
+	if MaxAbs([]float64{-3, 2}) != 3 {
+		t.Error("MaxAbs sign")
+	}
+	if MaxAbs([]complex128{3 + 4i}) != 5 {
+		t.Error("MaxAbs complex modulus")
+	}
+	if MaxAbsDiff([]float32{1, 2}, []float32{1, 4}) != 2 {
+		t.Error("MaxAbsDiff")
+	}
+	if !WithinTol([]float64{100.000001}, []float64{100}, 1e-6) {
+		t.Error("WithinTol relative scaling")
+	}
+	if WithinTol([]float64{1}, []float64{1, 2}, 1) {
+		t.Error("WithinTol length mismatch should be false")
+	}
+	if Tol[float32](1) >= 1e-3 || Tol[float64](1) >= 1e-10 {
+		t.Error("Tol magnitudes")
+	}
+	if Tol[float64](100) <= Tol[float64](1) {
+		t.Error("Tol must grow with k")
+	}
+}
+
+func TestMaxAbsDiffLengthPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	MaxAbsDiff([]float64{1}, []float64{1, 2})
+}
+
+// TRMM oracle: must equal materialized triangle × B.
+func TestRefTRMMAgainstGEMM(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, side := range []Side{Left, Right} {
+		for _, uplo := range []Uplo{Lower, Upper} {
+			for _, ta := range []Trans{NoTrans, Transpose} {
+				for _, diag := range []Diag{NonUnit, Unit} {
+					const m, n = 5, 4
+					adim := m
+					if side == Right {
+						adim = n
+					}
+					a := RandMat[float64](rng, adim, adim)
+					b := RandMat[float64](rng, m, n)
+					got := b.Clone()
+					RefTRMM(side, uplo, ta, diag, 2.0, a, got)
+
+					tri := triangularize(a, uplo, diag)
+					want := New[float64](m, n)
+					if side == Left {
+						RefGEMM(ta, NoTrans, 2.0, tri, b, 0.0, want)
+					} else {
+						RefGEMM(NoTrans, ta, 2.0, b, tri, 0.0, want)
+					}
+					if !WithinTol(got.Data, want.Data, 1e-13) {
+						t.Errorf("%v%v%v%v: max diff %g", side, ta, uplo, diag,
+							MaxAbsDiff(got.Data, want.Data))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRefTRMMBatchAndPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := RandBatch[float32](rng, 3, 4, 4)
+	b := RandBatch[float32](rng, 3, 4, 2)
+	want := b.Clone()
+	for v := 0; v < 3; v++ {
+		RefTRMM(Left, Lower, NoTrans, NonUnit, float32(1), a.Mat(v), want.Mat(v))
+	}
+	RefTRMMBatch(Left, Lower, NoTrans, NonUnit, float32(1), a, b)
+	if MaxAbsDiff(b.Data, want.Data) != 0 {
+		t.Error("batch TRMM != per-matrix")
+	}
+	mustPanic := func(f func()) {
+		defer func() { _ = recover() }()
+		f()
+		t.Error("expected panic")
+	}
+	mustPanic(func() {
+		RefTRMM(Left, Lower, NoTrans, NonUnit, float32(1), RandMat[float32](rng, 2, 3), b.Mat(0))
+	})
+}
+
+// SYRK oracle: C triangle = alpha·op(A)op(A)ᵀ + beta·C; other triangle
+// untouched.
+func TestRefSYRK(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, uplo := range []Uplo{Lower, Upper} {
+		for _, trans := range []Trans{NoTrans, Transpose} {
+			const n, k = 5, 3
+			ar, ac := n, k
+			if trans == Transpose {
+				ar, ac = k, n
+			}
+			a := RandMat[float64](rng, ar, ac)
+			c := RandMat[float64](rng, n, n)
+			orig := c.Clone()
+			RefSYRK(uplo, trans, 2.0, a, 0.5, c)
+			oa := a.Op(trans)
+			for j := 0; j < n; j++ {
+				for i := 0; i < n; i++ {
+					inTri := (uplo == Lower && i >= j) || (uplo == Upper && i <= j)
+					if !inTri {
+						if c.At(i, j) != orig.At(i, j) {
+							t.Fatalf("%v %v: (%d,%d) outside triangle modified", uplo, trans, i, j)
+						}
+						continue
+					}
+					sum := 0.0
+					for l := 0; l < k; l++ {
+						sum += oa.At(i, l) * oa.At(j, l)
+					}
+					want := 2*sum + 0.5*orig.At(i, j)
+					if d := c.At(i, j) - want; d > 1e-12 || d < -1e-12 {
+						t.Fatalf("%v %v (%d,%d): %v want %v", uplo, trans, i, j, c.At(i, j), want)
+					}
+				}
+			}
+		}
+	}
+	// Batch variant.
+	a := RandBatch[float64](rand.New(rand.NewSource(22)), 2, 3, 2)
+	c := RandBatch[float64](rand.New(rand.NewSource(23)), 2, 3, 3)
+	want := c.Clone()
+	for v := 0; v < 2; v++ {
+		RefSYRK(Lower, NoTrans, 1.0, a.Mat(v), 1.0, want.Mat(v))
+	}
+	RefSYRKBatch(Lower, NoTrans, 1.0, a, 1.0, c)
+	if MaxAbsDiff(c.Data, want.Data) != 0 {
+		t.Error("batch SYRK != per-matrix")
+	}
+}

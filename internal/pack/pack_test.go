@@ -1,0 +1,362 @@
+package pack
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"iatf/internal/vec"
+)
+
+// mkGroup builds an arena holding one compact group of a rows×cols matrix
+// batch whose block (i,j), lane l has value base + 100·i + 10·j + l.
+func mkGroup(rows, cols, vl int, base float64) ([]float64, Geom) {
+	bl := vl
+	mem := make([]float64, rows*cols*bl)
+	g := Geom{Off: 0, Rows: rows, Cols: cols, BlockLen: bl}
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			for l := 0; l < vl; l++ {
+				mem[g.Block(i, j)+l] = base + 100*float64(i) + 10*float64(j) + float64(l)
+			}
+		}
+	}
+	return mem, g
+}
+
+func ctx64(mem []float64, rec *Recorder) *Ctx[float64] {
+	return &Ctx[float64]{Mem: mem, DT: vec.D, VL: 2, Rec: rec}
+}
+
+func TestGeomBlockAndBounds(t *testing.T) {
+	g := Geom{Off: 10, Rows: 3, Cols: 2, BlockLen: 4}
+	if g.Block(1, 1) != 10+(1*3+1)*4 {
+		t.Errorf("Block(1,1) = %d", g.Block(1, 1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range block did not panic")
+		}
+	}()
+	g.Block(3, 0)
+}
+
+// N-shape: packed A panel must be, per reduction step, the panel's blocks
+// top to bottom.
+func TestGEMMAPanelOrder(t *testing.T) {
+	mem, g := mkGroup(5, 3, 2, 0) // M=5, K=3
+	dst := len(mem)
+	mem = append(mem, make([]float64, 2*3*2)...) // panel mc=2, K=3
+	c := ctx64(mem, nil)
+	n := GEMMA(c, g, false, 2, 2, dst) // rows 2..3
+	if n != 12 {
+		t.Fatalf("wrote %d elements, want 12", n)
+	}
+	// Expected order: (2,0),(3,0),(2,1),(3,1),(2,2),(3,2); lane 0 values.
+	want := []float64{200, 300, 210, 310, 220, 320}
+	for i, w := range want {
+		if got := c.Mem[dst+2*i]; got != w {
+			t.Errorf("packed block %d lane0 = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// Transposed A: source stored K×M; packing must produce the same panel as
+// packing the materialized transpose.
+func TestGEMMATransposed(t *testing.T) {
+	mem, g := mkGroup(3, 5, 2, 0) // stored K=3 rows, M=5 cols
+	dst := len(mem)
+	mem = append(mem, make([]float64, 2*3*2)...)
+	c := ctx64(mem, nil)
+	GEMMA(c, g, true, 2, 2, dst)
+	// Logical A(r,l) = stored(l, r+2): A(2,0)=stored(0,4)? no: rows i0=2 →
+	// logical rows 2,3 = stored columns 2,3. Order: l=0: stored(0,2),(0,3); ...
+	want := []float64{20, 30, 120, 130, 220, 230}
+	for i, w := range want {
+		if got := c.Mem[dst+2*i]; got != w {
+			t.Errorf("packed block %d lane0 = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// Z-shape: packed B panel must be, per reduction step, the row's blocks
+// left to right.
+func TestGEMMBPanelOrder(t *testing.T) {
+	mem, g := mkGroup(3, 5, 2, 0) // K=3, N=5
+	dst := len(mem)
+	mem = append(mem, make([]float64, 3*2*2)...)
+	c := ctx64(mem, nil)
+	n := GEMMB(c, g, false, 1, 2, dst) // cols 1..2
+	if n != 12 {
+		t.Fatalf("wrote %d, want 12", n)
+	}
+	// Order: (0,1),(0,2),(1,1),(1,2),(2,1),(2,2).
+	want := []float64{10, 20, 110, 120, 210, 220}
+	for i, w := range want {
+		if got := c.Mem[dst+2*i]; got != w {
+			t.Errorf("packed block %d lane0 = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestGEMMBTransposed(t *testing.T) {
+	mem, g := mkGroup(5, 3, 2, 0) // stored N=5 rows, K=3 cols
+	dst := len(mem)
+	mem = append(mem, make([]float64, 3*2*2)...)
+	c := ctx64(mem, nil)
+	GEMMB(c, g, true, 1, 2, dst)
+	// Logical B(l,c) = stored(c+1, l): l=0: stored(1,0),(2,0); l=1: ...
+	want := []float64{100, 200, 110, 210, 120, 220}
+	for i, w := range want {
+		if got := c.Mem[dst+2*i]; got != w {
+			t.Errorf("packed block %d lane0 = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// The no-pack fast path: for NN with one row panel the native layout must
+// equal the packed panel byte-for-byte.
+func TestANoPackEquivalence(t *testing.T) {
+	if !ANoPackOK(false, 3, 4) || ANoPackOK(true, 3, 4) || ANoPackOK(false, 5, 4) {
+		t.Fatal("ANoPackOK conditions wrong")
+	}
+	mem, g := mkGroup(3, 6, 2, 0) // M=3 ≤ mc=4, K=6
+	dst := len(mem)
+	mem = append(mem, make([]float64, 3*6*2)...)
+	c := ctx64(mem, nil)
+	n := GEMMA(c, g, false, 0, 3, dst)
+	for i := 0; i < n; i++ {
+		if c.Mem[dst+i] != c.Mem[g.Off+i] {
+			t.Fatalf("native layout diverges from packed panel at %d", i)
+		}
+	}
+}
+
+func TestRecorderCountsTraffic(t *testing.T) {
+	mem, g := mkGroup(4, 4, 2, 0)
+	dst := len(mem)
+	mem = append(mem, make([]float64, 4*4*2)...)
+	rec := &Recorder{}
+	c := ctx64(mem, rec)
+	GEMMA(c, g, false, 0, 4, dst)
+	total := 0
+	for _, op := range rec.Ops {
+		total += op.Len
+	}
+	// 4×4 blocks of 2 elements = 32 elements of traffic, however chunked.
+	if total != 32 {
+		t.Errorf("recorded %d elements of traffic, want 32", total)
+	}
+}
+
+func TestTriMapCanonicalization(t *testing.T) {
+	// Lower NoTrans: identity.
+	tm := NewTriMap(4, false, false, false)
+	if si, sj := tm.Src(2, 1); si != 2 || sj != 1 {
+		t.Errorf("LN Src = (%d,%d)", si, sj)
+	}
+	// Upper NoTrans: reversal.
+	tm = NewTriMap(4, true, false, false)
+	if si, sj := tm.Src(2, 1); si != 1 || sj != 2 {
+		t.Errorf("UN Src = (%d,%d), want (1,2)", si, sj)
+	}
+	// Lower Trans: effective upper → reverse + swap.
+	tm = NewTriMap(4, false, true, false)
+	if si, sj := tm.Src(2, 1); si != 2 || sj != 1 {
+		t.Errorf("LT Src = (%d,%d), want (2,1)", si, sj)
+	}
+	// Upper Trans: effective lower → swap only.
+	tm = NewTriMap(4, true, true, false)
+	if si, sj := tm.Src(2, 1); si != 1 || sj != 2 {
+		t.Errorf("UT Src = (%d,%d), want (1,2)", si, sj)
+	}
+	// Canonical source must always hit the stored triangle: upper flags
+	// read col ≥ row, lower flags read col ≤ row.
+	for _, upper := range []bool{false, true} {
+		for _, trans := range []bool{false, true} {
+			tm := NewTriMap(5, upper, trans, false)
+			for i := 0; i < 5; i++ {
+				for j := 0; j <= i; j++ {
+					si, sj := tm.Src(i, j)
+					if upper && si > sj {
+						t.Fatalf("upper=%v trans=%v reads (%d,%d) below diagonal", upper, trans, si, sj)
+					}
+					if !upper && si < sj {
+						t.Fatalf("upper=%v trans=%v reads (%d,%d) above diagonal", upper, trans, si, sj)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTriPackingLowerPanels(t *testing.T) {
+	mem, g := mkGroup(5, 5, 2, 1000)
+	dst := len(mem)
+	panels := []int{3, 2}
+	mem = append(mem, make([]float64, TriLen(2, panels))...)
+	c := ctx64(mem, nil)
+	tm := NewTriMap(5, false, false, false)
+	n := Tri(c, g, tm, panels, dst)
+	if n != TriLen(2, panels) {
+		t.Fatalf("Tri wrote %d, want %d", n, TriLen(2, panels))
+	}
+	// Panel 0 (rows 0-2): triangle rows: (0,0)ʳ, (1,0), (1,1)ʳ, (2,0), (2,1), (2,2)ʳ.
+	at := func(i int) float64 { return c.Mem[dst+2*i] }
+	val := func(i, j int) float64 { return 1000 + 100*float64(i) + 10*float64(j) }
+	recip := func(i int) float64 { return 1 / val(i, i) }
+	want := []float64{recip(0), val(1, 0), recip(1), val(2, 0), val(2, 1), recip(2)}
+	// Panel 1 (rows 3-4): rect part K=3 col-major: (3,0),(4,0),(3,1),(4,1),(3,2),(4,2)
+	want = append(want, val(3, 0), val(4, 0), val(3, 1), val(4, 1), val(3, 2), val(4, 2))
+	// then triangle: (3,3)ʳ, (4,3), (4,4)ʳ.
+	want = append(want, recip(3), val(4, 3), recip(4))
+	for i, w := range want {
+		if math.Abs(at(i)-w) > 1e-12 {
+			t.Errorf("packed block %d lane0 = %v, want %v", i, at(i), w)
+		}
+	}
+}
+
+func TestTriPackingUnitDiag(t *testing.T) {
+	mem, g := mkGroup(3, 3, 2, 5)
+	dst := len(mem)
+	mem = append(mem, make([]float64, TriLen(2, []int{3}))...)
+	c := ctx64(mem, nil)
+	Tri(c, g, NewTriMap(3, false, false, true), []int{3}, dst)
+	// Diagonal blocks (indices 0, 2, 5 in row-wise triangle) must be 1.
+	for _, idx := range []int{0, 2, 5} {
+		for l := 0; l < 2; l++ {
+			if c.Mem[dst+2*idx+l] != 1 {
+				t.Errorf("unit diag block %d lane %d = %v", idx, l, c.Mem[dst+2*idx+l])
+			}
+		}
+	}
+}
+
+func TestComplexReciprocal(t *testing.T) {
+	// One 1×1 complex group: block = [re×4 | im×4].
+	mem := make([]float64, 0)
+	_ = mem
+	vl := 2
+	arena := make([]float64, 4*vl)
+	// a = 3+4i on lane 0, 1+0i on lane 1.
+	arena[0], arena[vl] = 3, 4
+	arena[1], arena[vl+1] = 1, 0
+	c := &Ctx[float64]{Mem: arena, DT: vec.Z, VL: vl, Rec: &Recorder{}}
+	g := Geom{Off: 0, Rows: 1, Cols: 1, BlockLen: 2 * vl}
+	Tri(c, g, NewTriMap(1, false, false, false), []int{1}, 2*vl)
+	// 1/(3+4i) = (3-4i)/25.
+	if math.Abs(arena[2*vl]-0.12) > 1e-12 || math.Abs(arena[3*vl]+0.16) > 1e-12 {
+		t.Errorf("recip lane0 = (%v,%v), want (0.12,-0.16)", arena[2*vl], arena[3*vl])
+	}
+	if arena[2*vl+1] != 1 || arena[3*vl+1] != 0 {
+		t.Errorf("recip lane1 = (%v,%v), want (1,0)", arena[2*vl+1], arena[3*vl+1])
+	}
+	if c.Rec.Divs != vl {
+		t.Errorf("recorded %d divs, want %d", c.Rec.Divs, vl)
+	}
+}
+
+func TestZeroDiagonalPadding(t *testing.T) {
+	arena := make([]float64, 2*2)
+	arena[0] = 2 // lane 1 is zero padding
+	c := ctx64(arena, nil)
+	g := Geom{Off: 0, Rows: 1, Cols: 1, BlockLen: 2}
+	Tri(c, g, NewTriMap(1, false, false, false), []int{1}, 2)
+	if arena[2] != 0.5 || arena[3] != 0 {
+		t.Errorf("recip = %v, want [0.5 0]", arena[2:4])
+	}
+}
+
+func TestBCopyRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, reverse := range []bool{false, true} {
+		for _, transpose := range []bool{false, true} {
+			mem, g := mkGroup(4, 3, 2, 0)
+			for i := range mem {
+				mem[i] = rng.Float64()
+			}
+			orig := append([]float64(nil), mem...)
+			buf := len(mem)
+			mem = append(mem, make([]float64, len(mem))...)
+			c := ctx64(mem, nil)
+			n := BCopy(c, g, reverse, transpose, buf)
+			if n != 4*3*2 {
+				t.Fatalf("BCopy wrote %d", n)
+			}
+			BUncopy(c, g, reverse, transpose, buf)
+			for i := range orig {
+				if c.Mem[i] != orig[i] {
+					t.Fatalf("reverse=%v transpose=%v: round trip diverges at %d", reverse, transpose, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBCopyTransposePlacement(t *testing.T) {
+	mem, g := mkGroup(2, 3, 2, 0) // 2×3
+	buf := len(mem)
+	mem = append(mem, make([]float64, len(mem))...)
+	c := ctx64(mem, nil)
+	BCopy(c, g, false, true, buf)
+	// Transposed buffer is 3×2: block (i,j) = source (j,i).
+	bt := Geom{Off: buf, Rows: 3, Cols: 2, BlockLen: 2}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			if c.Mem[bt.Block(i, j)] != c.Mem[g.Block(j, i)] {
+				t.Errorf("transposed block (%d,%d) wrong", i, j)
+			}
+		}
+	}
+}
+
+func TestScaleRealAndComplex(t *testing.T) {
+	// Real scale by 3.
+	mem, g := mkGroup(2, 2, 2, 1)
+	c := ctx64(mem, nil)
+	orig := append([]float64(nil), mem...)
+	Scale(c, g, 3, 0)
+	for i := range mem {
+		if mem[i] != 3*orig[i] {
+			t.Fatalf("real scale wrong at %d", i)
+		}
+	}
+	// Complex scale by i: (re,im) → (-im, re).
+	arena := make([]float64, 4)
+	arena[0], arena[2] = 2, 5 // 2+5i on lane 0
+	cz := &Ctx[float64]{Mem: arena, DT: vec.Z, VL: 2}
+	gz := Geom{Off: 0, Rows: 1, Cols: 1, BlockLen: 4}
+	Scale(cz, gz, 0, 1)
+	if arena[0] != -5 || arena[2] != 2 {
+		t.Errorf("complex scale = (%v,%v), want (-5,2)", arena[0], arena[2])
+	}
+}
+
+func TestTriLen(t *testing.T) {
+	// panels [3,2] on M=5: 6 + (6+3) = 15 blocks = full triangle 5·6/2.
+	if TriLen(2, []int{3, 2}) != 15*2 {
+		t.Errorf("TriLen = %d, want 30", TriLen(2, []int{3, 2}))
+	}
+	if TriLen(4, []int{5}) != 15*4 {
+		t.Errorf("single panel TriLen = %d", TriLen(4, []int{5}))
+	}
+}
+
+func TestTriPackingTrueDiagonal(t *testing.T) {
+	mem, g := mkGroup(3, 3, 2, 100)
+	dst := len(mem)
+	mem = append(mem, make([]float64, TriLen(2, []int{3}))...)
+	c := ctx64(mem, nil)
+	tm := NewTriMap(3, false, false, false)
+	tm.Recip = false // TRMM packing keeps true values
+	Tri(c, g, tm, []int{3}, dst)
+	// Diagonal blocks at triangle indices 0, 2, 5 must hold the source
+	// values, not reciprocals.
+	for _, d := range []struct{ idx, row int }{{0, 0}, {2, 1}, {5, 2}} {
+		want := 100 + 110*float64(d.row)
+		if got := c.Mem[dst+2*d.idx]; got != want {
+			t.Errorf("diag block %d lane0 = %v, want %v", d.idx, got, want)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package vec
+
+import "fmt"
+
+// DType identifies one of the four BLAS data types IATF generates kernels
+// for. Naming follows BLAS convention: S/D are single/double precision real,
+// C/Z single/double precision complex.
+type DType int
+
+const (
+	S DType = iota // float32
+	D              // float64
+	C              // complex64 (stored as split float32 re/im planes)
+	Z              // complex128 (stored as split float64 re/im planes)
+)
+
+// DTypes lists every data type in evaluation order (sgemm, dgemm, cgemm,
+// zgemm — the order the paper's figures use).
+var DTypes = []DType{S, D, C, Z}
+
+// String returns the BLAS prefix letter ("s", "d", "c", "z").
+func (t DType) String() string {
+	switch t {
+	case S:
+		return "s"
+	case D:
+		return "d"
+	case C:
+		return "c"
+	case Z:
+		return "z"
+	}
+	return fmt.Sprintf("DType(%d)", int(t))
+}
+
+// IsComplex reports whether the type is complex.
+func (t DType) IsComplex() bool { return t == C || t == Z }
+
+// Real returns the underlying real component type (S for C, D for Z).
+func (t DType) Real() DType {
+	switch t {
+	case C:
+		return S
+	case Z:
+		return D
+	}
+	return t
+}
+
+// ElemBytes returns the size in bytes of one real component element
+// (4 for S/C, 8 for D/Z).
+func (t DType) ElemBytes() int {
+	if t.Real() == S {
+		return 4
+	}
+	return 8
+}
+
+// ValueBytes returns the size in bytes of one full matrix element
+// (8 for C, 16 for Z, else ElemBytes).
+func (t DType) ValueBytes() int {
+	if t.IsComplex() {
+		return 2 * t.ElemBytes()
+	}
+	return t.ElemBytes()
+}
+
+// Pack returns P, the interleave factor of the SIMD-friendly layout: the
+// number of matrices whose identical element fills one 128-bit register.
+// P=4 for S and C (split planes of float32), P=2 for D and Z.
+func (t DType) Pack() int {
+	return Width / t.ElemBytes()
+}
+
+// FlopsPerElem returns the number of real floating-point operations one
+// multiply-add of this type performs per matrix element: 2 for real
+// (mul+add), 8 for complex (4 muls + 4 adds).
+func (t DType) FlopsPerElem() float64 {
+	if t.IsComplex() {
+		return 8
+	}
+	return 2
+}
+
+// ParseDType converts a BLAS prefix letter into a DType.
+func ParseDType(s string) (DType, error) {
+	switch s {
+	case "s", "S":
+		return S, nil
+	case "d", "D":
+		return D, nil
+	case "c", "C":
+		return C, nil
+	case "z", "Z":
+		return Z, nil
+	}
+	return 0, fmt.Errorf("vec: unknown dtype %q (want s, d, c or z)", s)
+}

@@ -1,0 +1,192 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLanes(t *testing.T) {
+	if got := Lanes[float32](); got != 4 {
+		t.Errorf("Lanes[float32] = %d, want 4", got)
+	}
+	if got := Lanes[float64](); got != 2 {
+		t.Errorf("Lanes[float64] = %d, want 2", got)
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	src := []float64{1.5, -2.25, 3, 4}
+	for n := 0; n <= 2; n++ {
+		v := Load(src, n)
+		dst := make([]float64, 2)
+		Store(dst, v, n)
+		for i := 0; i < n; i++ {
+			if dst[i] != src[i] {
+				t.Errorf("n=%d lane %d: got %v want %v", n, i, dst[i], src[i])
+			}
+		}
+		for i := n; i < 2; i++ {
+			if dst[i] != 0 {
+				t.Errorf("n=%d lane %d: got %v want untouched 0", n, i, dst[i])
+			}
+		}
+	}
+}
+
+func TestLoadDoesNotReadPastN(t *testing.T) {
+	src := []float32{7}
+	v := Load(src, 1)
+	if v[0] != 7 || v[1] != 0 || v[2] != 0 || v[3] != 0 {
+		t.Errorf("Load short slice = %v, want [7 0 0 0]", v)
+	}
+}
+
+func TestDup(t *testing.T) {
+	v := Dup[float32](3.5)
+	for i, x := range v {
+		if x != 3.5 {
+			t.Errorf("lane %d = %v, want 3.5", i, x)
+		}
+	}
+}
+
+func TestArithmeticLanewise(t *testing.T) {
+	a := V[float64]{1, 2, 3, 4}
+	b := V[float64]{10, 20, 30, 40}
+	c := V[float64]{100, 200, 300, 400}
+
+	if got := Add(a, b); got != (V[float64]{11, 22, 33, 44}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(b, a); got != (V[float64]{9, 18, 27, 36}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Mul(a, b); got != (V[float64]{10, 40, 90, 160}) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := Div(b, a); got != (V[float64]{10, 10, 10, 10}) {
+		t.Errorf("Div = %v", got)
+	}
+	if got := FMA(c, a, b); got != (V[float64]{110, 240, 390, 560}) {
+		t.Errorf("FMA = %v", got)
+	}
+	if got := FMS(c, a, b); got != (V[float64]{90, 160, 210, 240}) {
+		t.Errorf("FMS = %v", got)
+	}
+	if got := Neg(a); got != (V[float64]{-1, -2, -3, -4}) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := Zero[float64](); got != (V[float64]{}) {
+		t.Errorf("Zero = %v", got)
+	}
+}
+
+// Property: FMA(acc,a,b) == Add(acc, Mul(a,b)) exactly, because the model
+// performs a separate multiply and add per lane (no fused rounding).
+func TestFMAEqualsMulAdd(t *testing.T) {
+	f := func(acc, a, b V[float64]) bool {
+		return FMA(acc, a, b) == Add(acc, Mul(a, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FMS(acc,a,b) == Sub(acc, Mul(a,b)).
+func TestFMSEqualsMulSub(t *testing.T) {
+	f := func(acc, a, b V[float64]) bool {
+		return FMS(acc, a, b) == Sub(acc, Mul(a, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTypeProperties(t *testing.T) {
+	cases := []struct {
+		t          DType
+		str        string
+		complex    bool
+		real       DType
+		elemBytes  int
+		valueBytes int
+		pack       int
+		flops      float64
+	}{
+		{S, "s", false, S, 4, 4, 4, 2},
+		{D, "d", false, D, 8, 8, 2, 2},
+		{C, "c", true, S, 4, 8, 4, 8},
+		{Z, "z", true, D, 8, 16, 2, 8},
+	}
+	for _, c := range cases {
+		if c.t.String() != c.str {
+			t.Errorf("%v String = %q want %q", c.t, c.t.String(), c.str)
+		}
+		if c.t.IsComplex() != c.complex {
+			t.Errorf("%v IsComplex = %v", c.t, c.t.IsComplex())
+		}
+		if c.t.Real() != c.real {
+			t.Errorf("%v Real = %v want %v", c.t, c.t.Real(), c.real)
+		}
+		if c.t.ElemBytes() != c.elemBytes {
+			t.Errorf("%v ElemBytes = %d want %d", c.t, c.t.ElemBytes(), c.elemBytes)
+		}
+		if c.t.ValueBytes() != c.valueBytes {
+			t.Errorf("%v ValueBytes = %d want %d", c.t, c.t.ValueBytes(), c.valueBytes)
+		}
+		if c.t.Pack() != c.pack {
+			t.Errorf("%v Pack = %d want %d", c.t, c.t.Pack(), c.pack)
+		}
+		if c.t.FlopsPerElem() != c.flops {
+			t.Errorf("%v FlopsPerElem = %v want %v", c.t, c.t.FlopsPerElem(), c.flops)
+		}
+	}
+}
+
+func TestParseDType(t *testing.T) {
+	for _, dt := range DTypes {
+		got, err := ParseDType(dt.String())
+		if err != nil || got != dt {
+			t.Errorf("ParseDType(%q) = %v, %v", dt.String(), got, err)
+		}
+	}
+	if _, err := ParseDType("q"); err == nil {
+		t.Error("ParseDType(q) succeeded, want error")
+	}
+}
+
+func TestDTypesOrder(t *testing.T) {
+	want := []DType{S, D, C, Z}
+	if len(DTypes) != len(want) {
+		t.Fatalf("DTypes = %v", DTypes)
+	}
+	for i := range want {
+		if DTypes[i] != want[i] {
+			t.Errorf("DTypes[%d] = %v want %v", i, DTypes[i], want[i])
+		}
+	}
+}
+
+func TestDivByZeroIsInf(t *testing.T) {
+	got := Div(Dup[float64](1), Zero[float64]())
+	for i := 0; i < 2; i++ {
+		if !math.IsInf(got[i], 1) {
+			t.Errorf("lane %d = %v, want +Inf", i, got[i])
+		}
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	got := Sqrt(V[float64]{4, 9, 16, 25})
+	if got != (V[float64]{2, 3, 4, 5}) {
+		t.Errorf("Sqrt = %v", got)
+	}
+	g32 := Sqrt(V[float32]{2.25})
+	if g32[0] != 1.5 {
+		t.Errorf("float32 Sqrt = %v", g32[0])
+	}
+	if !math.IsNaN(float64(Sqrt(V[float64]{-1})[0])) {
+		t.Error("Sqrt(-1) must be NaN")
+	}
+}
