@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build vet test race stress bench info ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the engine layers and the public-API stress
+# tests (short mode keeps the kernel property tests from dominating).
+race:
+	$(GO) test -race -short ./internal/engine/... ./internal/sched/... ./internal/bufpool/... .
+
+stress:
+	$(GO) test -race -run 'TestEngineConcurrentStress|TestWorkersAutoConvention' -count=1 -v .
+
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkSteadyStateAllocs' -benchtime=2s .
+
+# Print the execution-engine counters after a demo workload.
+info:
+	$(GO) run ./cmd/iatf-info -engine
+
+ci: vet build test race

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 
+	"iatf"
 	"iatf/internal/core"
 	"iatf/internal/ktmpl"
 	"iatf/internal/machine"
@@ -32,6 +33,7 @@ func main() {
 		planTRSM  = flag.Bool("plan-trsm", false, "print the execution-plan decisions for a TRSM problem")
 		planTRMM  = flag.Bool("plan-trmm", false, "print the execution-plan decisions for a TRMM problem (extension)")
 		tuneF     = flag.Bool("tune", false, "empirically autotune the GEMM tiling for -m/-n/-k on the cycle model")
+		engineF   = flag.Bool("engine", false, "run a demo workload through the default engine and print its counters")
 		count     = flag.Int("count", 16384, "batch size for plan queries")
 	)
 	flag.Parse()
@@ -72,11 +74,75 @@ func main() {
 		}
 		any = true
 	}
+	if *engineF {
+		printEngine()
+		any = true
+	}
 	if !any {
 		printKernels()
 		fmt.Println()
 		printMachines()
 	}
+}
+
+// printEngine drives the default engine with a small mixed workload —
+// repeated GEMM and TRSM on a handful of shapes — and prints the engine
+// counters, demonstrating plan-cache hits, pooled-buffer reuse and the
+// persistent worker pool.
+func printEngine() {
+	const count = 16384
+	gemm := func(m, n, k int) {
+		a := iatf.NewBatch[float32](count, m, k)
+		b := iatf.NewBatch[float32](count, k, n)
+		c := iatf.NewBatch[float32](count, m, n)
+		for mi := 0; mi < count; mi++ {
+			for i := 0; i < m; i++ {
+				for j := 0; j < k && j < m; j++ {
+					a.Set(mi, i, j, float32(i+j+1))
+				}
+			}
+		}
+		ca, cb, cc := iatf.Pack(a), iatf.Pack(b), iatf.Pack(c)
+		// Auto workers (GOMAXPROCS), then an explicit 2-worker pass so the
+		// persistent pool shows up in the counters even on one CPU.
+		for _, w := range []int{0, 0, 0, 0, 0, 0, 0, 2} {
+			if err := iatf.GEMMParallel(w, iatf.NoTrans, iatf.NoTrans, 1, ca, cb, 1, cc); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	trsm := func(m, n int) {
+		a := iatf.NewBatch[float32](count, m, m)
+		b := iatf.NewBatch[float32](count, m, n)
+		for mi := 0; mi < count; mi++ {
+			for i := 0; i < m; i++ {
+				a.Set(mi, i, i, 2)
+			}
+		}
+		ca, cb := iatf.Pack(a), iatf.Pack(b)
+		for _, w := range []int{0, 0, 0, 0, 0, 0, 0, 2} {
+			if err := iatf.TRSMParallel(w, iatf.Left, iatf.Lower, iatf.NoTrans, iatf.NonUnit, 1, ca, cb); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	gemm(8, 8, 8)
+	gemm(8, 8, 8) // same shape: pure cache hits
+	gemm(6, 5, 7)
+	trsm(8, 4)
+	trsm(8, 4)
+
+	s := iatf.DefaultEngine().Stats()
+	fmt.Println("# Default engine after a mixed GEMM/TRSM demo workload")
+	fmt.Println("plan cache:")
+	fmt.Printf("  hits %d, misses %d, evictions %d, entries %d\n",
+		s.PlanHits, s.PlanMisses, s.PlanEvictions, s.PlanEntries)
+	fmt.Println("packing-buffer pools:")
+	fmt.Printf("  gets %d (reused %d, allocated %d, oversize %d), puts %d\n",
+		s.Buffers.Gets, s.Buffers.Reuses, s.Buffers.Allocs, s.Buffers.Oversize, s.Buffers.Puts)
+	fmt.Println("persistent worker pool:")
+	fmt.Printf("  workers %d, parallel calls %d, inline calls %d, chunks %d, pool shares %d, overflow runs %d\n",
+		s.Sched.Workers, s.Sched.ParallelCalls, s.Sched.InlineCalls, s.Sched.Chunks, s.Sched.PoolShares, s.Sched.OverflowRuns)
 }
 
 func printKernels() {

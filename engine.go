@@ -1,0 +1,50 @@
+package iatf
+
+import (
+	"iatf/internal/core"
+	"iatf/internal/engine"
+)
+
+// Engine is the run-time execution engine every public op routes through:
+// a sharded plan cache (so repeated shapes skip the run-time planning
+// stage entirely), size-class pools for packing buffers, and a persistent
+// worker pool for the *Parallel entry points. The package-level functions
+// (GEMM, TRSM, ...) use the process-wide default engine; NewEngine builds
+// a private one with its own plan cache and counters, which the *On
+// variants (GEMMOn, TRSMOn, ...) accept.
+type Engine struct {
+	inner *engine.Engine
+}
+
+// EngineStats is a snapshot of engine counters: plan-cache hits/misses/
+// entries (per engine), packing-buffer pool reuse, and worker-pool
+// activity (the latter two are process-wide).
+type EngineStats = engine.Stats
+
+var defaultEng = &Engine{inner: engine.Default()}
+
+// DefaultEngine returns the process-wide engine used by the package-level
+// operations. Its Stats expose the serving counters:
+//
+//	s := iatf.DefaultEngine().Stats()
+//	fmt.Println(s.PlanHits, s.PlanMisses, s.Buffers.Reuses)
+func DefaultEngine() *Engine { return defaultEng }
+
+// NewEngine constructs a private engine with the default tuning: an
+// isolated plan cache and counters, for tests or multi-tenant serving.
+func NewEngine() *Engine {
+	return &Engine{inner: engine.New(core.DefaultTuning())}
+}
+
+// Stats returns the engine's current counters.
+func (e *Engine) Stats() EngineStats { return e.inner.Stats() }
+
+// operandOf type-erases a compact batch for the engine dispatch path.
+// A nil batch maps to the zero Operand, which the engine rejects with a
+// named error.
+func operandOf[T Scalar](c *Compact[T]) engine.Operand {
+	if c == nil {
+		return engine.Operand{}
+	}
+	return engine.Operand{DT: c.dt, F32: c.f32, F64: c.f64}
+}

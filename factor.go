@@ -19,7 +19,9 @@ func LU[T Scalar](a *Compact[T]) ([]int, error) {
 	return LUParallel(1, a)
 }
 
-// LUParallel is LU with `workers` goroutines splitting the batch.
+// LUParallel is LU with `workers` participants from the persistent worker
+// pool splitting the batch. workers <= 0 means auto (GOMAXPROCS);
+// workers == 1 runs serially.
 func LUParallel[T Scalar](workers int, a *Compact[T]) ([]int, error) {
 	if err := a.check("A"); err != nil {
 		return nil, err
@@ -50,8 +52,9 @@ func Cholesky[T Scalar](a *Compact[T]) ([]int, error) {
 	return CholeskyParallel(1, a)
 }
 
-// CholeskyParallel is Cholesky with `workers` goroutines splitting the
-// batch.
+// CholeskyParallel is Cholesky with `workers` participants from the
+// persistent worker pool splitting the batch. workers <= 0 means auto
+// (GOMAXPROCS); workers == 1 runs serially.
 func CholeskyParallel[T Scalar](workers int, a *Compact[T]) ([]int, error) {
 	if err := a.check("A"); err != nil {
 		return nil, err
@@ -89,7 +92,9 @@ func LUPivoted[T Scalar](a *Compact[T]) (*Pivots, []int, error) {
 	return LUPivotedParallel(1, a)
 }
 
-// LUPivotedParallel is LUPivoted with `workers` goroutines.
+// LUPivotedParallel is LUPivoted with `workers` participants from the
+// persistent worker pool. workers <= 0 means auto (GOMAXPROCS);
+// workers == 1 runs serially.
 func LUPivotedParallel[T Scalar](workers int, a *Compact[T]) (*Pivots, []int, error) {
 	if err := a.check("A"); err != nil {
 		return nil, nil, err

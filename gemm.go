@@ -1,73 +1,45 @@
 package iatf
 
 import (
-	"fmt"
-
-	"iatf/internal/core"
+	"iatf/internal/engine"
 )
+
+// The level-3 entry points are thin shims over the execution engine: the
+// engine's single dispatch path does all shape checking, resolves the
+// cached execution plan (planning runs once per shape, not once per
+// call), and executes with pooled packing buffers on the persistent
+// worker pool.
 
 // GEMM computes C = alpha·op(A)·op(B) + beta·C over every matrix of the
 // compact batches. op(A) must be M×K, op(B) K×N and C M×N, with equal
 // batch counts.
 //
-// The call generates an input-aware execution plan (kernel sizes from the
-// Table 1 registry for the concrete M, N, K, packing kernels or the
-// no-packing fast path, and an L1-sized super-batch) and executes it with
-// the native kernels. Generated, schedule-optimized kernels are memoized
-// process-wide, so repeated calls with the same shape only pay for
-// execution.
+// The first call on a shape generates an input-aware execution plan
+// (kernel sizes from the Table 1 registry for the concrete M, N, K,
+// packing kernels or the no-packing fast path, and an L1-sized
+// super-batch); the plan and its schedule-optimized kernels are memoized
+// process-wide, so repeated calls only pay for execution.
 func GEMM[T Scalar](ta, tb Trans, alpha T, a, b *Compact[T], beta T, c *Compact[T]) error {
 	return GEMMParallel(1, ta, tb, alpha, a, b, beta, c)
 }
 
-// GEMMParallel is GEMM with `workers` goroutines splitting the batch.
-// Interleave groups are independent, so the speedup is near-linear until
-// memory bandwidth saturates — the multi-core extension the paper lists
-// as future work.
+// GEMMParallel is GEMM with `workers` participants from the persistent
+// worker pool splitting the batch into super-batch chunks. workers <= 0
+// means auto (one worker per GOMAXPROCS); workers == 1 runs serially on
+// the caller. Interleave groups are independent, so the speedup is
+// near-linear until memory bandwidth saturates — the multi-core extension
+// the paper lists as future work.
 func GEMMParallel[T Scalar](workers int, ta, tb Trans, alpha T, a, b *Compact[T], beta T, c *Compact[T]) error {
-	for _, chk := range []struct {
-		c    *Compact[T]
-		name string
-	}{{a, "A"}, {b, "B"}, {c, "C"}} {
-		if err := chk.c.check(chk.name); err != nil {
-			return err
-		}
-	}
-	m, n := c.Rows(), c.Cols()
-	k := a.Cols()
-	if ta == Transpose {
-		k = a.Rows()
-	}
-	oaR, oaC := a.Rows(), a.Cols()
-	if ta == Transpose {
-		oaR, oaC = oaC, oaR
-	}
-	obR, obC := b.Rows(), b.Cols()
-	if tb == Transpose {
-		obR, obC = obC, obR
-	}
-	if oaR != m || oaC != k || obR != k || obC != n {
-		return fmt.Errorf("iatf: GEMM shape mismatch: op(A)=%dx%d op(B)=%dx%d C=%dx%d",
-			oaR, oaC, obR, obC, m, n)
-	}
-	if a.Count() != c.Count() || b.Count() != c.Count() {
-		return fmt.Errorf("iatf: GEMM batch count mismatch: %d/%d/%d", a.Count(), b.Count(), c.Count())
-	}
-	p := core.GEMMProblem{
-		DT: a.dt, M: m, N: n, K: k,
-		TransA: ta, TransB: tb,
-		Alpha: scalarToComplex(alpha),
-		Beta:  scalarToComplex(beta),
-		Count: c.Count(),
-	}
-	pl, err := core.NewGEMMPlan(p, core.DefaultTuning())
-	if err != nil {
-		return err
-	}
-	if a.f32 != nil {
-		return core.ExecGEMMNativeParallel(pl, a.f32, b.f32, c.f32, workers)
-	}
-	return core.ExecGEMMNativeParallel(pl, a.f64, b.f64, c.f64, workers)
+	return GEMMOn(DefaultEngine(), workers, ta, tb, alpha, a, b, beta, c)
+}
+
+// GEMMOn is GEMMParallel against a specific engine (its plan cache and
+// counters) instead of the process-wide default.
+func GEMMOn[T Scalar](e *Engine, workers int, ta, tb Trans, alpha T, a, b *Compact[T], beta T, c *Compact[T]) error {
+	return e.inner.Run(engine.OpDesc{
+		Kind: engine.OpGEMM, TransA: ta, TransB: tb,
+		Alpha: scalarToComplex(alpha), Beta: scalarToComplex(beta), Workers: workers,
+	}, operandOf(a), operandOf(b), operandOf(c))
 }
 
 // TRSM solves op(A)·X = alpha·B (Left) or X·op(A) = alpha·B (Right) for
@@ -78,31 +50,19 @@ func TRSM[T Scalar](side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Co
 	return TRSMParallel(1, side, uplo, ta, diag, alpha, a, b)
 }
 
-// TRSMParallel is TRSM with `workers` goroutines splitting the batch.
+// TRSMParallel is TRSM with `workers` participants from the persistent
+// worker pool splitting the batch. workers <= 0 means auto (GOMAXPROCS);
+// workers == 1 runs serially.
 func TRSMParallel[T Scalar](workers int, side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Compact[T]) error {
-	if err := a.check("A"); err != nil {
-		return err
-	}
-	if err := b.check("B"); err != nil {
-		return err
-	}
-	if a.Rows() != a.Cols() {
-		return fmt.Errorf("iatf: TRSM A must be square, got %dx%d", a.Rows(), a.Cols())
-	}
-	p := core.TRSMProblem{
-		DT: a.dt, M: b.Rows(), N: b.Cols(),
-		Side: side, Uplo: uplo, TransA: ta, Diag: diag,
-		Alpha: scalarToComplex(alpha),
-		Count: b.Count(),
-	}
-	pl, err := core.NewTRSMPlan(p, core.DefaultTuning())
-	if err != nil {
-		return err
-	}
-	if a.f32 != nil {
-		return core.ExecTRSMNativeParallel(pl, a.f32, b.f32, workers)
-	}
-	return core.ExecTRSMNativeParallel(pl, a.f64, b.f64, workers)
+	return TRSMOn(DefaultEngine(), workers, side, uplo, ta, diag, alpha, a, b)
+}
+
+// TRSMOn is TRSMParallel against a specific engine.
+func TRSMOn[T Scalar](e *Engine, workers int, side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Compact[T]) error {
+	return e.inner.Run(engine.OpDesc{
+		Kind: engine.OpTRSM, Side: side, Uplo: uplo, TransA: ta, Diag: diag,
+		Alpha: scalarToComplex(alpha), Workers: workers,
+	}, operandOf(a), operandOf(b))
 }
 
 // TRMM computes B = alpha·op(A)·B (Left) or B = alpha·B·op(A) (Right)
@@ -114,31 +74,19 @@ func TRMM[T Scalar](side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Co
 	return TRMMParallel(1, side, uplo, ta, diag, alpha, a, b)
 }
 
-// TRMMParallel is TRMM with `workers` goroutines splitting the batch.
+// TRMMParallel is TRMM with `workers` participants from the persistent
+// worker pool splitting the batch. workers <= 0 means auto (GOMAXPROCS);
+// workers == 1 runs serially.
 func TRMMParallel[T Scalar](workers int, side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Compact[T]) error {
-	if err := a.check("A"); err != nil {
-		return err
-	}
-	if err := b.check("B"); err != nil {
-		return err
-	}
-	if a.Rows() != a.Cols() {
-		return fmt.Errorf("iatf: TRMM A must be square, got %dx%d", a.Rows(), a.Cols())
-	}
-	p := core.TRMMProblem{
-		DT: a.dt, M: b.Rows(), N: b.Cols(),
-		Side: side, Uplo: uplo, TransA: ta, Diag: diag,
-		Alpha: scalarToComplex(alpha),
-		Count: b.Count(),
-	}
-	pl, err := core.NewTRMMPlan(p, core.DefaultTuning())
-	if err != nil {
-		return err
-	}
-	if a.f32 != nil {
-		return core.ExecTRMMNativeParallel(pl, a.f32, b.f32, workers)
-	}
-	return core.ExecTRMMNativeParallel(pl, a.f64, b.f64, workers)
+	return TRMMOn(DefaultEngine(), workers, side, uplo, ta, diag, alpha, a, b)
+}
+
+// TRMMOn is TRMMParallel against a specific engine.
+func TRMMOn[T Scalar](e *Engine, workers int, side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Compact[T]) error {
+	return e.inner.Run(engine.OpDesc{
+		Kind: engine.OpTRMM, Side: side, Uplo: uplo, TransA: ta, Diag: diag,
+		Alpha: scalarToComplex(alpha), Workers: workers,
+	}, operandOf(a), operandOf(b))
 }
 
 // SYRK computes the symmetric rank-k update C = alpha·op(A)·op(A)ᵀ + beta·C
@@ -150,34 +98,17 @@ func SYRK[T Scalar](uplo Uplo, trans Trans, alpha T, a *Compact[T], beta T, c *C
 	return SYRKParallel(1, uplo, trans, alpha, a, beta, c)
 }
 
-// SYRKParallel is SYRK with `workers` goroutines splitting the batch.
+// SYRKParallel is SYRK with `workers` participants from the persistent
+// worker pool splitting the batch. workers <= 0 means auto (GOMAXPROCS);
+// workers == 1 runs serially.
 func SYRKParallel[T Scalar](workers int, uplo Uplo, trans Trans, alpha T, a *Compact[T], beta T, c *Compact[T]) error {
-	if err := a.check("A"); err != nil {
-		return err
-	}
-	if err := c.check("C"); err != nil {
-		return err
-	}
-	if c.Rows() != c.Cols() {
-		return fmt.Errorf("iatf: SYRK C must be square, got %dx%d", c.Rows(), c.Cols())
-	}
-	k := a.Cols()
-	if trans == Transpose {
-		k = a.Rows()
-	}
-	p := core.SYRKProblem{
-		DT: a.dt, N: c.Rows(), K: k,
-		Uplo: uplo, Trans: trans,
-		Alpha: scalarToComplex(alpha),
-		Beta:  scalarToComplex(beta),
-		Count: c.Count(),
-	}
-	pl, err := core.NewSYRKPlan(p, core.DefaultTuning())
-	if err != nil {
-		return err
-	}
-	if a.f32 != nil {
-		return core.ExecSYRKNativeParallel(pl, a.f32, c.f32, workers)
-	}
-	return core.ExecSYRKNativeParallel(pl, a.f64, c.f64, workers)
+	return SYRKOn(DefaultEngine(), workers, uplo, trans, alpha, a, beta, c)
+}
+
+// SYRKOn is SYRKParallel against a specific engine.
+func SYRKOn[T Scalar](e *Engine, workers int, uplo Uplo, trans Trans, alpha T, a *Compact[T], beta T, c *Compact[T]) error {
+	return e.inner.Run(engine.OpDesc{
+		Kind: engine.OpSYRK, Uplo: uplo, TransA: trans,
+		Alpha: scalarToComplex(alpha), Beta: scalarToComplex(beta), Workers: workers,
+	}, operandOf(a), operandOf(c))
 }

@@ -17,9 +17,10 @@ type GEMMGroup[T Scalar] struct {
 	A, B, C        *Compact[T]
 }
 
-// GEMMGrouped executes every group, splitting `workers` goroutines within
-// each group's batch. It stops at the first error, reporting the group
-// index.
+// GEMMGrouped executes every group, splitting `workers` worker-pool
+// participants within each group's batch (workers <= 0 means auto,
+// GOMAXPROCS). It stops at the first error, reporting the group index.
+// Groups sharing a shape reuse one cached execution plan.
 func GEMMGrouped[T Scalar](workers int, groups []GEMMGroup[T]) error {
 	for i, g := range groups {
 		if err := GEMMParallel(workers, g.TransA, g.TransB, g.Alpha, g.A, g.B, g.Beta, g.C); err != nil {
@@ -39,7 +40,8 @@ type TRSMGroup[T Scalar] struct {
 	A, B   *Compact[T]
 }
 
-// TRSMGrouped executes every group of triangular solves.
+// TRSMGrouped executes every group of triangular solves (workers <= 0
+// means auto, GOMAXPROCS).
 func TRSMGrouped[T Scalar](workers int, groups []TRSMGroup[T]) error {
 	for i, g := range groups {
 		if err := TRSMParallel(workers, g.Side, g.Uplo, g.TransA, g.Diag, g.Alpha, g.A, g.B); err != nil {

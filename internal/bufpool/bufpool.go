@@ -1,0 +1,118 @@
+// Package bufpool provides size-class pooled scratch buffers for the
+// packing arenas of the native executors. The run-time stage packs
+// operands into L1-sized super-batch buffers on every call; allocating
+// those per call dominates the steady-state allocation profile, so they
+// are recycled here through per-type, per-size-class sync.Pools.
+//
+// Buffers are returned uncleared: callers must fully overwrite the region
+// they read (every packing routine in internal/core does).
+package bufpool
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"iatf/internal/vec"
+)
+
+const (
+	// minClassBits..maxClassBits bound the pooled size classes
+	// (powers of two, in elements). Requests above the top class are
+	// served by plain make and never pooled — they would pin too much
+	// memory for too rare a shape.
+	minClassBits = 8
+	maxClassBits = 24
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// Buf is a pooled scratch buffer. Obtain with Get, release with Put.
+// The pool stores *Buf so recycling does not re-box the slice header.
+type Buf[E vec.Float] struct {
+	data  []E
+	class int
+}
+
+// Slice returns the buffer's storage, sized to the Get request.
+func (b *Buf[E]) Slice() []E { return b.data }
+
+type classPools struct {
+	classes [numClasses]sync.Pool
+}
+
+var (
+	f32Pools classPools
+	f64Pools classPools
+
+	gets     atomic.Uint64
+	reuses   atomic.Uint64
+	news     atomic.Uint64
+	puts     atomic.Uint64
+	oversize atomic.Uint64
+)
+
+// Stats is a snapshot of the pool's lifetime counters.
+type Stats struct {
+	Gets     uint64 // Get calls
+	Reuses   uint64 // Gets served from the pool without allocating
+	Allocs   uint64 // Gets that had to allocate a fresh buffer
+	Puts     uint64 // buffers returned
+	Oversize uint64 // requests above the top size class (never pooled)
+}
+
+// Snapshot returns the current pool counters.
+func Snapshot() Stats {
+	return Stats{
+		Gets:     gets.Load(),
+		Reuses:   reuses.Load(),
+		Allocs:   news.Load(),
+		Puts:     puts.Load(),
+		Oversize: oversize.Load(),
+	}
+}
+
+func poolsFor[E vec.Float]() *classPools {
+	var z E
+	if _, ok := any(z).(float32); ok {
+		return &f32Pools
+	}
+	return &f64Pools
+}
+
+// classFor returns the smallest size class holding n elements.
+func classFor(n int) int {
+	bits := minClassBits
+	for n > 1<<bits {
+		bits++
+	}
+	return bits - minClassBits
+}
+
+// Get returns a buffer of exactly n elements, recycled from the pool when
+// a same-class buffer is available. Contents are unspecified.
+func Get[E vec.Float](n int) *Buf[E] {
+	gets.Add(1)
+	if n > 1<<maxClassBits {
+		oversize.Add(1)
+		return &Buf[E]{data: make([]E, n), class: -1}
+	}
+	cl := classFor(n)
+	if v := poolsFor[E]().classes[cl].Get(); v != nil {
+		b := v.(*Buf[E])
+		b.data = b.data[:n]
+		reuses.Add(1)
+		return b
+	}
+	news.Add(1)
+	return &Buf[E]{data: make([]E, n, 1<<(cl+minClassBits)), class: cl}
+}
+
+// Put recycles a buffer obtained from Get. The caller must not use the
+// buffer afterwards.
+func Put[E vec.Float](b *Buf[E]) {
+	if b == nil || b.class < 0 {
+		return
+	}
+	puts.Add(1)
+	b.data = b.data[:cap(b.data)]
+	poolsFor[E]().classes[b.class].Put(b)
+}

@@ -2,11 +2,12 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
+	"iatf/internal/bufpool"
 	"iatf/internal/kernels"
 	"iatf/internal/layout"
 	"iatf/internal/matrix"
+	"iatf/internal/sched"
 	"iatf/internal/vec"
 )
 
@@ -17,8 +18,10 @@ import (
 // reads and writes separate slices so operands stay in place.
 //
 // Group-level parallelism implements the paper's stated future work
-// (multi-core): interleave groups are fully independent, so workers split
-// the group range, each with private packing buffers.
+// (multi-core): interleave groups are fully independent, so the sched
+// worker pool pulls super-batch-sized chunks of the group range, each
+// chunk packing into pooled buffers. workers <= 0 means auto
+// (GOMAXPROCS); see sched.Resolve.
 
 // npackA packs the A row panels of one group (N-shape).
 func npackA[E vec.Float](src []E, rows int, trans bool, mtiles []int, k, bl int, dst []E) {
@@ -104,8 +107,9 @@ func ExecGEMMNative[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E]) error
 	return ExecGEMMNativeParallel(pl, a, b, c, 1)
 }
 
-// ExecGEMMNativeParallel is ExecGEMMNative with `workers` goroutines
-// splitting the interleave groups.
+// ExecGEMMNativeParallel is ExecGEMMNative with `workers` participants
+// from the persistent worker pool splitting the interleave groups into
+// super-batch chunks. workers <= 0 means auto (GOMAXPROCS).
 func ExecGEMMNativeParallel[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E], workers int) error {
 	p := pl.P
 	if pl.Tun.VL != 0 && pl.Tun.VL != p.DT.Pack() {
@@ -129,35 +133,9 @@ func ExecGEMMNativeParallel[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E
 		return fmt.Errorf("core: shape mismatch A=%dx%d B=%dx%d C=%dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
 	}
-	groups := a.Groups()
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > groups {
-		workers = groups
-	}
-	if workers == 1 {
-		gemmWorker(pl, a, b, c, 0, groups)
-		return nil
-	}
-	var wg sync.WaitGroup
-	chunk := (groups + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > groups {
-			hi = groups
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			gemmWorker(pl, a, b, c, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	sched.Run(a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+		gemmWorker(pl, a, b, c, lo, hi)
+	})
 	return nil
 }
 
@@ -175,9 +153,13 @@ func gemmWorker[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E], gLo, gHi 
 	gb := pl.GroupsPerBatch
 	var packA []E
 	if pl.PackA {
-		packA = make([]E, gb*lenA)
+		bufA := bufpool.Get[E](gb * lenA)
+		defer bufpool.Put(bufA)
+		packA = bufA.Slice()
 	}
-	packB := make([]E, gb*lenB)
+	bufB := bufpool.Get[E](gb * lenB)
+	defer bufpool.Put(bufB)
+	packB := bufB.Slice()
 	alphaRe, alphaIm := E(real(p.Alpha)), E(imag(p.Alpha))
 
 	for sb := gLo; sb < gHi; sb += gb {
@@ -350,6 +332,7 @@ func ExecTRSMNative[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E]) error {
 }
 
 // ExecTRSMNativeParallel is ExecTRSMNative with worker-parallel groups.
+// workers <= 0 means auto (GOMAXPROCS).
 func ExecTRSMNativeParallel[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], workers int) error {
 	p := pl.P
 	if pl.Tun.VL != 0 && pl.Tun.VL != p.DT.Pack() {
@@ -361,35 +344,9 @@ func ExecTRSMNativeParallel[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], 
 	if a.Rows != pl.MEff || a.Cols != pl.MEff || b.Rows != p.M || b.Cols != p.N {
 		return fmt.Errorf("core: shape mismatch A=%dx%d B=%dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	groups := a.Groups()
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > groups {
-		workers = groups
-	}
-	if workers == 1 {
-		trsmWorker(pl, a, b, 0, groups)
-		return nil
-	}
-	var wg sync.WaitGroup
-	chunk := (groups + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > groups {
-			hi = groups
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			trsmWorker(pl, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	sched.Run(a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+		trsmWorker(pl, a, b, lo, hi)
+	})
 	return nil
 }
 
@@ -416,12 +373,16 @@ func trsmWorker[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], gLo, gHi int
 	effUpper := upper != transAEff
 
 	gb := pl.GroupsPerBatch
-	packTri := make([]E, gb*lenTri)
+	bufTri := bufpool.Get[E](gb * lenTri)
+	defer bufpool.Put(bufTri)
+	packTri := bufTri.Slice()
 	var packB []E
 	lenPB := 0
 	if pl.PackB {
 		lenPB = pl.MEff * pl.NEff * bl
-		packB = make([]E, gb*lenPB)
+		bufB := bufpool.Get[E](gb * lenPB)
+		defer bufpool.Put(bufB)
+		packB = bufB.Slice()
 	}
 
 	for sb := gLo; sb < gHi; sb += gb {

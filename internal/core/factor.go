@@ -2,10 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"iatf/internal/kernels"
 	"iatf/internal/layout"
+	"iatf/internal/sched"
 	"iatf/internal/vec"
 )
 
@@ -26,7 +26,7 @@ const (
 // ExecFactorNative factors every matrix of the compact batch in place
 // and returns per-matrix info codes (0 = success; k+1 = first failing
 // pivot column, as in LAPACK). Cholesky is real-only and uses the lower
-// triangle.
+// triangle. workers <= 0 means auto (GOMAXPROCS).
 func ExecFactorNative[E vec.Float](kind factorKind, a *layout.Compact[E], workers int) ([]int, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("core: factorization requires square matrices, got %dx%d", a.Rows, a.Cols)
@@ -55,7 +55,7 @@ func ExecFactorNative[E vec.Float](kind factorKind, a *layout.Compact[E], worker
 			}
 		}
 	}
-	runGroups(worker, groups, workers)
+	sched.Run(groups, workers, 0, worker)
 	return info[:a.Count], nil
 }
 
@@ -95,7 +95,7 @@ func ExecLUPivNative[E vec.Float](a *layout.Compact[E], workers int) (*Pivots, [
 				piv.Data[g*n*vl:(g+1)*n*vl], info[g*vl:(g+1)*vl])
 		}
 	}
-	runGroups(worker, groups, workers)
+	sched.Run(groups, workers, 0, worker)
 	return piv, info[:a.Count], nil
 }
 
@@ -117,38 +117,6 @@ func ExecLUPivSolveNative[E vec.Float](a *layout.Compact[E], piv *Pivots, b *lay
 				piv.Data[g*piv.N*vl:(g+1)*piv.N*vl])
 		}
 	}
-	runGroups(worker, b.Groups(), workers)
+	sched.Run(b.Groups(), workers, 0, worker)
 	return nil
-}
-
-// runGroups splits [0, groups) across workers.
-func runGroups(worker func(lo, hi int), groups, workers int) {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > groups {
-		workers = groups
-	}
-	if workers == 1 {
-		worker(0, groups)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (groups + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > groups {
-			hi = groups
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			worker(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
 }

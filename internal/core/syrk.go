@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 
+	"iatf/internal/bufpool"
 	"iatf/internal/kernels"
 	"iatf/internal/ktmpl"
 	"iatf/internal/layout"
 	"iatf/internal/matrix"
+	"iatf/internal/sched"
 	"iatf/internal/vec"
 )
 
@@ -88,6 +90,7 @@ func ExecSYRKNative[E vec.Float](pl *SYRKPlan, a, c *layout.Compact[E]) error {
 }
 
 // ExecSYRKNativeParallel is ExecSYRKNative with worker-parallel groups.
+// workers <= 0 means auto (GOMAXPROCS).
 func ExecSYRKNativeParallel[E vec.Float](pl *SYRKPlan, a, c *layout.Compact[E], workers int) error {
 	p := pl.P
 	if pl.Tun.VL != 0 && pl.Tun.VL != p.DT.Pack() {
@@ -103,8 +106,9 @@ func ExecSYRKNativeParallel[E vec.Float](pl *SYRKPlan, a, c *layout.Compact[E], 
 	if a.Rows != wantAR || a.Cols != wantAC || c.Rows != p.N || c.Cols != p.N {
 		return fmt.Errorf("core: shape mismatch A=%dx%d C=%dx%d", a.Rows, a.Cols, c.Rows, c.Cols)
 	}
-	groups := a.Groups()
-	runGroups(func(lo, hi int) { syrkWorker(pl, a, c, lo, hi) }, groups, workers)
+	sched.Run(a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+		syrkWorker(pl, a, c, lo, hi)
+	})
 	return nil
 }
 
@@ -119,9 +123,13 @@ func syrkWorker[E vec.Float](pl *SYRKPlan, a, c *layout.Compact[E], gLo, gHi int
 	aRows := a.Rows
 
 	gb := pl.GroupsPerBatch
-	packA := make([]E, gb*lenA)  // N-shape row panels
-	packAT := make([]E, gb*lenA) // Z-shape column panels of op(A)ᵀ
-	scratch := make([]E, 4*4*bl) // one diagonal tile
+	bufA := bufpool.Get[E](gb * lenA)  // N-shape row panels
+	bufAT := bufpool.Get[E](gb * lenA) // Z-shape column panels of op(A)ᵀ
+	bufS := bufpool.Get[E](4 * 4 * bl) // one diagonal tile
+	defer bufpool.Put(bufA)
+	defer bufpool.Put(bufAT)
+	defer bufpool.Put(bufS)
+	packA, packAT, scratch := bufA.Slice(), bufAT.Slice(), bufS.Slice()
 	alphaRe, alphaIm := E(real(p.Alpha)), E(imag(p.Alpha))
 	upper := p.Uplo == matrix.Upper
 

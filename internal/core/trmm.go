@@ -2,15 +2,16 @@ package core
 
 import (
 	"fmt"
-	"sync"
 
 	"iatf/internal/asm"
+	"iatf/internal/bufpool"
 	"iatf/internal/kernels"
 	"iatf/internal/ktmpl"
 	"iatf/internal/layout"
 	"iatf/internal/machine"
 	"iatf/internal/matrix"
 	"iatf/internal/pack"
+	"iatf/internal/sched"
 	"iatf/internal/vec"
 )
 
@@ -160,6 +161,7 @@ func ExecTRMMNative[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E]) error {
 }
 
 // ExecTRMMNativeParallel is ExecTRMMNative with worker-parallel groups.
+// workers <= 0 means auto (GOMAXPROCS).
 func ExecTRMMNativeParallel[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], workers int) error {
 	p := pl.P
 	if pl.Tun.VL != 0 && pl.Tun.VL != p.DT.Pack() {
@@ -171,35 +173,9 @@ func ExecTRMMNativeParallel[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], 
 	if a.Rows != pl.MEff || a.Cols != pl.MEff || b.Rows != p.M || b.Cols != p.N {
 		return fmt.Errorf("core: shape mismatch A=%dx%d B=%dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
-	groups := a.Groups()
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > groups {
-		workers = groups
-	}
-	if workers == 1 {
-		trmmWorker(pl, a, b, 0, groups)
-		return nil
-	}
-	var wg sync.WaitGroup
-	chunk := (groups + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > groups {
-			hi = groups
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			trmmWorker(pl, a, b, lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	sched.Run(a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+		trmmWorker(pl, a, b, lo, hi)
+	})
 	return nil
 }
 
@@ -225,12 +201,16 @@ func trmmWorker[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], gLo, gHi int
 	effUpper := (p.Uplo == matrix.Upper) != transAEff
 
 	gb := pl.GroupsPerBatch
-	packTri := make([]E, gb*lenTri)
+	bufTri := bufpool.Get[E](gb * lenTri)
+	defer bufpool.Put(bufTri)
+	packTri := bufTri.Slice()
 	var packB []E
 	lenPB := 0
 	if pl.PackB {
 		lenPB = pl.MEff * pl.NEff * bl
-		packB = make([]E, gb*lenPB)
+		bufB := bufpool.Get[E](gb * lenPB)
+		defer bufpool.Put(bufB)
+		packB = bufB.Slice()
 	}
 
 	for sb := gLo; sb < gHi; sb += gb {

@@ -1,0 +1,406 @@
+// Package engine is the serving-grade execution layer between the public
+// API and the run-time stage in internal/core. The paper's premise is
+// that the install-time stage is paid once and the run-time stage is
+// cheap per call; the engine makes the run-time stage itself near-free in
+// steady state:
+//
+//   - a sharded, bounded plan cache keyed by the full problem descriptor
+//     (op kind, dtype, dims, trans/side/uplo/diag, count bucket) memoizes
+//     NewGEMMPlan/NewTRSMPlan/... so planning runs once per shape, not
+//     once per call;
+//   - packing buffers come from size-class pools (internal/bufpool);
+//   - parallel execution runs on the persistent worker pool
+//     (internal/sched) instead of goroutine-per-call;
+//   - a single generic dispatch path (Run) does all shape checking and
+//     f32/f64 selection, collapsing the per-op wrappers in the public
+//     package into thin shims.
+//
+// Scalars (alpha, beta) and the exact batch count are excluded from the
+// cache key — plan geometry does not depend on them — and are spliced
+// into a stack copy of the cached plan at dispatch time, so calls that
+// differ only in scalars or count still hit the cache.
+package engine
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"iatf/internal/bufpool"
+	"iatf/internal/core"
+	"iatf/internal/layout"
+	"iatf/internal/matrix"
+	"iatf/internal/sched"
+	"iatf/internal/vec"
+)
+
+// OpKind selects the routine an OpDesc describes.
+type OpKind int
+
+// The batched level-3 routines the engine dispatches.
+const (
+	OpGEMM OpKind = iota
+	OpTRSM
+	OpTRMM
+	OpSYRK
+)
+
+// String returns the routine name.
+func (k OpKind) String() string {
+	switch k {
+	case OpGEMM:
+		return "GEMM"
+	case OpTRSM:
+		return "TRSM"
+	case OpTRMM:
+		return "TRMM"
+	case OpSYRK:
+		return "SYRK"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// OpDesc describes one batched call: the routine, its mode flags and
+// scalars, and the worker request. Dimensions are taken from the
+// operands. Workers <= 0 means auto (GOMAXPROCS); Workers == 1 is
+// serial.
+type OpDesc struct {
+	Kind           OpKind
+	TransA, TransB matrix.Trans // TransB is GEMM-only; TransA doubles as SYRK's Trans
+	Side           matrix.Side  // TRSM/TRMM
+	Uplo           matrix.Uplo  // TRSM/TRMM/SYRK
+	Diag           matrix.Diag  // TRSM/TRMM
+	Alpha, Beta    complex128   // Beta is GEMM/SYRK-only
+	Workers        int
+}
+
+// Operand is a type-erased compact batch: exactly one of F32/F64 is set
+// (complex types travel on the split-plane representation of their real
+// component type). The zero Operand stands for a nil/empty argument.
+type Operand struct {
+	DT  vec.DType
+	F32 *layout.Compact[float32]
+	F64 *layout.Compact[float64]
+}
+
+func (o Operand) valid() bool { return o.F32 != nil || o.F64 != nil }
+
+func (o Operand) rows() int {
+	if o.F32 != nil {
+		return o.F32.Rows
+	}
+	return o.F64.Rows
+}
+
+func (o Operand) cols() int {
+	if o.F32 != nil {
+		return o.F32.Cols
+	}
+	return o.F64.Cols
+}
+
+func (o Operand) count() int {
+	if o.F32 != nil {
+		return o.F32.Count
+	}
+	return o.F64.Count
+}
+
+// planKey is the full problem descriptor a cached plan is keyed by.
+// Scalars are excluded (plan geometry ignores them); the batch count is
+// bucketed to the next power of two so nearby counts share a plan.
+type planKey struct {
+	kind           OpKind
+	dt             vec.DType
+	m, n, k        int
+	transA, transB matrix.Trans
+	side           matrix.Side
+	uplo           matrix.Uplo
+	diag           matrix.Diag
+	countBucket    int
+}
+
+func (k planKey) shard() int {
+	h := uint64(k.kind)
+	for _, v := range [...]int{int(k.dt), k.m, k.n, k.k, int(k.transA), int(k.transB),
+		int(k.side), int(k.uplo), int(k.diag), k.countBucket} {
+		h = h*0x100000001b3 + uint64(v) // FNV-style mix
+	}
+	return int(h % planShards)
+}
+
+// countBucket rounds a batch count up to the next power of two. Plans
+// built for the bucket are valid for any smaller count: GroupsPerBatch is
+// only capped by the count, and the executors clamp super-batches to the
+// actual group range.
+func countBucket(c int) int {
+	if c <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(c-1))
+}
+
+const (
+	planShards   = 16
+	planShardCap = 256 // per-shard bound; oldest-arbitrary eviction past it
+)
+
+type planShard struct {
+	mu sync.Mutex
+	m  map[planKey]any
+}
+
+// Engine owns a tuning configuration and the plan cache for it. All
+// public API calls route through the process-wide Default engine; New
+// builds private engines (isolated cache and counters) for tests, ablation
+// tunings, or multi-tenant serving.
+type Engine struct {
+	tun    core.Tuning
+	shards [planShards]planShard
+
+	planHits      atomic.Uint64
+	planMisses    atomic.Uint64
+	planEvictions atomic.Uint64
+}
+
+// New constructs an engine for a tuning configuration.
+func New(tun core.Tuning) *Engine {
+	e := &Engine{tun: tun}
+	for i := range e.shards {
+		e.shards[i].m = make(map[planKey]any)
+	}
+	return e
+}
+
+var defaultEngine = New(core.DefaultTuning())
+
+// Default returns the process-wide engine.
+func Default() *Engine { return defaultEngine }
+
+// Tuning returns the engine's tuning configuration.
+func (e *Engine) Tuning() core.Tuning { return e.tun }
+
+// plan returns the cached plan for key, building and inserting it on miss.
+func (e *Engine) plan(key planKey, build func() (any, error)) (any, error) {
+	sh := &e.shards[key.shard()]
+	sh.mu.Lock()
+	if p, ok := sh.m[key]; ok {
+		sh.mu.Unlock()
+		e.planHits.Add(1)
+		return p, nil
+	}
+	sh.mu.Unlock()
+	e.planMisses.Add(1)
+	p, err := build()
+	if err != nil {
+		return nil, err
+	}
+	sh.mu.Lock()
+	if _, ok := sh.m[key]; !ok && len(sh.m) >= planShardCap {
+		for k := range sh.m {
+			delete(sh.m, k)
+			e.planEvictions.Add(1)
+			break
+		}
+	}
+	sh.m[key] = p
+	sh.mu.Unlock()
+	return p, nil
+}
+
+// Stats is a point-in-time snapshot of the engine counters. Plan-cache
+// counters are per-engine; buffer-pool and worker-pool counters are
+// process-wide (those layers are shared by all engines).
+type Stats struct {
+	// Plan cache (this engine).
+	PlanHits      uint64
+	PlanMisses    uint64
+	PlanEvictions uint64
+	PlanEntries   int
+
+	// Packing-buffer pools (process-wide).
+	Buffers bufpool.Stats
+
+	// Persistent worker pool (process-wide).
+	Sched sched.Stats
+}
+
+// Stats returns the current counters.
+func (e *Engine) Stats() Stats {
+	entries := 0
+	for i := range e.shards {
+		e.shards[i].mu.Lock()
+		entries += len(e.shards[i].m)
+		e.shards[i].mu.Unlock()
+	}
+	return Stats{
+		PlanHits:      e.planHits.Load(),
+		PlanMisses:    e.planMisses.Load(),
+		PlanEvictions: e.planEvictions.Load(),
+		PlanEntries:   entries,
+		Buffers:       bufpool.Snapshot(),
+		Sched:         sched.Snapshot(),
+	}
+}
+
+// Run is the single dispatch path: it validates operand shapes for the
+// described op, resolves the plan through the cache, and executes on the
+// native backend. Operand order follows BLAS argument order:
+// GEMM (A, B, C) — TRSM/TRMM (A, B) — SYRK (A, C).
+func (e *Engine) Run(op OpDesc, operands ...Operand) error {
+	switch op.Kind {
+	case OpGEMM:
+		if err := checkOperands(op.Kind, operands, 3); err != nil {
+			return err
+		}
+		return e.runGEMM(op, operands[0], operands[1], operands[2])
+	case OpTRSM, OpTRMM:
+		if err := checkOperands(op.Kind, operands, 2); err != nil {
+			return err
+		}
+		return e.runTri(op, operands[0], operands[1])
+	case OpSYRK:
+		if err := checkOperands(op.Kind, operands, 2); err != nil {
+			return err
+		}
+		return e.runSYRK(op, operands[0], operands[1])
+	}
+	return fmt.Errorf("iatf: unknown op kind %v", op.Kind)
+}
+
+// operandNames maps BLAS argument positions to names per op kind.
+var operandNames = map[OpKind][]string{
+	OpGEMM: {"A", "B", "C"},
+	OpTRSM: {"A", "B"},
+	OpTRMM: {"A", "B"},
+	OpSYRK: {"A", "C"},
+}
+
+func checkOperands(kind OpKind, ops []Operand, want int) error {
+	if len(ops) != want {
+		return fmt.Errorf("iatf: %v takes %d operands, got %d", kind, want, len(ops))
+	}
+	for i, o := range ops {
+		if !o.valid() {
+			return fmt.Errorf("iatf: %s is nil or empty", operandNames[kind][i])
+		}
+		if (o.F32 != nil) != (ops[0].F32 != nil) || o.DT != ops[0].DT {
+			return fmt.Errorf("iatf: %v operand %s has mismatched element type", kind, operandNames[kind][i])
+		}
+	}
+	return nil
+}
+
+func (e *Engine) runGEMM(op OpDesc, a, b, c Operand) error {
+	m, n := c.rows(), c.cols()
+	k := a.cols()
+	if op.TransA == matrix.Transpose {
+		k = a.rows()
+	}
+	oaR, oaC := a.rows(), a.cols()
+	if op.TransA == matrix.Transpose {
+		oaR, oaC = oaC, oaR
+	}
+	obR, obC := b.rows(), b.cols()
+	if op.TransB == matrix.Transpose {
+		obR, obC = obC, obR
+	}
+	if oaR != m || oaC != k || obR != k || obC != n {
+		return fmt.Errorf("iatf: GEMM shape mismatch: op(A)=%dx%d op(B)=%dx%d C=%dx%d",
+			oaR, oaC, obR, obC, m, n)
+	}
+	if a.count() != c.count() || b.count() != c.count() {
+		return fmt.Errorf("iatf: GEMM batch count mismatch: %d/%d/%d", a.count(), b.count(), c.count())
+	}
+	key := planKey{kind: OpGEMM, dt: a.DT, m: m, n: n, k: k,
+		transA: op.TransA, transB: op.TransB, countBucket: countBucket(c.count())}
+	pv, err := e.plan(key, func() (any, error) {
+		return core.NewGEMMPlan(core.GEMMProblem{
+			DT: key.dt, M: m, N: n, K: k, TransA: op.TransA, TransB: op.TransB,
+			Alpha: 1, Beta: 1, Count: key.countBucket,
+		}, e.tun)
+	})
+	if err != nil {
+		return err
+	}
+	pl := *pv.(*core.GEMMPlan)
+	pl.P.Alpha, pl.P.Beta, pl.P.Count = op.Alpha, op.Beta, c.count()
+	if a.F32 != nil {
+		return core.ExecGEMMNativeParallel(&pl, a.F32, b.F32, c.F32, op.Workers)
+	}
+	return core.ExecGEMMNativeParallel(&pl, a.F64, b.F64, c.F64, op.Workers)
+}
+
+func (e *Engine) runTri(op OpDesc, a, b Operand) error {
+	if a.rows() != a.cols() {
+		return fmt.Errorf("iatf: %v A must be square, got %dx%d", op.Kind, a.rows(), a.cols())
+	}
+	m, n := b.rows(), b.cols()
+	key := planKey{kind: op.Kind, dt: a.DT, m: m, n: n,
+		transA: op.TransA, side: op.Side, uplo: op.Uplo, diag: op.Diag,
+		countBucket: countBucket(b.count())}
+	if op.Kind == OpTRSM {
+		pv, err := e.plan(key, func() (any, error) {
+			return core.NewTRSMPlan(core.TRSMProblem{
+				DT: key.dt, M: m, N: n, Side: op.Side, Uplo: op.Uplo,
+				TransA: op.TransA, Diag: op.Diag, Alpha: 1, Count: key.countBucket,
+			}, e.tun)
+		})
+		if err != nil {
+			return err
+		}
+		pl := *pv.(*core.TRSMPlan)
+		pl.P.Alpha, pl.P.Count = op.Alpha, b.count()
+		if a.F32 != nil {
+			return core.ExecTRSMNativeParallel(&pl, a.F32, b.F32, op.Workers)
+		}
+		return core.ExecTRSMNativeParallel(&pl, a.F64, b.F64, op.Workers)
+	}
+	pv, err := e.plan(key, func() (any, error) {
+		return core.NewTRMMPlan(core.TRMMProblem{
+			DT: key.dt, M: m, N: n, Side: op.Side, Uplo: op.Uplo,
+			TransA: op.TransA, Diag: op.Diag, Alpha: 1, Count: key.countBucket,
+		}, e.tun)
+	})
+	if err != nil {
+		return err
+	}
+	pl := *pv.(*core.TRMMPlan)
+	pl.P.Alpha, pl.P.Count = op.Alpha, b.count()
+	if a.F32 != nil {
+		return core.ExecTRMMNativeParallel(&pl, a.F32, b.F32, op.Workers)
+	}
+	return core.ExecTRMMNativeParallel(&pl, a.F64, b.F64, op.Workers)
+}
+
+func (e *Engine) runSYRK(op OpDesc, a, c Operand) error {
+	if c.rows() != c.cols() {
+		return fmt.Errorf("iatf: SYRK C must be square, got %dx%d", c.rows(), c.cols())
+	}
+	k := a.cols()
+	if op.TransA == matrix.Transpose {
+		k = a.rows()
+	}
+	key := planKey{kind: OpSYRK, dt: a.DT, m: c.rows(), k: k,
+		transA: op.TransA, uplo: op.Uplo, countBucket: countBucket(c.count())}
+	pv, err := e.plan(key, func() (any, error) {
+		return core.NewSYRKPlan(core.SYRKProblem{
+			DT: key.dt, N: key.m, K: k, Uplo: op.Uplo, Trans: op.TransA,
+			Alpha: 1, Beta: 1, Count: key.countBucket,
+		}, e.tun)
+	})
+	if err != nil {
+		return err
+	}
+	pl := *pv.(*core.SYRKPlan)
+	pl.P.Alpha, pl.P.Beta, pl.P.Count = op.Alpha, op.Beta, c.count()
+	if a.F32 != nil {
+		return core.ExecSYRKNativeParallel(&pl, a.F32, c.F32, op.Workers)
+	}
+	return core.ExecSYRKNativeParallel(&pl, a.F64, c.F64, op.Workers)
+}
+
+// Resolve re-exports the workers convention for API documentation and the
+// info tool: workers <= 0 means auto (GOMAXPROCS).
+func Resolve(workers int) int { return sched.Resolve(workers) }

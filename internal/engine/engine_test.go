@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"iatf/internal/core"
+	"iatf/internal/layout"
+	"iatf/internal/matrix"
+	"iatf/internal/vec"
+)
+
+func randCompact(rng *rand.Rand, count, rows, cols int) *layout.Compact[float32] {
+	b := matrix.NewBatch[float32](count, rows, cols)
+	matrix.Fill(rng, b.Data)
+	return layout.FromBatch(vec.S, b)
+}
+
+func op32(c *layout.Compact[float32]) Operand { return Operand{DT: vec.S, F32: c} }
+
+func TestCountBucket(t *testing.T) {
+	cases := [][2]int{{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {1000, 1024}, {1024, 1024}, {1025, 2048}}
+	for _, c := range cases {
+		if got := countBucket(c[0]); got != c[1] {
+			t.Errorf("countBucket(%d) = %d, want %d", c[0], got, c[1])
+		}
+	}
+}
+
+func TestPlanCacheHitMiss(t *testing.T) {
+	e := New(core.DefaultTuning())
+	rng := rand.New(rand.NewSource(1))
+	a := randCompact(rng, 100, 4, 6)
+	b := randCompact(rng, 100, 6, 5)
+	c := randCompact(rng, 100, 4, 5)
+	op := OpDesc{Kind: OpGEMM, Alpha: 1, Beta: 0, Workers: 1}
+
+	if err := e.Run(op, op32(a), op32(b), op32(c)); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.PlanMisses != 1 || s.PlanHits != 0 || s.PlanEntries != 1 {
+		t.Fatalf("after first call: %+v", s)
+	}
+	for i := 0; i < 5; i++ {
+		if err := e.Run(op, op32(a), op32(b), op32(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = e.Stats()
+	if s.PlanMisses != 1 || s.PlanHits != 5 {
+		t.Fatalf("warm calls must hit the cache: %+v", s)
+	}
+}
+
+// TestScalarsAndCountShareAPlan checks that alpha/beta and nearby batch
+// counts are excluded from the cache key but still honored by execution.
+func TestScalarsAndCountShareAPlan(t *testing.T) {
+	e := New(core.DefaultTuning())
+	rng := rand.New(rand.NewSource(2))
+	run := func(count int, alpha, beta complex128) *layout.Compact[float32] {
+		rng := rand.New(rand.NewSource(3)) // same operand data every time
+		a := randCompact(rng, count, 4, 4)
+		b := randCompact(rng, count, 4, 4)
+		c := randCompact(rng, count, 4, 4)
+		op := OpDesc{Kind: OpGEMM, Alpha: alpha, Beta: beta, Workers: 1}
+		if err := e.Run(op, op32(a), op32(b), op32(c)); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	_ = rng
+	c1 := run(100, 1, 0)
+	if got := e.Stats(); got.PlanMisses != 1 {
+		t.Fatalf("first call: %+v", got)
+	}
+	// Different scalars, counts within the same power-of-two bucket and at
+	// its edges: all hits.
+	run(100, 2.5, 1)
+	run(65, 1, 0)
+	run(128, 1, 0)
+	if got := e.Stats(); got.PlanMisses != 1 {
+		t.Fatalf("scalar/count variants must share the plan: %+v", got)
+	}
+	run(129, 1, 0) // next bucket: one more miss
+	if got := e.Stats(); got.PlanMisses != 2 {
+		t.Fatalf("bucket boundary: %+v", got)
+	}
+
+	// Scalars must still take effect: alpha=2 doubles the alpha=1 result.
+	c2 := run(100, 2, 0)
+	for i := range c1.Data {
+		if c2.Data[i] != 2*c1.Data[i] {
+			t.Fatalf("alpha not honored at %d: %g vs %g", i, c2.Data[i], c1.Data[i])
+		}
+	}
+}
+
+func TestPlanCacheBounded(t *testing.T) {
+	e := New(core.DefaultTuning())
+	// Fake builds: exercise the bound without generating thousands of real
+	// plans.
+	total := planShards*planShardCap + 500
+	for i := 0; i < total; i++ {
+		key := planKey{kind: OpGEMM, m: i + 1, n: 1, k: 1, countBucket: 1}
+		if _, err := e.plan(key, func() (any, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := e.Stats()
+	if s.PlanEntries > planShards*planShardCap {
+		t.Errorf("cache unbounded: %d entries", s.PlanEntries)
+	}
+	if s.PlanEvictions == 0 {
+		t.Error("no evictions recorded past the bound")
+	}
+	if s.PlanMisses != uint64(total) {
+		t.Errorf("misses %d, want %d", s.PlanMisses, total)
+	}
+}
+
+func TestOperandValidation(t *testing.T) {
+	e := New(core.DefaultTuning())
+	rng := rand.New(rand.NewSource(4))
+	a := randCompact(rng, 10, 4, 4)
+	op := OpDesc{Kind: OpGEMM, Alpha: 1, Beta: 1, Workers: 1}
+
+	err := e.Run(op, op32(a), op32(a), Operand{})
+	if err == nil || !strings.Contains(err.Error(), "C is nil or empty") {
+		t.Errorf("nil C: %v", err)
+	}
+	err = e.Run(op, op32(a), op32(a))
+	if err == nil || !strings.Contains(err.Error(), "takes 3 operands") {
+		t.Errorf("arity: %v", err)
+	}
+
+	bad := randCompact(rng, 10, 3, 5)
+	err = e.Run(op, op32(a), op32(bad), op32(a))
+	if err == nil || !strings.Contains(err.Error(), "shape mismatch") {
+		t.Errorf("shape: %v", err)
+	}
+
+	b64 := matrix.NewBatch[float64](10, 4, 4)
+	o64 := Operand{DT: vec.D, F64: layout.FromBatch(vec.D, b64)}
+	err = e.Run(op, op32(a), o64, op32(a))
+	if err == nil || !strings.Contains(err.Error(), "mismatched element type") {
+		t.Errorf("mixed types: %v", err)
+	}
+
+	tri := OpDesc{Kind: OpTRSM, Alpha: 1, Workers: 1}
+	err = e.Run(tri, op32(bad), op32(a))
+	if err == nil || !strings.Contains(err.Error(), "must be square") {
+		t.Errorf("square: %v", err)
+	}
+}
+
+// TestEngineMatchesCore pins the engine dispatch path to the direct core
+// path bit for bit, across ops and worker counts.
+func TestEngineMatchesCore(t *testing.T) {
+	e := New(core.DefaultTuning())
+	rng := rand.New(rand.NewSource(5))
+	const count, m, n, k = 70, 6, 5, 7
+	a := randCompact(rng, count, m, k)
+	b := randCompact(rng, count, k, n)
+	c0 := randCompact(rng, count, m, n)
+
+	// Direct core path.
+	p := core.GEMMProblem{DT: vec.S, M: m, N: n, K: k, Alpha: complex(1.5, 0), Beta: complex(0.5, 0), Count: count}
+	pl, err := core.NewGEMMPlan(p, core.DefaultTuning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRef := c0.Clone()
+	if err := core.ExecGEMMNative(pl, a, b, cRef); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 0, 3} {
+		cc := c0.Clone()
+		op := OpDesc{Kind: OpGEMM, Alpha: complex(1.5, 0), Beta: complex(0.5, 0), Workers: workers}
+		if err := e.Run(op, op32(a), op32(b), op32(cc)); err != nil {
+			t.Fatal(err)
+		}
+		for i := range cRef.Data {
+			if cc.Data[i] != cRef.Data[i] {
+				t.Fatalf("workers=%d: engine diverges from core at %d", workers, i)
+			}
+		}
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for _, k := range []OpKind{OpGEMM, OpTRSM, OpTRMM, OpSYRK} {
+		if s := k.String(); strings.HasPrefix(s, "OpKind(") {
+			t.Errorf("missing name for %d", int(k))
+		}
+	}
+	if s := OpKind(99).String(); s != fmt.Sprintf("OpKind(%d)", 99) {
+		t.Errorf("fallback: %s", s)
+	}
+}

@@ -1,0 +1,138 @@
+// Package sched is the process-wide persistent worker pool behind every
+// parallel entry point of the library. The paper's run-time stage assumes
+// dispatch is near-free; spawning goroutines per call is not, so a fixed
+// set of workers (one per GOMAXPROCS) is started once and parallel calls
+// are split into super-batch-sized chunks that idle workers pull off a
+// shared index — dynamic self-scheduling, so a slow worker never strands
+// work the way a static split does.
+//
+// The workers convention, shared by every public *Parallel function:
+// workers <= 0 means "auto", i.e. one worker per GOMAXPROCS; workers == 1
+// runs inline on the caller with zero goroutine traffic.
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	startOnce sync.Once
+	jobs      chan func()
+	poolSize  int
+
+	parallelCalls atomic.Uint64
+	inlineCalls   atomic.Uint64
+	chunksRun     atomic.Uint64
+	poolShares    atomic.Uint64
+	overflowRuns  atomic.Uint64
+)
+
+// Stats is a snapshot of the pool's lifetime counters.
+type Stats struct {
+	Workers       int    // persistent pool size (0 until first parallel call)
+	ParallelCalls uint64 // Run invocations that fanned out to the pool
+	InlineCalls   uint64 // Run invocations executed entirely on the caller
+	Chunks        uint64 // work chunks executed across all parallel calls
+	PoolShares    uint64 // worker shares executed by pool goroutines
+	OverflowRuns  uint64 // shares run on overflow goroutines (pool saturated)
+}
+
+// Snapshot returns the current pool counters.
+func Snapshot() Stats {
+	return Stats{
+		Workers:       poolSize,
+		ParallelCalls: parallelCalls.Load(),
+		InlineCalls:   inlineCalls.Load(),
+		Chunks:        chunksRun.Load(),
+		PoolShares:    poolShares.Load(),
+		OverflowRuns:  overflowRuns.Load(),
+	}
+}
+
+func start() {
+	poolSize = runtime.GOMAXPROCS(0)
+	jobs = make(chan func(), 4*poolSize)
+	for i := 0; i < poolSize; i++ {
+		go func() {
+			for f := range jobs {
+				f()
+			}
+		}()
+	}
+}
+
+// Resolve maps the public workers convention onto a concrete count:
+// workers <= 0 means auto (GOMAXPROCS).
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Run executes fn over every index range of [0, n), split into chunks of
+// `chunk` indices (<= 0 picks one proportional to n and the worker count).
+// Up to `workers` participants (caller included) pull chunks dynamically;
+// Run returns when all of [0, n) has been processed. fn must be safe for
+// concurrent invocation on disjoint ranges.
+func Run(n, workers, chunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers)
+	if chunk <= 0 {
+		chunk = n / (4 * workers)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	nchunks := (n + chunk - 1) / chunk
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers == 1 {
+		inlineCalls.Add(1)
+		fn(0, n)
+		return
+	}
+	startOnce.Do(start)
+	parallelCalls.Add(1)
+	var next atomic.Int64
+	body := func() {
+		for {
+			lo := int(next.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			chunksRun.Add(1)
+			fn(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers-1; i++ {
+		wg.Add(1)
+		share := func() {
+			defer wg.Done()
+			body()
+		}
+		select {
+		case jobs <- func() { poolShares.Add(1); share() }:
+		default:
+			// Pool saturated (e.g. nested or highly concurrent calls):
+			// fall back to a plain goroutine rather than queue behind
+			// long-running shares.
+			overflowRuns.Add(1)
+			go share()
+		}
+	}
+	// The caller is always a participant, so the call makes progress even
+	// if every pool worker is busy elsewhere.
+	body()
+	wg.Wait()
+}

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversRange checks every index is visited exactly once for a grid
+// of sizes, worker counts and chunk sizes.
+func TestRunCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 17, 256, 1001} {
+		for _, workers := range []int{-1, 0, 1, 2, 7, 64} {
+			for _, chunk := range []int{0, 1, 5, 1024} {
+				var hits sync.Map
+				var count atomic.Int64
+				Run(n, workers, chunk, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						if _, dup := hits.LoadOrStore(i, true); dup {
+							t.Errorf("index %d visited twice (n=%d w=%d c=%d)", i, n, workers, chunk)
+						}
+						count.Add(1)
+					}
+				})
+				if int(count.Load()) != n {
+					t.Fatalf("n=%d workers=%d chunk=%d: visited %d indices", n, workers, chunk, count.Load())
+				}
+			}
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Resolve(5); got != 5 {
+		t.Errorf("Resolve(5) = %d", got)
+	}
+}
+
+// TestRunConcurrent hammers the pool from many goroutines at once — the
+// saturation/overflow path — and checks every call still completes fully.
+func TestRunConcurrent(t *testing.T) {
+	const callers = 32
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				var sum atomic.Int64
+				Run(100, 4, 7, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						sum.Add(int64(i))
+					}
+				})
+				if sum.Load() != 100*99/2 {
+					t.Errorf("partial run: sum %d", sum.Load())
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestSnapshotCounters(t *testing.T) {
+	before := Snapshot()
+	Run(10, 1, 0, func(lo, hi int) {})
+	Run(100, 4, 1, func(lo, hi int) {})
+	after := Snapshot()
+	if after.InlineCalls <= before.InlineCalls {
+		t.Error("inline call not counted")
+	}
+	if after.ParallelCalls <= before.ParallelCalls {
+		t.Error("parallel call not counted")
+	}
+	if after.Chunks < before.Chunks+100 {
+		t.Errorf("chunks: %d -> %d, want +100", before.Chunks, after.Chunks)
+	}
+}
