@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race stress bench info ci
+.PHONY: all build vet lint test race stress bench info trace ci
 
 all: ci
 
@@ -10,22 +10,42 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Static analysis: staticcheck when installed, go vet as the portable
+# fallback so CI never depends on a tool the environment may not have.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./..."; staticcheck ./...; \
+	else \
+		echo "staticcheck not found; falling back to go vet"; $(GO) vet ./...; \
+	fi
+
 test:
 	$(GO) test ./...
 
 # Race-detector pass over the engine layers and the public-API stress
 # tests (short mode keeps the kernel property tests from dominating).
 race:
-	$(GO) test -race -short ./internal/engine/... ./internal/sched/... ./internal/bufpool/... .
+	$(GO) test -race -short ./internal/engine/... ./internal/obs/... ./internal/sched/... ./internal/bufpool/... .
 
+# Engine stress under the race detector, run twice: the concurrent
+# dispatch stress, plan single-flight, pool resize and the observability
+# layer's concurrent recording.
 stress:
-	$(GO) test -race -run 'TestEngineConcurrentStress|TestWorkersAutoConvention' -count=1 -v .
+	$(GO) test -race -count=2 -run 'TestEngineConcurrentStress|TestWorkersAutoConvention' -v .
+	$(GO) test -race -count=2 -run 'TestPlanSingleFlight|TestBucketedPlanParity' -v ./internal/engine/
+	$(GO) test -race -count=2 -run 'TestPoolResize' -v ./internal/sched/
+	$(GO) test -race -count=2 -run 'TestSeriesConcurrent' -v ./internal/obs/
 
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkSteadyStateAllocs' -benchtime=2s .
 
-# Print the execution-engine counters after a demo workload.
+# Print the execution-engine counters and per-shape series after a demo
+# workload.
 info:
 	$(GO) run ./cmd/iatf-info -engine
 
-ci: vet build test race
+# Print the command queue the engine assembles for one batched GEMM.
+trace:
+	$(GO) run ./cmd/iatf-trace -engine
+
+ci: lint build test race stress

@@ -5,9 +5,12 @@
 package main
 
 import (
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"iatf"
 	"iatf/internal/core"
@@ -34,6 +37,7 @@ func main() {
 		planTRMM  = flag.Bool("plan-trmm", false, "print the execution-plan decisions for a TRMM problem (extension)")
 		tuneF     = flag.Bool("tune", false, "empirically autotune the GEMM tiling for -m/-n/-k on the cycle model")
 		engineF   = flag.Bool("engine", false, "run a demo workload through the default engine and print its counters")
+		jsonF     = flag.Bool("json", false, "with -engine: emit the snapshot as JSON instead of a table")
 		count     = flag.Int("count", 16384, "batch size for plan queries")
 	)
 	flag.Parse()
@@ -75,7 +79,7 @@ func main() {
 		any = true
 	}
 	if *engineF {
-		printEngine()
+		printEngine(*jsonF)
 		any = true
 	}
 	if !any {
@@ -85,11 +89,17 @@ func main() {
 	}
 }
 
-// printEngine drives the default engine with a small mixed workload —
-// repeated GEMM and TRSM on a handful of shapes — and prints the engine
-// counters, demonstrating plan-cache hits, pooled-buffer reuse and the
-// persistent worker pool.
-func printEngine() {
+// printEngine drives the default engine with a mixed workload covering
+// all four engine ops — repeated GEMM, TRSM, TRMM and SYRK on a handful
+// of shapes — and prints the engine counters plus the per-shape
+// observability table. The snapshot is also published as the expvar
+// "iatf.engine", so a process embedding the library can expose the same
+// view over /debug/vars.
+func printEngine(asJSON bool) {
+	expvar.Publish("iatf.engine", expvar.Func(func() any {
+		return iatf.DefaultEngine().Stats()
+	}))
+
 	const count = 16384
 	gemm := func(m, n, k int) {
 		a := iatf.NewBatch[float32](count, m, k)
@@ -111,17 +121,35 @@ func printEngine() {
 			}
 		}
 	}
-	trsm := func(m, n int) {
+	diagBatch := func(m int) *iatf.Compact[float32] {
 		a := iatf.NewBatch[float32](count, m, m)
-		b := iatf.NewBatch[float32](count, m, n)
 		for mi := 0; mi < count; mi++ {
 			for i := 0; i < m; i++ {
 				a.Set(mi, i, i, 2)
 			}
 		}
-		ca, cb := iatf.Pack(a), iatf.Pack(b)
+		return iatf.Pack(a)
+	}
+	tri := func(solve bool, m, n int) {
+		ca := diagBatch(m)
+		cb := iatf.Pack(iatf.NewBatch[float32](count, m, n))
 		for _, w := range []int{0, 0, 0, 0, 0, 0, 0, 2} {
-			if err := iatf.TRSMParallel(w, iatf.Left, iatf.Lower, iatf.NoTrans, iatf.NonUnit, 1, ca, cb); err != nil {
+			var err error
+			if solve {
+				err = iatf.TRSMParallel(w, iatf.Left, iatf.Lower, iatf.NoTrans, iatf.NonUnit, 1, ca, cb)
+			} else {
+				err = iatf.TRMMParallel(w, iatf.Left, iatf.Lower, iatf.NoTrans, iatf.NonUnit, 1, ca, cb)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	syrk := func(n, k int) {
+		ca := iatf.Pack(iatf.NewBatch[float32](count, n, k))
+		cc := iatf.Pack(iatf.NewBatch[float32](count, n, n))
+		for _, w := range []int{0, 0, 0, 2} {
+			if err := iatf.SYRKParallel(w, iatf.Lower, iatf.NoTrans, 1, ca, 1, cc); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -129,20 +157,50 @@ func printEngine() {
 	gemm(8, 8, 8)
 	gemm(8, 8, 8) // same shape: pure cache hits
 	gemm(6, 5, 7)
-	trsm(8, 4)
-	trsm(8, 4)
+	tri(true, 8, 4)
+	tri(true, 8, 4)
+	tri(false, 8, 4)
+	syrk(8, 6)
 
 	s := iatf.DefaultEngine().Stats()
-	fmt.Println("# Default engine after a mixed GEMM/TRSM demo workload")
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Println("# Default engine after a mixed GEMM/TRSM/TRMM/SYRK demo workload")
 	fmt.Println("plan cache:")
-	fmt.Printf("  hits %d, misses %d, evictions %d, entries %d\n",
-		s.PlanHits, s.PlanMisses, s.PlanEvictions, s.PlanEntries)
+	fmt.Printf("  hits %d, misses %d (shared %d), evictions %d, entries %d\n",
+		s.PlanHits, s.PlanMisses, s.PlanShared, s.PlanEvictions, s.PlanEntries)
 	fmt.Println("packing-buffer pools:")
 	fmt.Printf("  gets %d (reused %d, allocated %d, oversize %d), puts %d\n",
 		s.Buffers.Gets, s.Buffers.Reuses, s.Buffers.Allocs, s.Buffers.Oversize, s.Buffers.Puts)
+	for _, cl := range s.Buffers.Classes {
+		fmt.Printf("    class %7d elems: gets %d, reused %d, puts %d\n",
+			cl.SizeElems, cl.Gets, cl.Reuses, cl.Puts)
+	}
 	fmt.Println("persistent worker pool:")
-	fmt.Printf("  workers %d, parallel calls %d, inline calls %d, chunks %d, pool shares %d, overflow runs %d\n",
-		s.Sched.Workers, s.Sched.ParallelCalls, s.Sched.InlineCalls, s.Sched.Chunks, s.Sched.PoolShares, s.Sched.OverflowRuns)
+	fmt.Printf("  workers %d (resizes %d), parallel calls %d, inline calls %d, chunks %d, pool shares %d, overflow runs %d\n",
+		s.Sched.Workers, s.Sched.Resizes, s.Sched.ParallelCalls, s.Sched.InlineCalls,
+		s.Sched.Chunks, s.Sched.PoolShares, s.Sched.OverflowRuns)
+
+	fmt.Println("per-shape series (by call count):")
+	fmt.Printf("  %-5s %-2s %-4s %-11s %6s %9s %9s %7s %7s %7s %5s %-6s %4s %3s\n",
+		"op", "dt", "mode", "shape", "calls", "p50", "p99",
+		"avgGF", "bestGF", "ceilGF", "hit%", "pack", "gpb", "wrk")
+	for _, sh := range s.Shapes {
+		shape := fmt.Sprintf("%dx%d", sh.M, sh.N)
+		if sh.K > 0 {
+			shape += fmt.Sprintf("x%d", sh.K)
+		}
+		fmt.Printf("  %-5s %-2s %-4s %-11s %6d %9v %9v %7.1f %7.1f %7.1f %5.1f %-6s %4d %3d\n",
+			sh.Op, sh.DType, sh.Mode, shape, sh.Calls, sh.P50, sh.P99,
+			sh.AvgGFLOPS, sh.BestGFLOPS, sh.CeilingGFLOPS, 100*sh.HitRatio(),
+			sh.Pack, sh.GroupsPerBatch, sh.Workers)
+	}
 }
 
 func printKernels() {

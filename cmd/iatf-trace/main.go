@@ -5,11 +5,17 @@
 // kernel shows one memory and one calculation instruction retiring per
 // cycle.
 //
+// With -engine it instead traces one dispatch through the run-time
+// engine: the trace hook receives the assembled command queue — packing
+// kernels chosen by the Pack Selector, the tile/kernel sequence, the
+// Batch Counter's super-batch size and the worker split — and prints it.
+//
 // Usage:
 //
 //	iatf-trace -type d -mc 4 -nc 4 -k 4            # optimized kernel
 //	iatf-trace -type d -mc 4 -nc 4 -k 4 -raw       # unoptimized
 //	iatf-trace -cycles 40                          # limit rows
+//	iatf-trace -engine -m 8 -n 8 -k 8 -count 4096  # engine command queue
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"log"
 	"strings"
 
+	"iatf"
 	"iatf/internal/asm"
 	"iatf/internal/kopt"
 	"iatf/internal/ktmpl"
@@ -29,18 +36,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("iatf-trace: ")
 	var (
-		dtype  = flag.String("type", "d", "data type: s, d, c, z")
-		mc     = flag.Int("mc", 4, "kernel rows")
-		nc     = flag.Int("nc", 4, "kernel columns")
-		k      = flag.Int("k", 4, "reduction length")
-		raw    = flag.Bool("raw", false, "trace the unoptimized kernel")
-		cycles = flag.Int("cycles", 64, "maximum cycles to print")
+		dtype   = flag.String("type", "d", "data type: s, d, c, z")
+		mc      = flag.Int("mc", 4, "kernel rows")
+		nc      = flag.Int("nc", 4, "kernel columns")
+		k       = flag.Int("k", 4, "reduction length")
+		raw     = flag.Bool("raw", false, "trace the unoptimized kernel")
+		cycles  = flag.Int("cycles", 64, "maximum cycles to print")
+		engineF = flag.Bool("engine", false, "trace one engine dispatch instead of a kernel pipeline")
+		mF      = flag.Int("m", 8, "with -engine: GEMM rows")
+		nF      = flag.Int("n", 8, "with -engine: GEMM cols")
+		countF  = flag.Int("count", 4096, "with -engine: batch size")
 	)
 	flag.Parse()
 
 	dt, err := vec.ParseDType(*dtype)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *engineF {
+		traceEngine(*mF, *nF, *k, *countF)
+		return
 	}
 	spec := ktmpl.GEMMSpec{DT: dt, MC: *mc, NC: *nc, K: *k, StrideC: *mc}
 	prog, err := ktmpl.GenGEMM(spec)
@@ -153,5 +168,43 @@ func main() {
 	}
 	if last < sim.Cycles() {
 		fmt.Printf("... (%d more cycles)\n", sim.Cycles()-last)
+	}
+}
+
+// traceEngine installs a trace hook on a private engine, forces the next
+// call to be traced, runs one batched GEMM and pretty-prints the command
+// queue the dispatcher assembled for it.
+func traceEngine(m, n, k, count int) {
+	a := iatf.NewBatch[float32](count, m, k)
+	b := iatf.NewBatch[float32](count, k, n)
+	c := iatf.NewBatch[float32](count, m, n)
+	for mi := 0; mi < count; mi++ {
+		for i := 0; i < m; i++ {
+			for j := 0; j < k; j++ {
+				a.Set(mi, i, j, float32(i+j+1))
+			}
+		}
+	}
+	ca, cb, cc := iatf.Pack(a), iatf.Pack(b), iatf.Pack(c)
+
+	eng := iatf.NewEngine()
+	var ev iatf.TraceEvent
+	got := false
+	eng.SetTrace(func(e iatf.TraceEvent) { ev, got = e, true }, 0)
+	eng.ForceTrace(1)
+	if err := iatf.GEMMOn(eng, 0, iatf.NoTrans, iatf.NoTrans, 1, ca, cb, 1, cc); err != nil {
+		log.Fatal(err)
+	}
+	if !got {
+		log.Fatal("trace hook did not fire")
+	}
+
+	fmt.Printf("# Engine dispatch: %s %s %s, %dx%dx%d, batch %d (plan %s)\n",
+		ev.DType, ev.Op, ev.Mode, ev.M, ev.N, ev.K, ev.Count, ev.CacheOutcome)
+	fmt.Printf("# worker split: %d interleave groups in %d super-batch chunks of %d, %d workers\n",
+		ev.Groups, ev.Chunks, ev.GroupsPerBatch, ev.Workers)
+	fmt.Printf("%4s  %-10s %-14s %s\n", "#", "stage", "kernel", "detail")
+	for i, cmd := range ev.Queue {
+		fmt.Printf("%4d  %-10s %-14s %s\n", i, cmd.Stage, cmd.Kernel, cmd.Detail)
 	}
 }

@@ -3,7 +3,33 @@ package iatf
 import (
 	"iatf/internal/core"
 	"iatf/internal/engine"
+	"iatf/internal/obs"
 )
+
+// Typed validation taxonomy: every malformed call is rejected at the
+// engine boundary with an error that names the op and the offending
+// operand and wraps one of these sentinels, so callers can branch with
+// errors.Is(err, iatf.ErrShape) instead of string matching.
+var (
+	ErrShape   = engine.ErrShape   // operand dimensions inconsistent with the op
+	ErrCount   = engine.ErrCount   // operand batch counts disagree
+	ErrDType   = engine.ErrDType   // operand element types disagree
+	ErrOperand = engine.ErrOperand // nil/empty operand or wrong arity
+)
+
+// ShapeStats is the per-shape rolling series the engine keeps for every
+// observed (op, dtype, mode, shape): calls, latency quantiles, achieved
+// GFLOPS vs the plan's CMAR-predicted ceiling, plan-cache outcomes and
+// the plan's input-aware decisions.
+type ShapeStats = obs.ShapeSnapshot
+
+// TraceEvent is one traced dispatch: the problem descriptor, plan-cache
+// outcome, worker split and the assembled command queue (packing kernels,
+// tile/kernel sequence, super-batch size) of one interleave group.
+type TraceEvent = obs.TraceEvent
+
+// TraceCommand is one command-queue entry of a TraceEvent.
+type TraceCommand = obs.Command
 
 // Engine is the run-time execution engine every public op routes through:
 // a sharded plan cache (so repeated shapes skip the run-time planning
@@ -36,8 +62,29 @@ func NewEngine() *Engine {
 	return &Engine{inner: engine.New(core.DefaultTuning())}
 }
 
-// Stats returns the engine's current counters.
+// Stats returns the engine's current counters, including the per-shape
+// series in Stats.Shapes (ordered by call count).
 func (e *Engine) Stats() EngineStats { return e.inner.Stats() }
+
+// SetTrace installs a trace hook on the engine: fn receives the
+// assembled command queue of sampled calls (every nth; every == 1 traces
+// every call, every == 0 only calls marked by ForceTrace). fn runs
+// synchronously on the dispatching goroutine before execution — keep it
+// cheap or hand off. fn == nil removes the hook.
+//
+//	eng.SetTrace(func(ev iatf.TraceEvent) { log.Printf("%+v", ev) }, 0)
+//	eng.ForceTrace(1) // trace exactly the next call
+func (e *Engine) SetTrace(fn func(TraceEvent), every uint64) {
+	if fn == nil {
+		e.inner.Obs().SetTrace(nil, every)
+		return
+	}
+	e.inner.Obs().SetTrace(obs.TraceFunc(fn), every)
+}
+
+// ForceTrace marks the next n calls on this engine for tracing
+// regardless of the sampling interval (a hook must be installed).
+func (e *Engine) ForceTrace(n int) { e.inner.Obs().ForceTrace(n) }
 
 // operandOf type-erases a compact batch for the engine dispatch path.
 // A nil batch maps to the zero Operand, which the engine rejects with a

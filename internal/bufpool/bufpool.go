@@ -39,6 +39,14 @@ type classPools struct {
 	classes [numClasses]sync.Pool
 }
 
+// classCounters are the per-size-class observability counters, shared by
+// both element types (classes are element counts, not bytes).
+type classCounters struct {
+	gets   atomic.Uint64
+	reuses atomic.Uint64
+	puts   atomic.Uint64
+}
+
 var (
 	f32Pools classPools
 	f64Pools classPools
@@ -48,7 +56,17 @@ var (
 	news     atomic.Uint64
 	puts     atomic.Uint64
 	oversize atomic.Uint64
+
+	perClass [numClasses]classCounters
 )
+
+// ClassStats is a snapshot of one active size class.
+type ClassStats struct {
+	SizeElems int    `json:"size_elems"` // class capacity in elements
+	Gets      uint64 `json:"gets"`
+	Reuses    uint64 `json:"reuses"`
+	Puts      uint64 `json:"puts"`
+}
 
 // Stats is a snapshot of the pool's lifetime counters.
 type Stats struct {
@@ -57,17 +75,34 @@ type Stats struct {
 	Allocs   uint64 // Gets that had to allocate a fresh buffer
 	Puts     uint64 // buffers returned
 	Oversize uint64 // requests above the top size class (never pooled)
+
+	// Classes lists the size classes that have seen traffic, smallest
+	// first — the per-class view of where packing-buffer demand lands.
+	Classes []ClassStats
 }
 
 // Snapshot returns the current pool counters.
 func Snapshot() Stats {
-	return Stats{
+	s := Stats{
 		Gets:     gets.Load(),
 		Reuses:   reuses.Load(),
 		Allocs:   news.Load(),
 		Puts:     puts.Load(),
 		Oversize: oversize.Load(),
 	}
+	for cl := range perClass {
+		g := perClass[cl].gets.Load()
+		if g == 0 {
+			continue
+		}
+		s.Classes = append(s.Classes, ClassStats{
+			SizeElems: 1 << (cl + minClassBits),
+			Gets:      g,
+			Reuses:    perClass[cl].reuses.Load(),
+			Puts:      perClass[cl].puts.Load(),
+		})
+	}
+	return s
 }
 
 func poolsFor[E vec.Float]() *classPools {
@@ -96,10 +131,12 @@ func Get[E vec.Float](n int) *Buf[E] {
 		return &Buf[E]{data: make([]E, n), class: -1}
 	}
 	cl := classFor(n)
+	perClass[cl].gets.Add(1)
 	if v := poolsFor[E]().classes[cl].Get(); v != nil {
 		b := v.(*Buf[E])
 		b.data = b.data[:n]
 		reuses.Add(1)
+		perClass[cl].reuses.Add(1)
 		return b
 	}
 	news.Add(1)
@@ -113,6 +150,7 @@ func Put[E vec.Float](b *Buf[E]) {
 		return
 	}
 	puts.Add(1)
+	perClass[b.class].puts.Add(1)
 	b.data = b.data[:cap(b.data)]
 	poolsFor[E]().classes[b.class].Put(b)
 }

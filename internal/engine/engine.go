@@ -7,13 +7,20 @@
 //   - a sharded, bounded plan cache keyed by the full problem descriptor
 //     (op kind, dtype, dims, trans/side/uplo/diag, count bucket) memoizes
 //     NewGEMMPlan/NewTRSMPlan/... so planning runs once per shape, not
-//     once per call;
+//     once per call; concurrent cold-start misses on one key are
+//     single-flighted so each plan is built exactly once;
 //   - packing buffers come from size-class pools (internal/bufpool);
 //   - parallel execution runs on the persistent worker pool
 //     (internal/sched) instead of goroutine-per-call;
 //   - a single generic dispatch path (Run) does all shape checking and
 //     f32/f64 selection, collapsing the per-op wrappers in the public
-//     package into thin shims.
+//     package into thin shims. Validation errors are typed (ErrShape,
+//     ErrCount, ErrDType, ErrOperand) and always name the op and the
+//     offending operand;
+//   - every call feeds the per-shape observability layer (internal/obs):
+//     rolling latency histograms, achieved GFLOPS vs the plan's
+//     CMAR-predicted ceiling, plan-cache outcomes, and an optional trace
+//     hook that emits the assembled command queue of a sampled call.
 //
 // Scalars (alpha, beta) and the exact batch count are excluded from the
 // cache key — plan geometry does not depend on them — and are spliced
@@ -26,11 +33,14 @@ import (
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"iatf/internal/bufpool"
 	"iatf/internal/core"
+	"iatf/internal/ktmpl"
 	"iatf/internal/layout"
 	"iatf/internal/matrix"
+	"iatf/internal/obs"
 	"iatf/internal/sched"
 	"iatf/internal/vec"
 )
@@ -107,6 +117,13 @@ func (o Operand) count() int {
 	return o.F64.Count
 }
 
+func (o Operand) groups() int {
+	if o.F32 != nil {
+		return o.F32.Groups()
+	}
+	return o.F64.Groups()
+}
+
 // planKey is the full problem descriptor a cached plan is keyed by.
 // Scalars are excluded (plan geometry ignores them); the batch count is
 // bucketed to the next power of two so nearby counts share a plan.
@@ -146,29 +163,42 @@ const (
 	planShardCap = 256 // per-shard bound; oldest-arbitrary eviction past it
 )
 
-type planShard struct {
-	mu sync.Mutex
-	m  map[planKey]any
+// planCall is one in-flight plan build; waiters block on done
+// (single-flight).
+type planCall struct {
+	done chan struct{}
+	val  any
+	err  error
 }
 
-// Engine owns a tuning configuration and the plan cache for it. All
-// public API calls route through the process-wide Default engine; New
-// builds private engines (isolated cache and counters) for tests, ablation
-// tunings, or multi-tenant serving.
+type planShard struct {
+	mu       sync.Mutex
+	m        map[planKey]any
+	building map[planKey]*planCall
+}
+
+// Engine owns a tuning configuration, the plan cache for it and the
+// per-shape observability registry. All public API calls route through
+// the process-wide Default engine; New builds private engines (isolated
+// cache and counters) for tests, ablation tunings, or multi-tenant
+// serving.
 type Engine struct {
 	tun    core.Tuning
 	shards [planShards]planShard
+	obs    *obs.Registry
 
 	planHits      atomic.Uint64
 	planMisses    atomic.Uint64
+	planShared    atomic.Uint64
 	planEvictions atomic.Uint64
 }
 
 // New constructs an engine for a tuning configuration.
 func New(tun core.Tuning) *Engine {
-	e := &Engine{tun: tun}
+	e := &Engine{tun: tun, obs: obs.NewRegistry()}
 	for i := range e.shards {
 		e.shards[i].m = make(map[planKey]any)
+		e.shards[i].building = make(map[planKey]*planCall)
 	}
 	return e
 }
@@ -181,43 +211,64 @@ func Default() *Engine { return defaultEngine }
 // Tuning returns the engine's tuning configuration.
 func (e *Engine) Tuning() core.Tuning { return e.tun }
 
-// plan returns the cached plan for key, building and inserting it on miss.
-func (e *Engine) plan(key planKey, build func() (any, error)) (any, error) {
+// Obs returns the engine's per-shape observability registry (trace hook
+// installation, shape snapshots).
+func (e *Engine) Obs() *obs.Registry { return e.obs }
+
+// plan returns the cached plan for key, building and inserting it on
+// miss. Concurrent misses on the same key are single-flighted: exactly
+// one goroutine runs build (counted as the one miss), the rest wait for
+// its result (counted as shared). Failed builds are not cached.
+func (e *Engine) plan(key planKey, build func() (any, error)) (any, obs.CacheOutcome, error) {
 	sh := &e.shards[key.shard()]
 	sh.mu.Lock()
 	if p, ok := sh.m[key]; ok {
 		sh.mu.Unlock()
 		e.planHits.Add(1)
-		return p, nil
+		return p, obs.CacheHit, nil
 	}
+	if c, ok := sh.building[key]; ok {
+		sh.mu.Unlock()
+		<-c.done
+		e.planShared.Add(1)
+		return c.val, obs.CacheShared, c.err
+	}
+	c := &planCall{done: make(chan struct{})}
+	sh.building[key] = c
 	sh.mu.Unlock()
 	e.planMisses.Add(1)
-	p, err := build()
-	if err != nil {
-		return nil, err
-	}
+	c.val, c.err = build()
 	sh.mu.Lock()
-	if _, ok := sh.m[key]; !ok && len(sh.m) >= planShardCap {
-		for k := range sh.m {
-			delete(sh.m, k)
-			e.planEvictions.Add(1)
-			break
+	delete(sh.building, key)
+	if c.err == nil {
+		if _, ok := sh.m[key]; !ok && len(sh.m) >= planShardCap {
+			for k := range sh.m {
+				delete(sh.m, k)
+				e.planEvictions.Add(1)
+				break
+			}
 		}
+		sh.m[key] = c.val
 	}
-	sh.m[key] = p
 	sh.mu.Unlock()
-	return p, nil
+	close(c.done)
+	return c.val, obs.CacheMiss, c.err
 }
 
 // Stats is a point-in-time snapshot of the engine counters. Plan-cache
-// counters are per-engine; buffer-pool and worker-pool counters are
-// process-wide (those layers are shared by all engines).
+// counters and per-shape series are per-engine; buffer-pool and
+// worker-pool counters are process-wide (those layers are shared by all
+// engines).
 type Stats struct {
 	// Plan cache (this engine).
 	PlanHits      uint64
 	PlanMisses    uint64
+	PlanShared    uint64 // calls that waited on another call's in-flight build
 	PlanEvictions uint64
 	PlanEntries   int
+
+	// Per-shape rolling series (this engine), ordered by call count.
+	Shapes []obs.ShapeSnapshot
 
 	// Packing-buffer pools (process-wide).
 	Buffers bufpool.Stats
@@ -237,8 +288,10 @@ func (e *Engine) Stats() Stats {
 	return Stats{
 		PlanHits:      e.planHits.Load(),
 		PlanMisses:    e.planMisses.Load(),
+		PlanShared:    e.planShared.Load(),
 		PlanEvictions: e.planEvictions.Load(),
 		PlanEntries:   entries,
+		Shapes:        e.obs.Snapshot(),
 		Buffers:       bufpool.Snapshot(),
 		Sched:         sched.Snapshot(),
 	}
@@ -279,17 +332,46 @@ var operandNames = map[OpKind][]string{
 
 func checkOperands(kind OpKind, ops []Operand, want int) error {
 	if len(ops) != want {
-		return fmt.Errorf("iatf: %v takes %d operands, got %d", kind, want, len(ops))
+		return opErr(kind, "", ErrOperand, "takes %d operands, got %d", want, len(ops))
 	}
 	for i, o := range ops {
 		if !o.valid() {
-			return fmt.Errorf("iatf: %s is nil or empty", operandNames[kind][i])
+			return opErr(kind, operandNames[kind][i], ErrOperand, "nil or empty")
 		}
 		if (o.F32 != nil) != (ops[0].F32 != nil) || o.DT != ops[0].DT {
-			return fmt.Errorf("iatf: %v operand %s has mismatched element type", kind, operandNames[kind][i])
+			return opErr(kind, operandNames[kind][i], ErrDType, "mismatched element type")
 		}
 	}
 	return nil
+}
+
+// gemmModes holds the four static GEMM mode strings so the warm path
+// never allocates building one.
+var gemmModes = [2][2]string{{"NN", "NT"}, {"TN", "TT"}}
+
+func gemmMode(ta, tb matrix.Trans) string {
+	i, j := 0, 0
+	if ta == matrix.Transpose {
+		i = 1
+	}
+	if tb == matrix.Transpose {
+		j = 1
+	}
+	return gemmModes[i][j]
+}
+
+// cmarCeiling computes the plan's predicted GFLOPS ceiling from its main
+// kernel size: FMA throughput is capped by the smaller of the FP issue
+// width and the memory-port-scaled CMAR (Eq. 2/3) — the paper's
+// compute-to-memory-access bound on sustainable kernel throughput.
+func cmarCeiling(tun core.Tuning, dt vec.DType, mc, nc int) float64 {
+	prof := tun.Prof
+	eb := dt.ElemBytes()
+	fma := float64(prof.FPPorts(eb))
+	if memBound := ktmpl.CMAR(dt, mc, nc) * float64(prof.MemPorts); memBound < fma {
+		fma = memBound
+	}
+	return prof.FreqGHz * fma * float64(prof.Lanes(eb)) * 2
 }
 
 func (e *Engine) runGEMM(op OpDesc, a, b, c Operand) error {
@@ -306,16 +388,21 @@ func (e *Engine) runGEMM(op OpDesc, a, b, c Operand) error {
 	if op.TransB == matrix.Transpose {
 		obR, obC = obC, obR
 	}
-	if oaR != m || oaC != k || obR != k || obC != n {
-		return fmt.Errorf("iatf: GEMM shape mismatch: op(A)=%dx%d op(B)=%dx%d C=%dx%d",
-			oaR, oaC, obR, obC, m, n)
+	if oaR != m || oaC != k {
+		return opErr(OpGEMM, "A", ErrShape, "op(A)=%dx%d, want %dx%d for C=%dx%d", oaR, oaC, m, k, m, n)
 	}
-	if a.count() != c.count() || b.count() != c.count() {
-		return fmt.Errorf("iatf: GEMM batch count mismatch: %d/%d/%d", a.count(), b.count(), c.count())
+	if obR != k || obC != n {
+		return opErr(OpGEMM, "B", ErrShape, "op(B)=%dx%d, want %dx%d for C=%dx%d", obR, obC, k, n, m, n)
+	}
+	if a.count() != c.count() {
+		return opErr(OpGEMM, "A", ErrCount, "A has %d, C has %d", a.count(), c.count())
+	}
+	if b.count() != c.count() {
+		return opErr(OpGEMM, "B", ErrCount, "B has %d, C has %d", b.count(), c.count())
 	}
 	key := planKey{kind: OpGEMM, dt: a.DT, m: m, n: n, k: k,
 		transA: op.TransA, transB: op.TransB, countBucket: countBucket(c.count())}
-	pv, err := e.plan(key, func() (any, error) {
+	pv, outcome, err := e.plan(key, func() (any, error) {
 		return core.NewGEMMPlan(core.GEMMProblem{
 			DT: key.dt, M: m, N: n, K: k, TransA: op.TransA, TransB: op.TransB,
 			Alpha: 1, Beta: 1, Count: key.countBucket,
@@ -326,22 +413,53 @@ func (e *Engine) runGEMM(op OpDesc, a, b, c Operand) error {
 	}
 	pl := *pv.(*core.GEMMPlan)
 	pl.P.Alpha, pl.P.Beta, pl.P.Count = op.Alpha, op.Beta, c.count()
-	if a.F32 != nil {
-		return core.ExecGEMMNativeParallel(&pl, a.F32, b.F32, c.F32, op.Workers)
+	series := e.obs.Series(obs.ShapeKey{Op: "GEMM", DType: a.DT.String(),
+		Mode: gemmMode(op.TransA, op.TransB), M: m, N: n, K: k})
+	series.Plan(outcome)
+	series.SetWorkers(sched.Resolve(op.Workers))
+	if outcome == obs.CacheMiss {
+		pack := "B"
+		if pl.PackA {
+			pack = "A+B"
+		}
+		series.SetPlan(cmarCeiling(e.tun, key.dt, pl.MTiles[0], pl.NTiles[0]), pack, pl.GroupsPerBatch)
 	}
-	return core.ExecGEMMNativeParallel(&pl, a.F64, b.F64, c.F64, op.Workers)
+	if fn := e.obs.TraceSink(); fn != nil {
+		fn(gemmTrace(op, &pl, c.groups(), outcome))
+	}
+	start := time.Now()
+	if a.F32 != nil {
+		err = core.ExecGEMMNativeParallel(&pl, a.F32, b.F32, c.F32, op.Workers)
+	} else {
+		err = core.ExecGEMMNativeParallel(&pl, a.F64, b.F64, c.F64, op.Workers)
+	}
+	series.Record(time.Since(start), pl.P.FLOPs(), err != nil)
+	return err
 }
 
 func (e *Engine) runTri(op OpDesc, a, b Operand) error {
-	if a.rows() != a.cols() {
-		return fmt.Errorf("iatf: %v A must be square, got %dx%d", op.Kind, a.rows(), a.cols())
-	}
 	m, n := b.rows(), b.cols()
+	if a.rows() != a.cols() {
+		return opErr(op.Kind, "A", ErrShape, "A must be square, got %dx%d", a.rows(), a.cols())
+	}
+	dim := m
+	if op.Side == matrix.Right {
+		dim = n
+	}
+	if a.rows() != dim {
+		return opErr(op.Kind, "A", ErrShape, "A is %dx%d but side %s of a %dx%d B requires %dx%d",
+			a.rows(), a.cols(), op.Side, m, n, dim, dim)
+	}
+	if a.count() != b.count() {
+		return opErr(op.Kind, "A", ErrCount, "A has %d, B has %d", a.count(), b.count())
+	}
 	key := planKey{kind: op.Kind, dt: a.DT, m: m, n: n,
 		transA: op.TransA, side: op.Side, uplo: op.Uplo, diag: op.Diag,
 		countBucket: countBucket(b.count())}
+	shape := obs.ShapeKey{Op: op.Kind.String(), DType: a.DT.String(),
+		Mode: op.Side.String() + op.TransA.String() + op.Uplo.String() + op.Diag.String(), M: m, N: n}
 	if op.Kind == OpTRSM {
-		pv, err := e.plan(key, func() (any, error) {
+		pv, outcome, err := e.plan(key, func() (any, error) {
 			return core.NewTRSMPlan(core.TRSMProblem{
 				DT: key.dt, M: m, N: n, Side: op.Side, Uplo: op.Uplo,
 				TransA: op.TransA, Diag: op.Diag, Alpha: 1, Count: key.countBucket,
@@ -352,12 +470,25 @@ func (e *Engine) runTri(op OpDesc, a, b Operand) error {
 		}
 		pl := *pv.(*core.TRSMPlan)
 		pl.P.Alpha, pl.P.Count = op.Alpha, b.count()
-		if a.F32 != nil {
-			return core.ExecTRSMNativeParallel(&pl, a.F32, b.F32, op.Workers)
+		series := e.obs.Series(shape)
+		series.Plan(outcome)
+		series.SetWorkers(sched.Resolve(op.Workers))
+		if outcome == obs.CacheMiss {
+			series.SetPlan(cmarCeiling(e.tun, key.dt, pl.Panels[0], pl.ColTiles[0]), triPackDesc(pl.PackB), pl.GroupsPerBatch)
 		}
-		return core.ExecTRSMNativeParallel(&pl, a.F64, b.F64, op.Workers)
+		if fn := e.obs.TraceSink(); fn != nil {
+			fn(trsmTrace(op, &pl, b.groups(), outcome))
+		}
+		start := time.Now()
+		if a.F32 != nil {
+			err = core.ExecTRSMNativeParallel(&pl, a.F32, b.F32, op.Workers)
+		} else {
+			err = core.ExecTRSMNativeParallel(&pl, a.F64, b.F64, op.Workers)
+		}
+		series.Record(time.Since(start), pl.P.FLOPs(), err != nil)
+		return err
 	}
-	pv, err := e.plan(key, func() (any, error) {
+	pv, outcome, err := e.plan(key, func() (any, error) {
 		return core.NewTRMMPlan(core.TRMMProblem{
 			DT: key.dt, M: m, N: n, Side: op.Side, Uplo: op.Uplo,
 			TransA: op.TransA, Diag: op.Diag, Alpha: 1, Count: key.countBucket,
@@ -368,23 +499,53 @@ func (e *Engine) runTri(op OpDesc, a, b Operand) error {
 	}
 	pl := *pv.(*core.TRMMPlan)
 	pl.P.Alpha, pl.P.Count = op.Alpha, b.count()
-	if a.F32 != nil {
-		return core.ExecTRMMNativeParallel(&pl, a.F32, b.F32, op.Workers)
+	series := e.obs.Series(shape)
+	series.Plan(outcome)
+	series.SetWorkers(sched.Resolve(op.Workers))
+	if outcome == obs.CacheMiss {
+		series.SetPlan(cmarCeiling(e.tun, key.dt, pl.Panels[0], pl.ColTiles[0]), triPackDesc(pl.PackB), pl.GroupsPerBatch)
 	}
-	return core.ExecTRMMNativeParallel(&pl, a.F64, b.F64, op.Workers)
+	if fn := e.obs.TraceSink(); fn != nil {
+		fn(trmmTrace(op, &pl, b.groups(), outcome))
+	}
+	start := time.Now()
+	if a.F32 != nil {
+		err = core.ExecTRMMNativeParallel(&pl, a.F32, b.F32, op.Workers)
+	} else {
+		err = core.ExecTRMMNativeParallel(&pl, a.F64, b.F64, op.Workers)
+	}
+	series.Record(time.Since(start), pl.P.FLOPs(), err != nil)
+	return err
+}
+
+// triPackDesc names the triangular routines' packing decision: the
+// triangle is always packed; B joins it only in non-canonical modes.
+func triPackDesc(packB bool) string {
+	if packB {
+		return "tri+B"
+	}
+	return "tri"
 }
 
 func (e *Engine) runSYRK(op OpDesc, a, c Operand) error {
+	n := c.rows()
 	if c.rows() != c.cols() {
-		return fmt.Errorf("iatf: SYRK C must be square, got %dx%d", c.rows(), c.cols())
+		return opErr(OpSYRK, "C", ErrShape, "C must be square, got %dx%d", c.rows(), c.cols())
 	}
 	k := a.cols()
+	oaR := a.rows()
 	if op.TransA == matrix.Transpose {
-		k = a.rows()
+		k, oaR = a.rows(), a.cols()
 	}
-	key := planKey{kind: OpSYRK, dt: a.DT, m: c.rows(), k: k,
+	if oaR != n {
+		return opErr(OpSYRK, "A", ErrShape, "op(A)=%dx%d, want %dx%d for C=%dx%d", oaR, k, n, k, n, n)
+	}
+	if a.count() != c.count() {
+		return opErr(OpSYRK, "A", ErrCount, "A has %d, C has %d", a.count(), c.count())
+	}
+	key := planKey{kind: OpSYRK, dt: a.DT, m: n, k: k,
 		transA: op.TransA, uplo: op.Uplo, countBucket: countBucket(c.count())}
-	pv, err := e.plan(key, func() (any, error) {
+	pv, outcome, err := e.plan(key, func() (any, error) {
 		return core.NewSYRKPlan(core.SYRKProblem{
 			DT: key.dt, N: key.m, K: k, Uplo: op.Uplo, Trans: op.TransA,
 			Alpha: 1, Beta: 1, Count: key.countBucket,
@@ -395,10 +556,24 @@ func (e *Engine) runSYRK(op OpDesc, a, c Operand) error {
 	}
 	pl := *pv.(*core.SYRKPlan)
 	pl.P.Alpha, pl.P.Beta, pl.P.Count = op.Alpha, op.Beta, c.count()
-	if a.F32 != nil {
-		return core.ExecSYRKNativeParallel(&pl, a.F32, c.F32, op.Workers)
+	series := e.obs.Series(obs.ShapeKey{Op: "SYRK", DType: a.DT.String(),
+		Mode: op.TransA.String() + op.Uplo.String(), M: n, N: n, K: k})
+	series.Plan(outcome)
+	series.SetWorkers(sched.Resolve(op.Workers))
+	if outcome == obs.CacheMiss {
+		series.SetPlan(cmarCeiling(e.tun, key.dt, pl.Tiles[0], pl.Tiles[0]), "A+Aᵀ", pl.GroupsPerBatch)
 	}
-	return core.ExecSYRKNativeParallel(&pl, a.F64, c.F64, op.Workers)
+	if fn := e.obs.TraceSink(); fn != nil {
+		fn(syrkTrace(op, &pl, c.groups(), outcome))
+	}
+	start := time.Now()
+	if a.F32 != nil {
+		err = core.ExecSYRKNativeParallel(&pl, a.F32, c.F32, op.Workers)
+	} else {
+		err = core.ExecSYRKNativeParallel(&pl, a.F64, c.F64, op.Workers)
+	}
+	series.Record(time.Since(start), pl.P.FLOPs(), err != nil)
+	return err
 }
 
 // Resolve re-exports the workers convention for API documentation and the

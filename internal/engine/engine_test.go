@@ -1,10 +1,14 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"iatf/internal/core"
 	"iatf/internal/layout"
@@ -105,7 +109,7 @@ func TestPlanCacheBounded(t *testing.T) {
 	total := planShards*planShardCap + 500
 	for i := 0; i < total; i++ {
 		key := planKey{kind: OpGEMM, m: i + 1, n: 1, k: 1, countBucket: 1}
-		if _, err := e.plan(key, func() (any, error) { return i, nil }); err != nil {
+		if _, _, err := e.plan(key, func() (any, error) { return i, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -121,38 +125,142 @@ func TestPlanCacheBounded(t *testing.T) {
 	}
 }
 
+// checkTypedErr asserts an engine validation error wraps the expected
+// taxonomy sentinel and names the op and operand.
+func checkTypedErr(t *testing.T, err error, sentinel error, wantSubstrs ...string) {
+	t.Helper()
+	if err == nil {
+		t.Error("expected a validation error, got nil")
+		return
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("error %q does not match sentinel %q", err, sentinel)
+	}
+	for _, w := range wantSubstrs {
+		if !strings.Contains(err.Error(), w) {
+			t.Errorf("error %q missing %q", err, w)
+		}
+	}
+}
+
 func TestOperandValidation(t *testing.T) {
 	e := New(core.DefaultTuning())
 	rng := rand.New(rand.NewSource(4))
 	a := randCompact(rng, 10, 4, 4)
 	op := OpDesc{Kind: OpGEMM, Alpha: 1, Beta: 1, Workers: 1}
 
-	err := e.Run(op, op32(a), op32(a), Operand{})
-	if err == nil || !strings.Contains(err.Error(), "C is nil or empty") {
-		t.Errorf("nil C: %v", err)
-	}
-	err = e.Run(op, op32(a), op32(a))
-	if err == nil || !strings.Contains(err.Error(), "takes 3 operands") {
-		t.Errorf("arity: %v", err)
-	}
+	checkTypedErr(t, e.Run(op, op32(a), op32(a), Operand{}), ErrOperand, "GEMM", "C", "nil or empty")
+	checkTypedErr(t, e.Run(op, op32(a), op32(a)), ErrOperand, "GEMM", "takes 3 operands")
 
 	bad := randCompact(rng, 10, 3, 5)
-	err = e.Run(op, op32(a), op32(bad), op32(a))
-	if err == nil || !strings.Contains(err.Error(), "shape mismatch") {
-		t.Errorf("shape: %v", err)
-	}
+	checkTypedErr(t, e.Run(op, op32(a), op32(bad), op32(a)), ErrShape, "GEMM", "B", "shape mismatch")
 
 	b64 := matrix.NewBatch[float64](10, 4, 4)
 	o64 := Operand{DT: vec.D, F64: layout.FromBatch(vec.D, b64)}
-	err = e.Run(op, op32(a), o64, op32(a))
-	if err == nil || !strings.Contains(err.Error(), "mismatched element type") {
-		t.Errorf("mixed types: %v", err)
-	}
+	checkTypedErr(t, e.Run(op, op32(a), o64, op32(a)), ErrDType, "GEMM", "B", "mismatched element type")
 
 	tri := OpDesc{Kind: OpTRSM, Alpha: 1, Workers: 1}
-	err = e.Run(tri, op32(bad), op32(a))
-	if err == nil || !strings.Contains(err.Error(), "must be square") {
-		t.Errorf("square: %v", err)
+	checkTypedErr(t, e.Run(tri, op32(bad), op32(a)), ErrShape, "TRSM", "A", "must be square")
+}
+
+// TestTriAndSYRKValidation covers the checks that used to tunnel into
+// internal/core and die there without op context: batch-count agreement
+// for the two-operand ops, and A's dimension against the side.
+func TestTriAndSYRKValidation(t *testing.T) {
+	e := New(core.DefaultTuning())
+	rng := rand.New(rand.NewSource(6))
+
+	a4 := randCompact(rng, 10, 4, 4)   // square 4x4, count 10
+	b45 := randCompact(rng, 10, 4, 5)  // B 4x5, count 10
+	b45c := randCompact(rng, 12, 4, 5) // B 4x5, count 12
+
+	for _, kind := range []OpKind{OpTRSM, OpTRMM} {
+		op := OpDesc{Kind: kind, Side: matrix.Left, Uplo: matrix.Lower, Alpha: 1, Workers: 1}
+		// Count mismatch must be caught at the boundary with op context.
+		checkTypedErr(t, e.Run(op, op32(a4), op32(b45c)), ErrCount, kind.String(), "A has 10", "B has 12")
+		// Left side with a 4x5 B needs a 4x4 A; a 5x5 A must be named.
+		a5 := randCompact(rng, 10, 5, 5)
+		checkTypedErr(t, e.Run(op, op32(a5), op32(b45)), ErrShape, kind.String(), "A", "side L")
+		// Right side with a 4x5 B needs a 5x5 A.
+		opR := OpDesc{Kind: kind, Side: matrix.Right, Uplo: matrix.Lower, Alpha: 1, Workers: 1}
+		checkTypedErr(t, e.Run(opR, op32(a4), op32(b45)), ErrShape, kind.String(), "A", "side R")
+		// Valid right-side call still passes.
+		if err := e.Run(opR, op32(a5), op32(b45)); err != nil {
+			t.Errorf("%v valid Right call rejected: %v", kind, err)
+		}
+	}
+
+	// SYRK: count agreement and op(A) rows vs C's dimension.
+	c4 := randCompact(rng, 10, 4, 4)
+	aT := randCompact(rng, 10, 4, 3) // op(A) 4x3: valid for NoTrans
+	syrk := OpDesc{Kind: OpSYRK, Uplo: matrix.Lower, Alpha: 1, Beta: 1, Workers: 1}
+	if err := e.Run(syrk, op32(aT), op32(c4)); err != nil {
+		t.Errorf("valid SYRK rejected: %v", err)
+	}
+	aBadC := randCompact(rng, 12, 4, 3)
+	checkTypedErr(t, e.Run(syrk, op32(aBadC), op32(c4)), ErrCount, "SYRK", "A has 12", "C has 10")
+	aBadR := randCompact(rng, 10, 5, 3)
+	checkTypedErr(t, e.Run(syrk, op32(aBadR), op32(c4)), ErrShape, "SYRK", "A")
+	cRect := randCompact(rng, 10, 4, 5)
+	checkTypedErr(t, e.Run(syrk, op32(aT), op32(cRect)), ErrShape, "SYRK", "C", "square")
+}
+
+// TestPlanSingleFlight: concurrent cold-start misses on one key build the
+// plan exactly once; the losers wait and share the winner's plan, counted
+// as PlanShared, not as extra misses.
+func TestPlanSingleFlight(t *testing.T) {
+	e := New(core.DefaultTuning())
+	key := planKey{kind: OpGEMM, m: 7, n: 7, k: 7, countBucket: 8}
+	var builds atomic.Int32
+	const callers = 16
+	start := make(chan struct{})
+	vals := make(chan any, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			v, _, err := e.plan(key, func() (any, error) {
+				builds.Add(1)
+				time.Sleep(20 * time.Millisecond)
+				return new(int), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			vals <- v
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(vals)
+	if b := builds.Load(); b != 1 {
+		t.Errorf("build ran %d times, want 1", b)
+	}
+	var first any
+	for v := range vals {
+		if first == nil {
+			first = v
+		} else if v != first {
+			t.Error("callers received different plans")
+		}
+	}
+	s := e.Stats()
+	if s.PlanMisses != 1 {
+		t.Errorf("misses %d, want exactly 1", s.PlanMisses)
+	}
+	if s.PlanHits+s.PlanShared != callers-1 {
+		t.Errorf("hits %d + shared %d, want %d", s.PlanHits, s.PlanShared, callers-1)
+	}
+
+	// A failed build is not cached and does not poison the key.
+	bad := planKey{kind: OpGEMM, m: 9, n: 9, k: 9, countBucket: 8}
+	if _, _, err := e.plan(bad, func() (any, error) { return nil, errors.New("boom") }); err == nil {
+		t.Error("build error not propagated")
+	}
+	if v, _, err := e.plan(bad, func() (any, error) { return 42, nil }); err != nil || v != 42 {
+		t.Errorf("key poisoned after failed build: %v %v", v, err)
 	}
 }
 

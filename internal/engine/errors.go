@@ -1,0 +1,31 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The engine rejects malformed calls at the dispatch boundary with a
+// typed taxonomy, so callers can branch with errors.Is and the message
+// always names the op and the offending operand — instead of a
+// context-free "core: shape mismatch" surfacing three layers down.
+var (
+	// ErrShape: an operand's dimensions are inconsistent with the op.
+	ErrShape = errors.New("shape mismatch")
+	// ErrCount: operand batch counts disagree.
+	ErrCount = errors.New("batch count mismatch")
+	// ErrDType: operand element types disagree.
+	ErrDType = errors.New("dtype mismatch")
+	// ErrOperand: an operand is missing, nil/empty, or the arity is wrong.
+	ErrOperand = errors.New("invalid operand")
+)
+
+// opErr wraps a taxonomy sentinel with the op name, the offending operand
+// (may be empty for op-level errors) and a formatted detail.
+func opErr(kind OpKind, operand string, sentinel error, format string, args ...any) error {
+	detail := fmt.Sprintf(format, args...)
+	if operand == "" {
+		return fmt.Errorf("iatf: %v: %w: %s", kind, sentinel, detail)
+	}
+	return fmt.Errorf("iatf: %v operand %s: %w: %s", kind, operand, sentinel, detail)
+}

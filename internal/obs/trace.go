@@ -1,0 +1,90 @@
+// Trace hook: a pluggable sink that receives the assembled command queue
+// of a dispatched call — which packing kernels the Pack Selector chose,
+// the tile/kernel sequence the Execution Plan Generator emitted, the
+// Batch Counter's super-batch size, and the worker split. Tracing is
+// sampled (every Nth call) or forced (the next N calls), so the sink
+// never sits on the common path: when disabled, the dispatch cost is one
+// atomic pointer load.
+
+package obs
+
+// Command is one entry of a traced call's command queue.
+type Command struct {
+	Stage  string `json:"stage"`  // "pack", "compute", "writeback", "scale"
+	Kernel string `json:"kernel"` // kernel or routine name
+	Detail string `json:"detail"` // human-readable parameters
+}
+
+// TraceEvent describes one dispatched call: the problem descriptor, the
+// plan-cache outcome, the worker split and the full command queue of one
+// super-batch pass.
+type TraceEvent struct {
+	Op    string `json:"op"`
+	DType string `json:"dtype"`
+	Mode  string `json:"mode"`
+	M     int    `json:"m"`
+	N     int    `json:"n"`
+	K     int    `json:"k,omitempty"`
+	Count int    `json:"count"`
+
+	CacheOutcome string `json:"cache_outcome"`
+
+	// Worker split: Groups interleave groups are pulled in chunks of
+	// ChunkGroups (the super-batch size) by up to Workers participants.
+	Groups         int `json:"groups"`
+	GroupsPerBatch int `json:"groups_per_batch"`
+	Chunks         int `json:"chunks"`
+	Workers        int `json:"workers"`
+
+	Queue []Command `json:"queue"`
+}
+
+// TraceFunc receives traced calls. It runs synchronously on the calling
+// goroutine, before execution; keep it cheap or hand off.
+type TraceFunc func(TraceEvent)
+
+type traceCfg struct {
+	fn    TraceFunc
+	every uint64
+}
+
+// SetTrace installs a trace sink. every == 0 disables sampling (the sink
+// then only fires for ForceTrace'd calls); every == 1 traces every call;
+// every == n traces each nth call. fn == nil removes the sink.
+func (r *Registry) SetTrace(fn TraceFunc, every uint64) {
+	if fn == nil {
+		r.trace.Store(nil)
+		return
+	}
+	r.trace.Store(&traceCfg{fn: fn, every: every})
+}
+
+// ForceTrace marks the next n dispatched calls for tracing regardless of
+// the sampling interval. A sink must be installed with SetTrace.
+func (r *Registry) ForceTrace(n int) {
+	if n > 0 {
+		r.forced.Add(int64(n))
+	}
+}
+
+// TraceSink returns the sink to invoke for the current call, or nil when
+// the call is not traced. Each invocation consumes one sampling tick.
+func (r *Registry) TraceSink() TraceFunc {
+	cfg := r.trace.Load()
+	if cfg == nil {
+		return nil
+	}
+	for {
+		f := r.forced.Load()
+		if f <= 0 {
+			break
+		}
+		if r.forced.CompareAndSwap(f, f-1) {
+			return cfg.fn
+		}
+	}
+	if cfg.every > 0 && r.traceCalls.Add(1)%cfg.every == 0 {
+		return cfg.fn
+	}
+	return nil
+}

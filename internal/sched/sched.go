@@ -6,6 +6,11 @@
 // shared index — dynamic self-scheduling, so a slow worker never strands
 // work the way a static split does.
 //
+// The pool tracks GOMAXPROCS: every parallel call re-reads it and, when
+// it changed (cgroup resize, runtime.GOMAXPROCS call), grows the pool
+// with fresh workers or retires the surplus — the pool never stays
+// permanently mis-sized for the machine it is running on.
+//
 // The workers convention, shared by every public *Parallel function:
 // workers <= 0 means "auto", i.e. one worker per GOMAXPROCS; workers == 1
 // runs inline on the caller with zero goroutine traffic.
@@ -18,20 +23,27 @@ import (
 )
 
 var (
-	startOnce sync.Once
-	jobs      chan func()
-	poolSize  int
+	poolMu   sync.Mutex
+	jobs     chan func()
+	poolSize atomic.Int64 // current (intended) worker count; 0 before first use
 
 	parallelCalls atomic.Uint64
 	inlineCalls   atomic.Uint64
 	chunksRun     atomic.Uint64
 	poolShares    atomic.Uint64
 	overflowRuns  atomic.Uint64
+	poolResizes   atomic.Uint64
 )
 
 // Stats is a snapshot of the pool's lifetime counters.
 type Stats struct {
-	Workers       int    // persistent pool size (0 until first parallel call)
+	// Workers is the persistent pool size (0 until the first parallel
+	// call). It follows GOMAXPROCS: the pool re-reads it on every
+	// parallel call and resizes when it changed, so a long-lived process
+	// whose CPU allotment shrinks or grows is re-sized at its next
+	// parallel call rather than pinned to the first-seen value.
+	Workers       int
+	Resizes       uint64 // pool resizes after a GOMAXPROCS change
 	ParallelCalls uint64 // Run invocations that fanned out to the pool
 	InlineCalls   uint64 // Run invocations executed entirely on the caller
 	Chunks        uint64 // work chunks executed across all parallel calls
@@ -42,7 +54,8 @@ type Stats struct {
 // Snapshot returns the current pool counters.
 func Snapshot() Stats {
 	return Stats{
-		Workers:       poolSize,
+		Workers:       int(poolSize.Load()),
+		Resizes:       poolResizes.Load(),
 		ParallelCalls: parallelCalls.Load(),
 		InlineCalls:   inlineCalls.Load(),
 		Chunks:        chunksRun.Load(),
@@ -51,16 +64,46 @@ func Snapshot() Stats {
 	}
 }
 
-func start() {
-	poolSize = runtime.GOMAXPROCS(0)
-	jobs = make(chan func(), 4*poolSize)
-	for i := 0; i < poolSize; i++ {
-		go func() {
-			for f := range jobs {
-				f()
-			}
-		}()
+// worker drains the shared queue; a nil job is a retire token consumed by
+// exactly one worker when the pool shrinks.
+func worker(jobs chan func()) {
+	for f := range jobs {
+		if f == nil {
+			return
+		}
+		f()
 	}
+}
+
+// ensurePool sizes the pool to the current GOMAXPROCS and returns the job
+// queue. The fast path — size already matches — is one atomic load.
+func ensurePool() chan func() {
+	target := runtime.GOMAXPROCS(0)
+	if int(poolSize.Load()) == target {
+		// The release store below orders the channel write before the
+		// size becomes visible, so this read of jobs is safe.
+		return jobs
+	}
+	poolMu.Lock()
+	defer poolMu.Unlock()
+	cur := int(poolSize.Load())
+	if cur == target {
+		return jobs
+	}
+	if jobs == nil {
+		jobs = make(chan func(), 4*target)
+	}
+	if cur > 0 {
+		poolResizes.Add(1)
+	}
+	for ; cur < target; cur++ {
+		go worker(jobs)
+	}
+	for ; cur > target; cur-- {
+		jobs <- nil // retire one worker
+	}
+	poolSize.Store(int64(target))
+	return jobs
 }
 
 // Resolve maps the public workers convention onto a concrete count:
@@ -97,7 +140,7 @@ func Run(n, workers, chunk int, fn func(lo, hi int)) {
 		fn(0, n)
 		return
 	}
-	startOnce.Do(start)
+	queue := ensurePool()
 	parallelCalls.Add(1)
 	var next atomic.Int64
 	body := func() {
@@ -122,7 +165,7 @@ func Run(n, workers, chunk int, fn func(lo, hi int)) {
 			body()
 		}
 		select {
-		case jobs <- func() { poolShares.Add(1); share() }:
+		case queue <- func() { poolShares.Add(1); share() }:
 		default:
 			// Pool saturated (e.g. nested or highly concurrent calls):
 			// fall back to a plain goroutine rather than queue behind

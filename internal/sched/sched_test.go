@@ -71,6 +71,40 @@ func TestRunConcurrent(t *testing.T) {
 	wg.Wait()
 }
 
+// TestPoolResize changes GOMAXPROCS between parallel calls and checks the
+// pool follows it instead of staying pinned to the first-seen value.
+func TestPoolResize(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+
+	parallel := func() {
+		var sum atomic.Int64
+		// workers=0 (auto) with chunk 1 forces a fan-out sized to the
+		// current GOMAXPROCS whenever it is > 1.
+		Run(64, 0, 1, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sum.Add(int64(i))
+			}
+		})
+		if sum.Load() != 64*63/2 {
+			t.Errorf("partial run after resize: sum %d", sum.Load())
+		}
+	}
+
+	// Targets stay >= 2: at GOMAXPROCS 1 auto calls run inline and never
+	// touch the pool, so there is nothing for it to follow.
+	for _, target := range []int{4, 2, 6} {
+		runtime.GOMAXPROCS(target)
+		parallel()
+		if got := Snapshot().Workers; got != target {
+			t.Errorf("after GOMAXPROCS(%d): pool has %d workers", target, got)
+		}
+	}
+	if Snapshot().Resizes == 0 {
+		t.Error("resizes not counted")
+	}
+}
+
 func TestSnapshotCounters(t *testing.T) {
 	before := Snapshot()
 	Run(10, 1, 0, func(lo, hi int) {})
