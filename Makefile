@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race stress bench info trace ci
+.PHONY: all build vet lint test race stress bench benchsmoke info trace ci
 
 all: ci
 
@@ -31,13 +31,20 @@ race:
 # dispatch stress, plan single-flight, pool resize and the observability
 # layer's concurrent recording.
 stress:
-	$(GO) test -race -count=2 -run 'TestEngineConcurrentStress|TestWorkersAutoConvention' -v .
-	$(GO) test -race -count=2 -run 'TestPlanSingleFlight|TestBucketedPlanParity' -v ./internal/engine/
+	$(GO) test -race -count=2 -run 'TestEngineConcurrentStress|TestWorkersAutoConvention|TestPrepackConcurrentShared' -v .
+	$(GO) test -race -count=2 -run 'TestPlanSingleFlight|TestBucketedPlanParity|TestPackCacheSingleFlight' -v ./internal/engine/
 	$(GO) test -race -count=2 -run 'TestPoolResize' -v ./internal/sched/
 	$(GO) test -race -count=2 -run 'TestSeriesConcurrent' -v ./internal/obs/
 
+# Wall-clock benchmark of the native path — pack-per-call vs prepacked
+# operand reuse — writing the rows to BENCH_wallclock.json.
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkSteadyStateAllocs' -benchtime=2s .
+	$(GO) run ./cmd/iatf-bench -wallclock -json
+
+# One-iteration pass over every Go benchmark: catches bit-rot in the
+# benchmark code without paying for real measurements.
+benchsmoke:
+	$(GO) test -run xxx -bench . -benchtime=1x ./...
 
 # Print the execution-engine counters and per-shape series after a demo
 # workload.
@@ -48,4 +55,4 @@ info:
 trace:
 	$(GO) run ./cmd/iatf-trace -engine
 
-ci: lint build test race stress
+ci: lint build test race stress benchsmoke

@@ -12,6 +12,8 @@
 //	iatf-bench -ext            # TRMM extension figure
 //	iatf-bench -matrices 128   # simulated batch per point
 //	iatf-bench -maxsize 33     # largest square size
+//	iatf-bench -wallclock      # real native-path timings, pack vs Prepack
+//	iatf-bench -wallclock -json  # also write BENCH_wallclock.json
 package main
 
 import (
@@ -37,8 +39,18 @@ func main() {
 		matrices = flag.Int("matrices", 64, "simulated batch per point")
 		maxSize  = flag.Int("maxsize", 33, "largest square size")
 		step     = flag.Int("step", 1, "size step")
+
+		wallclock = flag.Bool("wallclock", false, "time the real native path, pack-per-call vs prepacked")
+		jsonOut   = flag.Bool("json", false, "with -wallclock, also write "+wallclockFile)
+		wcCount   = flag.Int("wcount", 2048, "wallclock batch size (matrices per call)")
+		wcCalls   = flag.Int("wcalls", 128, "wallclock timed calls per variant")
 	)
 	flag.Parse()
+
+	if *wallclock {
+		runWallclock(*jsonOut, *wcCount, *wcCalls, *maxSize)
+		return
+	}
 
 	cfg := bench.Config{Matrices: *matrices}
 	for n := 1; n <= *maxSize; n += *step {

@@ -1,0 +1,228 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"iatf"
+	"iatf/internal/core"
+	"iatf/internal/vec"
+)
+
+// Wall-clock mode: unlike the figure tables (cycle models), -wallclock
+// times the real native execution path through the public API, pairing
+// every shape with a pack-per-call and a prepacked (Prepack, warm
+// packed-operand cache) variant — the reuse-heavy serving pattern the
+// pack-once optimization targets. -json additionally writes the rows to
+// BENCH_wallclock.json so the perf trajectory is machine-readable
+// across PRs.
+
+const wallclockFile = "BENCH_wallclock.json"
+
+// wcResult is one benchmark row of BENCH_wallclock.json.
+type wcResult struct {
+	Op      string  `json:"op"`
+	DType   string  `json:"dtype"`
+	Shape   string  `json:"shape"`
+	Count   int     `json:"count"`
+	Variant string  `json:"variant"` // "pack-per-call" or "prepacked"
+	Calls   int     `json:"calls"`
+	NsOp    float64 `json:"ns_op"`
+	GFLOPS  float64 `json:"gflops"`
+	Speedup float64 `json:"speedup,omitempty"` // vs pack-per-call, on prepacked rows
+}
+
+// wcScalar converts a float64 to any supported scalar type.
+func wcScalar[T iatf.Scalar](x float64) T {
+	var z T
+	switch any(z).(type) {
+	case float32:
+		return any(float32(x)).(T)
+	case float64:
+		return any(x).(T)
+	case complex64:
+		return any(complex(float32(x), 0)).(T)
+	default:
+		return any(complex(x, 0)).(T)
+	}
+}
+
+// wcFill writes a deterministic pseudo-random pattern in (-0.5, 0.5).
+func wcFill[T iatf.Scalar](data []T, seed uint64) {
+	s := seed*2862933555777941757 + 3037000493
+	for i := range data {
+		s = s*6364136223846793005 + 1442695040888963407
+		data[i] = wcScalar[T](float64(s>>11)/float64(1<<53) - 0.5)
+	}
+}
+
+// wcTriBatch builds a well-conditioned lower-triangular batch: unit-size
+// diagonal and small off-diagonal entries, so repeated solves/multiplies
+// in the timed loop stay O(1) instead of drifting into denormals.
+func wcTriBatch[T iatf.Scalar](count, n int) *iatf.Batch[T] {
+	b := iatf.NewBatch[T](count, n, n)
+	data := b.Data()
+	wcFill(data, 42)
+	for m := 0; m < count; m++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				switch {
+				case i == j:
+					b.Set(m, i, j, T(1))
+				case i > j:
+					b.Set(m, i, j, b.At(m, i, j)*T(0.01))
+				default:
+					b.Set(m, i, j, 0)
+				}
+			}
+		}
+	}
+	return b
+}
+
+// wcTime warms the call up and then times `calls` invocations.
+func wcTime(calls int, call func() error) (float64, error) {
+	for i := 0; i < 8; i++ {
+		if err := call(); err != nil {
+			return 0, err
+		}
+	}
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		if err := call(); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(calls), nil
+}
+
+func wcGEMM[T iatf.Scalar](dt vec.DType, n, count, calls int, prepack bool) (float64, float64, error) {
+	ab := iatf.NewBatch[T](count, n, n)
+	bb := iatf.NewBatch[T](count, n, n)
+	wcFill(ab.Data(), 1)
+	wcFill(bb.Data(), 2)
+	a, b, c := iatf.Pack(ab), iatf.Pack(bb), iatf.Pack(iatf.NewBatch[T](count, n, n))
+	eng := iatf.NewEngine()
+	if prepack {
+		a.Prepack()
+		b.Prepack()
+	}
+	nsOp, err := wcTime(calls, func() error {
+		return iatf.GEMMOn(eng, 0, iatf.NoTrans, iatf.NoTrans, T(1), a, b, T(0), c)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	flops := core.GEMMProblem{DT: dt, M: n, N: n, K: n, Count: count}.FLOPs()
+	return nsOp, flops / nsOp, nil
+}
+
+func wcTRSM[T iatf.Scalar](dt vec.DType, n, count, calls int, prepack bool) (float64, float64, error) {
+	a := iatf.Pack(wcTriBatch[T](count, n))
+	bb := iatf.NewBatch[T](count, n, n)
+	wcFill(bb.Data(), 3)
+	b := iatf.Pack(bb)
+	eng := iatf.NewEngine()
+	if prepack {
+		a.Prepack()
+	}
+	nsOp, err := wcTime(calls, func() error {
+		return iatf.TRSMOn(eng, 0, iatf.Left, iatf.Lower, iatf.NoTrans, iatf.NonUnit, T(1), a, b)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	flops := core.TRSMProblem{DT: dt, M: n, N: n, Count: count}.FLOPs()
+	return nsOp, flops / nsOp, nil
+}
+
+func wcTRMM[T iatf.Scalar](dt vec.DType, n, count, calls int, prepack bool) (float64, float64, error) {
+	a := iatf.Pack(wcTriBatch[T](count, n))
+	bb := iatf.NewBatch[T](count, n, n)
+	wcFill(bb.Data(), 4)
+	b := iatf.Pack(bb)
+	eng := iatf.NewEngine()
+	if prepack {
+		a.Prepack()
+	}
+	nsOp, err := wcTime(calls, func() error {
+		return iatf.TRMMOn(eng, 0, iatf.Left, iatf.Lower, iatf.NoTrans, iatf.NonUnit, T(1), a, b)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	flops := core.TRMMProblem{DT: dt, M: n, N: n, Count: count}.FLOPs()
+	return nsOp, flops / nsOp, nil
+}
+
+// runWallclock runs every (op, dtype, shape) pair in both variants and
+// prints the comparison; writeJSON additionally writes the rows to
+// BENCH_wallclock.json.
+func runWallclock(writeJSON bool, count, calls, maxSize int) {
+	type benchFn func(prepack bool) (float64, float64, error)
+	type benchCase struct {
+		op, dtype, shape string
+		fn               benchFn
+	}
+	var sizes []int
+	for n := 4; n <= maxSize; n *= 2 {
+		sizes = append(sizes, n)
+	}
+	var cases []benchCase
+	for _, n := range sizes {
+		n := n
+		shape := fmt.Sprintf("%dx%d", n, n)
+		cases = append(cases,
+			benchCase{"GEMM", "s", shape, func(p bool) (float64, float64, error) {
+				return wcGEMM[float32](vec.S, n, count, calls, p)
+			}},
+			benchCase{"GEMM", "d", shape, func(p bool) (float64, float64, error) {
+				return wcGEMM[float64](vec.D, n, count, calls, p)
+			}},
+			benchCase{"TRSM", "s", shape, func(p bool) (float64, float64, error) {
+				return wcTRSM[float32](vec.S, n, count, calls, p)
+			}},
+			benchCase{"TRSM", "d", shape, func(p bool) (float64, float64, error) {
+				return wcTRSM[float64](vec.D, n, count, calls, p)
+			}},
+			benchCase{"TRMM", "s", shape, func(p bool) (float64, float64, error) {
+				return wcTRMM[float32](vec.S, n, count, calls, p)
+			}},
+			benchCase{"TRMM", "d", shape, func(p bool) (float64, float64, error) {
+				return wcTRMM[float64](vec.D, n, count, calls, p)
+			}},
+		)
+	}
+
+	fmt.Printf("# Wall-clock, native path, count=%d, %d warm calls per variant\n", count, calls)
+	fmt.Printf("%-5s %-3s %-8s %14s %10s %14s %10s %8s\n",
+		"op", "dt", "shape", "pack ns/op", "GFLOPS", "prepack ns/op", "GFLOPS", "speedup")
+	var rows []wcResult
+	for _, bc := range cases {
+		nsPack, gfPack, err := bc.fn(false)
+		check(err)
+		nsPre, gfPre, err := bc.fn(true)
+		check(err)
+		speedup := nsPack / nsPre
+		fmt.Printf("%-5s %-3s %-8s %14.0f %10.3f %14.0f %10.3f %7.2fx\n",
+			bc.op, bc.dtype, bc.shape, nsPack, gfPack, nsPre, gfPre, speedup)
+		rows = append(rows,
+			wcResult{Op: bc.op, DType: bc.dtype, Shape: bc.shape, Count: count,
+				Variant: "pack-per-call", Calls: calls, NsOp: math.Round(nsPack), GFLOPS: gfPack},
+			wcResult{Op: bc.op, DType: bc.dtype, Shape: bc.shape, Count: count,
+				Variant: "prepacked", Calls: calls, NsOp: math.Round(nsPre), GFLOPS: gfPre,
+				Speedup: math.Round(speedup*100) / 100})
+	}
+	if writeJSON {
+		f, err := os.Create(wallclockFile)
+		check(err)
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(rows))
+		check(f.Close())
+		fmt.Printf("\nwrote %s (%d rows)\n", wallclockFile, len(rows))
+	}
+}

@@ -101,7 +101,7 @@ func printEngine(asJSON bool) {
 	}))
 
 	const count = 16384
-	gemm := func(m, n, k int) {
+	gemm := func(m, n, k int, prepack bool) {
 		a := iatf.NewBatch[float32](count, m, k)
 		b := iatf.NewBatch[float32](count, k, n)
 		c := iatf.NewBatch[float32](count, m, n)
@@ -113,6 +113,12 @@ func printEngine(asJSON bool) {
 			}
 		}
 		ca, cb, cc := iatf.Pack(a), iatf.Pack(b), iatf.Pack(c)
+		if prepack {
+			// A and B are reused across every call: opt into packed-operand
+			// reuse so the pack cache shows up in the counters.
+			ca.Prepack()
+			cb.Prepack()
+		}
 		// Auto workers (GOMAXPROCS), then an explicit 2-worker pass so the
 		// persistent pool shows up in the counters even on one CPU.
 		for _, w := range []int{0, 0, 0, 0, 0, 0, 0, 2} {
@@ -132,6 +138,7 @@ func printEngine(asJSON bool) {
 	}
 	tri := func(solve bool, m, n int) {
 		ca := diagBatch(m)
+		ca.Prepack() // the triangle is reused across calls
 		cb := iatf.Pack(iatf.NewBatch[float32](count, m, n))
 		for _, w := range []int{0, 0, 0, 0, 0, 0, 0, 2} {
 			var err error
@@ -154,9 +161,9 @@ func printEngine(asJSON bool) {
 			}
 		}
 	}
-	gemm(8, 8, 8)
-	gemm(8, 8, 8) // same shape: pure cache hits
-	gemm(6, 5, 7)
+	gemm(8, 8, 8, true)
+	gemm(8, 8, 8, true) // same shape: pure plan- and pack-cache hits
+	gemm(6, 5, 7, false) // pack-per-call: exercises the streaming pipeline
 	tri(true, 8, 4)
 	tri(true, 8, 4)
 	tri(false, 8, 4)
@@ -186,6 +193,13 @@ func printEngine(asJSON bool) {
 	fmt.Printf("  workers %d (resizes %d), parallel calls %d, inline calls %d, chunks %d, pool shares %d, overflow runs %d\n",
 		s.Sched.Workers, s.Sched.Resizes, s.Sched.ParallelCalls, s.Sched.InlineCalls,
 		s.Sched.Chunks, s.Sched.PoolShares, s.Sched.OverflowRuns)
+	fmt.Println("packed-operand cache:")
+	fmt.Printf("  hits %d, builds %d, evictions %d, stale %d, entries %d\n",
+		s.PackCache.Hits, s.PackCache.Builds, s.PackCache.Evictions,
+		s.PackCache.Stale, s.PackCache.Entries)
+	fmt.Println("pack/compute pipeline:")
+	fmt.Printf("  chunks %d, stalls %d, sync fallbacks %d, packers %d\n",
+		s.Pipeline.Chunks, s.Pipeline.Stalls, s.Pipeline.Fallbacks, s.Pipeline.Packers)
 
 	fmt.Println("per-shape series (by call count):")
 	fmt.Printf("  %-5s %-2s %-4s %-11s %6s %9s %9s %7s %7s %7s %5s %-6s %4s %3s\n",

@@ -81,3 +81,66 @@ func BenchmarkSteadyStateAllocsAuto(bm *testing.B) {
 		}
 	}
 }
+
+// TestPrepackedSteadyStateAllocs proves the pack-once warm path is
+// allocation-free beyond the dispatch fixtures: with both operands
+// prepacked and the pack cache warm, a serial call neither packs nor
+// touches the buffer pools, leaving only the plan stack copy — the PR 3
+// acceptance bound of 2 allocs/call.
+func TestPrepackedSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const count = 1024
+	a := Pack(randBatch[float32](rng, count, 8, 8))
+	b := Pack(randBatch[float32](rng, count, 8, 8))
+	c := Pack(randBatch[float32](rng, count, 8, 8))
+	a.Prepack()
+	b.Prepack()
+	eng := NewEngine()
+
+	call := func() {
+		if err := GEMMOn(eng, 1, NoTrans, NoTrans, float32(1), a, b, float32(1), c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	call() // warm: build the plan and both packed images
+
+	before := eng.Stats()
+	allocs := testing.AllocsPerRun(50, call)
+	after := eng.Stats()
+
+	if after.PackCache.Builds != before.PackCache.Builds {
+		t.Errorf("warm calls rebuilt packed images: builds %d -> %d",
+			before.PackCache.Builds, after.PackCache.Builds)
+	}
+	if after.PackCache.Hits <= before.PackCache.Hits {
+		t.Errorf("warm calls missed the pack cache: hits %d -> %d",
+			before.PackCache.Hits, after.PackCache.Hits)
+	}
+	if allocs > 2 {
+		t.Errorf("warm prepacked GEMM allocates %.0f objects/call, want <= 2", allocs)
+	}
+}
+
+// BenchmarkPrepackedSteadyState is BenchmarkSteadyStateAllocs with both
+// operands prepacked: the pack phase is gone, only dispatch + kernels
+// remain.
+func BenchmarkPrepackedSteadyState(bm *testing.B) {
+	rng := rand.New(rand.NewSource(34))
+	const count = 4096
+	a := Pack(randBatch[float32](rng, count, 8, 8))
+	b := Pack(randBatch[float32](rng, count, 8, 8))
+	c := Pack(randBatch[float32](rng, count, 8, 8))
+	a.Prepack()
+	b.Prepack()
+	eng := NewEngine()
+	if err := GEMMOn(eng, 1, NoTrans, NoTrans, float32(1), a, b, float32(1), c); err != nil {
+		bm.Fatal(err)
+	}
+	bm.ReportAllocs()
+	bm.ResetTimer()
+	for i := 0; i < bm.N; i++ {
+		if err := GEMMOn(eng, 1, NoTrans, NoTrans, float32(1), a, b, float32(1), c); err != nil {
+			bm.Fatal(err)
+		}
+	}
+}

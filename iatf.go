@@ -172,6 +172,35 @@ func (c *Compact[T]) Cols() int {
 	return c.f64.Cols
 }
 
+// Prepack opts the compact batch into packed-operand reuse: the engine
+// caches the packed image this operand takes inside each execution plan,
+// so the packing kernels run once per (operand, shape) instead of once
+// per call — the pack-once pattern for operands reused across calls
+// (fixed weights, a factored triangle). Operations that write an operand
+// (GEMM's C, TRSM/TRMM's B, SYRK's C) invalidate its cached images
+// automatically; results are bit-identical with or without Prepack.
+// Idempotent and safe for concurrent use.
+func (c *Compact[T]) Prepack() {
+	if c.f32 != nil {
+		c.f32.EnablePrepack()
+	}
+	if c.f64 != nil {
+		c.f64.EnablePrepack()
+	}
+}
+
+// Invalidate marks the batch's contents as changed, retiring any cached
+// packed images so the next call re-packs the new contents. A no-op
+// unless Prepack was called.
+func (c *Compact[T]) Invalidate() {
+	if c.f32 != nil {
+		c.f32.Invalidate()
+	}
+	if c.f64 != nil {
+		c.f64.Invalidate()
+	}
+}
+
 // Clone returns a deep copy of the compact batch.
 func (c *Compact[T]) Clone() *Compact[T] {
 	out := &Compact[T]{dt: c.dt}

@@ -30,6 +30,10 @@ const (
 type Buf[E vec.Float] struct {
 	data  []E
 	class int
+	// state guards the Get/Put pairing: 1 while checked out, 0 once
+	// returned. A second Put of the same buffer would let two later Gets
+	// share storage — the CAS in Put rejects it and counts it instead.
+	state atomic.Int32
 }
 
 // Slice returns the buffer's storage, sized to the Get request.
@@ -51,11 +55,13 @@ var (
 	f32Pools classPools
 	f64Pools classPools
 
-	gets     atomic.Uint64
-	reuses   atomic.Uint64
-	news     atomic.Uint64
-	puts     atomic.Uint64
-	oversize atomic.Uint64
+	gets       atomic.Uint64
+	reuses     atomic.Uint64
+	news       atomic.Uint64
+	puts       atomic.Uint64
+	oversize   atomic.Uint64
+	doublePuts atomic.Uint64
+	inUse      atomic.Int64 // pooled buffers currently checked out
 
 	perClass [numClasses]classCounters
 )
@@ -76,6 +82,12 @@ type Stats struct {
 	Puts     uint64 // buffers returned
 	Oversize uint64 // requests above the top size class (never pooled)
 
+	// DoublePuts counts Put calls rejected because the buffer was already
+	// returned; InUse is the live gauge of checked-out pooled buffers.
+	// InUse > 0 at quiescence means a Get leaked without its Put.
+	DoublePuts uint64
+	InUse      int64
+
 	// Classes lists the size classes that have seen traffic, smallest
 	// first — the per-class view of where packing-buffer demand lands.
 	Classes []ClassStats
@@ -87,8 +99,10 @@ func Snapshot() Stats {
 		Gets:     gets.Load(),
 		Reuses:   reuses.Load(),
 		Allocs:   news.Load(),
-		Puts:     puts.Load(),
-		Oversize: oversize.Load(),
+		Puts:       puts.Load(),
+		Oversize:   oversize.Load(),
+		DoublePuts: doublePuts.Load(),
+		InUse:      inUse.Load(),
 	}
 	for cl := range perClass {
 		g := perClass[cl].gets.Load()
@@ -132,23 +146,33 @@ func Get[E vec.Float](n int) *Buf[E] {
 	}
 	cl := classFor(n)
 	perClass[cl].gets.Add(1)
+	inUse.Add(1)
 	if v := poolsFor[E]().classes[cl].Get(); v != nil {
 		b := v.(*Buf[E])
 		b.data = b.data[:n]
+		b.state.Store(1)
 		reuses.Add(1)
 		perClass[cl].reuses.Add(1)
 		return b
 	}
 	news.Add(1)
-	return &Buf[E]{data: make([]E, n, 1<<(cl+minClassBits)), class: cl}
+	b := &Buf[E]{data: make([]E, n, 1<<(cl+minClassBits)), class: cl}
+	b.state.Store(1)
+	return b
 }
 
 // Put recycles a buffer obtained from Get. The caller must not use the
-// buffer afterwards.
+// buffer afterwards. A repeated Put of the same buffer is rejected (and
+// counted) instead of corrupting the pool.
 func Put[E vec.Float](b *Buf[E]) {
 	if b == nil || b.class < 0 {
 		return
 	}
+	if !b.state.CompareAndSwap(1, 0) {
+		doublePuts.Add(1)
+		return
+	}
+	inUse.Add(-1)
 	puts.Add(1)
 	perClass[b.class].puts.Add(1)
 	b.data = b.data[:cap(b.data)]

@@ -66,3 +66,39 @@ func TestOversize(t *testing.T) {
 		t.Errorf("oversize buffer was pooled")
 	}
 }
+
+// The in-use gauge pairs every Get with its Put: a nonzero value at
+// quiescence is a leak, and a second Put of the same buffer is counted
+// (and dropped) rather than corrupting the pool.
+func TestLeakCounters(t *testing.T) {
+	base := Snapshot()
+	b1 := Get[float32](512)
+	b2 := Get[float64](512)
+	if d := Snapshot().InUse - base.InUse; d != 2 {
+		t.Fatalf("after 2 Gets, InUse moved by %d, want 2", d)
+	}
+	Put(b1)
+	Put(b2)
+	if d := Snapshot().InUse - base.InUse; d != 0 {
+		t.Fatalf("after paired Puts, InUse moved by %d, want 0 (leak)", d)
+	}
+
+	Put(b1) // double return: must be dropped, not recycled twice
+	after := Snapshot()
+	if after.DoublePuts != base.DoublePuts+1 {
+		t.Errorf("double Put not counted: %d -> %d", base.DoublePuts, after.DoublePuts)
+	}
+	if after.InUse != base.InUse {
+		t.Errorf("double Put corrupted the in-use gauge: %d vs %d", after.InUse, base.InUse)
+	}
+
+	// Oversize buffers bypass the pool and must not touch the gauge.
+	ov := Get[float32]((1 << maxClassBits) + 1)
+	if d := Snapshot().InUse - after.InUse; d != 0 {
+		t.Errorf("oversize Get moved InUse by %d", d)
+	}
+	Put(ov)
+	if d := Snapshot().InUse - after.InUse; d != 0 {
+		t.Errorf("oversize Put moved InUse by %d", d)
+	}
+}

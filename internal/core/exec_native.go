@@ -7,6 +7,7 @@ import (
 	"iatf/internal/kernels"
 	"iatf/internal/layout"
 	"iatf/internal/matrix"
+	"iatf/internal/pack"
 	"iatf/internal/sched"
 	"iatf/internal/vec"
 )
@@ -111,6 +112,15 @@ func ExecGEMMNative[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E]) error
 // from the persistent worker pool splitting the interleave groups into
 // super-batch chunks. workers <= 0 means auto (GOMAXPROCS).
 func ExecGEMMNativeParallel[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E], workers int) error {
+	return ExecGEMMNativePrepacked(pl, a, b, c, nil, nil, workers)
+}
+
+// ExecGEMMNativePrepacked is ExecGEMMNativeParallel consuming prepacked
+// operand images: preA/preB, when non-nil, must hold the output of
+// PrepackGEMMA/PrepackGEMMB for this plan (group-indexed, per
+// PrepackALen/PrepackBLen), and the corresponding pack pass is skipped.
+// A nil pre-buffer falls back to packing that operand per call.
+func ExecGEMMNativePrepacked[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E], preA, preB []E, workers int) error {
 	p := pl.P
 	if pl.Tun.VL != 0 && pl.Tun.VL != p.DT.Pack() {
 		return fmt.Errorf("core: native execution requires the native lane count")
@@ -133,13 +143,41 @@ func ExecGEMMNativeParallel[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E
 		return fmt.Errorf("core: shape mismatch A=%dx%d B=%dx%d C=%dx%d",
 			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
 	}
+	if preA != nil && len(preA) < pl.PrepackALen(a.Groups()) {
+		return fmt.Errorf("core: prepacked A has %d elements, need %d", len(preA), pl.PrepackALen(a.Groups()))
+	}
+	if preB != nil && len(preB) < pl.PrepackBLen(b.Groups()) {
+		return fmt.Errorf("core: prepacked B has %d elements, need %d", len(preB), pl.PrepackBLen(b.Groups()))
+	}
 	sched.Run(a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
-		gemmWorker(pl, a, b, c, lo, hi)
+		gemmWorker(pl, a, b, c, preA, preB, lo, hi)
 	})
 	return nil
 }
 
-func gemmWorker[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E], gLo, gHi int) {
+// gemmPackChunk packs groups [sb, end) of A/B into slots starting at
+// slotBase; a nil slot array means that operand needs no packing (fast
+// path or prepacked image). Shared by the synchronous pack pass and the
+// pipeline packers.
+func gemmPackChunk[E vec.Float](pl *GEMMPlan, a, b *layout.Compact[E], packA, packB []E, sb, end, slotBase int) {
+	p := pl.P
+	bl := blockLen(p.DT, p.DT.Pack())
+	lenA := p.M * p.K * bl
+	lenB := p.K * p.N * bl
+	transA := p.TransA == matrix.Transpose
+	transB := p.TransB == matrix.Transpose
+	for g := sb; g < end; g++ {
+		slot := slotBase + (g - sb)
+		if packA != nil {
+			npackA(a.Data[g*lenA:(g+1)*lenA], a.Rows, transA, pl.MTiles, p.K, bl, packA[slot*lenA:])
+		}
+		if packB != nil {
+			npackB(b.Data[g*lenB:(g+1)*lenB], b.Rows, transB, pl.NTiles, p.K, bl, packB[slot*lenB:])
+		}
+	}
+}
+
+func gemmWorker[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E], preA, preB []E, gLo, gHi int) {
 	p := pl.P
 	vl := p.DT.Pack()
 	bl := blockLen(p.DT, vl)
@@ -147,35 +185,72 @@ func gemmWorker[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E], gLo, gHi 
 	lenA := p.M * p.K * bl
 	lenB := p.K * p.N * bl
 	lenC := p.M * p.N * bl
-	transA := p.TransA == matrix.Transpose
-	transB := p.TransB == matrix.Transpose
 
 	gb := pl.GroupsPerBatch
-	var packA []E
-	if pl.PackA {
-		bufA := bufpool.Get[E](gb * lenA)
+	needPackA := pl.PackA && preA == nil
+	needPackB := pl.PackB && preB == nil
+
+	// The pipeline engages when there is a pack pass to hide and at
+	// least two super-batches to overlap; the slot arrays then double in
+	// width and a packer goroutine fills the half the compute pass is
+	// not reading (see pipeline.go for the parity protocol).
+	pipelined := (needPackA || needPackB) && gHi-gLo > gb
+	nBuf := 1
+	if pipelined {
+		nBuf = 2
+	}
+	var packA, packB []E
+	if needPackA {
+		bufA := bufpool.Get[E](nBuf * gb * lenA)
 		defer bufpool.Put(bufA)
 		packA = bufA.Slice()
 	}
-	bufB := bufpool.Get[E](gb * lenB)
-	defer bufpool.Put(bufB)
-	packB := bufB.Slice()
-	alphaRe, alphaIm := E(real(p.Alpha)), E(imag(p.Alpha))
+	if needPackB {
+		bufB := bufpool.Get[E](nBuf * gb * lenB)
+		defer bufpool.Put(bufB)
+		packB = bufB.Slice()
+	}
 
+	var pipe *gemmPipe[E]
+	if pipelined {
+		pipe = getGEMMPipe[E]()
+		pipe.pl, pipe.a, pipe.b = pl, a, b
+		pipe.packA, pipe.packB = packA, packB
+		pipe.gLo, pipe.gHi = gLo, gHi
+		pipe.free <- 0
+		pipe.free <- 1
+		if !submitPipe(pipe) {
+			<-pipe.free
+			<-pipe.free
+			putGEMMPipe(pipe)
+			pipe, pipelined = nil, false
+			pipeFallbacks.Add(1)
+		}
+	}
+
+	alphaRe, alphaIm := E(real(p.Alpha)), E(imag(p.Alpha))
+	nChunks := (gHi - gLo + gb - 1) / gb
+	ci := 0
 	for sb := gLo; sb < gHi; sb += gb {
 		end := sb + gb
 		if end > gHi {
 			end = gHi
 		}
-		for g := sb; g < end; g++ {
-			slot := g - sb
-			if pl.PackA {
-				npackA(a.Data[g*lenA:(g+1)*lenA], a.Rows, transA, pl.MTiles, p.K, bl, packA[slot*lenA:])
+		slotBase := 0
+		if pipelined {
+			var par int
+			select {
+			case par = <-pipe.ready:
+			default:
+				pipeStalls.Add(1)
+				par = <-pipe.ready
 			}
-			npackB(b.Data[g*lenB:(g+1)*lenB], b.Rows, transB, pl.NTiles, p.K, bl, packB[slot*lenB:])
+			slotBase = par * gb
+		} else if needPackA || needPackB {
+			gemmPackChunk(pl, a, b, packA, packB, sb, end, 0)
 		}
 		for g := sb; g < end; g++ {
-			slot := g - sb
+			slot := slotBase + (g - sb)
 			cg := c.Data[g*lenC : (g+1)*lenC]
 			ovw := p.Beta == 0
 			if p.Beta != 1 && !ovw {
@@ -184,13 +259,26 @@ func gemmWorker[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E], gLo, gHi 
 			for _, t := range pl.tiles {
 				kOff := 0
 				for _, kc := range pl.KChunks {
-					var pa []E
-					if pl.PackA {
-						pa = packA[slot*lenA+(t.i0*p.K+kOff*t.mc)*bl:]
-					} else {
+					var pa, pb []E
+					switch {
+					case !pl.PackA:
 						pa = a.Data[g*lenA+kOff*p.M*bl:]
+					case preA != nil:
+						pa = preA[g*lenA+(t.i0*p.K+kOff*t.mc)*bl:]
+					default:
+						pa = packA[slot*lenA+(t.i0*p.K+kOff*t.mc)*bl:]
 					}
-					pb := packB[slot*lenB+(t.j0*p.K+kOff*t.nc)*bl:]
+					switch {
+					case !pl.PackB:
+						// No-packing fast path: B is stored N×K and the
+						// plan has a single N tile, so the trans pack
+						// order coincides with storage order.
+						pb = b.Data[g*lenB+kOff*p.N*bl:]
+					case preB != nil:
+						pb = preB[g*lenB+(t.j0*p.K+kOff*t.nc)*bl:]
+					default:
+						pb = packB[slot*lenB+(t.j0*p.K+kOff*t.nc)*bl:]
+					}
 					cb := cg[(t.j0*p.M+t.i0)*bl:]
 					// Only the first chunk may overwrite (beta = 0);
 					// later chunks always accumulate.
@@ -204,6 +292,13 @@ func gemmWorker[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E], gLo, gHi 
 				}
 			}
 		}
+		if pipelined && ci+2 < nChunks {
+			pipe.free <- slotBase / gb
+		}
+		ci++
+	}
+	if pipelined {
+		putGEMMPipe(pipe)
 	}
 }
 
@@ -334,6 +429,15 @@ func ExecTRSMNative[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E]) error {
 // ExecTRSMNativeParallel is ExecTRSMNative with worker-parallel groups.
 // workers <= 0 means auto (GOMAXPROCS).
 func ExecTRSMNativeParallel[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], workers int) error {
+	return ExecTRSMNativePrepacked(pl, a, b, nil, workers)
+}
+
+// ExecTRSMNativePrepacked is ExecTRSMNativeParallel consuming a
+// prepacked triangle: preTri, when non-nil, must hold the output of
+// PrepackTRSMTri for this plan (group-indexed, per PrepackTriLen), and
+// the per-call triangle pack (including the reciprocal diagonal) is
+// skipped. nil falls back to packing per call.
+func ExecTRSMNativePrepacked[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], preTri []E, workers int) error {
 	p := pl.P
 	if pl.Tun.VL != 0 && pl.Tun.VL != p.DT.Pack() {
 		return fmt.Errorf("core: native execution requires the native lane count")
@@ -344,27 +448,23 @@ func ExecTRSMNativeParallel[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], 
 	if a.Rows != pl.MEff || a.Cols != pl.MEff || b.Rows != p.M || b.Cols != p.N {
 		return fmt.Errorf("core: shape mismatch A=%dx%d B=%dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
+	if preTri != nil && len(preTri) < pl.PrepackTriLen(a.Groups()) {
+		return fmt.Errorf("core: prepacked tri has %d elements, need %d", len(preTri), pl.PrepackTriLen(a.Groups()))
+	}
 	sched.Run(a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
-		trsmWorker(pl, a, b, lo, hi)
+		trsmWorker(pl, a, b, preTri, lo, hi)
 	})
 	return nil
 }
 
-func trsmWorker[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], gLo, gHi int) {
+func trsmWorker[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], preTri []E, gLo, gHi int) {
 	p := pl.P
 	vl := p.DT.Pack()
 	bl := blockLen(p.DT, vl)
 	cplx := p.DT.IsComplex()
 	lenA := pl.MEff * pl.MEff * bl
 	lenB := p.M * p.N * bl
-	lenTri := 0
-	{
-		r0 := 0
-		for _, q := range pl.Panels {
-			lenTri += (q*r0 + q*(q+1)/2) * bl
-			r0 += q
-		}
-	}
+	lenTri := pack.TriLen(bl, pl.Panels)
 	transAEff := p.TransA == matrix.Transpose
 	if p.Side == matrix.Right {
 		transAEff = !transAEff
@@ -373,41 +473,85 @@ func trsmWorker[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], gLo, gHi int
 	effUpper := upper != transAEff
 
 	gb := pl.GroupsPerBatch
-	bufTri := bufpool.Get[E](gb * lenTri)
-	defer bufpool.Put(bufTri)
-	packTri := bufTri.Slice()
+	needTri := preTri == nil
+	needScale := p.Alpha != 1
+	needPack := needTri || pl.PackB || needScale
+
+	pipelined := needPack && gHi-gLo > gb
+	nBuf := 1
+	if pipelined {
+		nBuf = 2
+	}
+	var packTri []E
+	if needTri {
+		bufTri := bufpool.Get[E](nBuf * gb * lenTri)
+		defer bufpool.Put(bufTri)
+		packTri = bufTri.Slice()
+	}
 	var packB []E
 	lenPB := 0
 	if pl.PackB {
 		lenPB = pl.MEff * pl.NEff * bl
-		bufB := bufpool.Get[E](gb * lenPB)
+		bufB := bufpool.Get[E](nBuf * gb * lenPB)
 		defer bufpool.Put(bufB)
 		packB = bufB.Slice()
 	}
 
+	args := triPackArgs[E]{
+		a: a, b: b, panels: pl.Panels, packTri: packTri, packB: packB,
+		mEff: pl.MEff, nEff: pl.NEff,
+		lenA: lenA, lenB: lenB, lenTri: lenTri, lenPB: lenPB,
+		effUpper: effUpper, transAEff: transAEff,
+		unit: p.Diag == matrix.Unit, recip: true,
+		reverseB: pl.ReverseB, transposeB: pl.TransposeB,
+		alphaRe: real(p.Alpha), alphaIm: imag(p.Alpha), scale: needScale,
+		cplx: cplx, vl: vl, bl: bl, gb: gb,
+	}
+
+	var pipe *triPipe[E]
+	if pipelined {
+		pipe = getTriPipe[E]()
+		pipe.args = args
+		pipe.gLo, pipe.gHi = gLo, gHi
+		pipe.free <- 0
+		pipe.free <- 1
+		if !submitPipe(pipe) {
+			<-pipe.free
+			<-pipe.free
+			putTriPipe(pipe)
+			pipe, pipelined = nil, false
+			pipeFallbacks.Add(1)
+		}
+	}
+
+	nChunks := (gHi - gLo + gb - 1) / gb
+	ci := 0
 	for sb := gLo; sb < gHi; sb += gb {
 		end := sb + gb
 		if end > gHi {
 			end = gHi
 		}
-		for g := sb; g < end; g++ {
-			slot := g - sb
-			npackTri(a.Data[g*lenA:(g+1)*lenA], pl.MEff, effUpper, transAEff,
-				p.Diag == matrix.Unit, true, pl.Panels, cplx, vl, bl, packTri[slot*lenTri:])
-			var target []E
-			if pl.PackB {
-				nBCopy(b.Data[g*lenB:(g+1)*lenB], p.M, p.N, pl.ReverseB, pl.TransposeB, bl, packB[slot*lenPB:])
-				target = packB[slot*lenPB : (slot+1)*lenPB]
-			} else {
-				target = b.Data[g*lenB : (g+1)*lenB]
+		slotBase := 0
+		if pipelined {
+			var par int
+			select {
+			case par = <-pipe.ready:
+			default:
+				pipeStalls.Add(1)
+				par = <-pipe.ready
 			}
-			if p.Alpha != 1 {
-				nscale(target, pl.MEff*pl.NEff, cplx, vl, real(p.Alpha), imag(p.Alpha))
-			}
+			slotBase = par * gb
+		} else if needPack {
+			args.packChunk(sb, end, 0)
 		}
 		for g := sb; g < end; g++ {
-			slot := g - sb
-			tri := packTri[slot*lenTri:]
+			slot := slotBase + (g - sb)
+			var tri []E
+			if needTri {
+				tri = packTri[slot*lenTri:]
+			} else {
+				tri = preTri[g*lenTri:]
+			}
 			var target []E
 			if pl.PackB {
 				target = packB[slot*lenPB:]
@@ -437,10 +581,20 @@ func trsmWorker[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], gLo, gHi int
 			}
 		}
 		if pl.PackB {
+			// Write back before the parity is recycled: the pipeline
+			// packer may only overwrite these slots once the solved
+			// columns are back in B.
 			for g := sb; g < end; g++ {
-				slot := g - sb
+				slot := slotBase + (g - sb)
 				nBUncopy(b.Data[g*lenB:(g+1)*lenB], p.M, p.N, pl.ReverseB, pl.TransposeB, bl, packB[slot*lenPB:])
 			}
 		}
+		if pipelined && ci+2 < nChunks {
+			pipe.free <- slotBase / gb
+		}
+		ci++
+	}
+	if pipelined {
+		putTriPipe(pipe)
 	}
 }

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"iatf/internal/layout"
+	"iatf/internal/vec"
+)
+
+// Streaming pack/compute pipeline: within one worker's chunk of the
+// group range, the super-batch slot arrays are double-buffered and the
+// pack pass runs on a packer goroutine one super-batch ahead of the
+// compute pass, so the memcpy-bound packing kernels overlap the
+// FMA-bound computing kernels instead of serializing with them.
+//
+// Everything on this path is recycled: pipe structs (with their two
+// handoff channels) come from sync.Pools, packer goroutines are
+// persistent and fed through a job channel, and the double buffers are
+// ordinary bufpool buffers at twice the super-batch size — a warm
+// pipelined call allocates nothing.
+//
+// The handoff protocol is a two-token ring: the worker primes `free`
+// with parities 0 and 1, the packer takes a parity, packs the next
+// super-batch chunk into that half of the slot arrays and returns it on
+// `ready`; the worker computes from the half it receives and recycles
+// the parity once the half's last consumer (compute, or the B
+// write-back for TRSM/TRMM) is done. Both channels have capacity 2, so
+// neither side blocks spuriously and the channels are empty again when
+// the chunk range is drained — which is what makes the pipe poolable.
+
+// pipeJob is one worker-chunk packing assignment handed to a packer.
+type pipeJob interface{ run() }
+
+var (
+	packJobs    = make(chan pipeJob, 256)
+	packerCount atomic.Int32
+	packerIdle  atomic.Int32
+
+	pipeChunks    atomic.Uint64 // super-batch chunks packed ahead
+	pipeStalls    atomic.Uint64 // compute passes that waited on packing
+	pipeFallbacks atomic.Uint64 // pipeline declined: packers saturated
+)
+
+// maxPackers bounds the packer goroutines: one per processor is enough,
+// since a packer only has work while its paired compute worker runs.
+func maxPackers() int { return runtime.GOMAXPROCS(0) }
+
+// submitPipe hands a job to an idle packer, spawning a new persistent
+// packer if none is idle and the bound allows. Returns false when the
+// packer fleet is saturated — the caller packs synchronously.
+func submitPipe(j pipeJob) bool {
+	for {
+		if idle := packerIdle.Load(); idle > 0 {
+			if !packerIdle.CompareAndSwap(idle, idle-1) {
+				continue
+			}
+			packJobs <- j
+			return true
+		}
+		n := packerCount.Load()
+		if int(n) >= maxPackers() {
+			return false
+		}
+		if packerCount.CompareAndSwap(n, n+1) {
+			go packerLoop()
+			packJobs <- j
+			return true
+		}
+	}
+}
+
+func packerLoop() {
+	for j := range packJobs {
+		j.run()
+		packerIdle.Add(1)
+	}
+}
+
+// PipelineStats is a snapshot of the process-wide pipeline counters.
+type PipelineStats struct {
+	Chunks    uint64 `json:"chunks"`    // super-batch chunks packed ahead of compute
+	Stalls    uint64 `json:"stalls"`    // compute passes that blocked waiting for packing
+	Fallbacks uint64 `json:"fallbacks"` // pipeline requests declined (packers saturated)
+	Packers   int    `json:"packers"`   // persistent packer goroutines alive
+}
+
+// PipelineSnapshot returns the current pipeline counters.
+func PipelineSnapshot() PipelineStats {
+	return PipelineStats{
+		Chunks:    pipeChunks.Load(),
+		Stalls:    pipeStalls.Load(),
+		Fallbacks: pipeFallbacks.Load(),
+		Packers:   int(packerCount.Load()),
+	}
+}
+
+// gemmPipe carries one GEMM worker chunk's pack state to a packer.
+type gemmPipe[E vec.Float] struct {
+	pl           *GEMMPlan
+	a, b         *layout.Compact[E]
+	packA, packB []E // double-buffered slot arrays (2·gb·len); nil = not packed
+	gLo, gHi     int
+	ready, free  chan int
+}
+
+func (p *gemmPipe[E]) run() {
+	// Hoist every field into locals: after the final ready send the
+	// worker may recycle the pipe, so the loop tail must not touch p.
+	pl, a, b := p.pl, p.a, p.b
+	packA, packB := p.packA, p.packB
+	gLo, gHi := p.gLo, p.gHi
+	ready, free := p.ready, p.free
+	gb := pl.GroupsPerBatch
+	for sb := gLo; sb < gHi; sb += gb {
+		par := <-free
+		end := sb + gb
+		if end > gHi {
+			end = gHi
+		}
+		gemmPackChunk(pl, a, b, packA, packB, sb, end, par*gb)
+		pipeChunks.Add(1)
+		ready <- par
+	}
+}
+
+var (
+	gemmPipeF32 sync.Pool
+	gemmPipeF64 sync.Pool
+	triPipeF32  sync.Pool
+	triPipeF64  sync.Pool
+)
+
+func isF32[E vec.Float]() bool {
+	var z E
+	_, ok := any(z).(float32)
+	return ok
+}
+
+func getGEMMPipe[E vec.Float]() *gemmPipe[E] {
+	pool := &gemmPipeF64
+	if isF32[E]() {
+		pool = &gemmPipeF32
+	}
+	if v := pool.Get(); v != nil {
+		return v.(*gemmPipe[E])
+	}
+	return &gemmPipe[E]{ready: make(chan int, 2), free: make(chan int, 2)}
+}
+
+func putGEMMPipe[E vec.Float](p *gemmPipe[E]) {
+	p.pl, p.a, p.b, p.packA, p.packB = nil, nil, nil, nil, nil
+	pool := &gemmPipeF64
+	if isF32[E]() {
+		pool = &gemmPipeF32
+	}
+	pool.Put(p)
+}
+
+// triPackArgs is the pack-pass state shared by TRSM and TRMM: triangle
+// packing (reciprocal diagonal for TRSM, true diagonal for TRMM),
+// optional B canonicalization and optional alpha scaling.
+type triPackArgs[E vec.Float] struct {
+	a, b                             *layout.Compact[E]
+	panels                           []int
+	packTri, packB                   []E // nil = that pack step is skipped
+	mEff, nEff                       int
+	lenA, lenB, lenTri, lenPB        int
+	effUpper, transAEff, unit, recip bool
+	reverseB, transposeB             bool
+	alphaRe, alphaIm                 float64
+	scale                            bool
+	cplx                             bool
+	vl, bl, gb                       int
+}
+
+// packChunk packs groups [sb, end) into slots starting at slotBase.
+func (ar *triPackArgs[E]) packChunk(sb, end, slotBase int) {
+	for g := sb; g < end; g++ {
+		slot := slotBase + (g - sb)
+		if ar.packTri != nil {
+			npackTri(ar.a.Data[g*ar.lenA:(g+1)*ar.lenA], ar.mEff, ar.effUpper, ar.transAEff,
+				ar.unit, ar.recip, ar.panels, ar.cplx, ar.vl, ar.bl, ar.packTri[slot*ar.lenTri:])
+		}
+		var target []E
+		if ar.packB != nil {
+			nBCopy(ar.b.Data[g*ar.lenB:(g+1)*ar.lenB], ar.b.Rows, ar.b.Cols,
+				ar.reverseB, ar.transposeB, ar.bl, ar.packB[slot*ar.lenPB:])
+			target = ar.packB[slot*ar.lenPB : (slot+1)*ar.lenPB]
+		} else {
+			target = ar.b.Data[g*ar.lenB : (g+1)*ar.lenB]
+		}
+		if ar.scale {
+			nscale(target, ar.mEff*ar.nEff, ar.cplx, ar.vl, ar.alphaRe, ar.alphaIm)
+		}
+	}
+}
+
+// triPipe carries one TRSM/TRMM worker chunk's pack state to a packer.
+type triPipe[E vec.Float] struct {
+	args        triPackArgs[E]
+	gLo, gHi    int
+	ready, free chan int
+}
+
+func (p *triPipe[E]) run() {
+	args := p.args // value copy: the loop tail must not touch p
+	gLo, gHi := p.gLo, p.gHi
+	ready, free := p.ready, p.free
+	gb := args.gb
+	for sb := gLo; sb < gHi; sb += gb {
+		par := <-free
+		end := sb + gb
+		if end > gHi {
+			end = gHi
+		}
+		args.packChunk(sb, end, par*gb)
+		pipeChunks.Add(1)
+		ready <- par
+	}
+}
+
+func getTriPipe[E vec.Float]() *triPipe[E] {
+	pool := &triPipeF64
+	if isF32[E]() {
+		pool = &triPipeF32
+	}
+	if v := pool.Get(); v != nil {
+		return v.(*triPipe[E])
+	}
+	return &triPipe[E]{ready: make(chan int, 2), free: make(chan int, 2)}
+}
+
+func putTriPipe[E vec.Float](p *triPipe[E]) {
+	p.args = triPackArgs[E]{}
+	pool := &triPipeF64
+	if isF32[E]() {
+		pool = &triPipeF32
+	}
+	pool.Put(p)
+}

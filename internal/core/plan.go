@@ -168,6 +168,7 @@ type GEMMPlan struct {
 	MTiles, NTiles []int
 	KChunks        []int // reduction split into bounded kernel lengths
 	PackA          bool  // false = no-packing fast path for A (§4.4)
+	PackB          bool  // false = no-packing fast path for B (native executor)
 	GroupsPerBatch int   // Batch Counter decision, in interleave groups
 
 	tiles []tile
@@ -211,6 +212,14 @@ func newGEMMPlan(p GEMMProblem, tun Tuning, msizes, nsizes []int) (*GEMMPlan, er
 	// N-shaped panel.
 	mainMC := msizes[0]
 	pl.PackA = tun.ForcePackA || !(p.TransA == matrix.NoTrans && p.M <= mainMC)
+
+	// B skips packing in transposed mode when a single column panel covers
+	// N: B is stored N×K, so block (l, cc) sits at (l·N+cc)·bl — exactly
+	// the Z-shaped panel order with j0 = 0 — and the kernels can walk the
+	// operand in place. The cycle-model backend keeps packing B (its arena
+	// layout predates the fast path); the copy is exact, so both backends
+	// stay bit-identical.
+	pl.PackB = tun.ForcePackA || !(p.TransB == matrix.Transpose && len(pl.NTiles) == 1)
 
 	// Batch Counter: packed A + packed B + the C tile per group must fit
 	// the L1 budget.

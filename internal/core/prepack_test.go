@@ -1,0 +1,378 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"iatf/internal/bufpool"
+	"iatf/internal/matrix"
+	"iatf/internal/vec"
+)
+
+// Prepacked operands and the streaming pack/compute pipeline are pure
+// reorderings of the same packing kernels: their results must match the
+// always-packing, never-pipelining VM backend bit for bit, for every
+// worker count.
+
+func TestPrepackedGEMMParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	for _, dt := range vec.DTypes {
+		for _, mnk := range [][3]int{{4, 4, 4}, {7, 6, 5}, {15, 15, 15}} {
+			for _, mode := range [][2]matrix.Trans{
+				{matrix.NoTrans, matrix.NoTrans},
+				// NT drives the B no-packing fast path when N fits one tile.
+				{matrix.NoTrans, matrix.Transpose},
+				{matrix.Transpose, matrix.Transpose},
+			} {
+				p := GEMMProblem{DT: dt, M: mnk[0], N: mnk[1], K: mnk[2],
+					TransA: mode[0], TransB: mode[1], Alpha: 1.5, Beta: 1, Count: 21}
+				if dt.Real() == vec.S {
+					prepackedGEMMParity[float32](t, rng, p)
+				} else {
+					prepackedGEMMParity[float64](t, rng, p)
+				}
+			}
+		}
+	}
+}
+
+func prepackedGEMMParity[E vec.Float](t *testing.T, rng *rand.Rand, p GEMMProblem) {
+	t.Helper()
+	// ForceGroupsPerBatch=1 maximizes the chunk count so every worker
+	// split takes the double-buffered pipeline, not the sync fallback.
+	tun := DefaultTuning()
+	tun.ForceGroupsPerBatch = 1
+	pl, err := NewGEMMPlan(p, tun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, ac := p.M, p.K
+	if p.TransA == matrix.Transpose {
+		ar, ac = p.K, p.M
+	}
+	br, bc := p.K, p.N
+	if p.TransB == matrix.Transpose {
+		br, bc = p.N, p.K
+	}
+	a := randCompact[E](rng, p.DT, p.Count, ar, ac)
+	b := randCompact[E](rng, p.DT, p.Count, br, bc)
+	c := randCompact[E](rng, p.DT, p.Count, p.M, p.N)
+	want := c.Clone()
+	if err := ExecGEMM(pl, a, b, want, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	preA := make([]E, pl.PrepackALen(a.Groups()))
+	preB := make([]E, pl.PrepackBLen(b.Groups()))
+	if len(preA) > 0 {
+		if err := PrepackGEMMA(pl, a, preA); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		preA = nil
+	}
+	if len(preB) > 0 {
+		if err := PrepackGEMMB(pl, b, preB); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		preB = nil
+	}
+
+	for _, workers := range []int{1, 3} {
+		// Pipelined pack-per-call path.
+		got := c.Clone()
+		if err := ExecGEMMNativeParallel(pl, a, b, got, workers); err != nil {
+			t.Fatal(err)
+		}
+		diffCompact(t, "pipelined", p.Mode(), workers, want.Data, got.Data)
+
+		// Prepacked path: the pack phase is skipped entirely.
+		got = c.Clone()
+		if err := ExecGEMMNativePrepacked(pl, a, b, got, preA, preB, workers); err != nil {
+			t.Fatal(err)
+		}
+		diffCompact(t, "prepacked", p.Mode(), workers, want.Data, got.Data)
+	}
+}
+
+func diffCompact[E vec.Float](t *testing.T, variant, mode string, workers int, want, got []E) {
+	t.Helper()
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s %s workers=%d: diverges at element %d: want %v got %v",
+				variant, mode, workers, i, want[i], got[i])
+		}
+	}
+}
+
+func TestPrepackedTRSMParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(312))
+	for _, dt := range vec.DTypes {
+		for _, mode := range []struct {
+			side matrix.Side
+			uplo matrix.Uplo
+			ta   matrix.Trans
+			diag matrix.Diag
+		}{
+			{matrix.Left, matrix.Lower, matrix.NoTrans, matrix.NonUnit},
+			{matrix.Left, matrix.Upper, matrix.NoTrans, matrix.NonUnit},
+			{matrix.Right, matrix.Lower, matrix.Transpose, matrix.Unit},
+		} {
+			p := TRSMProblem{DT: dt, M: 9, N: 6, Side: mode.side,
+				Uplo: mode.uplo, TransA: mode.ta, Diag: mode.diag, Alpha: 1, Count: 17}
+			if dt.Real() == vec.S {
+				prepackedTRSMParity[float32](t, rng, p)
+			} else {
+				prepackedTRSMParity[float64](t, rng, p)
+			}
+		}
+	}
+}
+
+func prepackedTRSMParity[E vec.Float](t *testing.T, rng *rand.Rand, p TRSMProblem) {
+	t.Helper()
+	tun := DefaultTuning()
+	tun.ForceGroupsPerBatch = 1
+	pl, err := NewTRSMPlan(p, tun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randCompact[E](rng, p.DT, p.Count, pl.MEff, pl.MEff)
+	for v := 0; v < p.Count; v++ {
+		for i := 0; i < pl.MEff; i++ {
+			re, im := a.At(v, i, i)
+			a.Set(v, i, i, re+2, im)
+		}
+	}
+	b := randCompact[E](rng, p.DT, p.Count, p.M, p.N)
+	want := b.Clone()
+	if err := ExecTRSM(pl, a, want, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	preTri := make([]E, pl.PrepackTriLen(a.Groups()))
+	if err := PrepackTRSMTri(pl, a, preTri); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 3} {
+		got := b.Clone()
+		if err := ExecTRSMNativeParallel(pl, a, got, workers); err != nil {
+			t.Fatal(err)
+		}
+		diffCompact(t, "pipelined", p.Mode(), workers, want.Data, got.Data)
+
+		got = b.Clone()
+		if err := ExecTRSMNativePrepacked(pl, a, got, preTri, workers); err != nil {
+			t.Fatal(err)
+		}
+		diffCompact(t, "prepacked", p.Mode(), workers, want.Data, got.Data)
+	}
+}
+
+func TestPrepackedTRMMParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(313))
+	for _, dt := range vec.DTypes {
+		for _, mode := range []struct {
+			side matrix.Side
+			uplo matrix.Uplo
+			ta   matrix.Trans
+			diag matrix.Diag
+		}{
+			{matrix.Left, matrix.Lower, matrix.NoTrans, matrix.NonUnit},
+			{matrix.Left, matrix.Upper, matrix.Transpose, matrix.Unit},
+		} {
+			p := TRMMProblem{DT: dt, M: 9, N: 6, Side: mode.side,
+				Uplo: mode.uplo, TransA: mode.ta, Diag: mode.diag, Alpha: 2, Count: 17}
+			if dt.Real() == vec.S {
+				prepackedTRMMParity[float32](t, rng, p)
+			} else {
+				prepackedTRMMParity[float64](t, rng, p)
+			}
+		}
+	}
+}
+
+func prepackedTRMMParity[E vec.Float](t *testing.T, rng *rand.Rand, p TRMMProblem) {
+	t.Helper()
+	tun := DefaultTuning()
+	tun.ForceGroupsPerBatch = 1
+	pl, err := NewTRMMPlan(p, tun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randCompact[E](rng, p.DT, p.Count, pl.MEff, pl.MEff)
+	b := randCompact[E](rng, p.DT, p.Count, p.M, p.N)
+	want := b.Clone()
+	if err := ExecTRMM(pl, a, want, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	preTri := make([]E, pl.PrepackTriLen(a.Groups()))
+	if err := PrepackTRMMTri(pl, a, preTri); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 3} {
+		got := b.Clone()
+		if err := ExecTRMMNativeParallel(pl, a, got, workers); err != nil {
+			t.Fatal(err)
+		}
+		diffCompact(t, "pipelined", p.Mode(), workers, want.Data, got.Data)
+
+		got = b.Clone()
+		if err := ExecTRMMNativePrepacked(pl, a, got, preTri, workers); err != nil {
+			t.Fatal(err)
+		}
+		diffCompact(t, "prepacked", p.Mode(), workers, want.Data, got.Data)
+	}
+}
+
+// A stale prepacked image must never be served: prepacking, mutating the
+// operand, then re-prepacking has to reflect the new contents.
+func TestPrepackReflectsOperandContents(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	p := GEMMProblem{DT: vec.S, M: 6, N: 6, K: 6, Alpha: 1, Beta: 0, Count: 9}
+	pl, err := NewGEMMPlan(p, DefaultTuning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := randCompact[float32](rng, vec.S, p.Count, 6, 6)
+	b := randCompact[float32](rng, vec.S, p.Count, 6, 6)
+	c := randCompact[float32](rng, vec.S, p.Count, 6, 6)
+
+	preA := make([]float32, pl.PrepackALen(a.Groups()))
+	preB := make([]float32, pl.PrepackBLen(b.Groups()))
+	pack := func() {
+		if len(preA) > 0 {
+			if err := PrepackGEMMA(pl, a, preA); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if len(preB) > 0 {
+			if err := PrepackGEMMB(pl, b, preB); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run := func() []float32 { // returns a copy of C's data
+		got := c.Clone()
+		pA, pB := preA, preB
+		if len(pA) == 0 {
+			pA = nil
+		}
+		if len(pB) == 0 {
+			pB = nil
+		}
+		if err := ExecGEMMNativePrepacked(pl, a, b, got, pA, pB, 1); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float32(nil), got.Data...)
+	}
+	pack()
+	before := run()
+
+	// Mutate both operands and re-prepack: results must change in step.
+	for i := range a.Data {
+		a.Data[i] *= 3
+	}
+	for i := range b.Data {
+		b.Data[i] += 1
+	}
+	pack()
+	after := run()
+
+	want := c.Clone()
+	if err := ExecGEMM(pl, a, b, want, nil); err != nil {
+		t.Fatal(err)
+	}
+	diffCompact(t, "after-mutation", p.Mode(), 1, want.Data, after)
+	same := true
+	for i := range before {
+		if before[i] != after[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("mutating the operands did not change the prepacked result")
+	}
+}
+
+// Every bufpool.Get in the native executors is paired with a Put on all
+// paths (pipelined, prepacked, sync fallback): after a quiescent sweep
+// over the op/mode matrix the in-use gauge must return to its baseline
+// and no double-returns may have been counted.
+func TestNativeExecutorsReturnAllBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(315))
+	before := bufpool.Snapshot()
+
+	for _, force := range []int{0, 1} { // default chunking and max pipelining
+		tun := DefaultTuning()
+		tun.ForceGroupsPerBatch = force
+		for _, workers := range []int{1, 3} {
+			p := GEMMProblem{DT: vec.S, M: 8, N: 8, K: 8, Alpha: 1, Beta: 1, Count: 25}
+			pl, err := NewGEMMPlan(p, tun)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := randCompact[float32](rng, vec.S, p.Count, 8, 8)
+			b := randCompact[float32](rng, vec.S, p.Count, 8, 8)
+			c := randCompact[float32](rng, vec.S, p.Count, 8, 8)
+			if err := ExecGEMMNativeParallel(pl, a, b, c, workers); err != nil {
+				t.Fatal(err)
+			}
+			preA := make([]float32, pl.PrepackALen(a.Groups()))
+			if len(preA) > 0 {
+				if err := PrepackGEMMA(pl, a, preA); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				preA = nil
+			}
+			if err := ExecGEMMNativePrepacked(pl, a, b, c, preA, nil, workers); err != nil {
+				t.Fatal(err)
+			}
+
+			tp := TRSMProblem{DT: vec.S, M: 9, N: 6, Side: matrix.Left, Uplo: matrix.Lower,
+				TransA: matrix.NoTrans, Diag: matrix.NonUnit, Alpha: 2, Count: 25}
+			tpl, err := NewTRSMPlan(tp, tun)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ta := randCompact[float32](rng, vec.S, tp.Count, tpl.MEff, tpl.MEff)
+			for v := 0; v < tp.Count; v++ {
+				for i := 0; i < tpl.MEff; i++ {
+					re, im := ta.At(v, i, i)
+					ta.Set(v, i, i, re+2, im)
+				}
+			}
+			tb := randCompact[float32](rng, vec.S, tp.Count, tp.M, tp.N)
+			if err := ExecTRSMNativeParallel(tpl, ta, tb, workers); err != nil {
+				t.Fatal(err)
+			}
+
+			mp := TRMMProblem{DT: vec.S, M: 9, N: 6, Side: matrix.Left, Uplo: matrix.Lower,
+				TransA: matrix.NoTrans, Diag: matrix.NonUnit, Alpha: 2, Count: 25}
+			mpl, err := NewTRMMPlan(mp, tun)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ExecTRMMNativeParallel(mpl, ta, tb, workers); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	after := bufpool.Snapshot()
+	if after.InUse != before.InUse {
+		t.Errorf("executors leaked buffers: in-use %d -> %d", before.InUse, after.InUse)
+	}
+	if after.DoublePuts != before.DoublePuts {
+		t.Errorf("executors double-returned buffers: %d -> %d", before.DoublePuts, after.DoublePuts)
+	}
+	if after.Gets == before.Gets {
+		t.Error("sweep exercised no pooled buffers; assertion is vacuous")
+	}
+}

@@ -163,6 +163,15 @@ func ExecTRMMNative[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E]) error {
 // ExecTRMMNativeParallel is ExecTRMMNative with worker-parallel groups.
 // workers <= 0 means auto (GOMAXPROCS).
 func ExecTRMMNativeParallel[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], workers int) error {
+	return ExecTRMMNativePrepacked(pl, a, b, nil, workers)
+}
+
+// ExecTRMMNativePrepacked is ExecTRMMNativeParallel consuming a
+// prepacked triangle: preTri, when non-nil, must hold the output of
+// PrepackTRMMTri for this plan (group-indexed, per PrepackTriLen), and
+// the per-call triangle pack is skipped. nil falls back to packing per
+// call.
+func ExecTRMMNativePrepacked[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], preTri []E, workers int) error {
 	p := pl.P
 	if pl.Tun.VL != 0 && pl.Tun.VL != p.DT.Pack() {
 		return fmt.Errorf("core: native execution requires the native lane count")
@@ -173,27 +182,23 @@ func ExecTRMMNativeParallel[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], 
 	if a.Rows != pl.MEff || a.Cols != pl.MEff || b.Rows != p.M || b.Cols != p.N {
 		return fmt.Errorf("core: shape mismatch A=%dx%d B=%dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
 	}
+	if preTri != nil && len(preTri) < pl.PrepackTriLen(a.Groups()) {
+		return fmt.Errorf("core: prepacked tri has %d elements, need %d", len(preTri), pl.PrepackTriLen(a.Groups()))
+	}
 	sched.Run(a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
-		trmmWorker(pl, a, b, lo, hi)
+		trmmWorker(pl, a, b, preTri, lo, hi)
 	})
 	return nil
 }
 
-func trmmWorker[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], gLo, gHi int) {
+func trmmWorker[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], preTri []E, gLo, gHi int) {
 	p := pl.P
 	vl := p.DT.Pack()
 	bl := blockLen(p.DT, vl)
 	cplx := p.DT.IsComplex()
 	lenA := pl.MEff * pl.MEff * bl
 	lenB := p.M * p.N * bl
-	lenTri := 0
-	{
-		r0 := 0
-		for _, q := range pl.Panels {
-			lenTri += (q*r0 + q*(q+1)/2) * bl
-			r0 += q
-		}
-	}
+	lenTri := pack.TriLen(bl, pl.Panels)
 	transAEff := p.TransA == matrix.Transpose
 	if p.Side == matrix.Right {
 		transAEff = !transAEff
@@ -201,41 +206,85 @@ func trmmWorker[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], gLo, gHi int
 	effUpper := (p.Uplo == matrix.Upper) != transAEff
 
 	gb := pl.GroupsPerBatch
-	bufTri := bufpool.Get[E](gb * lenTri)
-	defer bufpool.Put(bufTri)
-	packTri := bufTri.Slice()
+	needTri := preTri == nil
+	needScale := p.Alpha != 1
+	needPack := needTri || pl.PackB || needScale
+
+	pipelined := needPack && gHi-gLo > gb
+	nBuf := 1
+	if pipelined {
+		nBuf = 2
+	}
+	var packTri []E
+	if needTri {
+		bufTri := bufpool.Get[E](nBuf * gb * lenTri)
+		defer bufpool.Put(bufTri)
+		packTri = bufTri.Slice()
+	}
 	var packB []E
 	lenPB := 0
 	if pl.PackB {
 		lenPB = pl.MEff * pl.NEff * bl
-		bufB := bufpool.Get[E](gb * lenPB)
+		bufB := bufpool.Get[E](nBuf * gb * lenPB)
 		defer bufpool.Put(bufB)
 		packB = bufB.Slice()
 	}
 
+	args := triPackArgs[E]{
+		a: a, b: b, panels: pl.Panels, packTri: packTri, packB: packB,
+		mEff: pl.MEff, nEff: pl.NEff,
+		lenA: lenA, lenB: lenB, lenTri: lenTri, lenPB: lenPB,
+		effUpper: effUpper, transAEff: transAEff,
+		unit: p.Diag == matrix.Unit, recip: false,
+		reverseB: pl.ReverseB, transposeB: pl.TransposeB,
+		alphaRe: real(p.Alpha), alphaIm: imag(p.Alpha), scale: needScale,
+		cplx: cplx, vl: vl, bl: bl, gb: gb,
+	}
+
+	var pipe *triPipe[E]
+	if pipelined {
+		pipe = getTriPipe[E]()
+		pipe.args = args
+		pipe.gLo, pipe.gHi = gLo, gHi
+		pipe.free <- 0
+		pipe.free <- 1
+		if !submitPipe(pipe) {
+			<-pipe.free
+			<-pipe.free
+			putTriPipe(pipe)
+			pipe, pipelined = nil, false
+			pipeFallbacks.Add(1)
+		}
+	}
+
+	nChunks := (gHi - gLo + gb - 1) / gb
+	ci := 0
 	for sb := gLo; sb < gHi; sb += gb {
 		end := sb + gb
 		if end > gHi {
 			end = gHi
 		}
-		for g := sb; g < end; g++ {
-			slot := g - sb
-			npackTri(a.Data[g*lenA:(g+1)*lenA], pl.MEff, effUpper, transAEff,
-				p.Diag == matrix.Unit, false, pl.Panels, cplx, vl, bl, packTri[slot*lenTri:])
-			var target []E
-			if pl.PackB {
-				nBCopy(b.Data[g*lenB:(g+1)*lenB], p.M, p.N, pl.ReverseB, pl.TransposeB, bl, packB[slot*lenPB:])
-				target = packB[slot*lenPB : (slot+1)*lenPB]
-			} else {
-				target = b.Data[g*lenB : (g+1)*lenB]
+		slotBase := 0
+		if pipelined {
+			var par int
+			select {
+			case par = <-pipe.ready:
+			default:
+				pipeStalls.Add(1)
+				par = <-pipe.ready
 			}
-			if p.Alpha != 1 {
-				nscale(target, pl.MEff*pl.NEff, cplx, vl, real(p.Alpha), imag(p.Alpha))
-			}
+			slotBase = par * gb
+		} else if needPack {
+			args.packChunk(sb, end, 0)
 		}
 		for g := sb; g < end; g++ {
-			slot := g - sb
-			tri := packTri[slot*lenTri:]
+			slot := slotBase + (g - sb)
+			var tri []E
+			if needTri {
+				tri = packTri[slot*lenTri:]
+			} else {
+				tri = preTri[g*lenTri:]
+			}
 			var target []E
 			if pl.PackB {
 				target = packB[slot*lenPB:]
@@ -270,10 +319,17 @@ func trmmWorker[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], gLo, gHi int
 		}
 		if pl.PackB {
 			for g := sb; g < end; g++ {
-				slot := g - sb
+				slot := slotBase + (g - sb)
 				nBUncopy(b.Data[g*lenB:(g+1)*lenB], p.M, p.N, pl.ReverseB, pl.TransposeB, bl, packB[slot*lenPB:])
 			}
 		}
+		if pipelined && ci+2 < nChunks {
+			pipe.free <- slotBase / gb
+		}
+		ci++
+	}
+	if pipelined {
+		putTriPipe(pipe)
 	}
 }
 

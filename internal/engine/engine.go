@@ -186,6 +186,7 @@ type Engine struct {
 	tun    core.Tuning
 	shards [planShards]planShard
 	obs    *obs.Registry
+	packs  packCache
 
 	planHits      atomic.Uint64
 	planMisses    atomic.Uint64
@@ -200,6 +201,7 @@ func New(tun core.Tuning) *Engine {
 		e.shards[i].m = make(map[planKey]any)
 		e.shards[i].building = make(map[planKey]*planCall)
 	}
+	e.packs.m = make(map[packKey]*packEntry)
 	return e
 }
 
@@ -267,6 +269,9 @@ type Stats struct {
 	PlanEvictions uint64
 	PlanEntries   int
 
+	// Packed-operand cache (this engine).
+	PackCache PackCacheStats
+
 	// Per-shape rolling series (this engine), ordered by call count.
 	Shapes []obs.ShapeSnapshot
 
@@ -275,6 +280,9 @@ type Stats struct {
 
 	// Persistent worker pool (process-wide).
 	Sched sched.Stats
+
+	// Streaming pack/compute pipeline (process-wide).
+	Pipeline core.PipelineStats
 }
 
 // Stats returns the current counters.
@@ -291,9 +299,11 @@ func (e *Engine) Stats() Stats {
 		PlanShared:    e.planShared.Load(),
 		PlanEvictions: e.planEvictions.Load(),
 		PlanEntries:   entries,
+		PackCache:     e.packs.snapshot(),
 		Shapes:        e.obs.Snapshot(),
 		Buffers:       bufpool.Snapshot(),
 		Sched:         sched.Snapshot(),
+		Pipeline:      core.PipelineSnapshot(),
 	}
 }
 
@@ -418,22 +428,90 @@ func (e *Engine) runGEMM(op OpDesc, a, b, c Operand) error {
 	series.Plan(outcome)
 	series.SetWorkers(sched.Resolve(op.Workers))
 	if outcome == obs.CacheMiss {
-		pack := "B"
-		if pl.PackA {
-			pack = "A+B"
-		}
-		series.SetPlan(cmarCeiling(e.tun, key.dt, pl.MTiles[0], pl.NTiles[0]), pack, pl.GroupsPerBatch)
+		series.SetPlan(cmarCeiling(e.tun, key.dt, pl.MTiles[0], pl.NTiles[0]),
+			gemmPackDesc(pl.PackA, pl.PackB), pl.GroupsPerBatch)
 	}
 	if fn := e.obs.TraceSink(); fn != nil {
 		fn(gemmTrace(op, &pl, c.groups(), outcome))
 	}
 	start := time.Now()
 	if a.F32 != nil {
-		err = core.ExecGEMMNativeParallel(&pl, a.F32, b.F32, c.F32, op.Workers)
+		err = execGEMM(e, key, &pl, a.F32, b.F32, c.F32, op.Workers, series)
 	} else {
-		err = core.ExecGEMMNativeParallel(&pl, a.F64, b.F64, c.F64, op.Workers)
+		err = execGEMM(e, key, &pl, a.F64, b.F64, c.F64, op.Workers, series)
 	}
 	series.Record(time.Since(start), pl.P.FLOPs(), err != nil)
+	return err
+}
+
+// gemmPackDesc names the GEMM packing decision for the per-shape series.
+func gemmPackDesc(packA, packB bool) string {
+	switch {
+	case packA && packB:
+		return "A+B"
+	case packA:
+		return "A"
+	case packB:
+		return "B"
+	}
+	return "none"
+}
+
+// execGEMM resolves prepacked images for opted-in operands and runs the
+// native executor. References on cache entries are held across the
+// kernel loop and dropped after it, so invalidation or eviction during
+// the call cannot free storage the kernels are reading.
+func execGEMM[E vec.Float](e *Engine, key planKey, pl *core.GEMMPlan, a, b, c *layout.Compact[E], workers int, series *obs.Series) error {
+	var preA, preB []E
+	var entA, entB *packEntry
+	if pl.PackA {
+		if id, gen := a.PrepackState(); id != 0 {
+			k := packKey{id: id, gen: gen, plan: key, role: roleA}
+			ent, data, ok, err := lookupPacked[E](e, k)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				ent, data, err = buildPacked(e, k, pl.PrepackALen(a.Groups()), func(dst []E) error {
+					return core.PrepackGEMMA(pl, a, dst)
+				})
+				if err != nil {
+					return err
+				}
+			}
+			preA, entA = data, ent
+			series.Prepack(ok)
+		}
+	}
+	if pl.PackB {
+		if id, gen := b.PrepackState(); id != 0 {
+			k := packKey{id: id, gen: gen, plan: key, role: roleB}
+			ent, data, ok, err := lookupPacked[E](e, k)
+			if err == nil && !ok {
+				ent, data, err = buildPacked(e, k, pl.PrepackBLen(b.Groups()), func(dst []E) error {
+					return core.PrepackGEMMB(pl, b, dst)
+				})
+			}
+			if err != nil {
+				if entA != nil {
+					e.packs.release(entA)
+				}
+				return err
+			}
+			preB, entB = data, ent
+			series.Prepack(ok)
+		}
+	}
+	err := core.ExecGEMMNativePrepacked(pl, a, b, c, preA, preB, workers)
+	if entA != nil {
+		e.packs.release(entA)
+	}
+	if entB != nil {
+		e.packs.release(entB)
+	}
+	// The call wrote C: retire any packed images of its previous contents
+	// (no-op unless C opted into reuse).
+	c.Invalidate()
 	return err
 }
 
@@ -481,9 +559,9 @@ func (e *Engine) runTri(op OpDesc, a, b Operand) error {
 		}
 		start := time.Now()
 		if a.F32 != nil {
-			err = core.ExecTRSMNativeParallel(&pl, a.F32, b.F32, op.Workers)
+			err = execTRSM(e, key, &pl, a.F32, b.F32, op.Workers, series)
 		} else {
-			err = core.ExecTRSMNativeParallel(&pl, a.F64, b.F64, op.Workers)
+			err = execTRSM(e, key, &pl, a.F64, b.F64, op.Workers, series)
 		}
 		series.Record(time.Since(start), pl.P.FLOPs(), err != nil)
 		return err
@@ -510,11 +588,66 @@ func (e *Engine) runTri(op OpDesc, a, b Operand) error {
 	}
 	start := time.Now()
 	if a.F32 != nil {
-		err = core.ExecTRMMNativeParallel(&pl, a.F32, b.F32, op.Workers)
+		err = execTRMM(e, key, &pl, a.F32, b.F32, op.Workers, series)
 	} else {
-		err = core.ExecTRMMNativeParallel(&pl, a.F64, b.F64, op.Workers)
+		err = execTRMM(e, key, &pl, a.F64, b.F64, op.Workers, series)
 	}
 	series.Record(time.Since(start), pl.P.FLOPs(), err != nil)
+	return err
+}
+
+// execTRSM resolves a prepacked triangle for an opted-in A and runs the
+// native executor; see execGEMM for the reference discipline.
+func execTRSM[E vec.Float](e *Engine, key planKey, pl *core.TRSMPlan, a, b *layout.Compact[E], workers int, series *obs.Series) error {
+	var preTri []E
+	var ent *packEntry
+	if id, gen := a.PrepackState(); id != 0 {
+		k := packKey{id: id, gen: gen, plan: key, role: roleTri}
+		var ok bool
+		var err error
+		ent, preTri, ok, err = lookupPacked[E](e, k)
+		if err == nil && !ok {
+			ent, preTri, err = buildPacked(e, k, pl.PrepackTriLen(a.Groups()), func(dst []E) error {
+				return core.PrepackTRSMTri(pl, a, dst)
+			})
+		}
+		if err != nil {
+			return err
+		}
+		series.Prepack(ok)
+	}
+	err := core.ExecTRSMNativePrepacked(pl, a, b, preTri, workers)
+	if ent != nil {
+		e.packs.release(ent)
+	}
+	b.Invalidate() // the call wrote B
+	return err
+}
+
+// execTRMM is execTRSM for TRMM (true-diagonal triangle image).
+func execTRMM[E vec.Float](e *Engine, key planKey, pl *core.TRMMPlan, a, b *layout.Compact[E], workers int, series *obs.Series) error {
+	var preTri []E
+	var ent *packEntry
+	if id, gen := a.PrepackState(); id != 0 {
+		k := packKey{id: id, gen: gen, plan: key, role: roleTri}
+		var ok bool
+		var err error
+		ent, preTri, ok, err = lookupPacked[E](e, k)
+		if err == nil && !ok {
+			ent, preTri, err = buildPacked(e, k, pl.PrepackTriLen(a.Groups()), func(dst []E) error {
+				return core.PrepackTRMMTri(pl, a, dst)
+			})
+		}
+		if err != nil {
+			return err
+		}
+		series.Prepack(ok)
+	}
+	err := core.ExecTRMMNativePrepacked(pl, a, b, preTri, workers)
+	if ent != nil {
+		e.packs.release(ent)
+	}
+	b.Invalidate() // the call wrote B
 	return err
 }
 
@@ -569,8 +702,10 @@ func (e *Engine) runSYRK(op OpDesc, a, c Operand) error {
 	start := time.Now()
 	if a.F32 != nil {
 		err = core.ExecSYRKNativeParallel(&pl, a.F32, c.F32, op.Workers)
+		c.F32.Invalidate() // the call wrote C
 	} else {
 		err = core.ExecSYRKNativeParallel(&pl, a.F64, c.F64, op.Workers)
+		c.F64.Invalidate()
 	}
 	series.Record(time.Since(start), pl.P.FLOPs(), err != nil)
 	return err

@@ -46,8 +46,13 @@ func gemmTrace(op OpDesc, pl *core.GEMMPlan, groups int, outcome obs.CacheOutcom
 		ev.Queue = append(ev.Queue, obs.Command{Stage: "pack", Kernel: "none",
 			Detail: "A no-packing fast path (§4.4): native order already is the row panel"})
 	}
-	ev.Queue = append(ev.Queue, obs.Command{Stage: "pack", Kernel: "npackB",
-		Detail: fmt.Sprintf("B column panels (Z-shape), N tiles %v, K=%d", pl.NTiles, p.K)})
+	if pl.PackB {
+		ev.Queue = append(ev.Queue, obs.Command{Stage: "pack", Kernel: "npackB",
+			Detail: fmt.Sprintf("B column panels (Z-shape), N tiles %v, K=%d", pl.NTiles, p.K)})
+	} else {
+		ev.Queue = append(ev.Queue, obs.Command{Stage: "pack", Kernel: "none",
+			Detail: "B no-packing fast path (§4.4): Bᵀ storage already is the single column panel"})
+	}
 	if p.Beta != 0 && p.Beta != 1 {
 		ev.Queue = append(ev.Queue, obs.Command{Stage: "scale", Kernel: "nscale",
 			Detail: fmt.Sprintf("C *= beta (%v)", p.Beta)})

@@ -12,6 +12,7 @@ package layout
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"iatf/internal/matrix"
 	"iatf/internal/vec"
@@ -32,6 +33,43 @@ type Compact[E vec.Float] struct {
 	Count      int // number of real (non-padding) matrices
 	Rows, Cols int
 	Data       []E
+
+	// prepackID/prepackGen are the reuse identity for the engine's
+	// packed-operand cache: id 0 means the batch has not opted into pack
+	// reuse; a nonzero id plus the current generation key cached packed
+	// images of this batch. Plain words manipulated through sync/atomic
+	// (not atomic.Uint64) so Clone's struct copy stays legal under vet.
+	prepackID  uint64
+	prepackGen uint64
+}
+
+// prepackIDs hands out process-unique reuse identities.
+var prepackIDs uint64
+
+// EnablePrepack opts the batch into packed-operand reuse, assigning a
+// process-unique identity on first call. Safe for concurrent use;
+// idempotent.
+func (c *Compact[E]) EnablePrepack() {
+	if atomic.LoadUint64(&c.prepackID) != 0 {
+		return
+	}
+	id := atomic.AddUint64(&prepackIDs, 1)
+	atomic.CompareAndSwapUint64(&c.prepackID, 0, id)
+}
+
+// PrepackState returns the batch's reuse identity and current
+// generation. id 0 means reuse is not enabled.
+func (c *Compact[E]) PrepackState() (id, gen uint64) {
+	return atomic.LoadUint64(&c.prepackID), atomic.LoadUint64(&c.prepackGen)
+}
+
+// Invalidate bumps the generation after the caller mutated Data, so
+// cached packed images of the previous contents stop matching. A no-op
+// until EnablePrepack.
+func (c *Compact[E]) Invalidate() {
+	if atomic.LoadUint64(&c.prepackID) != 0 {
+		atomic.AddUint64(&c.prepackGen, 1)
+	}
 }
 
 // NewCompact allocates a zeroed compact batch. It panics if E does not
@@ -105,9 +143,11 @@ func (c *Compact[E]) Set(v, i, j int, re, im E) {
 	}
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The copy does not inherit the reuse
+// identity: it is a distinct value that may diverge from the original.
 func (c *Compact[E]) Clone() *Compact[E] {
 	out := *c
+	out.prepackID, out.prepackGen = 0, 0
 	out.Data = make([]E, len(c.Data))
 	copy(out.Data, c.Data)
 	return &out

@@ -84,6 +84,19 @@ type Series struct {
 	pack    atomic.Pointer[string] // pack-vs-nopack decision, e.g. "A+B"
 	groups  atomic.Int64           // plan's groups per super-batch
 	workers atomic.Int64           // last resolved worker count
+
+	prepackHits   atomic.Uint64 // calls served from the packed-operand cache
+	prepackBuilds atomic.Uint64 // calls that built a packed-operand image
+}
+
+// Prepack records one packed-operand cache interaction: hit means the
+// call reused a cached packed image, otherwise it built (and cached) one.
+func (s *Series) Prepack(hit bool) {
+	if hit {
+		s.prepackHits.Add(1)
+	} else {
+		s.prepackBuilds.Add(1)
+	}
 }
 
 // Plan records the plan-cache outcome of one call.
@@ -195,6 +208,9 @@ type ShapeSnapshot struct {
 	Pack           string `json:"pack"`
 	GroupsPerBatch int    `json:"groups_per_batch"`
 	Workers        int    `json:"workers"`
+
+	PrepackHits   uint64 `json:"prepack_hits,omitempty"`
+	PrepackBuilds uint64 `json:"prepack_builds,omitempty"`
 }
 
 // HitRatio returns the fraction of calls served from the plan cache.
@@ -221,6 +237,8 @@ func (s *Series) snapshot(key ShapeKey) ShapeSnapshot {
 		CeilingGFLOPS:  math.Float64frombits(s.ceiling.Load()),
 		GroupsPerBatch: int(s.groups.Load()),
 		Workers:        int(s.workers.Load()),
+		PrepackHits:    s.prepackHits.Load(),
+		PrepackBuilds:  s.prepackBuilds.Load(),
 	}
 	if p := s.pack.Load(); p != nil {
 		snap.Pack = *p
