@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race stress bench benchsmoke info trace ci
+.PHONY: all build vet lint test race stress asyncstress bench benchsmoke info trace ci
 
 all: ci
 
@@ -36,6 +36,12 @@ stress:
 	$(GO) test -race -count=2 -run 'TestPoolResize' -v ./internal/sched/
 	$(GO) test -race -count=2 -run 'TestSeriesConcurrent' -v ./internal/obs/
 
+# Async submission stress under the race detector, run twice: queue
+# backpressure, cancellation, coalescing parity and the concurrent
+# Do/Submit front-end.
+asyncstress:
+	$(GO) test -race -run Async -count=2 . ./internal/engine/
+
 # Wall-clock benchmark of the native path — pack-per-call vs prepacked
 # operand reuse — writing the rows to BENCH_wallclock.json.
 bench:
@@ -55,4 +61,4 @@ info:
 trace:
 	$(GO) run ./cmd/iatf-trace -engine
 
-ci: lint build test race stress benchsmoke
+ci: lint build test race stress asyncstress benchsmoke

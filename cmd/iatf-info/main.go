@@ -5,12 +5,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"sync"
 
 	"iatf"
 	"iatf/internal/core"
@@ -161,6 +164,48 @@ func printEngine(asJSON bool) {
 			}
 		}
 	}
+	// Batched factorization through the factor dispatch path: LU shows up
+	// in the plan cache and the per-shape series like the level-3 ops.
+	factor := func(n int) {
+		a := iatf.NewBatch[float32](count, n, n)
+		for mi := 0; mi < count; mi++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j <= i; j++ {
+					a.Set(mi, i, j, 1)
+				}
+				a.Set(mi, i, i, float32(n+1))
+			}
+		}
+		ca := iatf.Pack(a)
+		for i := 0; i < 4; i++ {
+			if _, err := iatf.LU(ca); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	// Async burst: 8 concurrent submitters of one problem through the
+	// request API's queue, so the coalescing counters move under load.
+	burst := func(m int) {
+		const submitters = 8
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(submitters))
+		var wg sync.WaitGroup
+		for g := 0; g < submitters; g++ {
+			a := iatf.Pack(iatf.NewBatch[float32](count/8, m, m))
+			b := iatf.Pack(iatf.NewBatch[float32](count/8, m, m))
+			c := iatf.Pack(iatf.NewBatch[float32](count/8, m, m))
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				req := iatf.Request[float32]{Op: iatf.OpGEMM, Alpha: 1, Beta: 1, A: a, B: b, C: c}
+				for i := 0; i < 16; i++ {
+					if err := iatf.Do(context.Background(), req, iatf.WithAsync()); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	gemm(8, 8, 8, true)
 	gemm(8, 8, 8, true) // same shape: pure plan- and pack-cache hits
 	gemm(6, 5, 7, false) // pack-per-call: exercises the streaming pipeline
@@ -168,6 +213,8 @@ func printEngine(asJSON bool) {
 	tri(true, 8, 4)
 	tri(false, 8, 4)
 	syrk(8, 6)
+	factor(8)
+	burst(8)
 
 	s := iatf.DefaultEngine().Stats()
 	if asJSON {
@@ -200,6 +247,11 @@ func printEngine(asJSON bool) {
 	fmt.Println("pack/compute pipeline:")
 	fmt.Printf("  chunks %d, stalls %d, sync fallbacks %d, packers %d\n",
 		s.Pipeline.Chunks, s.Pipeline.Stalls, s.Pipeline.Fallbacks, s.Pipeline.Packers)
+	fmt.Println("async submission queue:")
+	fmt.Printf("  submitted %d (inline %d), dispatches %d, coalesced %d (max fused %d)\n",
+		s.Queue.Submitted, s.Queue.Inline, s.Queue.Dispatches, s.Queue.Coalesced, s.Queue.MaxFused)
+	fmt.Printf("  cancelled %d, rejected %d, depth %d / capacity %d\n",
+		s.Queue.Cancelled, s.Queue.Rejected, s.Queue.Depth, s.Queue.Capacity)
 
 	fmt.Println("per-shape series (by call count):")
 	fmt.Printf("  %-5s %-2s %-4s %-11s %6s %9s %9s %7s %7s %7s %5s %-6s %4s %3s\n",

@@ -1,0 +1,207 @@
+package iatf
+
+import (
+	"context"
+	"fmt"
+
+	"iatf/internal/engine"
+)
+
+// ErrQueueFull is returned by Submit (and Do with WithAsync) when the
+// engine's bounded submission queue is at capacity — the backpressure
+// signal under overload. Branch with errors.Is(err, iatf.ErrQueueFull).
+var ErrQueueFull = engine.ErrQueueFull
+
+// Op selects the routine of a Request.
+type Op int
+
+// The level-3 routines Do and Submit accept. (The factorizations keep
+// their dedicated entry points: they return per-matrix info codes the
+// error-only request API cannot carry.)
+const (
+	OpGEMM Op = iota
+	OpTRSM
+	OpTRMM
+	OpSYRK
+)
+
+// Request describes one batched level-3 call as data: the routine, its
+// mode flags and scalars, and the operands in BLAS argument order. Which
+// fields are read depends on Op:
+//
+//	OpGEMM: TransA, TransB, Alpha, Beta, A, B, C  (C = α·op(A)·op(B) + β·C)
+//	OpTRSM: Side, Uplo, TransA, Diag, Alpha, A, B (B overwritten with X)
+//	OpTRMM: Side, Uplo, TransA, Diag, Alpha, A, B (B overwritten)
+//	OpSYRK: Uplo, TransA, Alpha, Beta, A, C       (C = α·op(A)·op(A)ᵀ + β·C)
+//
+// A Request is a value: build it once and reuse it across calls.
+type Request[T Scalar] struct {
+	Op             Op
+	TransA, TransB Trans
+	Side           Side
+	Uplo           Uplo
+	Diag           Diag
+	Alpha, Beta    T
+	A, B, C        *Compact[T]
+}
+
+// callCfg is the resolved option set of one Do/Submit call.
+type callCfg struct {
+	workers int
+	eng     *Engine
+	async   bool
+}
+
+// Option configures one Do or Submit call. Options are plain values (not
+// closures) so passing them never forces a heap allocation beyond the
+// variadic slice itself.
+type Option struct {
+	workers    int
+	hasWorkers bool
+	eng        *Engine
+	async      bool
+}
+
+// WithWorkers sets the worker split: n <= 0 means auto (one worker per
+// GOMAXPROCS); the default is 1 (serial on the caller).
+func WithWorkers(n int) Option { return Option{workers: n, hasWorkers: true} }
+
+// WithEngine routes the call through a specific engine (its plan cache,
+// submission queue and counters) instead of the process-wide default.
+func WithEngine(e *Engine) Option { return Option{eng: e} }
+
+// WithAsync routes the call through the engine's async submission queue,
+// where concurrent same-problem requests are coalesced into one fused
+// dispatch. Do still blocks until the request completes (so concurrent
+// Do(..., WithAsync()) callers form the dynamic batch); use Submit for
+// the fire-now-wait-later form.
+func WithAsync() Option { return Option{async: true} }
+
+func resolveOpts(opts []Option) callCfg {
+	cfg := callCfg{workers: 1}
+	for _, o := range opts {
+		if o.hasWorkers {
+			cfg.workers = o.workers
+		}
+		if o.eng != nil {
+			cfg.eng = o.eng
+		}
+		if o.async {
+			cfg.async = true
+		}
+	}
+	if cfg.eng == nil {
+		cfg.eng = DefaultEngine()
+	}
+	return cfg
+}
+
+// toDesc lowers a Request onto the engine's op descriptor and operand
+// list. The operand array lives on the caller's stack: the warm
+// synchronous path must not allocate.
+func toDesc[T Scalar](req Request[T], workers int) (engine.OpDesc, [3]engine.Operand, int, error) {
+	desc := engine.OpDesc{
+		TransA: req.TransA, TransB: req.TransB,
+		Side: req.Side, Uplo: req.Uplo, Diag: req.Diag,
+		Alpha: scalarToComplex(req.Alpha), Beta: scalarToComplex(req.Beta),
+		Workers: workers,
+	}
+	var ops [3]engine.Operand
+	switch req.Op {
+	case OpGEMM:
+		desc.Kind = engine.OpGEMM
+		ops[0], ops[1], ops[2] = operandOf(req.A), operandOf(req.B), operandOf(req.C)
+		return desc, ops, 3, nil
+	case OpTRSM, OpTRMM:
+		desc.Kind = engine.OpTRSM
+		if req.Op == OpTRMM {
+			desc.Kind = engine.OpTRMM
+		}
+		ops[0], ops[1] = operandOf(req.A), operandOf(req.B)
+		return desc, ops, 2, nil
+	case OpSYRK:
+		desc.Kind = engine.OpSYRK
+		ops[0], ops[1] = operandOf(req.A), operandOf(req.C)
+		return desc, ops, 2, nil
+	}
+	return desc, ops, 0, fmt.Errorf("iatf: unknown request op %d: %w", int(req.Op), ErrOperand)
+}
+
+// Do executes one request. By default it runs synchronously through the
+// engine's dispatch path — the warm path costs the same two allocations
+// as the classic entry points. With WithAsync it submits to the engine's
+// queue and waits, so concurrent callers of the same problem are
+// coalesced into one fused dispatch. ctx is honored in both forms: a
+// context already done returns ctx.Err() without executing.
+//
+//	err := iatf.Do(ctx, iatf.Request[float32]{
+//	    Op: iatf.OpGEMM, Alpha: 1, Beta: 1, A: a, B: b, C: c,
+//	}, iatf.WithWorkers(0), iatf.WithAsync())
+func Do[T Scalar](ctx context.Context, req Request[T], opts ...Option) error {
+	cfg := resolveOpts(opts)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if !cfg.async {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return doSync(cfg.eng, cfg.workers, req)
+	}
+	fut, err := submitReq(ctx, cfg.eng, cfg.workers, req)
+	if err != nil {
+		return err
+	}
+	return fut.Wait(ctx)
+}
+
+// doSync is the shared synchronous path behind Do and the compatibility
+// wrappers (GEMM/TRSM/... and their Parallel/On variants), kept free of
+// option handling so the warm call stays allocation-minimal.
+func doSync[T Scalar](e *Engine, workers int, req Request[T]) error {
+	desc, ops, n, err := toDesc(req, workers)
+	if err != nil {
+		return err
+	}
+	return e.inner.Run(desc, ops[:n]...)
+}
+
+// Submit enqueues one request on the engine's submission queue and
+// returns a Future resolving when it completes. The operands must not be
+// mutated until then. If the queue is idle the request executes
+// immediately on the caller (single-caller latency is unchanged);
+// under concurrent load the dispatcher coalesces same-problem requests
+// into fused dispatches. A full queue returns ErrQueueFull; a context
+// already done returns ctx.Err().
+func Submit[T Scalar](ctx context.Context, req Request[T], opts ...Option) (*Future, error) {
+	cfg := resolveOpts(opts)
+	return submitReq(ctx, cfg.eng, cfg.workers, req)
+}
+
+func submitReq[T Scalar](ctx context.Context, e *Engine, workers int, req Request[T]) (*Future, error) {
+	desc, ops, n, err := toDesc(req, workers)
+	if err != nil {
+		return nil, err
+	}
+	fut, err := e.inner.Submit(ctx, desc, ops[:n]...)
+	if err != nil {
+		return nil, err
+	}
+	return &Future{inner: fut}, nil
+}
+
+// Future is the completion handle of a submitted request.
+type Future struct {
+	inner *engine.Future
+}
+
+// Done returns a channel closed when the request has completed.
+func (f *Future) Done() <-chan struct{} { return f.inner.Done() }
+
+// Err blocks until the request completes and returns its outcome.
+func (f *Future) Err() error { return f.inner.Err() }
+
+// Wait blocks until the request completes or ctx is done, returning the
+// request's error or ctx.Err(). Abandoning the wait does not cancel the
+// request; the submission's own context governs execution.
+func (f *Future) Wait(ctx context.Context) error { return f.inner.Wait(ctx) }

@@ -43,9 +43,16 @@ type Engine struct {
 }
 
 // EngineStats is a snapshot of engine counters: plan-cache hits/misses/
-// entries (per engine), packing-buffer pool reuse, and worker-pool
-// activity (the latter two are process-wide).
+// entries (per engine), packing-buffer pool reuse, worker-pool activity
+// (the latter two are process-wide), and the submission queue's
+// coalescing counters in EngineStats.Queue.
 type EngineStats = engine.Stats
+
+// QueueStats is the submission-queue slice of EngineStats: submissions,
+// inline fast-path executions, dispatches, coalesced riders, the largest
+// fused bundle, cancellations, backpressure rejections, and the queue's
+// current depth and capacity.
+type QueueStats = engine.QueueStats
 
 var defaultEng = &Engine{inner: engine.Default()}
 
@@ -65,6 +72,11 @@ func NewEngine() *Engine {
 // Stats returns the engine's current counters, including the per-shape
 // series in Stats.Shapes (ordered by call count).
 func (e *Engine) Stats() EngineStats { return e.inner.Stats() }
+
+// SetQueueCapacity bounds the engine's async submission queue (default
+// 1024 requests). Submissions beyond the bound fail fast with
+// ErrQueueFull. Effective only before the engine's first Submit.
+func (e *Engine) SetQueueCapacity(n int) { e.inner.SetQueueCapacity(n) }
 
 // SetTrace installs a trace hook on the engine: fn receives the
 // assembled command queue of sampled calls (every nth; every == 1 traces

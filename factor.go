@@ -4,7 +4,14 @@ import (
 	"fmt"
 
 	"iatf/internal/core"
+	"iatf/internal/engine"
 )
+
+// The compact batched factorizations route through the engine's factor
+// dispatch path like every level-3 op: calls are validated with the
+// typed taxonomy (ErrShape/ErrDType/ErrOperand), counted in the
+// plan cache, and observed in the per-shape series ("LU", "CHOL",
+// "LUPIV" ops in iatf-info -engine).
 
 // LU factors every matrix of the compact batch in place into L\U
 // (Doolittle: unit lower triangle below the diagonal, upper triangle with
@@ -23,13 +30,8 @@ func LU[T Scalar](a *Compact[T]) ([]int, error) {
 // pool splitting the batch. workers <= 0 means auto (GOMAXPROCS);
 // workers == 1 runs serially.
 func LUParallel[T Scalar](workers int, a *Compact[T]) ([]int, error) {
-	if err := a.check("A"); err != nil {
-		return nil, err
-	}
-	if a.f32 != nil {
-		return core.ExecFactorNative(core.LUKind, a.f32, workers)
-	}
-	return core.ExecFactorNative(core.LUKind, a.f64, workers)
+	return DefaultEngine().inner.RunFactor(
+		engine.OpDesc{Kind: engine.OpLU, Workers: workers}, operandOf(a))
 }
 
 // LUSolve solves A·X = B for every matrix of the batch, where a holds
@@ -46,8 +48,9 @@ func LUSolve[T Scalar](a, b *Compact[T]) error {
 
 // Cholesky factors every matrix of the compact batch in place into its
 // lower Cholesky factor L (A = L·Lᵀ; the strict upper triangle is left
-// untouched). Real element types only. info codes are per matrix: 0 on
-// success, k+1 at the first non-positive pivot.
+// untouched). Real element types only (errors.Is(err, ErrDType)
+// otherwise). info codes are per matrix: 0 on success, k+1 at the first
+// non-positive pivot.
 func Cholesky[T Scalar](a *Compact[T]) ([]int, error) {
 	return CholeskyParallel(1, a)
 }
@@ -56,16 +59,8 @@ func Cholesky[T Scalar](a *Compact[T]) ([]int, error) {
 // persistent worker pool splitting the batch. workers <= 0 means auto
 // (GOMAXPROCS); workers == 1 runs serially.
 func CholeskyParallel[T Scalar](workers int, a *Compact[T]) ([]int, error) {
-	if err := a.check("A"); err != nil {
-		return nil, err
-	}
-	if a.dt.IsComplex() {
-		return nil, fmt.Errorf("iatf: Cholesky supports real element types only")
-	}
-	if a.f32 != nil {
-		return core.ExecFactorNative(core.CholeskyKind, a.f32, workers)
-	}
-	return core.ExecFactorNative(core.CholeskyKind, a.f64, workers)
+	return DefaultEngine().inner.RunFactor(
+		engine.OpDesc{Kind: engine.OpCholesky, Workers: workers}, operandOf(a))
 }
 
 // CholeskySolve solves A·X = B for every matrix of the batch, where a
@@ -96,19 +91,8 @@ func LUPivoted[T Scalar](a *Compact[T]) (*Pivots, []int, error) {
 // persistent worker pool. workers <= 0 means auto (GOMAXPROCS);
 // workers == 1 runs serially.
 func LUPivotedParallel[T Scalar](workers int, a *Compact[T]) (*Pivots, []int, error) {
-	if err := a.check("A"); err != nil {
-		return nil, nil, err
-	}
-	var (
-		p    *core.Pivots
-		info []int
-		err  error
-	)
-	if a.f32 != nil {
-		p, info, err = core.ExecLUPivNative(a.f32, workers)
-	} else {
-		p, info, err = core.ExecLUPivNative(a.f64, workers)
-	}
+	p, info, err := DefaultEngine().inner.RunLUPiv(
+		engine.OpDesc{Kind: engine.OpLUPiv, Workers: workers}, operandOf(a))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -119,10 +103,21 @@ func LUPivotedParallel[T Scalar](workers int, a *Compact[T]) (*Pivots, []int, er
 // factors and pivots from LUPivoted. B is overwritten with X.
 func LUSolvePivoted[T Scalar](a *Compact[T], piv *Pivots, b *Compact[T]) error {
 	if piv == nil || piv.inner == nil {
-		return fmt.Errorf("iatf: nil pivot record")
+		return fmt.Errorf("iatf: LUSolvePivoted: %w: nil pivot record", ErrOperand)
+	}
+	if err := a.check("A"); err != nil {
+		return err
 	}
 	if err := b.check("B"); err != nil {
 		return err
+	}
+	if b.Rows() != a.Rows() {
+		return fmt.Errorf("iatf: LUSolvePivoted operand B: %w: B has %d rows, factors have %d",
+			ErrShape, b.Rows(), a.Rows())
+	}
+	if b.Count() != a.Count() {
+		return fmt.Errorf("iatf: LUSolvePivoted operand B: %w: B has %d, factors have %d",
+			ErrCount, b.Count(), a.Count())
 	}
 	var err error
 	if a.f32 != nil {
@@ -145,7 +140,8 @@ func Invert[T Scalar](a *Compact[T]) ([]int, error) {
 		return nil, err
 	}
 	if a.Rows() != a.Cols() {
-		return nil, fmt.Errorf("iatf: Invert requires square matrices, got %dx%d", a.Rows(), a.Cols())
+		return nil, fmt.Errorf("iatf: Invert operand A: %w: square matrices required, got %dx%d",
+			ErrShape, a.Rows(), a.Cols())
 	}
 	n, count := a.Rows(), a.Count()
 	factors := a.Clone()
@@ -170,6 +166,7 @@ func Invert[T Scalar](a *Compact[T]) ([]int, error) {
 	} else {
 		copy(a.f64.Data, x.f64.Data)
 	}
+	a.Invalidate() // the batch contents changed in place
 	return info, nil
 }
 

@@ -1,14 +1,12 @@
 package iatf
 
-import (
-	"iatf/internal/engine"
-)
-
-// The level-3 entry points are thin shims over the execution engine: the
-// engine's single dispatch path does all shape checking, resolves the
-// cached execution plan (planning runs once per shape, not once per
-// call), and executes with pooled packing buffers on the persistent
-// worker pool.
+// The classic per-op entry points are compatibility wrappers over the
+// request API: each builds a Request and runs it through the same
+// synchronous dispatch path as Do. The engine does all shape checking,
+// resolves the cached execution plan (planning runs once per shape, not
+// once per call), and executes with pooled packing buffers on the
+// persistent worker pool. New code should prefer Do/Submit, which add
+// context support and async coalescing.
 
 // GEMM computes C = alpha·op(A)·op(B) + beta·C over every matrix of the
 // compact batches. op(A) must be M×K, op(B) K×N and C M×N, with equal
@@ -20,7 +18,7 @@ import (
 // super-batch); the plan and its schedule-optimized kernels are memoized
 // process-wide, so repeated calls only pay for execution.
 func GEMM[T Scalar](ta, tb Trans, alpha T, a, b *Compact[T], beta T, c *Compact[T]) error {
-	return GEMMParallel(1, ta, tb, alpha, a, b, beta, c)
+	return GEMMOn(DefaultEngine(), 1, ta, tb, alpha, a, b, beta, c)
 }
 
 // GEMMParallel is GEMM with `workers` participants from the persistent
@@ -36,10 +34,9 @@ func GEMMParallel[T Scalar](workers int, ta, tb Trans, alpha T, a, b *Compact[T]
 // GEMMOn is GEMMParallel against a specific engine (its plan cache and
 // counters) instead of the process-wide default.
 func GEMMOn[T Scalar](e *Engine, workers int, ta, tb Trans, alpha T, a, b *Compact[T], beta T, c *Compact[T]) error {
-	return e.inner.Run(engine.OpDesc{
-		Kind: engine.OpGEMM, TransA: ta, TransB: tb,
-		Alpha: scalarToComplex(alpha), Beta: scalarToComplex(beta), Workers: workers,
-	}, operandOf(a), operandOf(b), operandOf(c))
+	return doSync(e, workers, Request[T]{
+		Op: OpGEMM, TransA: ta, TransB: tb, Alpha: alpha, Beta: beta, A: a, B: b, C: c,
+	})
 }
 
 // TRSM solves op(A)·X = alpha·B (Left) or X·op(A) = alpha·B (Right) for
@@ -47,7 +44,7 @@ func GEMMOn[T Scalar](e *Engine, workers int, ta, tb Trans, alpha T, a, b *Compa
 // square (M×M for Left, N×N for Right) and triangular per uplo/diag; the
 // other triangle is never read.
 func TRSM[T Scalar](side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Compact[T]) error {
-	return TRSMParallel(1, side, uplo, ta, diag, alpha, a, b)
+	return TRSMOn(DefaultEngine(), 1, side, uplo, ta, diag, alpha, a, b)
 }
 
 // TRSMParallel is TRSM with `workers` participants from the persistent
@@ -59,10 +56,9 @@ func TRSMParallel[T Scalar](workers int, side Side, uplo Uplo, ta Trans, diag Di
 
 // TRSMOn is TRSMParallel against a specific engine.
 func TRSMOn[T Scalar](e *Engine, workers int, side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Compact[T]) error {
-	return e.inner.Run(engine.OpDesc{
-		Kind: engine.OpTRSM, Side: side, Uplo: uplo, TransA: ta, Diag: diag,
-		Alpha: scalarToComplex(alpha), Workers: workers,
-	}, operandOf(a), operandOf(b))
+	return doSync(e, workers, Request[T]{
+		Op: OpTRSM, Side: side, Uplo: uplo, TransA: ta, Diag: diag, Alpha: alpha, A: a, B: b,
+	})
 }
 
 // TRMM computes B = alpha·op(A)·B (Left) or B = alpha·B·op(A) (Right)
@@ -71,7 +67,7 @@ func TRSMOn[T Scalar](e *Engine, workers int, side Side, uplo Uplo, ta Trans, di
 // extension of the framework beyond the paper's GEMM/TRSM (its stated
 // future work). B is overwritten.
 func TRMM[T Scalar](side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Compact[T]) error {
-	return TRMMParallel(1, side, uplo, ta, diag, alpha, a, b)
+	return TRMMOn(DefaultEngine(), 1, side, uplo, ta, diag, alpha, a, b)
 }
 
 // TRMMParallel is TRMM with `workers` participants from the persistent
@@ -83,10 +79,9 @@ func TRMMParallel[T Scalar](workers int, side Side, uplo Uplo, ta Trans, diag Di
 
 // TRMMOn is TRMMParallel against a specific engine.
 func TRMMOn[T Scalar](e *Engine, workers int, side Side, uplo Uplo, ta Trans, diag Diag, alpha T, a, b *Compact[T]) error {
-	return e.inner.Run(engine.OpDesc{
-		Kind: engine.OpTRMM, Side: side, Uplo: uplo, TransA: ta, Diag: diag,
-		Alpha: scalarToComplex(alpha), Workers: workers,
-	}, operandOf(a), operandOf(b))
+	return doSync(e, workers, Request[T]{
+		Op: OpTRMM, Side: side, Uplo: uplo, TransA: ta, Diag: diag, Alpha: alpha, A: a, B: b,
+	})
 }
 
 // SYRK computes the symmetric rank-k update C = alpha·op(A)·op(A)ᵀ + beta·C
@@ -95,7 +90,7 @@ func TRMMOn[T Scalar](e *Engine, workers int, side Side, uplo Uplo, ta Trans, di
 // Transpose the update is alpha·op(A)ᵀ·op(A) on a K×N input. Part of the
 // framework's level-3 extension set.
 func SYRK[T Scalar](uplo Uplo, trans Trans, alpha T, a *Compact[T], beta T, c *Compact[T]) error {
-	return SYRKParallel(1, uplo, trans, alpha, a, beta, c)
+	return SYRKOn(DefaultEngine(), 1, uplo, trans, alpha, a, beta, c)
 }
 
 // SYRKParallel is SYRK with `workers` participants from the persistent
@@ -107,8 +102,7 @@ func SYRKParallel[T Scalar](workers int, uplo Uplo, trans Trans, alpha T, a *Com
 
 // SYRKOn is SYRKParallel against a specific engine.
 func SYRKOn[T Scalar](e *Engine, workers int, uplo Uplo, trans Trans, alpha T, a *Compact[T], beta T, c *Compact[T]) error {
-	return e.inner.Run(engine.OpDesc{
-		Kind: engine.OpSYRK, Uplo: uplo, TransA: trans,
-		Alpha: scalarToComplex(alpha), Beta: scalarToComplex(beta), Workers: workers,
-	}, operandOf(a), operandOf(c))
+	return doSync(e, workers, Request[T]{
+		Op: OpSYRK, Uplo: uplo, TransA: trans, Alpha: alpha, Beta: beta, A: a, C: c,
+	})
 }

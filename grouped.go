@@ -1,13 +1,44 @@
 package iatf
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Grouped interfaces: real workloads often hold several groups of
 // matrices, each group internally fixed-size but sizes differing between
 // groups (the group_count style of MKL's gemm_batch and the Batched BLAS
 // proposal). IATF's framework is per-fixed-size by design; the grouped
-// calls plan and execute each group independently, reusing the memoized
-// install-time kernels across groups that share shapes.
+// calls lower each group onto one Request and run it through the Do
+// dispatch path, reusing the memoized install-time kernels and cached
+// plans across groups that share shapes. A failing group is reported
+// with a typed *GroupError wrapping the engine-taxonomy cause, so both
+// errors.As (for the index) and errors.Is (for ErrShape etc.) work.
+
+// GroupError reports which group of a grouped call failed and why. It
+// wraps the underlying engine error: errors.Is(err, iatf.ErrShape) et
+// al. see through it.
+type GroupError struct {
+	Op    string // routine name, e.g. "GEMM"
+	Index int    // failing group's position in the groups slice
+	Err   error  // the underlying typed error
+}
+
+// Error formats the group index ahead of the cause.
+func (e *GroupError) Error() string {
+	return fmt.Sprintf("iatf: %s group %d: %v", e.Op, e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *GroupError) Unwrap() error { return e.Err }
+
+// groupErr wraps a per-group failure.
+func groupErr(op string, i int, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &GroupError{Op: op, Index: i, Err: err}
+}
 
 // GEMMGroup is one fixed-size group of a grouped GEMM call:
 // C = Alpha·op(A)·op(B) + Beta·C over the group's batch.
@@ -17,14 +48,20 @@ type GEMMGroup[T Scalar] struct {
 	A, B, C        *Compact[T]
 }
 
-// GEMMGrouped executes every group, splitting `workers` worker-pool
-// participants within each group's batch (workers <= 0 means auto,
-// GOMAXPROCS). It stops at the first error, reporting the group index.
-// Groups sharing a shape reuse one cached execution plan.
+// GEMMGrouped executes every group as one engine submission through the
+// request path, splitting `workers` worker-pool participants within each
+// group's batch (workers <= 0 means auto, GOMAXPROCS). It stops at the
+// first error, reporting the group index via *GroupError. Groups sharing
+// a shape reuse one cached execution plan.
 func GEMMGrouped[T Scalar](workers int, groups []GEMMGroup[T]) error {
+	ctx := context.Background()
 	for i, g := range groups {
-		if err := GEMMParallel(workers, g.TransA, g.TransB, g.Alpha, g.A, g.B, g.Beta, g.C); err != nil {
-			return fmt.Errorf("iatf: group %d: %w", i, err)
+		err := Do(ctx, Request[T]{
+			Op: OpGEMM, TransA: g.TransA, TransB: g.TransB,
+			Alpha: g.Alpha, Beta: g.Beta, A: g.A, B: g.B, C: g.C,
+		}, WithWorkers(workers))
+		if err != nil {
+			return groupErr("GEMM", i, err)
 		}
 	}
 	return nil
@@ -41,11 +78,69 @@ type TRSMGroup[T Scalar] struct {
 }
 
 // TRSMGrouped executes every group of triangular solves (workers <= 0
-// means auto, GOMAXPROCS).
+// means auto, GOMAXPROCS), reporting a failing group via *GroupError.
 func TRSMGrouped[T Scalar](workers int, groups []TRSMGroup[T]) error {
+	ctx := context.Background()
 	for i, g := range groups {
-		if err := TRSMParallel(workers, g.Side, g.Uplo, g.TransA, g.Diag, g.Alpha, g.A, g.B); err != nil {
-			return fmt.Errorf("iatf: group %d: %w", i, err)
+		err := Do(ctx, Request[T]{
+			Op: OpTRSM, Side: g.Side, Uplo: g.Uplo, TransA: g.TransA,
+			Diag: g.Diag, Alpha: g.Alpha, A: g.A, B: g.B,
+		}, WithWorkers(workers))
+		if err != nil {
+			return groupErr("TRSM", i, err)
+		}
+	}
+	return nil
+}
+
+// TRMMGroup is one fixed-size group of a grouped TRMM call.
+type TRMMGroup[T Scalar] struct {
+	Side   Side
+	Uplo   Uplo
+	TransA Trans
+	Diag   Diag
+	Alpha  T
+	A, B   *Compact[T]
+}
+
+// TRMMGrouped executes every group of triangular multiplies (workers
+// <= 0 means auto, GOMAXPROCS), reporting a failing group via
+// *GroupError.
+func TRMMGrouped[T Scalar](workers int, groups []TRMMGroup[T]) error {
+	ctx := context.Background()
+	for i, g := range groups {
+		err := Do(ctx, Request[T]{
+			Op: OpTRMM, Side: g.Side, Uplo: g.Uplo, TransA: g.TransA,
+			Diag: g.Diag, Alpha: g.Alpha, A: g.A, B: g.B,
+		}, WithWorkers(workers))
+		if err != nil {
+			return groupErr("TRMM", i, err)
+		}
+	}
+	return nil
+}
+
+// SYRKGroup is one fixed-size group of a grouped SYRK call:
+// C = Alpha·op(A)·op(A)ᵀ + Beta·C over the group's batch.
+type SYRKGroup[T Scalar] struct {
+	Uplo        Uplo
+	Trans       Trans
+	Alpha, Beta T
+	A, C        *Compact[T]
+}
+
+// SYRKGrouped executes every group of symmetric rank-k updates (workers
+// <= 0 means auto, GOMAXPROCS), reporting a failing group via
+// *GroupError.
+func SYRKGrouped[T Scalar](workers int, groups []SYRKGroup[T]) error {
+	ctx := context.Background()
+	for i, g := range groups {
+		err := Do(ctx, Request[T]{
+			Op: OpSYRK, Uplo: g.Uplo, TransA: g.Trans,
+			Alpha: g.Alpha, Beta: g.Beta, A: g.A, C: g.C,
+		}, WithWorkers(workers))
+		if err != nil {
+			return groupErr("SYRK", i, err)
 		}
 	}
 	return nil

@@ -1,6 +1,7 @@
 package iatf
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -65,7 +66,8 @@ func TestTRSMGrouped(t *testing.T) {
 	}
 }
 
-// A broken group must be reported with its index.
+// A broken group must be reported with its index, as a typed *GroupError
+// wrapping the engine-taxonomy cause.
 func TestGroupedErrorReportsIndex(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	good := GEMMGroup[float64]{
@@ -82,6 +84,86 @@ func TestGroupedErrorReportsIndex(t *testing.T) {
 	}
 	if want := "group 1"; !contains(err.Error(), want) {
 		t.Errorf("error %q lacks %q", err, want)
+	}
+	var ge *GroupError
+	if !errors.As(err, &ge) {
+		t.Fatalf("error %T is not a *GroupError", err)
+	}
+	if ge.Op != "GEMM" || ge.Index != 1 {
+		t.Errorf("GroupError{Op: %q, Index: %d}, want {GEMM, 1}", ge.Op, ge.Index)
+	}
+	if !errors.Is(err, ErrShape) {
+		t.Errorf("GroupError does not unwrap to ErrShape: %v", err)
+	}
+}
+
+// Grouped TRMM over heterogeneous shapes must match per-group oracles.
+func TestTRMMGrouped(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	type shape struct{ count, m, n int }
+	shapes := []shape{{7, 4, 6}, {3, 9, 2}}
+	var groups []TRMMGroup[float64]
+	var wants []*Batch[float64]
+	for _, s := range shapes {
+		a := randTriBatch[float64](rng, s.count, s.m)
+		b := randBatch[float64](rng, s.count, s.m, s.n)
+		want := &Batch[float64]{inner: b.inner.Clone()}
+		matrix.RefTRMMBatch(Left, Lower, NoTrans, NonUnit, 1.5, a.inner, want.inner)
+		wants = append(wants, want)
+		groups = append(groups, TRMMGroup[float64]{
+			Side: Left, Uplo: Lower, TransA: NoTrans, Diag: NonUnit, Alpha: 1.5,
+			A: Pack(a), B: Pack(b),
+		})
+	}
+	if err := TRMMGrouped(1, groups); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range groups {
+		got := g.B.Unpack()
+		if !matrix.WithinTol(got.Data(), wants[i].Data(), 1e-10) {
+			t.Errorf("group %d: max diff %g", i, matrix.MaxAbsDiff(got.Data(), wants[i].Data()))
+		}
+	}
+}
+
+// Grouped SYRK over heterogeneous shapes must match per-group oracles,
+// and a failing group must carry its index and taxonomy.
+func TestSYRKGrouped(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	type shape struct{ count, n, k int }
+	shapes := []shape{{6, 5, 3}, {4, 7, 7}}
+	var groups []SYRKGroup[float64]
+	var wants []*Batch[float64]
+	for _, s := range shapes {
+		a := randBatch[float64](rng, s.count, s.n, s.k)
+		c := randBatch[float64](rng, s.count, s.n, s.n)
+		want := &Batch[float64]{inner: c.inner.Clone()}
+		matrix.RefSYRKBatch(Lower, NoTrans, 2.0, a.inner, 1.0, want.inner)
+		wants = append(wants, want)
+		groups = append(groups, SYRKGroup[float64]{
+			Uplo: Lower, Trans: NoTrans, Alpha: 2, Beta: 1,
+			A: Pack(a), C: Pack(c),
+		})
+	}
+	if err := SYRKGrouped(1, groups); err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range groups {
+		got := g.C.Unpack()
+		if !matrix.WithinTol(got.Data(), wants[i].Data(), 1e-10) {
+			t.Errorf("group %d: max diff %g", i, matrix.MaxAbsDiff(got.Data(), wants[i].Data()))
+		}
+	}
+
+	bad := groups[0]
+	bad.C = Pack(randBatch[float64](rng, 6, 4, 4)) // C rows disagree with op(A)
+	err := SYRKGrouped(1, []SYRKGroup[float64]{groups[0], bad})
+	var ge *GroupError
+	if !errors.As(err, &ge) || ge.Index != 1 || ge.Op != "SYRK" {
+		t.Errorf("bad SYRK group: err = %v, want *GroupError{SYRK, 1}", err)
+	}
+	if !errors.Is(err, ErrShape) {
+		t.Errorf("bad SYRK group does not unwrap to ErrShape: %v", err)
 	}
 }
 

@@ -229,9 +229,12 @@ func scalarToComplex[T Scalar](x T) complex128 {
 	return 0
 }
 
+// check rejects a nil/empty operand with the engine taxonomy, so
+// errors.Is(err, ErrOperand) holds for nil-operand errors from every
+// entry point, not just the ones dispatched through the engine.
 func (c *Compact[T]) check(name string) error {
 	if c == nil || (c.f32 == nil && c.f64 == nil) {
-		return fmt.Errorf("iatf: %s is nil or empty", name)
+		return fmt.Errorf("iatf: operand %s: %w: nil or empty", name, ErrOperand)
 	}
 	return nil
 }

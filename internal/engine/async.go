@@ -1,0 +1,417 @@
+// Async submission front-end: the dynamic-batching layer between many
+// concurrent callers and the engine's single dispatch path. IATF's
+// run-time stage amortizes best when identical descriptors are batched;
+// under serving traffic the batches arrive one small request at a time
+// from many goroutines, so the engine coalesces them back together at
+// run time the way inference servers do:
+//
+//   - Submit enqueues a request on a bounded per-engine queue and
+//     returns a Future. A lazily started dispatcher goroutine drains
+//     whatever accumulated while the previous dispatch ran, partitions
+//     the drained batch by problem identity (op, dtype, mode, dims,
+//     scalars, workers) and executes each bundle as ONE fused dispatch
+//     over the concatenated super-batches — one validation, one plan
+//     resolution, one worker-pool round-trip for N requests.
+//   - When the queue is idle the submitting goroutine executes
+//     synchronously instead (the idle fast path), so single-caller
+//     latency is identical to a direct Run call.
+//   - Requests carry a context.Context: a request whose context is
+//     cancelled while queued (or at any point before its bundle
+//     executes) resolves with ctx.Err() without executing. A full queue
+//     rejects the submission with a typed ErrQueueFull — backpressure
+//     instead of unbounded memory growth under overload.
+//
+// Fusing is group-exact: compact storage is a sequence of independent
+// P-matrix interleave groups, so concatenating the group data of N
+// same-shape batches yields one valid larger batch and the kernels
+// process exactly the same groups they would have processed in N serial
+// calls — fused results are bit-identical (the bucketed-plan parity
+// property from the plan cache covers the differing batch count).
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"iatf/internal/layout"
+	"iatf/internal/matrix"
+	"iatf/internal/vec"
+)
+
+// ErrQueueFull is returned by Submit when the engine's bounded
+// submission queue is at capacity — the overload backpressure signal.
+// Callers should shed load or retry with a deadline.
+var ErrQueueFull = errors.New("submission queue full")
+
+// DefaultQueueCapacity bounds the per-engine submission queue unless
+// SetQueueCapacity overrides it before the first Submit.
+const DefaultQueueCapacity = 1024
+
+// Future is the completion handle of one submitted request. It resolves
+// exactly once: with the dispatch error (nil on success), the request's
+// ctx.Err() if it was cancelled before executing, or the fused bundle's
+// error.
+type Future struct {
+	done chan struct{}
+	err  error
+}
+
+func newFuture() *Future { return &Future{done: make(chan struct{})} }
+
+func (f *Future) resolve(err error) {
+	f.err = err
+	close(f.done)
+}
+
+// Done returns a channel closed when the request has completed (or been
+// rejected/cancelled).
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+// Err returns the request's outcome. It blocks until the future
+// resolves.
+func (f *Future) Err() error {
+	<-f.done
+	return f.err
+}
+
+// Wait blocks until the request completes or ctx is done, whichever
+// comes first, and returns the corresponding error. Abandoning the wait
+// does not cancel the request: the submission's own context governs
+// execution.
+func (f *Future) Wait(ctx context.Context) error {
+	select {
+	case <-f.done:
+		return f.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// asyncReq is one queued submission.
+type asyncReq struct {
+	ctx  context.Context
+	op   OpDesc
+	ops  [3]Operand
+	nops int
+	fut  *Future
+}
+
+// submitQueue is the per-engine async state: the bounded request channel,
+// the dispatcher bootstrap and the serving counters.
+type submitQueue struct {
+	startOnce sync.Once
+	mu        sync.Mutex // guards ch/capacity before the dispatcher starts
+	ch        chan *asyncReq
+	capacity  int
+	busy      atomic.Bool // a dispatch (inline or dispatcher) is in flight
+
+	submitted  atomic.Uint64
+	inline     atomic.Uint64
+	dispatches atomic.Uint64
+	coalesced  atomic.Uint64
+	cancelled  atomic.Uint64
+	rejected   atomic.Uint64
+	maxFused   atomic.Int64
+
+	// testHook, when set before the first Submit, runs on the dispatcher
+	// goroutine after a batch is drained and before it executes — tests
+	// use it to hold the dispatcher so queue-full, cancellation and
+	// coalescing become deterministic.
+	testHook func(drained int)
+}
+
+// QueueStats is a snapshot of the async submission layer's counters.
+type QueueStats struct {
+	Submitted  uint64 // requests accepted by Submit
+	Inline     uint64 // idle fast-path submissions executed synchronously
+	Dispatches uint64 // dispatch executions (fused bundles count once)
+	Coalesced  uint64 // requests that rode along in a fused dispatch beyond its first
+	Cancelled  uint64 // requests resolved with ctx.Err() without executing
+	Rejected   uint64 // submissions refused with ErrQueueFull
+	MaxFused   int    // largest fused bundle observed
+	Depth      int    // requests currently queued
+	Capacity   int    // queue bound
+}
+
+func (q *submitQueue) snapshot() QueueStats {
+	q.mu.Lock()
+	depth, capacity := 0, q.capacity
+	if q.ch != nil {
+		depth, capacity = len(q.ch), cap(q.ch)
+	}
+	q.mu.Unlock()
+	return QueueStats{
+		Submitted:  q.submitted.Load(),
+		Inline:     q.inline.Load(),
+		Dispatches: q.dispatches.Load(),
+		Coalesced:  q.coalesced.Load(),
+		Cancelled:  q.cancelled.Load(),
+		Rejected:   q.rejected.Load(),
+		MaxFused:   int(q.maxFused.Load()),
+		Depth:      depth,
+		Capacity:   capacity,
+	}
+}
+
+// SetQueueCapacity bounds the engine's submission queue. It takes effect
+// only before the first Submit on the engine; afterwards it is a no-op.
+func (e *Engine) SetQueueCapacity(n int) {
+	if n < 1 {
+		n = 1
+	}
+	q := &e.queue
+	q.mu.Lock()
+	if q.ch == nil {
+		q.capacity = n
+	}
+	q.mu.Unlock()
+}
+
+// start lazily creates the queue channel and dispatcher goroutine.
+func (q *submitQueue) start(e *Engine) {
+	q.startOnce.Do(func() {
+		q.mu.Lock()
+		if q.capacity <= 0 {
+			q.capacity = DefaultQueueCapacity
+		}
+		q.ch = make(chan *asyncReq, q.capacity)
+		q.mu.Unlock()
+		go e.dispatchLoop()
+	})
+}
+
+// Submit enqueues one request and returns its Future. The operands must
+// not be mutated until the future resolves. If the queue is idle the
+// request executes synchronously on the caller (same latency as Run);
+// otherwise it joins the queue, where the dispatcher may coalesce it
+// with concurrent same-problem requests into one fused dispatch. A full
+// queue returns ErrQueueFull; a context already done returns ctx.Err().
+// In both failure cases the returned Future is nil.
+func (e *Engine) Submit(ctx context.Context, op OpDesc, operands ...Operand) (*Future, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	q := &e.queue
+	q.start(e)
+	r := &asyncReq{ctx: ctx, op: op, fut: newFuture()}
+	r.nops = copy(r.ops[:], operands)
+	// Idle fast path: nothing queued and no dispatch in flight — run on
+	// the submitting goroutine so a lone caller pays no queue round-trip.
+	if len(q.ch) == 0 && q.busy.CompareAndSwap(false, true) {
+		q.submitted.Add(1)
+		q.inline.Add(1)
+		err := e.Run(r.op, r.ops[:r.nops]...)
+		q.busy.Store(false)
+		r.fut.resolve(err)
+		return r.fut, nil
+	}
+	select {
+	case q.ch <- r:
+		q.submitted.Add(1)
+		return r.fut, nil
+	default:
+		q.rejected.Add(1)
+		return nil, fmt.Errorf("iatf: %v: %w (capacity %d)", op.Kind, ErrQueueFull, cap(q.ch))
+	}
+}
+
+// dispatchLoop is the per-engine dispatcher: block for one request,
+// drain everything else that accumulated, execute the batch.
+func (e *Engine) dispatchLoop() {
+	q := &e.queue
+	var batch []*asyncReq
+	for r := range q.ch {
+		q.busy.Store(true)
+		batch = append(batch[:0], r)
+	drain:
+		for {
+			select {
+			case r2 := <-q.ch:
+				batch = append(batch, r2)
+			default:
+				break drain
+			}
+		}
+		if h := q.testHook; h != nil {
+			h(len(batch))
+		}
+		e.runBatch(batch)
+		q.busy.Store(false)
+		// Drop request references so resolved futures and their operands
+		// are collectible while the dispatcher idles.
+		for i := range batch {
+			batch[i] = nil
+		}
+	}
+}
+
+// coalesceKey is the full problem identity two requests must share to be
+// fused: the op descriptor including scalars and the worker request,
+// plus every operand's dtype and dimensions. Batch counts are free to
+// differ — fusing concatenates them.
+type coalesceKey struct {
+	kind           OpKind
+	dt             vec.DType
+	transA, transB matrix.Trans
+	side           matrix.Side
+	uplo           matrix.Uplo
+	diag           matrix.Diag
+	alpha, beta    complex128
+	workers        int
+	nops           int
+	rows, cols     [3]int
+}
+
+func keyOf(r *asyncReq) coalesceKey {
+	k := coalesceKey{
+		kind: r.op.Kind, transA: r.op.TransA, transB: r.op.TransB,
+		side: r.op.Side, uplo: r.op.Uplo, diag: r.op.Diag,
+		alpha: r.op.Alpha, beta: r.op.Beta, workers: r.op.Workers,
+		nops: r.nops,
+	}
+	for i := 0; i < r.nops; i++ {
+		if !r.ops[i].valid() {
+			// Malformed requests keep a zero dim signature; they fail
+			// validation identically fused or alone.
+			continue
+		}
+		k.dt = r.ops[i].DT
+		k.rows[i], k.cols[i] = r.ops[i].rows(), r.ops[i].cols()
+	}
+	return k
+}
+
+// runBatch resolves cancelled requests, partitions the rest by problem
+// identity (preserving arrival order) and executes each bundle.
+func (e *Engine) runBatch(batch []*asyncReq) {
+	q := &e.queue
+	var order []coalesceKey
+	buckets := make(map[coalesceKey][]*asyncReq, len(batch))
+	for _, r := range batch {
+		if err := r.ctx.Err(); err != nil {
+			q.cancelled.Add(1)
+			r.fut.resolve(err)
+			continue
+		}
+		k := keyOf(r)
+		if _, ok := buckets[k]; !ok {
+			order = append(order, k)
+		}
+		buckets[k] = append(buckets[k], r)
+	}
+	for _, k := range order {
+		e.runBundle(buckets[k])
+	}
+}
+
+// runBundle executes one same-problem bundle: a lone request runs
+// directly on its own operands; two or more run as one fused dispatch.
+func (e *Engine) runBundle(reqs []*asyncReq) {
+	q := &e.queue
+	q.dispatches.Add(1)
+	if len(reqs) == 1 {
+		r := reqs[0]
+		r.fut.resolve(e.Run(r.op, r.ops[:r.nops]...))
+		return
+	}
+	q.coalesced.Add(uint64(len(reqs) - 1))
+	for {
+		old := q.maxFused.Load()
+		if int64(len(reqs)) <= old || q.maxFused.CompareAndSwap(old, int64(len(reqs))) {
+			break
+		}
+	}
+	err := e.runFused(reqs)
+	for _, r := range reqs {
+		r.fut.resolve(err)
+	}
+}
+
+// writtenOperand returns the BLAS argument position the op writes (the
+// operand whose fused result must be scattered back per request).
+func writtenOperand(k OpKind) int {
+	if k == OpGEMM {
+		return 2 // C
+	}
+	return 1 // TRSM/TRMM's B, SYRK's C
+}
+
+// runFused concatenates the bundle's operands group-wise into one
+// super-request, executes it through the normal dispatch path, and
+// scatters the written operand's groups back into each request's own
+// storage. Group data is untouched by the concatenation, so results are
+// bit-identical to executing the requests serially.
+func (e *Engine) runFused(reqs []*asyncReq) error {
+	lead := reqs[0]
+	fused := make([]Operand, lead.nops)
+	for i := range fused {
+		src := lead.ops[i]
+		if src.F32 != nil {
+			fused[i] = Operand{DT: src.DT, F32: fuseCompacts(src.DT, partsF32(reqs, i))}
+		} else {
+			fused[i] = Operand{DT: src.DT, F64: fuseCompacts(src.DT, partsF64(reqs, i))}
+		}
+	}
+	if err := e.Run(lead.op, fused...); err != nil {
+		return err
+	}
+	wi := writtenOperand(lead.op.Kind)
+	if lead.ops[wi].F32 != nil {
+		scatterCompacts(fused[wi].F32, partsF32(reqs, wi))
+	} else {
+		scatterCompacts(fused[wi].F64, partsF64(reqs, wi))
+	}
+	return nil
+}
+
+func partsF32(reqs []*asyncReq, idx int) []*layout.Compact[float32] {
+	out := make([]*layout.Compact[float32], len(reqs))
+	for i, r := range reqs {
+		out[i] = r.ops[idx].F32
+	}
+	return out
+}
+
+func partsF64(reqs []*asyncReq, idx int) []*layout.Compact[float64] {
+	out := make([]*layout.Compact[float64], len(reqs))
+	for i, r := range reqs {
+		out[i] = r.ops[idx].F64
+	}
+	return out
+}
+
+// fuseCompacts concatenates same-shape compact batches at interleave-
+// group granularity. The fused count is totalGroups·P: each part's
+// padding lanes stay padding lanes of the fused batch at the same group
+// offsets, so kernels compute exactly what they would have per part.
+func fuseCompacts[E vec.Float](dt vec.DType, parts []*layout.Compact[E]) *layout.Compact[E] {
+	first := parts[0]
+	total := 0
+	for _, p := range parts {
+		total += p.Groups()
+	}
+	out := layout.NewCompact[E](dt, total*first.P(), first.Rows, first.Cols)
+	off := 0
+	for _, p := range parts {
+		off += copy(out.Data[off:], p.Data)
+	}
+	return out
+}
+
+// scatterCompacts copies the written operand's group ranges back into
+// each request's own storage and retires any cached packed images of the
+// previous contents.
+func scatterCompacts[E vec.Float](fused *layout.Compact[E], parts []*layout.Compact[E]) {
+	off := 0
+	for _, p := range parts {
+		copy(p.Data, fused.Data[off:off+len(p.Data)])
+		off += len(p.Data)
+		p.Invalidate()
+	}
+}

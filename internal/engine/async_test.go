@@ -1,0 +1,415 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"iatf/internal/core"
+	"iatf/internal/layout"
+)
+
+// holdDispatcher wires a test hook that parks the dispatcher goroutine
+// after it drains a batch: `entered` reports each drained batch size,
+// and the dispatcher blocks until `gate` is closed. With the busy flag
+// forced on, every Submit enqueues (no idle fast path), which makes
+// queue-full, cancellation and coalescing deterministic.
+func holdDispatcher(e *Engine) (entered chan int, gate chan struct{}) {
+	entered = make(chan int, 64)
+	gate = make(chan struct{})
+	e.queue.testHook = func(n int) {
+		entered <- n
+		<-gate
+	}
+	e.queue.busy.Store(true)
+	return entered, gate
+}
+
+func gemmReqOperands(rng *rand.Rand, count, m, n, k int) (a, b, c *layout.Compact[float32]) {
+	return randCompact(rng, count, m, k), randCompact(rng, count, k, n), randCompact(rng, count, m, n)
+}
+
+var asyncGEMMDesc = OpDesc{Kind: OpGEMM, Alpha: 1, Beta: 1, Workers: 1}
+
+// TestAsyncIdleFastPath: with nothing queued, Submit executes on the
+// caller and the future resolves before Submit returns.
+func TestAsyncIdleFastPath(t *testing.T) {
+	e := New(core.DefaultTuning())
+	rng := rand.New(rand.NewSource(50))
+	a, b, c := gemmReqOperands(rng, 12, 4, 4, 4)
+
+	fut, err := e.Submit(context.Background(), asyncGEMMDesc, op32(a), op32(b), op32(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fut.Done():
+	default:
+		t.Fatal("idle submission did not resolve synchronously")
+	}
+	if err := fut.Err(); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Queue.Inline != 1 || s.Queue.Submitted != 1 {
+		t.Fatalf("inline=%d submitted=%d, want 1/1", s.Queue.Inline, s.Queue.Submitted)
+	}
+}
+
+// TestAsyncQueueFullBackpressure: with the dispatcher held and the
+// bounded queue filled, the next Submit is rejected with ErrQueueFull.
+func TestAsyncQueueFullBackpressure(t *testing.T) {
+	e := New(core.DefaultTuning())
+	e.SetQueueCapacity(2)
+	entered, gate := holdDispatcher(e)
+	rng := rand.New(rand.NewSource(51))
+	ctx := context.Background()
+
+	submit := func() (*Future, error) {
+		a, b, c := gemmReqOperands(rng, 8, 4, 4, 4)
+		return e.Submit(ctx, asyncGEMMDesc, op32(a), op32(b), op32(c))
+	}
+
+	// First request: dequeued by the dispatcher, which parks in the hook.
+	f1, err := submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := <-entered; n != 1 {
+		t.Fatalf("dispatcher drained %d, want 1", n)
+	}
+	// Fill the capacity-2 queue, then overflow it.
+	f2, err := submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f3, err := submit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := submit(); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+	if got := e.Stats().Queue.Rejected; got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+
+	close(gate)
+	for _, f := range []*Future{f1, f2, f3} {
+		if err := f.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAsyncCancelBeforeDequeue: a request cancelled while it waits in
+// the queue resolves with ctx.Err() and never executes.
+func TestAsyncCancelBeforeDequeue(t *testing.T) {
+	e := New(core.DefaultTuning())
+	entered, gate := holdDispatcher(e)
+	rng := rand.New(rand.NewSource(52))
+
+	// Occupy the dispatcher with a first request.
+	a0, b0, c0 := gemmReqOperands(rng, 8, 4, 4, 4)
+	f0, err := e.Submit(context.Background(), asyncGEMMDesc, op32(a0), op32(b0), op32(c0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	// Queue the victim, then cancel it while it waits.
+	a, b, c := gemmReqOperands(rng, 8, 4, 4, 4)
+	before := append([]float32(nil), c.Data...)
+	ctx, cancel := context.WithCancel(context.Background())
+	fut, err := e.Submit(ctx, asyncGEMMDesc, op32(a), op32(b), op32(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	close(gate)
+
+	if err := fut.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request: err = %v, want context.Canceled", err)
+	}
+	if err := f0.Err(); err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the victim's (cancelled-only) batch was drained
+	for i := range c.Data {
+		if c.Data[i] != before[i] {
+			t.Fatalf("cancelled request executed: C[%d] changed", i)
+		}
+	}
+	if got := e.Stats().Queue.Cancelled; got != 1 {
+		t.Fatalf("cancelled = %d, want 1", got)
+	}
+}
+
+// TestAsyncCancelAfterDequeue: a request cancelled after the dispatcher
+// drained it (but before its bundle executes) still resolves with
+// ctx.Err() without executing.
+func TestAsyncCancelAfterDequeue(t *testing.T) {
+	e := New(core.DefaultTuning())
+	entered, gate := holdDispatcher(e)
+	rng := rand.New(rand.NewSource(53))
+
+	a, b, c := gemmReqOperands(rng, 8, 4, 4, 4)
+	before := append([]float32(nil), c.Data...)
+	ctx, cancel := context.WithCancel(context.Background())
+	fut, err := e.Submit(ctx, asyncGEMMDesc, op32(a), op32(b), op32(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the request is out of the queue, held pre-execution
+	cancel()
+	close(gate)
+
+	if err := fut.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled request: err = %v, want context.Canceled", err)
+	}
+	for i := range c.Data {
+		if c.Data[i] != before[i] {
+			t.Fatalf("cancelled request executed: C[%d] changed", i)
+		}
+	}
+}
+
+// TestAsyncCancelledAtSubmit: a context already done is rejected before
+// entering the queue.
+func TestAsyncCancelledAtSubmit(t *testing.T) {
+	e := New(core.DefaultTuning())
+	rng := rand.New(rand.NewSource(54))
+	a, b, c := gemmReqOperands(rng, 8, 4, 4, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Submit(ctx, asyncGEMMDesc, op32(a), op32(b), op32(c)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestAsyncCoalescingParity holds the dispatcher, queues N same-shape
+// GEMMs (and a TRSM straggler), releases them as ONE drained batch, and
+// asserts (a) the GEMMs fused into a single dispatch, (b) every result
+// is bit-identical to a serial direct Run on a fresh engine, and (c) the
+// differently-shaped straggler ran separately and correctly.
+func TestAsyncCoalescingParity(t *testing.T) {
+	e := New(core.DefaultTuning())
+	ref := New(core.DefaultTuning())
+	entered, gate := holdDispatcher(e)
+	rng := rand.New(rand.NewSource(55))
+	ctx := context.Background()
+
+	// Occupy the dispatcher so everything below queues up behind it.
+	a0, b0, c0 := gemmReqOperands(rng, 8, 4, 4, 4)
+	f0, err := e.Submit(ctx, asyncGEMMDesc, op32(a0), op32(b0), op32(c0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	const N = 7
+	const count, m, n, k = 13, 6, 5, 7 // count not a multiple of P: padded tail groups fuse too
+	desc := OpDesc{Kind: OpGEMM, TransA: 0, TransB: 0, Alpha: complex(1.5, 0), Beta: complex(0.5, 0), Workers: 1}
+	var futs [N]*Future
+	var as, bs, cs, want [N]*layout.Compact[float32]
+	for i := 0; i < N; i++ {
+		as[i], bs[i], cs[i] = gemmReqOperands(rng, count, m, n, k)
+		want[i] = cs[i].Clone()
+		if err := ref.Run(desc, op32(as[i]), op32(bs[i]), op32(want[i])); err != nil {
+			t.Fatal(err)
+		}
+		if futs[i], err = e.Submit(ctx, desc, op32(as[i]), op32(bs[i]), op32(cs[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A same-batch TRSM must NOT fuse with the GEMMs.
+	tri := randCompact(rng, count, m, m)
+	for g := 0; g < tri.Groups(); g++ {
+		for i := 0; i < m; i++ {
+			for lane := 0; lane < tri.P(); lane++ {
+				tri.Set(g*tri.P()+lane, i, i, 4, 0)
+			}
+		}
+	}
+	rhs := randCompact(rng, count, m, 3)
+	wantRHS := rhs.Clone()
+	trsmDesc := OpDesc{Kind: OpTRSM, Alpha: 1, Workers: 1}
+	if err := ref.Run(trsmDesc, op32(tri), op32(wantRHS)); err != nil {
+		t.Fatal(err)
+	}
+	ftrsm, err := e.Submit(ctx, trsmDesc, op32(tri), op32(rhs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	close(gate)
+	if err := f0.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < N; i++ {
+		if err := futs[i].Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ftrsm.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < N; i++ {
+		for j := range cs[i].Data {
+			if cs[i].Data[j] != want[i].Data[j] {
+				t.Fatalf("request %d diverges from serial direct call at element %d: %g != %g",
+					i, j, cs[i].Data[j], want[i].Data[j])
+			}
+		}
+	}
+	for j := range rhs.Data {
+		if rhs.Data[j] != wantRHS.Data[j] {
+			t.Fatalf("TRSM straggler diverges at %d", j)
+		}
+	}
+
+	s := e.Stats()
+	if s.Queue.Coalesced != N-1 {
+		t.Errorf("coalesced = %d, want %d", s.Queue.Coalesced, N-1)
+	}
+	if s.Queue.MaxFused != N {
+		t.Errorf("max fused = %d, want %d", s.Queue.MaxFused, N)
+	}
+	// f0's dispatch + one fused GEMM dispatch + the TRSM straggler.
+	if s.Queue.Dispatches != 3 {
+		t.Errorf("dispatches = %d, want 3 (fused dispatches < submissions)", s.Queue.Dispatches)
+	}
+}
+
+// TestAsyncCoalesceKeySeparatesScalars: same shape but different alpha
+// must not fuse (scalars are applied uniformly to a fused dispatch).
+func TestAsyncCoalesceKeySeparatesScalars(t *testing.T) {
+	e := New(core.DefaultTuning())
+	entered, gate := holdDispatcher(e)
+	rng := rand.New(rand.NewSource(56))
+	ctx := context.Background()
+
+	a0, b0, c0 := gemmReqOperands(rng, 8, 4, 4, 4)
+	f0, err := e.Submit(ctx, asyncGEMMDesc, op32(a0), op32(b0), op32(c0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	descA := OpDesc{Kind: OpGEMM, Alpha: 1, Beta: 1, Workers: 1}
+	descB := OpDesc{Kind: OpGEMM, Alpha: 2, Beta: 1, Workers: 1}
+	var futs []*Future
+	for _, d := range []OpDesc{descA, descB, descA, descB} {
+		a, b, c := gemmReqOperands(rng, 16, 4, 4, 4)
+		f, err := e.Submit(ctx, d, op32(a), op32(b), op32(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	close(gate)
+	for _, f := range futs {
+		if err := f.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f0.Err(); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	// Two bundles of two: 2 coalesced riders, 3 dispatches total (f0 + 2).
+	if s.Queue.Coalesced != 2 {
+		t.Errorf("coalesced = %d, want 2 (alpha must split bundles)", s.Queue.Coalesced)
+	}
+}
+
+// TestAsyncValidationErrorPropagates: a malformed fused request resolves
+// every rider with the typed validation error.
+func TestAsyncValidationError(t *testing.T) {
+	e := New(core.DefaultTuning())
+	rng := rand.New(rand.NewSource(57))
+	a := randCompact(rng, 8, 4, 4)
+	b := randCompact(rng, 8, 5, 4) // K mismatch
+	c := randCompact(rng, 8, 4, 4)
+	fut, err := e.Submit(context.Background(), asyncGEMMDesc, op32(a), op32(b), op32(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fut.Err(); !errors.Is(err, ErrShape) {
+		t.Fatalf("err = %v, want ErrShape", err)
+	}
+}
+
+// TestAsyncFutureWaitHonorsContext: Wait unblocks on its own context
+// even while the request is still queued.
+func TestAsyncFutureWaitHonorsContext(t *testing.T) {
+	e := New(core.DefaultTuning())
+	_, gate := holdDispatcher(e)
+	defer close(gate)
+	rng := rand.New(rand.NewSource(58))
+	a, b, c := gemmReqOperands(rng, 8, 4, 4, 4)
+	fut, err := e.Submit(context.Background(), asyncGEMMDesc, op32(a), op32(b), op32(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if err := fut.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestAsyncFactorValidation: the factor dispatch path speaks the same
+// taxonomy as the level-3 ops.
+func TestAsyncFactorValidation(t *testing.T) {
+	e := New(core.DefaultTuning())
+	rng := rand.New(rand.NewSource(59))
+
+	if _, err := e.RunFactor(OpDesc{Kind: OpLU}, Operand{}); !errors.Is(err, ErrOperand) {
+		t.Errorf("nil operand: err = %v, want ErrOperand", err)
+	}
+	rect := randCompact(rng, 4, 3, 5)
+	if _, err := e.RunFactor(OpDesc{Kind: OpLU}, op32(rect)); !errors.Is(err, ErrShape) {
+		t.Errorf("non-square: err = %v, want ErrShape", err)
+	}
+	if _, _, err := e.RunLUPiv(OpDesc{Kind: OpLUPiv}, op32(rect)); !errors.Is(err, ErrShape) {
+		t.Errorf("pivoted non-square: err = %v, want ErrShape", err)
+	}
+	if _, err := e.RunFactor(OpDesc{Kind: OpGEMM}, op32(rect)); !errors.Is(err, ErrOperand) {
+		t.Errorf("non-factor kind: err = %v, want ErrOperand", err)
+	}
+
+	// A well-formed factor call moves the plan-cache and obs counters.
+	// Boost the diagonals so the unpivoted LU is well-conditioned.
+	sq := randCompact(rng, 6, 4, 4)
+	for m := 0; m < sq.Count; m++ {
+		for i := 0; i < 4; i++ {
+			re, _ := sq.At(m, i, i)
+			sq.Set(m, i, i, re+8, 0)
+		}
+	}
+	before := e.Stats()
+	if _, err := e.RunFactor(OpDesc{Kind: OpLU, Workers: 1}, op32(sq)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunFactor(OpDesc{Kind: OpLU, Workers: 1}, op32(sq)); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Stats()
+	if after.PlanMisses != before.PlanMisses+1 || after.PlanHits != before.PlanHits+1 {
+		t.Errorf("factor plan cache: misses %d->%d hits %d->%d, want +1/+1",
+			before.PlanMisses, after.PlanMisses, before.PlanHits, after.PlanHits)
+	}
+	found := false
+	for _, sh := range after.Shapes {
+		if sh.Op == "LU" && sh.M == 4 && sh.Calls == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("factor calls missing from the per-shape series")
+	}
+}

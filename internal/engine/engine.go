@@ -48,12 +48,16 @@ import (
 // OpKind selects the routine an OpDesc describes.
 type OpKind int
 
-// The batched level-3 routines the engine dispatches.
+// The batched routines the engine dispatches: the level-3 ops through
+// Run/Submit, the in-place factorizations through RunFactor/RunLUPiv.
 const (
 	OpGEMM OpKind = iota
 	OpTRSM
 	OpTRMM
 	OpSYRK
+	OpLU
+	OpCholesky
+	OpLUPiv
 )
 
 // String returns the routine name.
@@ -67,6 +71,12 @@ func (k OpKind) String() string {
 		return "TRMM"
 	case OpSYRK:
 		return "SYRK"
+	case OpLU:
+		return "LU"
+	case OpCholesky:
+		return "CHOL"
+	case OpLUPiv:
+		return "LUPIV"
 	}
 	return fmt.Sprintf("OpKind(%d)", int(k))
 }
@@ -187,6 +197,7 @@ type Engine struct {
 	shards [planShards]planShard
 	obs    *obs.Registry
 	packs  packCache
+	queue  submitQueue
 
 	planHits      atomic.Uint64
 	planMisses    atomic.Uint64
@@ -272,6 +283,9 @@ type Stats struct {
 	// Packed-operand cache (this engine).
 	PackCache PackCacheStats
 
+	// Async submission queue (this engine).
+	Queue QueueStats
+
 	// Per-shape rolling series (this engine), ordered by call count.
 	Shapes []obs.ShapeSnapshot
 
@@ -300,6 +314,7 @@ func (e *Engine) Stats() Stats {
 		PlanEvictions: e.planEvictions.Load(),
 		PlanEntries:   entries,
 		PackCache:     e.packs.snapshot(),
+		Queue:         e.queue.snapshot(),
 		Shapes:        e.obs.Snapshot(),
 		Buffers:       bufpool.Snapshot(),
 		Sched:         sched.Snapshot(),
