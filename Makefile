@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race stress asyncstress bench benchsmoke info trace ci
+.PHONY: all build vet lint test race stress asyncstress bench benchsmoke benchdiff info trace monitor metrics ci
 
 all: ci
 
@@ -52,6 +52,16 @@ bench:
 benchsmoke:
 	$(GO) test -run xxx -bench . -benchtime=1x ./...
 
+# Regression gate: a fresh reduced wallclock run (same batch size as the
+# committed baseline, fewer timed calls) diffed against
+# BENCH_wallclock.json; fails when any (op, dtype, shape, variant) row's
+# per-matrix ns/op regresses by more than 15%. Noisy on loaded machines —
+# ci runs it non-fatally; run `make benchdiff` by hand to gate a change.
+benchdiff:
+	$(GO) run ./cmd/iatf-bench -wallclock -json -out /tmp/iatf_wc_new.json -wcalls 16
+	$(GO) run ./cmd/iatf-bench -diff -base BENCH_wallclock.json -new /tmp/iatf_wc_new.json
+	@rm -f /tmp/iatf_wc_new.json
+
 # Print the execution-engine counters and per-shape series after a demo
 # workload.
 info:
@@ -61,4 +71,16 @@ info:
 trace:
 	$(GO) run ./cmd/iatf-trace -engine
 
+# One OpenMetrics scrape of the default engine after a demo workload.
+metrics:
+	$(GO) run ./cmd/iatf-info -metrics
+
+# Serve the live monitoring surface (/metrics, /debug/pprof, /trace)
+# with a demo workload driving it.
+monitor:
+	$(GO) run ./cmd/iatf-monitor -demo
+
+# benchdiff is non-fatal in ci: wallclock numbers on shared CI hardware
+# are too noisy to gate merges, but the comparison is still printed.
 ci: lint build test race stress asyncstress benchsmoke
+	-$(MAKE) benchdiff

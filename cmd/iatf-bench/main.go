@@ -14,6 +14,9 @@
 //	iatf-bench -maxsize 33     # largest square size
 //	iatf-bench -wallclock      # real native-path timings, pack vs Prepack
 //	iatf-bench -wallclock -json  # also write BENCH_wallclock.json
+//	iatf-bench -wallclock -json -out /tmp/wc.json  # write elsewhere
+//	iatf-bench -diff -base BENCH_wallclock.json -new /tmp/wc.json
+//	                           # compare runs; exit 1 on >15% regression
 package main
 
 import (
@@ -41,14 +44,27 @@ func main() {
 		step     = flag.Int("step", 1, "size step")
 
 		wallclock = flag.Bool("wallclock", false, "time the real native path, pack-per-call vs prepacked")
-		jsonOut   = flag.Bool("json", false, "with -wallclock, also write "+wallclockFile)
+		jsonOut   = flag.Bool("json", false, "with -wallclock, also write the rows as JSON (see -out)")
+		outFile   = flag.String("out", wallclockFile, "with -wallclock -json: JSON output path")
 		wcCount   = flag.Int("wcount", 2048, "wallclock batch size (matrices per call)")
 		wcCalls   = flag.Int("wcalls", 128, "wallclock timed calls per variant")
+
+		diff       = flag.Bool("diff", false, "compare two wallclock JSON files and flag regressions")
+		baseFile   = flag.String("base", wallclockFile, "with -diff: baseline wallclock JSON")
+		newFile    = flag.String("new", "", "with -diff: candidate wallclock JSON")
+		maxRegress = flag.Float64("maxregress", 15, "with -diff: fail when any row's ns_op regresses more than this percentage")
 	)
 	flag.Parse()
 
+	if *diff {
+		if *newFile == "" {
+			log.Fatal("-diff requires -new FILE")
+		}
+		runBenchDiff(*baseFile, *newFile, *maxRegress)
+		return
+	}
 	if *wallclock {
-		runWallclock(*jsonOut, *wcCount, *wcCalls, *maxSize)
+		runWallclock(*jsonOut, *outFile, *wcCount, *wcCalls, *maxSize)
 		return
 	}
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"sort"
 	"time"
 
 	"iatf"
@@ -160,8 +161,8 @@ func wcTRMM[T iatf.Scalar](dt vec.DType, n, count, calls int, prepack bool) (flo
 
 // runWallclock runs every (op, dtype, shape) pair in both variants and
 // prints the comparison; writeJSON additionally writes the rows to
-// BENCH_wallclock.json.
-func runWallclock(writeJSON bool, count, calls, maxSize int) {
+// outFile (BENCH_wallclock.json by default).
+func runWallclock(writeJSON bool, outFile string, count, calls, maxSize int) {
 	type benchFn func(prepack bool) (float64, float64, error)
 	type benchCase struct {
 		op, dtype, shape string
@@ -217,12 +218,96 @@ func runWallclock(writeJSON bool, count, calls, maxSize int) {
 				Speedup: math.Round(speedup*100) / 100})
 	}
 	if writeJSON {
-		f, err := os.Create(wallclockFile)
+		f, err := os.Create(outFile)
 		check(err)
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		check(enc.Encode(rows))
 		check(f.Close())
-		fmt.Printf("\nwrote %s (%d rows)\n", wallclockFile, len(rows))
+		fmt.Printf("\nwrote %s (%d rows)\n", outFile, len(rows))
 	}
+}
+
+// loadWallclock reads one wallclock JSON file into a row map keyed by
+// op|dtype|shape|variant.
+func loadWallclock(path string) (map[string]wcResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []wcResult
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]wcResult, len(rows))
+	for _, r := range rows {
+		m[r.Op+"|"+r.DType+"|"+r.Shape+"|"+r.Variant] = r
+	}
+	return m, nil
+}
+
+// runBenchDiff joins two wallclock JSON files on (op, dtype, shape,
+// variant), prints the per-row ns_op delta, and exits nonzero when any
+// row regresses by more than maxRegress percent — the perf gate behind
+// `make benchdiff`. Rows present on only one side are reported but never
+// fail the gate (shape sets may differ across configurations).
+func runBenchDiff(basePath, newPath string, maxRegress float64) {
+	base, err := loadWallclock(basePath)
+	check(err)
+	cand, err := loadWallclock(newPath)
+	check(err)
+
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		if _, ok := cand[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	fmt.Printf("# Wallclock diff: base=%s new=%s (fail > +%.0f%% ns/op)\n",
+		basePath, newPath, maxRegress)
+	fmt.Printf("%-5s %-3s %-8s %-14s %14s %14s %9s\n",
+		"op", "dt", "shape", "variant", "base ns/op", "new ns/op", "delta")
+	var failed []string
+	for _, k := range keys {
+		b, n := base[k], cand[k]
+		// Compare per-matrix time so runs with different -wcount still
+		// line up (identical counts reduce to the plain ns_op ratio).
+		bPer := b.NsOp / float64(b.Count)
+		nPer := n.NsOp / float64(n.Count)
+		delta := (nPer - bPer) / bPer * 100
+		mark := ""
+		if b.Count != n.Count {
+			mark = fmt.Sprintf("  (count %d vs %d, per-matrix)", b.Count, n.Count)
+		}
+		if delta > maxRegress {
+			mark += "  << REGRESSION"
+			failed = append(failed, fmt.Sprintf("%s %s %s %s %+.1f%%",
+				b.Op, b.DType, b.Shape, b.Variant, delta))
+		}
+		fmt.Printf("%-5s %-3s %-8s %-14s %14.0f %14.0f %+8.1f%%%s\n",
+			b.Op, b.DType, b.Shape, b.Variant, b.NsOp, n.NsOp, delta, mark)
+	}
+	for k, r := range base {
+		if _, ok := cand[k]; !ok {
+			fmt.Printf("# only in base: %s %s %s %s\n", r.Op, r.DType, r.Shape, r.Variant)
+		}
+	}
+	for k, r := range cand {
+		if _, ok := base[k]; !ok {
+			fmt.Printf("# only in new:  %s %s %s %s\n", r.Op, r.DType, r.Shape, r.Variant)
+		}
+	}
+	if len(keys) == 0 {
+		check(fmt.Errorf("no common rows between %s and %s", basePath, newPath))
+	}
+	if len(failed) > 0 {
+		fmt.Printf("\n%d row(s) regressed beyond %.0f%%:\n", len(failed), maxRegress)
+		for _, f := range failed {
+			fmt.Println("  " + f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nOK: %d rows compared, none beyond +%.0f%%\n", len(keys), maxRegress)
 }

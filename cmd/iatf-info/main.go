@@ -41,6 +41,7 @@ func main() {
 		tuneF     = flag.Bool("tune", false, "empirically autotune the GEMM tiling for -m/-n/-k on the cycle model")
 		engineF   = flag.Bool("engine", false, "run a demo workload through the default engine and print its counters")
 		jsonF     = flag.Bool("json", false, "with -engine: emit the snapshot as JSON instead of a table")
+		metricsF  = flag.Bool("metrics", false, "run the demo workload and emit the engine state as OpenMetrics text")
 		count     = flag.Int("count", 16384, "batch size for plan queries")
 	)
 	flag.Parse()
@@ -85,6 +86,13 @@ func main() {
 		printEngine(*jsonF)
 		any = true
 	}
+	if *metricsF {
+		demoWorkload()
+		if err := iatf.DefaultEngine().WriteMetrics(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		any = true
+	}
 	if !any {
 		printKernels()
 		fmt.Println()
@@ -92,17 +100,12 @@ func main() {
 	}
 }
 
-// printEngine drives the default engine with a mixed workload covering
+// demoWorkload drives the default engine with a mixed workload covering
 // all four engine ops — repeated GEMM, TRSM, TRMM and SYRK on a handful
-// of shapes — and prints the engine counters plus the per-shape
-// observability table. The snapshot is also published as the expvar
-// "iatf.engine", so a process embedding the library can expose the same
-// view over /debug/vars.
-func printEngine(asJSON bool) {
-	expvar.Publish("iatf.engine", expvar.Func(func() any {
-		return iatf.DefaultEngine().Stats()
-	}))
-
+// of shapes — plus a batched factorization and an async coalescing
+// burst, so every counter surface has traffic. Shared by -engine and
+// -metrics.
+func demoWorkload() {
 	const count = 16384
 	gemm := func(m, n, k int, prepack bool) {
 		a := iatf.NewBatch[float32](count, m, k)
@@ -207,7 +210,7 @@ func printEngine(asJSON bool) {
 		wg.Wait()
 	}
 	gemm(8, 8, 8, true)
-	gemm(8, 8, 8, true) // same shape: pure plan- and pack-cache hits
+	gemm(8, 8, 8, true)  // same shape: pure plan- and pack-cache hits
 	gemm(6, 5, 7, false) // pack-per-call: exercises the streaming pipeline
 	tri(true, 8, 4)
 	tri(true, 8, 4)
@@ -215,12 +218,28 @@ func printEngine(asJSON bool) {
 	syrk(8, 6)
 	factor(8)
 	burst(8)
+}
+
+// printEngine runs the demo workload and prints the engine counters plus
+// the per-shape observability table. The snapshot is also published as
+// the expvar "iatf.engine", so a process embedding the library can
+// expose the same view over /debug/vars.
+func printEngine(asJSON bool) {
+	expvar.Publish("iatf.engine", expvar.Func(func() any {
+		return iatf.DefaultEngine().Stats()
+	}))
+	demoWorkload()
 
 	s := iatf.DefaultEngine().Stats()
 	if asJSON {
+		// The JSON form leads with the build identity so exported dumps
+		// are self-describing.
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(s); err != nil {
+		if err := enc.Encode(struct {
+			BuildInfo iatf.BuildInfo   `json:"build_info"`
+			Stats     iatf.EngineStats `json:"stats"`
+		}{iatf.Build(), s}); err != nil {
 			log.Fatal(err)
 		}
 		return

@@ -1,0 +1,173 @@
+// Command iatf-monitor is the live monitoring surface of the serving
+// engine: a small admin HTTP server exposing
+//
+//	/metrics      OpenMetrics text for Prometheus-style scraping
+//	/debug/vars   expvar JSON (engine stats published as "iatf.engine")
+//	/debug/pprof  the standard pprof profiles; with -labels, CPU samples
+//	              carry {op, dtype, shape} labels
+//	/trace?n=K    the K most recent request spans as Chrome trace-event
+//	              JSON (load in chrome://tracing or ui.perfetto.dev)
+//	/spans?n=K    the same spans as plain JSON
+//
+// With -demo the process drives a continuous mixed workload through the
+// default engine so every surface has live traffic; without it, the
+// server monitors whatever workload the embedding process runs (this
+// command is then mostly a reference for wiring the handlers into your
+// own server).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"time"
+
+	"iatf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("iatf-monitor: ")
+	var (
+		addr   = flag.String("addr", "localhost:9090", "listen address")
+		demo   = flag.Bool("demo", false, "drive a continuous demo workload so every surface has traffic")
+		ring   = flag.Int("ring", 512, "spans retained for /trace and /spans")
+		labels = flag.Bool("labels", false, "apply pprof labels (op/dtype/shape) around compute")
+		once   = flag.Bool("once", false, "with -demo: run one workload round, print the surfaces, exit (smoke test)")
+	)
+	flag.Parse()
+
+	eng := iatf.DefaultEngine()
+	spans := iatf.NewSpanRing(*ring)
+	eng.SetSpanSink(spans.Add)
+	eng.SetProfileLabels(*labels)
+	expvar.Publish("iatf.engine", expvar.Func(func() any { return eng.Stats() }))
+
+	if *demo {
+		if *once {
+			demoRound()
+			smoke(eng, spans)
+			return
+		}
+		go func() {
+			for {
+				demoRound()
+				time.Sleep(200 * time.Millisecond)
+			}
+		}()
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintf(w, "iatf-monitor — %+v\n\n", iatf.Build())
+		fmt.Fprintln(w, "/metrics      OpenMetrics scrape")
+		fmt.Fprintln(w, "/debug/vars   expvar JSON")
+		fmt.Fprintln(w, "/debug/pprof  pprof profiles")
+		fmt.Fprintln(w, "/trace?n=K    Chrome trace-event JSON of recent spans")
+		fmt.Fprintln(w, "/spans?n=K    recent spans as JSON")
+	})
+	mux.Handle("/metrics", eng.MetricsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := iatf.WriteChromeTrace(w, spans.Spans(queryN(r))); err != nil {
+			log.Printf("/trace: %v", err)
+		}
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(spans.Spans(queryN(r))); err != nil {
+			log.Printf("/spans: %v", err)
+		}
+	})
+
+	log.Printf("listening on http://%s (demo=%v, labels=%v, ring=%d)", *addr, *demo, *labels, *ring)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// queryN parses the ?n= span-count parameter; 0 means everything
+// retained.
+func queryN(r *http.Request) int {
+	n, err := strconv.Atoi(r.URL.Query().Get("n"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
+}
+
+// demoRound runs one burst of mixed traffic: a few sync GEMMs with
+// prepacked operands, a triangular solve, and a concurrent async burst
+// that exercises queueing and coalescing.
+func demoRound() {
+	const count = 4096
+	a := iatf.Pack(iatf.NewBatch[float32](count, 8, 8))
+	b := iatf.Pack(iatf.NewBatch[float32](count, 8, 8))
+	c := iatf.Pack(iatf.NewBatch[float32](count, 8, 8))
+	a.Prepack()
+	b.Prepack()
+	for i := 0; i < 4; i++ {
+		if err := iatf.GEMMParallel(0, iatf.NoTrans, iatf.NoTrans, 1, a, b, 1, c); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	tri := iatf.NewBatch[float32](count, 8, 8)
+	for mi := 0; mi < count; mi++ {
+		for i := 0; i < 8; i++ {
+			tri.Set(mi, i, i, 2)
+		}
+	}
+	ct, cb := iatf.Pack(tri), iatf.Pack(iatf.NewBatch[float32](count, 8, 4))
+	if err := iatf.TRSM(iatf.Left, iatf.Lower, iatf.NoTrans, iatf.NonUnit, 1, ct, cb); err != nil {
+		log.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		ga := iatf.Pack(iatf.NewBatch[float32](count/4, 6, 6))
+		gb := iatf.Pack(iatf.NewBatch[float32](count/4, 6, 6))
+		gc := iatf.Pack(iatf.NewBatch[float32](count/4, 6, 6))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := iatf.Request[float32]{Op: iatf.OpGEMM, Alpha: 1, Beta: 1, A: ga, B: gb, C: gc}
+			for i := 0; i < 8; i++ {
+				if err := iatf.Do(context.Background(), req, iatf.WithAsync()); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// smoke prints each surface once to stdout — the -demo -once form used
+// as a no-network sanity check.
+func smoke(eng *iatf.Engine, spans *iatf.SpanRing) {
+	fmt.Printf("# build: %+v\n", iatf.Build())
+	if err := eng.WriteMetrics(log.Writer()); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# spans captured: %d (ring %d)\n", spans.Total(), len(spans.Spans(0)))
+	if err := iatf.WriteChromeTrace(log.Writer(), spans.Spans(8)); err != nil {
+		log.Fatal(err)
+	}
+}

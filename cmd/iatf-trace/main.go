@@ -8,7 +8,10 @@
 // With -engine it instead traces one dispatch through the run-time
 // engine: the trace hook receives the assembled command queue — packing
 // kernels chosen by the Pack Selector, the tile/kernel sequence, the
-// Batch Counter's super-batch size and the worker split — and prints it.
+// Batch Counter's super-batch size and the worker split — and prints it,
+// followed by the request's lifecycle span (where the dispatch's time
+// went, phase by phase). -chrome FILE additionally writes the span as
+// Chrome trace-event JSON for chrome://tracing.
 //
 // Usage:
 //
@@ -16,12 +19,15 @@
 //	iatf-trace -type d -mc 4 -nc 4 -k 4 -raw       # unoptimized
 //	iatf-trace -cycles 40                          # limit rows
 //	iatf-trace -engine -m 8 -n 8 -k 8 -count 4096  # engine command queue
+//	iatf-trace -engine -chrome trace.json          # + trace-event dump
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"iatf"
@@ -46,6 +52,7 @@ func main() {
 		mF      = flag.Int("m", 8, "with -engine: GEMM rows")
 		nF      = flag.Int("n", 8, "with -engine: GEMM cols")
 		countF  = flag.Int("count", 4096, "with -engine: batch size")
+		chrome  = flag.String("chrome", "", "with -engine: also write the span as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
 
@@ -54,7 +61,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if *engineF {
-		traceEngine(*mF, *nF, *k, *countF)
+		traceEngine(*mF, *nF, *k, *countF, *chrome)
 		return
 	}
 	spec := ktmpl.GEMMSpec{DT: dt, MC: *mc, NC: *nc, K: *k, StrideC: *mc}
@@ -173,8 +180,10 @@ func main() {
 
 // traceEngine installs a trace hook on a private engine, forces the next
 // call to be traced, runs one batched GEMM and pretty-prints the command
-// queue the dispatcher assembled for it.
-func traceEngine(m, n, k, count int) {
+// queue the dispatcher assembled for it, then the request's lifecycle
+// span. chromeFile != "" additionally writes the span as Chrome
+// trace-event JSON.
+func traceEngine(m, n, k, count int, chromeFile string) {
 	a := iatf.NewBatch[float32](count, m, k)
 	b := iatf.NewBatch[float32](count, k, n)
 	c := iatf.NewBatch[float32](count, m, n)
@@ -192,7 +201,11 @@ func traceEngine(m, n, k, count int) {
 	got := false
 	eng.SetTrace(func(e iatf.TraceEvent) { ev, got = e, true }, 0)
 	eng.ForceTrace(1)
-	if err := iatf.GEMMOn(eng, 0, iatf.NoTrans, iatf.NoTrans, 1, ca, cb, 1, cc); err != nil {
+	var sp iatf.Span
+	err := iatf.Do(context.Background(), iatf.Request[float32]{
+		Op: iatf.OpGEMM, Alpha: 1, Beta: 1, A: ca, B: cb, C: cc,
+	}, iatf.WithEngine(eng), iatf.WithSpanSink(func(s *iatf.Span) { sp = *s }))
+	if err != nil {
 		log.Fatal(err)
 	}
 	if !got {
@@ -206,5 +219,30 @@ func traceEngine(m, n, k, count int) {
 	fmt.Printf("%4s  %-10s %-14s %s\n", "#", "stage", "kernel", "detail")
 	for i, cmd := range ev.Queue {
 		fmt.Printf("%4d  %-10s %-14s %s\n", i, cmd.Stage, cmd.Kernel, cmd.Detail)
+	}
+
+	fmt.Printf("\n# Lifecycle span %d: end-to-end %v (prepack %d hit / %d built)\n",
+		sp.ID, sp.Duration(), sp.PrepackHits, sp.PrepackBuilds)
+	for p := iatf.PhaseQueueWait; p < iatf.SpanPhase(len(sp.Phases)); p++ {
+		if d := sp.Phases[p]; d > 0 {
+			fmt.Printf("%12s  %v\n", p, d)
+		}
+	}
+	if unattr := sp.Duration() - sp.PhaseTotal(); unattr > 0 {
+		fmt.Printf("%12s  %v\n", "(dispatch)", unattr)
+	}
+
+	if chromeFile != "" {
+		f, err := os.Create(chromeFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := iatf.WriteChromeTrace(f, []iatf.Span{sp}); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("# wrote %s — open in chrome://tracing or ui.perfetto.dev\n", chromeFile)
 	}
 }

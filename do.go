@@ -50,6 +50,7 @@ type callCfg struct {
 	workers int
 	eng     *Engine
 	async   bool
+	sink    func(*Span)
 }
 
 // Option configures one Do or Submit call. Options are plain values (not
@@ -60,6 +61,7 @@ type Option struct {
 	hasWorkers bool
 	eng        *Engine
 	async      bool
+	sink       func(*Span)
 }
 
 // WithWorkers sets the worker split: n <= 0 means auto (one worker per
@@ -77,6 +79,16 @@ func WithEngine(e *Engine) Option { return Option{eng: e} }
 // the fire-now-wait-later form.
 func WithAsync() Option { return Option{async: true} }
 
+// WithSpanSink traces this one call: the request carries a lifecycle
+// span (even when no engine-level sink is installed) and fn receives it
+// when the request resolves — including rejection and cancellation
+// outcomes. fn runs synchronously on the resolving goroutine and must
+// copy the span if it retains it.
+//
+//	var got iatf.Span
+//	err := iatf.Do(ctx, req, iatf.WithSpanSink(func(sp *iatf.Span) { got = *sp }))
+func WithSpanSink(fn func(*Span)) Option { return Option{sink: fn} }
+
 func resolveOpts(opts []Option) callCfg {
 	cfg := callCfg{workers: 1}
 	for _, o := range opts {
@@ -88,6 +100,9 @@ func resolveOpts(opts []Option) callCfg {
 		}
 		if o.async {
 			cfg.async = true
+		}
+		if o.sink != nil {
+			cfg.sink = o.sink
 		}
 	}
 	if cfg.eng == nil {
@@ -146,9 +161,12 @@ func Do[T Scalar](ctx context.Context, req Request[T], opts ...Option) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if cfg.sink != nil {
+			return doSyncSpanned(cfg.eng, cfg.workers, cfg.sink, req)
+		}
 		return doSync(cfg.eng, cfg.workers, req)
 	}
-	fut, err := submitReq(ctx, cfg.eng, cfg.workers, req)
+	fut, err := submitSpanned(ctx, cfg.eng, cfg.workers, cfg.sink, req)
 	if err != nil {
 		return err
 	}
@@ -166,6 +184,17 @@ func doSync[T Scalar](e *Engine, workers int, req Request[T]) error {
 	return e.inner.Run(desc, ops[:n]...)
 }
 
+// doSyncSpanned is doSync with a per-call span sink (WithSpanSink) —
+// kept off the plain path so untraced warm calls stay allocation-
+// minimal.
+func doSyncSpanned[T Scalar](e *Engine, workers int, sink func(*Span), req Request[T]) error {
+	desc, ops, n, err := toDesc(req, workers)
+	if err != nil {
+		return err
+	}
+	return e.inner.RunSpanned(desc, sink, ops[:n]...)
+}
+
 // Submit enqueues one request on the engine's submission queue and
 // returns a Future resolving when it completes. The operands must not be
 // mutated until then. If the queue is idle the request executes
@@ -175,15 +204,15 @@ func doSync[T Scalar](e *Engine, workers int, req Request[T]) error {
 // already done returns ctx.Err().
 func Submit[T Scalar](ctx context.Context, req Request[T], opts ...Option) (*Future, error) {
 	cfg := resolveOpts(opts)
-	return submitReq(ctx, cfg.eng, cfg.workers, req)
+	return submitSpanned(ctx, cfg.eng, cfg.workers, cfg.sink, req)
 }
 
-func submitReq[T Scalar](ctx context.Context, e *Engine, workers int, req Request[T]) (*Future, error) {
+func submitSpanned[T Scalar](ctx context.Context, e *Engine, workers int, sink func(*Span), req Request[T]) (*Future, error) {
 	desc, ops, n, err := toDesc(req, workers)
 	if err != nil {
 		return nil, err
 	}
-	fut, err := e.inner.Submit(ctx, desc, ops[:n]...)
+	fut, err := e.inner.SubmitSpanned(ctx, desc, sink, ops[:n]...)
 	if err != nil {
 		return nil, err
 	}

@@ -96,9 +96,9 @@ type Stats struct {
 // Snapshot returns the current pool counters.
 func Snapshot() Stats {
 	s := Stats{
-		Gets:     gets.Load(),
-		Reuses:   reuses.Load(),
-		Allocs:   news.Load(),
+		Gets:       gets.Load(),
+		Reuses:     reuses.Load(),
+		Allocs:     news.Load(),
 		Puts:       puts.Load(),
 		Oversize:   oversize.Load(),
 		DoublePuts: doublePuts.Load(),

@@ -149,7 +149,7 @@ func ExecGEMMNativePrepacked[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[
 	if preB != nil && len(preB) < pl.PrepackBLen(b.Groups()) {
 		return fmt.Errorf("core: prepacked B has %d elements, need %d", len(preB), pl.PrepackBLen(b.Groups()))
 	}
-	sched.Run(a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+	sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
 		gemmWorker(pl, a, b, c, preA, preB, lo, hi)
 	})
 	return nil
@@ -451,7 +451,7 @@ func ExecTRSMNativePrepacked[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E],
 	if preTri != nil && len(preTri) < pl.PrepackTriLen(a.Groups()) {
 		return fmt.Errorf("core: prepacked tri has %d elements, need %d", len(preTri), pl.PrepackTriLen(a.Groups()))
 	}
-	sched.Run(a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+	sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
 		trsmWorker(pl, a, b, preTri, lo, hi)
 	})
 	return nil

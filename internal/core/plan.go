@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -170,6 +171,11 @@ type GEMMPlan struct {
 	PackA          bool  // false = no-packing fast path for A (§4.4)
 	PackB          bool  // false = no-packing fast path for B (native executor)
 	GroupsPerBatch int   // Batch Counter decision, in interleave groups
+
+	// Labels is an optional pprof label context adopted by pool workers
+	// executing this plan. Never set on cached plans — only on the
+	// per-call stack copy the engine splices scalars into.
+	Labels context.Context
 
 	tiles []tile
 }
@@ -336,6 +342,9 @@ type TRSMPlan struct {
 	Panels         []int
 	ColTiles       []int
 	GroupsPerBatch int
+
+	// Labels: optional pprof label context; see GEMMPlan.Labels.
+	Labels context.Context
 
 	steps []trsmStep
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"iatf/internal/bufpool"
@@ -44,6 +45,9 @@ type SYRKPlan struct {
 	Tiles          []int // symmetric tile grid on both C dimensions
 	KChunks        []int
 	GroupsPerBatch int
+
+	// Labels: optional pprof label context; see GEMMPlan.Labels.
+	Labels context.Context
 }
 
 // syrkTileGrid returns the symmetric tile sizes: the largest kernel size
@@ -106,7 +110,7 @@ func ExecSYRKNativeParallel[E vec.Float](pl *SYRKPlan, a, c *layout.Compact[E], 
 	if a.Rows != wantAR || a.Cols != wantAC || c.Rows != p.N || c.Cols != p.N {
 		return fmt.Errorf("core: shape mismatch A=%dx%d C=%dx%d", a.Rows, a.Cols, c.Rows, c.Cols)
 	}
-	sched.Run(a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+	sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
 		syrkWorker(pl, a, c, lo, hi)
 	})
 	return nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"iatf/internal/asm"
@@ -64,6 +65,9 @@ type TRMMPlan struct {
 	Panels         []int
 	ColTiles       []int
 	GroupsPerBatch int
+
+	// Labels: optional pprof label context; see GEMMPlan.Labels.
+	Labels context.Context
 
 	steps []trmmStep
 }
@@ -185,7 +189,7 @@ func ExecTRMMNativePrepacked[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E],
 	if preTri != nil && len(preTri) < pl.PrepackTriLen(a.Groups()) {
 		return fmt.Errorf("core: prepacked tri has %d elements, need %d", len(preTri), pl.PrepackTriLen(a.Groups()))
 	}
-	sched.Run(a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+	sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
 		trmmWorker(pl, a, b, preTri, lo, hi)
 	})
 	return nil

@@ -35,9 +35,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"iatf/internal/layout"
 	"iatf/internal/matrix"
+	"iatf/internal/obs"
 	"iatf/internal/vec"
 )
 
@@ -97,6 +99,10 @@ type asyncReq struct {
 	ops  [3]Operand
 	nops int
 	fut  *Future
+
+	enq  time.Time    // when the request joined the queue (zero on the inline path)
+	sp   *obs.Span    // lifecycle span; nil when tracing is off
+	sink obs.SpanFunc // per-request span sink (SubmitSpanned), or nil
 }
 
 // submitQueue is the per-engine async state: the bounded request channel,
@@ -116,6 +122,15 @@ type submitQueue struct {
 	rejected   atomic.Uint64
 	maxFused   atomic.Int64
 
+	// depthHW is the monotonic queue-depth high-water mark, recorded at
+	// enqueue time — Depth alone only samples whatever is queued at
+	// snapshot time, which hides bursts that drained before the scrape.
+	depthHW atomic.Int64
+	// waitHist is the queue-wait distribution: enqueue to bundle start,
+	// for every queued request (inline fast-path submissions skip the
+	// queue and are not observed).
+	waitHist obs.Hist
+
 	// testHook, when set before the first Submit, runs on the dispatcher
 	// goroutine after a batch is drained and before it executes — tests
 	// use it to hold the dispatcher so queue-full, cancellation and
@@ -134,6 +149,12 @@ type QueueStats struct {
 	MaxFused   int    // largest fused bundle observed
 	Depth      int    // requests currently queued
 	Capacity   int    // queue bound
+
+	// DepthHighWater is the largest queue depth ever observed at enqueue
+	// time (monotonic; survives the burst that caused it).
+	DepthHighWater int
+	// Wait is the queue-wait distribution: enqueue to bundle start.
+	Wait obs.HistSnapshot
 }
 
 func (q *submitQueue) snapshot() QueueStats {
@@ -144,15 +165,17 @@ func (q *submitQueue) snapshot() QueueStats {
 	}
 	q.mu.Unlock()
 	return QueueStats{
-		Submitted:  q.submitted.Load(),
-		Inline:     q.inline.Load(),
-		Dispatches: q.dispatches.Load(),
-		Coalesced:  q.coalesced.Load(),
-		Cancelled:  q.cancelled.Load(),
-		Rejected:   q.rejected.Load(),
-		MaxFused:   int(q.maxFused.Load()),
-		Depth:      depth,
-		Capacity:   capacity,
+		Submitted:      q.submitted.Load(),
+		Inline:         q.inline.Load(),
+		Dispatches:     q.dispatches.Load(),
+		Coalesced:      q.coalesced.Load(),
+		Cancelled:      q.cancelled.Load(),
+		Rejected:       q.rejected.Load(),
+		MaxFused:       int(q.maxFused.Load()),
+		Depth:          depth,
+		Capacity:       capacity,
+		DepthHighWater: int(q.depthHW.Load()),
+		Wait:           q.waitHist.Snapshot(),
 	}
 }
 
@@ -191,6 +214,16 @@ func (q *submitQueue) start(e *Engine) {
 // queue returns ErrQueueFull; a context already done returns ctx.Err().
 // In both failure cases the returned Future is nil.
 func (e *Engine) Submit(ctx context.Context, op OpDesc, operands ...Operand) (*Future, error) {
+	return e.SubmitSpanned(ctx, op, nil, operands...)
+}
+
+// SubmitSpanned is Submit with a per-request span sink: when sink is
+// non-nil the request always carries a lifecycle span (even with no
+// engine-level sink installed) and sink receives it after the request
+// resolves — including rejection and cancellation outcomes. sink runs on
+// whichever goroutine resolves the request and must copy the span if it
+// retains it.
+func (e *Engine) SubmitSpanned(ctx context.Context, op OpDesc, sink obs.SpanFunc, operands ...Operand) (*Future, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -199,25 +232,46 @@ func (e *Engine) Submit(ctx context.Context, op OpDesc, operands ...Operand) (*F
 	}
 	q := &e.queue
 	q.start(e)
-	r := &asyncReq{ctx: ctx, op: op, fut: newFuture()}
+	r := &asyncReq{ctx: ctx, op: op, fut: newFuture(), sink: sink}
 	r.nops = copy(r.ops[:], operands)
+	// Span start = submission time, so queued requests attribute the gap
+	// to PhaseQueueWait.
+	r.sp = e.obs.StartSpan(sink != nil)
 	// Idle fast path: nothing queued and no dispatch in flight — run on
 	// the submitting goroutine so a lone caller pays no queue round-trip.
 	if len(q.ch) == 0 && q.busy.CompareAndSwap(false, true) {
 		q.submitted.Add(1)
 		q.inline.Add(1)
-		err := e.Run(r.op, r.ops[:r.nops]...)
+		err := e.run(r.op, r.sp, r.ops[:r.nops]...)
 		q.busy.Store(false)
+		e.obs.FinishSpan(r.sp, err, r.sink)
 		r.fut.resolve(err)
 		return r.fut, nil
 	}
+	r.enq = time.Now()
 	select {
 	case q.ch <- r:
 		q.submitted.Add(1)
+		q.noteDepth(len(q.ch))
 		return r.fut, nil
 	default:
 		q.rejected.Add(1)
-		return nil, fmt.Errorf("iatf: %v: %w (capacity %d)", op.Kind, ErrQueueFull, cap(q.ch))
+		err := fmt.Errorf("iatf: %v: %w (capacity %d)", op.Kind, ErrQueueFull, cap(q.ch))
+		if r.sp != nil {
+			r.sp.Op = op.Kind.String()
+		}
+		e.obs.FinishSpan(r.sp, err, r.sink)
+		return nil, err
+	}
+}
+
+// noteDepth raises the queue-depth high-water mark to depth (CAS-max).
+func (q *submitQueue) noteDepth(depth int) {
+	for {
+		old := q.depthHW.Load()
+		if int64(depth) <= old || q.depthHW.CompareAndSwap(old, int64(depth)) {
+			return
+		}
 	}
 }
 
@@ -296,6 +350,11 @@ func (e *Engine) runBatch(batch []*asyncReq) {
 	for _, r := range batch {
 		if err := r.ctx.Err(); err != nil {
 			q.cancelled.Add(1)
+			if r.sp != nil {
+				r.sp.Op = r.op.Kind.String()
+				r.sp.Phases[obs.PhaseQueueWait] = time.Since(r.enq)
+			}
+			e.obs.FinishSpan(r.sp, err, r.sink)
 			r.fut.resolve(err)
 			continue
 		}
@@ -312,12 +371,25 @@ func (e *Engine) runBatch(batch []*asyncReq) {
 
 // runBundle executes one same-problem bundle: a lone request runs
 // directly on its own operands; two or more run as one fused dispatch.
+// Queue wait is stamped here — at bundle start, not drain time — so a
+// request's recorded phases sum to its observed end-to-end latency even
+// when earlier bundles of the same drained batch ran first.
 func (e *Engine) runBundle(reqs []*asyncReq) {
 	q := &e.queue
 	q.dispatches.Add(1)
+	now := time.Now()
+	for _, r := range reqs {
+		wait := now.Sub(r.enq)
+		q.waitHist.Observe(wait)
+		if r.sp != nil {
+			r.sp.Phases[obs.PhaseQueueWait] += wait
+		}
+	}
 	if len(reqs) == 1 {
 		r := reqs[0]
-		r.fut.resolve(e.Run(r.op, r.ops[:r.nops]...))
+		err := e.run(r.op, r.sp, r.ops[:r.nops]...)
+		e.obs.FinishSpan(r.sp, err, r.sink)
+		r.fut.resolve(err)
 		return
 	}
 	q.coalesced.Add(uint64(len(reqs) - 1))
@@ -347,8 +419,28 @@ func writtenOperand(k OpKind) int {
 // scatters the written operand's groups back into each request's own
 // storage. Group data is untouched by the concatenation, so results are
 // bit-identical to executing the requests serially.
+//
+// Span emission: the fused dispatch itself carries a parent span
+// (Fused = N, phases Fuse/Plan/Pack/Compute/Scatter); each rider's child
+// span copies the parent's shared phases alongside its own queue wait
+// and links via ParentID, so a slow Do is attributable even when it
+// executed as one rider of a coalesced dispatch.
 func (e *Engine) runFused(reqs []*asyncReq) error {
 	lead := reqs[0]
+	// The parent span is forced whenever any rider carries a span, so
+	// children never lack the dispatch they rode in.
+	force := false
+	for _, r := range reqs {
+		if r.sp != nil {
+			force = true
+			break
+		}
+	}
+	parent := e.obs.StartSpan(force)
+	var t0 time.Time
+	if parent != nil {
+		t0 = time.Now()
+	}
 	fused := make([]Operand, lead.nops)
 	for i := range fused {
 		src := lead.ops[i]
@@ -358,16 +450,52 @@ func (e *Engine) runFused(reqs []*asyncReq) error {
 			fused[i] = Operand{DT: src.DT, F64: fuseCompacts(src.DT, partsF64(reqs, i))}
 		}
 	}
-	if err := e.Run(lead.op, fused...); err != nil {
-		return err
+	parent.Mark(obs.PhaseFuse, t0)
+	err := e.run(lead.op, parent, fused...)
+	if err == nil {
+		if parent != nil {
+			t0 = time.Now()
+		}
+		wi := writtenOperand(lead.op.Kind)
+		if lead.ops[wi].F32 != nil {
+			scatterCompacts(fused[wi].F32, partsF32(reqs, wi))
+		} else {
+			scatterCompacts(fused[wi].F64, partsF64(reqs, wi))
+		}
+		parent.Mark(obs.PhaseScatter, t0)
 	}
-	wi := writtenOperand(lead.op.Kind)
-	if lead.ops[wi].F32 != nil {
-		scatterCompacts(fused[wi].F32, partsF32(reqs, wi))
-	} else {
-		scatterCompacts(fused[wi].F64, partsF64(reqs, wi))
+	if parent != nil {
+		parent.Fused = len(reqs)
+		finishFusedSpans(e, parent, reqs, err)
 	}
-	return nil
+	e.obs.FinishSpan(parent, err, nil)
+	return err
+}
+
+// finishFusedSpans completes each rider's child span: the parent's
+// descriptor and shared phases (fuse through scatter) plus the rider's
+// own queue wait and batch count, linked by ParentID. Runs before the
+// parent is finished (and recycled), so the copies are safe.
+func finishFusedSpans(e *Engine, parent *obs.Span, reqs []*asyncReq, err error) {
+	wi := writtenOperand(reqs[0].op.Kind)
+	for _, r := range reqs {
+		sp := r.sp
+		if sp == nil {
+			continue
+		}
+		sp.ParentID = parent.ID
+		sp.Op, sp.DType, sp.Mode = parent.Op, parent.DType, parent.Mode
+		sp.M, sp.N, sp.K = parent.M, parent.N, parent.K
+		sp.Workers = parent.Workers
+		sp.PrepackHits, sp.PrepackBuilds = parent.PrepackHits, parent.PrepackBuilds
+		if r.ops[wi].valid() {
+			sp.Count = r.ops[wi].count()
+		}
+		for p := obs.PhaseFuse; p < obs.PhaseCount; p++ {
+			sp.Phases[p] = parent.Phases[p]
+		}
+		e.obs.FinishSpan(sp, err, r.sink)
+	}
 }
 
 func partsF32(reqs []*asyncReq, idx int) []*layout.Compact[float32] {

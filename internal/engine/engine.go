@@ -29,8 +29,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -203,6 +205,11 @@ type Engine struct {
 	planMisses    atomic.Uint64
 	planShared    atomic.Uint64
 	planEvictions atomic.Uint64
+
+	// profLabels gates pprof label application around compute (one atomic
+	// load per dispatch when off). Off by default: building the label set
+	// allocates, which would break the warm-path alloc bounds.
+	profLabels atomic.Bool
 }
 
 // New constructs an engine for a tuning configuration.
@@ -326,23 +333,67 @@ func (e *Engine) Stats() Stats {
 // described op, resolves the plan through the cache, and executes on the
 // native backend. Operand order follows BLAS argument order:
 // GEMM (A, B, C) — TRSM/TRMM (A, B) — SYRK (A, C).
+//
+// When a span sink is installed on the engine's registry, the call
+// carries a lifecycle span (plan/pack/compute phase attribution); with no
+// sink the span cost is one atomic load.
 func (e *Engine) Run(op OpDesc, operands ...Operand) error {
+	sp := e.obs.StartSpan(false)
+	err := e.run(op, sp, operands...)
+	e.obs.FinishSpan(sp, err, nil)
+	return err
+}
+
+// RunSpanned is Run with a per-call span sink: the request's completed
+// span is delivered to sink (after the engine-level sink, if any) even
+// when no engine-level sink is installed. sink must copy the span if it
+// retains it.
+func (e *Engine) RunSpanned(op OpDesc, sink obs.SpanFunc, operands ...Operand) error {
+	if sink == nil {
+		return e.Run(op, operands...)
+	}
+	sp := e.obs.StartSpan(true)
+	err := e.run(op, sp, operands...)
+	e.obs.FinishSpan(sp, err, sink)
+	return err
+}
+
+// SetProfileLabels enables pprof goroutine labels ({op, dtype, shape})
+// around compute, so CPU profiles attribute kernel samples to problem
+// shapes. Off by default: label construction allocates per dispatch.
+func (e *Engine) SetProfileLabels(on bool) { e.profLabels.Store(on) }
+
+// profileLabels returns the label context for a dispatch when labeling is
+// enabled, else nil (one atomic load).
+func (e *Engine) profileLabels(op string, dt vec.DType, m, n, k int) context.Context {
+	if !e.profLabels.Load() {
+		return nil
+	}
+	return pprof.WithLabels(context.Background(), pprof.Labels(
+		"op", op, "dtype", dt.String(), "shape", fmt.Sprintf("%dx%dx%d", m, n, k)))
+}
+
+// run dispatches with an optional lifecycle span (nil = disabled).
+func (e *Engine) run(op OpDesc, sp *obs.Span, operands ...Operand) error {
+	if sp != nil {
+		sp.Op = op.Kind.String()
+	}
 	switch op.Kind {
 	case OpGEMM:
 		if err := checkOperands(op.Kind, operands, 3); err != nil {
 			return err
 		}
-		return e.runGEMM(op, operands[0], operands[1], operands[2])
+		return e.runGEMM(op, sp, operands[0], operands[1], operands[2])
 	case OpTRSM, OpTRMM:
 		if err := checkOperands(op.Kind, operands, 2); err != nil {
 			return err
 		}
-		return e.runTri(op, operands[0], operands[1])
+		return e.runTri(op, sp, operands[0], operands[1])
 	case OpSYRK:
 		if err := checkOperands(op.Kind, operands, 2); err != nil {
 			return err
 		}
-		return e.runSYRK(op, operands[0], operands[1])
+		return e.runSYRK(op, sp, operands[0], operands[1])
 	}
 	return fmt.Errorf("iatf: unknown op kind %v", op.Kind)
 }
@@ -399,7 +450,7 @@ func cmarCeiling(tun core.Tuning, dt vec.DType, mc, nc int) float64 {
 	return prof.FreqGHz * fma * float64(prof.Lanes(eb)) * 2
 }
 
-func (e *Engine) runGEMM(op OpDesc, a, b, c Operand) error {
+func (e *Engine) runGEMM(op OpDesc, sp *obs.Span, a, b, c Operand) error {
 	m, n := c.rows(), c.cols()
 	k := a.cols()
 	if op.TransA == matrix.Transpose {
@@ -427,17 +478,31 @@ func (e *Engine) runGEMM(op OpDesc, a, b, c Operand) error {
 	}
 	key := planKey{kind: OpGEMM, dt: a.DT, m: m, n: n, k: k,
 		transA: op.TransA, transB: op.TransB, countBucket: countBucket(c.count())}
+	var t0 time.Time
+	if sp != nil {
+		sp.DType = a.DT.String()
+		sp.Mode = gemmMode(op.TransA, op.TransB)
+		sp.M, sp.N, sp.K, sp.Count = m, n, k, c.count()
+		sp.Workers = sched.Resolve(op.Workers)
+		t0 = time.Now()
+	}
 	pv, outcome, err := e.plan(key, func() (any, error) {
 		return core.NewGEMMPlan(core.GEMMProblem{
 			DT: key.dt, M: m, N: n, K: k, TransA: op.TransA, TransB: op.TransB,
 			Alpha: 1, Beta: 1, Count: key.countBucket,
 		}, e.tun)
 	})
+	sp.Mark(obs.PhasePlan, t0)
 	if err != nil {
 		return err
 	}
 	pl := *pv.(*core.GEMMPlan)
 	pl.P.Alpha, pl.P.Beta, pl.P.Count = op.Alpha, op.Beta, c.count()
+	if labels := e.profileLabels("GEMM", key.dt, m, n, k); labels != nil {
+		pl.Labels = labels
+		pprof.SetGoroutineLabels(labels)
+		defer pprof.SetGoroutineLabels(context.Background())
+	}
 	series := e.obs.Series(obs.ShapeKey{Op: "GEMM", DType: a.DT.String(),
 		Mode: gemmMode(op.TransA, op.TransB), M: m, N: n, K: k})
 	series.Plan(outcome)
@@ -451,9 +516,9 @@ func (e *Engine) runGEMM(op OpDesc, a, b, c Operand) error {
 	}
 	start := time.Now()
 	if a.F32 != nil {
-		err = execGEMM(e, key, &pl, a.F32, b.F32, c.F32, op.Workers, series)
+		err = execGEMM(e, key, &pl, a.F32, b.F32, c.F32, op.Workers, series, sp)
 	} else {
-		err = execGEMM(e, key, &pl, a.F64, b.F64, c.F64, op.Workers, series)
+		err = execGEMM(e, key, &pl, a.F64, b.F64, c.F64, op.Workers, series, sp)
 	}
 	series.Record(time.Since(start), pl.P.FLOPs(), err != nil)
 	return err
@@ -476,9 +541,13 @@ func gemmPackDesc(packA, packB bool) string {
 // native executor. References on cache entries are held across the
 // kernel loop and dropped after it, so invalidation or eviction during
 // the call cannot free storage the kernels are reading.
-func execGEMM[E vec.Float](e *Engine, key planKey, pl *core.GEMMPlan, a, b, c *layout.Compact[E], workers int, series *obs.Series) error {
+func execGEMM[E vec.Float](e *Engine, key planKey, pl *core.GEMMPlan, a, b, c *layout.Compact[E], workers int, series *obs.Series, sp *obs.Span) error {
 	var preA, preB []E
 	var entA, entB *packEntry
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	if pl.PackA {
 		if id, gen := a.PrepackState(); id != 0 {
 			k := packKey{id: id, gen: gen, plan: key, role: roleA}
@@ -496,6 +565,7 @@ func execGEMM[E vec.Float](e *Engine, key planKey, pl *core.GEMMPlan, a, b, c *l
 			}
 			preA, entA = data, ent
 			series.Prepack(ok)
+			sp.Prepack(ok)
 		}
 	}
 	if pl.PackB {
@@ -515,9 +585,15 @@ func execGEMM[E vec.Float](e *Engine, key planKey, pl *core.GEMMPlan, a, b, c *l
 			}
 			preB, entB = data, ent
 			series.Prepack(ok)
+			sp.Prepack(ok)
 		}
 	}
+	if sp != nil {
+		sp.Mark(obs.PhasePack, t0)
+		t0 = time.Now()
+	}
 	err := core.ExecGEMMNativePrepacked(pl, a, b, c, preA, preB, workers)
+	sp.Mark(obs.PhaseCompute, t0)
 	if entA != nil {
 		e.packs.release(entA)
 	}
@@ -530,7 +606,7 @@ func execGEMM[E vec.Float](e *Engine, key planKey, pl *core.GEMMPlan, a, b, c *l
 	return err
 }
 
-func (e *Engine) runTri(op OpDesc, a, b Operand) error {
+func (e *Engine) runTri(op OpDesc, sp *obs.Span, a, b Operand) error {
 	m, n := b.rows(), b.cols()
 	if a.rows() != a.cols() {
 		return opErr(op.Kind, "A", ErrShape, "A must be square, got %dx%d", a.rows(), a.cols())
@@ -551,6 +627,14 @@ func (e *Engine) runTri(op OpDesc, a, b Operand) error {
 		countBucket: countBucket(b.count())}
 	shape := obs.ShapeKey{Op: op.Kind.String(), DType: a.DT.String(),
 		Mode: op.Side.String() + op.TransA.String() + op.Uplo.String() + op.Diag.String(), M: m, N: n}
+	var t0 time.Time
+	if sp != nil {
+		sp.DType = a.DT.String()
+		sp.Mode = shape.Mode
+		sp.M, sp.N, sp.Count = m, n, b.count()
+		sp.Workers = sched.Resolve(op.Workers)
+		t0 = time.Now()
+	}
 	if op.Kind == OpTRSM {
 		pv, outcome, err := e.plan(key, func() (any, error) {
 			return core.NewTRSMPlan(core.TRSMProblem{
@@ -558,11 +642,17 @@ func (e *Engine) runTri(op OpDesc, a, b Operand) error {
 				TransA: op.TransA, Diag: op.Diag, Alpha: 1, Count: key.countBucket,
 			}, e.tun)
 		})
+		sp.Mark(obs.PhasePlan, t0)
 		if err != nil {
 			return err
 		}
 		pl := *pv.(*core.TRSMPlan)
 		pl.P.Alpha, pl.P.Count = op.Alpha, b.count()
+		if labels := e.profileLabels(op.Kind.String(), key.dt, m, n, 0); labels != nil {
+			pl.Labels = labels
+			pprof.SetGoroutineLabels(labels)
+			defer pprof.SetGoroutineLabels(context.Background())
+		}
 		series := e.obs.Series(shape)
 		series.Plan(outcome)
 		series.SetWorkers(sched.Resolve(op.Workers))
@@ -574,9 +664,9 @@ func (e *Engine) runTri(op OpDesc, a, b Operand) error {
 		}
 		start := time.Now()
 		if a.F32 != nil {
-			err = execTRSM(e, key, &pl, a.F32, b.F32, op.Workers, series)
+			err = execTRSM(e, key, &pl, a.F32, b.F32, op.Workers, series, sp)
 		} else {
-			err = execTRSM(e, key, &pl, a.F64, b.F64, op.Workers, series)
+			err = execTRSM(e, key, &pl, a.F64, b.F64, op.Workers, series, sp)
 		}
 		series.Record(time.Since(start), pl.P.FLOPs(), err != nil)
 		return err
@@ -587,11 +677,17 @@ func (e *Engine) runTri(op OpDesc, a, b Operand) error {
 			TransA: op.TransA, Diag: op.Diag, Alpha: 1, Count: key.countBucket,
 		}, e.tun)
 	})
+	sp.Mark(obs.PhasePlan, t0)
 	if err != nil {
 		return err
 	}
 	pl := *pv.(*core.TRMMPlan)
 	pl.P.Alpha, pl.P.Count = op.Alpha, b.count()
+	if labels := e.profileLabels(op.Kind.String(), key.dt, m, n, 0); labels != nil {
+		pl.Labels = labels
+		pprof.SetGoroutineLabels(labels)
+		defer pprof.SetGoroutineLabels(context.Background())
+	}
 	series := e.obs.Series(shape)
 	series.Plan(outcome)
 	series.SetWorkers(sched.Resolve(op.Workers))
@@ -603,9 +699,9 @@ func (e *Engine) runTri(op OpDesc, a, b Operand) error {
 	}
 	start := time.Now()
 	if a.F32 != nil {
-		err = execTRMM(e, key, &pl, a.F32, b.F32, op.Workers, series)
+		err = execTRMM(e, key, &pl, a.F32, b.F32, op.Workers, series, sp)
 	} else {
-		err = execTRMM(e, key, &pl, a.F64, b.F64, op.Workers, series)
+		err = execTRMM(e, key, &pl, a.F64, b.F64, op.Workers, series, sp)
 	}
 	series.Record(time.Since(start), pl.P.FLOPs(), err != nil)
 	return err
@@ -613,9 +709,13 @@ func (e *Engine) runTri(op OpDesc, a, b Operand) error {
 
 // execTRSM resolves a prepacked triangle for an opted-in A and runs the
 // native executor; see execGEMM for the reference discipline.
-func execTRSM[E vec.Float](e *Engine, key planKey, pl *core.TRSMPlan, a, b *layout.Compact[E], workers int, series *obs.Series) error {
+func execTRSM[E vec.Float](e *Engine, key planKey, pl *core.TRSMPlan, a, b *layout.Compact[E], workers int, series *obs.Series, sp *obs.Span) error {
 	var preTri []E
 	var ent *packEntry
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	if id, gen := a.PrepackState(); id != 0 {
 		k := packKey{id: id, gen: gen, plan: key, role: roleTri}
 		var ok bool
@@ -630,8 +730,14 @@ func execTRSM[E vec.Float](e *Engine, key planKey, pl *core.TRSMPlan, a, b *layo
 			return err
 		}
 		series.Prepack(ok)
+		sp.Prepack(ok)
+	}
+	if sp != nil {
+		sp.Mark(obs.PhasePack, t0)
+		t0 = time.Now()
 	}
 	err := core.ExecTRSMNativePrepacked(pl, a, b, preTri, workers)
+	sp.Mark(obs.PhaseCompute, t0)
 	if ent != nil {
 		e.packs.release(ent)
 	}
@@ -640,9 +746,13 @@ func execTRSM[E vec.Float](e *Engine, key planKey, pl *core.TRSMPlan, a, b *layo
 }
 
 // execTRMM is execTRSM for TRMM (true-diagonal triangle image).
-func execTRMM[E vec.Float](e *Engine, key planKey, pl *core.TRMMPlan, a, b *layout.Compact[E], workers int, series *obs.Series) error {
+func execTRMM[E vec.Float](e *Engine, key planKey, pl *core.TRMMPlan, a, b *layout.Compact[E], workers int, series *obs.Series, sp *obs.Span) error {
 	var preTri []E
 	var ent *packEntry
+	var t0 time.Time
+	if sp != nil {
+		t0 = time.Now()
+	}
 	if id, gen := a.PrepackState(); id != 0 {
 		k := packKey{id: id, gen: gen, plan: key, role: roleTri}
 		var ok bool
@@ -657,8 +767,14 @@ func execTRMM[E vec.Float](e *Engine, key planKey, pl *core.TRMMPlan, a, b *layo
 			return err
 		}
 		series.Prepack(ok)
+		sp.Prepack(ok)
+	}
+	if sp != nil {
+		sp.Mark(obs.PhasePack, t0)
+		t0 = time.Now()
 	}
 	err := core.ExecTRMMNativePrepacked(pl, a, b, preTri, workers)
+	sp.Mark(obs.PhaseCompute, t0)
 	if ent != nil {
 		e.packs.release(ent)
 	}
@@ -675,7 +791,7 @@ func triPackDesc(packB bool) string {
 	return "tri"
 }
 
-func (e *Engine) runSYRK(op OpDesc, a, c Operand) error {
+func (e *Engine) runSYRK(op OpDesc, sp *obs.Span, a, c Operand) error {
 	n := c.rows()
 	if c.rows() != c.cols() {
 		return opErr(OpSYRK, "C", ErrShape, "C must be square, got %dx%d", c.rows(), c.cols())
@@ -693,17 +809,31 @@ func (e *Engine) runSYRK(op OpDesc, a, c Operand) error {
 	}
 	key := planKey{kind: OpSYRK, dt: a.DT, m: n, k: k,
 		transA: op.TransA, uplo: op.Uplo, countBucket: countBucket(c.count())}
+	var t0 time.Time
+	if sp != nil {
+		sp.DType = a.DT.String()
+		sp.Mode = op.TransA.String() + op.Uplo.String()
+		sp.M, sp.N, sp.K, sp.Count = n, n, k, c.count()
+		sp.Workers = sched.Resolve(op.Workers)
+		t0 = time.Now()
+	}
 	pv, outcome, err := e.plan(key, func() (any, error) {
 		return core.NewSYRKPlan(core.SYRKProblem{
 			DT: key.dt, N: key.m, K: k, Uplo: op.Uplo, Trans: op.TransA,
 			Alpha: 1, Beta: 1, Count: key.countBucket,
 		}, e.tun)
 	})
+	sp.Mark(obs.PhasePlan, t0)
 	if err != nil {
 		return err
 	}
 	pl := *pv.(*core.SYRKPlan)
 	pl.P.Alpha, pl.P.Beta, pl.P.Count = op.Alpha, op.Beta, c.count()
+	if labels := e.profileLabels("SYRK", key.dt, n, n, k); labels != nil {
+		pl.Labels = labels
+		pprof.SetGoroutineLabels(labels)
+		defer pprof.SetGoroutineLabels(context.Background())
+	}
 	series := e.obs.Series(obs.ShapeKey{Op: "SYRK", DType: a.DT.String(),
 		Mode: op.TransA.String() + op.Uplo.String(), M: n, N: n, K: k})
 	series.Plan(outcome)
@@ -722,6 +852,7 @@ func (e *Engine) runSYRK(op OpDesc, a, c Operand) error {
 		err = core.ExecSYRKNativeParallel(&pl, a.F64, c.F64, op.Workers)
 		c.F64.Invalidate()
 	}
+	sp.Mark(obs.PhaseCompute, start)
 	series.Record(time.Since(start), pl.P.FLOPs(), err != nil)
 	return err
 }

@@ -1,0 +1,283 @@
+// OpenMetrics export: a dependency-free text encoder over the engine's
+// Stats and the per-shape observability registry, so a Prometheus (or any
+// OpenMetrics-compatible) scraper can watch the serving engine without
+// the process linking a metrics library. One scrape = one Stats snapshot
+// rendered as families: engine-level counters and gauges (plan cache,
+// pack cache, submission queue incl. the depth high-water mark and the
+// queue-wait histogram, buffer pools, worker pool, pipeline) plus
+// per-shape series labeled {op, dtype, mode, shape} with achieved-vs-
+// ceiling GFLOPS — the paper's predicted-vs-achieved methodology as a
+// live surface.
+
+package engine
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+
+	"iatf/internal/obs"
+	"iatf/internal/vec"
+)
+
+// BuildInfo identifies the running module build — exported metrics dumps
+// carry it so they are self-describing.
+type BuildInfo struct {
+	Module     string `json:"module"`
+	Version    string `json:"version"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// SIMDBackend names the vector model the kernels execute on
+	// (the portable 128-bit NEON emulation in this reproduction).
+	SIMDBackend string `json:"simd_backend"`
+}
+
+// Build returns the running build's identity.
+func Build() BuildInfo {
+	bi := BuildInfo{
+		Module:      "iatf",
+		Version:     "(devel)",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		SIMDBackend: fmt.Sprintf("portable-neon%d", vec.Width*8),
+	}
+	if info, ok := debug.ReadBuildInfo(); ok {
+		if info.Main.Path != "" {
+			bi.Module = info.Main.Path
+		}
+		if info.Main.Version != "" {
+			bi.Version = info.Main.Version
+		}
+	}
+	return bi
+}
+
+// omWriter accumulates OpenMetrics text, remembering the first write
+// error so call sites stay linear.
+type omWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (o *omWriter) printf(format string, args ...any) {
+	if o.err != nil {
+		return
+	}
+	_, o.err = fmt.Fprintf(o.w, format, args...)
+}
+
+// family emits the TYPE line of a metric family.
+func (o *omWriter) family(name, kind string) { o.printf("# TYPE %s %s\n", name, kind) }
+
+// counter emits one counter sample; per OpenMetrics the sample name is
+// the family name plus the _total suffix.
+func (o *omWriter) counter(name, labels string, v uint64) {
+	o.printf("%s_total%s %d\n", name, labels, v)
+}
+
+func (o *omWriter) gauge(name, labels string, v float64) {
+	o.printf("%s%s %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// counters emits a family of single-sample counter metrics under a
+// shared prefix.
+func (o *omWriter) counters(prefix string, samples []struct {
+	name string
+	v    uint64
+}) {
+	for _, s := range samples {
+		o.family(prefix+s.name, "counter")
+		o.counter(prefix+s.name, "", s.v)
+	}
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// labelSet renders a {k="v",...} label set from alternating key/value
+// pairs.
+func labelSet(kv ...string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(kv[i+1]))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// histogram emits an obs.HistSnapshot as a cumulative OpenMetrics
+// histogram in seconds (the snapshot's buckets are log2 nanoseconds).
+func (o *omWriter) histogram(name string, h obs.HistSnapshot) {
+	o.family(name, "histogram")
+	cum := uint64(0)
+	for _, b := range h.Buckets {
+		cum += b.Count
+		le := strconv.FormatFloat(float64(b.UpperNs)/1e9, 'g', -1, 64)
+		o.printf("%s_bucket{le=\"%s\"} %d\n", name, le, cum)
+	}
+	o.printf("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	o.printf("%s_sum %s\n", name, strconv.FormatFloat(float64(h.SumNs)/1e9, 'g', -1, 64))
+	o.printf("%s_count %d\n", name, h.Count)
+}
+
+// WriteOpenMetrics renders one scrape of the engine's state as
+// OpenMetrics text (terminated by the mandatory # EOF).
+func (e *Engine) WriteOpenMetrics(w io.Writer) error {
+	st := e.Stats()
+	o := &omWriter{w: w}
+
+	bi := Build()
+	o.family("iatf_build_info", "gauge")
+	o.gauge("iatf_build_info", labelSet(
+		"module", bi.Module, "version", bi.Version,
+		"go_version", bi.GoVersion, "simd", bi.SIMDBackend), 1)
+	o.family("iatf_gomaxprocs", "gauge")
+	o.gauge("iatf_gomaxprocs", "", float64(bi.GOMAXPROCS))
+
+	o.counters("iatf_plan_cache_", []struct {
+		name string
+		v    uint64
+	}{
+		{"hits", st.PlanHits}, {"misses", st.PlanMisses},
+		{"shared", st.PlanShared}, {"evictions", st.PlanEvictions},
+	})
+	o.family("iatf_plan_cache_entries", "gauge")
+	o.gauge("iatf_plan_cache_entries", "", float64(st.PlanEntries))
+
+	o.counters("iatf_pack_cache_", []struct {
+		name string
+		v    uint64
+	}{
+		{"hits", st.PackCache.Hits}, {"builds", st.PackCache.Builds},
+		{"evictions", st.PackCache.Evictions}, {"stale", st.PackCache.Stale},
+	})
+	o.family("iatf_pack_cache_entries", "gauge")
+	o.gauge("iatf_pack_cache_entries", "", float64(st.PackCache.Entries))
+
+	o.counters("iatf_queue_", []struct {
+		name string
+		v    uint64
+	}{
+		{"submitted", st.Queue.Submitted}, {"inline", st.Queue.Inline},
+		{"dispatches", st.Queue.Dispatches}, {"coalesced", st.Queue.Coalesced},
+		{"cancelled", st.Queue.Cancelled}, {"rejected", st.Queue.Rejected},
+	})
+	for _, g := range []struct {
+		name string
+		v    float64
+	}{
+		{"iatf_queue_depth", float64(st.Queue.Depth)},
+		{"iatf_queue_capacity", float64(st.Queue.Capacity)},
+		{"iatf_queue_depth_high_water", float64(st.Queue.DepthHighWater)},
+		{"iatf_queue_max_fused", float64(st.Queue.MaxFused)},
+	} {
+		o.family(g.name, "gauge")
+		o.gauge(g.name, "", g.v)
+	}
+	o.histogram("iatf_queue_wait_seconds", st.Queue.Wait)
+
+	o.counters("iatf_bufpool_", []struct {
+		name string
+		v    uint64
+	}{
+		{"gets", st.Buffers.Gets}, {"reuses", st.Buffers.Reuses},
+		{"allocs", st.Buffers.Allocs}, {"puts", st.Buffers.Puts},
+		{"oversize", st.Buffers.Oversize}, {"double_puts", st.Buffers.DoublePuts},
+	})
+	o.family("iatf_bufpool_in_use", "gauge")
+	o.gauge("iatf_bufpool_in_use", "", float64(st.Buffers.InUse))
+
+	o.counters("iatf_sched_", []struct {
+		name string
+		v    uint64
+	}{
+		{"resizes", st.Sched.Resizes}, {"parallel_calls", st.Sched.ParallelCalls},
+		{"inline_calls", st.Sched.InlineCalls}, {"chunks", st.Sched.Chunks},
+		{"pool_shares", st.Sched.PoolShares}, {"overflow_runs", st.Sched.OverflowRuns},
+	})
+	o.family("iatf_sched_workers", "gauge")
+	o.gauge("iatf_sched_workers", "", float64(st.Sched.Workers))
+
+	o.counters("iatf_pipeline_", []struct {
+		name string
+		v    uint64
+	}{
+		{"chunks", st.Pipeline.Chunks}, {"stalls", st.Pipeline.Stalls},
+		{"fallbacks", st.Pipeline.Fallbacks},
+	})
+	o.family("iatf_pipeline_packers", "gauge")
+	o.gauge("iatf_pipeline_packers", "", float64(st.Pipeline.Packers))
+
+	// Per-shape series: counters and the achieved-vs-ceiling view, one
+	// sample per shape under shared families.
+	shapeCounters := []struct {
+		name string
+		get  func(i int) uint64
+	}{
+		{"iatf_shape_calls", func(i int) uint64 { return st.Shapes[i].Calls }},
+		{"iatf_shape_errors", func(i int) uint64 { return st.Shapes[i].Errors }},
+		{"iatf_shape_plan_hits", func(i int) uint64 { return st.Shapes[i].PlanHits }},
+		{"iatf_shape_plan_misses", func(i int) uint64 { return st.Shapes[i].PlanMisses }},
+		{"iatf_shape_plan_shared", func(i int) uint64 { return st.Shapes[i].PlanShared }},
+		{"iatf_shape_prepack_hits", func(i int) uint64 { return st.Shapes[i].PrepackHits }},
+		{"iatf_shape_prepack_builds", func(i int) uint64 { return st.Shapes[i].PrepackBuilds }},
+	}
+	labels := make([]string, len(st.Shapes))
+	for i := range st.Shapes {
+		s := &st.Shapes[i]
+		shape := fmt.Sprintf("%dx%d", s.M, s.N)
+		if s.K > 0 {
+			shape += fmt.Sprintf("x%d", s.K)
+		}
+		labels[i] = labelSet("op", s.Op, "dtype", s.DType, "mode", s.Mode, "shape", shape)
+	}
+	for _, c := range shapeCounters {
+		o.family(c.name, "counter")
+		for i := range st.Shapes {
+			o.counter(c.name, labels[i], c.get(i))
+		}
+	}
+	shapeGauges := []struct {
+		name string
+		get  func(i int) float64
+	}{
+		{"iatf_shape_latency_p50_seconds", func(i int) float64 { return st.Shapes[i].P50.Seconds() }},
+		{"iatf_shape_latency_p99_seconds", func(i int) float64 { return st.Shapes[i].P99.Seconds() }},
+		{"iatf_shape_avg_gflops", func(i int) float64 { return st.Shapes[i].AvgGFLOPS }},
+		{"iatf_shape_best_gflops", func(i int) float64 { return st.Shapes[i].BestGFLOPS }},
+		{"iatf_shape_ceiling_gflops", func(i int) float64 { return st.Shapes[i].CeilingGFLOPS }},
+		{"iatf_shape_workers", func(i int) float64 { return float64(st.Shapes[i].Workers) }},
+		{"iatf_shape_groups_per_batch", func(i int) float64 { return float64(st.Shapes[i].GroupsPerBatch) }},
+	}
+	for _, g := range shapeGauges {
+		o.family(g.name, "gauge")
+		for i := range st.Shapes {
+			o.gauge(g.name, labels[i], g.get(i))
+		}
+	}
+
+	o.printf("# EOF\n")
+	return o.err
+}
+
+// MetricsHandler returns an http.Handler serving WriteOpenMetrics with
+// the OpenMetrics content type — mountable at /metrics.
+func (e *Engine) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		if err := e.WriteOpenMetrics(w); err != nil {
+			// Headers are already out; nothing recoverable mid-stream.
+			return
+		}
+	})
+}

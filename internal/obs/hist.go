@@ -1,0 +1,75 @@
+// Hist is a standalone lock-free log2 latency histogram — the same
+// bucket scheme the per-shape Series uses internally, exported for
+// layers that need a histogram outside a Series (the async dispatcher's
+// queue-wait distribution). Observation is two atomic adds and one
+// atomic increment; snapshots are point-in-time and cheap.
+
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Hist is a log2 histogram of durations: bucket b holds observations in
+// (2^(b-1), 2^b] nanoseconds, covering 1 ns to ~9 minutes. The zero
+// value is ready to use; all methods are safe for concurrent use.
+type Hist struct {
+	buckets [histBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64 // nanoseconds
+}
+
+// Observe records one duration.
+func (h *Hist) Observe(d time.Duration) {
+	n := uint64(d.Nanoseconds())
+	b := bits.Len64(n)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+	h.count.Add(1)
+	h.sum.Add(n)
+}
+
+// HistBucket is one log2 bucket of a HistSnapshot: Count observations
+// with durations <= UpperNs (and above the previous bucket's bound).
+type HistBucket struct {
+	UpperNs uint64 `json:"upper_ns"`
+	Count   uint64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time view of a Hist, JSON-exportable.
+// Buckets are per-bucket (not cumulative) and truncated after the
+// highest non-empty bucket.
+type HistSnapshot struct {
+	Count   uint64        `json:"count"`
+	SumNs   uint64        `json:"sum_ns"`
+	P50     time.Duration `json:"p50_ns"`
+	P99     time.Duration `json:"p99_ns"`
+	Buckets []HistBucket  `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the current histogram state.
+func (h *Hist) Snapshot() HistSnapshot {
+	var counts [histBuckets]uint64
+	last := -1
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			last = i
+		}
+	}
+	snap := HistSnapshot{
+		Count: h.count.Load(),
+		SumNs: h.sum.Load(),
+		P50:   histQuantile(&counts, 0.50),
+		P99:   histQuantile(&counts, 0.99),
+	}
+	for i := 0; i <= last; i++ {
+		snap.Buckets = append(snap.Buckets, HistBucket{
+			UpperNs: uint64(1) << uint(i), Count: counts[i]})
+	}
+	return snap
+}

@@ -17,7 +17,9 @@
 package sched
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -121,6 +123,16 @@ func Resolve(workers int) int {
 // Run returns when all of [0, n) has been processed. fn must be safe for
 // concurrent invocation on disjoint ranges.
 func Run(n, workers, chunk int, fn func(lo, hi int)) {
+	RunLabeled(nil, n, workers, chunk, fn)
+}
+
+// RunLabeled is Run with an optional pprof label context: persistent pool
+// workers adopt labels for the duration of their share, so CPU profiles
+// attribute kernel samples to the dispatching call (op/dtype/shape).
+// Overflow goroutines and the caller's own share need no handling — new
+// goroutines inherit the spawner's labels, and the engine labels the
+// caller before dispatch. labels == nil (the Run path) costs nothing.
+func RunLabeled(labels context.Context, n, workers, chunk int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -164,8 +176,17 @@ func Run(n, workers, chunk int, fn func(lo, hi int)) {
 			defer wg.Done()
 			body()
 		}
+		pooled := func() { poolShares.Add(1); share() }
+		if labels != nil {
+			pooled = func() {
+				poolShares.Add(1)
+				pprof.SetGoroutineLabels(labels)
+				share()
+				pprof.SetGoroutineLabels(context.Background())
+			}
+		}
 		select {
-		case queue <- func() { poolShares.Add(1); share() }:
+		case queue <- pooled:
 		default:
 			// Pool saturated (e.g. nested or highly concurrent calls):
 			// fall back to a plain goroutine rather than queue behind

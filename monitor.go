@@ -1,0 +1,115 @@
+// Public monitoring surface: request-lifecycle spans, the OpenMetrics
+// exporter and the Chrome trace-event exporter. Where SetTrace answers
+// "what command queue did the engine assemble", a span answers "where did
+// this request's time go" — queue wait, coalesce/fuse, plan lookup,
+// prepack resolution, compute, scatter — for every request, sync or
+// async, with fused dispatches linking rider spans to the parent via
+// ParentID. With no sink installed the whole subsystem costs one atomic
+// load per call.
+
+package iatf
+
+import (
+	"io"
+	"net/http"
+
+	"iatf/internal/engine"
+	"iatf/internal/obs"
+)
+
+// Span is the lifecycle record of one request: identity and problem
+// descriptor, monotonic start/end, per-phase durations (Span.Phases,
+// indexed by the Phase* constants) and the prepack-cache interactions of
+// the dispatch. Sinks receive spans synchronously and must copy them if
+// they retain them — the span is recycled when the sink returns.
+type Span = obs.Span
+
+// SpanPhase indexes one slice of a request's lifetime in Span.Phases.
+type SpanPhase = obs.Phase
+
+// The request lifecycle phases, in submission order.
+const (
+	// PhaseQueueWait: submission until the request's bundle starts
+	// executing (zero on the sync and idle-inline paths).
+	PhaseQueueWait = obs.PhaseQueueWait
+	// PhaseFuse: concatenating a coalesced bundle into one super-request.
+	PhaseFuse = obs.PhaseFuse
+	// PhasePlan: plan-cache lookup (or build, on a cold shape).
+	PhasePlan = obs.PhasePlan
+	// PhasePack: prepacked-operand cache resolution.
+	PhasePack = obs.PhasePack
+	// PhaseCompute: the native kernel execution.
+	PhaseCompute = obs.PhaseCompute
+	// PhaseScatter: fused-dispatch writeback into each rider's storage.
+	PhaseScatter = obs.PhaseScatter
+)
+
+// SpanRing is a fixed-capacity ring of completed spans, safe for
+// concurrent use and installable directly as a span sink:
+//
+//	ring := iatf.NewSpanRing(256)
+//	eng.SetSpanSink(ring.Add)
+//	...
+//	iatf.WriteChromeTrace(w, ring.Spans(64))
+type SpanRing = obs.SpanRing
+
+// NewSpanRing returns a ring retaining the most recent n spans.
+func NewSpanRing(n int) *SpanRing { return obs.NewSpanRing(n) }
+
+// WriteChromeTrace encodes spans as Chrome trace-event JSON, loadable in
+// chrome://tracing or https://ui.perfetto.dev: one thread track per span
+// with nested per-phase slices.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	return obs.WriteChromeTrace(w, spans)
+}
+
+// SetSpanSink installs an engine-level span sink: every request on this
+// engine materializes a lifecycle span and fn receives it when the
+// request resolves. fn runs synchronously on the resolving goroutine —
+// keep it cheap or hand off — and must copy the span if it retains it.
+// fn == nil removes the sink and restores the one-atomic-load disabled
+// cost.
+func (e *Engine) SetSpanSink(fn func(*Span)) {
+	if fn == nil {
+		e.inner.Obs().SetSpanSink(nil)
+		return
+	}
+	e.inner.Obs().SetSpanSink(obs.SpanFunc(fn))
+}
+
+// WriteMetrics renders one scrape of the engine's state — build info,
+// plan/pack-cache and queue counters (incl. the depth high-water mark
+// and the queue-wait histogram), buffer/worker-pool activity, and the
+// per-shape achieved-vs-ceiling series — as OpenMetrics text.
+func (e *Engine) WriteMetrics(w io.Writer) error { return e.inner.WriteOpenMetrics(w) }
+
+// MetricsHandler returns an http.Handler serving WriteMetrics with the
+// OpenMetrics content type, mountable at /metrics for Prometheus-style
+// scraping.
+func (e *Engine) MetricsHandler() http.Handler { return e.inner.MetricsHandler() }
+
+// SetProfileLabels enables pprof goroutine labels ({op, dtype, shape})
+// around compute on this engine, so CPU profiles attribute kernel
+// samples to problem shapes. Off by default: label construction
+// allocates per dispatch.
+func (e *Engine) SetProfileLabels(on bool) { e.inner.SetProfileLabels(on) }
+
+// ResetShapeStats zeroes the engine's per-shape series and the windowed
+// delta baseline — the counters otherwise grow unboundedly in a
+// long-running process.
+func (e *Engine) ResetShapeStats() { e.inner.Obs().Reset() }
+
+// ShapeStatsDelta returns each shape's activity since the previous
+// ShapeStatsDelta call (or since engine start): counters are windowed
+// differences and quantiles cover only the window, so scrape-rate
+// computation needs no external state. Shapes with no activity in the
+// window are omitted.
+func (e *Engine) ShapeStatsDelta() []ShapeStats { return e.inner.Obs().SnapshotDelta() }
+
+// BuildInfo identifies the running module build (module path, version,
+// Go toolchain, GOMAXPROCS, SIMD backend) — metrics dumps carry it so
+// they are self-describing.
+type BuildInfo = engine.BuildInfo
+
+// Build returns the running build's identity.
+func Build() BuildInfo { return engine.Build() }
