@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race stress asyncstress bench benchsmoke benchdiff info trace monitor metrics ci
+.PHONY: all build vet lint test race stress asyncstress shardstress bench benchsmoke benchdiff info trace monitor metrics ci
 
 all: ci
 
@@ -38,9 +38,15 @@ stress:
 
 # Async submission stress under the race detector, run twice: queue
 # backpressure, cancellation, coalescing parity and the concurrent
-# Do/Submit front-end.
+# Do/Submit front-end — plus the sharded EngineSet front-end.
 asyncstress:
-	$(GO) test -race -run Async -count=2 . ./internal/engine/
+	$(GO) test -race -run 'Async|EngineSet' -count=2 . ./internal/engine/
+
+# Sharded scale-out suite under the race detector, run twice: routing
+# stability, steal parity (bit-exact), per-shard queue-full fallback,
+# shard isolation and the set's steady-state allocation budget.
+shardstress:
+	$(GO) test -race -run 'TestSet|TestEngineSet' -count=2 . ./internal/engine/
 
 # Wall-clock benchmark of the native path — pack-per-call vs prepacked
 # operand reuse — writing the rows to BENCH_wallclock.json.
@@ -55,11 +61,20 @@ benchsmoke:
 # Regression gate: a fresh reduced wallclock run (same batch size as the
 # committed baseline, fewer timed calls) diffed against
 # BENCH_wallclock.json; fails when any (op, dtype, shape, variant) row's
-# per-matrix ns/op regresses by more than 15%. Noisy on loaded machines —
-# ci runs it non-fatally; run `make benchdiff` by hand to gate a change.
+# per-matrix ns/op regresses by more than 15%. Fatal in ci. The smallest
+# shapes measure only a few ms, so a single run can blip past 15% on a
+# loaded machine (same-binary runs occasionally trip one row); a failed
+# diff therefore re-measures once and only a failure on BOTH independent
+# runs fails the target — noise rarely trips twice, a real regression
+# always does. Refresh the baseline with `make bench` alongside a
+# deliberate perf-affecting change.
 benchdiff:
-	$(GO) run ./cmd/iatf-bench -wallclock -json -out /tmp/iatf_wc_new.json -wcalls 16
-	$(GO) run ./cmd/iatf-bench -diff -base BENCH_wallclock.json -new /tmp/iatf_wc_new.json
+	$(GO) run ./cmd/iatf-bench -wallclock -json -out /tmp/iatf_wc_new.json -wcalls 64
+	@if ! $(GO) run ./cmd/iatf-bench -diff -base BENCH_wallclock.json -new /tmp/iatf_wc_new.json; then \
+		echo "benchdiff: row(s) over threshold — re-measuring once to rule out noise"; \
+		$(GO) run ./cmd/iatf-bench -wallclock -json -out /tmp/iatf_wc_new.json -wcalls 64 && \
+		$(GO) run ./cmd/iatf-bench -diff -base BENCH_wallclock.json -new /tmp/iatf_wc_new.json; \
+	fi
 	@rm -f /tmp/iatf_wc_new.json
 
 # Print the execution-engine counters and per-shape series after a demo
@@ -80,7 +95,7 @@ metrics:
 monitor:
 	$(GO) run ./cmd/iatf-monitor -demo
 
-# benchdiff is non-fatal in ci: wallclock numbers on shared CI hardware
-# are too noisy to gate merges, but the comparison is still printed.
-ci: lint build test race stress asyncstress benchsmoke
-	-$(MAKE) benchdiff
+# benchdiff gates ci: the diff tool's 15% tolerance absorbs ordinary
+# run-to-run noise, so a failure means a real regression (or a baseline
+# that needs a deliberate `make bench` refresh alongside the change).
+ci: lint build test race stress asyncstress shardstress benchsmoke benchdiff

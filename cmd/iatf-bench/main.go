@@ -15,6 +15,8 @@
 //	iatf-bench -wallclock      # real native-path timings, pack vs Prepack
 //	iatf-bench -wallclock -json  # also write BENCH_wallclock.json
 //	iatf-bench -wallclock -json -out /tmp/wc.json  # write elsewhere
+//	iatf-bench -wallclock -shards 1,2,4,8 -json
+//	                           # sharded mixed-traffic scaling rows
 //	iatf-bench -diff -base BENCH_wallclock.json -new /tmp/wc.json
 //	                           # compare runs; exit 1 on >15% regression
 package main
@@ -23,6 +25,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
 	"iatf/internal/bench"
 	"iatf/internal/core"
@@ -48,6 +52,7 @@ func main() {
 		outFile   = flag.String("out", wallclockFile, "with -wallclock -json: JSON output path")
 		wcCount   = flag.Int("wcount", 2048, "wallclock batch size (matrices per call)")
 		wcCalls   = flag.Int("wcalls", 128, "wallclock timed calls per variant")
+		wcShards  = flag.String("shards", "", "with -wallclock: run the sharded mixed-traffic scaling benchmark at these shard counts (e.g. 1,2,4,8) instead of the pairwise table")
 
 		diff       = flag.Bool("diff", false, "compare two wallclock JSON files and flag regressions")
 		baseFile   = flag.String("base", wallclockFile, "with -diff: baseline wallclock JSON")
@@ -64,6 +69,18 @@ func main() {
 		return
 	}
 	if *wallclock {
+		if *wcShards != "" {
+			var counts []int
+			for _, f := range strings.Split(*wcShards, ",") {
+				n, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil || n < 1 {
+					log.Fatalf("-shards: bad shard count %q", f)
+				}
+				counts = append(counts, n)
+			}
+			runWallclockShards(counts, *jsonOut, *outFile, *wcCount, *wcCalls)
+			return
+		}
 		runWallclock(*jsonOut, *outFile, *wcCount, *wcCalls, *maxSize)
 		return
 	}

@@ -1,11 +1,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"iatf"
@@ -218,13 +220,130 @@ func runWallclock(writeJSON bool, outFile string, count, calls, maxSize int) {
 				Speedup: math.Round(speedup*100) / 100})
 	}
 	if writeJSON {
-		f, err := os.Create(outFile)
+		mergeWallclock(outFile, rows)
+	}
+}
+
+// mergeWallclock writes rows into outFile, replacing rows with the same
+// (op, dtype, shape, variant) key and keeping everything else — so the
+// pairwise table and the sharded scaling rows coexist in one file across
+// separate runs.
+func mergeWallclock(outFile string, rows []wcResult) {
+	key := func(r wcResult) string { return r.Op + "|" + r.DType + "|" + r.Shape + "|" + r.Variant }
+	fresh := make(map[string]wcResult, len(rows))
+	for _, r := range rows {
+		fresh[key(r)] = r
+	}
+	var out []wcResult
+	if data, err := os.ReadFile(outFile); err == nil {
+		var old []wcResult
+		if err := json.Unmarshal(data, &old); err == nil {
+			for _, r := range old {
+				if _, replaced := fresh[key(r)]; !replaced {
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	out = append(out, rows...)
+	f, err := os.Create(outFile)
+	check(err)
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	check(enc.Encode(out))
+	check(f.Close())
+	fmt.Printf("\nwrote %s (%d rows, %d updated)\n", outFile, len(out), len(rows))
+}
+
+// wcMixed drives a mixed-traffic serving workload — concurrent
+// submitters of several distinct problem identities — through an
+// EngineSet of the given shard count, and returns the mean wall-clock
+// per request and the aggregate GFLOPS. shards == 1 is the single-
+// dispatcher baseline the scaling rows are normalized against.
+func wcMixed(shards, count, callsPerSubmitter int) (float64, float64, error) {
+	set := iatf.NewEngineSet(shards)
+	shapes := [][3]int{{8, 8, 8}, {6, 5, 7}, {12, 12, 4}, {4, 16, 8}, {16, 4, 4}, {8, 12, 12}, {10, 10, 10}, {4, 4, 12}}
+	const submitters = 8
+	type job struct {
+		req   iatf.Request[float32]
+		flops float64
+	}
+	jobs := make([]job, submitters)
+	for g := range jobs {
+		m, n, k := shapes[g%len(shapes)][0], shapes[g%len(shapes)][1], shapes[g%len(shapes)][2]
+		ab := iatf.NewBatch[float32](count, m, k)
+		bb := iatf.NewBatch[float32](count, k, n)
+		wcFill(ab.Data(), uint64(g)+1)
+		wcFill(bb.Data(), uint64(g)+100)
+		a, b, c := iatf.Pack(ab), iatf.Pack(bb), iatf.Pack(iatf.NewBatch[float32](count, m, n))
+		jobs[g] = job{
+			req:   iatf.Request[float32]{Op: iatf.OpGEMM, Alpha: 1, Beta: 0, A: a, B: b, C: c},
+			flops: core.GEMMProblem{DT: vec.S, M: m, N: n, K: k, Count: count}.FLOPs(),
+		}
+	}
+	ctx := context.Background()
+	run := func(calls int) error {
+		var wg sync.WaitGroup
+		errs := make(chan error, submitters)
+		for g := range jobs {
+			wg.Add(1)
+			go func(j job) {
+				defer wg.Done()
+				for i := 0; i < calls; i++ {
+					if err := iatf.Do(ctx, j.req, iatf.WithEngineSet(set), iatf.WithAsync()); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(jobs[g])
+		}
+		wg.Wait()
+		close(errs)
+		return <-errs
+	}
+	// Warm every identity's plan and route before timing.
+	if err := run(4); err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	if err := run(callsPerSubmitter); err != nil {
+		return 0, 0, err
+	}
+	wall := time.Since(start)
+	totalCalls := submitters * callsPerSubmitter
+	var totalFlops float64
+	for _, j := range jobs {
+		totalFlops += j.flops * float64(callsPerSubmitter)
+	}
+	nsOp := float64(wall.Nanoseconds()) / float64(totalCalls)
+	return nsOp, totalFlops / float64(wall.Nanoseconds()), nil
+}
+
+// runWallclockShards is the sharded mixed-traffic scaling benchmark:
+// one row per shard count, speedup normalized to the single-shard
+// baseline, merged into the wallclock JSON next to the pairwise rows.
+func runWallclockShards(shardCounts []int, writeJSON bool, outFile string, count, calls int) {
+	fmt.Printf("# Sharded mixed-traffic scaling: 8 submitters x 8 GEMM identities, count=%d, %d calls each\n", count, calls)
+	fmt.Printf("%-8s %14s %10s %8s\n", "shards", "ns/req", "GFLOPS", "scaling")
+	var rows []wcResult
+	var baseNs float64
+	for _, n := range shardCounts {
+		nsOp, gf, err := wcMixed(n, count, calls)
 		check(err)
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		check(enc.Encode(rows))
-		check(f.Close())
-		fmt.Printf("\nwrote %s (%d rows)\n", outFile, len(rows))
+		if baseNs == 0 {
+			baseNs = nsOp
+		}
+		scaling := baseNs / nsOp
+		fmt.Printf("%-8d %14.0f %10.3f %7.2fx\n", n, nsOp, gf, scaling)
+		rows = append(rows, wcResult{
+			Op: "MIXED", DType: "s", Shape: "mixed-8", Count: count,
+			Variant: fmt.Sprintf("shards-%d", n), Calls: calls,
+			NsOp: math.Round(nsOp), GFLOPS: gf,
+			Speedup: math.Round(scaling*100) / 100,
+		})
+	}
+	if writeJSON {
+		mergeWallclock(outFile, rows)
 	}
 }
 

@@ -42,6 +42,7 @@ func main() {
 		engineF   = flag.Bool("engine", false, "run a demo workload through the default engine and print its counters")
 		jsonF     = flag.Bool("json", false, "with -engine: emit the snapshot as JSON instead of a table")
 		metricsF  = flag.Bool("metrics", false, "run the demo workload and emit the engine state as OpenMetrics text")
+		shardsF   = flag.Int("shards", 0, "with -engine/-metrics: route the demo through a sharded EngineSet of N shards")
 		count     = flag.Int("count", 16384, "batch size for plan queries")
 	)
 	flag.Parse()
@@ -83,13 +84,25 @@ func main() {
 		any = true
 	}
 	if *engineF {
-		printEngine(*jsonF)
+		if *shardsF > 0 {
+			printEngineSet(*shardsF, *jsonF)
+		} else {
+			printEngine(*jsonF)
+		}
 		any = true
 	}
 	if *metricsF {
-		demoWorkload()
-		if err := iatf.DefaultEngine().WriteMetrics(os.Stdout); err != nil {
-			log.Fatal(err)
+		if *shardsF > 0 {
+			set := iatf.NewEngineSet(*shardsF)
+			demoSetWorkload(set)
+			if err := set.WriteMetrics(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			demoWorkload()
+			if err := iatf.DefaultEngine().WriteMetrics(os.Stdout); err != nil {
+				log.Fatal(err)
+			}
 		}
 		any = true
 	}
@@ -444,4 +457,96 @@ func printTRSMPlan(dt vec.DType, m, n, count int) {
 	fmt.Printf("  column tiles: %v\n", pl.ColTiles)
 	fmt.Printf("  pack B: %v, reverse: %v, transpose: %v\n", pl.PackB, pl.ReverseB, pl.TransposeB)
 	fmt.Printf("  super-batch: %d interleave groups\n", pl.GroupsPerBatch)
+}
+
+// demoSetWorkload drives a sharded EngineSet with mixed traffic: several
+// distinct problem identities (each consistently routed to its home
+// shard) run synchronously and through an async burst, so routing,
+// stealing and per-shard counters all carry traffic.
+func demoSetWorkload(set *iatf.EngineSet) {
+	const count = 4096
+	ctx := context.Background()
+	shapes := [][3]int{{8, 8, 8}, {6, 5, 7}, {12, 12, 4}, {4, 16, 8}, {16, 4, 4}, {8, 12, 12}}
+	for _, sh := range shapes {
+		m, n, k := sh[0], sh[1], sh[2]
+		a := iatf.Pack(iatf.NewBatch[float32](count, m, k))
+		b := iatf.Pack(iatf.NewBatch[float32](count, k, n))
+		c := iatf.Pack(iatf.NewBatch[float32](count, m, n))
+		req := iatf.Request[float32]{Op: iatf.OpGEMM, Alpha: 1, Beta: 1, A: a, B: b, C: c}
+		for i := 0; i < 8; i++ {
+			if err := iatf.Do(ctx, req, iatf.WithEngineSet(set), iatf.WithWorkers(0)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	// Async burst: concurrent submitters across identities, so queues
+	// deepen unevenly and the steal/fallback paths see traffic.
+	var wg sync.WaitGroup
+	for g := 0; g < 2*set.Shards(); g++ {
+		m := 4 + 2*(g%len(shapes))
+		a := iatf.Pack(iatf.NewBatch[float32](count/8, m, m))
+		b := iatf.Pack(iatf.NewBatch[float32](count/8, m, m))
+		c := iatf.Pack(iatf.NewBatch[float32](count/8, m, m))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := iatf.Request[float32]{Op: iatf.OpGEMM, Alpha: 1, Beta: 1, A: a, B: b, C: c}
+			for i := 0; i < 16; i++ {
+				if err := iatf.Do(ctx, req, iatf.WithEngineSet(set), iatf.WithAsync()); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// printEngineSet runs the sharded demo and prints a per-shard table plus
+// the cross-shard aggregate. The JSON form nests the full SetStats: a
+// shards array and an aggregate block, led by the build identity.
+func printEngineSet(n int, asJSON bool) {
+	set := iatf.NewEngineSet(n)
+	demoSetWorkload(set)
+	st := set.Stats()
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			BuildInfo iatf.BuildInfo      `json:"build_info"`
+			Set       iatf.EngineSetStats `json:"set"`
+		}{iatf.Build(), st}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("# EngineSet of %d shards after a mixed sharded demo workload\n", len(st.Shards))
+	fmt.Printf("routing: fallbacks %d (rejected %d)\n", st.Fallbacks, st.FallbackRejects)
+	fmt.Printf("%-5s %8s %8s %8s %8s %8s %8s %8s %8s %6s\n",
+		"shard", "routed", "planHit", "planMiss", "submit", "inline", "dispatch", "stolenB", "stolenR", "shapes")
+	for _, sh := range st.Shards {
+		fmt.Printf("%-5d %8d %8d %8d %8d %8d %8d %8d %8d %6d\n",
+			sh.Shard, sh.Routed, sh.PlanHits, sh.PlanMisses,
+			sh.Queue.Submitted, sh.Queue.Inline, sh.Queue.Dispatches,
+			sh.Queue.StolenBatches, sh.Queue.StolenReqs, len(sh.Shapes))
+	}
+	ag := st.Aggregate
+	fmt.Println("aggregate:")
+	fmt.Printf("  plan cache: hits %d, misses %d (shared %d), entries %d\n",
+		ag.PlanHits, ag.PlanMisses, ag.PlanShared, ag.PlanEntries)
+	fmt.Printf("  queue: submitted %d (inline %d), dispatches %d, coalesced %d, stolen %d/%d, rejected %d\n",
+		ag.Queue.Submitted, ag.Queue.Inline, ag.Queue.Dispatches, ag.Queue.Coalesced,
+		ag.Queue.StolenBatches, ag.Queue.StolenReqs, ag.Queue.Rejected)
+	fmt.Printf("  buffers: gets %d (reused %d), sched parallel calls %d\n",
+		ag.Buffers.Gets, ag.Buffers.Reuses, ag.Sched.ParallelCalls)
+	fmt.Println("  merged per-shape series (by call count):")
+	for _, sh := range ag.Shapes {
+		shape := fmt.Sprintf("%dx%d", sh.M, sh.N)
+		if sh.K > 0 {
+			shape += fmt.Sprintf("x%d", sh.K)
+		}
+		fmt.Printf("    %-5s %-2s %-4s %-11s calls %6d  p50 %9v  avgGF %7.1f\n",
+			sh.Op, sh.DType, sh.Mode, shape, sh.Calls, sh.P50, sh.AvgGFLOPS)
+	}
 }

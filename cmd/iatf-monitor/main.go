@@ -41,24 +41,40 @@ func main() {
 		ring   = flag.Int("ring", 512, "spans retained for /trace and /spans")
 		labels = flag.Bool("labels", false, "apply pprof labels (op/dtype/shape) around compute")
 		once   = flag.Bool("once", false, "with -demo: run one workload round, print the surfaces, exit (smoke test)")
+		shards = flag.Int("shards", 0, "serve a sharded EngineSet of N shards instead of the default engine")
 	)
 	flag.Parse()
 
 	eng := iatf.DefaultEngine()
 	spans := iatf.NewSpanRing(*ring)
-	eng.SetSpanSink(spans.Add)
-	eng.SetProfileLabels(*labels)
-	expvar.Publish("iatf.engine", expvar.Func(func() any { return eng.Stats() }))
+	var set *iatf.EngineSet
+	metrics := eng.MetricsHandler()
+	if *shards > 0 {
+		// Sharded mode: every surface covers the whole set — spans from
+		// every shard land in one ring, /metrics carries per-shard +
+		// aggregate families, expvar publishes the SetStats.
+		set = iatf.NewEngineSet(*shards)
+		for i := 0; i < set.Shards(); i++ {
+			set.Shard(i).SetSpanSink(spans.Add)
+		}
+		set.SetProfileLabels(*labels)
+		metrics = set.MetricsHandler()
+		expvar.Publish("iatf.engineset", expvar.Func(func() any { return set.Stats() }))
+	} else {
+		eng.SetSpanSink(spans.Add)
+		eng.SetProfileLabels(*labels)
+		expvar.Publish("iatf.engine", expvar.Func(func() any { return eng.Stats() }))
+	}
 
 	if *demo {
 		if *once {
-			demoRound()
-			smoke(eng, spans)
+			demoRound(set)
+			smoke(eng, set, spans)
 			return
 		}
 		go func() {
 			for {
-				demoRound()
+				demoRound(set)
 				time.Sleep(200 * time.Millisecond)
 			}
 		}()
@@ -77,7 +93,7 @@ func main() {
 		fmt.Fprintln(w, "/trace?n=K    Chrome trace-event JSON of recent spans")
 		fmt.Fprintln(w, "/spans?n=K    recent spans as JSON")
 	})
-	mux.Handle("/metrics", eng.MetricsHandler())
+	mux.Handle("/metrics", metrics)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -99,7 +115,7 @@ func main() {
 		}
 	})
 
-	log.Printf("listening on http://%s (demo=%v, labels=%v, ring=%d)", *addr, *demo, *labels, *ring)
+	log.Printf("listening on http://%s (demo=%v, labels=%v, ring=%d, shards=%d)", *addr, *demo, *labels, *ring, *shards)
 	log.Fatal(http.ListenAndServe(*addr, mux))
 }
 
@@ -115,16 +131,22 @@ func queryN(r *http.Request) int {
 
 // demoRound runs one burst of mixed traffic: a few sync GEMMs with
 // prepacked operands, a triangular solve, and a concurrent async burst
-// that exercises queueing and coalescing.
-func demoRound() {
+// that exercises queueing and coalescing. A non-nil set routes the
+// burst through the sharded path instead of the default engine.
+func demoRound(set *iatf.EngineSet) {
+	var opts []iatf.Option
+	if set != nil {
+		opts = []iatf.Option{iatf.WithEngineSet(set)}
+	}
 	const count = 4096
 	a := iatf.Pack(iatf.NewBatch[float32](count, 8, 8))
 	b := iatf.Pack(iatf.NewBatch[float32](count, 8, 8))
 	c := iatf.Pack(iatf.NewBatch[float32](count, 8, 8))
 	a.Prepack()
 	b.Prepack()
+	greq := iatf.Request[float32]{Op: iatf.OpGEMM, Alpha: 1, Beta: 1, A: a, B: b, C: c}
 	for i := 0; i < 4; i++ {
-		if err := iatf.GEMMParallel(0, iatf.NoTrans, iatf.NoTrans, 1, a, b, 1, c); err != nil {
+		if err := iatf.Do(context.Background(), greq, append(opts, iatf.WithWorkers(0))...); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -136,7 +158,9 @@ func demoRound() {
 		}
 	}
 	ct, cb := iatf.Pack(tri), iatf.Pack(iatf.NewBatch[float32](count, 8, 4))
-	if err := iatf.TRSM(iatf.Left, iatf.Lower, iatf.NoTrans, iatf.NonUnit, 1, ct, cb); err != nil {
+	treq := iatf.Request[float32]{Op: iatf.OpTRSM, Side: iatf.Left, Uplo: iatf.Lower,
+		TransA: iatf.NoTrans, Diag: iatf.NonUnit, Alpha: 1, A: ct, B: cb}
+	if err := iatf.Do(context.Background(), treq, opts...); err != nil {
 		log.Fatal(err)
 	}
 
@@ -161,9 +185,15 @@ func demoRound() {
 
 // smoke prints each surface once to stdout — the -demo -once form used
 // as a no-network sanity check.
-func smoke(eng *iatf.Engine, spans *iatf.SpanRing) {
+func smoke(eng *iatf.Engine, set *iatf.EngineSet, spans *iatf.SpanRing) {
 	fmt.Printf("# build: %+v\n", iatf.Build())
-	if err := eng.WriteMetrics(log.Writer()); err != nil {
+	var err error
+	if set != nil {
+		err = set.WriteMetrics(log.Writer())
+	} else {
+		err = eng.WriteMetrics(log.Writer())
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("# spans captured: %d (ring %d)\n", spans.Total(), len(spans.Spans(0)))

@@ -12,6 +12,11 @@ import (
 // signal under overload. Branch with errors.Is(err, iatf.ErrQueueFull).
 var ErrQueueFull = engine.ErrQueueFull
 
+// ErrQueueStarted is returned by SetQueueCapacity once the engine's
+// dispatcher is live — the queue can only be sized before the first
+// Submit. Branch with errors.Is(err, iatf.ErrQueueStarted).
+var ErrQueueStarted = engine.ErrQueueStarted
+
 // Op selects the routine of a Request.
 type Op int
 
@@ -49,6 +54,7 @@ type Request[T Scalar] struct {
 type callCfg struct {
 	workers int
 	eng     *Engine
+	set     *EngineSet
 	async   bool
 	sink    func(*Span)
 }
@@ -60,6 +66,7 @@ type Option struct {
 	workers    int
 	hasWorkers bool
 	eng        *Engine
+	set        *EngineSet
 	async      bool
 	sink       func(*Span)
 }
@@ -97,6 +104,9 @@ func resolveOpts(opts []Option) callCfg {
 		}
 		if o.eng != nil {
 			cfg.eng = o.eng
+		}
+		if o.set != nil {
+			cfg.set = o.set
 		}
 		if o.async {
 			cfg.async = true
@@ -161,12 +171,21 @@ func Do[T Scalar](ctx context.Context, req Request[T], opts ...Option) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if cfg.set != nil {
+			return doSetSync(cfg.set, cfg.workers, cfg.sink, req)
+		}
 		if cfg.sink != nil {
 			return doSyncSpanned(cfg.eng, cfg.workers, cfg.sink, req)
 		}
 		return doSync(cfg.eng, cfg.workers, req)
 	}
-	fut, err := submitSpanned(ctx, cfg.eng, cfg.workers, cfg.sink, req)
+	var fut *Future
+	var err error
+	if cfg.set != nil {
+		fut, err = submitSetSpanned(ctx, cfg.set, cfg.workers, cfg.sink, req)
+	} else {
+		fut, err = submitSpanned(ctx, cfg.eng, cfg.workers, cfg.sink, req)
+	}
 	if err != nil {
 		return err
 	}
@@ -204,6 +223,9 @@ func doSyncSpanned[T Scalar](e *Engine, workers int, sink func(*Span), req Reque
 // already done returns ctx.Err().
 func Submit[T Scalar](ctx context.Context, req Request[T], opts ...Option) (*Future, error) {
 	cfg := resolveOpts(opts)
+	if cfg.set != nil {
+		return submitSetSpanned(ctx, cfg.set, cfg.workers, cfg.sink, req)
+	}
 	return submitSpanned(ctx, cfg.eng, cfg.workers, cfg.sink, req)
 }
 
@@ -213,6 +235,34 @@ func submitSpanned[T Scalar](ctx context.Context, e *Engine, workers int, sink f
 		return nil, err
 	}
 	fut, err := e.inner.SubmitSpanned(ctx, desc, sink, ops[:n]...)
+	if err != nil {
+		return nil, err
+	}
+	return &Future{inner: fut}, nil
+}
+
+// doSetSync routes a synchronous call through a sharded set: the
+// problem identity picks the home shard. Same warm-path allocation
+// budget as doSync — routing is hash arithmetic on the stack.
+func doSetSync[T Scalar](s *EngineSet, workers int, sink func(*Span), req Request[T]) error {
+	desc, ops, n, err := toDesc(req, workers)
+	if err != nil {
+		return err
+	}
+	if sink != nil {
+		return s.inner.RunSpanned(desc, sink, ops[:n]...)
+	}
+	return s.inner.Run(desc, ops[:n]...)
+}
+
+// submitSetSpanned is submitSpanned through a sharded set, with the
+// set's sibling fallback on a full home queue.
+func submitSetSpanned[T Scalar](ctx context.Context, s *EngineSet, workers int, sink func(*Span), req Request[T]) (*Future, error) {
+	desc, ops, n, err := toDesc(req, workers)
+	if err != nil {
+		return nil, err
+	}
+	fut, err := s.inner.SubmitSpanned(ctx, desc, sink, ops[:n]...)
 	if err != nil {
 		return nil, err
 	}

@@ -75,8 +75,14 @@ func (e *Engine) Stats() EngineStats { return e.inner.Stats() }
 
 // SetQueueCapacity bounds the engine's async submission queue (default
 // 1024 requests). Submissions beyond the bound fail fast with
-// ErrQueueFull. Effective only before the engine's first Submit.
-func (e *Engine) SetQueueCapacity(n int) { e.inner.SetQueueCapacity(n) }
+// ErrQueueFull.
+//
+// The bound must be set before the engine's first Submit (or Do with
+// WithAsync): once the dispatcher has started the live queue cannot be
+// resized, and the call fails with an error wrapping ErrQueueStarted,
+// leaving the running queue untouched. Branch with
+// errors.Is(err, iatf.ErrQueueStarted).
+func (e *Engine) SetQueueCapacity(n int) error { return e.inner.SetQueueCapacity(n) }
 
 // SetTrace installs a trace hook on the engine: fn receives the
 // assembled command queue of sampled calls (every nth; every == 1 traces

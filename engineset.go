@@ -1,0 +1,97 @@
+// Public surface of the sharded scale-out path: an EngineSet owns N
+// isolated engines and routes every call to its identity's home shard,
+// so mixed traffic spreads across dispatchers while each problem
+// identity keeps hitting one shard's warm plan and prepack caches. See
+// internal/engine/set.go for the routing and work-stealing mechanics.
+
+package iatf
+
+import (
+	"io"
+	"net/http"
+
+	"iatf/internal/core"
+	"iatf/internal/engine"
+)
+
+// EngineSet is a sharded group of isolated engines behind one dispatch
+// surface. Calls routed through it (Do/Submit with WithEngineSet) are
+// assigned a home shard by consistent hashing on the problem identity —
+// op, dtype, mode flags and operand dimensions — so repeated shapes
+// always land on the same shard's caches. Idle shards steal queued work
+// from the deepest sibling, and a Submit whose home queue is full falls
+// back to the least-loaded sibling once before returning ErrQueueFull.
+//
+// An EngineSet's dispatchers run for the life of the process: create one
+// at startup and reuse it.
+type EngineSet struct {
+	inner *engine.Set
+}
+
+// EngineSetStats is a point-in-time view of a whole set: one ShardStats
+// per shard (full engine counters plus routing attribution) and the
+// cross-shard aggregate with shapes merged by identity.
+type EngineSetStats = engine.SetStats
+
+// ShardStats is one shard's slice of an EngineSetStats.
+type ShardStats = engine.ShardStats
+
+// DefaultShardCount returns the shard count NewEngineSet uses for
+// n <= 0: min(GOMAXPROCS, NumCPU/2), floored at 1.
+func DefaultShardCount() int { return engine.DefaultShards() }
+
+// NewEngineSet builds a set of n isolated engines with the default
+// tuning (n <= 0 uses DefaultShardCount). Each shard has its own plan
+// cache, prepack cache, buffer pools, worker fleet (capped at its core
+// share) and submission queue.
+func NewEngineSet(n int) *EngineSet {
+	return &EngineSet{inner: engine.NewSet(core.DefaultTuning(), n)}
+}
+
+// Shards returns the shard count.
+func (s *EngineSet) Shards() int { return s.inner.Shards() }
+
+// Shard returns shard i's engine for per-shard introspection (stats,
+// tracing, metrics). Submitting work to it directly bypasses the
+// identity router.
+func (s *EngineSet) Shard(i int) *Engine {
+	return &Engine{inner: s.inner.Shard(i)}
+}
+
+// Stats returns the set's current per-shard and aggregate counters.
+func (s *EngineSet) Stats() EngineSetStats { return s.inner.Stats() }
+
+// WriteMetrics renders one scrape of the whole set as OpenMetrics text:
+// every family carries unlabeled aggregate samples plus one shard="k"
+// sample per shard.
+func (s *EngineSet) WriteMetrics(w io.Writer) error { return s.inner.WriteOpenMetrics(w) }
+
+// MetricsHandler returns an http.Handler serving WriteMetrics with the
+// OpenMetrics content type, mountable at /metrics.
+func (s *EngineSet) MetricsHandler() http.Handler { return s.inner.MetricsHandler() }
+
+// ResetShapeStats resets every shard's per-shape series and windowed
+// queue state; see Engine.ResetShapeStats.
+func (s *EngineSet) ResetShapeStats() { s.inner.ResetShapeStats() }
+
+// SetProfileLabels toggles pprof goroutine labels on every shard.
+func (s *EngineSet) SetProfileLabels(on bool) { s.inner.SetProfileLabels(on) }
+
+// SetQueueCapacity bounds every shard's submission queue. Like
+// Engine.SetQueueCapacity it must run before the set's first Submit;
+// the first shard whose dispatcher is already live returns an error
+// wrapping ErrQueueStarted and the remaining shards keep their current
+// capacity.
+func (s *EngineSet) SetQueueCapacity(n int) error {
+	for i := 0; i < s.inner.Shards(); i++ {
+		if err := s.inner.Shard(i).SetQueueCapacity(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WithEngineSet routes the call through a sharded engine set: the
+// problem identity picks the home shard, keeping repeated shapes on one
+// shard's warm caches. Overrides WithEngine when both are given.
+func WithEngineSet(s *EngineSet) Option { return Option{set: s} }

@@ -121,9 +121,9 @@ func LUSolvePivoted[T Scalar](a *Compact[T], piv *Pivots, b *Compact[T]) error {
 	}
 	var err error
 	if a.f32 != nil {
-		err = core.ExecLUPivSolveNative(a.f32, piv.inner, b.f32, 1)
+		err = core.ExecLUPivSolveNative(nil, a.f32, piv.inner, b.f32, 1)
 	} else {
-		err = core.ExecLUPivSolveNative(a.f64, piv.inner, b.f64, 1)
+		err = core.ExecLUPivSolveNative(nil, a.f64, piv.inner, b.f64, 1)
 	}
 	if err != nil {
 		return err

@@ -2,7 +2,13 @@
 // packing arenas of the native executors. The run-time stage packs
 // operands into L1-sized super-batch buffers on every call; allocating
 // those per call dominates the steady-state allocation profile, so they
-// are recycled here through per-type, per-size-class sync.Pools.
+// are recycled through per-type, per-size-class sync.Pools.
+//
+// All state lives in Pool instances — the package has no globals. Each
+// engine owns one Pool (via core.Runtime), so a sharded EngineSet gets
+// strict per-shard buffer isolation: one shard's churn never evicts or
+// pins another shard's warm buffers, and the per-pool counters attribute
+// demand to the shard that generated it.
 //
 // Buffers are returned uncleared: callers must fully overwrite the region
 // they read (every packing routine in internal/core does).
@@ -51,7 +57,10 @@ type classCounters struct {
 	puts   atomic.Uint64
 }
 
-var (
+// Pool is one isolated set of size-class buffer pools plus its
+// counters. The zero value is ready to use; all methods and the
+// package-level Get/Put are safe for concurrent use.
+type Pool struct {
 	f32Pools classPools
 	f64Pools classPools
 
@@ -64,7 +73,10 @@ var (
 	inUse      atomic.Int64 // pooled buffers currently checked out
 
 	perClass [numClasses]classCounters
-)
+}
+
+// NewPool returns an empty, independent buffer pool.
+func NewPool() *Pool { return &Pool{} }
 
 // ClassStats is a snapshot of one active size class.
 type ClassStats struct {
@@ -74,7 +86,7 @@ type ClassStats struct {
 	Puts      uint64 `json:"puts"`
 }
 
-// Stats is a snapshot of the pool's lifetime counters.
+// Stats is a snapshot of one pool's lifetime counters.
 type Stats struct {
 	Gets     uint64 // Get calls
 	Reuses   uint64 // Gets served from the pool without allocating
@@ -93,38 +105,70 @@ type Stats struct {
 	Classes []ClassStats
 }
 
-// Snapshot returns the current pool counters.
-func Snapshot() Stats {
-	s := Stats{
-		Gets:       gets.Load(),
-		Reuses:     reuses.Load(),
-		Allocs:     news.Load(),
-		Puts:       puts.Load(),
-		Oversize:   oversize.Load(),
-		DoublePuts: doublePuts.Load(),
-		InUse:      inUse.Load(),
+// Add accumulates another pool's counters into s — the cross-shard
+// aggregate view of an EngineSet. Classes are merged by size.
+func (s *Stats) Add(o Stats) {
+	s.Gets += o.Gets
+	s.Reuses += o.Reuses
+	s.Allocs += o.Allocs
+	s.Puts += o.Puts
+	s.Oversize += o.Oversize
+	s.DoublePuts += o.DoublePuts
+	s.InUse += o.InUse
+	for _, oc := range o.Classes {
+		merged := false
+		for i := range s.Classes {
+			if s.Classes[i].SizeElems == oc.SizeElems {
+				s.Classes[i].Gets += oc.Gets
+				s.Classes[i].Reuses += oc.Reuses
+				s.Classes[i].Puts += oc.Puts
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			s.Classes = append(s.Classes, oc)
+		}
 	}
-	for cl := range perClass {
-		g := perClass[cl].gets.Load()
+	for i := 1; i < len(s.Classes); i++ {
+		for j := i; j > 0 && s.Classes[j].SizeElems < s.Classes[j-1].SizeElems; j-- {
+			s.Classes[j], s.Classes[j-1] = s.Classes[j-1], s.Classes[j]
+		}
+	}
+}
+
+// Snapshot returns the pool's current counters.
+func (p *Pool) Snapshot() Stats {
+	s := Stats{
+		Gets:       p.gets.Load(),
+		Reuses:     p.reuses.Load(),
+		Allocs:     p.news.Load(),
+		Puts:       p.puts.Load(),
+		Oversize:   p.oversize.Load(),
+		DoublePuts: p.doublePuts.Load(),
+		InUse:      p.inUse.Load(),
+	}
+	for cl := range p.perClass {
+		g := p.perClass[cl].gets.Load()
 		if g == 0 {
 			continue
 		}
 		s.Classes = append(s.Classes, ClassStats{
 			SizeElems: 1 << (cl + minClassBits),
 			Gets:      g,
-			Reuses:    perClass[cl].reuses.Load(),
-			Puts:      perClass[cl].puts.Load(),
+			Reuses:    p.perClass[cl].reuses.Load(),
+			Puts:      p.perClass[cl].puts.Load(),
 		})
 	}
 	return s
 }
 
-func poolsFor[E vec.Float]() *classPools {
+func poolsFor[E vec.Float](p *Pool) *classPools {
 	var z E
 	if _, ok := any(z).(float32); ok {
-		return &f32Pools
+		return &p.f32Pools
 	}
-	return &f64Pools
+	return &p.f64Pools
 }
 
 // classFor returns the smallest size class holding n elements.
@@ -136,45 +180,45 @@ func classFor(n int) int {
 	return bits - minClassBits
 }
 
-// Get returns a buffer of exactly n elements, recycled from the pool when
-// a same-class buffer is available. Contents are unspecified.
-func Get[E vec.Float](n int) *Buf[E] {
-	gets.Add(1)
+// Get returns a buffer of exactly n elements from p, recycled when a
+// same-class buffer is available. Contents are unspecified.
+func Get[E vec.Float](p *Pool, n int) *Buf[E] {
+	p.gets.Add(1)
 	if n > 1<<maxClassBits {
-		oversize.Add(1)
+		p.oversize.Add(1)
 		return &Buf[E]{data: make([]E, n), class: -1}
 	}
 	cl := classFor(n)
-	perClass[cl].gets.Add(1)
-	inUse.Add(1)
-	if v := poolsFor[E]().classes[cl].Get(); v != nil {
+	p.perClass[cl].gets.Add(1)
+	p.inUse.Add(1)
+	if v := poolsFor[E](p).classes[cl].Get(); v != nil {
 		b := v.(*Buf[E])
 		b.data = b.data[:n]
 		b.state.Store(1)
-		reuses.Add(1)
-		perClass[cl].reuses.Add(1)
+		p.reuses.Add(1)
+		p.perClass[cl].reuses.Add(1)
 		return b
 	}
-	news.Add(1)
+	p.news.Add(1)
 	b := &Buf[E]{data: make([]E, n, 1<<(cl+minClassBits)), class: cl}
 	b.state.Store(1)
 	return b
 }
 
-// Put recycles a buffer obtained from Get. The caller must not use the
-// buffer afterwards. A repeated Put of the same buffer is rejected (and
-// counted) instead of corrupting the pool.
-func Put[E vec.Float](b *Buf[E]) {
+// Put recycles a buffer obtained from Get on the same pool. The caller
+// must not use the buffer afterwards. A repeated Put of the same buffer
+// is rejected (and counted) instead of corrupting the pool.
+func Put[E vec.Float](p *Pool, b *Buf[E]) {
 	if b == nil || b.class < 0 {
 		return
 	}
 	if !b.state.CompareAndSwap(1, 0) {
-		doublePuts.Add(1)
+		p.doublePuts.Add(1)
 		return
 	}
-	inUse.Add(-1)
-	puts.Add(1)
-	perClass[b.class].puts.Add(1)
+	p.inUse.Add(-1)
+	p.puts.Add(1)
+	p.perClass[b.class].puts.Add(1)
 	b.data = b.data[:cap(b.data)]
-	poolsFor[E]().classes[b.class].Put(b)
+	poolsFor[E](p).classes[b.class].Put(b)
 }

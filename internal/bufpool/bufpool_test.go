@@ -3,31 +3,33 @@ package bufpool
 import "testing"
 
 func TestClassRounding(t *testing.T) {
+	p := NewPool()
 	cases := []struct{ n, capWant int }{
 		{1, 256}, {255, 256}, {256, 256}, {257, 512}, {1000, 1024},
 	}
 	for _, c := range cases {
-		b := Get[float64](c.n)
+		b := Get[float64](p, c.n)
 		if len(b.Slice()) != c.n {
 			t.Errorf("Get(%d): len %d", c.n, len(b.Slice()))
 		}
 		if cap(b.Slice()) != c.capWant {
 			t.Errorf("Get(%d): cap %d, want %d", c.n, cap(b.Slice()), c.capWant)
 		}
-		Put(b)
+		Put(p, b)
 	}
 }
 
 func TestReuse(t *testing.T) {
-	b := Get[float32](300)
+	p := NewPool()
+	b := Get[float32](p, 300)
 	s := b.Slice()
 	for i := range s {
 		s[i] = float32(i)
 	}
-	Put(b)
-	before := Snapshot()
-	b2 := Get[float32](400) // same 512-class: should come back from the pool
-	after := Snapshot()
+	Put(p, b)
+	before := p.Snapshot()
+	b2 := Get[float32](p, 400) // same 512-class: should come back from the pool
+	after := p.Snapshot()
 	if after.Reuses == before.Reuses && after.Allocs > before.Allocs {
 		// sync.Pool may drop buffers under GC pressure; only fail when the
 		// pool allocated *and* nothing else explains it.
@@ -36,29 +38,31 @@ func TestReuse(t *testing.T) {
 	if len(b2.Slice()) != 400 {
 		t.Errorf("reused len %d", len(b2.Slice()))
 	}
-	Put(b2)
+	Put(p, b2)
 }
 
 func TestTypeSeparation(t *testing.T) {
-	b32 := Get[float32](256)
-	b64 := Get[float64](256)
-	Put(b32)
-	Put(b64)
+	p := NewPool()
+	b32 := Get[float32](p, 256)
+	b64 := Get[float64](p, 256)
+	Put(p, b32)
+	Put(p, b64)
 	// A float64 Get after a float32 Put must never alias float32 storage;
 	// the type assertion in Get would panic if pools were shared.
-	b := Get[float64](256)
+	b := Get[float64](p, 256)
 	b.Slice()[0] = 1
-	Put(b)
+	Put(p, b)
 }
 
 func TestOversize(t *testing.T) {
-	before := Snapshot()
-	b := Get[float32]((1 << maxClassBits) + 1)
+	p := NewPool()
+	before := p.Snapshot()
+	b := Get[float32](p, (1<<maxClassBits)+1)
 	if len(b.Slice()) != (1<<maxClassBits)+1 {
 		t.Fatal("oversize length")
 	}
-	Put(b) // must be a no-op, not a pool insert
-	after := Snapshot()
+	Put(p, b) // must be a no-op, not a pool insert
+	after := p.Snapshot()
 	if after.Oversize != before.Oversize+1 {
 		t.Errorf("oversize not counted")
 	}
@@ -71,20 +75,21 @@ func TestOversize(t *testing.T) {
 // quiescence is a leak, and a second Put of the same buffer is counted
 // (and dropped) rather than corrupting the pool.
 func TestLeakCounters(t *testing.T) {
-	base := Snapshot()
-	b1 := Get[float32](512)
-	b2 := Get[float64](512)
-	if d := Snapshot().InUse - base.InUse; d != 2 {
+	p := NewPool()
+	base := p.Snapshot()
+	b1 := Get[float32](p, 512)
+	b2 := Get[float64](p, 512)
+	if d := p.Snapshot().InUse - base.InUse; d != 2 {
 		t.Fatalf("after 2 Gets, InUse moved by %d, want 2", d)
 	}
-	Put(b1)
-	Put(b2)
-	if d := Snapshot().InUse - base.InUse; d != 0 {
+	Put(p, b1)
+	Put(p, b2)
+	if d := p.Snapshot().InUse - base.InUse; d != 0 {
 		t.Fatalf("after paired Puts, InUse moved by %d, want 0 (leak)", d)
 	}
 
-	Put(b1) // double return: must be dropped, not recycled twice
-	after := Snapshot()
+	Put(p, b1) // double return: must be dropped, not recycled twice
+	after := p.Snapshot()
 	if after.DoublePuts != base.DoublePuts+1 {
 		t.Errorf("double Put not counted: %d -> %d", base.DoublePuts, after.DoublePuts)
 	}
@@ -93,12 +98,46 @@ func TestLeakCounters(t *testing.T) {
 	}
 
 	// Oversize buffers bypass the pool and must not touch the gauge.
-	ov := Get[float32]((1 << maxClassBits) + 1)
-	if d := Snapshot().InUse - after.InUse; d != 0 {
+	ov := Get[float32](p, (1<<maxClassBits)+1)
+	if d := p.Snapshot().InUse - after.InUse; d != 0 {
 		t.Errorf("oversize Get moved InUse by %d", d)
 	}
-	Put(ov)
-	if d := Snapshot().InUse - after.InUse; d != 0 {
+	Put(p, ov)
+	if d := p.Snapshot().InUse - after.InUse; d != 0 {
 		t.Errorf("oversize Put moved InUse by %d", d)
+	}
+}
+
+// Two pools must be fully isolated: traffic on one never shows up in the
+// other's counters or storage — the per-shard invariant EngineSet relies on.
+func TestPoolIsolation(t *testing.T) {
+	p1, p2 := NewPool(), NewPool()
+	b := Get[float32](p1, 512)
+	Put(p1, b)
+	if s := p2.Snapshot(); s.Gets != 0 || s.Puts != 0 {
+		t.Fatalf("pool 2 saw pool 1 traffic: %+v", s)
+	}
+	if s := p1.Snapshot(); s.Gets != 1 || s.Puts != 1 {
+		t.Fatalf("pool 1 counters wrong: %+v", s)
+	}
+}
+
+// Stats.Add merges per-class rows by size and keeps them sorted — the
+// aggregate view an EngineSet exposes.
+func TestStatsAdd(t *testing.T) {
+	p1, p2 := NewPool(), NewPool()
+	Put(p1, Get[float32](p1, 256))
+	Put(p2, Get[float32](p2, 256))
+	Put(p2, Get[float64](p2, 4096))
+	s := p1.Snapshot()
+	s.Add(p2.Snapshot())
+	if s.Gets != 3 || s.Puts != 3 {
+		t.Fatalf("aggregate totals wrong: %+v", s)
+	}
+	if len(s.Classes) != 2 || s.Classes[0].SizeElems != 256 || s.Classes[1].SizeElems != 4096 {
+		t.Fatalf("aggregate classes wrong: %+v", s.Classes)
+	}
+	if s.Classes[0].Gets != 2 {
+		t.Fatalf("256-class not merged: %+v", s.Classes[0])
 	}
 }

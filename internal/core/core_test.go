@@ -307,11 +307,11 @@ func TestExecFactorNativeDirect(t *testing.T) {
 			a.Set(v, i, i, re+6, im)
 		}
 	}
-	infoSeq, err := ExecFactorNative(LUKind, a.Clone(), 1)
+	infoSeq, err := ExecFactorNative(nil, LUKind, a.Clone(), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	infoPar, err := ExecFactorNative(LUKind, a.Clone(), 3)
+	infoPar, err := ExecFactorNative(nil, LUKind, a.Clone(), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,11 +325,11 @@ func TestExecFactorNativeDirect(t *testing.T) {
 	}
 	// Rectangular and complex-Cholesky rejections.
 	rect := layout.NewCompact[float64](vec.D, 2, 3, 4)
-	if _, err := ExecFactorNative(LUKind, rect, 1); err == nil {
+	if _, err := ExecFactorNative(nil, LUKind, rect, 1); err == nil {
 		t.Error("rectangular factorization accepted")
 	}
 	cplx := layout.NewCompact[float64](vec.Z, 2, 3, 3)
-	if _, err := ExecFactorNative(CholeskyKind, cplx, 1); err == nil {
+	if _, err := ExecFactorNative(nil, CholeskyKind, cplx, 1); err == nil {
 		t.Error("complex Cholesky accepted")
 	}
 }

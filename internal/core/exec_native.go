@@ -8,7 +8,6 @@ import (
 	"iatf/internal/layout"
 	"iatf/internal/matrix"
 	"iatf/internal/pack"
-	"iatf/internal/sched"
 	"iatf/internal/vec"
 )
 
@@ -149,7 +148,7 @@ func ExecGEMMNativePrepacked[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[
 	if preB != nil && len(preB) < pl.PrepackBLen(b.Groups()) {
 		return fmt.Errorf("core: prepacked B has %d elements, need %d", len(preB), pl.PrepackBLen(b.Groups()))
 	}
-	sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+	pl.RT.or().Sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
 		gemmWorker(pl, a, b, c, preA, preB, lo, hi)
 	})
 	return nil
@@ -199,15 +198,16 @@ func gemmWorker[E vec.Float](pl *GEMMPlan, a, b, c *layout.Compact[E], preA, pre
 	if pipelined {
 		nBuf = 2
 	}
+	rt := pl.RT.or()
 	var packA, packB []E
 	if needPackA {
-		bufA := bufpool.Get[E](nBuf * gb * lenA)
-		defer bufpool.Put(bufA)
+		bufA := bufpool.Get[E](rt.Bufs, nBuf*gb*lenA)
+		defer bufpool.Put(rt.Bufs, bufA)
 		packA = bufA.Slice()
 	}
 	if needPackB {
-		bufB := bufpool.Get[E](nBuf * gb * lenB)
-		defer bufpool.Put(bufB)
+		bufB := bufpool.Get[E](rt.Bufs, nBuf*gb*lenB)
+		defer bufpool.Put(rt.Bufs, bufB)
 		packB = bufB.Slice()
 	}
 
@@ -451,7 +451,7 @@ func ExecTRSMNativePrepacked[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E],
 	if preTri != nil && len(preTri) < pl.PrepackTriLen(a.Groups()) {
 		return fmt.Errorf("core: prepacked tri has %d elements, need %d", len(preTri), pl.PrepackTriLen(a.Groups()))
 	}
-	sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+	pl.RT.or().Sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
 		trsmWorker(pl, a, b, preTri, lo, hi)
 	})
 	return nil
@@ -482,18 +482,19 @@ func trsmWorker[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], preTri []E, 
 	if pipelined {
 		nBuf = 2
 	}
+	rt := pl.RT.or()
 	var packTri []E
 	if needTri {
-		bufTri := bufpool.Get[E](nBuf * gb * lenTri)
-		defer bufpool.Put(bufTri)
+		bufTri := bufpool.Get[E](rt.Bufs, nBuf*gb*lenTri)
+		defer bufpool.Put(rt.Bufs, bufTri)
 		packTri = bufTri.Slice()
 	}
 	var packB []E
 	lenPB := 0
 	if pl.PackB {
 		lenPB = pl.MEff * pl.NEff * bl
-		bufB := bufpool.Get[E](nBuf * gb * lenPB)
-		defer bufpool.Put(bufB)
+		bufB := bufpool.Get[E](rt.Bufs, nBuf*gb*lenPB)
+		defer bufpool.Put(rt.Bufs, bufB)
 		packB = bufB.Slice()
 	}
 

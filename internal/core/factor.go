@@ -5,7 +5,6 @@ import (
 
 	"iatf/internal/kernels"
 	"iatf/internal/layout"
-	"iatf/internal/sched"
 	"iatf/internal/vec"
 )
 
@@ -26,8 +25,11 @@ const (
 // ExecFactorNative factors every matrix of the compact batch in place
 // and returns per-matrix info codes (0 = success; k+1 = first failing
 // pivot column, as in LAPACK). Cholesky is real-only and uses the lower
-// triangle. workers <= 0 means auto (GOMAXPROCS).
-func ExecFactorNative[E vec.Float](kind factorKind, a *layout.Compact[E], workers int) ([]int, error) {
+// triangle. workers <= 0 means auto (GOMAXPROCS). rt selects the worker
+// pool the split fans out on; nil uses the process default — the factor
+// executors take no plan, so the Runtime rides as a parameter instead of
+// a stamped field.
+func ExecFactorNative[E vec.Float](rt *Runtime, kind factorKind, a *layout.Compact[E], workers int) ([]int, error) {
 	if a.Rows != a.Cols {
 		return nil, fmt.Errorf("core: factorization requires square matrices, got %dx%d", a.Rows, a.Cols)
 	}
@@ -55,7 +57,7 @@ func ExecFactorNative[E vec.Float](kind factorKind, a *layout.Compact[E], worker
 			}
 		}
 	}
-	sched.Run(groups, workers, 0, worker)
+	rt.or().Sched.Run(groups, workers, 0, worker)
 	return info[:a.Count], nil
 }
 
@@ -76,8 +78,8 @@ type Pivots struct {
 }
 
 // ExecLUPivNative factors every matrix with partial pivoting, returning
-// the pivot record and per-matrix info codes.
-func ExecLUPivNative[E vec.Float](a *layout.Compact[E], workers int) (*Pivots, []int, error) {
+// the pivot record and per-matrix info codes. rt: see ExecFactorNative.
+func ExecLUPivNative[E vec.Float](rt *Runtime, a *layout.Compact[E], workers int) (*Pivots, []int, error) {
 	if a.Rows != a.Cols {
 		return nil, nil, fmt.Errorf("core: LU requires square matrices, got %dx%d", a.Rows, a.Cols)
 	}
@@ -95,13 +97,14 @@ func ExecLUPivNative[E vec.Float](a *layout.Compact[E], workers int) (*Pivots, [
 				piv.Data[g*n*vl:(g+1)*n*vl], info[g*vl:(g+1)*vl])
 		}
 	}
-	sched.Run(groups, workers, 0, worker)
+	rt.or().Sched.Run(groups, workers, 0, worker)
 	return piv, info[:a.Count], nil
 }
 
 // ExecLUPivSolveNative applies the pivot permutation to B and solves
 // L·U·X = P·B in place using the native triangular kernels via TRSM plans.
-func ExecLUPivSolveNative[E vec.Float](a *layout.Compact[E], piv *Pivots, b *layout.Compact[E], workers int) error {
+// rt: see ExecFactorNative.
+func ExecLUPivSolveNative[E vec.Float](rt *Runtime, a *layout.Compact[E], piv *Pivots, b *layout.Compact[E], workers int) error {
 	if piv == nil || piv.N != a.Rows || piv.Groups != a.Groups() {
 		return fmt.Errorf("core: pivot record does not match the factorization")
 	}
@@ -117,6 +120,6 @@ func ExecLUPivSolveNative[E vec.Float](a *layout.Compact[E], piv *Pivots, b *lay
 				piv.Data[g*piv.N*vl:(g+1)*piv.N*vl])
 		}
 	}
-	sched.Run(b.Groups(), workers, 0, worker)
+	rt.or().Sched.Run(b.Groups(), workers, 0, worker)
 	return nil
 }

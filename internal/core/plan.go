@@ -177,6 +177,11 @@ type GEMMPlan struct {
 	// per-call stack copy the engine splices scalars into.
 	Labels context.Context
 
+	// RT is the dispatching engine's Runtime (worker pool + buffer
+	// pools); nil falls back to the process default. Like Labels, it is
+	// stamped onto the per-call stack copy only, never the cached plan.
+	RT *Runtime
+
 	tiles []tile
 }
 
@@ -345,6 +350,9 @@ type TRSMPlan struct {
 
 	// Labels: optional pprof label context; see GEMMPlan.Labels.
 	Labels context.Context
+
+	// RT: the dispatching engine's Runtime; see GEMMPlan.RT.
+	RT *Runtime
 
 	steps []trsmStep
 }

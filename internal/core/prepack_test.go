@@ -4,7 +4,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"iatf/internal/bufpool"
 	"iatf/internal/matrix"
 	"iatf/internal/vec"
 )
@@ -306,7 +305,8 @@ func TestPrepackReflectsOperandContents(t *testing.T) {
 // and no double-returns may have been counted.
 func TestNativeExecutorsReturnAllBuffers(t *testing.T) {
 	rng := rand.New(rand.NewSource(315))
-	before := bufpool.Snapshot()
+	// Plans without a stamped Runtime fall back to the process default pool.
+	before := DefaultRuntime().Bufs.Snapshot()
 
 	for _, force := range []int{0, 1} { // default chunking and max pipelining
 		tun := DefaultTuning()
@@ -365,7 +365,7 @@ func TestNativeExecutorsReturnAllBuffers(t *testing.T) {
 		}
 	}
 
-	after := bufpool.Snapshot()
+	after := DefaultRuntime().Bufs.Snapshot()
 	if after.InUse != before.InUse {
 		t.Errorf("executors leaked buffers: in-use %d -> %d", before.InUse, after.InUse)
 	}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"iatf/internal/bufpool"
+	"iatf/internal/sched"
+)
+
+// Runtime bundles the per-engine execution resources of the run-time
+// stage: the persistent worker pool parallel executors fan out on and
+// the size-class buffer pools the packing arenas are recycled through.
+// Neither layer has package-level state anymore — every engine instance
+// owns one Runtime, so a sharded EngineSet gets strict per-shard
+// isolation: one shard's packing churn cannot evict another shard's
+// warm buffers and each shard's worker fleet can be capped to its core
+// budget (sched.Pool.SetMaxWorkers).
+//
+// Plans carry the Runtime of the engine that dispatched them (stamped
+// into the per-call stack copy next to Labels, never onto the cached
+// plan); a nil Runtime on a plan falls back to the process-wide default
+// so direct core callers — tests, the reference VM comparisons, the
+// analysis CLIs — keep working without owning an engine.
+type Runtime struct {
+	Sched *sched.Pool
+	Bufs  *bufpool.Pool
+}
+
+// NewRuntime returns an isolated Runtime: a fresh worker pool (started
+// lazily) and empty buffer pools.
+func NewRuntime() *Runtime {
+	return &Runtime{Sched: sched.NewPool(), Bufs: bufpool.NewPool()}
+}
+
+// defaultRuntime serves plans with no stamped Runtime (direct core use).
+var defaultRuntime = NewRuntime()
+
+// DefaultRuntime returns the process-wide fallback Runtime used by plans
+// that were not dispatched through an engine.
+func DefaultRuntime() *Runtime { return defaultRuntime }
+
+// or resolves the nil fallback on the execution path.
+func (rt *Runtime) or() *Runtime {
+	if rt == nil {
+		return defaultRuntime
+	}
+	return rt
+}

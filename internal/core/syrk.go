@@ -9,7 +9,6 @@ import (
 	"iatf/internal/ktmpl"
 	"iatf/internal/layout"
 	"iatf/internal/matrix"
-	"iatf/internal/sched"
 	"iatf/internal/vec"
 )
 
@@ -48,6 +47,9 @@ type SYRKPlan struct {
 
 	// Labels: optional pprof label context; see GEMMPlan.Labels.
 	Labels context.Context
+
+	// RT: per-engine execution resources; see GEMMPlan.RT.
+	RT *Runtime
 }
 
 // syrkTileGrid returns the symmetric tile sizes: the largest kernel size
@@ -110,7 +112,7 @@ func ExecSYRKNativeParallel[E vec.Float](pl *SYRKPlan, a, c *layout.Compact[E], 
 	if a.Rows != wantAR || a.Cols != wantAC || c.Rows != p.N || c.Cols != p.N {
 		return fmt.Errorf("core: shape mismatch A=%dx%d C=%dx%d", a.Rows, a.Cols, c.Rows, c.Cols)
 	}
-	sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+	pl.RT.or().Sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
 		syrkWorker(pl, a, c, lo, hi)
 	})
 	return nil
@@ -127,12 +129,13 @@ func syrkWorker[E vec.Float](pl *SYRKPlan, a, c *layout.Compact[E], gLo, gHi int
 	aRows := a.Rows
 
 	gb := pl.GroupsPerBatch
-	bufA := bufpool.Get[E](gb * lenA)  // N-shape row panels
-	bufAT := bufpool.Get[E](gb * lenA) // Z-shape column panels of op(A)ᵀ
-	bufS := bufpool.Get[E](4 * 4 * bl) // one diagonal tile
-	defer bufpool.Put(bufA)
-	defer bufpool.Put(bufAT)
-	defer bufpool.Put(bufS)
+	rt := pl.RT.or()
+	bufA := bufpool.Get[E](rt.Bufs, gb*lenA)  // N-shape row panels
+	bufAT := bufpool.Get[E](rt.Bufs, gb*lenA) // Z-shape column panels of op(A)ᵀ
+	bufS := bufpool.Get[E](rt.Bufs, 4*4*bl)   // one diagonal tile
+	defer bufpool.Put(rt.Bufs, bufA)
+	defer bufpool.Put(rt.Bufs, bufAT)
+	defer bufpool.Put(rt.Bufs, bufS)
 	packA, packAT, scratch := bufA.Slice(), bufAT.Slice(), bufS.Slice()
 	alphaRe, alphaIm := E(real(p.Alpha)), E(imag(p.Alpha))
 	upper := p.Uplo == matrix.Upper

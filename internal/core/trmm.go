@@ -12,7 +12,6 @@ import (
 	"iatf/internal/machine"
 	"iatf/internal/matrix"
 	"iatf/internal/pack"
-	"iatf/internal/sched"
 	"iatf/internal/vec"
 )
 
@@ -68,6 +67,9 @@ type TRMMPlan struct {
 
 	// Labels: optional pprof label context; see GEMMPlan.Labels.
 	Labels context.Context
+
+	// RT: per-engine execution resources; see GEMMPlan.RT.
+	RT *Runtime
 
 	steps []trmmStep
 }
@@ -189,7 +191,7 @@ func ExecTRMMNativePrepacked[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E],
 	if preTri != nil && len(preTri) < pl.PrepackTriLen(a.Groups()) {
 		return fmt.Errorf("core: prepacked tri has %d elements, need %d", len(preTri), pl.PrepackTriLen(a.Groups()))
 	}
-	sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+	pl.RT.or().Sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
 		trmmWorker(pl, a, b, preTri, lo, hi)
 	})
 	return nil
@@ -219,18 +221,19 @@ func trmmWorker[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], preTri []E, 
 	if pipelined {
 		nBuf = 2
 	}
+	rt := pl.RT.or()
 	var packTri []E
 	if needTri {
-		bufTri := bufpool.Get[E](nBuf * gb * lenTri)
-		defer bufpool.Put(bufTri)
+		bufTri := bufpool.Get[E](rt.Bufs, nBuf*gb*lenTri)
+		defer bufpool.Put(rt.Bufs, bufTri)
 		packTri = bufTri.Slice()
 	}
 	var packB []E
 	lenPB := 0
 	if pl.PackB {
 		lenPB = pl.MEff * pl.NEff * bl
-		bufB := bufpool.Get[E](nBuf * gb * lenPB)
-		defer bufpool.Put(bufB)
+		bufB := bufpool.Get[E](rt.Bufs, nBuf*gb*lenPB)
+		defer bufpool.Put(rt.Bufs, bufB)
 		packB = bufB.Slice()
 	}
 

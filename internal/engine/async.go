@@ -48,6 +48,12 @@ import (
 // Callers should shed load or retry with a deadline.
 var ErrQueueFull = errors.New("submission queue full")
 
+// ErrQueueStarted is returned by SetQueueCapacity once the dispatcher has
+// started (i.e. after the engine's first Submit): the live queue channel
+// cannot be resized, so a late call is rejected instead of silently
+// ignored or racing the running dispatcher.
+var ErrQueueStarted = errors.New("submission queue already started")
+
 // DefaultQueueCapacity bounds the per-engine submission queue unless
 // SetQueueCapacity overrides it before the first Submit.
 const DefaultQueueCapacity = 1024
@@ -136,6 +142,16 @@ type submitQueue struct {
 	// use it to hold the dispatcher so queue-full, cancellation and
 	// coalescing become deterministic.
 	testHook func(drained int)
+
+	// steal, installed by an EngineSet before the dispatcher starts, lets
+	// this engine's dispatcher pull queued requests from a sibling shard
+	// when its own queue runs dry. It appends the stolen requests to
+	// *batch and returns how many were taken. nil for solo engines —
+	// their dispatcher blocks on the queue with no polling.
+	steal func(batch *[]*asyncReq) int
+
+	stolenBatches atomic.Uint64 // steal attempts that took work (thief side)
+	stolenReqs    atomic.Uint64 // requests executed here but queued on a sibling
 }
 
 // QueueStats is a snapshot of the async submission layer's counters.
@@ -150,11 +166,41 @@ type QueueStats struct {
 	Depth      int    // requests currently queued
 	Capacity   int    // queue bound
 
+	// StolenBatches/StolenReqs count work-stealing on the thief side: how
+	// often this shard's dispatcher ran dry and pulled from a sibling, and
+	// how many sibling-queued requests it executed. Zero for solo engines.
+	StolenBatches uint64
+	StolenReqs    uint64
+
 	// DepthHighWater is the largest queue depth ever observed at enqueue
 	// time (monotonic; survives the burst that caused it).
 	DepthHighWater int
 	// Wait is the queue-wait distribution: enqueue to bundle start.
 	Wait obs.HistSnapshot
+}
+
+// Add accumulates another queue's counters into s — the EngineSet
+// aggregate. Depth, capacity and counters sum; the high-water mark and
+// max-fused take the max (a per-shard extremum, not additive); wait
+// histograms merge bucket-wise.
+func (s *QueueStats) Add(o QueueStats) {
+	s.Submitted += o.Submitted
+	s.Inline += o.Inline
+	s.Dispatches += o.Dispatches
+	s.Coalesced += o.Coalesced
+	s.Cancelled += o.Cancelled
+	s.Rejected += o.Rejected
+	s.StolenBatches += o.StolenBatches
+	s.StolenReqs += o.StolenReqs
+	s.Depth += o.Depth
+	s.Capacity += o.Capacity
+	if o.MaxFused > s.MaxFused {
+		s.MaxFused = o.MaxFused
+	}
+	if o.DepthHighWater > s.DepthHighWater {
+		s.DepthHighWater = o.DepthHighWater
+	}
+	s.Wait.Add(o.Wait)
 }
 
 func (q *submitQueue) snapshot() QueueStats {
@@ -166,6 +212,8 @@ func (q *submitQueue) snapshot() QueueStats {
 	q.mu.Unlock()
 	return QueueStats{
 		Submitted:      q.submitted.Load(),
+		StolenBatches:  q.stolenBatches.Load(),
+		StolenReqs:     q.stolenReqs.Load(),
 		Inline:         q.inline.Load(),
 		Dispatches:     q.dispatches.Load(),
 		Coalesced:      q.coalesced.Load(),
@@ -179,18 +227,42 @@ func (q *submitQueue) snapshot() QueueStats {
 	}
 }
 
-// SetQueueCapacity bounds the engine's submission queue. It takes effect
-// only before the first Submit on the engine; afterwards it is a no-op.
-func (e *Engine) SetQueueCapacity(n int) {
+// SetQueueCapacity bounds the engine's submission queue. The bound can
+// only be set before the dispatcher starts — i.e. before the engine's
+// first Submit (for Set shards: before the set's first Submit, which
+// starts every shard's dispatcher together). A later call returns
+// ErrQueueStarted and leaves the live queue untouched: the channel is
+// already sized and handed to the dispatcher, so re-applying would race
+// in-flight submissions.
+func (e *Engine) SetQueueCapacity(n int) error {
 	if n < 1 {
 		n = 1
 	}
 	q := &e.queue
 	q.mu.Lock()
-	if q.ch == nil {
-		q.capacity = n
+	defer q.mu.Unlock()
+	if q.ch != nil {
+		return fmt.Errorf("iatf: SetQueueCapacity(%d): %w (capacity %d)", n, ErrQueueStarted, cap(q.ch))
 	}
-	q.mu.Unlock()
+	q.capacity = n
+	return nil
+}
+
+// resetWindow clears the windowed monitoring state: the queue-depth
+// high-water mark and the queue-wait histogram. Lifetime counters
+// (submitted, dispatches, ...) are untouched.
+func (q *submitQueue) resetWindow() {
+	q.depthHW.Store(0)
+	q.waitHist.Reset()
+}
+
+// ResetShapeStats zeroes the engine's windowed observability state: the
+// per-shape series, the SnapshotDelta baseline, the queue-depth
+// high-water mark and the queue-wait histogram — so windowed monitoring
+// after a reset reports only post-reset maxima.
+func (e *Engine) ResetShapeStats() {
+	e.obs.Reset()
+	e.queue.resetWindow()
 }
 
 // start lazily creates the queue channel and dispatcher goroutine.
@@ -275,12 +347,62 @@ func (q *submitQueue) noteDepth(depth int) {
 	}
 }
 
+// stealPollInterval is how often an idle set-attached dispatcher checks
+// sibling queues for stealable work. The poll itself is allocation-free
+// (a reused timer and batch slice), so a fine interval keeps steal
+// latency low without disturbing the warm-path allocation budget.
+const stealPollInterval = 200 * time.Microsecond
+
 // dispatchLoop is the per-engine dispatcher: block for one request,
-// drain everything else that accumulated, execute the batch.
+// drain everything else that accumulated, execute the batch. When the
+// engine is an EngineSet shard (q.steal != nil) the wait is a timed poll
+// instead of a plain block: an idle dispatcher periodically pulls queued
+// requests from the deepest sibling queue and executes them here —
+// bounded work stealing, so one hot shard cannot serialize the set while
+// its siblings idle.
 func (e *Engine) dispatchLoop() {
 	q := &e.queue
 	var batch []*asyncReq
-	for r := range q.ch {
+	var timer *time.Timer
+	if q.steal != nil {
+		timer = time.NewTimer(stealPollInterval)
+		defer timer.Stop()
+	}
+	for {
+		var r *asyncReq
+		if timer == nil {
+			var ok bool
+			if r, ok = <-q.ch; !ok {
+				return
+			}
+		} else {
+			select {
+			case r2, ok := <-q.ch:
+				if !ok {
+					return
+				}
+				r = r2
+			case <-timer.C:
+				timer.Reset(stealPollInterval)
+				// Only steal while genuinely idle: own queue empty and no
+				// inline dispatch in flight.
+				if len(q.ch) != 0 || q.busy.Load() {
+					continue
+				}
+				batch = batch[:0]
+				if n := q.steal(&batch); n > 0 {
+					q.stolenBatches.Add(1)
+					q.stolenReqs.Add(uint64(n))
+					q.busy.Store(true)
+					e.runBatch(batch)
+					q.busy.Store(false)
+					for i := range batch {
+						batch[i] = nil
+					}
+				}
+				continue
+			}
+		}
 		q.busy.Store(true)
 		batch = append(batch[:0], r)
 	drain:

@@ -196,6 +196,7 @@ type planShard struct {
 // serving.
 type Engine struct {
 	tun    core.Tuning
+	rt     *core.Runtime // per-engine worker pool + buffer pools
 	shards [planShards]planShard
 	obs    *obs.Registry
 	packs  packCache
@@ -212,9 +213,12 @@ type Engine struct {
 	profLabels atomic.Bool
 }
 
-// New constructs an engine for a tuning configuration.
+// New constructs an engine for a tuning configuration. Every engine owns
+// an isolated core.Runtime (worker pool + buffer pools), so engines —
+// and in particular EngineSet shards — never contend on shared execution
+// state.
 func New(tun core.Tuning) *Engine {
-	e := &Engine{tun: tun, obs: obs.NewRegistry()}
+	e := &Engine{tun: tun, rt: core.NewRuntime(), obs: obs.NewRegistry()}
 	for i := range e.shards {
 		e.shards[i].m = make(map[planKey]any)
 		e.shards[i].building = make(map[planKey]*planCall)
@@ -296,14 +300,30 @@ type Stats struct {
 	// Per-shape rolling series (this engine), ordered by call count.
 	Shapes []obs.ShapeSnapshot
 
-	// Packing-buffer pools (process-wide).
+	// Packing-buffer pools (this engine's Runtime).
 	Buffers bufpool.Stats
 
-	// Persistent worker pool (process-wide).
+	// Persistent worker pool (this engine's Runtime).
 	Sched sched.Stats
 
 	// Streaming pack/compute pipeline (process-wide).
 	Pipeline core.PipelineStats
+}
+
+// Add accumulates another engine's counters into s — the cross-shard
+// aggregate view of an EngineSet. Shapes are NOT merged here (the set
+// merges them once via obs.AggregateShapes); Pipeline is process-wide
+// state and is kept, not summed.
+func (s *Stats) Add(o Stats) {
+	s.PlanHits += o.PlanHits
+	s.PlanMisses += o.PlanMisses
+	s.PlanShared += o.PlanShared
+	s.PlanEvictions += o.PlanEvictions
+	s.PlanEntries += o.PlanEntries
+	s.PackCache.Add(o.PackCache)
+	s.Queue.Add(o.Queue)
+	s.Buffers.Add(o.Buffers)
+	s.Sched.Add(o.Sched)
 }
 
 // Stats returns the current counters.
@@ -323,8 +343,8 @@ func (e *Engine) Stats() Stats {
 		PackCache:     e.packs.snapshot(),
 		Queue:         e.queue.snapshot(),
 		Shapes:        e.obs.Snapshot(),
-		Buffers:       bufpool.Snapshot(),
-		Sched:         sched.Snapshot(),
+		Buffers:       e.rt.Bufs.Snapshot(),
+		Sched:         e.rt.Sched.Snapshot(),
 		Pipeline:      core.PipelineSnapshot(),
 	}
 }
@@ -498,6 +518,7 @@ func (e *Engine) runGEMM(op OpDesc, sp *obs.Span, a, b, c Operand) error {
 	}
 	pl := *pv.(*core.GEMMPlan)
 	pl.P.Alpha, pl.P.Beta, pl.P.Count = op.Alpha, op.Beta, c.count()
+	pl.RT = e.rt
 	if labels := e.profileLabels("GEMM", key.dt, m, n, k); labels != nil {
 		pl.Labels = labels
 		pprof.SetGoroutineLabels(labels)
@@ -648,6 +669,7 @@ func (e *Engine) runTri(op OpDesc, sp *obs.Span, a, b Operand) error {
 		}
 		pl := *pv.(*core.TRSMPlan)
 		pl.P.Alpha, pl.P.Count = op.Alpha, b.count()
+		pl.RT = e.rt
 		if labels := e.profileLabels(op.Kind.String(), key.dt, m, n, 0); labels != nil {
 			pl.Labels = labels
 			pprof.SetGoroutineLabels(labels)
@@ -683,6 +705,7 @@ func (e *Engine) runTri(op OpDesc, sp *obs.Span, a, b Operand) error {
 	}
 	pl := *pv.(*core.TRMMPlan)
 	pl.P.Alpha, pl.P.Count = op.Alpha, b.count()
+	pl.RT = e.rt
 	if labels := e.profileLabels(op.Kind.String(), key.dt, m, n, 0); labels != nil {
 		pl.Labels = labels
 		pprof.SetGoroutineLabels(labels)
@@ -829,6 +852,7 @@ func (e *Engine) runSYRK(op OpDesc, sp *obs.Span, a, c Operand) error {
 	}
 	pl := *pv.(*core.SYRKPlan)
 	pl.P.Alpha, pl.P.Beta, pl.P.Count = op.Alpha, op.Beta, c.count()
+	pl.RT = e.rt
 	if labels := e.profileLabels("SYRK", key.dt, n, n, k); labels != nil {
 		pl.Labels = labels
 		pprof.SetGoroutineLabels(labels)

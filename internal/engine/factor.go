@@ -83,10 +83,10 @@ func (e *Engine) RunFactor(op OpDesc, a Operand) ([]int, error) {
 	var info []int
 	var err error
 	if a.F32 != nil {
-		info, err = core.ExecFactorNative(coreKind, a.F32, op.Workers)
+		info, err = core.ExecFactorNative(e.rt, coreKind, a.F32, op.Workers)
 		a.F32.Invalidate() // the call rewrote A in place
 	} else {
-		info, err = core.ExecFactorNative(coreKind, a.F64, op.Workers)
+		info, err = core.ExecFactorNative(e.rt, coreKind, a.F64, op.Workers)
 		a.F64.Invalidate()
 	}
 	series.Record(time.Since(start), perMatrix*float64(a.count()), err != nil)
@@ -107,10 +107,10 @@ func (e *Engine) RunLUPiv(op OpDesc, a Operand) (*core.Pivots, []int, error) {
 		err  error
 	)
 	if a.F32 != nil {
-		piv, info, err = core.ExecLUPivNative(a.F32, op.Workers)
+		piv, info, err = core.ExecLUPivNative(e.rt, a.F32, op.Workers)
 		a.F32.Invalidate()
 	} else {
-		piv, info, err = core.ExecLUPivNative(a.F64, op.Workers)
+		piv, info, err = core.ExecLUPivNative(e.rt, a.F64, op.Workers)
 		a.F64.Invalidate()
 	}
 	series.Record(time.Since(start), perMatrix*float64(a.count()), err != nil)

@@ -95,13 +95,36 @@ func (o *omWriter) counters(prefix string, samples []struct {
 	}
 }
 
+// metricsEntry is one stats source of a multi-engine scrape: shard is
+// the shard label value ("" = unlabeled — a solo engine, or the
+// aggregate samples of an EngineSet scrape).
+type metricsEntry struct {
+	shard string
+	st    Stats
+}
+
+// lbl renders the entry's engine-level label set ("" or {shard="k"}).
+func (m metricsEntry) lbl() string {
+	if m.shard == "" {
+		return ""
+	}
+	return labelSet("shard", m.shard)
+}
+
+// frag renders the entry's bare label fragment ("" or shard="k").
+func (m metricsEntry) frag() string {
+	if m.shard == "" {
+		return ""
+	}
+	return labelFrag("shard", m.shard)
+}
+
 var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
 
-// labelSet renders a {k="v",...} label set from alternating key/value
-// pairs.
-func labelSet(kv ...string) string {
+// labelFrag renders a bare k="v",... fragment from alternating key/value
+// pairs (no braces — composable into larger label sets).
+func labelFrag(kv ...string) string {
 	var b strings.Builder
-	b.WriteByte('{')
 	for i := 0; i+1 < len(kv); i += 2 {
 		if i > 0 {
 			b.WriteByte(',')
@@ -111,29 +134,64 @@ func labelSet(kv ...string) string {
 		b.WriteString(labelEscaper.Replace(kv[i+1]))
 		b.WriteString(`"`)
 	}
-	b.WriteByte('}')
 	return b.String()
 }
 
-// histogram emits an obs.HistSnapshot as a cumulative OpenMetrics
-// histogram in seconds (the snapshot's buckets are log2 nanoseconds).
-func (o *omWriter) histogram(name string, h obs.HistSnapshot) {
-	o.family(name, "histogram")
+// labelSet renders a {k="v",...} label set from alternating key/value
+// pairs.
+func labelSet(kv ...string) string {
+	return "{" + labelFrag(kv...) + "}"
+}
+
+// histogram emits one labeled obs.HistSnapshot sample set of a
+// cumulative OpenMetrics histogram in seconds (the snapshot's buckets
+// are log2 nanoseconds). extra is a comma-joined label fragment
+// (`shard="0"`) merged into each bucket's le label; the TYPE line is the
+// caller's job so several labeled sample sets can share one family.
+func (o *omWriter) histogram(name, extra string, h obs.HistSnapshot) {
+	sep := ""
+	if extra != "" {
+		sep = extra + ","
+	}
 	cum := uint64(0)
 	for _, b := range h.Buckets {
 		cum += b.Count
 		le := strconv.FormatFloat(float64(b.UpperNs)/1e9, 'g', -1, 64)
-		o.printf("%s_bucket{le=\"%s\"} %d\n", name, le, cum)
+		o.printf("%s_bucket{%sle=\"%s\"} %d\n", name, sep, le, cum)
 	}
-	o.printf("%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
-	o.printf("%s_sum %s\n", name, strconv.FormatFloat(float64(h.SumNs)/1e9, 'g', -1, 64))
-	o.printf("%s_count %d\n", name, h.Count)
+	o.printf("%s_bucket{%sle=\"+Inf\"} %d\n", name, sep, h.Count)
+	if extra != "" {
+		extra = "{" + extra + "}"
+	}
+	o.printf("%s_sum%s %s\n", name, extra, strconv.FormatFloat(float64(h.SumNs)/1e9, 'g', -1, 64))
+	o.printf("%s_count%s %d\n", name, extra, h.Count)
 }
 
 // WriteOpenMetrics renders one scrape of the engine's state as
 // OpenMetrics text (terminated by the mandatory # EOF).
 func (e *Engine) WriteOpenMetrics(w io.Writer) error {
-	st := e.Stats()
+	return writeOpenMetrics(w, []metricsEntry{{st: e.Stats()}}, nil)
+}
+
+// WriteOpenMetrics renders one scrape of the whole set: every family
+// carries the aggregate as unlabeled samples plus one shard="k" sample
+// per shard, so dashboards graph either view from the same scrape
+// without client-side summing. TYPE lines are emitted once per family
+// (a valid exposition — concatenating per-engine dumps would not be).
+func (s *Set) WriteOpenMetrics(w io.Writer) error {
+	st := s.Stats()
+	entries := make([]metricsEntry, 0, len(st.Shards)+1)
+	entries = append(entries, metricsEntry{st: st.Aggregate})
+	for i := range st.Shards {
+		entries = append(entries, metricsEntry{shard: strconv.Itoa(st.Shards[i].Shard), st: st.Shards[i].Stats})
+	}
+	return writeOpenMetrics(w, entries, &st)
+}
+
+// writeOpenMetrics is the shared encoder: one TYPE line per family, one
+// sample per entry (labeled with the entry's shard when set). set, when
+// non-nil, adds the set-level routing/stealing families.
+func writeOpenMetrics(w io.Writer, entries []metricsEntry, set *SetStats) error {
 	o := &omWriter{w: w}
 
 	bi := Build()
@@ -144,125 +202,155 @@ func (e *Engine) WriteOpenMetrics(w io.Writer) error {
 	o.family("iatf_gomaxprocs", "gauge")
 	o.gauge("iatf_gomaxprocs", "", float64(bi.GOMAXPROCS))
 
-	o.counters("iatf_plan_cache_", []struct {
+	counterFams := []struct {
 		name string
-		v    uint64
+		get  func(st *Stats) uint64
 	}{
-		{"hits", st.PlanHits}, {"misses", st.PlanMisses},
-		{"shared", st.PlanShared}, {"evictions", st.PlanEvictions},
-	})
-	o.family("iatf_plan_cache_entries", "gauge")
-	o.gauge("iatf_plan_cache_entries", "", float64(st.PlanEntries))
-
-	o.counters("iatf_pack_cache_", []struct {
-		name string
-		v    uint64
-	}{
-		{"hits", st.PackCache.Hits}, {"builds", st.PackCache.Builds},
-		{"evictions", st.PackCache.Evictions}, {"stale", st.PackCache.Stale},
-	})
-	o.family("iatf_pack_cache_entries", "gauge")
-	o.gauge("iatf_pack_cache_entries", "", float64(st.PackCache.Entries))
-
-	o.counters("iatf_queue_", []struct {
-		name string
-		v    uint64
-	}{
-		{"submitted", st.Queue.Submitted}, {"inline", st.Queue.Inline},
-		{"dispatches", st.Queue.Dispatches}, {"coalesced", st.Queue.Coalesced},
-		{"cancelled", st.Queue.Cancelled}, {"rejected", st.Queue.Rejected},
-	})
-	for _, g := range []struct {
-		name string
-		v    float64
-	}{
-		{"iatf_queue_depth", float64(st.Queue.Depth)},
-		{"iatf_queue_capacity", float64(st.Queue.Capacity)},
-		{"iatf_queue_depth_high_water", float64(st.Queue.DepthHighWater)},
-		{"iatf_queue_max_fused", float64(st.Queue.MaxFused)},
-	} {
-		o.family(g.name, "gauge")
-		o.gauge(g.name, "", g.v)
+		{"iatf_plan_cache_hits", func(st *Stats) uint64 { return st.PlanHits }},
+		{"iatf_plan_cache_misses", func(st *Stats) uint64 { return st.PlanMisses }},
+		{"iatf_plan_cache_shared", func(st *Stats) uint64 { return st.PlanShared }},
+		{"iatf_plan_cache_evictions", func(st *Stats) uint64 { return st.PlanEvictions }},
+		{"iatf_pack_cache_hits", func(st *Stats) uint64 { return st.PackCache.Hits }},
+		{"iatf_pack_cache_builds", func(st *Stats) uint64 { return st.PackCache.Builds }},
+		{"iatf_pack_cache_evictions", func(st *Stats) uint64 { return st.PackCache.Evictions }},
+		{"iatf_pack_cache_stale", func(st *Stats) uint64 { return st.PackCache.Stale }},
+		{"iatf_queue_submitted", func(st *Stats) uint64 { return st.Queue.Submitted }},
+		{"iatf_queue_inline", func(st *Stats) uint64 { return st.Queue.Inline }},
+		{"iatf_queue_dispatches", func(st *Stats) uint64 { return st.Queue.Dispatches }},
+		{"iatf_queue_coalesced", func(st *Stats) uint64 { return st.Queue.Coalesced }},
+		{"iatf_queue_cancelled", func(st *Stats) uint64 { return st.Queue.Cancelled }},
+		{"iatf_queue_rejected", func(st *Stats) uint64 { return st.Queue.Rejected }},
+		{"iatf_queue_stolen_batches", func(st *Stats) uint64 { return st.Queue.StolenBatches }},
+		{"iatf_queue_stolen_requests", func(st *Stats) uint64 { return st.Queue.StolenReqs }},
+		{"iatf_bufpool_gets", func(st *Stats) uint64 { return st.Buffers.Gets }},
+		{"iatf_bufpool_reuses", func(st *Stats) uint64 { return st.Buffers.Reuses }},
+		{"iatf_bufpool_allocs", func(st *Stats) uint64 { return st.Buffers.Allocs }},
+		{"iatf_bufpool_puts", func(st *Stats) uint64 { return st.Buffers.Puts }},
+		{"iatf_bufpool_oversize", func(st *Stats) uint64 { return st.Buffers.Oversize }},
+		{"iatf_bufpool_double_puts", func(st *Stats) uint64 { return st.Buffers.DoublePuts }},
+		{"iatf_sched_resizes", func(st *Stats) uint64 { return st.Sched.Resizes }},
+		{"iatf_sched_parallel_calls", func(st *Stats) uint64 { return st.Sched.ParallelCalls }},
+		{"iatf_sched_inline_calls", func(st *Stats) uint64 { return st.Sched.InlineCalls }},
+		{"iatf_sched_chunks", func(st *Stats) uint64 { return st.Sched.Chunks }},
+		{"iatf_sched_pool_shares", func(st *Stats) uint64 { return st.Sched.PoolShares }},
+		{"iatf_sched_overflow_runs", func(st *Stats) uint64 { return st.Sched.OverflowRuns }},
 	}
-	o.histogram("iatf_queue_wait_seconds", st.Queue.Wait)
+	for _, f := range counterFams {
+		o.family(f.name, "counter")
+		for i := range entries {
+			o.counter(f.name, entries[i].lbl(), f.get(&entries[i].st))
+		}
+	}
 
-	o.counters("iatf_bufpool_", []struct {
+	gaugeFams := []struct {
 		name string
-		v    uint64
+		get  func(st *Stats) float64
 	}{
-		{"gets", st.Buffers.Gets}, {"reuses", st.Buffers.Reuses},
-		{"allocs", st.Buffers.Allocs}, {"puts", st.Buffers.Puts},
-		{"oversize", st.Buffers.Oversize}, {"double_puts", st.Buffers.DoublePuts},
-	})
-	o.family("iatf_bufpool_in_use", "gauge")
-	o.gauge("iatf_bufpool_in_use", "", float64(st.Buffers.InUse))
+		{"iatf_plan_cache_entries", func(st *Stats) float64 { return float64(st.PlanEntries) }},
+		{"iatf_pack_cache_entries", func(st *Stats) float64 { return float64(st.PackCache.Entries) }},
+		{"iatf_queue_depth", func(st *Stats) float64 { return float64(st.Queue.Depth) }},
+		{"iatf_queue_capacity", func(st *Stats) float64 { return float64(st.Queue.Capacity) }},
+		{"iatf_queue_depth_high_water", func(st *Stats) float64 { return float64(st.Queue.DepthHighWater) }},
+		{"iatf_queue_max_fused", func(st *Stats) float64 { return float64(st.Queue.MaxFused) }},
+		{"iatf_bufpool_in_use", func(st *Stats) float64 { return float64(st.Buffers.InUse) }},
+		{"iatf_sched_workers", func(st *Stats) float64 { return float64(st.Sched.Workers) }},
+	}
+	for _, f := range gaugeFams {
+		o.family(f.name, "gauge")
+		for i := range entries {
+			o.gauge(f.name, entries[i].lbl(), f.get(&entries[i].st))
+		}
+	}
 
-	o.counters("iatf_sched_", []struct {
-		name string
-		v    uint64
-	}{
-		{"resizes", st.Sched.Resizes}, {"parallel_calls", st.Sched.ParallelCalls},
-		{"inline_calls", st.Sched.InlineCalls}, {"chunks", st.Sched.Chunks},
-		{"pool_shares", st.Sched.PoolShares}, {"overflow_runs", st.Sched.OverflowRuns},
-	})
-	o.family("iatf_sched_workers", "gauge")
-	o.gauge("iatf_sched_workers", "", float64(st.Sched.Workers))
+	o.family("iatf_queue_wait_seconds", "histogram")
+	for i := range entries {
+		o.histogram("iatf_queue_wait_seconds", entries[i].frag(), entries[i].st.Queue.Wait)
+	}
 
+	// The streaming pipeline is process-wide state, identical in every
+	// entry: one unlabeled sample from the first.
+	pipe := entries[0].st.Pipeline
 	o.counters("iatf_pipeline_", []struct {
 		name string
 		v    uint64
 	}{
-		{"chunks", st.Pipeline.Chunks}, {"stalls", st.Pipeline.Stalls},
-		{"fallbacks", st.Pipeline.Fallbacks},
+		{"chunks", pipe.Chunks}, {"stalls", pipe.Stalls},
+		{"fallbacks", pipe.Fallbacks},
 	})
 	o.family("iatf_pipeline_packers", "gauge")
-	o.gauge("iatf_pipeline_packers", "", float64(st.Pipeline.Packers))
+	o.gauge("iatf_pipeline_packers", "", float64(pipe.Packers))
+
+	if set != nil {
+		o.family("iatf_set_shards", "gauge")
+		o.gauge("iatf_set_shards", "", float64(len(set.Shards)))
+		o.family("iatf_set_fallbacks", "counter")
+		o.counter("iatf_set_fallbacks", "", set.Fallbacks)
+		o.family("iatf_set_fallback_rejects", "counter")
+		o.counter("iatf_set_fallback_rejects", "", set.FallbackRejects)
+		o.family("iatf_set_routed", "counter")
+		for i := range set.Shards {
+			o.counter("iatf_set_routed", labelSet("shard", strconv.Itoa(set.Shards[i].Shard)), set.Shards[i].Routed)
+		}
+	}
 
 	// Per-shape series: counters and the achieved-vs-ceiling view, one
-	// sample per shape under shared families.
+	// sample per (entry, shape) under shared families. Shard-labeled
+	// entries merge shard into the shape label set; the aggregate's
+	// merged shapes stay unlabeled.
+	type shapeRef struct {
+		labels string
+		snap   *obs.ShapeSnapshot
+	}
+	var shapes []shapeRef
+	for ei := range entries {
+		en := &entries[ei]
+		for si := range en.st.Shapes {
+			sn := &en.st.Shapes[si]
+			shape := fmt.Sprintf("%dx%d", sn.M, sn.N)
+			if sn.K > 0 {
+				shape += fmt.Sprintf("x%d", sn.K)
+			}
+			frag := labelFrag("op", sn.Op, "dtype", sn.DType, "mode", sn.Mode, "shape", shape)
+			if ef := en.frag(); ef != "" {
+				frag = ef + "," + frag
+			}
+			shapes = append(shapes, shapeRef{labels: "{" + frag + "}", snap: sn})
+		}
+	}
 	shapeCounters := []struct {
 		name string
-		get  func(i int) uint64
+		get  func(s *obs.ShapeSnapshot) uint64
 	}{
-		{"iatf_shape_calls", func(i int) uint64 { return st.Shapes[i].Calls }},
-		{"iatf_shape_errors", func(i int) uint64 { return st.Shapes[i].Errors }},
-		{"iatf_shape_plan_hits", func(i int) uint64 { return st.Shapes[i].PlanHits }},
-		{"iatf_shape_plan_misses", func(i int) uint64 { return st.Shapes[i].PlanMisses }},
-		{"iatf_shape_plan_shared", func(i int) uint64 { return st.Shapes[i].PlanShared }},
-		{"iatf_shape_prepack_hits", func(i int) uint64 { return st.Shapes[i].PrepackHits }},
-		{"iatf_shape_prepack_builds", func(i int) uint64 { return st.Shapes[i].PrepackBuilds }},
-	}
-	labels := make([]string, len(st.Shapes))
-	for i := range st.Shapes {
-		s := &st.Shapes[i]
-		shape := fmt.Sprintf("%dx%d", s.M, s.N)
-		if s.K > 0 {
-			shape += fmt.Sprintf("x%d", s.K)
-		}
-		labels[i] = labelSet("op", s.Op, "dtype", s.DType, "mode", s.Mode, "shape", shape)
+		{"iatf_shape_calls", func(s *obs.ShapeSnapshot) uint64 { return s.Calls }},
+		{"iatf_shape_errors", func(s *obs.ShapeSnapshot) uint64 { return s.Errors }},
+		{"iatf_shape_plan_hits", func(s *obs.ShapeSnapshot) uint64 { return s.PlanHits }},
+		{"iatf_shape_plan_misses", func(s *obs.ShapeSnapshot) uint64 { return s.PlanMisses }},
+		{"iatf_shape_plan_shared", func(s *obs.ShapeSnapshot) uint64 { return s.PlanShared }},
+		{"iatf_shape_prepack_hits", func(s *obs.ShapeSnapshot) uint64 { return s.PrepackHits }},
+		{"iatf_shape_prepack_builds", func(s *obs.ShapeSnapshot) uint64 { return s.PrepackBuilds }},
 	}
 	for _, c := range shapeCounters {
 		o.family(c.name, "counter")
-		for i := range st.Shapes {
-			o.counter(c.name, labels[i], c.get(i))
+		for _, sr := range shapes {
+			o.counter(c.name, sr.labels, c.get(sr.snap))
 		}
 	}
 	shapeGauges := []struct {
 		name string
-		get  func(i int) float64
+		get  func(s *obs.ShapeSnapshot) float64
 	}{
-		{"iatf_shape_latency_p50_seconds", func(i int) float64 { return st.Shapes[i].P50.Seconds() }},
-		{"iatf_shape_latency_p99_seconds", func(i int) float64 { return st.Shapes[i].P99.Seconds() }},
-		{"iatf_shape_avg_gflops", func(i int) float64 { return st.Shapes[i].AvgGFLOPS }},
-		{"iatf_shape_best_gflops", func(i int) float64 { return st.Shapes[i].BestGFLOPS }},
-		{"iatf_shape_ceiling_gflops", func(i int) float64 { return st.Shapes[i].CeilingGFLOPS }},
-		{"iatf_shape_workers", func(i int) float64 { return float64(st.Shapes[i].Workers) }},
-		{"iatf_shape_groups_per_batch", func(i int) float64 { return float64(st.Shapes[i].GroupsPerBatch) }},
+		{"iatf_shape_latency_p50_seconds", func(s *obs.ShapeSnapshot) float64 { return s.P50.Seconds() }},
+		{"iatf_shape_latency_p99_seconds", func(s *obs.ShapeSnapshot) float64 { return s.P99.Seconds() }},
+		{"iatf_shape_avg_gflops", func(s *obs.ShapeSnapshot) float64 { return s.AvgGFLOPS }},
+		{"iatf_shape_best_gflops", func(s *obs.ShapeSnapshot) float64 { return s.BestGFLOPS }},
+		{"iatf_shape_ceiling_gflops", func(s *obs.ShapeSnapshot) float64 { return s.CeilingGFLOPS }},
+		{"iatf_shape_workers", func(s *obs.ShapeSnapshot) float64 { return float64(s.Workers) }},
+		{"iatf_shape_groups_per_batch", func(s *obs.ShapeSnapshot) float64 { return float64(s.GroupsPerBatch) }},
 	}
 	for _, g := range shapeGauges {
 		o.family(g.name, "gauge")
-		for i := range st.Shapes {
-			o.gauge(g.name, labels[i], g.get(i))
+		for _, sr := range shapes {
+			o.gauge(g.name, sr.labels, g.get(sr.snap))
 		}
 	}
 
@@ -277,6 +365,17 @@ func (e *Engine) MetricsHandler() http.Handler {
 		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
 		if err := e.WriteOpenMetrics(w); err != nil {
 			// Headers are already out; nothing recoverable mid-stream.
+			return
+		}
+	})
+}
+
+// MetricsHandler returns an http.Handler serving the set's per-shard +
+// aggregate WriteOpenMetrics — mountable at /metrics.
+func (s *Set) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		if err := s.WriteOpenMetrics(w); err != nil {
 			return
 		}
 	})

@@ -70,6 +70,15 @@ type PackCacheStats struct {
 	Entries   int
 }
 
+// Add accumulates another cache's counters into s (EngineSet aggregate).
+func (s *PackCacheStats) Add(o PackCacheStats) {
+	s.Hits += o.Hits
+	s.Builds += o.Builds
+	s.Evictions += o.Evictions
+	s.Stale += o.Stale
+	s.Entries += o.Entries
+}
+
 func (pc *packCache) snapshot() PackCacheStats {
 	pc.mu.Lock()
 	defer pc.mu.Unlock()
@@ -157,9 +166,10 @@ func buildPacked[E vec.Float](e *Engine, key packKey, length int, build func([]E
 	pc.builds++
 	pc.mu.Unlock()
 
-	buf := bufpool.Get[E](length)
+	buf := bufpool.Get[E](e.rt.Bufs, length)
 	data := buf.Slice()[:length]
-	ent.put = func() { bufpool.Put(buf) }
+	pool := e.rt.Bufs
+	ent.put = func() { bufpool.Put(pool, buf) }
 	ent.err = build(data)
 	if ent.err == nil {
 		ent.data = data

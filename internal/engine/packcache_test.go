@@ -5,7 +5,6 @@ import (
 	"sync"
 	"testing"
 
-	"iatf/internal/bufpool"
 	"iatf/internal/core"
 	"iatf/internal/vec"
 )
@@ -184,14 +183,14 @@ func TestPackCacheEvictionKeepsLiveReference(t *testing.T) {
 	if s := e.packs.snapshot(); s.Evictions == 0 {
 		t.Fatal("flood did not evict")
 	}
-	before := bufpool.Snapshot().Puts
+	before := e.rt.Bufs.Snapshot().Puts
 	for i := range data {
 		if data[i] != 77 {
 			t.Fatalf("evicted-but-held image corrupted at %d: %v", i, data[i])
 		}
 	}
 	e.packs.release(held)
-	if after := bufpool.Snapshot().Puts; after <= before {
+	if after := e.rt.Bufs.Snapshot().Puts; after <= before {
 		t.Fatalf("final release did not return the buffer: puts %d -> %d", before, after)
 	}
 }

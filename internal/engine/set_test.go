@@ -1,0 +1,421 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"iatf/internal/core"
+	"iatf/internal/layout"
+	"iatf/internal/matrix"
+)
+
+// setOperands builds a small pool of compact batches keyed by shape so
+// the routing tests can hash thousands of identities without allocating
+// thousands of batches.
+type setOperands struct {
+	rng   *rand.Rand
+	cache map[[2]int]*layout.Compact[float32]
+}
+
+func newSetOperands(seed int64) *setOperands {
+	return &setOperands{rng: rand.New(rand.NewSource(seed)), cache: map[[2]int]*layout.Compact[float32]{}}
+}
+
+func (so *setOperands) get(rows, cols int) Operand {
+	k := [2]int{rows, cols}
+	c, ok := so.cache[k]
+	if !ok {
+		c = randCompact(so.rng, 4, rows, cols)
+		so.cache[k] = c
+	}
+	return op32(c)
+}
+
+// TestSetRoutingStability drives 10k pseudo-random problem identities
+// through the router and asserts (a) routing is deterministic, (b) it
+// ignores scalars and the worker request (plan and pack geometry ignore
+// them, so they must not split an identity across shards), (c) every
+// shard of a 4-way set receives a reasonable share, and (d) growing the
+// set relocates only a minority of keys (jump consistent hashing).
+func TestSetRoutingStability(t *testing.T) {
+	s := NewSet(core.DefaultTuning(), 4)
+	so := newSetOperands(70)
+	rng := rand.New(rand.NewSource(71))
+
+	const keys = 10000
+	counts := make([]int, 4)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		kind := []OpKind{OpGEMM, OpTRSM, OpTRMM, OpSYRK}[rng.Intn(4)]
+		op := OpDesc{
+			Kind:   kind,
+			TransA: matrix.Trans(rng.Intn(2)), TransB: matrix.Trans(rng.Intn(2)),
+			Side: matrix.Side(rng.Intn(2)), Uplo: matrix.Uplo(rng.Intn(2)), Diag: matrix.Diag(rng.Intn(2)),
+			Alpha: complex(rng.Float64(), 0), Beta: complex(rng.Float64(), 0),
+			Workers: rng.Intn(8),
+		}
+		m, n, k := 1+rng.Intn(16), 1+rng.Intn(16), 1+rng.Intn(16)
+		var ops []Operand
+		switch kind {
+		case OpGEMM:
+			ops = []Operand{so.get(m, k), so.get(k, n), so.get(m, n)}
+		case OpTRSM, OpTRMM:
+			ops = []Operand{so.get(m, m), so.get(m, n)}
+		case OpSYRK:
+			ops = []Operand{so.get(n, k), so.get(n, n)}
+		}
+
+		sh := s.route(op, ops)
+		if again := s.route(op, ops); again != sh {
+			t.Fatalf("key %d: route not deterministic: %d then %d", i, sh, again)
+		}
+		// Scalars and workers must not move the key.
+		op2 := op
+		op2.Alpha, op2.Beta, op2.Workers = complex(9, 0), complex(-3, 0), 99
+		if s.route(op2, ops) != sh {
+			t.Fatalf("key %d: scalars/workers changed the route", i)
+		}
+		counts[sh]++
+		if jumpHash(routeHash(op, ops), 5) != sh {
+			moved++
+		}
+	}
+	for sh, c := range counts {
+		if c < keys/10 {
+			t.Errorf("shard %d received %d of %d keys — router is badly skewed: %v", sh, c, keys, counts)
+		}
+	}
+	// Going 4 -> 5 shards should relocate ~1/5 of the keys, not ~4/5
+	// (the modulo-hash failure mode).
+	if moved > keys*35/100 {
+		t.Errorf("growing 4 -> 5 shards moved %d/%d keys, want ~20%%", moved, keys)
+	}
+}
+
+// setHomeGEMM probes GEMM square sizes until one routes to the wanted
+// shard, returning the descriptor and fresh operands for it.
+func setHomeGEMM(t *testing.T, s *Set, rng *rand.Rand, want, count int) (OpDesc, func() (a, b, c *layout.Compact[float32])) {
+	t.Helper()
+	desc := OpDesc{Kind: OpGEMM, Alpha: 1, Beta: 1, Workers: 1}
+	for n := 3; n < 64; n++ {
+		a, b, c := gemmReqOperands(rng, count, n, n, n)
+		if s.route(desc, []Operand{op32(a), op32(b), op32(c)}) == want {
+			size := n
+			return desc, func() (a, b, c *layout.Compact[float32]) {
+				return gemmReqOperands(rng, count, size, size, size)
+			}
+		}
+	}
+	t.Fatalf("no GEMM size routes to shard %d", want)
+	return desc, nil
+}
+
+// parkOccupier submits same-identity occupiers until the target shard's
+// dispatcher drains one and parks in its test hook. holdDispatcher
+// forces the busy flag (to defeat the inline path), which also marks
+// the shard an eligible steal victim — so a lone queued occupier can
+// lose the race to an idle sibling's poller. A stolen occupier simply
+// resolves on the thief; retry until the home dispatcher wins one.
+func parkOccupier(t *testing.T, s *Set, desc OpDesc, mk func() (a, b, c *layout.Compact[float32]), entered chan int) (f *Future, occs int) {
+	t.Helper()
+	ctx := context.Background()
+	for try := 0; try < 100; try++ {
+		a, b, c := mk()
+		f, err := s.Submit(ctx, desc, op32(a), op32(b), op32(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		occs++
+		select {
+		case <-entered:
+			return f, occs
+		case <-f.Done():
+			if err := f.Err(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	t.Fatal("dispatcher never parked: the sibling stole every occupier")
+	return nil, occs
+}
+
+// TestSetStealParity parks the home shard's dispatcher, queues a burst
+// of same-identity requests behind it, and asserts the idle sibling
+// steals and executes them — with results bit-identical to serial
+// direct runs on a reference engine, and the theft visible in the
+// thief's stolen counters.
+func TestSetStealParity(t *testing.T) {
+	s := NewSet(core.DefaultTuning(), 2)
+	ref := New(core.DefaultTuning())
+	rng := rand.New(rand.NewSource(72))
+
+	const home = 0
+	desc, mk := setHomeGEMM(t, s, rng, home, 13)
+	entered, gate := holdDispatcher(s.engines[home])
+
+	ctx := context.Background()
+	// Occupier: starts every dispatcher (the set's first Submit), is
+	// drained by the home dispatcher, and parks it in the test hook.
+	f0, occs := parkOccupier(t, s, desc, mk, entered)
+
+	const N = 6
+	var futs [N]*Future
+	var cs, want [N]*layout.Compact[float32]
+	for i := 0; i < N; i++ {
+		a, b, c := mk()
+		want[i] = c.Clone()
+		if err := ref.Run(desc, op32(a), op32(b), op32(want[i])); err != nil {
+			t.Fatal(err)
+		}
+		cs[i] = c
+		var err error
+		if futs[i], err = s.Submit(ctx, desc, op32(a), op32(b), op32(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Only the sibling can resolve these: the home dispatcher is parked.
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < N; i++ {
+		select {
+		case <-futs[i].Done():
+			if err := futs[i].Err(); err != nil {
+				t.Fatal(err)
+			}
+		case <-deadline:
+			t.Fatalf("request %d not stolen within deadline (home dispatcher parked)", i)
+		}
+	}
+	for i := 0; i < N; i++ {
+		for j := range cs[i].Data {
+			if cs[i].Data[j] != want[i].Data[j] {
+				t.Fatalf("stolen request %d diverges from serial run at element %d: %g != %g",
+					i, j, cs[i].Data[j], want[i].Data[j])
+			}
+		}
+	}
+
+	thief := s.engines[1].Stats().Queue
+	if thief.StolenBatches == 0 || thief.StolenReqs == 0 {
+		t.Errorf("thief shard shows no theft: batches=%d reqs=%d", thief.StolenBatches, thief.StolenReqs)
+	}
+	if max := uint64(N + occs - 1); thief.StolenReqs > max {
+		t.Errorf("thief stole %d requests, only %d were queued", thief.StolenReqs, max)
+	}
+
+	close(gate)
+	if err := f0.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The set aggregate must account for every submission once.
+	agg := s.Stats()
+	if got := agg.Aggregate.Queue.Submitted; got != uint64(N+occs) {
+		t.Errorf("aggregate submitted = %d, want %d", got, N+occs)
+	}
+	if agg.Aggregate.Queue.StolenReqs != thief.StolenReqs {
+		t.Errorf("aggregate stolen reqs = %d, want %d", agg.Aggregate.Queue.StolenReqs, thief.StolenReqs)
+	}
+}
+
+// TestSetQueueFullFallback fills the home shard's one-slot queue with
+// both dispatchers parked and asserts the next submission falls back to
+// the sibling (counted, no error) and the one after that — with both
+// queues full — surfaces ErrQueueFull with the reject counted.
+func TestSetQueueFullFallback(t *testing.T) {
+	s := NewSet(core.DefaultTuning(), 2)
+	rng := rand.New(rand.NewSource(73))
+
+	// Capacity must be settable after NewSet (dispatchers are lazy)...
+	for i := range s.engines {
+		if err := s.engines[i].SetQueueCapacity(1); err != nil {
+			t.Fatalf("SetQueueCapacity before first Submit: %v", err)
+		}
+	}
+
+	desc0, mk0 := setHomeGEMM(t, s, rng, 0, 8)
+	desc1, mk1 := setHomeGEMM(t, s, rng, 1, 8)
+	entered0, gate0 := holdDispatcher(s.engines[0])
+	entered1, gate1 := holdDispatcher(s.engines[1])
+
+	ctx := context.Background()
+	submit := func(desc OpDesc, mk func() (a, b, c *layout.Compact[float32])) (*Future, error) {
+		a, b, c := mk()
+		return s.Submit(ctx, desc, op32(a), op32(b), op32(c))
+	}
+
+	// Park both dispatchers, each on an occupier routed to it (retrying
+	// occupiers the other shard's poller steals first).
+	occ0, _ := parkOccupier(t, s, desc0, mk0, entered0)
+	occ1, _ := parkOccupier(t, s, desc1, mk1, entered1)
+
+	// ...and must be rejected once the dispatchers are live.
+	if err := s.engines[0].SetQueueCapacity(64); !errors.Is(err, ErrQueueStarted) {
+		t.Fatalf("SetQueueCapacity after start: err = %v, want ErrQueueStarted", err)
+	}
+
+	// Fill home (shard 0): one slot.
+	q1, err := submit(desc0, mk0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Home full -> sibling fallback, no error.
+	q2, err := submit(desc0, mk0)
+	if err != nil {
+		t.Fatalf("fallback submission failed: %v", err)
+	}
+	if got := s.Stats().Fallbacks; got != 1 {
+		t.Errorf("fallbacks = %d, want 1", got)
+	}
+	// Both full -> typed backpressure.
+	if _, err := submit(desc0, mk0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("both-full submission: err = %v, want ErrQueueFull", err)
+	}
+	st := s.Stats()
+	if st.FallbackRejects != 1 {
+		t.Errorf("fallback rejects = %d, want 1", st.FallbackRejects)
+	}
+
+	close(gate0)
+	close(gate1)
+	for _, f := range []*Future{occ0, occ1, q1, q2} {
+		if err := f.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSetShardIsolation: traffic on one shard must not move a sibling
+// shard's caches or counters — each shard owns its runtime wholesale.
+func TestSetShardIsolation(t *testing.T) {
+	s := NewSet(core.DefaultTuning(), 2)
+	rng := rand.New(rand.NewSource(74))
+	desc, mk := setHomeGEMM(t, s, rng, 0, 8)
+
+	before := s.engines[1].Stats()
+	for i := 0; i < 4; i++ {
+		a, b, c := mk()
+		if err := s.Run(desc, op32(a), op32(b), op32(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after0 := s.engines[0].Stats()
+	after1 := s.engines[1].Stats()
+	if after0.PlanHits+after0.PlanMisses == 0 {
+		t.Error("home shard saw no plan traffic")
+	}
+	if after1.PlanHits != before.PlanHits || after1.PlanMisses != before.PlanMisses ||
+		after1.PlanEntries != before.PlanEntries {
+		t.Errorf("idle sibling's plan cache moved: %+v -> %+v", before.PlanEntries, after1.PlanEntries)
+	}
+	if after1.Buffers.Gets != before.Buffers.Gets {
+		t.Errorf("idle sibling's buffer pool moved: gets %d -> %d", before.Buffers.Gets, after1.Buffers.Gets)
+	}
+	if len(s.Stats().Shards) != 2 {
+		t.Fatal("SetStats missing shards")
+	}
+}
+
+// TestSetShapeShardLabels: per-shard snapshots carry their shard index,
+// the aggregate merges same-identity series across shards, and a solo
+// engine stays unlabeled (-1).
+func TestSetShapeShardLabels(t *testing.T) {
+	s := NewSet(core.DefaultTuning(), 2)
+	rng := rand.New(rand.NewSource(75))
+	desc, mk := setHomeGEMM(t, s, rng, 1, 8)
+	a, b, c := mk()
+	if err := s.Run(desc, op32(a), op32(b), op32(c)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	found := false
+	for _, sh := range st.Shards[1].Shapes {
+		if sh.Op == "GEMM" {
+			if sh.Shard != 1 {
+				t.Errorf("shard 1 snapshot labeled %d", sh.Shard)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("home shard's shape series missing the GEMM")
+	}
+	if len(st.Aggregate.Shapes) == 0 {
+		t.Fatal("aggregate shapes empty")
+	}
+	for _, sh := range st.Aggregate.Shapes {
+		if sh.Shard != -1 {
+			t.Errorf("aggregate snapshot carries shard %d, want -1 (merged)", sh.Shard)
+		}
+	}
+
+	solo := New(core.DefaultTuning())
+	a2, b2, c2 := gemmReqOperands(rng, 8, 4, 4, 4)
+	if err := solo.Run(OpDesc{Kind: OpGEMM, Alpha: 1, Beta: 1, Workers: 1}, op32(a2), op32(b2), op32(c2)); err != nil {
+		t.Fatal(err)
+	}
+	for _, sh := range solo.Stats().Shapes {
+		if sh.Shard != -1 {
+			t.Errorf("solo engine snapshot labeled shard %d, want -1", sh.Shard)
+		}
+	}
+}
+
+// TestSetAggregateShapesMath checks the merge rules of AggregateShapes
+// through the set surface: calls sum, AvgGFLOPS stays call-weighted and
+// quantiles take the per-shard max (documented conservative).
+func TestSetAggregateShapesMath(t *testing.T) {
+	s := NewSet(core.DefaultTuning(), 2)
+	rng := rand.New(rand.NewSource(76))
+	desc, mk := setHomeGEMM(t, s, rng, 0, 8)
+	const calls = 3
+	for i := 0; i < calls; i++ {
+		a, b, c := mk()
+		if err := s.Run(desc, op32(a), op32(b), op32(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	var total uint64
+	for _, shard := range st.Shards {
+		for _, sh := range shard.Shapes {
+			total += sh.Calls
+		}
+	}
+	var aggTotal uint64
+	for _, sh := range st.Aggregate.Shapes {
+		aggTotal += sh.Calls
+	}
+	if total != calls || aggTotal != calls {
+		t.Errorf("calls: per-shard %d, aggregate %d, want %d", total, aggTotal, calls)
+	}
+}
+
+// TestSetRunParity: the same problem produces bit-identical results
+// through a Set and through a solo engine (identity-affine routing must
+// not change numerics), for every dtype.
+func TestSetRunParity(t *testing.T) {
+	s := NewSet(core.DefaultTuning(), 3)
+	solo := New(core.DefaultTuning())
+	rng := rand.New(rand.NewSource(77))
+	desc := OpDesc{Kind: OpGEMM, Alpha: complex(1.25, 0), Beta: complex(0.5, 0), Workers: 1}
+
+	for _, dim := range [][3]int{{4, 4, 4}, {6, 5, 7}, {12, 9, 3}} {
+		a, b, c := gemmReqOperands(rng, 11, dim[0], dim[1], dim[2])
+		want := c.Clone()
+		if err := solo.Run(desc, op32(a), op32(b), op32(want)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(desc, op32(a), op32(b), op32(c)); err != nil {
+			t.Fatal(err)
+		}
+		for j := range c.Data {
+			if c.Data[j] != want.Data[j] {
+				t.Fatalf("%v: set result diverges at %d", dim, j)
+			}
+		}
+	}
+}

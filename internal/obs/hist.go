@@ -51,6 +51,18 @@ type HistSnapshot struct {
 	Buckets []HistBucket  `json:"buckets,omitempty"`
 }
 
+// Reset zeroes the histogram — used by windowed monitoring resets. It is
+// not atomic with respect to concurrent Observe calls: an observation
+// racing the reset may survive partially (count without its bucket),
+// which windowed consumers tolerate.
+func (h *Hist) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
 // Snapshot returns the current histogram state.
 func (h *Hist) Snapshot() HistSnapshot {
 	var counts [histBuckets]uint64
@@ -72,4 +84,39 @@ func (h *Hist) Snapshot() HistSnapshot {
 			UpperNs: uint64(1) << uint(i), Count: counts[i]})
 	}
 	return snap
+}
+
+// Add merges another snapshot into s — the cross-shard aggregate view of
+// an EngineSet's queue-wait histograms. Buckets are summed by bound and
+// the quantiles recomputed from the merged distribution.
+func (s *HistSnapshot) Add(o HistSnapshot) {
+	var counts [histBuckets]uint64
+	fill := func(h HistSnapshot) {
+		for _, b := range h.Buckets {
+			i := bits.Len64(b.UpperNs) - 1
+			if i < 0 {
+				i = 0
+			}
+			if i >= histBuckets {
+				i = histBuckets - 1
+			}
+			counts[i] += b.Count
+		}
+	}
+	fill(*s)
+	fill(o)
+	s.Count += o.Count
+	s.SumNs += o.SumNs
+	s.P50 = histQuantile(&counts, 0.50)
+	s.P99 = histQuantile(&counts, 0.99)
+	s.Buckets = s.Buckets[:0]
+	last := -1
+	for i := range counts {
+		if counts[i] > 0 {
+			last = i
+		}
+	}
+	for i := 0; i <= last; i++ {
+		s.Buckets = append(s.Buckets, HistBucket{UpperNs: uint64(1) << uint(i), Count: counts[i]})
+	}
 }

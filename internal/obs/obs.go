@@ -199,6 +199,11 @@ func histQuantile(counts *[histBuckets]uint64, q float64) time.Duration {
 // ShapeSnapshot is a point-in-time view of one Series, JSON-exportable.
 type ShapeSnapshot struct {
 	ShapeKey
+
+	// Shard is the EngineSet shard the series was recorded on
+	// (-1 = not shard-attached, including the merged aggregate view).
+	Shard int `json:"shard"`
+
 	Calls  uint64 `json:"calls"`
 	Errors uint64 `json:"errors,omitempty"`
 
@@ -263,6 +268,10 @@ type Registry struct {
 	mu sync.RWMutex
 	m  map[ShapeKey]*Series
 
+	// shard is the EngineSet shard label stamped onto snapshots
+	// (-1 = not shard-attached).
+	shard atomic.Int64
+
 	trace      atomic.Pointer[traceCfg]
 	traceCalls atomic.Uint64
 	forced     atomic.Int64
@@ -276,8 +285,18 @@ type Registry struct {
 
 // NewRegistry constructs an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{m: make(map[ShapeKey]*Series)}
+	r := &Registry{m: make(map[ShapeKey]*Series)}
+	r.shard.Store(-1)
+	return r
 }
+
+// SetShard labels the registry with its EngineSet shard index; every
+// snapshot taken afterwards carries it, so cross-shard dumps stay
+// attributable after merging.
+func (r *Registry) SetShard(k int) { r.shard.Store(int64(k)) }
+
+// Shard returns the registry's shard label (-1 = not shard-attached).
+func (r *Registry) Shard() int { return int(r.shard.Load()) }
 
 // Reset drops every per-shape series and the SnapshotDelta baseline, so
 // a long-running process can bound the registry's footprint (e.g. after
@@ -315,10 +334,13 @@ func (r *Registry) Series(key ShapeKey) *Series {
 // Snapshot returns a point-in-time view of every observed shape, ordered
 // by call count descending (ties broken by key for determinism).
 func (r *Registry) Snapshot() []ShapeSnapshot {
+	shard := int(r.shard.Load())
 	r.mu.RLock()
 	out := make([]ShapeSnapshot, 0, len(r.m))
 	for key, s := range r.m {
-		out = append(out, s.snapshot(key))
+		snap := s.snapshot(key)
+		snap.Shard = shard
+		out = append(out, snap)
 	}
 	r.mu.RUnlock()
 	sortSnapshots(out)
@@ -410,6 +432,7 @@ func (r *Registry) SnapshotDelta() []ShapeSnapshot {
 		}
 		snap := ShapeSnapshot{
 			ShapeKey:   p.key,
+			Shard:      int(r.shard.Load()),
 			Calls:      cur.calls - prev.calls,
 			Errors:     cur.errors - prev.errors,
 			PlanHits:   cur.hits - prev.hits,
@@ -432,6 +455,73 @@ func (r *Registry) SnapshotDelta() []ShapeSnapshot {
 			snap.AvgGFLOPS = float64(cur.flops-prev.flops) / (float64(ns) / 1e9) / 1e9
 		}
 		out = append(out, snap)
+	}
+	sortSnapshots(out)
+	return out
+}
+
+// AggregateShapes merges per-shard snapshot lists into one cross-shard
+// view keyed by shape alone: counters sum, AvgGFLOPS is call-weighted,
+// Best/Ceiling take the max, and the latency quantiles take the max
+// across shards (conservative — per-shard histograms are not exported,
+// so the merged quantile reads as "no shard was slower than this").
+// The merged rows carry Shard = -1 and the plan descriptor of the
+// busiest shard for each shape.
+func AggregateShapes(perShard ...[]ShapeSnapshot) []ShapeSnapshot {
+	type agg struct {
+		snap     ShapeSnapshot
+		maxCalls uint64
+		flopsW   float64 // sum(AvgGFLOPS_i * calls_i)
+	}
+	m := make(map[ShapeKey]*agg)
+	var order []ShapeKey
+	for _, shard := range perShard {
+		for _, s := range shard {
+			a := m[s.ShapeKey]
+			if a == nil {
+				a = &agg{snap: s, maxCalls: s.Calls, flopsW: s.AvgGFLOPS * float64(s.Calls)}
+				a.snap.Shard = -1
+				m[s.ShapeKey] = a
+				order = append(order, s.ShapeKey)
+				continue
+			}
+			t := &a.snap
+			t.Calls += s.Calls
+			t.Errors += s.Errors
+			t.PlanHits += s.PlanHits
+			t.PlanMisses += s.PlanMisses
+			t.PlanShared += s.PlanShared
+			t.PrepackHits += s.PrepackHits
+			t.PrepackBuilds += s.PrepackBuilds
+			a.flopsW += s.AvgGFLOPS * float64(s.Calls)
+			if s.P50 > t.P50 {
+				t.P50 = s.P50
+			}
+			if s.P99 > t.P99 {
+				t.P99 = s.P99
+			}
+			if s.BestGFLOPS > t.BestGFLOPS {
+				t.BestGFLOPS = s.BestGFLOPS
+			}
+			if s.CeilingGFLOPS > t.CeilingGFLOPS {
+				t.CeilingGFLOPS = s.CeilingGFLOPS
+			}
+			if s.Workers > t.Workers {
+				t.Workers = s.Workers
+			}
+			if s.Calls > a.maxCalls {
+				a.maxCalls = s.Calls
+				t.Pack, t.GroupsPerBatch = s.Pack, s.GroupsPerBatch
+			}
+		}
+	}
+	out := make([]ShapeSnapshot, 0, len(order))
+	for _, k := range order {
+		a := m[k]
+		if a.snap.Calls > 0 {
+			a.snap.AvgGFLOPS = a.flopsW / float64(a.snap.Calls)
+		}
+		out = append(out, a.snap)
 	}
 	sortSnapshots(out)
 	return out

@@ -1,12 +1,18 @@
-// Package sched is the process-wide persistent worker pool behind every
-// parallel entry point of the library. The paper's run-time stage assumes
+// Package sched provides persistent worker pools behind every parallel
+// entry point of the library. The paper's run-time stage assumes
 // dispatch is near-free; spawning goroutines per call is not, so a fixed
-// set of workers (one per GOMAXPROCS) is started once and parallel calls
-// are split into super-batch-sized chunks that idle workers pull off a
-// shared index — dynamic self-scheduling, so a slow worker never strands
-// work the way a static split does.
+// set of workers is started once per Pool and parallel calls are split
+// into super-batch-sized chunks that idle workers pull off a shared
+// index — dynamic self-scheduling, so a slow worker never strands work
+// the way a static split does.
 //
-// The pool tracks GOMAXPROCS: every parallel call re-reads it and, when
+// All state lives in Pool instances — the package has no globals. Each
+// engine owns one Pool (via core.Runtime): a sharded EngineSet therefore
+// gets strictly isolated worker fleets, and SetMaxWorkers lets the set
+// place shards NUMA-style by capping each shard's fleet at its core
+// budget instead of letting every shard claim the whole machine.
+//
+// A pool tracks GOMAXPROCS: every parallel call re-reads it and, when
 // it changed (cgroup resize, runtime.GOMAXPROCS call), grows the pool
 // with fresh workers or retires the surplus — the pool never stays
 // permanently mis-sized for the machine it is running on.
@@ -24,10 +30,13 @@ import (
 	"sync/atomic"
 )
 
-var (
-	poolMu   sync.Mutex
+// Pool is one persistent worker pool. The zero value is ready to use;
+// all methods are safe for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
 	jobs     chan func()
 	poolSize atomic.Int64 // current (intended) worker count; 0 before first use
+	maxSize  atomic.Int64 // SetMaxWorkers cap; 0 = uncapped (GOMAXPROCS)
 
 	parallelCalls atomic.Uint64
 	inlineCalls   atomic.Uint64
@@ -35,17 +44,47 @@ var (
 	poolShares    atomic.Uint64
 	overflowRuns  atomic.Uint64
 	poolResizes   atomic.Uint64
-)
+}
 
-// Stats is a snapshot of the pool's lifetime counters.
+// NewPool returns an empty, independent worker pool. Workers are started
+// lazily by the first parallel Run.
+func NewPool() *Pool { return &Pool{} }
+
+// SetMaxWorkers caps the pool's worker fleet at n (n <= 0 removes the
+// cap). The cap bounds both the persistent fleet size and the effective
+// worker count of each Run — an EngineSet uses it to give every shard a
+// cores-per-shard budget instead of GOMAXPROCS. Takes effect on the next
+// parallel call.
+func (p *Pool) SetMaxWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	p.maxSize.Store(int64(n))
+}
+
+// MaxWorkers returns the SetMaxWorkers cap (0 = uncapped).
+func (p *Pool) MaxWorkers() int { return int(p.maxSize.Load()) }
+
+// target returns the intended fleet size: GOMAXPROCS clamped by the cap.
+func (p *Pool) target() int {
+	t := runtime.GOMAXPROCS(0)
+	if max := int(p.maxSize.Load()); max > 0 && max < t {
+		t = max
+	}
+	return t
+}
+
+// Stats is a snapshot of one pool's lifetime counters.
 type Stats struct {
 	// Workers is the persistent pool size (0 until the first parallel
-	// call). It follows GOMAXPROCS: the pool re-reads it on every
-	// parallel call and resizes when it changed, so a long-lived process
-	// whose CPU allotment shrinks or grows is re-sized at its next
-	// parallel call rather than pinned to the first-seen value.
+	// call). It follows GOMAXPROCS (clamped by SetMaxWorkers): the pool
+	// re-reads it on every parallel call and resizes when it changed, so
+	// a long-lived process whose CPU allotment shrinks or grows is
+	// re-sized at its next parallel call rather than pinned to the
+	// first-seen value.
 	Workers       int
-	Resizes       uint64 // pool resizes after a GOMAXPROCS change
+	MaxWorkers    int    // SetMaxWorkers cap (0 = uncapped)
+	Resizes       uint64 // pool resizes after a GOMAXPROCS/cap change
 	ParallelCalls uint64 // Run invocations that fanned out to the pool
 	InlineCalls   uint64 // Run invocations executed entirely on the caller
 	Chunks        uint64 // work chunks executed across all parallel calls
@@ -53,16 +92,33 @@ type Stats struct {
 	OverflowRuns  uint64 // shares run on overflow goroutines (pool saturated)
 }
 
-// Snapshot returns the current pool counters.
-func Snapshot() Stats {
+// Add accumulates another pool's counters into s — the cross-shard
+// aggregate view of an EngineSet. Workers sum (they are distinct
+// fleets); MaxWorkers keeps the first non-zero cap seen.
+func (s *Stats) Add(o Stats) {
+	s.Workers += o.Workers
+	if s.MaxWorkers == 0 {
+		s.MaxWorkers = o.MaxWorkers
+	}
+	s.Resizes += o.Resizes
+	s.ParallelCalls += o.ParallelCalls
+	s.InlineCalls += o.InlineCalls
+	s.Chunks += o.Chunks
+	s.PoolShares += o.PoolShares
+	s.OverflowRuns += o.OverflowRuns
+}
+
+// Snapshot returns the pool's current counters.
+func (p *Pool) Snapshot() Stats {
 	return Stats{
-		Workers:       int(poolSize.Load()),
-		Resizes:       poolResizes.Load(),
-		ParallelCalls: parallelCalls.Load(),
-		InlineCalls:   inlineCalls.Load(),
-		Chunks:        chunksRun.Load(),
-		PoolShares:    poolShares.Load(),
-		OverflowRuns:  overflowRuns.Load(),
+		Workers:       int(p.poolSize.Load()),
+		MaxWorkers:    int(p.maxSize.Load()),
+		Resizes:       p.poolResizes.Load(),
+		ParallelCalls: p.parallelCalls.Load(),
+		InlineCalls:   p.inlineCalls.Load(),
+		Chunks:        p.chunksRun.Load(),
+		PoolShares:    p.poolShares.Load(),
+		OverflowRuns:  p.overflowRuns.Load(),
 	}
 }
 
@@ -77,35 +133,35 @@ func worker(jobs chan func()) {
 	}
 }
 
-// ensurePool sizes the pool to the current GOMAXPROCS and returns the job
+// ensurePool sizes the pool to the current target and returns the job
 // queue. The fast path — size already matches — is one atomic load.
-func ensurePool() chan func() {
-	target := runtime.GOMAXPROCS(0)
-	if int(poolSize.Load()) == target {
+func (p *Pool) ensurePool() chan func() {
+	target := p.target()
+	if int(p.poolSize.Load()) == target {
 		// The release store below orders the channel write before the
 		// size becomes visible, so this read of jobs is safe.
-		return jobs
+		return p.jobs
 	}
-	poolMu.Lock()
-	defer poolMu.Unlock()
-	cur := int(poolSize.Load())
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cur := int(p.poolSize.Load())
 	if cur == target {
-		return jobs
+		return p.jobs
 	}
-	if jobs == nil {
-		jobs = make(chan func(), 4*target)
+	if p.jobs == nil {
+		p.jobs = make(chan func(), 4*runtime.GOMAXPROCS(0))
 	}
 	if cur > 0 {
-		poolResizes.Add(1)
+		p.poolResizes.Add(1)
 	}
 	for ; cur < target; cur++ {
-		go worker(jobs)
+		go worker(p.jobs)
 	}
 	for ; cur > target; cur-- {
-		jobs <- nil // retire one worker
+		p.jobs <- nil // retire one worker
 	}
-	poolSize.Store(int64(target))
-	return jobs
+	p.poolSize.Store(int64(target))
+	return p.jobs
 }
 
 // Resolve maps the public workers convention onto a concrete count:
@@ -122,8 +178,8 @@ func Resolve(workers int) int {
 // Up to `workers` participants (caller included) pull chunks dynamically;
 // Run returns when all of [0, n) has been processed. fn must be safe for
 // concurrent invocation on disjoint ranges.
-func Run(n, workers, chunk int, fn func(lo, hi int)) {
-	RunLabeled(nil, n, workers, chunk, fn)
+func (p *Pool) Run(n, workers, chunk int, fn func(lo, hi int)) {
+	p.RunLabeled(nil, n, workers, chunk, fn)
 }
 
 // RunLabeled is Run with an optional pprof label context: persistent pool
@@ -132,11 +188,14 @@ func Run(n, workers, chunk int, fn func(lo, hi int)) {
 // Overflow goroutines and the caller's own share need no handling — new
 // goroutines inherit the spawner's labels, and the engine labels the
 // caller before dispatch. labels == nil (the Run path) costs nothing.
-func RunLabeled(labels context.Context, n, workers, chunk int, fn func(lo, hi int)) {
+func (p *Pool) RunLabeled(labels context.Context, n, workers, chunk int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
 	workers = Resolve(workers)
+	if max := int(p.maxSize.Load()); max > 0 && workers > max {
+		workers = max
+	}
 	if chunk <= 0 {
 		chunk = n / (4 * workers)
 		if chunk < 1 {
@@ -148,12 +207,12 @@ func RunLabeled(labels context.Context, n, workers, chunk int, fn func(lo, hi in
 		workers = nchunks
 	}
 	if workers == 1 {
-		inlineCalls.Add(1)
+		p.inlineCalls.Add(1)
 		fn(0, n)
 		return
 	}
-	queue := ensurePool()
-	parallelCalls.Add(1)
+	queue := p.ensurePool()
+	p.parallelCalls.Add(1)
 	var next atomic.Int64
 	body := func() {
 		for {
@@ -165,7 +224,7 @@ func RunLabeled(labels context.Context, n, workers, chunk int, fn func(lo, hi in
 			if hi > n {
 				hi = n
 			}
-			chunksRun.Add(1)
+			p.chunksRun.Add(1)
 			fn(lo, hi)
 		}
 	}
@@ -176,10 +235,10 @@ func RunLabeled(labels context.Context, n, workers, chunk int, fn func(lo, hi in
 			defer wg.Done()
 			body()
 		}
-		pooled := func() { poolShares.Add(1); share() }
+		pooled := func() { p.poolShares.Add(1); share() }
 		if labels != nil {
 			pooled = func() {
-				poolShares.Add(1)
+				p.poolShares.Add(1)
 				pprof.SetGoroutineLabels(labels)
 				share()
 				pprof.SetGoroutineLabels(context.Background())
@@ -191,7 +250,7 @@ func RunLabeled(labels context.Context, n, workers, chunk int, fn func(lo, hi in
 			// Pool saturated (e.g. nested or highly concurrent calls):
 			// fall back to a plain goroutine rather than queue behind
 			// long-running shares.
-			overflowRuns.Add(1)
+			p.overflowRuns.Add(1)
 			go share()
 		}
 	}

@@ -7,6 +7,10 @@ import (
 	"testing"
 )
 
+// testPool is shared by the tests that don't care about isolation; tests
+// asserting counter deltas build their own.
+var testPool = NewPool()
+
 // TestRunCoversRange checks every index is visited exactly once for a grid
 // of sizes, worker counts and chunk sizes.
 func TestRunCoversRange(t *testing.T) {
@@ -15,7 +19,7 @@ func TestRunCoversRange(t *testing.T) {
 			for _, chunk := range []int{0, 1, 5, 1024} {
 				var hits sync.Map
 				var count atomic.Int64
-				Run(n, workers, chunk, func(lo, hi int) {
+				testPool.Run(n, workers, chunk, func(lo, hi int) {
 					if lo < 0 || hi > n || lo >= hi {
 						t.Errorf("bad range [%d,%d) for n=%d", lo, hi, n)
 					}
@@ -57,7 +61,7 @@ func TestRunConcurrent(t *testing.T) {
 			defer wg.Done()
 			for iter := 0; iter < 20; iter++ {
 				var sum atomic.Int64
-				Run(100, 4, 7, func(lo, hi int) {
+				testPool.Run(100, 4, 7, func(lo, hi int) {
 					for i := lo; i < hi; i++ {
 						sum.Add(int64(i))
 					}
@@ -77,11 +81,12 @@ func TestPoolResize(t *testing.T) {
 	orig := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(orig)
 
+	p := NewPool()
 	parallel := func() {
 		var sum atomic.Int64
 		// workers=0 (auto) with chunk 1 forces a fan-out sized to the
 		// current GOMAXPROCS whenever it is > 1.
-		Run(64, 0, 1, func(lo, hi int) {
+		p.Run(64, 0, 1, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				sum.Add(int64(i))
 			}
@@ -96,20 +101,21 @@ func TestPoolResize(t *testing.T) {
 	for _, target := range []int{4, 2, 6} {
 		runtime.GOMAXPROCS(target)
 		parallel()
-		if got := Snapshot().Workers; got != target {
+		if got := p.Snapshot().Workers; got != target {
 			t.Errorf("after GOMAXPROCS(%d): pool has %d workers", target, got)
 		}
 	}
-	if Snapshot().Resizes == 0 {
+	if p.Snapshot().Resizes == 0 {
 		t.Error("resizes not counted")
 	}
 }
 
 func TestSnapshotCounters(t *testing.T) {
-	before := Snapshot()
-	Run(10, 1, 0, func(lo, hi int) {})
-	Run(100, 4, 1, func(lo, hi int) {})
-	after := Snapshot()
+	p := NewPool()
+	before := p.Snapshot()
+	p.Run(10, 1, 0, func(lo, hi int) {})
+	p.Run(100, 4, 1, func(lo, hi int) {})
+	after := p.Snapshot()
 	if after.InlineCalls <= before.InlineCalls {
 		t.Error("inline call not counted")
 	}
@@ -118,5 +124,45 @@ func TestSnapshotCounters(t *testing.T) {
 	}
 	if after.Chunks < before.Chunks+100 {
 		t.Errorf("chunks: %d -> %d, want +100", before.Chunks, after.Chunks)
+	}
+}
+
+// TestSetMaxWorkers checks the cap bounds both the fleet size and the
+// effective fan-out of a call — the per-shard core budget EngineSet sets.
+func TestSetMaxWorkers(t *testing.T) {
+	orig := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(orig)
+	runtime.GOMAXPROCS(4)
+
+	p := NewPool()
+	p.SetMaxWorkers(2)
+	if got := p.MaxWorkers(); got != 2 {
+		t.Fatalf("MaxWorkers = %d, want 2", got)
+	}
+	var sum atomic.Int64
+	p.Run(64, 0, 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Add(int64(i))
+		}
+	})
+	if sum.Load() != 64*63/2 {
+		t.Fatalf("capped run incomplete: sum %d", sum.Load())
+	}
+	if got := p.Snapshot().Workers; got > 2 {
+		t.Errorf("fleet size %d exceeds cap 2", got)
+	}
+	p.SetMaxWorkers(0)
+	p.Run(64, 0, 1, func(lo, hi int) {})
+	if got := p.Snapshot().Workers; got != 4 {
+		t.Errorf("after uncapping, fleet is %d, want GOMAXPROCS=4", got)
+	}
+}
+
+// Two pools are independent fleets: counters never bleed across.
+func TestPoolIsolation(t *testing.T) {
+	p1, p2 := NewPool(), NewPool()
+	p1.Run(100, 4, 1, func(lo, hi int) {})
+	if s := p2.Snapshot(); s.ParallelCalls != 0 && s.Workers != 0 {
+		t.Fatalf("pool 2 saw pool 1 traffic: %+v", s)
 	}
 }

@@ -94,10 +94,11 @@ func (e *Engine) MetricsHandler() http.Handler { return e.inner.MetricsHandler()
 // allocates per dispatch.
 func (e *Engine) SetProfileLabels(on bool) { e.inner.SetProfileLabels(on) }
 
-// ResetShapeStats zeroes the engine's per-shape series and the windowed
-// delta baseline — the counters otherwise grow unboundedly in a
-// long-running process.
-func (e *Engine) ResetShapeStats() { e.inner.Obs().Reset() }
+// ResetShapeStats zeroes the engine's per-shape series, the windowed
+// delta baseline, and the submission queue's rolling window (the depth
+// high-water mark and the queue-wait histogram) — the counters otherwise
+// grow unboundedly in a long-running process.
+func (e *Engine) ResetShapeStats() { e.inner.ResetShapeStats() }
 
 // ShapeStatsDelta returns each shape's activity since the previous
 // ShapeStatsDelta call (or since engine start): counters are windowed
