@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race stress asyncstress shardstress bench benchsmoke benchdiff info trace monitor metrics ci
+.PHONY: all build vet lint test race stress asyncstress shardstress servestress bench benchsmoke benchdiff info trace monitor metrics ci
 
 all: ci
 
@@ -47,6 +47,13 @@ asyncstress:
 # shard isolation and the set's steady-state allocation budget.
 shardstress:
 	$(GO) test -race -run 'TestSet|TestEngineSet' -count=2 . ./internal/engine/
+
+# Serving tier under the race detector, run twice — round-trip numerics,
+# admission-control shedding, tenant priority and the concurrent mixed
+# workload — then a one-shot in-process smoke of the iatf-serve binary.
+servestress:
+	$(GO) test -race -count=2 ./internal/serve/
+	$(GO) run ./cmd/iatf-serve -once
 
 # Wall-clock benchmark of the native path — pack-per-call vs prepacked
 # operand reuse — writing the rows to BENCH_wallclock.json.
@@ -98,4 +105,4 @@ monitor:
 # benchdiff gates ci: the diff tool's 15% tolerance absorbs ordinary
 # run-to-run noise, so a failure means a real regression (or a baseline
 # that needs a deliberate `make bench` refresh alongside the change).
-ci: lint build test race stress asyncstress shardstress benchsmoke benchdiff
+ci: lint build test race stress asyncstress shardstress servestress benchsmoke benchdiff

@@ -282,8 +282,14 @@ func printEngine(asJSON bool) {
 	fmt.Println("async submission queue:")
 	fmt.Printf("  submitted %d (inline %d), dispatches %d, coalesced %d (max fused %d)\n",
 		s.Queue.Submitted, s.Queue.Inline, s.Queue.Dispatches, s.Queue.Coalesced, s.Queue.MaxFused)
-	fmt.Printf("  cancelled %d, rejected %d, depth %d / capacity %d\n",
-		s.Queue.Cancelled, s.Queue.Rejected, s.Queue.Depth, s.Queue.Capacity)
+	fmt.Printf("  cancelled %d, rejected %d, depth %d (high-water %d) / capacity %d\n",
+		s.Queue.Cancelled, s.Queue.Rejected, s.Queue.Depth, s.Queue.DepthHighWater, s.Queue.Capacity)
+	order := "fifo"
+	if s.Queue.EDF {
+		order = "edf"
+	}
+	fmt.Printf("  order %s, batch window %v, wait p99 %v\n",
+		order, s.Queue.Window, s.Queue.Wait.P99)
 
 	fmt.Println("per-shape series (by call count):")
 	fmt.Printf("  %-5s %-2s %-4s %-11s %6s %9s %9s %7s %7s %7s %5s %-6s %4s %3s\n",

@@ -1,0 +1,185 @@
+// iatf-serve is the SLO-aware serving front-end: it mounts the
+// internal/serve HTTP tier (POST /v1/do plus /healthz, /stats and
+// /metrics) over one engine or a sharded engine set, with EDF dispatch,
+// a tunable max-batch-window and admission control driven by the queue's
+// depth high-water mark and wait histogram.
+//
+//	iatf-serve -addr :8080 -shards 4 -window 2ms -tenant batch=-1 -tenant rt=5
+//
+// -once runs the self-contained smoke: the server comes up on an
+// ephemeral port, one GEMM round-trips through it over real HTTP, the
+// result is verified and the process exits — the CI liveness check.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"iatf"
+	"iatf/internal/serve"
+)
+
+// tenantFlag accumulates repeated -tenant name=class pairs.
+type tenantFlag map[string]int
+
+func (t tenantFlag) String() string {
+	parts := make([]string, 0, len(t))
+	for k, v := range t {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t tenantFlag) Set(s string) error {
+	name, class, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=class, got %q", s)
+	}
+	n, err := strconv.Atoi(class)
+	if err != nil {
+		return fmt.Errorf("class %q: %w", class, err)
+	}
+	t[name] = n
+	return nil
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		shards   = flag.Int("shards", 0, "engine-set shard count (0 = one private engine)")
+		window   = flag.Duration("window", 2*time.Millisecond, "dispatcher max-batch-window (0 = drain immediately)")
+		edf      = flag.Bool("edf", true, "deadline-ordered dispatch (false = FIFO drain)")
+		queueCap = flag.Int("queue-cap", 0, "submission-queue capacity per shard (0 = engine default)")
+		deadline = flag.Duration("deadline", 0, "default request deadline when the body carries none (0 = none)")
+		once     = flag.Bool("once", false, "serve on an ephemeral port, run one GEMM through it, exit")
+		tenants  = tenantFlag{}
+	)
+	flag.Var(tenants, "tenant", "tenant priority mapping name=class (repeatable)")
+	flag.Parse()
+
+	cfg := serve.Config{DefaultDeadline: *deadline, Tenants: tenants}
+	if *shards > 0 {
+		set := iatf.NewEngineSet(*shards)
+		if *queueCap > 0 {
+			if err := set.SetQueueCapacity(*queueCap); err != nil {
+				log.Fatalf("queue capacity: %v", err)
+			}
+		}
+		set.SetEDF(*edf)
+		set.SetBatchWindow(*window)
+		cfg.Set = set
+	} else {
+		eng := iatf.NewEngine()
+		if *queueCap > 0 {
+			if err := eng.SetQueueCapacity(*queueCap); err != nil {
+				log.Fatalf("queue capacity: %v", err)
+			}
+		}
+		eng.SetEDF(*edf)
+		eng.SetBatchWindow(*window)
+		cfg.Engine = eng
+	}
+	srv := serve.New(cfg)
+
+	if *once {
+		if err := smoke(srv); err != nil {
+			log.Fatalf("smoke: %v", err)
+		}
+		fmt.Println("iatf-serve smoke ok")
+		return
+	}
+
+	log.Printf("iatf-serve listening on %s (shards=%d edf=%v window=%v)",
+		*addr, *shards, *edf, *window)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+// smoke round-trips one 2-matrix GEMM over real HTTP and verifies the
+// result numerically: identity × A must return A.
+func smoke(srv *serve.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+
+	// healthz first: the tier must be up before we push work.
+	hr, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %s", hr.Status)
+	}
+
+	const count, n = 2, 4
+	ident := make([]float64, count*n*n)
+	data := make([]float64, count*n*n)
+	for m := 0; m < count; m++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				if i == j {
+					ident[m*n*n+j*n+i] = 1
+				}
+				data[m*n*n+j*n+i] = float64(m*100 + j*n + i)
+			}
+		}
+	}
+	req := serve.DoRequest{
+		Op: "gemm", DType: "f64", Alpha: 1, Beta: 0, Count: count,
+		A:          &serve.WireOperand{Rows: n, Cols: n, Data: ident},
+		B:          &serve.WireOperand{Rows: n, Cols: n, Data: data},
+		C:          &serve.WireOperand{Rows: n, Cols: n, Data: make([]float64, count*n*n)},
+		DeadlineMs: 5000,
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(base+"/v1/do", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb map[string]any
+		json.NewDecoder(resp.Body).Decode(&eb)
+		return fmt.Errorf("/v1/do: %s: %v", resp.Status, eb)
+	}
+	var out serve.DoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	if len(out.Result) != len(data) {
+		return fmt.Errorf("result length %d, want %d", len(out.Result), len(data))
+	}
+	for i := range data {
+		if math.Abs(out.Result[i]-data[i]) > 1e-12 {
+			return fmt.Errorf("result[%d] = %g, want %g", i, out.Result[i], data[i])
+		}
+	}
+
+	sr, err := http.Get(base + "/stats")
+	if err != nil {
+		return err
+	}
+	defer sr.Body.Close()
+	var st serve.Stats
+	if err := json.NewDecoder(sr.Body).Decode(&st); err != nil {
+		return err
+	}
+	if st.Done != 1 {
+		return fmt.Errorf("stats done = %d, want 1", st.Done)
+	}
+	return nil
+}

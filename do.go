@@ -52,11 +52,12 @@ type Request[T Scalar] struct {
 
 // callCfg is the resolved option set of one Do/Submit call.
 type callCfg struct {
-	workers int
-	eng     *Engine
-	set     *EngineSet
-	async   bool
-	sink    func(*Span)
+	workers  int
+	priority int
+	eng      *Engine
+	set      *EngineSet
+	async    bool
+	sink     func(*Span)
 }
 
 // Option configures one Do or Submit call. Options are plain values (not
@@ -65,6 +66,8 @@ type callCfg struct {
 type Option struct {
 	workers    int
 	hasWorkers bool
+	priority   int
+	hasPrio    bool
 	eng        *Engine
 	set        *EngineSet
 	async      bool
@@ -78,6 +81,14 @@ func WithWorkers(n int) Option { return Option{workers: n, hasWorkers: true} }
 // WithEngine routes the call through a specific engine (its plan cache,
 // submission queue and counters) instead of the process-wide default.
 func WithEngine(e *Engine) Option { return Option{eng: e} }
+
+// WithPriority sets the request's dispatch class for the async queue's
+// deadline-ordered drain: when two bundles share the earliest context
+// deadline (or neither carries one), the higher class executes first.
+// The default class is 0; negative classes yield to it. Priority never
+// changes results, shard routing or coalescing — only dispatch order —
+// and is ignored on the synchronous path.
+func WithPriority(class int) Option { return Option{priority: class, hasPrio: true} }
 
 // WithAsync routes the call through the engine's async submission queue,
 // where concurrent same-problem requests are coalesced into one fused
@@ -101,6 +112,9 @@ func resolveOpts(opts []Option) callCfg {
 	for _, o := range opts {
 		if o.hasWorkers {
 			cfg.workers = o.workers
+		}
+		if o.hasPrio {
+			cfg.priority = o.priority
 		}
 		if o.eng != nil {
 			cfg.eng = o.eng
@@ -182,9 +196,9 @@ func Do[T Scalar](ctx context.Context, req Request[T], opts ...Option) error {
 	var fut *Future
 	var err error
 	if cfg.set != nil {
-		fut, err = submitSetSpanned(ctx, cfg.set, cfg.workers, cfg.sink, req)
+		fut, err = submitSetSpanned(ctx, cfg.set, cfg.workers, cfg.priority, cfg.sink, req)
 	} else {
-		fut, err = submitSpanned(ctx, cfg.eng, cfg.workers, cfg.sink, req)
+		fut, err = submitSpanned(ctx, cfg.eng, cfg.workers, cfg.priority, cfg.sink, req)
 	}
 	if err != nil {
 		return err
@@ -224,16 +238,17 @@ func doSyncSpanned[T Scalar](e *Engine, workers int, sink func(*Span), req Reque
 func Submit[T Scalar](ctx context.Context, req Request[T], opts ...Option) (*Future, error) {
 	cfg := resolveOpts(opts)
 	if cfg.set != nil {
-		return submitSetSpanned(ctx, cfg.set, cfg.workers, cfg.sink, req)
+		return submitSetSpanned(ctx, cfg.set, cfg.workers, cfg.priority, cfg.sink, req)
 	}
-	return submitSpanned(ctx, cfg.eng, cfg.workers, cfg.sink, req)
+	return submitSpanned(ctx, cfg.eng, cfg.workers, cfg.priority, cfg.sink, req)
 }
 
-func submitSpanned[T Scalar](ctx context.Context, e *Engine, workers int, sink func(*Span), req Request[T]) (*Future, error) {
+func submitSpanned[T Scalar](ctx context.Context, e *Engine, workers, priority int, sink func(*Span), req Request[T]) (*Future, error) {
 	desc, ops, n, err := toDesc(req, workers)
 	if err != nil {
 		return nil, err
 	}
+	desc.Priority = priority
 	fut, err := e.inner.SubmitSpanned(ctx, desc, sink, ops[:n]...)
 	if err != nil {
 		return nil, err
@@ -257,11 +272,12 @@ func doSetSync[T Scalar](s *EngineSet, workers int, sink func(*Span), req Reques
 
 // submitSetSpanned is submitSpanned through a sharded set, with the
 // set's sibling fallback on a full home queue.
-func submitSetSpanned[T Scalar](ctx context.Context, s *EngineSet, workers int, sink func(*Span), req Request[T]) (*Future, error) {
+func submitSetSpanned[T Scalar](ctx context.Context, s *EngineSet, workers, priority int, sink func(*Span), req Request[T]) (*Future, error) {
 	desc, ops, n, err := toDesc(req, workers)
 	if err != nil {
 		return nil, err
 	}
+	desc.Priority = priority
 	fut, err := s.inner.SubmitSpanned(ctx, desc, sink, ops[:n]...)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,8 @@
 package iatf
 
 import (
+	"time"
+
 	"iatf/internal/core"
 	"iatf/internal/engine"
 	"iatf/internal/obs"
@@ -83,6 +85,21 @@ func (e *Engine) Stats() EngineStats { return e.inner.Stats() }
 // leaving the running queue untouched. Branch with
 // errors.Is(err, iatf.ErrQueueStarted).
 func (e *Engine) SetQueueCapacity(n int) error { return e.inner.SetQueueCapacity(n) }
+
+// SetEDF toggles deadline-ordered dispatch on the engine's async queue.
+// When on (the default) each drained batch's bundles execute in earliest-
+// context-deadline order, with WithPriority classes breaking ties, so a
+// tight-deadline request never waits behind a loose bundle that merely
+// arrived earlier. Off restores the FIFO drain. Safe to flip at any time.
+func (e *Engine) SetEDF(on bool) { e.inner.SetEDF(on) }
+
+// SetBatchWindow sets the dispatcher's max-batch-window: after a batch's
+// first request is received, the drain stays open for d so a burst — and
+// any tight-deadline request inside it — lands in one EDF-ordered batch.
+// Larger windows trade queue latency for larger fused bundles; 0 (the
+// default) drains only what already accumulated. Safe to change at any
+// time.
+func (e *Engine) SetBatchWindow(d time.Duration) { e.inner.SetBatchWindow(d) }
 
 // SetTrace installs a trace hook on the engine: fn receives the
 // assembled command queue of sampled calls (every nth; every == 1 traces

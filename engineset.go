@@ -9,6 +9,7 @@ package iatf
 import (
 	"io"
 	"net/http"
+	"time"
 
 	"iatf/internal/core"
 	"iatf/internal/engine"
@@ -90,6 +91,19 @@ func (s *EngineSet) SetQueueCapacity(n int) error {
 	}
 	return nil
 }
+
+// QueueStats returns the cross-shard aggregate of every shard's
+// submission-queue counters — the cheap admission-control view of the
+// whole set; see Engine.QueueStats.
+func (s *EngineSet) QueueStats() QueueStats { return s.inner.QueueStats() }
+
+// SetEDF toggles deadline-ordered dispatch on every shard; see
+// Engine.SetEDF.
+func (s *EngineSet) SetEDF(on bool) { s.inner.SetEDF(on) }
+
+// SetBatchWindow sets every shard's max-batch-window; see
+// Engine.SetBatchWindow.
+func (s *EngineSet) SetBatchWindow(d time.Duration) { s.inner.SetBatchWindow(d) }
 
 // WithEngineSet routes the call through a sharded engine set: the
 // problem identity picks the home shard, keeping repeated shapes on one

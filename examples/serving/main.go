@@ -1,103 +1,343 @@
-// Serving: the async submission front-end under concurrent load. Eight
-// submitter goroutines push same-shape batched GEMMs through
-// Do(..., WithAsync()); the engine's dispatcher coalesces whatever
-// accumulates while the previous dispatch runs into ONE fused dispatch
-// (compact batches concatenate at interleave-group granularity, so
-// fused results are bit-identical to serial calls). The example then
-// shows a deadline'd request and prints the queue counters.
+// Serving: the SLO story of the serving tier, measured.
+//
+// Phase 1 — deadline-ordered dispatch. A mixed workload (90% heavy
+// loose-deadline requests, 10% small tight-deadline requests arriving
+// LAST in each burst) runs twice through the async queue: once with the
+// FIFO drain (EDF off, no batch window — the pre-serving behavior) and
+// once with EDF + a max-batch-window. Under FIFO the tight request
+// executes after every heavy bundle that merely arrived earlier and
+// blows its deadline; under EDF the dispatcher holds the drain open so
+// the burst lands in one batch, orders it by deadline, and the tight
+// request runs first. The example prints the SLO report — per-class
+// p50/p99 against the deadline and the miss rate — for both modes.
+//
+// Phase 2 — admission control over HTTP. The same engine behind the
+// internal/serve tier, hammered with concurrent tight-deadline posts:
+// requests whose predicted queue wait exceeds their deadline are shed
+// with 429 + Retry-After instead of dying in the queue, and the shed
+// rate is reported from the server's own counters.
+//
+// The workload self-calibrates: the heavy shape is sized so one heavy
+// dispatch costs roughly 0.5–2ms on the host, keeping both phases
+// meaningful from laptops to servers.
 package main
 
 import (
+	"bytes"
 	"context"
-	"errors"
+	"encoding/json"
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"iatf"
+	"iatf/internal/serve"
 )
 
-func main() {
-	log.SetFlags(0)
-	const (
-		submitters = 8
-		iters      = 32
-		count      = 2048
-		n          = 8
-	)
-	// Let the submitters' threads genuinely interleave even on one CPU.
-	runtime.GOMAXPROCS(max(runtime.GOMAXPROCS(0), submitters))
-	rng := rand.New(rand.NewSource(7))
+const (
+	rounds     = 30 // bursts per mode; tight p99 over 30 samples ≈ max
+	heavyPerRt = 16 // heavy loose-deadline bundles per burst
+	smallN     = 4  // tight requests: 64 4×4 matrices — microseconds of work
+	smallCount = 64
+	window     = 2 * time.Millisecond
+)
+
+func mkBatch(rng *rand.Rand, count, n int) *iatf.Compact[float32] {
+	b := iatf.NewBatch[float32](count, n, n)
+	for j, d := 0, b.Data(); j < len(d); j++ {
+		d[j] = rng.Float32()
+	}
+	return iatf.Pack(b)
+}
+
+// calibrate sizes the heavy GEMM so one dispatch costs ~0.5–2ms here.
+func calibrate(rng *rand.Rand) (count int, th time.Duration) {
 	eng := iatf.NewEngine()
-
-	// Each submitter owns private operands of the same problem shape —
-	// the one-model-many-clients serving pattern.
-	type client struct{ a, b, c *iatf.Compact[float32] }
-	clients := make([]client, submitters)
-	for i := range clients {
-		mk := func() *iatf.Compact[float32] {
-			b := iatf.NewBatch[float32](count, n, n)
-			for j, d := 0, b.Data(); j < len(d); j++ {
-				d[j] = rng.Float32()
-			}
-			return iatf.Pack(b)
+	const n = 8
+	count = 1024
+	for {
+		a, b, c := mkBatch(rng, count, n), mkBatch(rng, count, n), mkBatch(rng, count, n)
+		req := iatf.Request[float32]{Op: iatf.OpGEMM, Alpha: 1, Beta: 1, A: a, B: b, C: c}
+		// Warm the plan cache, then time the median of three.
+		if err := iatf.Do(context.Background(), req, iatf.WithEngine(eng)); err != nil {
+			log.Fatal(err)
 		}
-		clients[i] = client{a: mk(), b: mk(), c: mk()}
+		var ts []time.Duration
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			if err := iatf.Do(context.Background(), req, iatf.WithEngine(eng)); err != nil {
+				log.Fatal(err)
+			}
+			ts = append(ts, time.Since(t0))
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		th = ts[1]
+		switch {
+		case th < 800*time.Microsecond && count < 1<<20:
+			count *= 2
+		case th > 2*time.Millisecond && count > 64:
+			count /= 2
+		default:
+			return count, th
+		}
+	}
+}
+
+func quantile(ds []time.Duration, q float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// burstTrial runs `rounds` bursts through one engine configuration and
+// returns the tight- and loose-class latencies (submit → resolved).
+func burstTrial(rng *rand.Rand, edf bool, heavyCount int, tightDL time.Duration) (tight, loose []time.Duration, misses int) {
+	eng := iatf.NewEngine()
+	eng.SetEDF(edf)
+	if edf {
+		eng.SetBatchWindow(window)
+	} else {
+		eng.SetBatchWindow(0)
 	}
 
-	start := time.Now()
-	var wg sync.WaitGroup
-	for i := range clients {
+	const n = 8
+	// Distinct alpha per heavy client: same shape, different scalar — each
+	// is its own bundle, so a burst queues heavyPerRt independent heavy
+	// dispatches for the EDF pass (or FIFO) to order.
+	type client struct {
+		req iatf.Request[float32]
+	}
+	heavy := make([]client, heavyPerRt)
+	for i := range heavy {
+		heavy[i] = client{req: iatf.Request[float32]{
+			Op: iatf.OpGEMM, Alpha: 1 + float32(i)/1000, Beta: 1,
+			A: mkBatch(rng, heavyCount, n), B: mkBatch(rng, heavyCount, n), C: mkBatch(rng, heavyCount, n),
+		}}
+	}
+	primer := iatf.Request[float32]{
+		Op: iatf.OpGEMM, Alpha: 0.5, Beta: 1,
+		A: mkBatch(rng, heavyCount, n), B: mkBatch(rng, heavyCount, n), C: mkBatch(rng, heavyCount, n),
+	}
+	tq := iatf.Request[float32]{
+		Op: iatf.OpGEMM, Alpha: 1, Beta: 1,
+		A: mkBatch(rng, smallCount, smallN), B: mkBatch(rng, smallCount, smallN), C: mkBatch(rng, smallCount, smallN),
+	}
+
+	for r := 0; r < rounds; r++ {
+		// Prime: one inline heavy dispatch occupies the engine so the burst
+		// behind it genuinely queues.
+		var wg sync.WaitGroup
 		wg.Add(1)
-		go func(cl client) {
+		go func() {
 			defer wg.Done()
-			req := iatf.Request[float32]{
-				Op: iatf.OpGEMM, Alpha: 1, Beta: 1, A: cl.a, B: cl.b, C: cl.c,
+			if err := iatf.Do(context.Background(), primer, iatf.WithEngine(eng), iatf.WithAsync()); err != nil {
+				log.Fatal(err)
 			}
-			for k := 0; k < iters; k++ {
-				if err := iatf.Do(context.Background(), req,
-					iatf.WithEngine(eng), iatf.WithAsync()); err != nil {
-					log.Fatal(err)
-				}
+		}()
+		time.Sleep(100 * time.Microsecond)
+
+		// The burst: heavy loose requests first...
+		type timed struct {
+			fut   *iatf.Future
+			start time.Time
+		}
+		looseT := make([]timed, heavyPerRt)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		for i := range heavy {
+			looseT[i].start = time.Now()
+			fut, err := iatf.Submit(ctx, heavy[i].req, iatf.WithEngine(eng))
+			if err != nil {
+				log.Fatal(err)
 			}
-		}(clients[i])
+			looseT[i].fut = fut
+		}
+		// ...then, last to arrive, the tight-deadline request.
+		time.Sleep(200 * time.Microsecond)
+		tctx, tcancel := context.WithTimeout(context.Background(), tightDL)
+		tStart := time.Now()
+		tfut, err := iatf.Submit(tctx, tq, iatf.WithEngine(eng), iatf.WithPriority(5))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		if err := tfut.Err(); err != nil {
+			misses++ // expired in queue: an SLO miss by definition
+			tight = append(tight, tightDL+time.Millisecond)
+		} else {
+			lat := time.Since(tStart)
+			tight = append(tight, lat)
+			if lat > tightDL {
+				misses++
+			}
+		}
+		for i := range looseT {
+			if err := looseT[i].fut.Err(); err != nil {
+				log.Fatal(err)
+			}
+			loose = append(loose, time.Since(looseT[i].start))
+		}
+		wg.Wait()
+		tcancel()
+		cancel()
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
+	return tight, loose, misses
+}
 
-	// Deadlines compose with submission: a context that expires while the
-	// request waits resolves with ctx.Err() without executing.
-	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
-	defer cancel()
-	err := iatf.Do(ctx, iatf.Request[float32]{
-		Op: iatf.OpGEMM, Alpha: 1, Beta: 1,
-		A: clients[0].a, B: clients[0].b, C: clients[0].c,
-	}, iatf.WithEngine(eng), iatf.WithAsync())
-	fmt.Printf("deadline'd request: %v (timed out: %v)\n",
-		err, errors.Is(err, context.DeadlineExceeded))
+func phase1(rng *rand.Rand) {
+	heavyCount, th := calibrate(rng)
+	// The tight deadline sits between the EDF outcome (~window + small
+	// compute, plus this host's timer jitter) and the FIFO outcome
+	// (~heavyPerRt heavy dispatches): 40% of the FIFO backlog plus two
+	// windows of slack.
+	tightDL := time.Duration(heavyPerRt)*th*2/5 + 2*window
+	fmt.Printf("calibrated heavy shape: %d 8×8 f32 matrices ≈ %v/dispatch\n", heavyCount, th.Round(10*time.Microsecond))
+	fmt.Printf("burst: %d heavy loose requests + 1 tight (deadline %v, arrives last), %d rounds\n\n",
+		heavyPerRt, tightDL.Round(time.Millisecond), rounds)
 
-	// Submit is the fire-now-wait-later form: a Future per request.
-	fut, err := iatf.Submit(context.Background(), iatf.Request[float32]{
-		Op: iatf.OpGEMM, Alpha: 1, Beta: 1,
-		A: clients[0].a, B: clients[0].b, C: clients[0].c,
-	}, iatf.WithEngine(eng))
+	type result struct {
+		mode         string
+		tight, loose []time.Duration
+		misses       int
+	}
+	var results []result
+	for _, mode := range []struct {
+		name string
+		edf  bool
+	}{{"FIFO (EDF off, window 0)", false}, {fmt.Sprintf("EDF + %v window", window), true}} {
+		tight, loose, misses := burstTrial(rng, mode.edf, heavyCount, tightDL)
+		results = append(results, result{mode.name, tight, loose, misses})
+	}
+
+	fmt.Printf("%-26s %12s %12s %12s %12s %8s\n", "mode", "tight p50", "tight p99", "loose p50", "loose p99", "miss")
+	for _, r := range results {
+		fmt.Printf("%-26s %12v %12v %12v %12v %7.0f%%\n", r.mode,
+			quantile(r.tight, 0.50).Round(10*time.Microsecond),
+			quantile(r.tight, 0.99).Round(10*time.Microsecond),
+			quantile(r.loose, 0.50).Round(10*time.Microsecond),
+			quantile(r.loose, 0.99).Round(10*time.Microsecond),
+			100*float64(r.misses)/float64(rounds))
+	}
+	fmt.Printf("\ntight deadline %v: FIFO p99 %v (missed %d/%d), EDF p99 %v (missed %d/%d)\n\n",
+		tightDL.Round(time.Millisecond),
+		quantile(results[0].tight, 0.99).Round(10*time.Microsecond), results[0].misses, rounds,
+		quantile(results[1].tight, 0.99).Round(10*time.Microsecond), results[1].misses, rounds)
+}
+
+func phase2(rng *rand.Rand) {
+	heavyCount, th := calibrate(rng)
+	eng := iatf.NewEngine()
+	eng.SetBatchWindow(window)
+	srv := serve.New(serve.Config{Engine: eng})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := fut.Wait(context.Background()); err != nil {
-		log.Fatal(err)
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	url := "http://" + ln.Addr().String() + "/v1/do"
+
+	// Wire bodies: distinct alpha per worker defeats coalescing, so every
+	// admitted request is a full heavy dispatch and the queue-wait
+	// histogram sees real backlog.
+	const n = 8
+	data := func() []float64 {
+		d := make([]float64, heavyCount*n*n)
+		for i := range d {
+			d[i] = rng.Float64()
+		}
+		return d
+	}
+	a, b, c := data(), data(), data()
+	body := func(alpha float64, dlMs int64) []byte {
+		j, _ := json.Marshal(serve.DoRequest{
+			Op: "gemm", DType: "f32", Alpha: alpha, Beta: 1, Count: heavyCount,
+			A:          &serve.WireOperand{Rows: n, Cols: n, Data: a},
+			B:          &serve.WireOperand{Rows: n, Cols: n, Data: b},
+			C:          &serve.WireOperand{Rows: n, Cols: n, Data: c},
+			DeadlineMs: dlMs,
+		})
+		return j
 	}
 
-	q := eng.Stats().Queue
-	fmt.Printf("%d submitters × %d requests (%d matrices each) in %v\n",
-		submitters, iters, count, elapsed.Round(time.Millisecond))
-	fmt.Printf("queue: submitted %d (inline %d), dispatches %d\n",
-		q.Submitted, q.Inline, q.Dispatches)
-	fmt.Printf("coalesced %d requests into fused dispatches (largest bundle: %d)\n",
-		q.Coalesced, q.MaxFused)
-	fmt.Printf("cancelled %d, rejected %d, capacity %d\n",
-		q.Cancelled, q.Rejected, q.Capacity)
+	// Main-traffic deadline ≈ batch window + three heavy dispatches:
+	// achievable while the queue is shallow, missed once backlog grows.
+	// Every fourth post asks for a 1ms deadline — tighter than the batch
+	// window itself, so the predicted wait (floored at the window) can
+	// never be met and admission control sheds it up-front with a 429.
+	dlMs := int64((window+3*th)/time.Millisecond) + 1
+	const workers, perWorker = 16, 8
+	var ok, shed, tightShed, timedOut, other int64
+	var mu sync.Mutex
+	var retryAfter string
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				dl, tight := dlMs, false
+				if i%4 == 3 {
+					dl, tight = 1, true
+				}
+				resp, err := http.Post(url, "application/json",
+					bytes.NewReader(body(1+float64(w*perWorker+i)/1e4, dl)))
+				if err != nil {
+					log.Fatal(err)
+				}
+				mu.Lock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok++
+				case http.StatusTooManyRequests:
+					shed++
+					if tight {
+						tightShed++
+					}
+					if ra := resp.Header.Get("Retry-After"); ra != "" {
+						retryAfter = ra
+					}
+				case http.StatusGatewayTimeout:
+					timedOut++
+				default:
+					other++
+				}
+				mu.Unlock()
+				resp.Body.Close()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := srv.Stats()
+	total := int64(workers * perWorker)
+	fmt.Printf("HTTP overload: %d workers × %d posts, deadline %dms (every 4th: 1ms), heavy %d-matrix GEMMs\n",
+		workers, perWorker, dlMs, heavyCount)
+	fmt.Printf("  200 OK: %d   429 shed: %d (%.0f%%, Retry-After %ss; %d of them sub-window 1ms probes)   504: %d   other: %d\n",
+		ok, shed, 100*float64(shed)/float64(total), retryAfter, tightShed, timedOut, other)
+	fmt.Printf("  server counters: admitted %d, done %d, shed %d, queue-full %d, expired %d\n",
+		st.Admitted, st.Done, st.Shed, st.QueueFull, st.Expired)
+	fmt.Printf("  queue: depth HW %d, wait p99 %v, window %v\n",
+		st.Queue.DepthHighWater, st.Queue.Wait.P99.Round(10*time.Microsecond), st.Queue.Window)
+}
+
+func main() {
+	log.SetFlags(0)
+	runtime.GOMAXPROCS(max(runtime.GOMAXPROCS(0), 4))
+	rng := rand.New(rand.NewSource(7))
+
+	fmt.Println("== Phase 1: deadline-ordered dispatch (direct Submit) ==")
+	phase1(rng)
+	fmt.Println("== Phase 2: admission control over HTTP ==")
+	phase2(rng)
 }

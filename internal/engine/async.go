@@ -33,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,6 +107,11 @@ type asyncReq struct {
 	nops int
 	fut  *Future
 
+	// deadline/hasDL cache ctx.Deadline() at submission time so the EDF
+	// pass never re-walks the context chain on the dispatcher.
+	deadline time.Time
+	hasDL    bool
+
 	enq  time.Time    // when the request joined the queue (zero on the inline path)
 	sp   *obs.Span    // lifecycle span; nil when tracing is off
 	sink obs.SpanFunc // per-request span sink (SubmitSpanned), or nil
@@ -120,6 +126,16 @@ type submitQueue struct {
 	capacity  int
 	busy      atomic.Bool // a dispatch (inline or dispatcher) is in flight
 
+	// fifo disables the EDF pass (SetEDF(false)): drained bundles execute
+	// in arrival order, the pre-PR-7 behavior. Default false = EDF on.
+	fifo atomic.Bool
+	// windowNs is the max-batch-window: after receiving the first request
+	// of a batch the dispatcher holds the drain open for this long, so a
+	// burst — and any tight-deadline request inside it — lands in one
+	// drained batch for the EDF pass to order. 0 (default) drains only
+	// what already accumulated.
+	windowNs atomic.Int64
+
 	submitted  atomic.Uint64
 	inline     atomic.Uint64
 	dispatches atomic.Uint64
@@ -128,8 +144,15 @@ type submitQueue struct {
 	rejected   atomic.Uint64
 	maxFused   atomic.Int64
 
+	// inflight is the size of the batch the dispatcher is currently
+	// executing. len(ch) alone goes to zero the instant a batch is drained
+	// even though every request in it is still pending — admission control
+	// reading only the channel length would see an "idle" queue in the
+	// middle of a 6ms backlog. Depth reports len(ch) + inflight.
+	inflight atomic.Int64
+
 	// depthHW is the monotonic queue-depth high-water mark, recorded at
-	// enqueue time — Depth alone only samples whatever is queued at
+	// enqueue time — Depth alone only samples whatever is pending at
 	// snapshot time, which hides bursts that drained before the scrape.
 	depthHW atomic.Int64
 	// waitHist is the queue-wait distribution: enqueue to bundle start,
@@ -163,7 +186,7 @@ type QueueStats struct {
 	Cancelled  uint64 // requests resolved with ctx.Err() without executing
 	Rejected   uint64 // submissions refused with ErrQueueFull
 	MaxFused   int    // largest fused bundle observed
-	Depth      int    // requests currently queued
+	Depth      int    // requests pending: queued plus the batch being executed
 	Capacity   int    // queue bound
 
 	// StolenBatches/StolenReqs count work-stealing on the thief side: how
@@ -177,6 +200,11 @@ type QueueStats struct {
 	DepthHighWater int
 	// Wait is the queue-wait distribution: enqueue to bundle start.
 	Wait obs.HistSnapshot
+
+	// EDF reports whether deadline-ordered dispatch is enabled (the
+	// default); Window is the configured max-batch-window.
+	EDF    bool
+	Window time.Duration
 }
 
 // Add accumulates another queue's counters into s — the EngineSet
@@ -200,6 +228,12 @@ func (s *QueueStats) Add(o QueueStats) {
 	if o.DepthHighWater > s.DepthHighWater {
 		s.DepthHighWater = o.DepthHighWater
 	}
+	if o.Window > s.Window {
+		s.Window = o.Window
+	}
+	// The aggregate claims EDF only when every merged shard orders by
+	// deadline (shards are configured uniformly through Set.SetEDF).
+	s.EDF = s.EDF && o.EDF
 	s.Wait.Add(o.Wait)
 }
 
@@ -207,7 +241,7 @@ func (q *submitQueue) snapshot() QueueStats {
 	q.mu.Lock()
 	depth, capacity := 0, q.capacity
 	if q.ch != nil {
-		depth, capacity = len(q.ch), cap(q.ch)
+		depth, capacity = len(q.ch)+int(q.inflight.Load()), cap(q.ch)
 	}
 	q.mu.Unlock()
 	return QueueStats{
@@ -224,7 +258,34 @@ func (q *submitQueue) snapshot() QueueStats {
 		Capacity:       capacity,
 		DepthHighWater: int(q.depthHW.Load()),
 		Wait:           q.waitHist.Snapshot(),
+		EDF:            !q.fifo.Load(),
+		Window:         time.Duration(q.windowNs.Load()),
 	}
+}
+
+// QueueStats returns only the submission-queue slice of Stats. Unlike
+// Stats it snapshots no shape series or cache maps, so a serving tier
+// can consult it per admission decision.
+func (e *Engine) QueueStats() QueueStats { return e.queue.snapshot() }
+
+// SetEDF toggles deadline-ordered dispatch. When on (the default) the
+// dispatcher executes each drained batch's bundles in earliest-context-
+// deadline order, with OpDesc.Priority breaking ties, so a tight-deadline
+// request never waits behind a loose bundle that merely arrived earlier.
+// When off, bundles execute in arrival order (FIFO). Safe to flip at any
+// time; it affects batches drained after the call.
+func (e *Engine) SetEDF(on bool) { e.queue.fifo.Store(!on) }
+
+// SetBatchWindow sets the max-batch-window: how long the dispatcher holds
+// a drain open after the batch's first request, trading latency (every
+// queued request waits up to d longer) for throughput (larger fused
+// bundles, and bursts land in one EDF-ordered batch). 0 — the default —
+// restores drain-what-accumulated dispatch. Safe to change at any time.
+func (e *Engine) SetBatchWindow(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.queue.windowNs.Store(int64(d))
 }
 
 // SetQueueCapacity bounds the engine's submission queue. The bound can
@@ -306,6 +367,7 @@ func (e *Engine) SubmitSpanned(ctx context.Context, op OpDesc, sink obs.SpanFunc
 	q.start(e)
 	r := &asyncReq{ctx: ctx, op: op, fut: newFuture(), sink: sink}
 	r.nops = copy(r.ops[:], operands)
+	r.deadline, r.hasDL = ctx.Deadline()
 	// Span start = submission time, so queued requests attribute the gap
 	// to PhaseQueueWait.
 	r.sp = e.obs.StartSpan(sink != nil)
@@ -324,7 +386,15 @@ func (e *Engine) SubmitSpanned(ctx context.Context, op OpDesc, sink obs.SpanFunc
 	select {
 	case q.ch <- r:
 		q.submitted.Add(1)
-		q.noteDepth(len(q.ch))
+		// Pending = buffered + the dispatcher's current batch. The request
+		// just sent may already be in the dispatcher's hands (direct
+		// handoff empties the buffer before inflight is stamped), so the
+		// floor is 1: at this instant at least our own request is pending.
+		if d := len(q.ch) + int(q.inflight.Load()); d > 0 {
+			q.noteDepth(d)
+		} else {
+			q.noteDepth(1)
+		}
 		return r.fut, nil
 	default:
 		q.rejected.Add(1)
@@ -394,7 +464,9 @@ func (e *Engine) dispatchLoop() {
 					q.stolenBatches.Add(1)
 					q.stolenReqs.Add(uint64(n))
 					q.busy.Store(true)
+					q.inflight.Store(int64(len(batch)))
 					e.runBatch(batch)
+					q.inflight.Store(0)
 					q.busy.Store(false)
 					for i := range batch {
 						batch[i] = nil
@@ -405,11 +477,38 @@ func (e *Engine) dispatchLoop() {
 		}
 		q.busy.Store(true)
 		batch = append(batch[:0], r)
+		// inflight tracks the batch as it accumulates, not just while it
+		// executes: receiving moves requests out of the channel, and without
+		// this the queue would look empty to admission control for the whole
+		// window + execution of a deep backlog.
+		q.inflight.Store(1)
+		// Max-batch-window: hold the drain open so a burst — and any
+		// tight-deadline request inside it — lands in ONE drained batch for
+		// the EDF pass to order. busy is already set, so submissions during
+		// the window skip the inline fast path and join this batch.
+		if w := time.Duration(q.windowNs.Load()); w > 0 {
+			wt := time.NewTimer(w)
+		window:
+			for {
+				select {
+				case r2, ok := <-q.ch:
+					if !ok {
+						break window
+					}
+					batch = append(batch, r2)
+					q.inflight.Store(int64(len(batch)))
+				case <-wt.C:
+					break window
+				}
+			}
+			wt.Stop()
+		}
 	drain:
 		for {
 			select {
 			case r2 := <-q.ch:
 				batch = append(batch, r2)
+				q.inflight.Store(int64(len(batch)))
 			default:
 				break drain
 			}
@@ -418,6 +517,7 @@ func (e *Engine) dispatchLoop() {
 			h(len(batch))
 		}
 		e.runBatch(batch)
+		q.inflight.Store(0)
 		q.busy.Store(false)
 		// Drop request references so resolved futures and their operands
 		// are collectible while the dispatcher idles.
@@ -464,7 +564,8 @@ func keyOf(r *asyncReq) coalesceKey {
 }
 
 // runBatch resolves cancelled requests, partitions the rest by problem
-// identity (preserving arrival order) and executes each bundle.
+// identity and executes each bundle — in earliest-deadline-first order
+// unless EDF is disabled (then arrival order, the FIFO drain).
 func (e *Engine) runBatch(batch []*asyncReq) {
 	q := &e.queue
 	var order []coalesceKey
@@ -486,9 +587,50 @@ func (e *Engine) runBatch(batch []*asyncReq) {
 		}
 		buckets[k] = append(buckets[k], r)
 	}
+	if !q.fifo.Load() && len(order) > 1 {
+		orderByDeadline(order, buckets)
+	}
 	for _, k := range order {
 		e.runBundle(buckets[k])
 	}
+}
+
+// orderByDeadline sorts the bundle execution order EDF-style: bundles
+// with a context deadline run before bundles without one, earlier
+// deadlines first; the highest OpDesc.Priority in the bundle breaks ties
+// (and orders the no-deadline bundles among themselves), and arrival
+// order breaks what remains (stable sort). Reordering whole bundles is
+// result-neutral: bundles share no operands with each other — only the
+// order of independent fused dispatches changes, never their content.
+func orderByDeadline(order []coalesceKey, buckets map[coalesceKey][]*asyncReq) {
+	type rank struct {
+		hasDL bool
+		dl    time.Time
+		prio  int
+	}
+	ranks := make(map[coalesceKey]rank, len(order))
+	for _, k := range order {
+		var rk rank
+		for i, r := range buckets[k] {
+			if r.hasDL && (!rk.hasDL || r.deadline.Before(rk.dl)) {
+				rk.hasDL, rk.dl = true, r.deadline
+			}
+			if i == 0 || r.op.Priority > rk.prio {
+				rk.prio = r.op.Priority
+			}
+		}
+		ranks[k] = rk
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := ranks[order[i]], ranks[order[j]]
+		if a.hasDL != b.hasDL {
+			return a.hasDL
+		}
+		if a.hasDL && !a.dl.Equal(b.dl) {
+			return a.dl.Before(b.dl)
+		}
+		return a.prio > b.prio
+	})
 }
 
 // runBundle executes one same-problem bundle: a lone request runs
@@ -498,6 +640,29 @@ func (e *Engine) runBatch(batch []*asyncReq) {
 // when earlier bundles of the same drained batch ran first.
 func (e *Engine) runBundle(reqs []*asyncReq) {
 	q := &e.queue
+	// Fuse-time expiry check: a bundle late in a drained batch waited
+	// behind every earlier bundle's execution, so a deadline that was live
+	// at the dequeue check may be dead by now. Dead requests resolve with
+	// ctx.Err() here, without consuming fused-batch slots (the fused
+	// super-batch is built only from the survivors).
+	live := reqs[:0]
+	for _, r := range reqs {
+		if err := r.ctx.Err(); err != nil {
+			q.cancelled.Add(1)
+			if r.sp != nil {
+				r.sp.Op = r.op.Kind.String()
+				r.sp.Phases[obs.PhaseQueueWait] = time.Since(r.enq)
+			}
+			e.obs.FinishSpan(r.sp, err, r.sink)
+			r.fut.resolve(err)
+			continue
+		}
+		live = append(live, r)
+	}
+	if len(live) == 0 {
+		return
+	}
+	reqs = live
 	q.dispatches.Add(1)
 	now := time.Now()
 	for _, r := range reqs {

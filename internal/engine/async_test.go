@@ -9,6 +9,7 @@ import (
 
 	"iatf/internal/core"
 	"iatf/internal/layout"
+	"iatf/internal/obs"
 )
 
 // holdDispatcher wires a test hook that parks the dispatcher goroutine
@@ -411,5 +412,266 @@ func TestAsyncFactorValidation(t *testing.T) {
 	}
 	if !found {
 		t.Error("factor calls missing from the per-shape series")
+	}
+}
+
+// edfOrderTrial drains one held batch of four single-request bundles —
+// submitted loose-deadline first, tight-deadline last, with two
+// no-deadline bundles of different priority between them — and returns
+// the order the dispatcher executed them in. Span sinks record the
+// order: they run synchronously on the dispatcher goroutine as each
+// bundle resolves. Results are checked bit-exact against a serial
+// reference engine regardless of ordering mode.
+func edfOrderTrial(t *testing.T, edf bool) []string {
+	t.Helper()
+	e := New(core.DefaultTuning())
+	e.SetEDF(edf)
+	ref := New(core.DefaultTuning())
+	entered, gate := holdDispatcher(e)
+	rng := rand.New(rand.NewSource(90))
+	ctx := context.Background()
+
+	a0, b0, c0 := gemmReqOperands(rng, 8, 4, 4, 4)
+	f0, err := e.Submit(ctx, asyncGEMMDesc, op32(a0), op32(b0), op32(c0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	var got []string
+	subs := []struct {
+		name string
+		k    int // distinct inner dim: each submission is its own bundle
+		dl   time.Duration
+		prio int
+	}{
+		{"loose", 3, time.Minute, 0},
+		{"hi", 5, 0, 5},
+		{"lo", 6, 0, 0},
+		{"tight", 7, 10 * time.Second, 0},
+	}
+	futs := make([]*Future, len(subs))
+	cs := make([]*layout.Compact[float32], len(subs))
+	want := make([]*layout.Compact[float32], len(subs))
+	for i, s := range subs {
+		a, b, c := gemmReqOperands(rng, 9, 4, 4, s.k)
+		cs[i] = c
+		want[i] = c.Clone()
+		desc := OpDesc{Kind: OpGEMM, Alpha: 1, Beta: 1, Workers: 1, Priority: s.prio}
+		if err := ref.Run(desc, op32(a), op32(b), op32(want[i])); err != nil {
+			t.Fatal(err)
+		}
+		sctx := ctx
+		if s.dl > 0 {
+			var cancel context.CancelFunc
+			sctx, cancel = context.WithDeadline(ctx, time.Now().Add(s.dl))
+			defer cancel()
+		}
+		name := s.name
+		sink := obs.SpanFunc(func(sp *obs.Span) { got = append(got, name) })
+		if futs[i], err = e.SubmitSpanned(sctx, desc, sink, op32(a), op32(b), op32(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	close(gate)
+	if err := f0.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		if err := f.Err(); err != nil {
+			t.Fatalf("%s: %v", subs[i].name, err)
+		}
+	}
+	for i := range subs {
+		for j := range cs[i].Data {
+			if cs[i].Data[j] != want[i].Data[j] {
+				t.Fatalf("%s diverges from serial reference at element %d", subs[i].name, j)
+			}
+		}
+	}
+	return got
+}
+
+// TestAsyncEDFOrdering: within one drained batch, the tight-deadline
+// bundle executes first even though it was submitted last; deadline-less
+// bundles follow the deadline-carrying ones, higher priority class
+// first. With EDF off the same traffic executes in arrival order.
+func TestAsyncEDFOrdering(t *testing.T) {
+	edfWant := []string{"tight", "loose", "hi", "lo"}
+	if got := edfOrderTrial(t, true); !equalStrings(got, edfWant) {
+		t.Fatalf("EDF order = %v, want %v", got, edfWant)
+	}
+	fifoWant := []string{"loose", "hi", "lo", "tight"}
+	if got := edfOrderTrial(t, false); !equalStrings(got, fifoWant) {
+		t.Fatalf("FIFO order = %v, want %v", got, fifoWant)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestAsyncFuseTimeExpiry: a request whose context died after the
+// dequeue check but before its bundle fuses must resolve with ctx.Err(),
+// count as Cancelled, and leave the fused super-batch to the survivors —
+// whose results stay bit-identical to a serial reference.
+func TestAsyncFuseTimeExpiry(t *testing.T) {
+	e := New(core.DefaultTuning())
+	ref := New(core.DefaultTuning())
+	rng := rand.New(rand.NewSource(91))
+
+	const N = 5
+	dead := map[int]bool{1: true, 3: true}
+	reqs := make([]*asyncReq, N)
+	cs := make([]*layout.Compact[float32], N)
+	want := make([]*layout.Compact[float32], N)
+	for i := 0; i < N; i++ {
+		a, b, c := gemmReqOperands(rng, 13, 4, 4, 4)
+		cs[i] = c
+		want[i] = c.Clone() // survivors: overwritten by the reference run below
+		if !dead[i] {
+			if err := ref.Run(asyncGEMMDesc, op32(a), op32(b), op32(want[i])); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rctx := context.Background()
+		if dead[i] {
+			cctx, cancel := context.WithCancel(rctx)
+			cancel()
+			rctx = cctx
+		}
+		r := &asyncReq{ctx: rctx, op: asyncGEMMDesc, fut: newFuture(), enq: time.Now(), nops: 3}
+		r.ops[0], r.ops[1], r.ops[2] = op32(a), op32(b), op32(c)
+		reqs[i] = r
+	}
+
+	// runBundle compacts its slice in place (survivors shift down), so it
+	// gets a copy and the test keeps its own stable view.
+	e.runBundle(append([]*asyncReq(nil), reqs...))
+
+	for i := 0; i < N; i++ {
+		err := reqs[i].fut.Err()
+		if dead[i] {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("request %d: err = %v, want context.Canceled", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("survivor %d: %v", i, err)
+		}
+		// Dead requests keep their original contents; survivors must match
+		// the serial reference bit for bit.
+		for j := range cs[i].Data {
+			if cs[i].Data[j] != want[i].Data[j] {
+				t.Fatalf("request %d (dead=%v) diverges at element %d", i, dead[i], j)
+			}
+		}
+	}
+	s := e.Stats().Queue
+	if s.Cancelled != 2 {
+		t.Errorf("cancelled = %d, want 2", s.Cancelled)
+	}
+	if s.Dispatches != 1 {
+		t.Errorf("dispatches = %d, want 1 (one fused dispatch of the survivors)", s.Dispatches)
+	}
+	if s.Coalesced != 2 {
+		t.Errorf("coalesced = %d, want 2 (three survivors in one fused dispatch)", s.Coalesced)
+	}
+	if s.MaxFused != 3 {
+		t.Errorf("max fused = %d, want 3 (dead requests must not consume slots)", s.MaxFused)
+	}
+
+	// An entirely dead bundle resolves every request without dispatching.
+	r2 := make([]*asyncReq, 2)
+	for i := range r2 {
+		a, b, c := gemmReqOperands(rng, 8, 4, 4, 4)
+		cctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		r2[i] = &asyncReq{ctx: cctx, op: asyncGEMMDesc, fut: newFuture(), enq: time.Now(), nops: 3}
+		r2[i].ops[0], r2[i].ops[1], r2[i].ops[2] = op32(a), op32(b), op32(c)
+	}
+	e.runBundle(append([]*asyncReq(nil), r2...))
+	for i := range r2 {
+		if err := r2[i].fut.Err(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("all-dead bundle request %d: err = %v", i, err)
+		}
+	}
+	s = e.Stats().Queue
+	if s.Dispatches != 1 || s.Cancelled != 4 {
+		t.Errorf("after all-dead bundle: dispatches=%d cancelled=%d, want 1/4", s.Dispatches, s.Cancelled)
+	}
+}
+
+// TestAsyncWindowBatching: with a max-batch-window set, requests that
+// arrive while the dispatcher holds the drain open land in the same
+// batch and coalesce — the mechanism that makes the EDF pass effective
+// for bursts. Verified through the fused/dispatch counters rather than
+// timing: all N same-problem submissions ride one window.
+func TestAsyncWindowBatching(t *testing.T) {
+	e := New(core.DefaultTuning())
+	e.SetBatchWindow(50 * time.Millisecond)
+	rng := rand.New(rand.NewSource(92))
+	ctx := context.Background()
+
+	// Occupy the inline fast path briefly: first submission executes
+	// inline, the rest queue while its window... no — inline path skips
+	// the window. Force queue traffic by marking the queue busy, then
+	// release it by submitting through the dispatcher.
+	entered, gate := holdDispatcher(e)
+	a0, b0, c0 := gemmReqOperands(rng, 8, 4, 4, 4)
+	f0, err := e.Submit(ctx, asyncGEMMDesc, op32(a0), op32(b0), op32(c0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	const N = 6
+	const count, m, n, k = 10, 5, 4, 6
+	desc := OpDesc{Kind: OpGEMM, Alpha: 1, Beta: 1, Workers: 1}
+	futs := make([]*Future, N)
+	// Submit half before releasing the dispatcher; the other half race
+	// into the open window right after release.
+	for i := 0; i < N/2; i++ {
+		a, b, c := gemmReqOperands(rng, count, m, n, k)
+		if futs[i], err = e.Submit(ctx, desc, op32(a), op32(b), op32(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(gate)
+	for i := N / 2; i < N; i++ {
+		a, b, c := gemmReqOperands(rng, count, m, n, k)
+		if futs[i], err = e.Submit(ctx, desc, op32(a), op32(b), op32(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < N; i++ {
+		if err := futs[i].Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f0.Err(); err != nil {
+		t.Fatal(err)
+	}
+	s := e.Stats().Queue
+	// All N same-problem requests must have fused into very few
+	// dispatches; with the 50ms window they almost always land in one,
+	// but the assertion only requires that coalescing happened across
+	// the release boundary (more than the pre-release half fused).
+	if s.Coalesced < N/2 {
+		t.Errorf("coalesced = %d, want >= %d (window must extend the batch)", s.Coalesced, N/2)
+	}
+	if got := s.Window; got != 50*time.Millisecond {
+		t.Errorf("QueueStats.Window = %v, want 50ms", got)
+	}
+	if !s.EDF {
+		t.Errorf("QueueStats.EDF = false, want true (default)")
 	}
 }

@@ -95,6 +95,14 @@ type OpDesc struct {
 	Diag           matrix.Diag  // TRSM/TRMM
 	Alpha, Beta    complex128   // Beta is GEMM/SYRK-only
 	Workers        int
+
+	// Priority is the request's dispatch class: when two drained bundles
+	// share the earliest context deadline (or neither has one), the bundle
+	// holding the higher Priority executes first. It affects only the
+	// EDF ordering pass — never results, plan identity, shard routing or
+	// coalescing (requests differing only in Priority still fuse, and the
+	// bundle ranks by its most urgent rider).
+	Priority int
 }
 
 // Operand is a type-erased compact batch: exactly one of F32/F64 is set

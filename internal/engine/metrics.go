@@ -252,6 +252,13 @@ func writeOpenMetrics(w io.Writer, entries []metricsEntry, set *SetStats) error 
 		{"iatf_queue_capacity", func(st *Stats) float64 { return float64(st.Queue.Capacity) }},
 		{"iatf_queue_depth_high_water", func(st *Stats) float64 { return float64(st.Queue.DepthHighWater) }},
 		{"iatf_queue_max_fused", func(st *Stats) float64 { return float64(st.Queue.MaxFused) }},
+		{"iatf_queue_edf", func(st *Stats) float64 {
+			if st.Queue.EDF {
+				return 1
+			}
+			return 0
+		}},
+		{"iatf_queue_batch_window_seconds", func(st *Stats) float64 { return st.Queue.Window.Seconds() }},
 		{"iatf_bufpool_in_use", func(st *Stats) float64 { return float64(st.Buffers.InUse) }},
 		{"iatf_sched_workers", func(st *Stats) float64 { return float64(st.Sched.Workers) }},
 	}

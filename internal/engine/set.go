@@ -41,6 +41,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"iatf/internal/core"
 	"iatf/internal/obs"
@@ -247,16 +248,33 @@ func (s *Set) RunLUPiv(op OpDesc, a Operand) (*core.Pivots, []int, error) {
 }
 
 // leastLoaded returns the shard with the shallowest queue, excluding
-// skip. Depth reads race submissions harmlessly — this is a heuristic.
+// skip. Every depth is sampled into one snapshot before any comparison,
+// so the decision is coherent: concurrent churn between samples cannot
+// interleave with the argmin scan, and with at least one sibling present
+// the result is never skip — a queue-full fallback must not retry the
+// shard that just rejected it. The snapshot is still a heuristic (depths
+// move the instant after sampling), which the fallback path tolerates by
+// counting a full sibling as FallbackRejects rather than retrying again.
 func (s *Set) leastLoaded(skip int) int {
-	best, bestDepth := skip, int(^uint(0)>>1)
-	for i, e := range s.engines {
+	var stack [16]int
+	depths := stack[:0]
+	if len(s.engines) > len(stack) {
+		depths = make([]int, 0, len(s.engines))
+	}
+	for _, e := range s.engines {
+		depths = append(depths, len(e.queue.ch))
+	}
+	best := -1
+	for i, d := range depths {
 		if i == skip {
 			continue
 		}
-		if d := len(e.queue.ch); d < bestDepth {
-			best, bestDepth = i, d
+		if best < 0 || d < depths[best] {
+			best = i
 		}
+	}
+	if best < 0 {
+		return skip
 	}
 	return best
 }
@@ -346,6 +364,38 @@ func (s *Set) Stats() SetStats {
 	}
 	out.Aggregate.Shapes = obs.AggregateShapes(perShape...)
 	return out
+}
+
+// QueueStats returns the cross-shard aggregate of every shard's
+// submission-queue counters — the cheap admission-control view of the
+// whole set (no shape series or cache snapshots; see Engine.QueueStats).
+func (s *Set) QueueStats() QueueStats {
+	var agg QueueStats
+	for i, e := range s.engines {
+		if i == 0 {
+			agg = e.queue.snapshot()
+			continue
+		}
+		st := e.queue.snapshot()
+		agg.Add(st)
+	}
+	return agg
+}
+
+// SetEDF toggles deadline-ordered dispatch on every shard; see
+// Engine.SetEDF.
+func (s *Set) SetEDF(on bool) {
+	for _, e := range s.engines {
+		e.SetEDF(on)
+	}
+}
+
+// SetBatchWindow sets every shard's max-batch-window; see
+// Engine.SetBatchWindow.
+func (s *Set) SetBatchWindow(d time.Duration) {
+	for _, e := range s.engines {
+		e.SetBatchWindow(d)
+	}
 }
 
 // ResetShapeStats resets every shard's windowed observability state; see

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -417,5 +418,89 @@ func TestSetRunParity(t *testing.T) {
 				t.Fatalf("%v: set result diverges at %d", dim, j)
 			}
 		}
+	}
+}
+
+// TestSetLeastLoadedSnapshotCoherence: the queue-full fallback's shard
+// choice samples every depth into one snapshot before comparing, so
+// under concurrent depth churn it must never return the shard it was
+// asked to exclude (the one that just rejected the submission) and must
+// always return a valid sibling. Before the snapshot fix the argmin scan
+// interleaved live len(ch) reads, which could crown the skipped shard
+// when depths moved mid-scan.
+func TestSetLeastLoadedSnapshotCoherence(t *testing.T) {
+	s := NewSet(core.DefaultTuning(), 4)
+	// Materialize the queue channels without starting dispatchers: the
+	// test drives depth churn directly and nothing may drain it.
+	for i := range s.engines {
+		s.engines[i].queue.ch = make(chan *asyncReq, 8)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := range s.engines {
+		ch := s.engines[i].queue.ch
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				select {
+				case ch <- &asyncReq{}:
+				default:
+				}
+				select {
+				case <-ch:
+				default:
+				}
+			}
+		}()
+	}
+
+	for skip := range s.engines {
+		for iter := 0; iter < 5000; iter++ {
+			got := s.leastLoaded(skip)
+			if got == skip {
+				t.Fatalf("leastLoaded(%d) returned the skipped shard under churn (iter %d)", skip, iter)
+			}
+			if got < 0 || got >= len(s.engines) {
+				t.Fatalf("leastLoaded(%d) = %d, out of range", skip, got)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// Degenerate single-shard set: with no sibling to fall back to the
+	// skipped shard is the only possible answer.
+	solo := NewSet(core.DefaultTuning(), 1)
+	solo.engines[0].queue.ch = make(chan *asyncReq, 2)
+	if got := solo.leastLoaded(0); got != 0 {
+		t.Fatalf("single-shard leastLoaded(0) = %d, want 0", got)
+	}
+}
+
+// TestSetLeastLoadedPicksShallowest: with static unequal depths the
+// snapshot argmin must find the true minimum among the non-skipped
+// shards — including when the skipped shard itself is the shallowest.
+func TestSetLeastLoadedPicksShallowest(t *testing.T) {
+	s := NewSet(core.DefaultTuning(), 4)
+	depths := []int{0, 3, 1, 2}
+	for i := range s.engines {
+		s.engines[i].queue.ch = make(chan *asyncReq, 8)
+		for d := 0; d < depths[i]; d++ {
+			s.engines[i].queue.ch <- &asyncReq{}
+		}
+	}
+	if got := s.leastLoaded(1); got != 0 {
+		t.Fatalf("leastLoaded(1) = %d, want 0 (depth 0)", got)
+	}
+	// Skip the shallowest: the next-best sibling wins, not the skipped one.
+	if got := s.leastLoaded(0); got != 2 {
+		t.Fatalf("leastLoaded(0) = %d, want 2 (depth 1)", got)
 	}
 }

@@ -86,6 +86,16 @@ func (h *Hist) Snapshot() HistSnapshot {
 	return snap
 }
 
+// Mean returns the distribution's average duration (0 when empty) — the
+// serving tier's admission predictor scales it by queue depth to estimate
+// a new request's wait.
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / s.Count)
+}
+
 // Add merges another snapshot into s — the cross-shard aggregate view of
 // an EngineSet's queue-wait histograms. Buckets are summed by bound and
 // the quantiles recomputed from the merged distribution.

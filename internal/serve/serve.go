@@ -1,0 +1,523 @@
+// Package serve is the SLO-aware HTTP serving tier over the engine's
+// async submission front-end — the network boundary of the ROADMAP's
+// "millions of users" story. It keeps the tuned run-time stage behind a
+// thin stdlib net/http surface (the IAAT-style install-time/run-time
+// split: tuning happens below, admission decisions happen here) and
+// drives those decisions from signals the engine already exports, the
+// way tritonBLAS derives kernel selection analytically instead of by
+// probing:
+//
+//   - POST /v1/do accepts one batched compact-BLAS request as JSON,
+//     lowers it onto iatf.Submit (the coalescing, EDF-ordered queue) and
+//     streams the written operand back. A context deadline comes from the
+//     request body (deadline_ms) or the server default; a tenant header
+//     maps to a priority class that breaks EDF ties.
+//   - Admission control sheds load BEFORE enqueueing: the predicted queue
+//     wait — the recent iatf_queue_wait_seconds p99 scaled by how full
+//     the queue is relative to its depth high-water mark — is compared
+//     against the request's deadline, and a request that would miss it
+//     anyway is rejected with 429 and a Retry-After hint instead of
+//     wasting a queue slot to time out inside the dispatcher.
+//   - ErrQueueFull backpressure maps to the same 429 contract; a deadline
+//     that expires during execution maps to 504.
+//
+// The admission signal is cached and refreshed at most once per
+// Config.AdmitRefresh, so steady-state admission costs one atomic load
+// plus a clock read, not a stats snapshot per request.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"iatf"
+)
+
+// Config configures a Server. Exactly one backend is used: Set when
+// non-nil, else Engine, else the process-wide default engine.
+type Config struct {
+	Engine *iatf.Engine
+	Set    *iatf.EngineSet
+
+	// DefaultDeadline is applied to requests that carry no deadline_ms.
+	// 0 means such requests run without a deadline (and are always
+	// admitted — the predictor has nothing to compare against).
+	DefaultDeadline time.Duration
+
+	// Tenants maps the X-IATF-Tenant header to a priority class
+	// (iatf.WithPriority). Unknown or absent tenants use the request
+	// body's priority field (default class 0).
+	Tenants map[string]int
+
+	// AdmitRefresh bounds how often the admission signal is recomputed
+	// from the backend's QueueStats (default 5ms).
+	AdmitRefresh time.Duration
+
+	// MaxBodyBytes bounds a request body (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+// Stats counts the server's request outcomes. Queue is the backend's
+// aggregate submission-queue view at snapshot time.
+type Stats struct {
+	Admitted  uint64 `json:"admitted"`   // requests that passed admission and were submitted
+	Done      uint64 `json:"done"`       // 200: completed within deadline
+	Shed      uint64 `json:"shed"`       // 429: predicted wait exceeded the deadline
+	QueueFull uint64 `json:"queue_full"` // 429: ErrQueueFull backpressure
+	Expired   uint64 `json:"expired"`    // 504: deadline passed while queued or executing
+	Errors    uint64 `json:"errors"`     // 400/405/500
+
+	Queue iatf.QueueStats `json:"queue"`
+}
+
+// admitSignal is one cached admission prediction.
+type admitSignal struct {
+	at        time.Time
+	predicted time.Duration
+}
+
+// Server is the serving tier: build one with New, mount Handler.
+type Server struct {
+	cfg Config
+
+	admitted  atomic.Uint64
+	done      atomic.Uint64
+	shed      atomic.Uint64
+	queueFull atomic.Uint64
+	expired   atomic.Uint64
+	errors    atomic.Uint64
+
+	sig atomic.Pointer[admitSignal]
+}
+
+// New builds a Server over cfg's backend.
+func New(cfg Config) *Server {
+	if cfg.Set == nil && cfg.Engine == nil {
+		cfg.Engine = iatf.DefaultEngine()
+	}
+	if cfg.AdmitRefresh <= 0 {
+		cfg.AdmitRefresh = 5 * time.Millisecond
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	return &Server{cfg: cfg}
+}
+
+// queueStats returns the backend's submission-queue aggregate.
+func (s *Server) queueStats() iatf.QueueStats {
+	if s.cfg.Set != nil {
+		return s.cfg.Set.QueueStats()
+	}
+	return s.cfg.Engine.QueueStats()
+}
+
+// Stats snapshots the server's outcome counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Admitted:  s.admitted.Load(),
+		Done:      s.done.Load(),
+		Shed:      s.shed.Load(),
+		QueueFull: s.queueFull.Load(),
+		Expired:   s.expired.Load(),
+		Errors:    s.errors.Load(),
+		Queue:     s.queueStats(),
+	}
+}
+
+// PredictWait estimates the queue wait a request admitted now would see,
+// refreshing the cached signal if it is older than Config.AdmitRefresh.
+//
+// The model uses exactly the two signals PR 5 exported: the queue-wait
+// histogram bounds what recently queued requests actually waited (p99),
+// and depth relative to the depth high-water mark says how close the
+// queue is to the regime that produced that tail. An idle queue predicts
+// the batch window (the floor any queued request pays); a queue at its
+// historical peak predicts the full recent p99.
+func (s *Server) PredictWait() time.Duration {
+	if sig := s.sig.Load(); sig != nil && time.Since(sig.at) < s.cfg.AdmitRefresh {
+		return sig.predicted
+	}
+	p := predictWait(s.queueStats())
+	s.sig.Store(&admitSignal{at: time.Now(), predicted: p})
+	return p
+}
+
+// predictWait is the pure admission model over one queue snapshot.
+func predictWait(q iatf.QueueStats) time.Duration {
+	if q.Depth == 0 {
+		return q.Window
+	}
+	hw := q.DepthHighWater
+	if hw < q.Depth {
+		hw = q.Depth
+	}
+	pred := time.Duration(float64(q.Wait.P99) * float64(q.Depth) / float64(hw))
+	// The wait distribution needs traffic before its tail means anything;
+	// until then fall back to mean-wait-per-queued-request, then to the
+	// window floor.
+	if pred == 0 {
+		pred = q.Wait.Mean() * time.Duration(q.Depth)
+	}
+	if pred < q.Window {
+		pred = q.Window
+	}
+	return pred
+}
+
+// Handler returns the serving mux:
+//
+//	POST /v1/do   execute one batched request
+//	GET  /healthz liveness
+//	GET  /stats   Stats as JSON
+//	GET  /metrics backend OpenMetrics scrape
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/do", s.handleDo)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.Stats())
+	})
+	if s.cfg.Set != nil {
+		mux.Handle("/metrics", s.cfg.Set.MetricsHandler())
+	} else {
+		mux.Handle("/metrics", s.cfg.Engine.MetricsHandler())
+	}
+	return mux
+}
+
+// WireOperand is one operand on the wire: Count (from the request)
+// contiguous column-major rows×cols matrices, back to back in Data.
+type WireOperand struct {
+	Rows int       `json:"rows"`
+	Cols int       `json:"cols"`
+	Data []float64 `json:"data"`
+}
+
+// DoRequest is the /v1/do body. Mode strings follow BLAS spelling:
+// trans "N"/"T", side "L"/"R", uplo "L"/"U", diag "N"/"U". DType is
+// "f32" (default) or "f64"; f32 requests parse Data at float32
+// precision. Which operands are read depends on Op exactly as in
+// iatf.Request: gemm A,B,C — trsm/trmm A,B — syrk A,C.
+type DoRequest struct {
+	Op     string `json:"op"` // "gemm" | "trsm" | "trmm" | "syrk"
+	DType  string `json:"dtype,omitempty"`
+	TransA string `json:"trans_a,omitempty"`
+	TransB string `json:"trans_b,omitempty"`
+	Side   string `json:"side,omitempty"`
+	Uplo   string `json:"uplo,omitempty"`
+	Diag   string `json:"diag,omitempty"`
+
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	Count int     `json:"count"`
+
+	A *WireOperand `json:"a,omitempty"`
+	B *WireOperand `json:"b,omitempty"`
+	C *WireOperand `json:"c,omitempty"`
+
+	// DeadlineMs is the request's end-to-end SLO; 0 uses the server
+	// default. Priority is the EDF tie-break class (overridden by a
+	// mapped X-IATF-Tenant header).
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	Priority   int   `json:"priority,omitempty"`
+}
+
+// DoResponse carries the written operand (C for gemm/syrk, B for
+// trsm/trmm) back as column-major data, plus the server-side latency.
+type DoResponse struct {
+	Result    []float64 `json:"result"`
+	ElapsedUs int64     `json:"elapsed_us"`
+}
+
+// errorBody is the JSON error contract, shared by every non-200 outcome.
+type errorBody struct {
+	Error           string `json:"error"`
+	PredictedWaitMs int64  `json:"predicted_wait_ms,omitempty"`
+	RetryAfterMs    int64  `json:"retry_after_ms,omitempty"`
+}
+
+// writeError emits one JSON error response. For 429s, Retry-After (whole
+// seconds, minimum 1 — the header's resolution) and the millisecond
+// retry hint in the body both derive from the predicted wait.
+func writeError(w http.ResponseWriter, status int, msg string, predicted time.Duration) {
+	w.Header().Set("Content-Type", "application/json")
+	body := errorBody{Error: msg}
+	if status == http.StatusTooManyRequests {
+		secs := int64((predicted + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		body.PredictedWaitMs = predicted.Milliseconds()
+		body.RetryAfterMs = secs * 1000
+	}
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+// priorityOf resolves the request's class: a mapped tenant header wins
+// over the body field.
+func (s *Server) priorityOf(r *http.Request, body *DoRequest) int {
+	if t := r.Header.Get("X-IATF-Tenant"); t != "" {
+		if p, ok := s.cfg.Tenants[t]; ok {
+			return p
+		}
+	}
+	return body.Priority
+}
+
+func (s *Server) handleDo(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.errors.Add(1)
+		writeError(w, http.StatusMethodNotAllowed, "POST only", 0)
+		return
+	}
+	var req DoRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "decode: "+err.Error(), 0)
+		return
+	}
+
+	deadline := time.Duration(req.DeadlineMs) * time.Millisecond
+	if req.DeadlineMs <= 0 {
+		deadline = s.cfg.DefaultDeadline
+	}
+
+	// Admission: shed a request whose predicted queue wait already
+	// exceeds its deadline — it would only occupy a slot to die in.
+	if deadline > 0 {
+		if pred := s.PredictWait(); pred > deadline {
+			s.shed.Add(1)
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("shed: predicted queue wait %v exceeds deadline %v", pred, deadline), pred)
+			return
+		}
+	}
+
+	ctx := r.Context()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+
+	start := time.Now()
+	var result []float64
+	var err error
+	switch req.DType {
+	case "", "f32":
+		result, err = run[float32](s, ctx, &req, s.priorityOf(r, &req))
+	case "f64":
+		result, err = run[float64](s, ctx, &req, s.priorityOf(r, &req))
+	default:
+		s.errors.Add(1)
+		writeError(w, http.StatusBadRequest, "dtype must be f32 or f64", 0)
+		return
+	}
+
+	if err == nil {
+		s.done.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(DoResponse{
+			Result:    result,
+			ElapsedUs: time.Since(start).Microseconds(),
+		})
+		return
+	}
+	status := classify(err)
+	switch status {
+	case http.StatusTooManyRequests:
+		s.queueFull.Add(1)
+		writeError(w, status, "queue full: "+err.Error(), s.PredictWait())
+	case http.StatusGatewayTimeout:
+		s.expired.Add(1)
+		writeError(w, status, "deadline exceeded: "+err.Error(), 0)
+	default:
+		s.errors.Add(1)
+		writeError(w, status, err.Error(), 0)
+	}
+}
+
+// classify maps a submission/execution error onto the HTTP contract:
+// backpressure → 429 (retryable), deadline/cancellation → 504, the
+// engine's validation taxonomy and wire-level errBadRequest → 400,
+// anything else → 500.
+func classify(err error) int {
+	switch {
+	case errors.Is(err, iatf.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, iatf.ErrShape), errors.Is(err, iatf.ErrCount),
+		errors.Is(err, iatf.ErrDType), errors.Is(err, iatf.ErrOperand),
+		errors.Is(err, errBadRequest):
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// errBadRequest marks wire-level validation failures (missing operand,
+// short data) that never reach the engine's typed taxonomy.
+var errBadRequest = errors.New("bad request")
+
+// run lowers the wire request onto one iatf.Submit and waits it out.
+// Methods cannot be generic, so the dtype split lives here.
+func run[T float32 | float64](s *Server, ctx context.Context, req *DoRequest, priority int) ([]float64, error) {
+	if req.Count < 1 {
+		return nil, fmt.Errorf("%w: count must be >= 1", errBadRequest)
+	}
+	ir := iatf.Request[T]{Alpha: T(req.Alpha), Beta: T(req.Beta)}
+	var err error
+	if ir.TransA, err = parseTrans(req.TransA); err != nil {
+		return nil, err
+	}
+	if ir.TransB, err = parseTrans(req.TransB); err != nil {
+		return nil, err
+	}
+	if ir.Side, err = parseSide(req.Side); err != nil {
+		return nil, err
+	}
+	if ir.Uplo, err = parseUplo(req.Uplo); err != nil {
+		return nil, err
+	}
+	if ir.Diag, err = parseDiag(req.Diag); err != nil {
+		return nil, err
+	}
+
+	var written *iatf.Compact[T]
+	switch req.Op {
+	case "gemm":
+		ir.Op = iatf.OpGEMM
+		if ir.A, err = packOperand[T]("a", req.A, req.Count); err != nil {
+			return nil, err
+		}
+		if ir.B, err = packOperand[T]("b", req.B, req.Count); err != nil {
+			return nil, err
+		}
+		if ir.C, err = packOperand[T]("c", req.C, req.Count); err != nil {
+			return nil, err
+		}
+		written = ir.C
+	case "trsm", "trmm":
+		ir.Op = iatf.OpTRSM
+		if req.Op == "trmm" {
+			ir.Op = iatf.OpTRMM
+		}
+		if ir.A, err = packOperand[T]("a", req.A, req.Count); err != nil {
+			return nil, err
+		}
+		if ir.B, err = packOperand[T]("b", req.B, req.Count); err != nil {
+			return nil, err
+		}
+		written = ir.B
+	case "syrk":
+		ir.Op = iatf.OpSYRK
+		if ir.A, err = packOperand[T]("a", req.A, req.Count); err != nil {
+			return nil, err
+		}
+		if ir.C, err = packOperand[T]("c", req.C, req.Count); err != nil {
+			return nil, err
+		}
+		written = ir.C
+	default:
+		return nil, fmt.Errorf("%w: op must be gemm, trsm, trmm or syrk", errBadRequest)
+	}
+
+	opts := [2]iatf.Option{iatf.WithPriority(priority)}
+	if s.cfg.Set != nil {
+		opts[1] = iatf.WithEngineSet(s.cfg.Set)
+	} else {
+		opts[1] = iatf.WithEngine(s.cfg.Engine)
+	}
+	s.admitted.Add(1)
+	fut, err := iatf.Submit(ctx, ir, opts[:]...)
+	if err != nil {
+		return nil, err
+	}
+	if err := fut.Wait(ctx); err != nil {
+		return nil, err
+	}
+
+	out := written.Unpack().Data()
+	res := make([]float64, len(out))
+	for i, v := range out {
+		res[i] = float64(v)
+	}
+	return res, nil
+}
+
+// parseTrans maps the wire spelling onto the BLAS mode ("" = "N").
+func parseTrans(s string) (iatf.Trans, error) {
+	switch s {
+	case "", "N", "n":
+		return iatf.NoTrans, nil
+	case "T", "t":
+		return iatf.Transpose, nil
+	}
+	return iatf.NoTrans, fmt.Errorf("%w: trans must be N or T, got %q", errBadRequest, s)
+}
+
+func parseSide(s string) (iatf.Side, error) {
+	switch s {
+	case "", "L", "l":
+		return iatf.Left, nil
+	case "R", "r":
+		return iatf.Right, nil
+	}
+	return iatf.Left, fmt.Errorf("%w: side must be L or R, got %q", errBadRequest, s)
+}
+
+func parseUplo(s string) (iatf.Uplo, error) {
+	switch s {
+	case "", "L", "l":
+		return iatf.Lower, nil
+	case "U", "u":
+		return iatf.Upper, nil
+	}
+	return iatf.Lower, fmt.Errorf("%w: uplo must be L or U, got %q", errBadRequest, s)
+}
+
+func parseDiag(s string) (iatf.Diag, error) {
+	switch s {
+	case "", "N", "n":
+		return iatf.NonUnit, nil
+	case "U", "u":
+		return iatf.Unit, nil
+	}
+	return iatf.NonUnit, fmt.Errorf("%w: diag must be N or U, got %q", errBadRequest, s)
+}
+
+// packOperand converts one wire operand into the compact layout.
+func packOperand[T float32 | float64](name string, o *WireOperand, count int) (*iatf.Compact[T], error) {
+	if o == nil {
+		return nil, fmt.Errorf("%w: operand %s missing", errBadRequest, name)
+	}
+	if o.Rows < 1 || o.Cols < 1 {
+		return nil, fmt.Errorf("%w: operand %s: invalid dims %dx%d", errBadRequest, name, o.Rows, o.Cols)
+	}
+	want := count * o.Rows * o.Cols
+	if len(o.Data) != want {
+		return nil, fmt.Errorf("%w: operand %s: %d elements, want count*rows*cols = %d",
+			errBadRequest, name, len(o.Data), want)
+	}
+	b := iatf.NewBatch[T](count, o.Rows, o.Cols)
+	dst := b.Data()
+	for i, v := range o.Data {
+		dst[i] = T(v)
+	}
+	return iatf.Pack(b), nil
+}

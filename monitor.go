@@ -77,6 +77,14 @@ func (e *Engine) SetSpanSink(fn func(*Span)) {
 	e.inner.Obs().SetSpanSink(obs.SpanFunc(fn))
 }
 
+// QueueStats returns only the submission-queue slice of the engine's
+// Stats — depth, capacity, the depth high-water mark, the queue-wait
+// histogram, and the EDF/window configuration. Unlike Stats it snapshots
+// no shape series or cache maps, so a serving tier can afford to consult
+// it on every admission decision (internal/serve predicts a new request's
+// queue wait from exactly this view).
+func (e *Engine) QueueStats() QueueStats { return e.inner.QueueStats() }
+
 // WriteMetrics renders one scrape of the engine's state — build info,
 // plan/pack-cache and queue counters (incl. the depth high-water mark
 // and the queue-wait histogram), buffer/worker-pool activity, and the
