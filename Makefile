@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race stress asyncstress shardstress servestress bench benchsmoke benchdiff info trace monitor metrics ci
+.PHONY: all build vet lint test race stress asyncstress shardstress chainstress servestress bench benchsmoke benchdiff info trace monitor metrics ci
 
 all: ci
 
@@ -47,6 +47,13 @@ asyncstress:
 # shard isolation and the set's steady-state allocation budget.
 shardstress:
 	$(GO) test -race -run 'TestSet|TestEngineSet' -count=2 . ./internal/engine/
+
+# Cross-op chain suite under the race detector, run twice: bit-exact
+# parity against serial execution, packed-handoff elision, mid-chain
+# cancellation re-materialization, async chain coalescing and the
+# shared-engine sync/async stress.
+chainstress:
+	$(GO) test -race -run 'Chain' -count=2 . ./internal/engine/
 
 # Serving tier under the race detector, run twice — round-trip numerics,
 # admission-control shedding, tenant priority and the concurrent mixed
@@ -105,4 +112,4 @@ monitor:
 # benchdiff gates ci: the diff tool's 15% tolerance absorbs ordinary
 # run-to-run noise, so a failure means a real regression (or a baseline
 # that needs a deliberate `make bench` refresh alongside the change).
-ci: lint build test race stress asyncstress shardstress servestress benchsmoke benchdiff
+ci: lint build test race stress asyncstress shardstress chainstress servestress benchsmoke benchdiff

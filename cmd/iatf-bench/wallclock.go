@@ -31,7 +31,7 @@ type wcResult struct {
 	DType   string  `json:"dtype"`
 	Shape   string  `json:"shape"`
 	Count   int     `json:"count"`
-	Variant string  `json:"variant"` // "pack-per-call" or "prepacked"
+	Variant string  `json:"variant"` // "pack-per-call"/"prepacked", or "unchained"/"chained" on chain rows
 	Calls   int     `json:"calls"`
 	NsOp    float64 `json:"ns_op"`
 	GFLOPS  float64 `json:"gflops"`
@@ -161,6 +161,95 @@ func wcTRMM[T iatf.Scalar](dt vec.DType, n, count, calls int, prepack bool) (flo
 	return nsOp, flops / nsOp, nil
 }
 
+// wcTriBatchU is the upper-triangular mirror of wcTriBatch: unit-size
+// diagonal, small entries above it, zeros below.
+func wcTriBatchU[T iatf.Scalar](count, n int) *iatf.Batch[T] {
+	b := iatf.NewBatch[T](count, n, n)
+	wcFill(b.Data(), 43)
+	for m := 0; m < count; m++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				switch {
+				case i == j:
+					b.Set(m, i, j, T(1))
+				case i < j:
+					b.Set(m, i, j, b.At(m, i, j)*T(0.01))
+				default:
+					b.Set(m, i, j, 0)
+				}
+			}
+		}
+	}
+	return b
+}
+
+// wcChainFused times the canonical fusable pair — TRMM(Left,Upper) then
+// TRSM(Left,Upper) over the same B — as two separate engine calls
+// ("unchained") or as one iatf.Chain ("chained"): the chain plan keeps
+// B packed across the stage boundary, eliding stage 0's scatter and
+// stage 1's repack. U⁻¹(U·B) = B exactly, so the timed loop is stable.
+func wcChainFused(n, count, calls int, chained bool) (float64, float64, error) {
+	a := iatf.Pack(wcTriBatchU[float64](count, n))
+	bb := iatf.NewBatch[float64](count, n, n)
+	wcFill(bb.Data(), 5)
+	b := iatf.Pack(bb)
+	eng := iatf.NewEngine()
+	call := func() error {
+		if err := iatf.TRMMOn(eng, 0, iatf.Left, iatf.Upper, iatf.NoTrans, iatf.NonUnit, 1.0, a, b); err != nil {
+			return err
+		}
+		return iatf.TRSMOn(eng, 0, iatf.Left, iatf.Upper, iatf.NoTrans, iatf.NonUnit, 1.0, a, b)
+	}
+	if chained {
+		ctx := context.Background()
+		stages := []iatf.Stage[float64]{
+			iatf.TRMMStage(iatf.Left, iatf.Upper, iatf.NoTrans, iatf.NonUnit, 1, a, b),
+			iatf.TRSMStage(iatf.Left, iatf.Upper, iatf.NoTrans, iatf.NonUnit, 1, a, b),
+		}
+		call = func() error { return iatf.Chain(ctx, stages, iatf.WithEngine(eng)) }
+	}
+	nsOp, err := wcTime(calls, call)
+	if err != nil {
+		return 0, 0, err
+	}
+	flops := core.TRMMProblem{DT: vec.D, M: n, N: n, Count: count}.FLOPs() +
+		core.TRSMProblem{DT: vec.D, M: n, N: n, Count: count}.FLOPs()
+	return nsOp, flops / nsOp, nil
+}
+
+// wcChainSolve times the forward/backward solve pair — TRSM with L then
+// TRSM with Lᵀ, the CholeskySolve shape. The two stages want B in
+// different packed forms, so the handoff is NOT elided; the chain's win
+// here is recognizing L as chain-invariant (read by both stages, written
+// by neither) and auto-prepacking its triangle image.
+func wcChainSolve(n, count, calls int, chained bool) (float64, float64, error) {
+	a := iatf.Pack(wcTriBatch[float64](count, n))
+	bb := iatf.NewBatch[float64](count, n, n)
+	wcFill(bb.Data(), 6)
+	b := iatf.Pack(bb)
+	eng := iatf.NewEngine()
+	call := func() error {
+		if err := iatf.TRSMOn(eng, 0, iatf.Left, iatf.Lower, iatf.NoTrans, iatf.NonUnit, 1.0, a, b); err != nil {
+			return err
+		}
+		return iatf.TRSMOn(eng, 0, iatf.Left, iatf.Lower, iatf.Transpose, iatf.NonUnit, 1.0, a, b)
+	}
+	if chained {
+		ctx := context.Background()
+		stages := []iatf.Stage[float64]{
+			iatf.TRSMStage(iatf.Left, iatf.Lower, iatf.NoTrans, iatf.NonUnit, 1, a, b),
+			iatf.TRSMStage(iatf.Left, iatf.Lower, iatf.Transpose, iatf.NonUnit, 1, a, b),
+		}
+		call = func() error { return iatf.Chain(ctx, stages, iatf.WithEngine(eng)) }
+	}
+	nsOp, err := wcTime(calls, call)
+	if err != nil {
+		return 0, 0, err
+	}
+	flops := 2 * core.TRSMProblem{DT: vec.D, M: n, N: n, Count: count}.FLOPs()
+	return nsOp, flops / nsOp, nil
+}
+
 // runWallclock runs every (op, dtype, shape) pair in both variants and
 // prints the comparison; writeJSON additionally writes the rows to
 // outFile (BENCH_wallclock.json by default).
@@ -219,6 +308,46 @@ func runWallclock(writeJSON bool, outFile string, count, calls, maxSize int) {
 				Variant: "prepacked", Calls: calls, NsOp: math.Round(nsPre), GFLOPS: gfPre,
 				Speedup: math.Round(speedup*100) / 100})
 	}
+	// Cross-op chains: the same stages issued as separate calls vs one
+	// iatf.Chain, so the packed-handoff elision and chain auto-prepack
+	// show up in the committed perf trajectory (and benchdiff gates them).
+	type chainFn func(chained bool) (float64, float64, error)
+	type chainCase struct {
+		op, shape string
+		fn        chainFn
+	}
+	var chains []chainCase
+	for _, n := range sizes {
+		n := n
+		shape := fmt.Sprintf("%dx%d", n, n)
+		chains = append(chains,
+			chainCase{"TRMM+TRSM", shape, func(c bool) (float64, float64, error) {
+				return wcChainFused(n, count, calls, c)
+			}},
+			chainCase{"TRSM+TRSM", shape, func(c bool) (float64, float64, error) {
+				return wcChainSolve(n, count, calls, c)
+			}},
+		)
+	}
+	fmt.Printf("\n# Cross-op chains: separate calls vs one iatf.Chain (packed handoff, auto-prepack)\n")
+	fmt.Printf("%-10s %-3s %-8s %14s %10s %14s %10s %8s\n",
+		"chain", "dt", "shape", "unchain ns/op", "GFLOPS", "chain ns/op", "GFLOPS", "speedup")
+	for _, cc := range chains {
+		nsUn, gfUn, err := cc.fn(false)
+		check(err)
+		nsCh, gfCh, err := cc.fn(true)
+		check(err)
+		speedup := nsUn / nsCh
+		fmt.Printf("%-10s %-3s %-8s %14.0f %10.3f %14.0f %10.3f %7.2fx\n",
+			cc.op, "d", cc.shape, nsUn, gfUn, nsCh, gfCh, speedup)
+		rows = append(rows,
+			wcResult{Op: cc.op, DType: "d", Shape: cc.shape, Count: count,
+				Variant: "unchained", Calls: calls, NsOp: math.Round(nsUn), GFLOPS: gfUn},
+			wcResult{Op: cc.op, DType: "d", Shape: cc.shape, Count: count,
+				Variant: "chained", Calls: calls, NsOp: math.Round(nsCh), GFLOPS: gfCh,
+				Speedup: math.Round(speedup*100) / 100})
+	}
+
 	if writeJSON {
 		mergeWallclock(outFile, rows)
 	}

@@ -222,6 +222,21 @@ func demoWorkload() {
 		}
 		wg.Wait()
 	}
+	// Chained dispatch: a fusable TRMM→TRSM pair over one B, iterated so
+	// the chain-plan cache and the scatter/pack elision counters move.
+	chain := func(m, n int) {
+		ca := diagBatch(m)
+		cb := iatf.Pack(iatf.NewBatch[float32](count, m, n))
+		for i := 0; i < 4; i++ {
+			err := iatf.Chain(context.Background(), []iatf.Stage[float32]{
+				iatf.TRMMStage(iatf.Left, iatf.Upper, iatf.NoTrans, iatf.NonUnit, 1, ca, cb),
+				iatf.TRSMStage(iatf.Left, iatf.Upper, iatf.NoTrans, iatf.NonUnit, 1, ca, cb),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 	gemm(8, 8, 8, true)
 	gemm(8, 8, 8, true)  // same shape: pure plan- and pack-cache hits
 	gemm(6, 5, 7, false) // pack-per-call: exercises the streaming pipeline
@@ -230,6 +245,7 @@ func demoWorkload() {
 	tri(false, 8, 4)
 	syrk(8, 6)
 	factor(8)
+	chain(8, 4)
 	burst(8)
 }
 
@@ -279,6 +295,10 @@ func printEngine(asJSON bool) {
 	fmt.Println("pack/compute pipeline:")
 	fmt.Printf("  chunks %d, stalls %d, sync fallbacks %d, packers %d\n",
 		s.Pipeline.Chunks, s.Pipeline.Stalls, s.Pipeline.Fallbacks, s.Pipeline.Packers)
+	fmt.Println("chain dispatch:")
+	fmt.Printf("  runs %d, plan hits %d, misses %d, entries %d; scatter elided %d, pack elided %d\n",
+		s.Chain.Runs, s.Chain.PlanHits, s.Chain.PlanMisses, s.Chain.PlanEntries,
+		s.Chain.ScatterElided, s.Chain.PackElided)
 	fmt.Println("async submission queue:")
 	fmt.Printf("  submitted %d (inline %d), dispatches %d, coalesced %d (max fused %d)\n",
 		s.Queue.Submitted, s.Queue.Inline, s.Queue.Dispatches, s.Queue.Coalesced, s.Queue.MaxFused)

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+
+	"iatf/internal/bufpool"
+	"iatf/internal/kernels"
+	"iatf/internal/layout"
+	"iatf/internal/matrix"
+	"iatf/internal/pack"
+	"iatf/internal/vec"
+)
+
+// Chained executor variants for cross-op fusion: when two adjacent
+// triangular stages of a chain canonicalize B the same way (equal
+// ReverseB and TransposeB), the producer's nBUncopy and the consumer's
+// nBCopy are inverse block permutations — BUncopy∘BCopy is the identity
+// on every group, so the pair can be elided bit-exactly by handing the
+// canonical image straight across the stage boundary.
+//
+// The donated image is a full-batch, group-indexed canonical array of
+// exactly len(b.Data) elements (MEff·NEff == M·N, so the canonical
+// group length equals the compact group length). Ownership stays with
+// the caller (the chain executor), which must either hand the buffer to
+// the next stage or re-materialize it into B with ScatterCanonicalB —
+// while an image is live, b.Data is stale.
+//
+// These workers skip the double-buffered pack pipeline: fused chain
+// stages are replayed steady-state with auto-prepacked triangles, so
+// the per-call pack pass they would hide is usually already gone.
+
+// ExecTRSMNativeChained is ExecTRSMNativePrepacked with the B operand's
+// canonical image donated across stage boundaries. inB, when non-nil,
+// holds B's canonical image (per ScatterCanonicalB geometry) and the
+// per-group nBCopy is skipped; outB, when non-nil, receives the solved
+// canonical image and the per-group nBUncopy back into B is skipped.
+// When both are given they must be the same buffer (the solve runs in
+// place on the donated image). Both nil falls back to the prepacked
+// path. Requires a plan with PackB.
+func ExecTRSMNativeChained[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], preTri, inB, outB []E, workers int) error {
+	if inB == nil && outB == nil {
+		return ExecTRSMNativePrepacked(pl, a, b, preTri, workers)
+	}
+	p := pl.P
+	if err := checkChainedB(pl.Tun, p.DT, p.Count, pl.MEff, p.M, p.N, pl.PackB, a, b, inB, outB); err != nil {
+		return err
+	}
+	if preTri != nil && len(preTri) < pl.PrepackTriLen(a.Groups()) {
+		return fmt.Errorf("core: prepacked tri has %d elements, need %d", len(preTri), pl.PrepackTriLen(a.Groups()))
+	}
+	pl.RT.or().Sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+		trsmChainWorker(pl, a, b, preTri, inB, outB, lo, hi)
+	})
+	return nil
+}
+
+// ExecTRMMNativeChained is the TRMM twin of ExecTRSMNativeChained.
+func ExecTRMMNativeChained[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], preTri, inB, outB []E, workers int) error {
+	if inB == nil && outB == nil {
+		return ExecTRMMNativePrepacked(pl, a, b, preTri, workers)
+	}
+	p := pl.P
+	if err := checkChainedB(pl.Tun, p.DT, p.Count, pl.MEff, p.M, p.N, pl.PackB, a, b, inB, outB); err != nil {
+		return err
+	}
+	if preTri != nil && len(preTri) < pl.PrepackTriLen(a.Groups()) {
+		return fmt.Errorf("core: prepacked tri has %d elements, need %d", len(preTri), pl.PrepackTriLen(a.Groups()))
+	}
+	pl.RT.or().Sched.RunLabeled(pl.Labels, a.Groups(), workers, pl.GroupsPerBatch, func(lo, hi int) {
+		trmmChainWorker(pl, a, b, preTri, inB, outB, lo, hi)
+	})
+	return nil
+}
+
+// ScatterCanonicalB re-materializes a donated canonical image into B —
+// the per-group nBUncopy a producer stage elided. The chain executor
+// calls it when a fused handoff is abandoned (stage error, context
+// cancellation) so B is left exactly as the serial sequence would have
+// left it after the producer stage.
+func ScatterCanonicalB[E vec.Float](b *layout.Compact[E], reverse, transpose bool, canon []E) {
+	bl := b.BlockLen()
+	lenB := b.Rows * b.Cols * bl
+	for g := 0; g < b.Groups(); g++ {
+		nBUncopy(b.Data[g*lenB:(g+1)*lenB], b.Rows, b.Cols, reverse, transpose, bl, canon[g*lenB:])
+	}
+}
+
+func checkChainedB[E vec.Float](tun Tuning, dt vec.DType, count, mEff, m, n int, packB bool, a, b *layout.Compact[E], inB, outB []E) error {
+	if tun.VL != 0 && tun.VL != dt.Pack() {
+		return fmt.Errorf("core: native execution requires the native lane count")
+	}
+	if !packB {
+		return fmt.Errorf("core: chained B handoff requires a canonicalizing plan (PackB)")
+	}
+	if a.Count != count || b.Count != count {
+		return fmt.Errorf("core: batch count mismatch")
+	}
+	if a.Rows != mEff || a.Cols != mEff || b.Rows != m || b.Cols != n {
+		return fmt.Errorf("core: shape mismatch A=%dx%d B=%dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	if inB != nil && outB != nil && &inB[0] != &outB[0] {
+		return fmt.Errorf("core: chained in/out images must alias (in-place handoff)")
+	}
+	if inB != nil && len(inB) < len(b.Data) {
+		return fmt.Errorf("core: donated canonical B has %d elements, need %d", len(inB), len(b.Data))
+	}
+	if outB != nil && len(outB) < len(b.Data) {
+		return fmt.Errorf("core: canonical B out has %d elements, need %d", len(outB), len(b.Data))
+	}
+	return nil
+}
+
+func trsmChainWorker[E vec.Float](pl *TRSMPlan, a, b *layout.Compact[E], preTri, inB, outB []E, gLo, gHi int) {
+	p := pl.P
+	vl := p.DT.Pack()
+	bl := blockLen(p.DT, vl)
+	cplx := p.DT.IsComplex()
+	lenA := pl.MEff * pl.MEff * bl
+	lenB := p.M * p.N * bl
+	lenTri := pack.TriLen(bl, pl.Panels)
+	transAEff := p.TransA == matrix.Transpose
+	if p.Side == matrix.Right {
+		transAEff = !transAEff
+	}
+	effUpper := (p.Uplo == matrix.Upper) != transAEff
+
+	canon := inB
+	if canon == nil {
+		canon = outB
+	}
+	donated := inB != nil
+	keep := outB != nil
+
+	gb := pl.GroupsPerBatch
+	needTri := preTri == nil
+	rt := pl.RT.or()
+	var packTri []E
+	if needTri {
+		bufTri := bufpool.Get[E](rt.Bufs, gb*lenTri)
+		defer bufpool.Put(rt.Bufs, bufTri)
+		packTri = bufTri.Slice()
+	}
+
+	for sb := gLo; sb < gHi; sb += gb {
+		end := sb + gb
+		if end > gHi {
+			end = gHi
+		}
+		for g := sb; g < end; g++ {
+			slot := g - sb
+			var tri []E
+			if needTri {
+				tri = packTri[slot*lenTri:]
+				npackTri(a.Data[g*lenA:(g+1)*lenA], pl.MEff, effUpper, transAEff,
+					p.Diag == matrix.Unit, true, pl.Panels, cplx, vl, bl, tri)
+			} else {
+				tri = preTri[g*lenTri:]
+			}
+			target := canon[g*lenB:]
+			if !donated {
+				nBCopy(b.Data[g*lenB:(g+1)*lenB], b.Rows, b.Cols, pl.ReverseB, pl.TransposeB, bl, target)
+			}
+			if p.Alpha != 1 {
+				nscale(target, pl.MEff*pl.NEff, cplx, vl, real(p.Alpha), imag(p.Alpha))
+			}
+			j0 := 0
+			for _, ct := range pl.ColTiles {
+				colBase := j0 * pl.MEff * bl
+				for _, st := range pl.steps {
+					if st.r0 > 0 {
+						if cplx {
+							kernels.RectCplx(tri[st.rectOff:], target[colBase:],
+								target[colBase+st.r0*bl:], st.q, ct, st.r0, pl.MEff, pl.MEff, vl)
+						} else {
+							kernels.Rect(tri[st.rectOff:], target[colBase:],
+								target[colBase+st.r0*bl:], st.q, ct, st.r0, pl.MEff, pl.MEff, vl)
+						}
+					}
+					if cplx {
+						kernels.TriCplx(tri[st.triOff:], target[colBase+st.r0*bl:], st.q, ct, pl.MEff, vl)
+					} else {
+						kernels.Tri(tri[st.triOff:], target[colBase+st.r0*bl:], st.q, ct, pl.MEff, vl)
+					}
+				}
+				j0 += ct
+			}
+			if !keep {
+				nBUncopy(b.Data[g*lenB:(g+1)*lenB], p.M, p.N, pl.ReverseB, pl.TransposeB, bl, target)
+			}
+		}
+	}
+}
+
+func trmmChainWorker[E vec.Float](pl *TRMMPlan, a, b *layout.Compact[E], preTri, inB, outB []E, gLo, gHi int) {
+	p := pl.P
+	vl := p.DT.Pack()
+	bl := blockLen(p.DT, vl)
+	cplx := p.DT.IsComplex()
+	lenA := pl.MEff * pl.MEff * bl
+	lenB := p.M * p.N * bl
+	lenTri := pack.TriLen(bl, pl.Panels)
+	transAEff := p.TransA == matrix.Transpose
+	if p.Side == matrix.Right {
+		transAEff = !transAEff
+	}
+	effUpper := (p.Uplo == matrix.Upper) != transAEff
+
+	canon := inB
+	if canon == nil {
+		canon = outB
+	}
+	donated := inB != nil
+	keep := outB != nil
+
+	gb := pl.GroupsPerBatch
+	needTri := preTri == nil
+	rt := pl.RT.or()
+	var packTri []E
+	if needTri {
+		bufTri := bufpool.Get[E](rt.Bufs, gb*lenTri)
+		defer bufpool.Put(rt.Bufs, bufTri)
+		packTri = bufTri.Slice()
+	}
+
+	for sb := gLo; sb < gHi; sb += gb {
+		end := sb + gb
+		if end > gHi {
+			end = gHi
+		}
+		for g := sb; g < end; g++ {
+			slot := g - sb
+			var tri []E
+			if needTri {
+				tri = packTri[slot*lenTri:]
+				npackTri(a.Data[g*lenA:(g+1)*lenA], pl.MEff, effUpper, transAEff,
+					p.Diag == matrix.Unit, false, pl.Panels, cplx, vl, bl, tri)
+			} else {
+				tri = preTri[g*lenTri:]
+			}
+			target := canon[g*lenB:]
+			if !donated {
+				nBCopy(b.Data[g*lenB:(g+1)*lenB], b.Rows, b.Cols, pl.ReverseB, pl.TransposeB, bl, target)
+			}
+			if p.Alpha != 1 {
+				nscale(target, pl.MEff*pl.NEff, cplx, vl, real(p.Alpha), imag(p.Alpha))
+			}
+			j0 := 0
+			for _, ct := range pl.ColTiles {
+				colBase := j0 * pl.MEff * bl
+				// Bottom-up, matching trmmWorker: each panel multiplies its
+				// own rows before any panel above it reads them.
+				for s := len(pl.steps) - 1; s >= 0; s-- {
+					st := pl.steps[s]
+					if cplx {
+						kernels.TriMulCplx(tri[st.triOff:], target[colBase+st.r0*bl:], st.q, ct, pl.MEff, vl)
+					} else {
+						kernels.TriMul(tri[st.triOff:], target[colBase+st.r0*bl:], st.q, ct, pl.MEff, vl)
+					}
+					if st.r0 > 0 {
+						if cplx {
+							kernels.RectAddCplx(tri[st.rectOff:], target[colBase:],
+								target[colBase+st.r0*bl:], st.q, ct, st.r0, pl.MEff, pl.MEff, vl)
+						} else {
+							kernels.RectAdd(tri[st.rectOff:], target[colBase:],
+								target[colBase+st.r0*bl:], st.q, ct, st.r0, pl.MEff, pl.MEff, vl)
+						}
+					}
+				}
+				j0 += ct
+			}
+			if !keep {
+				nBUncopy(b.Data[g*lenB:(g+1)*lenB], p.M, p.N, pl.ReverseB, pl.TransposeB, bl, target)
+			}
+		}
+	}
+}

@@ -107,6 +107,15 @@ type asyncReq struct {
 	nops int
 	fut  *Future
 
+	// Chain submissions (SubmitChain): the stage list, its resolved plan
+	// and the fuse identity hash. op then holds stage 0's descriptor so
+	// the EDF pass sees the chain's priority. nil chain = ordinary
+	// request.
+	chain     []ChainStage
+	cplan     *chainPlan
+	chainHash uint64
+	outcome   obs.CacheOutcome
+
 	// deadline/hasDL cache ctx.Deadline() at submission time so the EDF
 	// pass never re-walks the context chain on the dispatcher.
 	deadline time.Time
@@ -542,9 +551,26 @@ type coalesceKey struct {
 	workers        int
 	nops           int
 	rows, cols     [3]int
+
+	// chain partitions chain submissions: nonzero for chains (the fuse
+	// identity hash over the chain descriptor, scalars and workers),
+	// zero for ordinary requests — the two kinds never share a bundle.
+	chain uint64
+}
+
+// opName names a request for span/error reporting: the op kind, or
+// "CHAIN" for chain submissions (whose op field holds only stage 0).
+func (r *asyncReq) opName() string {
+	if r.chain != nil {
+		return "CHAIN"
+	}
+	return r.op.Kind.String()
 }
 
 func keyOf(r *asyncReq) coalesceKey {
+	if r.chain != nil {
+		return coalesceKey{chain: r.chainHash}
+	}
 	k := coalesceKey{
 		kind: r.op.Kind, transA: r.op.TransA, transB: r.op.TransB,
 		side: r.op.Side, uplo: r.op.Uplo, diag: r.op.Diag,
@@ -574,7 +600,7 @@ func (e *Engine) runBatch(batch []*asyncReq) {
 		if err := r.ctx.Err(); err != nil {
 			q.cancelled.Add(1)
 			if r.sp != nil {
-				r.sp.Op = r.op.Kind.String()
+				r.sp.Op = r.opName()
 				r.sp.Phases[obs.PhaseQueueWait] = time.Since(r.enq)
 			}
 			e.obs.FinishSpan(r.sp, err, r.sink)
@@ -650,7 +676,7 @@ func (e *Engine) runBundle(reqs []*asyncReq) {
 		if err := r.ctx.Err(); err != nil {
 			q.cancelled.Add(1)
 			if r.sp != nil {
-				r.sp.Op = r.op.Kind.String()
+				r.sp.Op = r.opName()
 				r.sp.Phases[obs.PhaseQueueWait] = time.Since(r.enq)
 			}
 			e.obs.FinishSpan(r.sp, err, r.sink)
@@ -671,6 +697,10 @@ func (e *Engine) runBundle(reqs []*asyncReq) {
 		if r.sp != nil {
 			r.sp.Phases[obs.PhaseQueueWait] += wait
 		}
+	}
+	if reqs[0].chain != nil {
+		e.runChainBundle(reqs)
+		return
 	}
 	if len(reqs) == 1 {
 		r := reqs[0]

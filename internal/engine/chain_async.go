@@ -1,0 +1,274 @@
+// Async chain submission: SubmitChain enqueues a whole chain as ONE
+// queue identity. The dispatcher buckets chain requests by a fuse hash
+// over the chain descriptor plus scalars and workers — never with
+// ordinary requests — and coalesces same-identity chains into one fused
+// chain over concatenated operands, exactly as runFused does for single
+// ops. Alias structure is preserved: each distinct compact of the chain
+// becomes one fused compact shared by the same stages, so handoff
+// elision inside the fused chain works identically.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"iatf/internal/layout"
+	"iatf/internal/obs"
+)
+
+// chainFuseHash condenses the chain identity two SubmitChain requests
+// must share to be fused: the chain-plan hash (kinds, modes, dims,
+// dtype, alias pattern, count bucket) plus every stage's scalars and
+// worker request. Forced nonzero so a chain bucket can never collide
+// with an ordinary request's zero chain field.
+func chainFuseHash(cp *chainPlan, stages []ChainStage) uint64 {
+	h := cp.hash
+	for i := range stages {
+		op := &stages[i].Op
+		h = mix64(h, math.Float64bits(real(op.Alpha)))
+		h = mix64(h, math.Float64bits(imag(op.Alpha)))
+		h = mix64(h, math.Float64bits(real(op.Beta)))
+		h = mix64(h, math.Float64bits(imag(op.Beta)))
+		h = mix64(h, uint64(int64(op.Workers)))
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// chainFusable verifies (not just by hash) that a rider really matches
+// the bundle lead: same chain analysis and identical per-stage scalars
+// and workers. Mismatches — a hash collision — execute individually.
+func chainFusable(lead, r *asyncReq) bool {
+	if r == lead {
+		return true
+	}
+	if len(r.chain) != len(lead.chain) {
+		return false
+	}
+	if r.cplan != lead.cplan && !chainDescEqual(r.cplan, lead.cplan) {
+		return false
+	}
+	for i := range lead.chain {
+		a, b := &lead.chain[i].Op, &r.chain[i].Op
+		if a.Alpha != b.Alpha || a.Beta != b.Beta || a.Workers != b.Workers {
+			return false
+		}
+	}
+	return true
+}
+
+// SubmitChain enqueues a chain on the engine's submission queue and
+// returns its Future. The whole chain is one queue identity: it
+// occupies one slot, coalesces only with identical chains, and executes
+// atomically (stages never interleave with other requests' stages). The
+// stage operands — and the stages slice itself — must not be mutated
+// until the future resolves. Queue-idle submissions run inline on the
+// caller, like Submit. Validation failures surface immediately as a
+// *ChainError; a full queue returns ErrQueueFull.
+func (e *Engine) SubmitChain(ctx context.Context, stages []ChainStage, sink obs.SpanFunc) (*Future, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cp, outcome, err := e.chainPlanFor(stages)
+	if err != nil {
+		return nil, err
+	}
+	q := &e.queue
+	q.start(e)
+	r := &asyncReq{ctx: ctx, op: stages[0].Op, fut: newFuture(), sink: sink,
+		chain: stages, cplan: cp, outcome: outcome}
+	r.chainHash = chainFuseHash(cp, stages)
+	r.deadline, r.hasDL = ctx.Deadline()
+	r.sp = e.obs.StartSpan(sink != nil)
+	if len(q.ch) == 0 && q.busy.CompareAndSwap(false, true) {
+		q.submitted.Add(1)
+		q.inline.Add(1)
+		err := e.runChainInner(ctx, stages, cp, outcome, r.sp, true)
+		q.busy.Store(false)
+		e.obs.FinishSpan(r.sp, err, r.sink)
+		r.fut.resolve(err)
+		return r.fut, nil
+	}
+	r.enq = time.Now()
+	select {
+	case q.ch <- r:
+		q.submitted.Add(1)
+		if d := len(q.ch) + int(q.inflight.Load()); d > 0 {
+			q.noteDepth(d)
+		} else {
+			q.noteDepth(1)
+		}
+		return r.fut, nil
+	default:
+		q.rejected.Add(1)
+		err := fmt.Errorf("iatf: CHAIN: %w (capacity %d)", ErrQueueFull, cap(q.ch))
+		if r.sp != nil {
+			r.sp.Op = "CHAIN"
+		}
+		e.obs.FinishSpan(r.sp, err, r.sink)
+		return nil, err
+	}
+}
+
+// runChainBundle executes one drained bundle of chain requests: two or
+// more verified-identical chains run as one fused chain; everything
+// else (single chains, factor-bearing chains, hash-collision riders)
+// runs individually.
+func (e *Engine) runChainBundle(reqs []*asyncReq) {
+	q := &e.queue
+	lead := reqs[0]
+	var fused, solo []*asyncReq
+	// Chains containing a factorization stage never fuse: concatenation
+	// promotes each part's padding lanes to real matrices of the fused
+	// batch, and a factor stage's per-matrix info scan would abort the
+	// whole bundle on that garbage.
+	if len(reqs) > 1 && !lead.cplan.hasFactor {
+		for _, r := range reqs {
+			if chainFusable(lead, r) {
+				fused = append(fused, r)
+			} else {
+				solo = append(solo, r)
+			}
+		}
+		if len(fused) < 2 {
+			fused, solo = nil, reqs
+		}
+	} else {
+		solo = reqs
+	}
+	if len(fused) > 1 {
+		q.coalesced.Add(uint64(len(fused) - 1))
+		for {
+			old := q.maxFused.Load()
+			if int64(len(fused)) <= old || q.maxFused.CompareAndSwap(old, int64(len(fused))) {
+				break
+			}
+		}
+		err := e.runFusedChain(fused)
+		for _, r := range fused {
+			r.fut.resolve(err)
+		}
+	}
+	for _, r := range solo {
+		err := e.runChainInner(r.ctx, r.chain, r.cplan, r.outcome, r.sp, true)
+		e.obs.FinishSpan(r.sp, err, r.sink)
+		r.fut.resolve(err)
+	}
+}
+
+// runFusedChain concatenates the bundle's operands alias-wise — each
+// distinct compact of the chain becomes one fused compact shared by the
+// same stage slots — executes the fused chain once, and scatters every
+// written alias back into each request's own storage. On error no
+// scatter happens: the riders' operands are left untouched and every
+// future resolves with the chain error (mirroring runFused).
+func (e *Engine) runFusedChain(reqs []*asyncReq) error {
+	lead := reqs[0]
+	cp := lead.cplan
+	force := false
+	for _, r := range reqs {
+		if r.sp != nil {
+			force = true
+			break
+		}
+	}
+	parent := e.obs.StartSpan(force)
+	var t0 time.Time
+	if parent != nil {
+		t0 = time.Now()
+	}
+	fusedOps := make([]Operand, cp.nAliases)
+	for al := range fusedOps {
+		ref := cp.aliasFirst[al]
+		src := lead.chain[ref.stage].Ops[ref.slot]
+		if src.F32 != nil {
+			fusedOps[al] = Operand{DT: src.DT, F32: fuseCompacts(src.DT, chainPartsF32(reqs, ref))}
+		} else {
+			fusedOps[al] = Operand{DT: src.DT, F64: fuseCompacts(src.DT, chainPartsF64(reqs, ref))}
+		}
+	}
+	fstages := make([]ChainStage, len(lead.chain))
+	for i := range fstages {
+		fstages[i] = lead.chain[i]
+		for s := 0; s < fstages[i].NOps; s++ {
+			fstages[i].Ops[s] = fusedOps[cp.desc[i].alias[s]]
+		}
+	}
+	parent.Mark(obs.PhaseFuse, t0)
+	// The fused chain resolves (and caches) its own plan — same analysis
+	// at the fused count bucket. Auto-prepack is disabled: the fused
+	// compacts are throwaways, and packing them would churn the cache.
+	fcp, outcome, err := e.chainPlanFor(fstages)
+	if err == nil {
+		err = e.runChainInner(context.Background(), fstages, fcp, outcome, parent, false)
+	}
+	if err == nil {
+		if parent != nil {
+			t0 = time.Now()
+		}
+		for al := range fusedOps {
+			if !cp.aliasWritten[al] {
+				continue
+			}
+			ref := cp.aliasFirst[al]
+			if fusedOps[al].F32 != nil {
+				scatterCompacts(fusedOps[al].F32, chainPartsF32(reqs, ref))
+			} else {
+				scatterCompacts(fusedOps[al].F64, chainPartsF64(reqs, ref))
+			}
+		}
+		parent.Mark(obs.PhaseScatter, t0)
+	}
+	if parent != nil {
+		parent.Fused = len(reqs)
+		finishFusedChainSpans(e, parent, reqs, err)
+	}
+	e.obs.FinishSpan(parent, err, nil)
+	return err
+}
+
+// finishFusedChainSpans completes each rider's child span with the
+// fused parent's descriptor and shared phases, the rider's own batch
+// count and queue wait, linked by ParentID — the chain twin of
+// finishFusedSpans.
+func finishFusedChainSpans(e *Engine, parent *obs.Span, reqs []*asyncReq, err error) {
+	for _, r := range reqs {
+		sp := r.sp
+		if sp == nil {
+			continue
+		}
+		sp.ParentID = parent.ID
+		sp.Op, sp.DType, sp.Mode = parent.Op, parent.DType, parent.Mode
+		sp.M, sp.N, sp.K = parent.M, parent.N, parent.K
+		sp.Workers = parent.Workers
+		sp.PrepackHits, sp.PrepackBuilds = parent.PrepackHits, parent.PrepackBuilds
+		sp.Count = r.chain[0].count()
+		for p := obs.PhaseFuse; p < obs.PhaseCount; p++ {
+			sp.Phases[p] = parent.Phases[p]
+		}
+		e.obs.FinishSpan(sp, err, r.sink)
+	}
+}
+
+func chainPartsF32(reqs []*asyncReq, ref aliasRef) []*layout.Compact[float32] {
+	out := make([]*layout.Compact[float32], len(reqs))
+	for i, r := range reqs {
+		out[i] = r.chain[ref.stage].Ops[ref.slot].F32
+	}
+	return out
+}
+
+func chainPartsF64(reqs []*asyncReq, ref aliasRef) []*layout.Compact[float64] {
+	out := make([]*layout.Compact[float64], len(reqs))
+	for i, r := range reqs {
+		out[i] = r.chain[ref.stage].Ops[ref.slot].F64
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+
+	"iatf/internal/core"
+	"iatf/internal/layout"
+	"iatf/internal/matrix"
+)
+
+// triDiagBoost makes a random square batch well conditioned for
+// triangular solves by adding `boost` to every diagonal element.
+func triDiagBoost(c *layout.Compact[float32], n int, boost float32) {
+	for m := 0; m < c.Count; m++ {
+		for i := 0; i < n; i++ {
+			g, off := m/c.P(), m%c.P()
+			base := g * c.GroupLen()
+			idx := base + (i*n+i)*c.BlockLen() + off
+			c.Data[idx] += boost
+		}
+	}
+}
+
+func chainTriOperands(rng *rand.Rand, count, n, cols int) (a, b *layout.Compact[float32]) {
+	a = randCompact(rng, count, n, n)
+	triDiagBoost(a, n, float32(n))
+	b = randCompact(rng, count, n, cols)
+	return a, b
+}
+
+// fusableChain builds the canonical fusable pair over a and b:
+// TRMM(Left,Upper) then TRSM(Left,Upper) on the same B.
+func fusableChain(a, b *layout.Compact[float32]) []ChainStage {
+	trmm := OpDesc{Kind: OpTRMM, Side: matrix.Left, Uplo: matrix.Upper, Alpha: 1, Workers: 1}
+	trsm := OpDesc{Kind: OpTRSM, Side: matrix.Left, Uplo: matrix.Upper, Alpha: 1, Workers: 1}
+	return []ChainStage{
+		{Op: trmm, Ops: [3]Operand{op32(a), op32(b)}, NOps: 2},
+		{Op: trsm, Ops: [3]Operand{op32(a), op32(b)}, NOps: 2},
+	}
+}
+
+// countdownCtx cancels itself after Err has been consulted n times —
+// the harness for mid-chain cancellation: the chain's per-stage check
+// passes for the first stages and fires partway through.
+type countdownCtx struct {
+	mu   sync.Mutex
+	left int
+}
+
+func (c *countdownCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *countdownCtx) Done() <-chan struct{}       { return nil }
+func (c *countdownCtx) Value(any) any               { return nil }
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left <= 0 {
+		return context.Canceled
+	}
+	c.left--
+	return nil
+}
+
+// TestChainCancelMidChain cancels between stage 0 and stage 1 of a
+// fusable chain. The elided handoff means B is held in packed form when
+// the cancellation fires, so this proves the abort path re-materializes
+// B: afterwards B must equal exactly the serial prefix (stage 0 applied,
+// stage 1 not).
+func TestChainCancelMidChain(t *testing.T) {
+	e := New(core.DefaultTuning())
+	rng := rand.New(rand.NewSource(90))
+	a, b := chainTriOperands(rng, 7, 8, 4)
+	ref := b.Clone()
+	// Serial prefix: only the TRMM.
+	trmm := OpDesc{Kind: OpTRMM, Side: matrix.Left, Uplo: matrix.Upper, Alpha: 1, Workers: 1}
+	if err := e.Run(trmm, op32(a), op32(ref)); err != nil {
+		t.Fatal(err)
+	}
+
+	// One Err pass admits stage 0; the stage-1 check sees the cancel.
+	err := e.RunChain(&countdownCtx{left: 1}, fusableChain(a, b))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	var ce *ChainError
+	if !errors.As(err, &ce) || ce.Stage != 1 {
+		t.Fatalf("want ChainError at stage 1, got %v", err)
+	}
+	if !slices.Equal(b.Data, ref.Data) {
+		t.Fatal("B was not re-materialized to the completed prefix")
+	}
+	// The engine stays healthy: the same chain runs to completion now.
+	if err := e.RunChain(context.Background(), fusableChain(a, b)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestChainAsyncCoalesce holds the dispatcher, enqueues three identical
+// chains, and verifies they fuse into one execution: two coalesced
+// riders, correct results for every caller.
+func TestChainAsyncCoalesce(t *testing.T) {
+	e := New(core.DefaultTuning())
+	entered, gate := holdDispatcher(e)
+	rng := rand.New(rand.NewSource(91))
+	ctx := context.Background()
+
+	// Decoy parks the dispatcher inside the hook.
+	a0, b0 := chainTriOperands(rng, 7, 8, 4)
+	f0, err := e.SubmitChain(ctx, fusableChain(a0, b0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	// Reference: one chain executed synchronously on a sibling engine.
+	eRef := New(core.DefaultTuning())
+	a, _ := chainTriOperands(rng, 7, 8, 4)
+	bSeed := randCompact(rng, 7, 8, 4)
+	ref := bSeed.Clone()
+	if err := eRef.RunChain(ctx, fusableChain(a, ref)); err != nil {
+		t.Fatal(err)
+	}
+
+	const riders = 3
+	var futs []*Future
+	var bs []*layout.Compact[float32]
+	for i := 0; i < riders; i++ {
+		b := bSeed.Clone()
+		f, err := e.SubmitChain(ctx, fusableChain(a, b), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+		bs = append(bs, b)
+	}
+	close(gate)
+	if err := f0.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		if err := f.Err(); err != nil {
+			t.Fatalf("rider %d: %v", i, err)
+		}
+		if !slices.Equal(bs[i].Data, ref.Data) {
+			t.Fatalf("rider %d diverged from the serial chain", i)
+		}
+	}
+	s := e.Stats()
+	if s.Queue.Coalesced != riders-1 {
+		t.Errorf("coalesced = %d, want %d", s.Queue.Coalesced, riders-1)
+	}
+	if s.Chain.Runs != 1+1 { // decoy + one fused execution
+		t.Errorf("chain runs = %d, want 2 (decoy + fused)", s.Chain.Runs)
+	}
+}
+
+// TestChainAsyncNoCrossCoalesce verifies chains never fuse with
+// ordinary single-op requests sharing the drained batch, and that
+// chains with different scalars split into separate executions.
+func TestChainAsyncNoCrossCoalesce(t *testing.T) {
+	e := New(core.DefaultTuning())
+	entered, gate := holdDispatcher(e)
+	rng := rand.New(rand.NewSource(92))
+	ctx := context.Background()
+
+	a0, b0 := chainTriOperands(rng, 7, 8, 4)
+	f0, err := e.SubmitChain(ctx, fusableChain(a0, b0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	// One chain, one plain GEMM over the same-shape operands, and one
+	// chain with a different alpha: three distinct bundles.
+	a, b := chainTriOperands(rng, 7, 8, 4)
+	fChain, err := e.SubmitChain(ctx, fusableChain(a, b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ga, gb, gc := gemmReqOperands(rng, 7, 8, 8, 8)
+	fGEMM, err := e.Submit(ctx, asyncGEMMDesc, op32(ga), op32(gb), op32(gc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2 := chainTriOperands(rng, 7, 8, 4)
+	alt := fusableChain(a2, b2)
+	alt[0].Op.Alpha = 2
+	fAlt, err := e.SubmitChain(ctx, alt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	for _, f := range []*Future{f0, fChain, fGEMM, fAlt} {
+		if err := f.Err(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := e.Stats(); s.Queue.Coalesced != 0 {
+		t.Errorf("coalesced = %d, want 0 (nothing shares an identity)", s.Queue.Coalesced)
+	}
+}
+
+// TestChainFactorNeverFuses: chains holding a factorization stage must
+// execute individually even when identical — fusing would feed the
+// factor the padding lanes of every part as real (singular) matrices.
+func TestChainFactorNeverFuses(t *testing.T) {
+	e := New(core.DefaultTuning())
+	entered, gate := holdDispatcher(e)
+	rng := rand.New(rand.NewSource(93))
+	ctx := context.Background()
+
+	luChain := func() ([]ChainStage, *layout.Compact[float32]) {
+		a := randCompact(rng, 7, 8, 8)
+		triDiagBoost(a, 8, 8)
+		b := randCompact(rng, 7, 8, 4)
+		lu := OpDesc{Kind: OpLU, Workers: 1}
+		lo := OpDesc{Kind: OpTRSM, Side: matrix.Left, Uplo: matrix.Lower, Diag: matrix.Unit, Alpha: 1, Workers: 1}
+		up := OpDesc{Kind: OpTRSM, Side: matrix.Left, Uplo: matrix.Upper, Alpha: 1, Workers: 1}
+		return []ChainStage{
+			{Op: lu, Ops: [3]Operand{op32(a)}, NOps: 1},
+			{Op: lo, Ops: [3]Operand{op32(a), op32(b)}, NOps: 2},
+			{Op: up, Ops: [3]Operand{op32(a), op32(b)}, NOps: 2},
+		}, b
+	}
+
+	st0, _ := luChain()
+	f0, err := e.SubmitChain(ctx, st0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered
+
+	var futs []*Future
+	for i := 0; i < 3; i++ {
+		st, _ := luChain()
+		f, err := e.SubmitChain(ctx, st, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, f)
+	}
+	close(gate)
+	if err := f0.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range futs {
+		if err := f.Err(); err != nil {
+			t.Fatalf("chain %d: %v", i, err)
+		}
+	}
+	s := e.Stats()
+	if s.Queue.Coalesced != 0 {
+		t.Errorf("coalesced = %d, want 0 (factor chains run solo)", s.Queue.Coalesced)
+	}
+	if s.Chain.Runs != 4 {
+		t.Errorf("chain runs = %d, want 4 individual executions", s.Chain.Runs)
+	}
+}
+
+// TestChainQueueFull: a full queue rejects SubmitChain with
+// ErrQueueFull, and the future-less error path leaves no goroutines or
+// counters wedged.
+func TestChainQueueFull(t *testing.T) {
+	e := New(core.DefaultTuning())
+	e.SetQueueCapacity(1)
+	_, gate := holdDispatcher(e)
+	defer close(gate)
+	rng := rand.New(rand.NewSource(94))
+	ctx := context.Background()
+
+	a, b := chainTriOperands(rng, 7, 8, 4)
+	// The held dispatcher never drains: first submit occupies the slot.
+	if _, err := e.SubmitChain(ctx, fusableChain(a, b), nil); err != nil {
+		t.Fatal(err)
+	}
+	a2, b2 := chainTriOperands(rng, 7, 8, 4)
+	if _, err := e.SubmitChain(ctx, fusableChain(a2, b2), nil); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("want ErrQueueFull, got %v", err)
+	}
+	if got := e.Stats().Queue.Rejected; got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+}
+
+// TestChainSetRouting: one chain identity always lands on one shard,
+// sync and async, and the routed counters agree.
+func TestChainSetRouting(t *testing.T) {
+	s := NewSet(core.DefaultTuning(), 2)
+	rng := rand.New(rand.NewSource(95))
+	a, b := chainTriOperands(rng, 7, 8, 4)
+	ctx := context.Background()
+
+	for i := 0; i < 4; i++ {
+		if err := s.RunChain(ctx, fusableChain(a, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var runs, shards int
+	for i := 0; i < s.Shards(); i++ {
+		if r := int(s.Shard(i).Stats().Chain.Runs); r > 0 {
+			runs += r
+			shards++
+		}
+	}
+	if runs != 4 || shards != 1 {
+		t.Fatalf("runs=%d on %d shards, want all 4 on one shard", runs, shards)
+	}
+	fut, err := s.SubmitChain(ctx, fusableChain(a, b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fut.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -215,6 +215,18 @@ type Engine struct {
 	planShared    atomic.Uint64
 	planEvictions atomic.Uint64
 
+	// Chain-plan cache (RunChain): whole-chain analyses keyed by the
+	// hashed chain identity, with full-descriptor equality on lookup.
+	chainMu    sync.Mutex
+	chainPlans map[uint64][]*chainPlan
+	chainOrder []uint64
+
+	chainHits     atomic.Uint64
+	chainMisses   atomic.Uint64
+	chainRuns     atomic.Uint64
+	scatterElided atomic.Uint64
+	packElided    atomic.Uint64
+
 	// profLabels gates pprof label application around compute (one atomic
 	// load per dispatch when off). Off by default: building the label set
 	// allocates, which would break the warm-path alloc bounds.
@@ -232,6 +244,7 @@ func New(tun core.Tuning) *Engine {
 		e.shards[i].building = make(map[planKey]*planCall)
 	}
 	e.packs.m = make(map[packKey]*packEntry)
+	e.chainPlans = make(map[uint64][]*chainPlan)
 	return e
 }
 
@@ -302,6 +315,9 @@ type Stats struct {
 	// Packed-operand cache (this engine).
 	PackCache PackCacheStats
 
+	// Chain dispatch (this engine).
+	Chain ChainStats
+
 	// Async submission queue (this engine).
 	Queue QueueStats
 
@@ -329,9 +345,47 @@ func (s *Stats) Add(o Stats) {
 	s.PlanEvictions += o.PlanEvictions
 	s.PlanEntries += o.PlanEntries
 	s.PackCache.Add(o.PackCache)
+	s.Chain.Add(o.Chain)
 	s.Queue.Add(o.Queue)
 	s.Buffers.Add(o.Buffers)
 	s.Sched.Add(o.Sched)
+}
+
+// ChainStats is a snapshot of the chain dispatch counters.
+type ChainStats struct {
+	Runs          uint64 // chains executed (sync, async and fused)
+	PlanHits      uint64 // chain-plan cache hits
+	PlanMisses    uint64 // chain-plan cache misses (analyses built)
+	PlanEntries   int    // cached chain plans
+	ScatterElided uint64 // producer stages that skipped the B scatter
+	PackElided    uint64 // consumer stages that started from a donated image
+}
+
+// Add accumulates another engine's chain counters (EngineSet aggregate).
+func (s *ChainStats) Add(o ChainStats) {
+	s.Runs += o.Runs
+	s.PlanHits += o.PlanHits
+	s.PlanMisses += o.PlanMisses
+	s.PlanEntries += o.PlanEntries
+	s.ScatterElided += o.ScatterElided
+	s.PackElided += o.PackElided
+}
+
+func (e *Engine) chainStats() ChainStats {
+	e.chainMu.Lock()
+	entries := 0
+	for _, bucket := range e.chainPlans {
+		entries += len(bucket)
+	}
+	e.chainMu.Unlock()
+	return ChainStats{
+		Runs:          e.chainRuns.Load(),
+		PlanHits:      e.chainHits.Load(),
+		PlanMisses:    e.chainMisses.Load(),
+		PlanEntries:   entries,
+		ScatterElided: e.scatterElided.Load(),
+		PackElided:    e.packElided.Load(),
+	}
 }
 
 // Stats returns the current counters.
@@ -349,6 +403,7 @@ func (e *Engine) Stats() Stats {
 		PlanEvictions: e.planEvictions.Load(),
 		PlanEntries:   entries,
 		PackCache:     e.packs.snapshot(),
+		Chain:         e.chainStats(),
 		Queue:         e.queue.snapshot(),
 		Shapes:        e.obs.Snapshot(),
 		Buffers:       e.rt.Bufs.Snapshot(),
@@ -478,9 +533,12 @@ func cmarCeiling(tun core.Tuning, dt vec.DType, mc, nc int) float64 {
 	return prof.FreqGHz * fma * float64(prof.Lanes(eb)) * 2
 }
 
-func (e *Engine) runGEMM(op OpDesc, sp *obs.Span, a, b, c Operand) error {
-	m, n := c.rows(), c.cols()
-	k := a.cols()
+// gemmDims validates GEMM operand shapes and counts and returns the
+// problem dimensions (m, n, k). Shared by the direct dispatch path and
+// the chain planner, so both reject with identical taxonomy errors.
+func gemmDims(op OpDesc, a, b, c Operand) (m, n, k int, err error) {
+	m, n = c.rows(), c.cols()
+	k = a.cols()
 	if op.TransA == matrix.Transpose {
 		k = a.rows()
 	}
@@ -493,16 +551,24 @@ func (e *Engine) runGEMM(op OpDesc, sp *obs.Span, a, b, c Operand) error {
 		obR, obC = obC, obR
 	}
 	if oaR != m || oaC != k {
-		return opErr(OpGEMM, "A", ErrShape, "op(A)=%dx%d, want %dx%d for C=%dx%d", oaR, oaC, m, k, m, n)
+		return 0, 0, 0, opErr(OpGEMM, "A", ErrShape, "op(A)=%dx%d, want %dx%d for C=%dx%d", oaR, oaC, m, k, m, n)
 	}
 	if obR != k || obC != n {
-		return opErr(OpGEMM, "B", ErrShape, "op(B)=%dx%d, want %dx%d for C=%dx%d", obR, obC, k, n, m, n)
+		return 0, 0, 0, opErr(OpGEMM, "B", ErrShape, "op(B)=%dx%d, want %dx%d for C=%dx%d", obR, obC, k, n, m, n)
 	}
 	if a.count() != c.count() {
-		return opErr(OpGEMM, "A", ErrCount, "A has %d, C has %d", a.count(), c.count())
+		return 0, 0, 0, opErr(OpGEMM, "A", ErrCount, "A has %d, C has %d", a.count(), c.count())
 	}
 	if b.count() != c.count() {
-		return opErr(OpGEMM, "B", ErrCount, "B has %d, C has %d", b.count(), c.count())
+		return 0, 0, 0, opErr(OpGEMM, "B", ErrCount, "B has %d, C has %d", b.count(), c.count())
+	}
+	return m, n, k, nil
+}
+
+func (e *Engine) runGEMM(op OpDesc, sp *obs.Span, a, b, c Operand) error {
+	m, n, k, err := gemmDims(op, a, b, c)
+	if err != nil {
+		return err
 	}
 	key := planKey{kind: OpGEMM, dt: a.DT, m: m, n: n, k: k,
 		transA: op.TransA, transB: op.TransB, countBucket: countBucket(c.count())}
@@ -635,21 +701,32 @@ func execGEMM[E vec.Float](e *Engine, key planKey, pl *core.GEMMPlan, a, b, c *l
 	return err
 }
 
-func (e *Engine) runTri(op OpDesc, sp *obs.Span, a, b Operand) error {
-	m, n := b.rows(), b.cols()
+// triDims validates TRSM/TRMM operand shapes and counts and returns B's
+// dimensions (m, n). Shared by the direct dispatch path and the chain
+// planner.
+func triDims(op OpDesc, a, b Operand) (m, n int, err error) {
+	m, n = b.rows(), b.cols()
 	if a.rows() != a.cols() {
-		return opErr(op.Kind, "A", ErrShape, "A must be square, got %dx%d", a.rows(), a.cols())
+		return 0, 0, opErr(op.Kind, "A", ErrShape, "A must be square, got %dx%d", a.rows(), a.cols())
 	}
 	dim := m
 	if op.Side == matrix.Right {
 		dim = n
 	}
 	if a.rows() != dim {
-		return opErr(op.Kind, "A", ErrShape, "A is %dx%d but side %s of a %dx%d B requires %dx%d",
+		return 0, 0, opErr(op.Kind, "A", ErrShape, "A is %dx%d but side %s of a %dx%d B requires %dx%d",
 			a.rows(), a.cols(), op.Side, m, n, dim, dim)
 	}
 	if a.count() != b.count() {
-		return opErr(op.Kind, "A", ErrCount, "A has %d, B has %d", a.count(), b.count())
+		return 0, 0, opErr(op.Kind, "A", ErrCount, "A has %d, B has %d", a.count(), b.count())
+	}
+	return m, n, nil
+}
+
+func (e *Engine) runTri(op OpDesc, sp *obs.Span, a, b Operand) error {
+	m, n, err := triDims(op, a, b)
+	if err != nil {
+		return err
 	}
 	key := planKey{kind: op.Kind, dt: a.DT, m: m, n: n,
 		transA: op.TransA, side: op.Side, uplo: op.Uplo, diag: op.Diag,
@@ -822,21 +899,32 @@ func triPackDesc(packB bool) string {
 	return "tri"
 }
 
-func (e *Engine) runSYRK(op OpDesc, sp *obs.Span, a, c Operand) error {
-	n := c.rows()
+// syrkDims validates SYRK operand shapes and counts and returns the
+// problem dimensions (n, k). Shared by the direct dispatch path and the
+// chain planner.
+func syrkDims(op OpDesc, a, c Operand) (n, k int, err error) {
+	n = c.rows()
 	if c.rows() != c.cols() {
-		return opErr(OpSYRK, "C", ErrShape, "C must be square, got %dx%d", c.rows(), c.cols())
+		return 0, 0, opErr(OpSYRK, "C", ErrShape, "C must be square, got %dx%d", c.rows(), c.cols())
 	}
-	k := a.cols()
+	k = a.cols()
 	oaR := a.rows()
 	if op.TransA == matrix.Transpose {
 		k, oaR = a.rows(), a.cols()
 	}
 	if oaR != n {
-		return opErr(OpSYRK, "A", ErrShape, "op(A)=%dx%d, want %dx%d for C=%dx%d", oaR, k, n, k, n, n)
+		return 0, 0, opErr(OpSYRK, "A", ErrShape, "op(A)=%dx%d, want %dx%d for C=%dx%d", oaR, k, n, k, n, n)
 	}
 	if a.count() != c.count() {
-		return opErr(OpSYRK, "A", ErrCount, "A has %d, C has %d", a.count(), c.count())
+		return 0, 0, opErr(OpSYRK, "A", ErrCount, "A has %d, C has %d", a.count(), c.count())
+	}
+	return n, k, nil
+}
+
+func (e *Engine) runSYRK(op OpDesc, sp *obs.Span, a, c Operand) error {
+	n, k, err := syrkDims(op, a, c)
+	if err != nil {
+		return err
 	}
 	key := planKey{kind: OpSYRK, dt: a.DT, m: n, k: k,
 		transA: op.TransA, uplo: op.Uplo, countBucket: countBucket(c.count())}

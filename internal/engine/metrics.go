@@ -222,6 +222,11 @@ func writeOpenMetrics(w io.Writer, entries []metricsEntry, set *SetStats) error 
 		{"iatf_queue_rejected", func(st *Stats) uint64 { return st.Queue.Rejected }},
 		{"iatf_queue_stolen_batches", func(st *Stats) uint64 { return st.Queue.StolenBatches }},
 		{"iatf_queue_stolen_requests", func(st *Stats) uint64 { return st.Queue.StolenReqs }},
+		{"iatf_chain_runs", func(st *Stats) uint64 { return st.Chain.Runs }},
+		{"iatf_chain_plan_hits", func(st *Stats) uint64 { return st.Chain.PlanHits }},
+		{"iatf_chain_plan_misses", func(st *Stats) uint64 { return st.Chain.PlanMisses }},
+		{"iatf_chain_scatter_elided", func(st *Stats) uint64 { return st.Chain.ScatterElided }},
+		{"iatf_chain_pack_elided", func(st *Stats) uint64 { return st.Chain.PackElided }},
 		{"iatf_bufpool_gets", func(st *Stats) uint64 { return st.Buffers.Gets }},
 		{"iatf_bufpool_reuses", func(st *Stats) uint64 { return st.Buffers.Reuses }},
 		{"iatf_bufpool_allocs", func(st *Stats) uint64 { return st.Buffers.Allocs }},
@@ -248,6 +253,7 @@ func writeOpenMetrics(w io.Writer, entries []metricsEntry, set *SetStats) error 
 	}{
 		{"iatf_plan_cache_entries", func(st *Stats) float64 { return float64(st.PlanEntries) }},
 		{"iatf_pack_cache_entries", func(st *Stats) float64 { return float64(st.PackCache.Entries) }},
+		{"iatf_chain_plan_entries", func(st *Stats) float64 { return float64(st.Chain.PlanEntries) }},
 		{"iatf_queue_depth", func(st *Stats) float64 { return float64(st.Queue.Depth) }},
 		{"iatf_queue_capacity", func(st *Stats) float64 { return float64(st.Queue.Capacity) }},
 		{"iatf_queue_depth_high_water", func(st *Stats) float64 { return float64(st.Queue.DepthHighWater) }},

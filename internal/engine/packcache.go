@@ -56,7 +56,10 @@ const packCacheCap = 64
 type packCache struct {
 	mu    sync.Mutex
 	m     map[packKey]*packEntry
-	order []packKey // FIFO insertion order; may contain already-purged keys
+	// order is the FIFO insertion record behind cap eviction. It may
+	// contain already-purged keys (eviction skips them); buildPacked
+	// compacts it when purges let it drift far past the live set.
+	order []packKey
 
 	hits, builds, evictions, stale uint64
 }
@@ -150,6 +153,28 @@ func buildPacked[E vec.Float](e *Engine, key packKey, length int, build func([]E
 			pc.removeLocked(k, old)
 			pc.stale++
 		}
+	}
+	// Stale purges and error-path removals unlink entries from pc.m but
+	// leave their keys in pc.order (only cap eviction pops the front), so
+	// under generation churn — a chained solver invalidating its operands
+	// every iteration — order grows without bound while the map stays
+	// small. Compact it when it has drifted far past the live set, keeping
+	// one occurrence per live key (a key can appear twice after an
+	// error-path removal and re-insert; keeping both would let a later cap
+	// eviction drop the live re-inserted entry early).
+	if len(pc.order) > 2*len(pc.m)+packCacheCap {
+		seen := make(map[packKey]struct{}, len(pc.m))
+		live := pc.order[:0]
+		for _, k := range pc.order {
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			if _, ok := pc.m[k]; ok {
+				seen[k] = struct{}{}
+				live = append(live, k)
+			}
+		}
+		pc.order = live
 	}
 	for len(pc.m) >= packCacheCap {
 		k := pc.order[0]

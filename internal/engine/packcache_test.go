@@ -194,3 +194,73 @@ func TestPackCacheEvictionKeepsLiveReference(t *testing.T) {
 		t.Fatalf("final release did not return the buffer: puts %d -> %d", before, after)
 	}
 }
+
+// Generation churn (a chained solver invalidating its operand every
+// iteration) must not grow the FIFO order record without bound: stale
+// purges unlink map entries but historically left their keys in order.
+func TestPackCacheOrderCompaction(t *testing.T) {
+	e := New(core.DefaultTuning())
+	const churns = 10 * packCacheCap
+	for gen := uint64(1); gen <= churns; gen++ {
+		ent, _, _, err := acquirePacked(e, testKey(11, gen, 8), 16, func(dst []float32) error {
+			dst[0] = float32(gen)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.packs.release(ent)
+	}
+	e.packs.mu.Lock()
+	orderLen, entries := len(e.packs.order), len(e.packs.m)
+	e.packs.mu.Unlock()
+	if orderLen > 2*entries+packCacheCap {
+		t.Fatalf("order grew unboundedly under churn: %d keys for %d entries", orderLen, entries)
+	}
+	if entries != 1 {
+		t.Fatalf("entries = %d, want 1 (one live generation)", entries)
+	}
+}
+
+// A stale-generation purge must not free a donated image a running
+// chain still holds: the entry's refcount keeps the buffer alive until
+// the last holder releases it.
+func TestPackCacheStalePurgeKeepsHeldReference(t *testing.T) {
+	e := New(core.DefaultTuning())
+	ent, data, _, err := acquirePacked(e, testKey(13, 1, 8), 16, func(dst []float32) error {
+		for i := range dst {
+			dst[i] = 42
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generation bump: the purge drops the cache's reference while we
+	// still hold ours (a chain mid-execution against the image).
+	ent2, _, _, err := acquirePacked(e, testKey(13, 2, 8), 16, func(dst []float32) error {
+		for i := range dst {
+			dst[i] = 43
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := e.packs.snapshot(); s.Stale != 1 {
+		t.Fatalf("stale purges = %d, want 1", s.Stale)
+	}
+	for i := range data {
+		if data[i] != 42 {
+			t.Fatalf("held image freed or overwritten at %d: %v", i, data[i])
+		}
+	}
+	if ent.refs.Load() != 1 {
+		t.Fatalf("held entry refs = %d, want 1 (caller only)", ent.refs.Load())
+	}
+	e.packs.release(ent)
+	e.packs.release(ent2)
+	if ent.refs.Load() != 0 {
+		t.Fatalf("released entry refs = %d, want 0", ent.refs.Load())
+	}
+}

@@ -232,6 +232,63 @@ func (s *Set) SubmitSpanned(ctx context.Context, op OpDesc, sink obs.SpanFunc, o
 	return fut2, err2
 }
 
+// chainRouteHash folds every stage's problem identity into one routing
+// key, so a whole chain — like a single call — always lands on the
+// shard whose caches have seen it before.
+func chainRouteHash(stages []ChainStage) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	h = mix64(h, uint64(len(stages)))
+	for i := range stages {
+		st := &stages[i]
+		h = mix64(h, routeHash(st.Op, st.Ops[:st.NOps]))
+	}
+	return h
+}
+
+// routeChain picks the home shard of a chain identity.
+func (s *Set) routeChain(stages []ChainStage) int {
+	return jumpHash(chainRouteHash(stages), len(s.engines))
+}
+
+// RunChain executes a chain synchronously on its home shard; see
+// Engine.RunChain.
+func (s *Set) RunChain(ctx context.Context, stages []ChainStage) error {
+	sh := s.routeChain(stages)
+	s.routed[sh].Add(1)
+	return s.engines[sh].RunChain(ctx, stages)
+}
+
+// RunChainSpanned is RunChain with a per-call span sink; see
+// Engine.RunChainSpanned.
+func (s *Set) RunChainSpanned(ctx context.Context, stages []ChainStage, sink obs.SpanFunc) error {
+	sh := s.routeChain(stages)
+	s.routed[sh].Add(1)
+	return s.engines[sh].RunChainSpanned(ctx, stages, sink)
+}
+
+// SubmitChain enqueues a chain on its home shard with the same
+// queue-full sibling fallback as SubmitSpanned; see Engine.SubmitChain.
+func (s *Set) SubmitChain(ctx context.Context, stages []ChainStage, sink obs.SpanFunc) (*Future, error) {
+	s.started.Do(s.startAll)
+	sh := s.routeChain(stages)
+	s.routed[sh].Add(1)
+	fut, err := s.engines[sh].SubmitChain(ctx, stages, sink)
+	if err == nil || !errors.Is(err, ErrQueueFull) || len(s.engines) == 1 {
+		return fut, err
+	}
+	alt := s.leastLoaded(sh)
+	if alt == sh {
+		return fut, err
+	}
+	s.fallbacks.Add(1)
+	fut2, err2 := s.engines[alt].SubmitChain(ctx, stages, sink)
+	if err2 != nil && errors.Is(err2, ErrQueueFull) {
+		s.fallbackRejects.Add(1)
+		return nil, err // surface the home shard's error
+	}
+	return fut2, err2
+}
+
 // RunFactor routes a factorization to its home shard; see
 // Engine.RunFactor.
 func (s *Set) RunFactor(op OpDesc, a Operand) ([]int, error) {
