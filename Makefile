@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race stress asyncstress shardstress chainstress servestress bench benchsmoke benchdiff info trace monitor metrics ci
+.PHONY: all build vet lint test race stress asyncstress shardstress chainstress servestress tunestress bench benchsmoke benchdiff info trace monitor metrics ci
 
 all: ci
 
@@ -62,6 +62,16 @@ servestress:
 	$(GO) test -race -count=2 ./internal/serve/
 	$(GO) run ./cmd/iatf-serve -once
 
+# Persistent autotune store under the race detector, run twice: the
+# atomic-rename/merge writer race (concurrent iatf-tune), disk round-trip
+# bit-exactness, staleness fallbacks, sharded hydration routing and the
+# public warm-start path — then a one-shot run of the iatf-tune binary
+# against a throwaway store directory.
+tunestress:
+	$(GO) test -race -count=2 -run 'Store|Tuner|Warm' . ./internal/engine/
+	$(GO) test -race -count=2 ./internal/store/
+	IATF_STORE_DIR=$$(mktemp -d) $(GO) run ./cmd/iatf-tune -counts 1 -shapes gemm:f32:8x8x8,cholesky:f64:8
+
 # Wall-clock benchmark of the native path — pack-per-call vs prepacked
 # operand reuse — writing the rows to BENCH_wallclock.json.
 bench:
@@ -75,13 +85,13 @@ benchsmoke:
 # Regression gate: a fresh reduced wallclock run (same batch size as the
 # committed baseline, fewer timed calls) diffed against
 # BENCH_wallclock.json; fails when any (op, dtype, shape, variant) row's
-# per-matrix ns/op regresses by more than 15%. Fatal in ci. The smallest
-# shapes measure only a few ms, so a single run can blip past 15% on a
-# loaded machine (same-binary runs occasionally trip one row); a failed
-# diff therefore re-measures once and only a failure on BOTH independent
-# runs fails the target — noise rarely trips twice, a real regression
-# always does. Refresh the baseline with `make bench` alongside a
-# deliberate perf-affecting change.
+# per-matrix ns/op regresses by more than 15%. Fatal in ci. Rows report
+# the best timed chunk (and cold-start rows the best repetition), so a
+# single scheduler stall on a loaded shared host cannot shift a row by
+# itself; a failed diff still re-measures once and only a failure on
+# BOTH independent runs fails the target — residual noise rarely trips
+# twice, a real regression always does. Refresh the baseline with
+# `make bench` alongside a deliberate perf-affecting change.
 benchdiff:
 	$(GO) run ./cmd/iatf-bench -wallclock -json -out /tmp/iatf_wc_new.json -wcalls 64
 	@if ! $(GO) run ./cmd/iatf-bench -diff -base BENCH_wallclock.json -new /tmp/iatf_wc_new.json; then \
@@ -112,4 +122,4 @@ monitor:
 # benchdiff gates ci: the diff tool's 15% tolerance absorbs ordinary
 # run-to-run noise, so a failure means a real regression (or a baseline
 # that needs a deliberate `make bench` refresh alongside the change).
-ci: lint build test race stress asyncstress shardstress chainstress servestress benchsmoke benchdiff
+ci: lint build test race stress asyncstress shardstress chainstress servestress tunestress benchsmoke benchdiff

@@ -275,8 +275,17 @@ func printEngine(asJSON bool) {
 	}
 	fmt.Println("# Default engine after a mixed GEMM/TRSM/TRMM/SYRK demo workload")
 	fmt.Println("plan cache:")
-	fmt.Printf("  hits %d, misses %d (shared %d), evictions %d, entries %d\n",
-		s.PlanHits, s.PlanMisses, s.PlanShared, s.PlanEvictions, s.PlanEntries)
+	fmt.Printf("  hits %d, misses %d (shared %d), evictions %d, entries %d, hydrated %d\n",
+		s.PlanHits, s.PlanMisses, s.PlanShared, s.PlanEvictions, s.PlanEntries, s.PlanHydrated)
+	fmt.Println("persistent autotune store:")
+	path := s.Store.Path
+	if path == "" {
+		path = "(not attached)"
+	}
+	fmt.Printf("  path %s\n  fingerprint %s\n", path, s.Store.Fingerprint)
+	fmt.Printf("  loads %d (mismatches %d, errors %d), saves %d (errors %d), kernels imported %d\n",
+		s.Store.Loads, s.Store.LoadMismatches, s.Store.LoadErrors,
+		s.Store.Saves, s.Store.SaveErrors, s.Store.KernelsImported)
 	fmt.Println("packing-buffer pools:")
 	fmt.Printf("  gets %d (reused %d, allocated %d, oversize %d), puts %d\n",
 		s.Buffers.Gets, s.Buffers.Reuses, s.Buffers.Allocs, s.Buffers.Oversize, s.Buffers.Puts)

@@ -36,14 +36,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("iatf-monitor: ")
 	var (
-		addr   = flag.String("addr", "localhost:9090", "listen address")
-		demo   = flag.Bool("demo", false, "drive a continuous demo workload so every surface has traffic")
-		ring   = flag.Int("ring", 512, "spans retained for /trace and /spans")
-		labels = flag.Bool("labels", false, "apply pprof labels (op/dtype/shape) around compute")
-		once   = flag.Bool("once", false, "with -demo: run one workload round, print the surfaces, exit (smoke test)")
-		shards = flag.Int("shards", 0, "serve a sharded EngineSet of N shards instead of the default engine")
+		addr      = flag.String("addr", "localhost:9090", "listen address")
+		demo      = flag.Bool("demo", false, "drive a continuous demo workload so every surface has traffic")
+		ring      = flag.Int("ring", 512, "spans retained for /trace and /spans")
+		labels    = flag.Bool("labels", false, "apply pprof labels (op/dtype/shape) around compute")
+		once      = flag.Bool("once", false, "with -demo: run one workload round, print the surfaces, exit (smoke test)")
+		shards    = flag.Int("shards", 0, "serve a sharded EngineSet of N shards instead of the default engine")
+		planStore = flag.String("plan-store", "", "sharded mode: warm-start from a persistent autotune store directory (\"default\" = the default dir)")
 	)
 	flag.Parse()
+
+	var setOpts []iatf.EngineOption
+	if *planStore != "" {
+		dir := *planStore
+		if dir == "default" {
+			dir = ""
+		}
+		setOpts = append(setOpts, iatf.WithPlanStore(dir))
+	}
 
 	eng := iatf.DefaultEngine()
 	spans := iatf.NewSpanRing(*ring)
@@ -53,7 +63,7 @@ func main() {
 		// Sharded mode: every surface covers the whole set — spans from
 		// every shard land in one ring, /metrics carries per-shard +
 		// aggregate families, expvar publishes the SetStats.
-		set = iatf.NewEngineSet(*shards)
+		set = iatf.NewEngineSet(*shards, setOpts...)
 		for i := 0; i < set.Shards(); i++ {
 			set.Shard(i).SetSpanSink(spans.Add)
 		}

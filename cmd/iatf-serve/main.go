@@ -54,38 +54,47 @@ func (t tenantFlag) Set(s string) error {
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		shards   = flag.Int("shards", 0, "engine-set shard count (0 = one private engine)")
-		window   = flag.Duration("window", 2*time.Millisecond, "dispatcher max-batch-window (0 = drain immediately)")
-		edf      = flag.Bool("edf", true, "deadline-ordered dispatch (false = FIFO drain)")
-		queueCap = flag.Int("queue-cap", 0, "submission-queue capacity per shard (0 = engine default)")
-		deadline = flag.Duration("deadline", 0, "default request deadline when the body carries none (0 = none)")
-		once     = flag.Bool("once", false, "serve on an ephemeral port, run one GEMM through it, exit")
-		tenants  = tenantFlag{}
+		addr      = flag.String("addr", ":8080", "listen address")
+		shards    = flag.Int("shards", 0, "engine-set shard count (0 = one private engine)")
+		window    = flag.Duration("window", 2*time.Millisecond, "dispatcher max-batch-window (0 = drain immediately)")
+		edf       = flag.Bool("edf", true, "deadline-ordered dispatch (false = FIFO drain)")
+		queueCap  = flag.Int("queue-cap", 0, "submission-queue capacity per shard (0 = engine default)")
+		deadline  = flag.Duration("deadline", 0, "default request deadline when the body carries none (0 = none)")
+		planStore = flag.String("plan-store", "", "warm-start from a persistent autotune store directory (\"default\" = the default dir; pre-bake with iatf-tune)")
+		once      = flag.Bool("once", false, "serve on an ephemeral port, run one GEMM through it, exit")
+		tenants   = tenantFlag{}
 	)
 	flag.Var(tenants, "tenant", "tenant priority mapping name=class (repeatable)")
 	flag.Parse()
 
+	opts := []iatf.EngineOption{
+		iatf.WithEDF(*edf),
+		iatf.WithBatchWindow(*window),
+	}
+	if *queueCap > 0 {
+		opts = append(opts, iatf.WithQueueCapacity(*queueCap))
+	}
+	if *planStore != "" {
+		dir := *planStore
+		if dir == "default" {
+			dir = ""
+		}
+		opts = append(opts, iatf.WithPlanStore(dir))
+	}
+
 	cfg := serve.Config{DefaultDeadline: *deadline, Tenants: tenants}
 	if *shards > 0 {
-		set := iatf.NewEngineSet(*shards)
-		if *queueCap > 0 {
-			if err := set.SetQueueCapacity(*queueCap); err != nil {
-				log.Fatalf("queue capacity: %v", err)
-			}
+		set := iatf.NewEngineSet(*shards, opts...)
+		if *planStore != "" {
+			st := set.Stats().Aggregate
+			log.Printf("plan store %s: %d plans hydrated", set.StorePath(), st.PlanHydrated)
 		}
-		set.SetEDF(*edf)
-		set.SetBatchWindow(*window)
 		cfg.Set = set
 	} else {
-		eng := iatf.NewEngine()
-		if *queueCap > 0 {
-			if err := eng.SetQueueCapacity(*queueCap); err != nil {
-				log.Fatalf("queue capacity: %v", err)
-			}
+		eng := iatf.NewEngine(opts...)
+		if *planStore != "" {
+			log.Printf("plan store %s: %d plans hydrated", eng.StorePath(), eng.Stats().PlanHydrated)
 		}
-		eng.SetEDF(*edf)
-		eng.SetBatchWindow(*window)
 		cfg.Engine = eng
 	}
 	srv := serve.New(cfg)

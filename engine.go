@@ -3,7 +3,6 @@ package iatf
 import (
 	"time"
 
-	"iatf/internal/core"
 	"iatf/internal/engine"
 	"iatf/internal/obs"
 )
@@ -65,10 +64,21 @@ var defaultEng = &Engine{inner: engine.Default()}
 //	fmt.Println(s.PlanHits, s.PlanMisses, s.Buffers.Reuses)
 func DefaultEngine() *Engine { return defaultEng }
 
-// NewEngine constructs a private engine with the default tuning: an
-// isolated plan cache and counters, for tests or multi-tenant serving.
-func NewEngine() *Engine {
-	return &Engine{inner: engine.New(core.DefaultTuning())}
+// NewEngine constructs a private engine — an isolated plan cache and
+// counters, for tests or multi-tenant serving — configured by options:
+//
+//	eng := iatf.NewEngine(
+//	    iatf.WithQueueCapacity(4096),
+//	    iatf.WithPlanStore(""), // warm-start from the default store dir
+//	)
+//
+// With no options the engine uses the default tuning (Kunpeng 920
+// profile) and no persistent store.
+func NewEngine(opts ...EngineOption) *Engine {
+	cfg := resolveConfig(opts)
+	e := engine.New(cfg.tun)
+	cfg.apply(e)
+	return &Engine{inner: e}
 }
 
 // Stats returns the engine's current counters, including the per-shape
@@ -84,6 +94,9 @@ func (e *Engine) Stats() EngineStats { return e.inner.Stats() }
 // resized, and the call fails with an error wrapping ErrQueueStarted,
 // leaving the running queue untouched. Branch with
 // errors.Is(err, iatf.ErrQueueStarted).
+//
+// Deprecated: pass WithQueueCapacity to NewEngine instead — a
+// construction-time bound cannot race the dispatcher start.
 func (e *Engine) SetQueueCapacity(n int) error { return e.inner.SetQueueCapacity(n) }
 
 // SetEDF toggles deadline-ordered dispatch on the engine's async queue.
@@ -91,6 +104,9 @@ func (e *Engine) SetQueueCapacity(n int) error { return e.inner.SetQueueCapacity
 // context-deadline order, with WithPriority classes breaking ties, so a
 // tight-deadline request never waits behind a loose bundle that merely
 // arrived earlier. Off restores the FIFO drain. Safe to flip at any time.
+//
+// Deprecated: prefer WithEDF at construction; SetEDF remains for
+// runtime flips.
 func (e *Engine) SetEDF(on bool) { e.inner.SetEDF(on) }
 
 // SetBatchWindow sets the dispatcher's max-batch-window: after a batch's
@@ -99,6 +115,9 @@ func (e *Engine) SetEDF(on bool) { e.inner.SetEDF(on) }
 // Larger windows trade queue latency for larger fused bundles; 0 (the
 // default) drains only what already accumulated. Safe to change at any
 // time.
+//
+// Deprecated: prefer WithBatchWindow at construction; SetBatchWindow
+// remains for runtime adjustment.
 func (e *Engine) SetBatchWindow(d time.Duration) { e.inner.SetBatchWindow(d) }
 
 // SetTrace installs a trace hook on the engine: fn receives the

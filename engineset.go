@@ -11,7 +11,6 @@ import (
 	"net/http"
 	"time"
 
-	"iatf/internal/core"
 	"iatf/internal/engine"
 )
 
@@ -41,12 +40,18 @@ type ShardStats = engine.ShardStats
 // n <= 0: min(GOMAXPROCS, NumCPU/2), floored at 1.
 func DefaultShardCount() int { return engine.DefaultShards() }
 
-// NewEngineSet builds a set of n isolated engines with the default
-// tuning (n <= 0 uses DefaultShardCount). Each shard has its own plan
-// cache, prepack cache, buffer pools, worker fleet (capped at its core
-// share) and submission queue.
-func NewEngineSet(n int) *EngineSet {
-	return &EngineSet{inner: engine.NewSet(core.DefaultTuning(), n)}
+// NewEngineSet builds a set of n isolated engines (n <= 0 uses
+// DefaultShardCount), configured by the same options as NewEngine.
+// Each shard has its own plan cache, prepack cache, buffer pools,
+// worker fleet (capped at its core share) and submission queue;
+// WithQueueCapacity/WithEDF/WithBatchWindow apply to every shard, and
+// WithPlanStore hydrates each stored plan into its identity's home
+// shard so the warm start lands exactly where live traffic routes.
+func NewEngineSet(n int, opts ...EngineOption) *EngineSet {
+	cfg := resolveConfig(opts)
+	s := engine.NewSet(cfg.tun, n)
+	cfg.applySet(s)
+	return &EngineSet{inner: s}
 }
 
 // Shards returns the shard count.
@@ -83,6 +88,8 @@ func (s *EngineSet) SetProfileLabels(on bool) { s.inner.SetProfileLabels(on) }
 // the first shard whose dispatcher is already live returns an error
 // wrapping ErrQueueStarted and the remaining shards keep their current
 // capacity.
+//
+// Deprecated: pass WithQueueCapacity to NewEngineSet instead.
 func (s *EngineSet) SetQueueCapacity(n int) error {
 	for i := 0; i < s.inner.Shards(); i++ {
 		if err := s.inner.Shard(i).SetQueueCapacity(n); err != nil {
@@ -99,10 +106,16 @@ func (s *EngineSet) QueueStats() QueueStats { return s.inner.QueueStats() }
 
 // SetEDF toggles deadline-ordered dispatch on every shard; see
 // Engine.SetEDF.
+//
+// Deprecated: prefer WithEDF at construction; SetEDF remains for
+// runtime flips.
 func (s *EngineSet) SetEDF(on bool) { s.inner.SetEDF(on) }
 
 // SetBatchWindow sets every shard's max-batch-window; see
 // Engine.SetBatchWindow.
+//
+// Deprecated: prefer WithBatchWindow at construction; SetBatchWindow
+// remains for runtime adjustment.
 func (s *EngineSet) SetBatchWindow(d time.Duration) { s.inner.SetBatchWindow(d) }
 
 // WithEngineSet routes the call through a sharded engine set: the

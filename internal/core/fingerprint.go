@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"iatf/internal/layout"
+	"iatf/internal/machine"
+	"iatf/internal/vec"
+)
+
+// Fingerprint condenses every input that shapes this tuning's kernels
+// and plans into one stable, filesystem-safe identifier: the machine-
+// profile fingerprint, the tuning and ablation knobs (L1 budget,
+// optimizer/prefetch switches, forced batch/pack decisions, lane
+// override), the compact-layout format version and the dtype interleave
+// table. It keys the persistent autotune store — a store written under
+// one fingerprint is only ever replayed by an engine whose tuning
+// hashes to the same value.
+func (t Tuning) Fingerprint() string {
+	prof := machine.Fingerprint(t.Prof)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "tun1|%s|l1:%d|opt:%t|pf:%t|fg:%d|fpa:%t|vl:%d|layout:%d",
+		prof, t.L1Budget, !t.DisableOptimizer, !t.DisablePrefetch,
+		t.ForceGroupsPerBatch, t.ForcePackA, t.VL, layout.Version)
+	for _, dt := range vec.DTypes {
+		fmt.Fprintf(h, "|%s:%d:%d", dt, dt.Pack(), dt.ElemBytes())
+	}
+	return fmt.Sprintf("%s-t%016x", prof, h.Sum64())
+}

@@ -19,7 +19,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"iatf/internal/asm"
 	"iatf/internal/kopt"
@@ -80,38 +79,58 @@ func (t Tuning) optimize(p asm.Prog, dt vec.DType) asm.Prog {
 	})
 }
 
-// kernelCache memoizes generated+scheduled kernels across plans. The
+// kernelMemo memoizes generated+scheduled kernels across plans. The
 // install-time stage of the paper generates kernels ahead of time; the
-// cache is this reproduction's equivalent, keyed by the full parameter
-// tuple (specs are comparable structs).
+// memo is this reproduction's equivalent, keyed by the full parameter
+// tuple (specs are comparable structs) plus the scheduling machine's
+// fingerprint — list schedules depend on the profile's ports and
+// latencies, so engines tuned for different machines never share them.
+// The memo is exportable/importable (kopt.Memo), which is what the
+// persistent autotune store serializes.
 type kernelKey struct {
 	spec any
 	opt  bool
 	pf   bool
+	prof string // machine-profile fingerprint
 }
 
-var (
-	kernelMu    sync.Mutex
-	kernelCache = map[kernelKey]asm.Prog{}
-)
+var kernelMemo = kopt.NewMemo()
 
 func (t Tuning) cached(spec any, gen func() (asm.Prog, error), dt vec.DType) (asm.Prog, error) {
-	key := kernelKey{spec: spec, opt: !t.DisableOptimizer, pf: !t.DisablePrefetch}
-	kernelMu.Lock()
-	p, ok := kernelCache[key]
-	kernelMu.Unlock()
-	if ok {
+	prof := machine.Fingerprint(t.Prof)
+	key := kernelKey{spec: spec, opt: !t.DisableOptimizer, pf: !t.DisablePrefetch, prof: prof}
+	mk := func() kopt.MemoKey {
+		return kopt.MemoKey{Spec: fmt.Sprintf("%T%+v", spec, spec), Opt: key.opt, Pf: key.pf, Prof: prof}
+	}
+	if p, ok := kernelMemo.Get(key, mk); ok {
 		return p, nil
 	}
 	raw, err := gen()
 	if err != nil {
 		return nil, err
 	}
-	p = t.optimize(raw, dt)
-	kernelMu.Lock()
-	kernelCache[key] = p
-	kernelMu.Unlock()
+	p := t.optimize(raw, dt)
+	kernelMemo.Put(key, mk(), p)
 	return p, nil
+}
+
+// ExportKernels returns the memoized kernel schedules whose key matches
+// the machine-profile fingerprint (empty = all) for store serialization.
+func ExportKernels(prof string) []kopt.MemoEntry { return kernelMemo.Export(prof) }
+
+// ImportKernels merges stored kernel schedules into the process memo and
+// reports how many were new.
+func ImportKernels(entries []kopt.MemoEntry) int { return kernelMemo.Import(entries) }
+
+// KernelMemoStats returns the process kernel memo's lookup counters.
+func KernelMemoStats() (hits, misses, importHits uint64) { return kernelMemo.Stats() }
+
+// SwapKernelMemo replaces the process kernel memo and returns the
+// previous one — a test hook for simulating a cold process in-process.
+func SwapKernelMemo(m *kopt.Memo) *kopt.Memo {
+	old := kernelMemo
+	kernelMemo = m
+	return old
 }
 
 // GEMMProblem describes a compact batched GEMM: C = alpha·op(A)·op(B) + beta·C
@@ -483,7 +502,5 @@ func Preinstall(tun Tuning, maxK int) (int, error) {
 			}
 		}
 	}
-	kernelMu.Lock()
-	defer kernelMu.Unlock()
-	return len(kernelCache), nil
+	return kernelMemo.Len(), nil
 }

@@ -195,6 +195,12 @@ type planShard struct {
 	mu       sync.Mutex
 	m        map[planKey]any
 	building map[planKey]*planCall
+	// hydrated marks entries installed from the persistent autotune
+	// store whose first use is still pending: that first call reports
+	// obs.CacheHydrated so the per-shape series records the plan's
+	// static decisions (ceiling, packing, batch size) the way a miss
+	// would — without ever counting as a miss.
+	hydrated map[planKey]bool
 }
 
 // Engine owns a tuning configuration, the plan cache for it and the
@@ -214,6 +220,15 @@ type Engine struct {
 	planMisses    atomic.Uint64
 	planShared    atomic.Uint64
 	planEvictions atomic.Uint64
+	planHydrated  atomic.Uint64 // plan-cache entries installed from the store
+
+	// Persistent autotune store attachment (SetStorePath/LoadStore/
+	// SaveStore in store.go). fp is the engine tuning's fingerprint,
+	// computed once at construction.
+	fp         string
+	storeMu    sync.Mutex
+	storePath  string
+	storeState storeCounters
 
 	// Chain-plan cache (RunChain): whole-chain analyses keyed by the
 	// hashed chain identity, with full-descriptor equality on lookup.
@@ -238,10 +253,11 @@ type Engine struct {
 // and in particular EngineSet shards — never contend on shared execution
 // state.
 func New(tun core.Tuning) *Engine {
-	e := &Engine{tun: tun, rt: core.NewRuntime(), obs: obs.NewRegistry()}
+	e := &Engine{tun: tun, rt: core.NewRuntime(), obs: obs.NewRegistry(), fp: tun.Fingerprint()}
 	for i := range e.shards {
 		e.shards[i].m = make(map[planKey]any)
 		e.shards[i].building = make(map[planKey]*planCall)
+		e.shards[i].hydrated = make(map[planKey]bool)
 	}
 	e.packs.m = make(map[packKey]*packEntry)
 	e.chainPlans = make(map[uint64][]*chainPlan)
@@ -268,6 +284,12 @@ func (e *Engine) plan(key planKey, build func() (any, error)) (any, obs.CacheOut
 	sh := &e.shards[key.shard()]
 	sh.mu.Lock()
 	if p, ok := sh.m[key]; ok {
+		if len(sh.hydrated) > 0 && sh.hydrated[key] {
+			delete(sh.hydrated, key)
+			sh.mu.Unlock()
+			e.planHits.Add(1)
+			return p, obs.CacheHydrated, nil
+		}
 		sh.mu.Unlock()
 		e.planHits.Add(1)
 		return p, obs.CacheHit, nil
@@ -289,11 +311,13 @@ func (e *Engine) plan(key planKey, build func() (any, error)) (any, obs.CacheOut
 		if _, ok := sh.m[key]; !ok && len(sh.m) >= planShardCap {
 			for k := range sh.m {
 				delete(sh.m, k)
+				delete(sh.hydrated, k)
 				e.planEvictions.Add(1)
 				break
 			}
 		}
 		sh.m[key] = c.val
+		delete(sh.hydrated, key)
 	}
 	sh.mu.Unlock()
 	close(c.done)
@@ -311,6 +335,14 @@ type Stats struct {
 	PlanShared    uint64 // calls that waited on another call's in-flight build
 	PlanEvictions uint64
 	PlanEntries   int
+	// PlanHydrated counts plan-cache entries installed from the
+	// persistent autotune store — kept distinct from PlanMisses so the
+	// achieved-vs-CMAR-ceiling reporting stays honest: a hydrated plan
+	// was tuned once, in some earlier process, not by this call.
+	PlanHydrated uint64
+
+	// Persistent autotune store (this engine).
+	Store StoreStats
 
 	// Packed-operand cache (this engine).
 	PackCache PackCacheStats
@@ -344,6 +376,8 @@ func (s *Stats) Add(o Stats) {
 	s.PlanShared += o.PlanShared
 	s.PlanEvictions += o.PlanEvictions
 	s.PlanEntries += o.PlanEntries
+	s.PlanHydrated += o.PlanHydrated
+	s.Store.Add(o.Store)
 	s.PackCache.Add(o.PackCache)
 	s.Chain.Add(o.Chain)
 	s.Queue.Add(o.Queue)
@@ -402,6 +436,8 @@ func (e *Engine) Stats() Stats {
 		PlanShared:    e.planShared.Load(),
 		PlanEvictions: e.planEvictions.Load(),
 		PlanEntries:   entries,
+		PlanHydrated:  e.planHydrated.Load(),
+		Store:         e.storeStats(),
 		PackCache:     e.packs.snapshot(),
 		Chain:         e.chainStats(),
 		Queue:         e.queue.snapshot(),
@@ -602,7 +638,7 @@ func (e *Engine) runGEMM(op OpDesc, sp *obs.Span, a, b, c Operand) error {
 		Mode: gemmMode(op.TransA, op.TransB), M: m, N: n, K: k})
 	series.Plan(outcome)
 	series.SetWorkers(sched.Resolve(op.Workers))
-	if outcome == obs.CacheMiss {
+	if outcome == obs.CacheMiss || outcome == obs.CacheHydrated {
 		series.SetPlan(cmarCeiling(e.tun, key.dt, pl.MTiles[0], pl.NTiles[0]),
 			gemmPackDesc(pl.PackA, pl.PackB), pl.GroupsPerBatch)
 	}
@@ -763,7 +799,7 @@ func (e *Engine) runTri(op OpDesc, sp *obs.Span, a, b Operand) error {
 		series := e.obs.Series(shape)
 		series.Plan(outcome)
 		series.SetWorkers(sched.Resolve(op.Workers))
-		if outcome == obs.CacheMiss {
+		if outcome == obs.CacheMiss || outcome == obs.CacheHydrated {
 			series.SetPlan(cmarCeiling(e.tun, key.dt, pl.Panels[0], pl.ColTiles[0]), triPackDesc(pl.PackB), pl.GroupsPerBatch)
 		}
 		if fn := e.obs.TraceSink(); fn != nil {
@@ -799,7 +835,7 @@ func (e *Engine) runTri(op OpDesc, sp *obs.Span, a, b Operand) error {
 	series := e.obs.Series(shape)
 	series.Plan(outcome)
 	series.SetWorkers(sched.Resolve(op.Workers))
-	if outcome == obs.CacheMiss {
+	if outcome == obs.CacheMiss || outcome == obs.CacheHydrated {
 		series.SetPlan(cmarCeiling(e.tun, key.dt, pl.Panels[0], pl.ColTiles[0]), triPackDesc(pl.PackB), pl.GroupsPerBatch)
 	}
 	if fn := e.obs.TraceSink(); fn != nil {
@@ -958,7 +994,7 @@ func (e *Engine) runSYRK(op OpDesc, sp *obs.Span, a, c Operand) error {
 		Mode: op.TransA.String() + op.Uplo.String(), M: n, N: n, K: k})
 	series.Plan(outcome)
 	series.SetWorkers(sched.Resolve(op.Workers))
-	if outcome == obs.CacheMiss {
+	if outcome == obs.CacheMiss || outcome == obs.CacheHydrated {
 		series.SetPlan(cmarCeiling(e.tun, key.dt, pl.Tiles[0], pl.Tiles[0]), "A+Aᵀ", pl.GroupsPerBatch)
 	}
 	if fn := e.obs.TraceSink(); fn != nil {

@@ -57,7 +57,7 @@ func (e *Engine) factorSeries(kind OpKind, a Operand, workers int) (*obs.Series,
 	series := e.obs.Series(obs.ShapeKey{Op: kind.String(), DType: a.DT.String(), M: n, N: n})
 	series.Plan(outcome)
 	series.SetWorkers(sched.Resolve(workers))
-	if outcome == obs.CacheMiss {
+	if outcome == obs.CacheMiss || outcome == obs.CacheHydrated {
 		series.SetPlan(0, "in-place", 1)
 	}
 	return series, pv.(*factorPlan).flopsPerMatrix

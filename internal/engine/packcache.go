@@ -54,8 +54,8 @@ type packEntry struct {
 const packCacheCap = 64
 
 type packCache struct {
-	mu    sync.Mutex
-	m     map[packKey]*packEntry
+	mu sync.Mutex
+	m  map[packKey]*packEntry
 	// order is the FIFO insertion record behind cap eviction. It may
 	// contain already-purged keys (eviction skips them); buildPacked
 	// compacts it when purges let it drift far past the live set.

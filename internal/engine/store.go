@@ -1,0 +1,446 @@
+// Persistent autotune store attachment: the engine's plan cache and the
+// process kernel memo serialized to disk (internal/store) and reloaded
+// at construction, so a cold process starts with the install-time and
+// run-time stages already paid for every stored shape.
+//
+// The store is keyed by the tuning fingerprint (machine profile +
+// tuning knobs + layout/dtype version). Loading is forgiving by design:
+// an absent file is a cold start, a fingerprint/version mismatch or a
+// corrupt file is counted and ignored, and the engine falls back to
+// live tuning — the store can never make a correct call incorrect,
+// because hydration replays the exact plan constructors against kernel
+// schedules that are bit-equal to what this process would build.
+package engine
+
+import (
+	"errors"
+	"io/fs"
+
+	"iatf/internal/core"
+	"iatf/internal/machine"
+	"iatf/internal/matrix"
+	"iatf/internal/store"
+	"iatf/internal/vec"
+)
+
+// storeCounters is the engine's store-activity tally, guarded by storeMu.
+type storeCounters struct {
+	loads           uint64
+	loadMismatches  uint64
+	loadErrors      uint64
+	saves           uint64
+	saveErrors      uint64
+	kernelsImported uint64
+}
+
+// StoreStats is the persistent-store slice of Stats.
+type StoreStats struct {
+	Path        string // attached store file ("" = no store)
+	Fingerprint string // this engine's tuning fingerprint
+
+	Loads           uint64 // successful store loads
+	LoadMismatches  uint64 // files ignored for fingerprint/version skew
+	LoadErrors      uint64 // corrupt or unreadable files (absent files are not errors)
+	Saves           uint64 // successful store writes
+	SaveErrors      uint64 // failed store writes
+	KernelsImported uint64 // kernel schedules imported from loaded stores
+}
+
+// Add accumulates another engine's store counters (EngineSet aggregate).
+// Path and Fingerprint are shared set-wide, so the first non-empty value
+// wins.
+func (s *StoreStats) Add(o StoreStats) {
+	if s.Path == "" {
+		s.Path = o.Path
+	}
+	if s.Fingerprint == "" {
+		s.Fingerprint = o.Fingerprint
+	}
+	s.Loads += o.Loads
+	s.LoadMismatches += o.LoadMismatches
+	s.LoadErrors += o.LoadErrors
+	s.Saves += o.Saves
+	s.SaveErrors += o.SaveErrors
+	s.KernelsImported += o.KernelsImported
+}
+
+func (e *Engine) storeStats() StoreStats {
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	return StoreStats{
+		Path:            e.storePath,
+		Fingerprint:     e.fp,
+		Loads:           e.storeState.loads,
+		LoadMismatches:  e.storeState.loadMismatches,
+		LoadErrors:      e.storeState.loadErrors,
+		Saves:           e.storeState.saves,
+		SaveErrors:      e.storeState.saveErrors,
+		KernelsImported: e.storeState.kernelsImported,
+	}
+}
+
+// Fingerprint returns the engine tuning's store fingerprint.
+func (e *Engine) Fingerprint() string { return e.fp }
+
+// SetStorePath attaches a store file path to the engine. It does not
+// load or save by itself — pair with LoadStore/SaveStore. An empty path
+// detaches.
+func (e *Engine) SetStorePath(path string) {
+	e.storeMu.Lock()
+	e.storePath = path
+	e.storeMu.Unlock()
+}
+
+// StorePath returns the attached store file path ("" = none).
+func (e *Engine) StorePath() string {
+	e.storeMu.Lock()
+	defer e.storeMu.Unlock()
+	return e.storePath
+}
+
+// LoadStore reads the attached store file and hydrates the engine:
+// stored kernel schedules join the process kernel memo, and every stored
+// plan descriptor is replayed through the exact plan constructors into
+// the plan cache (counted in Stats.PlanHydrated, never as misses).
+//
+// Staleness is not an error: an absent file, a fingerprint or format
+// mismatch, and a corrupt file all leave the engine cold (counted in
+// Stats.Store) and return nil. Only unexpected I/O failures are
+// returned.
+func (e *Engine) LoadStore() error {
+	path := e.StorePath()
+	if path == "" {
+		return nil
+	}
+	f, err := store.Load(path, e.fp)
+	if err != nil {
+		e.storeMu.Lock()
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+			// Cold start: nothing to load, nothing to count.
+		case errors.Is(err, store.ErrMismatch):
+			e.storeState.loadMismatches++
+		default:
+			e.storeState.loadErrors++
+		}
+		e.storeMu.Unlock()
+		if errors.Is(err, fs.ErrNotExist) || errors.Is(err, store.ErrMismatch) || errors.Is(err, store.ErrCorrupt) {
+			return nil
+		}
+		return err
+	}
+	e.Hydrate(f)
+	return nil
+}
+
+// Hydrate installs a decoded store file into the engine. The caller has
+// already validated the fingerprint (store.Load does).
+func (e *Engine) Hydrate(f *store.File) (plans, kernels int) {
+	kernels = core.ImportKernels(f.Kernels)
+	for _, d := range f.Plans {
+		key, err := keyOfDesc(d)
+		if err != nil {
+			continue // unknown kind from a future writer: skip, don't fail
+		}
+		if e.hydratePlan(key) {
+			plans++
+		}
+	}
+	e.storeMu.Lock()
+	e.storeState.loads++
+	e.storeState.kernelsImported += uint64(kernels)
+	e.storeMu.Unlock()
+	return plans, kernels
+}
+
+// hydratePlan builds key's plan through the same constructor the live
+// path uses and installs it marked hydrated, without touching the
+// hit/miss counters. Returns false when the entry already exists, the
+// kind is unknown, or the build fails (a stored descriptor this tuning
+// rejects — e.g. a dimension over the triangular cap — is skipped).
+func (e *Engine) hydratePlan(key planKey) bool {
+	build := e.buildForKey(key)
+	if build == nil {
+		return false
+	}
+	sh := &e.shards[key.shard()]
+	sh.mu.Lock()
+	_, exists := sh.m[key]
+	sh.mu.Unlock()
+	if exists {
+		return false
+	}
+	v, err := build()
+	if err != nil {
+		return false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[key]; ok {
+		return false // raced with a live build; the live plan wins
+	}
+	if len(sh.m) >= planShardCap {
+		for k := range sh.m {
+			delete(sh.m, k)
+			delete(sh.hydrated, k)
+			e.planEvictions.Add(1)
+			break
+		}
+	}
+	sh.m[key] = v
+	sh.hydrated[key] = true
+	e.planHydrated.Add(1)
+	return true
+}
+
+// buildForKey returns the plan constructor closure for a cache key —
+// the exact closure the live dispatch path passes to plan(), so a
+// hydrated plan is bit-equal to a freshly tuned one. Nil for unknown
+// kinds.
+func (e *Engine) buildForKey(key planKey) func() (any, error) {
+	switch key.kind {
+	case OpGEMM:
+		return func() (any, error) {
+			return core.NewGEMMPlan(core.GEMMProblem{
+				DT: key.dt, M: key.m, N: key.n, K: key.k, TransA: key.transA, TransB: key.transB,
+				Alpha: 1, Beta: 1, Count: key.countBucket,
+			}, e.tun)
+		}
+	case OpTRSM:
+		return func() (any, error) {
+			return core.NewTRSMPlan(core.TRSMProblem{
+				DT: key.dt, M: key.m, N: key.n, Side: key.side, Uplo: key.uplo,
+				TransA: key.transA, Diag: key.diag, Alpha: 1, Count: key.countBucket,
+			}, e.tun)
+		}
+	case OpTRMM:
+		return func() (any, error) {
+			return core.NewTRMMPlan(core.TRMMProblem{
+				DT: key.dt, M: key.m, N: key.n, Side: key.side, Uplo: key.uplo,
+				TransA: key.transA, Diag: key.diag, Alpha: 1, Count: key.countBucket,
+			}, e.tun)
+		}
+	case OpSYRK:
+		return func() (any, error) {
+			return core.NewSYRKPlan(core.SYRKProblem{
+				DT: key.dt, N: key.m, K: key.k, Uplo: key.uplo, Trans: key.transA,
+				Alpha: 1, Beta: 1, Count: key.countBucket,
+			}, e.tun)
+		}
+	case OpLU, OpCholesky, OpLUPiv:
+		return func() (any, error) {
+			return &factorPlan{flopsPerMatrix: factorFLOPs(key.kind, key.m)}, nil
+		}
+	}
+	return nil
+}
+
+// Warm resolves the plan for one problem descriptor through the regular
+// cache path (building it on miss) — the pre-baking primitive behind
+// iatf-tune. The build error, if any, is returned so tuners can report
+// shapes the tuning rejects.
+func (e *Engine) Warm(d store.PlanDesc) error {
+	key, err := keyOfDesc(d)
+	if err != nil {
+		return err
+	}
+	build := e.buildForKey(key)
+	if build == nil {
+		return opErr(key.kind, "", ErrOperand, "not a plannable kind")
+	}
+	_, _, err = e.plan(key, build)
+	return err
+}
+
+// Export snapshots the engine's tuned state as a store file: every plan
+// key in the cache plus the process kernel memo's entries for this
+// engine's machine profile.
+func (e *Engine) Export(tool string) *store.File {
+	f := store.New(e.fp, tool)
+	f.Kernels = core.ExportKernels(machine.Fingerprint(e.tun.Prof))
+	for i := range e.shards {
+		sh := &e.shards[i]
+		sh.mu.Lock()
+		for key := range sh.m {
+			f.Plans = append(f.Plans, descOfKey(key))
+		}
+		sh.mu.Unlock()
+	}
+	return f
+}
+
+// SaveStore serializes the engine's tuned state to the attached store
+// path (atomically, merge-free: the engine's current view wins). No-op
+// without an attached path.
+func (e *Engine) SaveStore() error {
+	path := e.StorePath()
+	if path == "" {
+		return nil
+	}
+	err := e.Export("engine-flush").WriteAtomic(path)
+	e.storeMu.Lock()
+	if err != nil {
+		e.storeState.saveErrors++
+	} else {
+		e.storeState.saves++
+	}
+	e.storeMu.Unlock()
+	return err
+}
+
+// descOfKey converts a plan-cache key to its serializable form.
+func descOfKey(k planKey) store.PlanDesc {
+	return store.PlanDesc{
+		Kind: int(k.kind), DType: int(k.dt), M: k.m, N: k.n, K: k.k,
+		TransA: int(k.transA), TransB: int(k.transB),
+		Side: int(k.side), Uplo: int(k.uplo), Diag: int(k.diag),
+		CountBucket: k.countBucket,
+	}
+}
+
+// keyOfDesc converts a stored descriptor back to a cache key, rejecting
+// kinds this build does not know (a store written by a newer version).
+func keyOfDesc(d store.PlanDesc) (planKey, error) {
+	if d.Kind < int(OpGEMM) || d.Kind > int(OpLUPiv) {
+		return planKey{}, opErr(OpKind(d.Kind), "", ErrOperand, "unknown op kind %d in store", d.Kind)
+	}
+	cb := d.CountBucket
+	if cb < 1 {
+		cb = 1
+	}
+	return planKey{
+		kind: OpKind(d.Kind), dt: vec.DType(d.DType), m: d.M, n: d.N, k: d.K,
+		transA: matrix.Trans(d.TransA), transB: matrix.Trans(d.TransB),
+		side: matrix.Side(d.Side), uplo: matrix.Uplo(d.Uplo), diag: matrix.Diag(d.Diag),
+		countBucket: cb,
+	}, nil
+}
+
+// routeHashKey reconstructs the identity-affine routing hash of a plan
+// key — the same fold routeHash performs over a live call's descriptor
+// and operands, with the stored operand dimensions derived from the
+// key's problem dimensions. Set.LoadStore uses it to hydrate each plan
+// into the shard that live traffic for that identity routes to, keeping
+// the store's cache-affinity benefit intact under sharding.
+func routeHashKey(k planKey) uint64 {
+	type dim struct{ r, c int }
+	var dims [3]dim
+	n := 0
+	switch k.kind {
+	case OpGEMM:
+		a := dim{k.m, k.k}
+		if k.transA == matrix.Transpose {
+			a = dim{k.k, k.m}
+		}
+		b := dim{k.k, k.n}
+		if k.transB == matrix.Transpose {
+			b = dim{k.n, k.k}
+		}
+		dims, n = [3]dim{a, b, {k.m, k.n}}, 3
+	case OpTRSM, OpTRMM:
+		d := k.m
+		if k.side == matrix.Right {
+			d = k.n
+		}
+		dims, n = [3]dim{{d, d}, {k.m, k.n}}, 2
+	case OpSYRK:
+		a := dim{k.m, k.k}
+		if k.transA == matrix.Transpose {
+			a = dim{k.k, k.m}
+		}
+		dims, n = [3]dim{a, {k.m, k.m}}, 2
+	default: // factorizations: one square operand
+		dims, n = [3]dim{{k.m, k.m}}, 1
+	}
+	h := uint64(0xcbf29ce484222325)
+	h = mix64(h, uint64(k.kind))
+	h = mix64(h, uint64(k.transA))
+	h = mix64(h, uint64(k.transB))
+	h = mix64(h, uint64(k.side))
+	h = mix64(h, uint64(k.uplo))
+	h = mix64(h, uint64(k.diag))
+	h = mix64(h, uint64(n))
+	for i := 0; i < n; i++ {
+		h = mix64(h, uint64(k.dt))
+		h = mix64(h, uint64(dims[i].r))
+		h = mix64(h, uint64(dims[i].c))
+	}
+	return h
+}
+
+// SetStorePath attaches a store path to the whole set. Shard 0 carries
+// the path for stats; loading and saving are set-level operations.
+func (s *Set) SetStorePath(path string) { s.engines[0].SetStorePath(path) }
+
+// StorePath returns the set's attached store path.
+func (s *Set) StorePath() string { return s.engines[0].StorePath() }
+
+// Fingerprint returns the set's tuning fingerprint (all shards share
+// one tuning).
+func (s *Set) Fingerprint() string { return s.engines[0].fp }
+
+// LoadStore reads the set's attached store and hydrates every stored
+// plan into its identity's home shard — the same shard live traffic
+// routes to. Kernel schedules are imported into the process memo once.
+// Staleness semantics match Engine.LoadStore.
+func (s *Set) LoadStore() error {
+	e0 := s.engines[0]
+	path := e0.StorePath()
+	if path == "" {
+		return nil
+	}
+	f, err := store.Load(path, e0.fp)
+	if err != nil {
+		e0.storeMu.Lock()
+		switch {
+		case errors.Is(err, fs.ErrNotExist):
+		case errors.Is(err, store.ErrMismatch):
+			e0.storeState.loadMismatches++
+		default:
+			e0.storeState.loadErrors++
+		}
+		e0.storeMu.Unlock()
+		if errors.Is(err, fs.ErrNotExist) || errors.Is(err, store.ErrMismatch) || errors.Is(err, store.ErrCorrupt) {
+			return nil
+		}
+		return err
+	}
+	kernels := core.ImportKernels(f.Kernels)
+	for _, d := range f.Plans {
+		key, err := keyOfDesc(d)
+		if err != nil {
+			continue
+		}
+		sh := jumpHash(routeHashKey(key), len(s.engines))
+		s.engines[sh].hydratePlan(key)
+	}
+	e0.storeMu.Lock()
+	e0.storeState.loads++
+	e0.storeState.kernelsImported += uint64(kernels)
+	e0.storeMu.Unlock()
+	return nil
+}
+
+// SaveStore writes the union of every shard's plan cache (plus the
+// kernel memo) to the set's attached store path. No-op without a path.
+func (s *Set) SaveStore() error {
+	e0 := s.engines[0]
+	path := e0.StorePath()
+	if path == "" {
+		return nil
+	}
+	f := e0.Export("engineset-flush")
+	for _, e := range s.engines[1:] {
+		other := e.Export("")
+		f.Merge(other)
+	}
+	err := f.WriteAtomic(path)
+	e0.storeMu.Lock()
+	if err != nil {
+		e0.storeState.saveErrors++
+	} else {
+		e0.storeState.saves++
+	}
+	e0.storeMu.Unlock()
+	return err
+}

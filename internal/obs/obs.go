@@ -34,15 +34,22 @@ const (
 	// CacheShared: another in-flight call was building the same plan and
 	// this call waited for it (single-flight).
 	CacheShared
+	// CacheHydrated: first use of a plan loaded from the persistent
+	// autotune store — served from cache, but this call is the one that
+	// records the plan's static decisions (ceiling, packing, batch size)
+	// the way a miss would.
+	CacheHydrated
 )
 
-// String returns "miss", "hit" or "shared".
+// String returns "miss", "hit", "shared" or "hydrated".
 func (c CacheOutcome) String() string {
 	switch c {
 	case CacheHit:
 		return "hit"
 	case CacheShared:
 		return "shared"
+	case CacheHydrated:
+		return "hydrated"
 	}
 	return "miss"
 }
@@ -70,9 +77,10 @@ type Series struct {
 	calls  atomic.Uint64
 	errors atomic.Uint64
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	shared atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	shared   atomic.Uint64
+	hydrated atomic.Uint64
 
 	ns    atomic.Uint64 // total latency, nanoseconds
 	flops atomic.Uint64 // total useful flops
@@ -106,6 +114,8 @@ func (s *Series) Plan(o CacheOutcome) {
 		s.hits.Add(1)
 	case CacheShared:
 		s.shared.Add(1)
+	case CacheHydrated:
+		s.hydrated.Add(1)
 	default:
 		s.misses.Add(1)
 	}
@@ -207,9 +217,10 @@ type ShapeSnapshot struct {
 	Calls  uint64 `json:"calls"`
 	Errors uint64 `json:"errors,omitempty"`
 
-	PlanHits   uint64 `json:"plan_hits"`
-	PlanMisses uint64 `json:"plan_misses"`
-	PlanShared uint64 `json:"plan_shared,omitempty"`
+	PlanHits     uint64 `json:"plan_hits"`
+	PlanMisses   uint64 `json:"plan_misses"`
+	PlanShared   uint64 `json:"plan_shared,omitempty"`
+	PlanHydrated uint64 `json:"plan_hydrated,omitempty"` // first uses of store-loaded plans
 
 	P50 time.Duration `json:"p50_ns"`
 	P99 time.Duration `json:"p99_ns"`
@@ -226,25 +237,27 @@ type ShapeSnapshot struct {
 	PrepackBuilds uint64 `json:"prepack_builds,omitempty"`
 }
 
-// HitRatio returns the fraction of calls served from the plan cache.
+// HitRatio returns the fraction of calls served from the plan cache
+// (live hits plus first uses of store-hydrated plans).
 func (s ShapeSnapshot) HitRatio() float64 {
-	tot := s.PlanHits + s.PlanMisses + s.PlanShared
+	tot := s.PlanHits + s.PlanMisses + s.PlanShared + s.PlanHydrated
 	if tot == 0 {
 		return 0
 	}
-	return float64(s.PlanHits) / float64(tot)
+	return float64(s.PlanHits+s.PlanHydrated) / float64(tot)
 }
 
 func (s *Series) snapshot(key ShapeKey) ShapeSnapshot {
 	snap := ShapeSnapshot{
-		ShapeKey:   key,
-		Calls:      s.calls.Load(),
-		Errors:     s.errors.Load(),
-		PlanHits:   s.hits.Load(),
-		PlanMisses: s.misses.Load(),
-		PlanShared: s.shared.Load(),
-		P50:        s.quantile(0.50),
-		P99:        s.quantile(0.99),
+		ShapeKey:     key,
+		Calls:        s.calls.Load(),
+		Errors:       s.errors.Load(),
+		PlanHits:     s.hits.Load(),
+		PlanMisses:   s.misses.Load(),
+		PlanShared:   s.shared.Load(),
+		PlanHydrated: s.hydrated.Load(),
+		P50:          s.quantile(0.50),
+		P99:          s.quantile(0.99),
 
 		BestGFLOPS:     math.Float64frombits(s.bestGF.Load()),
 		CeilingGFLOPS:  math.Float64frombits(s.ceiling.Load()),
@@ -372,18 +385,19 @@ func sortSnapshots(out []ShapeSnapshot) {
 // seriesCounters is the monotonic-counter slice of one Series — the
 // baseline SnapshotDelta subtracts to produce a scrape window.
 type seriesCounters struct {
-	calls, errors              uint64
-	hits, misses, shared       uint64
-	ns, flops                  uint64
-	prepackHits, prepackBuilds uint64
-	hist                       [histBuckets]uint64
+	calls, errors                  uint64
+	hits, misses, shared, hydrated uint64
+	ns, flops                      uint64
+	prepackHits, prepackBuilds     uint64
+	hist                           [histBuckets]uint64
 }
 
 func (s *Series) counters() seriesCounters {
 	c := seriesCounters{
 		calls: s.calls.Load(), errors: s.errors.Load(),
 		hits: s.hits.Load(), misses: s.misses.Load(), shared: s.shared.Load(),
-		ns: s.ns.Load(), flops: s.flops.Load(),
+		hydrated: s.hydrated.Load(),
+		ns:       s.ns.Load(), flops: s.flops.Load(),
 		prepackHits: s.prepackHits.Load(), prepackBuilds: s.prepackBuilds.Load(),
 	}
 	for i := range s.hist {
@@ -431,15 +445,16 @@ func (r *Registry) SnapshotDelta() []ShapeSnapshot {
 			hist[i] = cur.hist[i] - prev.hist[i]
 		}
 		snap := ShapeSnapshot{
-			ShapeKey:   p.key,
-			Shard:      int(r.shard.Load()),
-			Calls:      cur.calls - prev.calls,
-			Errors:     cur.errors - prev.errors,
-			PlanHits:   cur.hits - prev.hits,
-			PlanMisses: cur.misses - prev.misses,
-			PlanShared: cur.shared - prev.shared,
-			P50:        histQuantile(&hist, 0.50),
-			P99:        histQuantile(&hist, 0.99),
+			ShapeKey:     p.key,
+			Shard:        int(r.shard.Load()),
+			Calls:        cur.calls - prev.calls,
+			Errors:       cur.errors - prev.errors,
+			PlanHits:     cur.hits - prev.hits,
+			PlanMisses:   cur.misses - prev.misses,
+			PlanShared:   cur.shared - prev.shared,
+			PlanHydrated: cur.hydrated - prev.hydrated,
+			P50:          histQuantile(&hist, 0.50),
+			P99:          histQuantile(&hist, 0.99),
 
 			BestGFLOPS:     math.Float64frombits(p.s.bestGF.Load()),
 			CeilingGFLOPS:  math.Float64frombits(p.s.ceiling.Load()),
@@ -491,6 +506,7 @@ func AggregateShapes(perShard ...[]ShapeSnapshot) []ShapeSnapshot {
 			t.PlanHits += s.PlanHits
 			t.PlanMisses += s.PlanMisses
 			t.PlanShared += s.PlanShared
+			t.PlanHydrated += s.PlanHydrated
 			t.PrepackHits += s.PrepackHits
 			t.PrepackBuilds += s.PrepackBuilds
 			a.flopsW += s.AvgGFLOPS * float64(s.Calls)

@@ -1,0 +1,214 @@
+// Construction-time configuration for engines and engine sets. Options
+// replace the old post-construction setters for everything that is
+// really a property of how the engine is built — queue capacity, drain
+// order, batch window, machine profile, and the persistent autotune
+// store — so configuration races (SetQueueCapacity after the dispatcher
+// started, a store attached after the first cold miss) cannot happen by
+// construction.
+//
+//	eng := iatf.NewEngine(
+//	    iatf.WithMachineProfile(iatf.Kunpeng920()),
+//	    iatf.WithQueueCapacity(4096),
+//	    iatf.WithPlanStore(""), // default dir; loads a matching store if present
+//	)
+
+package iatf
+
+import (
+	"time"
+
+	"iatf/internal/core"
+	"iatf/internal/engine"
+	"iatf/internal/machine"
+	"iatf/internal/store"
+)
+
+// MachineProfile describes the modeled CPU an engine tunes for:
+// frequency, vector width, port counts, instruction latencies and the
+// cache hierarchy. It drives install-time kernel selection (CMAR + list
+// scheduling) and the run-time cost model.
+type MachineProfile = machine.Profile
+
+// Kunpeng920 is the paper's primary target: an ARMv8 (TaiShan v110)
+// profile. It is the default profile.
+func Kunpeng920() MachineProfile { return machine.Kunpeng920() }
+
+// Graviton2 is an ARMv8 (Neoverse N1) profile.
+func Graviton2() MachineProfile { return machine.Graviton2() }
+
+// XeonGold6240 is an x86 (Cascade Lake) comparison profile.
+func XeonGold6240() MachineProfile { return machine.XeonGold6240() }
+
+// ProfileNamed resolves a profile by its canonical name — the CLI
+// surface of the built-in profiles ("kunpeng920", "graviton2",
+// "xeon6240"). ok is false for unknown names.
+func ProfileNamed(name string) (p MachineProfile, ok bool) {
+	switch name {
+	case "kunpeng920", "kunpeng-920", "kunpeng":
+		return machine.Kunpeng920(), true
+	case "graviton2", "graviton-2", "graviton":
+		return machine.Graviton2(), true
+	case "xeon6240", "xeon-gold-6240", "xeon":
+		return machine.XeonGold6240(), true
+	}
+	return MachineProfile{}, false
+}
+
+// ProfileNames lists the names ProfileNamed accepts, for CLI usage
+// strings.
+func ProfileNames() []string { return []string{"kunpeng920", "graviton2", "xeon6240"} }
+
+// engineConfig is the resolved option set NewEngine/NewEngineSet build
+// from.
+type engineConfig struct {
+	tun       core.Tuning
+	queueCap  int  // 0 = keep default
+	edf       bool // applied only when edfSet
+	edfSet    bool
+	window    time.Duration // applied only when windowSet
+	windowSet bool
+	storeDir  string // applied only when storeSet; "" = store.DefaultDir()
+	storeSet  bool
+}
+
+// EngineOption configures NewEngine and NewEngineSet at construction
+// time.
+type EngineOption func(*engineConfig)
+
+// WithMachineProfile tunes the engine for profile p instead of the
+// default Kunpeng 920 model. The profile is folded into the engine's
+// store fingerprint, so engines built for different profiles never
+// share persisted plans.
+func WithMachineProfile(p MachineProfile) EngineOption {
+	return func(c *engineConfig) { c.tun.Prof = p }
+}
+
+// WithQueueCapacity bounds the async submission queue (default 1024
+// requests; values below 1 clamp to 1). Submissions beyond the bound
+// fail fast with ErrQueueFull. Unlike the deprecated SetQueueCapacity,
+// the bound is in place before the dispatcher can start, so it cannot
+// race with the first Submit.
+func WithQueueCapacity(n int) EngineOption {
+	return func(c *engineConfig) { c.queueCap = n }
+}
+
+// WithEDF sets the async queue's drain order: true (the default)
+// executes each drained batch in earliest-deadline-first order, false
+// restores FIFO.
+func WithEDF(on bool) EngineOption {
+	return func(c *engineConfig) { c.edf, c.edfSet = on, true }
+}
+
+// WithBatchWindow sets the dispatcher's max-batch-window: after a
+// batch's first request arrives the drain stays open for d, trading
+// queue latency for larger fused bundles. 0 (the default) drains only
+// what already accumulated.
+func WithBatchWindow(d time.Duration) EngineOption {
+	return func(c *engineConfig) { c.window, c.windowSet = d, true }
+}
+
+// WithPlanStore attaches the persistent autotune store under dir and
+// loads it during construction: if dir holds a store file whose
+// fingerprint matches this engine's tuning, its kernel schedules and
+// plans are hydrated before the first call, so the cold process starts
+// warm. dir == "" uses DefaultStoreDir(). The store file within dir is
+// always named by the engine's fingerprint, so engines with different
+// profiles or tuning coexist in one directory.
+//
+// Loading is fail-soft: an absent, stale (fingerprint/version
+// mismatch) or corrupt file leaves the engine cold and is counted in
+// Stats().Store — it never fails construction. Pre-bake stores with
+// the iatf-tune command; flush a live engine's state with SaveStore.
+func WithPlanStore(dir string) EngineOption {
+	return func(c *engineConfig) { c.storeDir, c.storeSet = dir, true }
+}
+
+// DefaultStoreDir returns the default persistent-store directory:
+// $IATF_STORE_DIR when set, else the user cache dir ("~/.cache/iatf" on
+// Linux), else a temp-dir fallback.
+func DefaultStoreDir() string { return store.DefaultDir() }
+
+func resolveConfig(opts []EngineOption) engineConfig {
+	cfg := engineConfig{tun: core.DefaultTuning()}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&cfg)
+		}
+	}
+	return cfg
+}
+
+// storePathFor resolves the config's store file path for a fingerprint.
+func (c *engineConfig) storePathFor(fp string) string {
+	dir := c.storeDir
+	if dir == "" {
+		dir = store.DefaultDir()
+	}
+	return store.PathFor(dir, fp)
+}
+
+// apply configures a freshly constructed engine. The queue cannot have
+// started yet, so SetQueueCapacity cannot fail; store loading is
+// fail-soft by design.
+func (c *engineConfig) apply(e *engine.Engine) {
+	if c.queueCap > 0 {
+		_ = e.SetQueueCapacity(c.queueCap)
+	}
+	if c.edfSet {
+		e.SetEDF(c.edf)
+	}
+	if c.windowSet {
+		e.SetBatchWindow(c.window)
+	}
+	if c.storeSet {
+		e.SetStorePath(c.storePathFor(e.Fingerprint()))
+		_ = e.LoadStore()
+	}
+}
+
+// applySet configures a freshly constructed set: per-shard queue
+// options, then one set-level store load that hydrates each stored plan
+// into its identity's home shard.
+func (c *engineConfig) applySet(s *engine.Set) {
+	for i := 0; i < s.Shards(); i++ {
+		sh := s.Shard(i)
+		if c.queueCap > 0 {
+			_ = sh.SetQueueCapacity(c.queueCap)
+		}
+	}
+	if c.edfSet {
+		s.SetEDF(c.edf)
+	}
+	if c.windowSet {
+		s.SetBatchWindow(c.window)
+	}
+	if c.storeSet {
+		s.SetStorePath(c.storePathFor(s.Fingerprint()))
+		_ = s.LoadStore()
+	}
+}
+
+// Fingerprint returns the engine's tuning fingerprint: the stable,
+// filesystem-safe hash of its machine profile, tuning knobs and data-
+// layout version that keys the persistent autotune store.
+func (e *Engine) Fingerprint() string { return e.inner.Fingerprint() }
+
+// StorePath returns the engine's attached store file ("" = no store).
+func (e *Engine) StorePath() string { return e.inner.StorePath() }
+
+// SaveStore atomically writes the engine's tuned state — every cached
+// plan descriptor plus its profile's kernel schedules — to the attached
+// store file, so the next process constructed with WithPlanStore starts
+// warm. No-op without an attached store.
+func (e *Engine) SaveStore() error { return e.inner.SaveStore() }
+
+// Fingerprint returns the set's tuning fingerprint (all shards share
+// one tuning); see Engine.Fingerprint.
+func (s *EngineSet) Fingerprint() string { return s.inner.Fingerprint() }
+
+// StorePath returns the set's attached store file ("" = no store).
+func (s *EngineSet) StorePath() string { return s.inner.StorePath() }
+
+// SaveStore writes the union of every shard's tuned state to the set's
+// attached store file; see Engine.SaveStore.
+func (s *EngineSet) SaveStore() error { return s.inner.SaveStore() }

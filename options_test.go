@@ -1,0 +1,97 @@
+package iatf
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestEngineOptionsApply(t *testing.T) {
+	e := NewEngine(
+		WithQueueCapacity(7),
+		WithEDF(false),
+		WithBatchWindow(3*time.Millisecond),
+	)
+	s := e.Stats()
+	if s.Queue.Capacity != 7 {
+		t.Errorf("queue capacity = %d, want 7", s.Queue.Capacity)
+	}
+	if s.Queue.EDF {
+		t.Error("EDF still on after WithEDF(false)")
+	}
+	if s.Queue.Window != 3*time.Millisecond {
+		t.Errorf("batch window = %v, want 3ms", s.Queue.Window)
+	}
+}
+
+func TestEngineSetOptionsApply(t *testing.T) {
+	s := NewEngineSet(2, WithQueueCapacity(9), WithBatchWindow(time.Millisecond))
+	for i := 0; i < s.Shards(); i++ {
+		st := s.Shard(i).Stats()
+		if st.Queue.Capacity != 9 || st.Queue.Window != time.Millisecond {
+			t.Errorf("shard %d: capacity %d window %v", i, st.Queue.Capacity, st.Queue.Window)
+		}
+	}
+}
+
+func TestWithMachineProfileChangesFingerprint(t *testing.T) {
+	kp := NewEngine() // default profile is Kunpeng 920
+	gv := NewEngine(WithMachineProfile(Graviton2()))
+	if kp.Fingerprint() == gv.Fingerprint() {
+		t.Fatal("different profiles share a fingerprint")
+	}
+	if kp.Fingerprint() != NewEngine(WithMachineProfile(Kunpeng920())).Fingerprint() {
+		t.Fatal("explicit default profile changed the fingerprint")
+	}
+}
+
+func TestProfileNamed(t *testing.T) {
+	for _, name := range ProfileNames() {
+		if _, ok := ProfileNamed(name); !ok {
+			t.Errorf("ProfileNamed(%q) not found", name)
+		}
+	}
+	if _, ok := ProfileNamed("cray-1"); ok {
+		t.Error("unknown profile resolved")
+	}
+}
+
+// TestWithPlanStoreWarmStart is the public-API warm-start path: tune in
+// one engine, save, construct a second engine over the same store dir,
+// and require its first call to be a hit with zero misses.
+func TestWithPlanStoreWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(5))
+	run := func(e *Engine) {
+		t.Helper()
+		a := Pack(randBatch[float64](rng, 16, 6, 6))
+		b := Pack(randBatch[float64](rng, 16, 6, 6))
+		c := Pack(randBatch[float64](rng, 16, 6, 6))
+		if err := GEMMOn(e, 1, NoTrans, NoTrans, 1.0, a, b, 0.0, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	e1 := NewEngine(WithPlanStore(dir))
+	if e1.StorePath() == "" {
+		t.Fatal("store not attached")
+	}
+	run(e1)
+	if err := e1.SaveStore(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := NewEngine(WithPlanStore(dir))
+	if got, want := e2.Fingerprint(), e1.Fingerprint(); got != want {
+		t.Fatalf("fingerprints differ: %q vs %q", got, want)
+	}
+	s := e2.Stats()
+	if s.Store.Loads != 1 || s.PlanHydrated == 0 {
+		t.Fatalf("construction did not hydrate: %+v / hydrated %d", s.Store, s.PlanHydrated)
+	}
+	run(e2)
+	s = e2.Stats()
+	if s.PlanMisses != 0 || s.PlanHits != 1 {
+		t.Fatalf("warm start first call: %+v", s)
+	}
+}
