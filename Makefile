@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race stress asyncstress shardstress chainstress servestress tunestress bench benchsmoke benchdiff info trace monitor metrics ci
+.PHONY: all build vet lint test race stress asyncstress shardstress chainstress servestress tunestress obsstress bench benchsmoke benchdiff info trace monitor metrics ci
 
 all: ci
 
@@ -62,6 +62,14 @@ servestress:
 	$(GO) test -race -count=2 ./internal/serve/
 	$(GO) run ./cmd/iatf-serve -once
 
+# Observability suite under the race detector, run twice: trace
+# propagation (sync, fused dispatch, serve header echo on every status),
+# per-tenant SLO accounting across all resolution paths, burn-window
+# epoch eviction, shard aggregation, tenant OpenMetrics validity and the
+# tagged warm-path allocation budget.
+obsstress:
+	$(GO) test -race -run 'Tenant|Trace|Span' -count=2 . ./internal/engine/ ./internal/obs/ ./internal/serve/
+
 # Persistent autotune store under the race detector, run twice: the
 # atomic-rename/merge writer race (concurrent iatf-tune), disk round-trip
 # bit-exactness, staleness fallbacks, sharded hydration routing and the
@@ -122,4 +130,4 @@ monitor:
 # benchdiff gates ci: the diff tool's 15% tolerance absorbs ordinary
 # run-to-run noise, so a failure means a real regression (or a baseline
 # that needs a deliberate `make bench` refresh alongside the change).
-ci: lint build test race stress asyncstress shardstress chainstress servestress tunestress benchsmoke benchdiff
+ci: lint build test race stress asyncstress shardstress chainstress servestress tunestress obsstress benchsmoke benchdiff

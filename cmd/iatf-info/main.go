@@ -14,6 +14,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	"iatf"
 	"iatf/internal/core"
@@ -42,6 +43,7 @@ func main() {
 		engineF   = flag.Bool("engine", false, "run a demo workload through the default engine and print its counters")
 		jsonF     = flag.Bool("json", false, "with -engine: emit the snapshot as JSON instead of a table")
 		metricsF  = flag.Bool("metrics", false, "run the demo workload and emit the engine state as OpenMetrics text")
+		tenantsF  = flag.Bool("tenants", false, "run a tenant-tagged demo workload and print the per-tenant SLO table")
 		shardsF   = flag.Int("shards", 0, "with -engine/-metrics: route the demo through a sharded EngineSet of N shards")
 		count     = flag.Int("count", 16384, "batch size for plan queries")
 	)
@@ -104,6 +106,10 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+		any = true
+	}
+	if *tenantsF {
+		printTenants(*jsonF)
 		any = true
 	}
 	if !any {
@@ -333,6 +339,65 @@ func printEngine(asJSON bool) {
 			sh.Op, sh.DType, sh.Mode, shape, sh.Calls, sh.P50, sh.P99,
 			sh.AvgGFLOPS, sh.BestGFLOPS, sh.CeilingGFLOPS, 100*sh.HitRatio(),
 			sh.Pack, sh.GroupsPerBatch, sh.Workers)
+	}
+}
+
+// printTenants drives a tenant-tagged workload through a private engine
+// and prints the resulting per-tenant SLO table: "rt" carries a generous
+// objective (every request hits), "slow" an intentionally impossible one
+// (every request misses, so the burn-rate gauge is visibly non-zero),
+// and "batch" no objective at all (tracked, never burned).
+func printTenants(asJSON bool) {
+	eng := iatf.NewEngine()
+	eng.SetTenants(map[string]iatf.TenantObjective{
+		"rt":    {Class: 5, Objective: 10 * time.Second, Target: 0.99},
+		"slow":  {Class: 0, Objective: time.Nanosecond, Target: 0.999},
+		"batch": {Class: -1},
+	})
+
+	const count = 4096
+	ctx := context.Background()
+	run := func(tenant string, m, n int, calls int) {
+		a := iatf.Pack(iatf.NewBatch[float32](count, m, n))
+		b := iatf.Pack(iatf.NewBatch[float32](count, n, m))
+		c := iatf.Pack(iatf.NewBatch[float32](count, m, m))
+		req := iatf.Request[float32]{Op: iatf.OpGEMM, Alpha: 1, Beta: 1, A: a, B: b, C: c}
+		for i := 0; i < calls; i++ {
+			trace := fmt.Sprintf("%016x%016x", len(tenant), i)
+			if err := iatf.Do(ctx, req, iatf.WithEngine(eng),
+				iatf.WithTenant(tenant), iatf.WithTrace(trace)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	run("rt", 8, 8, 16)
+	run("slow", 8, 8, 8)
+	run("batch", 6, 5, 32)
+
+	ts := eng.TenantStats()
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			BuildInfo iatf.BuildInfo     `json:"build_info"`
+			Tenants   []iatf.TenantStats `json:"tenants"`
+		}{iatf.Build(), ts}); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Println("# Per-tenant SLO series after a tagged demo workload")
+	fmt.Printf("%-8s %5s %12s %7s %8s %6s %5s %6s %6s %10s %10s %6s\n",
+		"tenant", "class", "objective", "target", "requests", "errors", "sheds", "hits", "misses", "p50", "p99", "burn")
+	for _, t := range ts {
+		obj := "-"
+		if t.Objective > 0 {
+			obj = t.Objective.String()
+		}
+		fmt.Printf("%-8s %5d %12s %7.3f %8d %6d %5d %6d %6d %10v %10v %6.2f\n",
+			t.Name, t.Class, obj, t.Target, t.Requests, t.Errors, t.Sheds,
+			t.DeadlineHits, t.DeadlineMisses,
+			time.Duration(t.Latency.P50), time.Duration(t.Latency.P99), t.BurnRate)
 	}
 }
 

@@ -7,13 +7,17 @@
 //	              carry {op, dtype, shape} labels
 //	/trace?n=K    the K most recent request spans as Chrome trace-event
 //	              JSON (load in chrome://tracing or ui.perfetto.dev)
-//	/spans?n=K    the same spans as plain JSON
+//	/trace?id=X   only the spans belonging to trace/span id X
+//	/spans?n=K    the same spans as plain JSON (?id= works here too)
+//	/tenants      per-tenant SLO series as JSON (requests, sheds,
+//	              deadline hits/misses, latency quantiles, burn rate)
 //
 // With -demo the process drives a continuous mixed workload through the
-// default engine so every surface has live traffic; without it, the
-// server monitors whatever workload the embedding process runs (this
-// command is then mostly a reference for wiring the handlers into your
-// own server).
+// default engine so every surface has live traffic — the demo requests
+// are tagged with rt/batch tenants and carry trace ids, so /tenants and
+// /trace?id= have data out of the box; without it, the server monitors
+// whatever workload the embedding process runs (this command is then
+// mostly a reference for wiring the handlers into your own server).
 package main
 
 import (
@@ -26,7 +30,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"iatf"
@@ -43,8 +49,17 @@ func main() {
 		once      = flag.Bool("once", false, "with -demo: run one workload round, print the surfaces, exit (smoke test)")
 		shards    = flag.Int("shards", 0, "serve a sharded EngineSet of N shards instead of the default engine")
 		planStore = flag.String("plan-store", "", "sharded mode: warm-start from a persistent autotune store directory (\"default\" = the default dir)")
+		tenants   = tenantFlag{}
 	)
+	flag.Var(tenants, "tenant", "tenant SLO spec name=class[:objective_ms[:target]] (repeatable; default rt/batch demo objectives)")
 	flag.Parse()
+
+	// Accounting is always on: with no -tenant flags the demo classes
+	// get sensible default objectives so the burn-rate surfaces are live.
+	if len(tenants) == 0 {
+		tenants["rt"] = iatf.TenantObjective{Class: 5, Objective: 50 * time.Millisecond, Target: 0.99}
+		tenants["batch"] = iatf.TenantObjective{Class: -1}
+	}
 
 	var setOpts []iatf.EngineOption
 	if *planStore != "" {
@@ -59,6 +74,7 @@ func main() {
 	spans := iatf.NewSpanRing(*ring)
 	var set *iatf.EngineSet
 	metrics := eng.MetricsHandler()
+	tenantStats := eng.TenantStats
 	if *shards > 0 {
 		// Sharded mode: every surface covers the whole set — spans from
 		// every shard land in one ring, /metrics carries per-shard +
@@ -68,18 +84,21 @@ func main() {
 			set.Shard(i).SetSpanSink(spans.Add)
 		}
 		set.SetProfileLabels(*labels)
+		set.SetTenants(tenants)
 		metrics = set.MetricsHandler()
+		tenantStats = set.TenantStats
 		expvar.Publish("iatf.engineset", expvar.Func(func() any { return set.Stats() }))
 	} else {
 		eng.SetSpanSink(spans.Add)
 		eng.SetProfileLabels(*labels)
+		eng.SetTenants(tenants)
 		expvar.Publish("iatf.engine", expvar.Func(func() any { return eng.Stats() }))
 	}
 
 	if *demo {
 		if *once {
 			demoRound(set)
-			smoke(eng, set, spans)
+			smoke(eng, set, spans, tenantStats)
 			return
 		}
 		go func() {
@@ -100,8 +119,9 @@ func main() {
 		fmt.Fprintln(w, "/metrics      OpenMetrics scrape")
 		fmt.Fprintln(w, "/debug/vars   expvar JSON")
 		fmt.Fprintln(w, "/debug/pprof  pprof profiles")
-		fmt.Fprintln(w, "/trace?n=K    Chrome trace-event JSON of recent spans")
-		fmt.Fprintln(w, "/spans?n=K    recent spans as JSON")
+		fmt.Fprintln(w, "/trace?n=K    Chrome trace-event JSON of recent spans (?id=X filters one trace)")
+		fmt.Fprintln(w, "/spans?n=K    recent spans as JSON (?id=X filters one trace)")
+		fmt.Fprintln(w, "/tenants      per-tenant SLO series as JSON")
 	})
 	mux.Handle("/metrics", metrics)
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -112,7 +132,7 @@ func main() {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/trace", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := iatf.WriteChromeTrace(w, spans.Spans(queryN(r))); err != nil {
+		if err := iatf.WriteChromeTrace(w, querySpans(spans, r)); err != nil {
 			log.Printf("/trace: %v", err)
 		}
 	})
@@ -120,8 +140,20 @@ func main() {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(spans.Spans(queryN(r))); err != nil {
+		if err := enc.Encode(querySpans(spans, r)); err != nil {
 			log.Printf("/spans: %v", err)
+		}
+	})
+	mux.HandleFunc("/tenants", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		ts := tenantStats()
+		if ts == nil {
+			ts = []iatf.TenantStats{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(ts); err != nil {
+			log.Printf("/tenants: %v", err)
 		}
 	})
 
@@ -139,15 +171,65 @@ func queryN(r *http.Request) int {
 	return n
 }
 
+// querySpans resolves a /trace or /spans request: ?id=X returns every
+// retained span belonging to that trace (request trace id, span id, or
+// fused-parent id), else the most recent ?n= spans.
+func querySpans(spans *iatf.SpanRing, r *http.Request) []iatf.Span {
+	if id := r.URL.Query().Get("id"); id != "" {
+		return spans.Trace(id)
+	}
+	return spans.Spans(queryN(r))
+}
+
+// tenantFlag accumulates repeated -tenant name=class[:objective_ms[:target]]
+// specs (iatf.ParseTenantSpec syntax).
+type tenantFlag map[string]iatf.TenantObjective
+
+func (t tenantFlag) String() string {
+	parts := make([]string, 0, len(t))
+	for k, v := range t {
+		parts = append(parts, fmt.Sprintf("%s=%d:%g:%g", k, v.Class,
+			float64(v.Objective)/float64(time.Millisecond), v.Target))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t tenantFlag) Set(s string) error {
+	name, obj, err := iatf.ParseTenantSpec(s)
+	if err != nil {
+		return err
+	}
+	t[name] = obj
+	return nil
+}
+
+// demoTrace counts demo requests so each carries a distinct, greppable
+// 32-hex trace id ("00000000000000000000000000000001", ...) — /trace?id=
+// then resolves any of them.
+var demoTrace atomic.Uint64
+
+func nextTrace() string {
+	return fmt.Sprintf("%032x", demoTrace.Add(1))
+}
+
 // demoRound runs one burst of mixed traffic: a few sync GEMMs with
-// prepacked operands, a triangular solve, and a concurrent async burst
-// that exercises queueing and coalescing. A non-nil set routes the
-// burst through the sharded path instead of the default engine.
+// prepacked operands and a triangular solve as tenant "rt" (with a
+// 50 ms deadline so deadline accounting is live), and a concurrent
+// async burst as tenant "batch" that exercises queueing and coalescing.
+// Every request carries a trace id. A non-nil set routes the burst
+// through the sharded path instead of the default engine.
 func demoRound(set *iatf.EngineSet) {
 	var opts []iatf.Option
 	if set != nil {
 		opts = []iatf.Option{iatf.WithEngineSet(set)}
 	}
+	rt := func() []iatf.Option {
+		return append(append([]iatf.Option{}, opts...),
+			iatf.WithTenant("rt"), iatf.WithTrace(nextTrace()))
+	}
+	rtCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
 	const count = 4096
 	a := iatf.Pack(iatf.NewBatch[float32](count, 8, 8))
 	b := iatf.Pack(iatf.NewBatch[float32](count, 8, 8))
@@ -156,7 +238,7 @@ func demoRound(set *iatf.EngineSet) {
 	b.Prepack()
 	greq := iatf.Request[float32]{Op: iatf.OpGEMM, Alpha: 1, Beta: 1, A: a, B: b, C: c}
 	for i := 0; i < 4; i++ {
-		if err := iatf.Do(context.Background(), greq, append(opts, iatf.WithWorkers(0))...); err != nil {
+		if err := iatf.Do(rtCtx, greq, append(rt(), iatf.WithWorkers(0))...); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -170,7 +252,7 @@ func demoRound(set *iatf.EngineSet) {
 	ct, cb := iatf.Pack(tri), iatf.Pack(iatf.NewBatch[float32](count, 8, 4))
 	treq := iatf.Request[float32]{Op: iatf.OpTRSM, Side: iatf.Left, Uplo: iatf.Lower,
 		TransA: iatf.NoTrans, Diag: iatf.NonUnit, Alpha: 1, A: ct, B: cb}
-	if err := iatf.Do(context.Background(), treq, opts...); err != nil {
+	if err := iatf.Do(rtCtx, treq, rt()...); err != nil {
 		log.Fatal(err)
 	}
 
@@ -184,7 +266,8 @@ func demoRound(set *iatf.EngineSet) {
 			defer wg.Done()
 			req := iatf.Request[float32]{Op: iatf.OpGEMM, Alpha: 1, Beta: 1, A: ga, B: gb, C: gc}
 			for i := 0; i < 8; i++ {
-				if err := iatf.Do(context.Background(), req, iatf.WithAsync()); err != nil {
+				if err := iatf.Do(context.Background(), req, iatf.WithAsync(),
+					iatf.WithTenant("batch"), iatf.WithTrace(nextTrace())); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -195,7 +278,7 @@ func demoRound(set *iatf.EngineSet) {
 
 // smoke prints each surface once to stdout — the -demo -once form used
 // as a no-network sanity check.
-func smoke(eng *iatf.Engine, set *iatf.EngineSet, spans *iatf.SpanRing) {
+func smoke(eng *iatf.Engine, set *iatf.EngineSet, spans *iatf.SpanRing, tenantStats func() []iatf.TenantStats) {
 	fmt.Printf("# build: %+v\n", iatf.Build())
 	var err error
 	if set != nil {
@@ -209,5 +292,13 @@ func smoke(eng *iatf.Engine, set *iatf.EngineSet, spans *iatf.SpanRing) {
 	fmt.Printf("# spans captured: %d (ring %d)\n", spans.Total(), len(spans.Spans(0)))
 	if err := iatf.WriteChromeTrace(log.Writer(), spans.Spans(8)); err != nil {
 		log.Fatal(err)
+	}
+	for _, t := range tenantStats() {
+		fmt.Printf("# tenant %s: requests=%d sheds=%d hits=%d misses=%d p99=%v burn=%.3f\n",
+			t.Name, t.Requests, t.Sheds, t.DeadlineHits, t.DeadlineMisses,
+			time.Duration(t.Latency.P99), t.BurnRate)
+	}
+	if id := fmt.Sprintf("%032x", uint64(1)); len(spans.Trace(id)) == 0 {
+		log.Fatalf("trace lookup: no spans for demo trace %s", id)
 	}
 }

@@ -1,14 +1,18 @@
 // iatf-serve is the SLO-aware serving front-end: it mounts the
-// internal/serve HTTP tier (POST /v1/do plus /healthz, /stats and
-// /metrics) over one engine or a sharded engine set, with EDF dispatch,
-// a tunable max-batch-window and admission control driven by the queue's
-// depth high-water mark and wait histogram.
+// internal/serve HTTP tier (POST /v1/do plus /healthz, /stats, /tenants
+// and /metrics) over one engine or a sharded engine set, with EDF
+// dispatch, a tunable max-batch-window, admission control driven by the
+// queue's depth high-water mark and wait histogram, W3C traceparent
+// propagation (every response echoes X-IATF-Trace), and per-tenant SLO
+// accounting.
 //
-//	iatf-serve -addr :8080 -shards 4 -window 2ms -tenant batch=-1 -tenant rt=5
+//	iatf-serve -addr :8080 -shards 4 -window 2ms \
+//	    -tenant batch=-1:50:0.9 -tenant rt=5:10:0.999 -access-log -
 //
 // -once runs the self-contained smoke: the server comes up on an
-// ephemeral port, one GEMM round-trips through it over real HTTP, the
-// result is verified and the process exits — the CI liveness check.
+// ephemeral port, one traceparent-tagged GEMM round-trips through it
+// over real HTTP, the result, trace echo and tenant accounting are
+// verified and the process exits — the CI liveness check.
 package main
 
 import (
@@ -20,7 +24,7 @@ import (
 	"math"
 	"net"
 	"net/http"
-	"strconv"
+	"os"
 	"strings"
 	"time"
 
@@ -28,27 +32,25 @@ import (
 	"iatf/internal/serve"
 )
 
-// tenantFlag accumulates repeated -tenant name=class pairs.
-type tenantFlag map[string]int
+// tenantFlag accumulates repeated -tenant name=class[:objective_ms[:target]]
+// specs (iatf.ParseTenantSpec syntax).
+type tenantFlag map[string]iatf.TenantObjective
 
 func (t tenantFlag) String() string {
 	parts := make([]string, 0, len(t))
 	for k, v := range t {
-		parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+		parts = append(parts, fmt.Sprintf("%s=%d:%g:%g", k, v.Class,
+			float64(v.Objective)/float64(time.Millisecond), v.Target))
 	}
 	return strings.Join(parts, ",")
 }
 
 func (t tenantFlag) Set(s string) error {
-	name, class, ok := strings.Cut(s, "=")
-	if !ok {
-		return fmt.Errorf("want name=class, got %q", s)
-	}
-	n, err := strconv.Atoi(class)
+	name, obj, err := iatf.ParseTenantSpec(s)
 	if err != nil {
-		return fmt.Errorf("class %q: %w", class, err)
+		return err
 	}
-	t[name] = n
+	t[name] = obj
 	return nil
 }
 
@@ -61,10 +63,11 @@ func main() {
 		queueCap  = flag.Int("queue-cap", 0, "submission-queue capacity per shard (0 = engine default)")
 		deadline  = flag.Duration("deadline", 0, "default request deadline when the body carries none (0 = none)")
 		planStore = flag.String("plan-store", "", "warm-start from a persistent autotune store directory (\"default\" = the default dir; pre-bake with iatf-tune)")
+		accessLog = flag.String("access-log", "", "structured JSON access log destination (\"-\" = stdout, else a file path; empty = off)")
 		once      = flag.Bool("once", false, "serve on an ephemeral port, run one GEMM through it, exit")
 		tenants   = tenantFlag{}
 	)
-	flag.Var(tenants, "tenant", "tenant priority mapping name=class (repeatable)")
+	flag.Var(tenants, "tenant", "tenant SLO spec name=class[:objective_ms[:target]] (repeatable)")
 	flag.Parse()
 
 	opts := []iatf.EngineOption{
@@ -82,7 +85,22 @@ func main() {
 		opts = append(opts, iatf.WithPlanStore(dir))
 	}
 
+	// Tenants is always non-nil here (the zero tenantFlag is an empty
+	// map), so per-tenant accounting is on even before the first -tenant
+	// flag: unknown origins land in zero-objective series.
 	cfg := serve.Config{DefaultDeadline: *deadline, Tenants: tenants}
+	switch *accessLog {
+	case "":
+	case "-":
+		cfg.AccessLog = os.Stdout
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("access-log: %v", err)
+		}
+		defer f.Close()
+		cfg.AccessLog = f
+	}
 	if *shards > 0 {
 		set := iatf.NewEngineSet(*shards, opts...)
 		if *planStore != "" {
@@ -113,7 +131,8 @@ func main() {
 }
 
 // smoke round-trips one 2-matrix GEMM over real HTTP and verifies the
-// result numerically: identity × A must return A.
+// result numerically (identity × A must return A), the traceparent echo
+// on X-IATF-Trace, and the /tenants accounting for the tagged request.
 func smoke(srv *serve.Server) error {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -154,12 +173,20 @@ func smoke(srv *serve.Server) error {
 		C:          &serve.WireOperand{Rows: n, Cols: n, Data: make([]float64, count*n*n)},
 		DeadlineMs: 5000,
 	}
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
 	body, _ := json.Marshal(req)
-	resp, err := http.Post(base+"/v1/do", "application/json", bytes.NewReader(body))
+	hreq, _ := http.NewRequest(http.MethodPost, base+"/v1/do", bytes.NewReader(body))
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("traceparent", "00-"+traceID+"-00f067aa0ba902b7-01")
+	hreq.Header.Set("X-IATF-Tenant", "smoke")
+	resp, err := http.DefaultClient.Do(hreq)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if got := resp.Header.Get("X-IATF-Trace"); got != traceID {
+		return fmt.Errorf("X-IATF-Trace = %q, want %q", got, traceID)
+	}
 	if resp.StatusCode != http.StatusOK {
 		var eb map[string]any
 		json.NewDecoder(resp.Body).Decode(&eb)
@@ -190,5 +217,20 @@ func smoke(srv *serve.Server) error {
 	if st.Done != 1 {
 		return fmt.Errorf("stats done = %d, want 1", st.Done)
 	}
-	return nil
+
+	tr, err := http.Get(base + "/tenants")
+	if err != nil {
+		return err
+	}
+	defer tr.Body.Close()
+	var ts []iatf.TenantStats
+	if err := json.NewDecoder(tr.Body).Decode(&ts); err != nil {
+		return fmt.Errorf("/tenants: %w", err)
+	}
+	for _, t := range ts {
+		if t.Name == "smoke" && t.Requests == 1 {
+			return nil
+		}
+	}
+	return fmt.Errorf("/tenants: no series for tenant %q with 1 request (got %v)", "smoke", ts)
 }

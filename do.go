@@ -58,6 +58,8 @@ type callCfg struct {
 	set      *EngineSet
 	async    bool
 	sink     func(*Span)
+	trace    string
+	tenant   string
 }
 
 // Option configures one Do or Submit call. Options are plain values (not
@@ -72,6 +74,8 @@ type Option struct {
 	set        *EngineSet
 	async      bool
 	sink       func(*Span)
+	trace      string
+	tenant     string
 }
 
 // WithWorkers sets the worker split: n <= 0 means auto (one worker per
@@ -107,6 +111,22 @@ func WithAsync() Option { return Option{async: true} }
 //	err := iatf.Do(ctx, req, iatf.WithSpanSink(func(sp *iatf.Span) { got = *sp }))
 func WithSpanSink(fn func(*Span)) Option { return Option{sink: fn} }
 
+// WithTrace stamps the request's lifecycle span with an end-to-end
+// correlation id (e.g. a W3C traceparent trace-id), so an access-log
+// line at the serving tier and the engine span it caused share one id.
+// A fused dispatch's parent span carries every traced rider's id.
+// Observability-only: the id never affects routing, coalescing or
+// results.
+func WithTrace(id string) Option { return Option{trace: id} }
+
+// WithTenant attributes the request to a tenant for per-tenant SLO
+// accounting (Engine.SetTenants): the resolved request is classified
+// into the tenant's rolling series — deadline hit/miss against the
+// request's context deadline (or the tenant's configured objective),
+// shed on queue-full, error otherwise. With accounting disabled the
+// cost is one atomic load. Observability-only, like WithTrace.
+func WithTenant(name string) Option { return Option{tenant: name} }
+
 func resolveOpts(opts []Option) callCfg {
 	cfg := callCfg{workers: 1}
 	for _, o := range opts {
@@ -127,6 +147,12 @@ func resolveOpts(opts []Option) callCfg {
 		}
 		if o.sink != nil {
 			cfg.sink = o.sink
+		}
+		if o.trace != "" {
+			cfg.trace = o.trace
+		}
+		if o.tenant != "" {
+			cfg.tenant = o.tenant
 		}
 	}
 	if cfg.eng == nil {
@@ -186,19 +212,19 @@ func Do[T Scalar](ctx context.Context, req Request[T], opts ...Option) error {
 			return err
 		}
 		if cfg.set != nil {
-			return doSetSync(cfg.set, cfg.workers, cfg.sink, req)
+			return doSetSync(cfg.set, &cfg, req)
 		}
-		if cfg.sink != nil {
-			return doSyncSpanned(cfg.eng, cfg.workers, cfg.sink, req)
+		if cfg.sink != nil || cfg.trace != "" || cfg.tenant != "" {
+			return doSyncTagged(cfg.eng, &cfg, req)
 		}
 		return doSync(cfg.eng, cfg.workers, req)
 	}
 	var fut *Future
 	var err error
 	if cfg.set != nil {
-		fut, err = submitSetSpanned(ctx, cfg.set, cfg.workers, cfg.priority, cfg.sink, req)
+		fut, err = submitSetSpanned(ctx, cfg.set, &cfg, req)
 	} else {
-		fut, err = submitSpanned(ctx, cfg.eng, cfg.workers, cfg.priority, cfg.sink, req)
+		fut, err = submitSpanned(ctx, cfg.eng, &cfg, req)
 	}
 	if err != nil {
 		return err
@@ -217,15 +243,20 @@ func doSync[T Scalar](e *Engine, workers int, req Request[T]) error {
 	return e.inner.Run(desc, ops[:n]...)
 }
 
-// doSyncSpanned is doSync with a per-call span sink (WithSpanSink) —
-// kept off the plain path so untraced warm calls stay allocation-
-// minimal.
-func doSyncSpanned[T Scalar](e *Engine, workers int, sink func(*Span), req Request[T]) error {
-	desc, ops, n, err := toDesc(req, workers)
+// doSyncTagged is doSync with per-call observability (WithSpanSink,
+// WithTrace, WithTenant) — kept off the plain path so untagged warm
+// calls stay allocation-minimal. The tagged path holds the same ≤2-alloc
+// warm budget: trace/tenant ride the pooled span.
+func doSyncTagged[T Scalar](e *Engine, cfg *callCfg, req Request[T]) error {
+	desc, ops, n, err := toDesc(req, cfg.workers)
 	if err != nil {
 		return err
 	}
-	return e.inner.RunSpanned(desc, sink, ops[:n]...)
+	desc.Trace, desc.Origin = cfg.trace, cfg.tenant
+	if cfg.sink == nil {
+		return e.inner.Run(desc, ops[:n]...)
+	}
+	return e.inner.RunSpanned(desc, cfg.sink, ops[:n]...)
 }
 
 // Submit enqueues one request on the engine's submission queue and
@@ -238,18 +269,19 @@ func doSyncSpanned[T Scalar](e *Engine, workers int, sink func(*Span), req Reque
 func Submit[T Scalar](ctx context.Context, req Request[T], opts ...Option) (*Future, error) {
 	cfg := resolveOpts(opts)
 	if cfg.set != nil {
-		return submitSetSpanned(ctx, cfg.set, cfg.workers, cfg.priority, cfg.sink, req)
+		return submitSetSpanned(ctx, cfg.set, &cfg, req)
 	}
-	return submitSpanned(ctx, cfg.eng, cfg.workers, cfg.priority, cfg.sink, req)
+	return submitSpanned(ctx, cfg.eng, &cfg, req)
 }
 
-func submitSpanned[T Scalar](ctx context.Context, e *Engine, workers, priority int, sink func(*Span), req Request[T]) (*Future, error) {
-	desc, ops, n, err := toDesc(req, workers)
+func submitSpanned[T Scalar](ctx context.Context, e *Engine, cfg *callCfg, req Request[T]) (*Future, error) {
+	desc, ops, n, err := toDesc(req, cfg.workers)
 	if err != nil {
 		return nil, err
 	}
-	desc.Priority = priority
-	fut, err := e.inner.SubmitSpanned(ctx, desc, sink, ops[:n]...)
+	desc.Priority = cfg.priority
+	desc.Trace, desc.Origin = cfg.trace, cfg.tenant
+	fut, err := e.inner.SubmitSpanned(ctx, desc, cfg.sink, ops[:n]...)
 	if err != nil {
 		return nil, err
 	}
@@ -259,26 +291,28 @@ func submitSpanned[T Scalar](ctx context.Context, e *Engine, workers, priority i
 // doSetSync routes a synchronous call through a sharded set: the
 // problem identity picks the home shard. Same warm-path allocation
 // budget as doSync — routing is hash arithmetic on the stack.
-func doSetSync[T Scalar](s *EngineSet, workers int, sink func(*Span), req Request[T]) error {
-	desc, ops, n, err := toDesc(req, workers)
+func doSetSync[T Scalar](s *EngineSet, cfg *callCfg, req Request[T]) error {
+	desc, ops, n, err := toDesc(req, cfg.workers)
 	if err != nil {
 		return err
 	}
-	if sink != nil {
-		return s.inner.RunSpanned(desc, sink, ops[:n]...)
+	desc.Trace, desc.Origin = cfg.trace, cfg.tenant
+	if cfg.sink != nil {
+		return s.inner.RunSpanned(desc, cfg.sink, ops[:n]...)
 	}
 	return s.inner.Run(desc, ops[:n]...)
 }
 
 // submitSetSpanned is submitSpanned through a sharded set, with the
 // set's sibling fallback on a full home queue.
-func submitSetSpanned[T Scalar](ctx context.Context, s *EngineSet, workers, priority int, sink func(*Span), req Request[T]) (*Future, error) {
-	desc, ops, n, err := toDesc(req, workers)
+func submitSetSpanned[T Scalar](ctx context.Context, s *EngineSet, cfg *callCfg, req Request[T]) (*Future, error) {
+	desc, ops, n, err := toDesc(req, cfg.workers)
 	if err != nil {
 		return nil, err
 	}
-	desc.Priority = priority
-	fut, err := s.inner.SubmitSpanned(ctx, desc, sink, ops[:n]...)
+	desc.Priority = cfg.priority
+	desc.Trace, desc.Origin = cfg.trace, cfg.tenant
+	fut, err := s.inner.SubmitSpanned(ctx, desc, cfg.sink, ops[:n]...)
 	if err != nil {
 		return nil, err
 	}

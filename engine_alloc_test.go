@@ -1,8 +1,10 @@
 package iatf
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 // TestSteadyStateAllocs proves the warm path is plan-construction free:
@@ -118,6 +120,52 @@ func TestPrepackedSteadyStateAllocs(t *testing.T) {
 	}
 	if allocs > 2 {
 		t.Errorf("warm prepacked GEMM allocates %.0f objects/call, want <= 2", allocs)
+	}
+}
+
+// TestTenantTracedSteadyStateAllocs proves tenant accounting and trace
+// tagging ride the warm path for free: with accounting enabled and the
+// request tagged (WithTenant + WithTrace), the forced lifecycle span
+// comes from the pool and the ledger records through atomics, so the
+// prepacked warm sync Do stays within the same 2-alloc budget as the
+// untagged path.
+func TestTenantTracedSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	const count = 1024
+	a := Pack(randBatch[float32](rng, count, 8, 8))
+	b := Pack(randBatch[float32](rng, count, 8, 8))
+	c := Pack(randBatch[float32](rng, count, 8, 8))
+	a.Prepack()
+	b.Prepack()
+	eng := NewEngine()
+	eng.SetTenants(map[string]TenantObjective{
+		"rt": {Class: 5, Objective: 10 * time.Second, Target: 0.99},
+	})
+
+	ctx := context.Background()
+	req := Request[float32]{Op: OpGEMM, Alpha: 1, Beta: 1, A: a, B: b, C: c}
+	// Hoisted options: the variadic spread of an existing slice does not
+	// allocate, so the measurement sees only the call's own cost.
+	opts := []Option{WithEngine(eng), WithTenant("rt"), WithTrace("4bf92f3577b34da6a3ce929d0e0e4736")}
+	call := func() {
+		if err := Do(ctx, req, opts...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	call() // warm: plan, packed images, span pool, tenant series
+
+	before := eng.TenantStats()
+	allocs := testing.AllocsPerRun(50, call)
+	after := eng.TenantStats()
+
+	if len(before) != 1 || len(after) != 1 || after[0].Requests-before[0].Requests < 50 {
+		t.Errorf("tenant ledger did not record the warm calls: %+v -> %+v", before, after)
+	}
+	if after[0].DeadlineMisses != 0 {
+		t.Errorf("warm tagged calls missed their 10s objective: %+v", after[0])
+	}
+	if allocs > 2 {
+		t.Errorf("warm tagged GEMM allocates %.0f objects/call, want <= 2", allocs)
 	}
 }
 

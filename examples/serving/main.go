@@ -17,8 +17,18 @@
 // with 429 + Retry-After instead of dying in the queue, and the shed
 // rate is reported from the server's own counters.
 //
+// Phase 3 — per-tenant SLO accounting. Two tenant classes share one
+// server: "rt" (class 5, 25ms objective, 99% target) posting small
+// traceparent-tagged requests and "batch" (class -1, no objective)
+// posting heavy ones. Every response echoes the request's trace id on
+// X-IATF-Trace, the structured access log joins each HTTP line with its
+// engine span (predicted vs actual queue wait, per-phase durations),
+// and the per-tenant ledger — requests, sheds, deadline hits vs misses,
+// latency quantiles, SLO burn rate — is printed from the server's
+// /tenants view.
+//
 // The workload self-calibrates: the heavy shape is sized so one heavy
-// dispatch costs roughly 0.5–2ms on the host, keeping both phases
+// dispatch costs roughly 0.5–2ms on the host, keeping all phases
 // meaningful from laptops to servers.
 package main
 
@@ -331,6 +341,118 @@ func phase2(rng *rand.Rand) {
 		st.Queue.DepthHighWater, st.Queue.Wait.P99.Round(10*time.Microsecond), st.Queue.Window)
 }
 
+// phase3 runs two tenant classes against one server and reports the
+// per-tenant SLO ledger plus the trace/access-log join.
+func phase3(rng *rand.Rand) {
+	heavyCount, th := calibrate(rng)
+	eng := iatf.NewEngine()
+	eng.SetBatchWindow(window)
+	var accessLog bytes.Buffer
+	srv := serve.New(serve.Config{
+		Engine: eng,
+		Tenants: map[string]iatf.TenantObjective{
+			"rt":    {Class: 5, Objective: 25 * time.Millisecond, Target: 0.99},
+			"batch": {Class: -1},
+		},
+		AccessLog: &accessLog,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	url := "http://" + ln.Addr().String() + "/v1/do"
+
+	const n = 8
+	data := func(count, n int) []float64 {
+		d := make([]float64, count*n*n)
+		for i := range d {
+			d[i] = rng.Float64()
+		}
+		return d
+	}
+	mkBody := func(count, n int, alpha float64, dlMs int64) []byte {
+		j, _ := json.Marshal(serve.DoRequest{
+			Op: "gemm", DType: "f32", Alpha: alpha, Beta: 1, Count: count,
+			A:          &serve.WireOperand{Rows: n, Cols: n, Data: data(count, n)},
+			B:          &serve.WireOperand{Rows: n, Cols: n, Data: data(count, n)},
+			C:          &serve.WireOperand{Rows: n, Cols: n, Data: data(count, n)},
+			DeadlineMs: dlMs,
+		})
+		return j
+	}
+	post := func(body []byte, tenant, traceID string) (int, string) {
+		req, _ := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-IATF-Tenant", tenant)
+		if traceID != "" {
+			req.Header.Set("traceparent", "00-"+traceID+"-0000000000000001-01")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get("X-IATF-Trace")
+	}
+
+	// batch floods heavy no-deadline work; rt interleaves small
+	// traceparent-tagged posts with a 25ms deadline. Distinct alphas
+	// defeat coalescing so the batch flood builds real backlog.
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				post(mkBody(heavyCount, n, 1+float64(w*8+i)/1e4, 0), "batch", "")
+			}
+		}(w)
+	}
+	sentTrace := fmt.Sprintf("%032x", 0xfeed)
+	echoed := ""
+	for i := 0; i < 24; i++ {
+		tid := ""
+		if i == 0 {
+			tid = sentTrace
+		}
+		_, echo := post(mkBody(smallCount, smallN, 1+float64(i)/1e3, 25), "rt", tid)
+		if i == 0 {
+			echoed = echo
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wg.Wait()
+
+	fmt.Printf("tenant workload: 48 heavy batch posts (no deadline) + 24 small rt posts (25ms deadline), heavy ≈ %v/dispatch\n",
+		th.Round(10*time.Microsecond))
+	fmt.Printf("traceparent 00-%s-... echoed as X-IATF-Trace: %s (match: %v)\n",
+		sentTrace, echoed, echoed == sentTrace)
+
+	fmt.Printf("%-8s %5s %10s %8s %5s %6s %6s %10s %6s\n",
+		"tenant", "class", "objective", "requests", "sheds", "hits", "misses", "p99", "burn")
+	for _, t := range srv.TenantStats() {
+		obj := "-"
+		if t.Objective > 0 {
+			obj = t.Objective.String()
+		}
+		fmt.Printf("%-8s %5d %10s %8d %5d %6d %6d %10v %6.2f\n",
+			t.Name, t.Class, obj, t.Requests, t.Sheds,
+			t.DeadlineHits, t.DeadlineMisses, time.Duration(t.Latency.P99), t.BurnRate)
+	}
+
+	// The access log carries one JSON line per request, joined with its
+	// engine span; show the line for the traceparent-tagged rt post.
+	for _, line := range bytes.Split(accessLog.Bytes(), []byte("\n")) {
+		if bytes.Contains(line, []byte(sentTrace)) {
+			fmt.Printf("access-log line for that trace:\n  %s\n", line)
+			break
+		}
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	runtime.GOMAXPROCS(max(runtime.GOMAXPROCS(0), 4))
@@ -340,4 +462,7 @@ func main() {
 	phase1(rng)
 	fmt.Println("== Phase 2: admission control over HTTP ==")
 	phase2(rng)
+	fmt.Println()
+	fmt.Println("== Phase 3: per-tenant SLO accounting ==")
+	phase3(rng)
 }

@@ -49,6 +49,11 @@ import (
 // Callers should shed load or retry with a deadline.
 var ErrQueueFull = errors.New("submission queue full")
 
+// A full queue is a shed, not an error, in the per-tenant SLO ledger:
+// it consumes the tenant's error budget the same way an admission-
+// control rejection does.
+func init() { obs.RegisterShedError(ErrQueueFull) }
+
 // ErrQueueStarted is returned by SetQueueCapacity once the dispatcher has
 // started (i.e. after the engine's first Submit): the live queue channel
 // cannot be resized, so a late call is rejected instead of silently
@@ -379,7 +384,11 @@ func (e *Engine) SubmitSpanned(ctx context.Context, op OpDesc, sink obs.SpanFunc
 	r.deadline, r.hasDL = ctx.Deadline()
 	// Span start = submission time, so queued requests attribute the gap
 	// to PhaseQueueWait.
-	r.sp = e.obs.StartSpan(sink != nil)
+	r.sp = e.obs.StartSpan(sink != nil || e.forceSpan(&op))
+	stampSpan(r.sp, &op)
+	if r.sp != nil && r.hasDL {
+		r.sp.Deadline = r.deadline.Sub(r.sp.Start)
+	}
 	// Idle fast path: nothing queued and no dispatch in flight — run on
 	// the submitting goroutine so a lone caller pays no queue round-trip.
 	if len(q.ch) == 0 && q.busy.CompareAndSwap(false, true) {
@@ -754,6 +763,15 @@ func (e *Engine) runFused(reqs []*asyncReq) error {
 		}
 	}
 	parent := e.obs.StartSpan(force)
+	if parent != nil {
+		// The parent carries every traced rider's id, so a trace lookup
+		// by any rider surfaces the shared dispatch it rode in.
+		for _, r := range reqs {
+			if r.op.Trace != "" {
+				parent.Riders = append(parent.Riders, r.op.Trace)
+			}
+		}
+	}
 	var t0 time.Time
 	if parent != nil {
 		t0 = time.Now()

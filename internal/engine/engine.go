@@ -103,6 +103,14 @@ type OpDesc struct {
 	// coalescing (requests differing only in Priority still fuse, and the
 	// bundle ranks by its most urgent rider).
 	Priority int
+
+	// Trace is the request's end-to-end correlation id and Origin the
+	// tenant it was submitted on behalf of. Both are observability-only:
+	// stamped onto the request's lifecycle span (Origin additionally
+	// keys per-tenant SLO accounting) and — like Priority — excluded
+	// from plan identity, shard routing and coalescing.
+	Trace  string
+	Origin string
 }
 
 // Operand is a type-erased compact batch: exactly one of F32/F64 is set
@@ -356,6 +364,10 @@ type Stats struct {
 	// Per-shape rolling series (this engine), ordered by call count.
 	Shapes []obs.ShapeSnapshot
 
+	// Per-tenant SLO series (this engine), ordered by request count;
+	// nil when tenant accounting is disabled.
+	Tenants []obs.TenantSnapshot
+
 	// Packing-buffer pools (this engine's Runtime).
 	Buffers bufpool.Stats
 
@@ -367,9 +379,9 @@ type Stats struct {
 }
 
 // Add accumulates another engine's counters into s — the cross-shard
-// aggregate view of an EngineSet. Shapes are NOT merged here (the set
-// merges them once via obs.AggregateShapes); Pipeline is process-wide
-// state and is kept, not summed.
+// aggregate view of an EngineSet. Shapes and Tenants are NOT merged here
+// (the set merges them once via obs.AggregateShapes/AggregateTenants);
+// Pipeline is process-wide state and is kept, not summed.
 func (s *Stats) Add(o Stats) {
 	s.PlanHits += o.PlanHits
 	s.PlanMisses += o.PlanMisses
@@ -442,6 +454,7 @@ func (e *Engine) Stats() Stats {
 		Chain:         e.chainStats(),
 		Queue:         e.queue.snapshot(),
 		Shapes:        e.obs.Snapshot(),
+		Tenants:       e.obs.TenantSnapshots(),
 		Buffers:       e.rt.Bufs.Snapshot(),
 		Sched:         e.rt.Sched.Snapshot(),
 		Pipeline:      core.PipelineSnapshot(),
@@ -457,10 +470,32 @@ func (e *Engine) Stats() Stats {
 // carries a lifecycle span (plan/pack/compute phase attribution); with no
 // sink the span cost is one atomic load.
 func (e *Engine) Run(op OpDesc, operands ...Operand) error {
-	sp := e.obs.StartSpan(false)
+	sp := e.obs.StartSpan(e.forceSpan(&op))
+	stampSpan(sp, &op)
 	err := e.run(op, sp, operands...)
 	e.obs.FinishSpan(sp, err, nil)
 	return err
+}
+
+// forceSpan reports whether a request must carry a span even without a
+// sink: tenant-tagged requests need one when accounting is on, because
+// FinishSpan is where the tenant ledger records. Untagged requests pay
+// a nil-string check; tagged requests on an engine without a tenant
+// table pay one atomic load.
+func (e *Engine) forceSpan(op *OpDesc) bool {
+	return op.Origin != "" && e.obs.TenantsEnabled()
+}
+
+// stampSpan threads the request's correlation identity onto its span.
+// Applied at the entry wrappers (Run/RunSpanned/SubmitSpanned), not
+// inside run, so a fused dispatch's parent span never inherits the lead
+// rider's trace id.
+func stampSpan(sp *obs.Span, op *OpDesc) {
+	if sp == nil {
+		return
+	}
+	sp.TraceID = op.Trace
+	sp.Origin = op.Origin
 }
 
 // RunSpanned is Run with a per-call span sink: the request's completed
@@ -472,10 +507,28 @@ func (e *Engine) RunSpanned(op OpDesc, sink obs.SpanFunc, operands ...Operand) e
 		return e.Run(op, operands...)
 	}
 	sp := e.obs.StartSpan(true)
+	stampSpan(sp, &op)
 	err := e.run(op, sp, operands...)
 	e.obs.FinishSpan(sp, err, sink)
 	return err
 }
+
+// SetTenants installs the engine's per-tenant SLO objectives and enables
+// tenant accounting: every request whose OpDesc carries an Origin is
+// classified into its tenant's rolling series (requests, errors, sheds,
+// deadline hits/misses, latency histogram, sliding-window burn rate).
+// Origins not in cfg are tracked with a zero objective; nil disables
+// accounting.
+func (e *Engine) SetTenants(cfg map[string]obs.TenantObjective) { e.obs.SetTenants(cfg) }
+
+// TenantStats returns the per-tenant SLO series, ordered by request
+// count (nil when accounting is disabled).
+func (e *Engine) TenantStats() []obs.TenantSnapshot { return e.obs.TenantSnapshots() }
+
+// RecordTenantShed accounts one admission-control shed for a tenant — a
+// request a front tier rejected before submitting, so no span carries
+// it. No-op when accounting is disabled.
+func (e *Engine) RecordTenantShed(name string) { e.obs.RecordTenantShed(name) }
 
 // SetProfileLabels enables pprof goroutine labels ({op, dtype, shape})
 // around compute, so CPU profiles attribute kernel samples to problem

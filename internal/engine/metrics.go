@@ -374,6 +374,66 @@ func writeOpenMetrics(w io.Writer, entries []metricsEntry, set *SetStats) error 
 		}
 	}
 
+	// Per-tenant SLO series, labeled {tenant} (plus shard on shard
+	// entries). Families are emitted only when some entry carries tenant
+	// accounting, so scrapes of engines without tenants stay unchanged.
+	type tenantRef struct {
+		labels string
+		frag   string
+		snap   *obs.TenantSnapshot
+	}
+	var tenants []tenantRef
+	for ei := range entries {
+		en := &entries[ei]
+		for ti := range en.st.Tenants {
+			tn := &en.st.Tenants[ti]
+			frag := labelFrag("tenant", tn.Name)
+			if ef := en.frag(); ef != "" {
+				frag = ef + "," + frag
+			}
+			tenants = append(tenants, tenantRef{labels: "{" + frag + "}", frag: frag, snap: tn})
+		}
+	}
+	if len(tenants) > 0 {
+		tenantCounters := []struct {
+			name string
+			get  func(t *obs.TenantSnapshot) uint64
+		}{
+			{"iatf_tenant_requests", func(t *obs.TenantSnapshot) uint64 { return t.Requests }},
+			{"iatf_tenant_errors", func(t *obs.TenantSnapshot) uint64 { return t.Errors }},
+			{"iatf_tenant_sheds", func(t *obs.TenantSnapshot) uint64 { return t.Sheds }},
+			{"iatf_tenant_deadline_hits", func(t *obs.TenantSnapshot) uint64 { return t.DeadlineHits }},
+			{"iatf_tenant_deadline_misses", func(t *obs.TenantSnapshot) uint64 { return t.DeadlineMisses }},
+		}
+		for _, c := range tenantCounters {
+			o.family(c.name, "counter")
+			for _, tr := range tenants {
+				o.counter(c.name, tr.labels, c.get(tr.snap))
+			}
+		}
+		tenantGauges := []struct {
+			name string
+			get  func(t *obs.TenantSnapshot) float64
+		}{
+			{"iatf_tenant_class", func(t *obs.TenantSnapshot) float64 { return float64(t.Class) }},
+			{"iatf_tenant_slo_objective_seconds", func(t *obs.TenantSnapshot) float64 { return t.Objective.Seconds() }},
+			{"iatf_tenant_slo_target", func(t *obs.TenantSnapshot) float64 { return t.Target }},
+			{"iatf_tenant_slo_burn_rate", func(t *obs.TenantSnapshot) float64 { return t.BurnRate }},
+			{"iatf_tenant_window_requests", func(t *obs.TenantSnapshot) float64 { return float64(t.WindowRequests) }},
+			{"iatf_tenant_window_bad", func(t *obs.TenantSnapshot) float64 { return float64(t.WindowBad) }},
+		}
+		for _, g := range tenantGauges {
+			o.family(g.name, "gauge")
+			for _, tr := range tenants {
+				o.gauge(g.name, tr.labels, g.get(tr.snap))
+			}
+		}
+		o.family("iatf_tenant_latency_seconds", "histogram")
+		for _, tr := range tenants {
+			o.histogram("iatf_tenant_latency_seconds", tr.frag, tr.snap.Latency)
+		}
+	}
+
 	o.printf("# EOF\n")
 	return o.err
 }

@@ -409,10 +409,12 @@ func (s *Set) Stats() SetStats {
 		FallbackRejects: s.fallbackRejects.Load(),
 	}
 	perShape := make([][]obs.ShapeSnapshot, len(s.engines))
+	perTenant := make([][]obs.TenantSnapshot, len(s.engines))
 	for i, e := range s.engines {
 		st := e.Stats()
 		out.Shards[i] = ShardStats{Shard: i, Routed: s.routed[i].Load(), Stats: st}
 		perShape[i] = st.Shapes
+		perTenant[i] = st.Tenants
 		if i == 0 {
 			out.Aggregate = st
 		} else {
@@ -420,6 +422,7 @@ func (s *Set) Stats() SetStats {
 		}
 	}
 	out.Aggregate.Shapes = obs.AggregateShapes(perShape...)
+	out.Aggregate.Tenants = obs.AggregateTenants(perTenant...)
 	return out
 }
 
@@ -461,6 +464,47 @@ func (s *Set) ResetShapeStats() {
 	for _, e := range s.engines {
 		e.ResetShapeStats()
 	}
+}
+
+// SetTenants installs the per-tenant SLO objectives on every shard; see
+// Engine.SetTenants. Each shard keeps its own series (a request records
+// wherever it executed, including stolen work); TenantStats merges them.
+func (s *Set) SetTenants(cfg map[string]obs.TenantObjective) {
+	for _, e := range s.engines {
+		e.SetTenants(cfg)
+	}
+}
+
+// TenantStats returns the cross-shard aggregate of every shard's
+// per-tenant SLO series (nil when accounting is disabled).
+func (s *Set) TenantStats() []obs.TenantSnapshot {
+	perTenant := make([][]obs.TenantSnapshot, len(s.engines))
+	any := false
+	for i, e := range s.engines {
+		perTenant[i] = e.TenantStats()
+		if perTenant[i] != nil {
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return obs.AggregateTenants(perTenant...)
+}
+
+// RecordTenantShed accounts one admission-control shed for a tenant on
+// the tenant's name-affine shard, so repeated sheds for one tenant stay
+// on one series instead of smearing across the set.
+func (s *Set) RecordTenantShed(name string) {
+	if len(s.engines) == 0 {
+		return
+	}
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	s.engines[h%uint64(len(s.engines))].RecordTenantShed(name)
 }
 
 // SetProfileLabels toggles pprof labeling on every shard.

@@ -291,6 +291,10 @@ type Registry struct {
 
 	spans atomic.Pointer[spanCfg]
 
+	// tenants is the per-tenant SLO accounting table (tenant.go);
+	// nil = accounting disabled.
+	tenants atomic.Pointer[tenantTable]
+
 	// deltaMu guards the SnapshotDelta baseline (scrape-window state).
 	deltaMu sync.Mutex
 	delta   map[ShapeKey]seriesCounters

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -70,6 +71,23 @@ func (p Phase) String() string {
 type Span struct {
 	ID       uint64 `json:"id"`
 	ParentID uint64 `json:"parent_id,omitempty"`
+
+	// TraceID is the end-to-end request correlation id (the W3C
+	// traceparent trace-id on requests entering through the serving
+	// tier), threaded from Do/Submit so an HTTP access-log line and the
+	// engine span it caused share one id. Empty on untraced requests.
+	TraceID string `json:"trace_id,omitempty"`
+	// Origin is the tenant (or other caller identity) the request was
+	// submitted on behalf of; it keys the per-tenant SLO accounting.
+	Origin string `json:"origin,omitempty"`
+	// Deadline is the request's end-to-end budget (ctx deadline minus
+	// submission time); 0 = no deadline. Tenant accounting classifies a
+	// completed request as a deadline hit or miss against it.
+	Deadline time.Duration `json:"deadline_ns,omitempty"`
+	// Riders holds the trace ids of every traced request a fused parent
+	// dispatch executed for (nil on ordinary spans), so a trace lookup
+	// by rider id also surfaces the shared dispatch it rode in.
+	Riders []string `json:"riders,omitempty"`
 
 	Op    string `json:"op"`
 	DType string `json:"dtype,omitempty"`
@@ -180,6 +198,11 @@ func (r *Registry) FinishSpan(sp *Span, err error, extra SpanFunc) {
 	if err != nil {
 		sp.Error = err.Error()
 	}
+	if sp.Origin != "" {
+		if tt := r.tenants.Load(); tt != nil {
+			tt.record(sp, err)
+		}
+	}
 	if cfg := r.spans.Load(); cfg != nil {
 		cfg.fn(sp)
 	}
@@ -240,6 +263,43 @@ func (g *SpanRing) Spans(n int) []Span {
 	out := make([]Span, 0, n)
 	for i := int(g.next) - n; i < int(g.next); i++ {
 		out = append(out, g.buf[uint64(i)%uint64(len(g.buf))])
+	}
+	return out
+}
+
+// Trace returns every retained span belonging to one request trace,
+// oldest first: spans whose TraceID matches id, fused parent dispatches
+// that carried id as a rider, and — when id parses as a span number —
+// the span with that ID plus its children. Empty when nothing matches.
+func (g *SpanRing) Trace(id string) []Span {
+	if id == "" {
+		return nil
+	}
+	num, numErr := strconv.ParseUint(id, 10, 64)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	held := int(g.next)
+	if held > len(g.buf) {
+		held = len(g.buf)
+	}
+	var out []Span
+	for i := int(g.next) - held; i < int(g.next); i++ {
+		sp := &g.buf[uint64(i)%uint64(len(g.buf))]
+		match := sp.TraceID == id
+		if !match {
+			for _, r := range sp.Riders {
+				if r == id {
+					match = true
+					break
+				}
+			}
+		}
+		if !match && numErr == nil && (sp.ID == num || sp.ParentID == num) {
+			match = true
+		}
+		if match {
+			out = append(out, *sp)
+		}
 	}
 	return out
 }
@@ -310,6 +370,12 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 		if sp.PrepackHits > 0 || sp.PrepackBuilds > 0 {
 			args["prepack_hits"] = sp.PrepackHits
 			args["prepack_builds"] = sp.PrepackBuilds
+		}
+		if sp.TraceID != "" {
+			args["trace"] = sp.TraceID
+		}
+		if sp.Origin != "" {
+			args["tenant"] = sp.Origin
 		}
 		if sp.Error != "" {
 			args["error"] = sp.Error

@@ -28,11 +28,16 @@ package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,10 +55,16 @@ type Config struct {
 	// admitted — the predictor has nothing to compare against).
 	DefaultDeadline time.Duration
 
-	// Tenants maps the X-IATF-Tenant header to a priority class
-	// (iatf.WithPriority). Unknown or absent tenants use the request
-	// body's priority field (default class 0).
-	Tenants map[string]int
+	// Tenants maps the X-IATF-Tenant header to the tenant's serving
+	// contract: the EDF priority class (Class breaks deadline ties,
+	// overriding the body's priority field), the per-request latency
+	// objective and the SLO attainment target the burn-rate gauge runs
+	// against. A non-nil map — even an empty one — enables per-tenant
+	// accounting on the backend (Engine/EngineSet.SetTenants): every
+	// tagged request, shed, and deadline miss lands in the tenant's
+	// rolling series, surfaced at /tenants and as iatf_tenant_* metrics.
+	// Unknown tenants are tracked with a zero objective.
+	Tenants map[string]iatf.TenantObjective
 
 	// AdmitRefresh bounds how often the admission signal is recomputed
 	// from the backend's QueueStats (default 5ms).
@@ -61,6 +72,13 @@ type Config struct {
 
 	// MaxBodyBytes bounds a request body (default 64 MiB).
 	MaxBodyBytes int64
+
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// /v1/do request: method, trace id, tenant, op/shape, status,
+	// predicted vs actual queue wait, and the engine span's per-phase
+	// durations (joined via a per-request span sink). Writes are
+	// serialized; give it an *os.File or a bytes.Buffer directly.
+	AccessLog io.Writer
 }
 
 // Stats counts the server's request outcomes. Queue is the backend's
@@ -94,9 +112,12 @@ type Server struct {
 	errors    atomic.Uint64
 
 	sig atomic.Pointer[admitSignal]
+
+	logMu sync.Mutex // serializes AccessLog writes
 }
 
-// New builds a Server over cfg's backend.
+// New builds a Server over cfg's backend. A non-nil Tenants map is
+// installed on the backend, enabling per-tenant SLO accounting.
 func New(cfg Config) *Server {
 	if cfg.Set == nil && cfg.Engine == nil {
 		cfg.Engine = iatf.DefaultEngine()
@@ -107,7 +128,43 @@ func New(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
 	}
+	if cfg.Tenants != nil {
+		if cfg.Set != nil {
+			cfg.Set.SetTenants(cfg.Tenants)
+		} else {
+			cfg.Engine.SetTenants(cfg.Tenants)
+		}
+	}
 	return &Server{cfg: cfg}
+}
+
+// TenantStats returns the backend's per-tenant SLO series (aggregated
+// across shards on a Set backend); empty when accounting is disabled.
+func (s *Server) TenantStats() []iatf.TenantStats {
+	var ts []iatf.TenantStats
+	if s.cfg.Set != nil {
+		ts = s.cfg.Set.TenantStats()
+	} else {
+		ts = s.cfg.Engine.TenantStats()
+	}
+	if ts == nil {
+		ts = []iatf.TenantStats{}
+	}
+	return ts
+}
+
+// recordShed accounts an admission-control rejection in the tenant's
+// SLO series: the request never reached the engine, so no span exists
+// to carry it. No-op for untagged requests or disabled accounting.
+func (s *Server) recordShed(tenant string) {
+	if tenant == "" {
+		return
+	}
+	if s.cfg.Set != nil {
+		s.cfg.Set.RecordTenantShed(tenant)
+		return
+	}
+	s.cfg.Engine.RecordTenantShed(tenant)
 }
 
 // queueStats returns the backend's submission-queue aggregate.
@@ -176,12 +233,19 @@ func predictWait(q iatf.QueueStats) time.Duration {
 //	POST /v1/do   execute one batched request
 //	GET  /healthz liveness
 //	GET  /stats   Stats as JSON
+//	GET  /tenants per-tenant SLO series as JSON
 //	GET  /metrics backend OpenMetrics scrape
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/do", s.handleDo)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/tenants", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.TenantStats())
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -248,18 +312,21 @@ type errorBody struct {
 	RetryAfterMs    int64  `json:"retry_after_ms,omitempty"`
 }
 
-// writeError emits one JSON error response. For 429s, Retry-After (whole
-// seconds, minimum 1 — the header's resolution) and the millisecond
-// retry hint in the body both derive from the predicted wait.
+// writeError emits one JSON error response. Every non-200 outcome
+// carries a Retry-After header (whole seconds, minimum 1 — the header's
+// resolution) derived from the predicted queue wait, so a correlation-
+// aware client never has to parse the body to back off; 429s
+// additionally carry the millisecond hints in the body, the original
+// backpressure contract.
 func writeError(w http.ResponseWriter, status int, msg string, predicted time.Duration) {
 	w.Header().Set("Content-Type", "application/json")
 	body := errorBody{Error: msg}
+	secs := int64((predicted + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	if status == http.StatusTooManyRequests {
-		secs := int64((predicted + time.Second - 1) / time.Second)
-		if secs < 1 {
-			secs = 1
-		}
-		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 		body.PredictedWaitMs = predicted.Milliseconds()
 		body.RetryAfterMs = secs * 1000
 	}
@@ -267,45 +334,177 @@ func writeError(w http.ResponseWriter, status int, msg string, predicted time.Du
 	json.NewEncoder(w).Encode(body)
 }
 
-// priorityOf resolves the request's class: a mapped tenant header wins
-// over the body field.
-func (s *Server) priorityOf(r *http.Request, body *DoRequest) int {
-	if t := r.Header.Get("X-IATF-Tenant"); t != "" {
-		if p, ok := s.cfg.Tenants[t]; ok {
-			return p
+// priorityOf resolves the request's class: a mapped tenant's configured
+// class wins over the body field.
+func (s *Server) priorityOf(tenant string, body *DoRequest) int {
+	if tenant != "" {
+		if t, ok := s.cfg.Tenants[tenant]; ok {
+			return t.Class
 		}
 	}
 	return body.Priority
 }
 
-func (s *Server) handleDo(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		s.errors.Add(1)
-		writeError(w, http.StatusMethodNotAllowed, "POST only", 0)
+// zeroTraceID is the all-zero trace-id the W3C spec declares invalid.
+const zeroTraceID = "00000000000000000000000000000000"
+
+// traceOf resolves the request's correlation id: the trace-id field of
+// a well-formed W3C traceparent header ("00-<32 hex>-<16 hex>-<2 hex>")
+// when present, else a fresh random 32-hex id. The id is echoed on
+// every response as X-IATF-Trace and stamped onto the engine span.
+func traceOf(r *http.Request) string {
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		parts := strings.SplitN(tp, "-", 4)
+		if len(parts) >= 3 && len(parts[1]) == 32 {
+			id := strings.ToLower(parts[1])
+			if id != zeroTraceID && isHex(id) {
+				return id
+			}
+		}
+	}
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err == nil {
+		return hex.EncodeToString(b[:])
+	}
+	return strconv.FormatUint(uint64(time.Now().UnixNano()), 16)
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// reqLog captures the engine span of one request for the access log —
+// filled by a per-request span sink, read after the future resolves
+// (FinishSpan runs before the future is resolved, so the read is
+// ordered).
+type reqLog struct {
+	span     iatf.Span
+	haveSpan bool
+}
+
+// accessEntry is one structured access-log line.
+type accessEntry struct {
+	Time   string `json:"time"`
+	Method string `json:"method"`
+	Trace  string `json:"trace"`
+	Tenant string `json:"tenant,omitempty"`
+	Op     string `json:"op,omitempty"`
+	DType  string `json:"dtype,omitempty"`
+	Shape  string `json:"shape,omitempty"`
+	Count  int    `json:"count,omitempty"`
+	Status int    `json:"status"`
+
+	DeadlineMs      int64 `json:"deadline_ms,omitempty"`
+	PredictedWaitUs int64 `json:"predicted_wait_us"`
+	ActualWaitUs    int64 `json:"actual_wait_us"`
+	ElapsedUs       int64 `json:"elapsed_us"`
+
+	SpanID   uint64           `json:"span_id,omitempty"`
+	FusedOf  uint64           `json:"fused_of,omitempty"` // parent dispatch span id
+	PhasesUs map[string]int64 `json:"phases_us,omitempty"`
+
+	Error string `json:"error,omitempty"`
+}
+
+// logAccess emits one JSON line to the configured AccessLog.
+func (s *Server) logAccess(e *accessEntry) {
+	if s.cfg.AccessLog == nil {
 		return
 	}
-	var req DoRequest
+	s.logMu.Lock()
+	defer s.logMu.Unlock()
+	json.NewEncoder(s.cfg.AccessLog).Encode(e)
+}
+
+func (s *Server) handleDo(w http.ResponseWriter, r *http.Request) {
+	trace := traceOf(r)
+	w.Header().Set("X-IATF-Trace", trace)
+	tenant := r.Header.Get("X-IATF-Tenant")
+
+	start := time.Now()
+	var (
+		req       DoRequest
+		rl        *reqLog
+		deadline  time.Duration
+		predicted time.Duration
+	)
+	status := http.StatusOK
+	errMsg := ""
+	if s.cfg.AccessLog != nil {
+		rl = &reqLog{}
+		defer func() {
+			e := accessEntry{
+				Time:            start.UTC().Format(time.RFC3339Nano),
+				Method:          r.Method,
+				Trace:           trace,
+				Tenant:          tenant,
+				Op:              req.Op,
+				DType:           req.DType,
+				Count:           req.Count,
+				Status:          status,
+				DeadlineMs:      deadline.Milliseconds(),
+				PredictedWaitUs: predicted.Microseconds(),
+				ElapsedUs:       time.Since(start).Microseconds(),
+				Error:           errMsg,
+			}
+			if rl.haveSpan {
+				sp := &rl.span
+				e.SpanID = sp.ID
+				e.FusedOf = sp.ParentID
+				e.ActualWaitUs = sp.Phases[iatf.PhaseQueueWait].Microseconds()
+				e.Shape = fmt.Sprintf("%dx%d", sp.M, sp.N)
+				if sp.K > 0 {
+					e.Shape += fmt.Sprintf("x%d", sp.K)
+				}
+				e.PhasesUs = make(map[string]int64, int(iatf.PhaseScatter)+1)
+				for p := iatf.PhaseQueueWait; p <= iatf.PhaseScatter; p++ {
+					if d := sp.Phases[p]; d > 0 {
+						e.PhasesUs[p.String()] = d.Microseconds()
+					}
+				}
+			}
+			s.logAccess(&e)
+		}()
+	}
+	fail := func(st int, msg string, pred time.Duration) {
+		status, errMsg = st, msg
+		writeError(w, st, msg, pred)
+	}
+
+	if r.Method != http.MethodPost {
+		s.errors.Add(1)
+		fail(http.StatusMethodNotAllowed, "POST only", 0)
+		return
+	}
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
 		s.errors.Add(1)
-		writeError(w, http.StatusBadRequest, "decode: "+err.Error(), 0)
+		fail(http.StatusBadRequest, "decode: "+err.Error(), 0)
 		return
 	}
 
-	deadline := time.Duration(req.DeadlineMs) * time.Millisecond
+	deadline = time.Duration(req.DeadlineMs) * time.Millisecond
 	if req.DeadlineMs <= 0 {
 		deadline = s.cfg.DefaultDeadline
 	}
 
 	// Admission: shed a request whose predicted queue wait already
 	// exceeds its deadline — it would only occupy a slot to die in.
-	if deadline > 0 {
-		if pred := s.PredictWait(); pred > deadline {
-			s.shed.Add(1)
-			writeError(w, http.StatusTooManyRequests,
-				fmt.Sprintf("shed: predicted queue wait %v exceeds deadline %v", pred, deadline), pred)
-			return
-		}
+	// The prediction is cached (AdmitRefresh), so reading it for the
+	// access log on deadline-less requests costs an atomic load.
+	predicted = s.PredictWait()
+	if deadline > 0 && predicted > deadline {
+		s.shed.Add(1)
+		s.recordShed(tenant)
+		fail(http.StatusTooManyRequests,
+			fmt.Sprintf("shed: predicted queue wait %v exceeds deadline %v", predicted, deadline), predicted)
+		return
 	}
 
 	ctx := r.Context()
@@ -315,17 +514,16 @@ func (s *Server) handleDo(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	start := time.Now()
 	var result []float64
 	var err error
 	switch req.DType {
 	case "", "f32":
-		result, err = run[float32](s, ctx, &req, s.priorityOf(r, &req))
+		result, err = run[float32](s, ctx, &req, s.priorityOf(tenant, &req), trace, tenant, rl)
 	case "f64":
-		result, err = run[float64](s, ctx, &req, s.priorityOf(r, &req))
+		result, err = run[float64](s, ctx, &req, s.priorityOf(tenant, &req), trace, tenant, rl)
 	default:
 		s.errors.Add(1)
-		writeError(w, http.StatusBadRequest, "dtype must be f32 or f64", 0)
+		fail(http.StatusBadRequest, "dtype must be f32 or f64", 0)
 		return
 	}
 
@@ -338,17 +536,17 @@ func (s *Server) handleDo(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	status := classify(err)
-	switch status {
+	st := classify(err)
+	switch st {
 	case http.StatusTooManyRequests:
 		s.queueFull.Add(1)
-		writeError(w, status, "queue full: "+err.Error(), s.PredictWait())
+		fail(st, "queue full: "+err.Error(), s.PredictWait())
 	case http.StatusGatewayTimeout:
 		s.expired.Add(1)
-		writeError(w, status, "deadline exceeded: "+err.Error(), 0)
+		fail(st, "deadline exceeded: "+err.Error(), s.PredictWait())
 	default:
 		s.errors.Add(1)
-		writeError(w, status, err.Error(), 0)
+		fail(st, err.Error(), 0)
 	}
 }
 
@@ -374,9 +572,11 @@ func classify(err error) int {
 // short data) that never reach the engine's typed taxonomy.
 var errBadRequest = errors.New("bad request")
 
-// run lowers the wire request onto one iatf.Submit and waits it out.
-// Methods cannot be generic, so the dtype split lives here.
-func run[T float32 | float64](s *Server, ctx context.Context, req *DoRequest, priority int) ([]float64, error) {
+// run lowers the wire request onto one iatf.Submit and waits it out,
+// threading the trace id and tenant into the engine span (and, when the
+// access log wants the span back, a per-request sink). Methods cannot
+// be generic, so the dtype split lives here.
+func run[T float32 | float64](s *Server, ctx context.Context, req *DoRequest, priority int, trace, tenant string, rl *reqLog) ([]float64, error) {
 	if req.Count < 1 {
 		return nil, fmt.Errorf("%w: count must be >= 1", errBadRequest)
 	}
@@ -437,14 +637,25 @@ func run[T float32 | float64](s *Server, ctx context.Context, req *DoRequest, pr
 		return nil, fmt.Errorf("%w: op must be gemm, trsm, trmm or syrk", errBadRequest)
 	}
 
-	opts := [2]iatf.Option{iatf.WithPriority(priority)}
+	opts := make([]iatf.Option, 0, 5)
+	opts = append(opts, iatf.WithPriority(priority))
 	if s.cfg.Set != nil {
-		opts[1] = iatf.WithEngineSet(s.cfg.Set)
+		opts = append(opts, iatf.WithEngineSet(s.cfg.Set))
 	} else {
-		opts[1] = iatf.WithEngine(s.cfg.Engine)
+		opts = append(opts, iatf.WithEngine(s.cfg.Engine))
+	}
+	opts = append(opts, iatf.WithTrace(trace))
+	if tenant != "" {
+		opts = append(opts, iatf.WithTenant(tenant))
+	}
+	if rl != nil {
+		opts = append(opts, iatf.WithSpanSink(func(sp *iatf.Span) {
+			rl.span = *sp
+			rl.haveSpan = true
+		}))
 	}
 	s.admitted.Add(1)
-	fut, err := iatf.Submit(ctx, ir, opts[:]...)
+	fut, err := iatf.Submit(ctx, ir, opts...)
 	if err != nil {
 		return nil, err
 	}

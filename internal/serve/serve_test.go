@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -320,13 +321,11 @@ func TestServeShed(t *testing.T) {
 // TestServeTenantPriority checks the header→class mapping and its
 // precedence over the body field.
 func TestServeTenantPriority(t *testing.T) {
-	s := New(Config{Engine: iatf.NewEngine(), Tenants: map[string]int{"rt": 7, "batch": -1}})
+	s := New(Config{Engine: iatf.NewEngine(), Tenants: map[string]iatf.TenantObjective{
+		"rt": {Class: 7}, "batch": {Class: -1},
+	}})
 	mk := func(tenant string, bodyPrio int) int {
-		r := httptest.NewRequest(http.MethodPost, "/v1/do", nil)
-		if tenant != "" {
-			r.Header.Set("X-IATF-Tenant", tenant)
-		}
-		return s.priorityOf(r, &DoRequest{Priority: bodyPrio})
+		return s.priorityOf(tenant, &DoRequest{Priority: bodyPrio})
 	}
 	if got := mk("rt", 0); got != 7 {
 		t.Fatalf("rt class = %d, want 7", got)
@@ -462,13 +461,289 @@ func TestServeEndpoints(t *testing.T) {
 	_ = s
 }
 
+// TestServeTraceHeaderAllPaths: every response — 200, 405, 400, 429,
+// 504 — carries X-IATF-Trace, a supplied well-formed traceparent is
+// echoed verbatim, malformed ones are replaced with a fresh id, and
+// every non-200 carries Retry-After.
+func TestServeTraceHeaderAllPaths(t *testing.T) {
+	const traceID = "4bf92f3577b34da6a3ce929d0e0e4736"
+	tp := map[string]string{"traceparent": "00-" + traceID + "-00f067aa0ba902b7-01"}
+	n4 := &WireOperand{Rows: 4, Cols: 4, Data: make([]float64, 16)}
+
+	s, ts := newTestServer(t, Config{AdmitRefresh: time.Hour})
+
+	// 200 with traceparent: exact echo.
+	resp, body := post(t, ts, DoRequest{Op: "gemm", Count: 1, A: n4, B: n4, C: n4}, tp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("200 path: %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-IATF-Trace"); got != traceID {
+		t.Fatalf("200 trace = %q, want %q", got, traceID)
+	}
+
+	// 200 without traceparent: a fresh 32-hex id.
+	resp, _ = post(t, ts, DoRequest{Op: "gemm", Count: 1, A: n4, B: n4, C: n4}, nil)
+	if got := resp.Header.Get("X-IATF-Trace"); len(got) != 32 {
+		t.Fatalf("generated trace = %q, want 32 hex chars", got)
+	}
+
+	// Malformed traceparents are not echoed.
+	for name, hdr := range map[string]string{
+		"zero id":  "00-00000000000000000000000000000000-00f067aa0ba902b7-01",
+		"short id": "00-abc123-00f067aa0ba902b7-01",
+		"non-hex":  "00-4bf92f3577b34da6a3ce929d0e0e473Z-00f067aa0ba902b7-01",
+		"garbage":  "nope",
+	} {
+		resp, _ = post(t, ts, DoRequest{Op: "gemm", Count: 1, A: n4, B: n4, C: n4},
+			map[string]string{"traceparent": hdr})
+		got := resp.Header.Get("X-IATF-Trace")
+		if len(got) != 32 || strings.Contains(hdr, got) {
+			t.Fatalf("%s: trace = %q, want fresh 32-hex id", name, got)
+		}
+	}
+
+	checkErr := func(name string, resp *http.Response, wantStatus int) {
+		t.Helper()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("%s: status %d, want %d", name, resp.StatusCode, wantStatus)
+		}
+		if got := resp.Header.Get("X-IATF-Trace"); got != traceID {
+			t.Fatalf("%s: trace = %q, want %q", name, got, traceID)
+		}
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || ra < 1 {
+			t.Fatalf("%s: Retry-After = %q, want >= 1", name, resp.Header.Get("Retry-After"))
+		}
+	}
+
+	// 405: wrong method.
+	hr, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/do", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("traceparent", tp["traceparent"])
+	resp, err = http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	checkErr("405", resp, http.StatusMethodNotAllowed)
+
+	// 400: malformed body.
+	hr, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/do", strings.NewReader("{nope"))
+	hr.Header.Set("traceparent", tp["traceparent"])
+	resp, err = http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	checkErr("400", resp, http.StatusBadRequest)
+
+	// 429: forced admission shed.
+	s.sig.Store(&admitSignal{at: time.Now(), predicted: 3 * time.Second})
+	resp, _ = post(t, ts, DoRequest{Op: "gemm", Count: 1, A: n4, B: n4, C: n4, DeadlineMs: 10}, tp)
+	checkErr("429", resp, http.StatusTooManyRequests)
+	s.sig.Store(&admitSignal{at: time.Now(), predicted: 0})
+
+	// 504: a deadline far below the compute cost of a heavy batch.
+	const count, n = 8192, 8
+	heavy := make([]float64, count*n*n)
+	resp, _ = post(t, ts, DoRequest{
+		Op: "gemm", DType: "f64", Count: count,
+		A:          &WireOperand{Rows: n, Cols: n, Data: heavy},
+		B:          &WireOperand{Rows: n, Cols: n, Data: heavy},
+		C:          &WireOperand{Rows: n, Cols: n, Data: heavy},
+		DeadlineMs: 1,
+	}, tp)
+	checkErr("504", resp, http.StatusGatewayTimeout)
+}
+
+// TestServeTraceparentSpanPropagation: the wire trace id and tenant land
+// on the engine span of the dispatched request — the join point between
+// the HTTP access log and engine-level tracing.
+func TestServeTraceparentSpanPropagation(t *testing.T) {
+	eng := iatf.NewEngine()
+	ring := iatf.NewSpanRing(32)
+	eng.SetSpanSink(ring.Add)
+	_, ts := newTestServer(t, Config{
+		Engine:  eng,
+		Tenants: map[string]iatf.TenantObjective{"rt": {Class: 5, Objective: time.Second, Target: 0.99}},
+	})
+
+	const traceID = "0af7651916cd43dd8448eb211c80319c"
+	n4 := &WireOperand{Rows: 4, Cols: 4, Data: make([]float64, 16)}
+	resp, body := post(t, ts, DoRequest{Op: "gemm", Count: 1, A: n4, B: n4, C: n4}, map[string]string{
+		"traceparent":   "00-" + traceID + "-b7ad6b7169203331-01",
+		"X-IATF-Tenant": "rt",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	spans := ring.Trace(traceID)
+	if len(spans) != 1 {
+		t.Fatalf("ring.Trace(%q) = %d spans, want 1", traceID, len(spans))
+	}
+	sp := spans[0]
+	if sp.TraceID != traceID || sp.Origin != "rt" {
+		t.Fatalf("span trace/origin = %q/%q", sp.TraceID, sp.Origin)
+	}
+	if sp.Op != "GEMM" || sp.Error != "" {
+		t.Fatalf("span = %+v", sp)
+	}
+}
+
+// TestServeTenantAccounting: the /tenants endpoint reflects a
+// deterministic workload — completed requests count as deadline hits
+// against the tenant objective, admission sheds burn the window, and
+// unknown tenants are auto-tracked.
+func TestServeTenantAccounting(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		AdmitRefresh: time.Hour,
+		Tenants: map[string]iatf.TenantObjective{
+			"rt": {Class: 5, Objective: 10 * time.Second, Target: 0.99},
+		},
+	})
+	n4 := &WireOperand{Rows: 4, Cols: 4, Data: make([]float64, 16)}
+	req := DoRequest{Op: "gemm", Count: 1, A: n4, B: n4, C: n4}
+
+	for i := 0; i < 3; i++ {
+		if resp, body := post(t, ts, req, map[string]string{"X-IATF-Tenant": "rt"}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("rt post %d: %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if resp, _ := post(t, ts, req, map[string]string{"X-IATF-Tenant": "guest"}); resp.StatusCode != http.StatusOK {
+		t.Fatal("guest post failed")
+	}
+	// Force one admission shed for rt.
+	s.sig.Store(&admitSignal{at: time.Now(), predicted: 3 * time.Second})
+	shedReq := req
+	shedReq.DeadlineMs = 10
+	if resp, _ := post(t, ts, shedReq, map[string]string{"X-IATF-Tenant": "rt"}); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatal("forced shed did not 429")
+	}
+
+	hr, err := http.Get(ts.URL + "/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if ct := hr.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("/tenants content type %q", ct)
+	}
+	var stats []iatf.TenantStats
+	if err := json.NewDecoder(hr.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]iatf.TenantStats{}
+	for _, st := range stats {
+		byName[st.Name] = st
+	}
+	rt := byName["rt"]
+	if rt.Requests != 4 || rt.DeadlineHits != 3 || rt.Sheds != 1 {
+		t.Fatalf("rt = %+v, want 4 requests / 3 hits / 1 shed", rt)
+	}
+	if rt.Class != 5 || rt.Objective != 10*time.Second {
+		t.Fatalf("rt objective lost: %+v", rt)
+	}
+	if rt.WindowBad != 1 || rt.BurnRate <= 0 {
+		t.Fatalf("rt window/burn = %d/%g, want 1 bad and positive burn", rt.WindowBad, rt.BurnRate)
+	}
+	if g := byName["guest"]; g.Requests != 1 || g.Objective != 0 {
+		t.Fatalf("guest = %+v, want 1 request, zero objective", g)
+	}
+	if ss := s.TenantStats(); len(ss) != len(stats) {
+		t.Fatalf("TenantStats() = %d rows, endpoint %d", len(ss), len(stats))
+	}
+}
+
+// TestServeAccessLogTrace: the structured access log emits one JSON
+// line per request, joined with the engine span (span id, shape, phase
+// durations) and carrying the wire trace id and tenant.
+func TestServeAccessLogTrace(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	logW := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	_, ts := newTestServer(t, Config{
+		AccessLog: logW,
+		Tenants:   map[string]iatf.TenantObjective{"rt": {Class: 5}},
+	})
+
+	const traceID = "00f067aa0ba902b700f067aa0ba902b7"
+	n4 := &WireOperand{Rows: 4, Cols: 4, Data: make([]float64, 16)}
+	resp, body := post(t, ts, DoRequest{
+		Op: "gemm", DType: "f64", Count: 1, A: n4, B: n4, C: n4, DeadlineMs: 5000,
+	}, map[string]string{
+		"traceparent":   "00-" + traceID + "-00f067aa0ba902b7-01",
+		"X-IATF-Tenant": "rt",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+
+	// The handler logs in a defer that can run after the response reaches
+	// the client; wait for the line to land.
+	var entry map[string]any
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		mu.Unlock()
+		if len(lines) > 0 && lines[0] != "" {
+			if err := json.Unmarshal([]byte(lines[0]), &entry); err != nil {
+				t.Fatalf("access log line not JSON: %v: %q", err, lines[0])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no access log line emitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for field, want := range map[string]any{
+		"trace":       traceID,
+		"tenant":      "rt",
+		"op":          "gemm",
+		"dtype":       "f64",
+		"shape":       "4x4x4",
+		"status":      float64(http.StatusOK),
+		"deadline_ms": float64(5000),
+	} {
+		if got := entry[field]; got != want {
+			t.Fatalf("access log %s = %v, want %v", field, got, want)
+		}
+	}
+	if id, ok := entry["span_id"].(float64); !ok || id <= 0 {
+		t.Fatalf("access log span_id = %v, want > 0 (span join missing)", entry["span_id"])
+	}
+	phases, ok := entry["phases_us"].(map[string]any)
+	if !ok || len(phases) == 0 {
+		t.Fatalf("access log phases_us = %v, want per-phase durations", entry["phases_us"])
+	}
+	if _, ok := phases["compute"]; !ok {
+		t.Fatalf("access log phases %v missing compute", phases)
+	}
+	if _, ok := entry["error"]; ok {
+		t.Fatalf("success line carries error: %v", entry["error"])
+	}
+}
+
+// writerFunc adapts a function to io.Writer for test log capture.
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }
+
 // TestServeConcurrentLoad pushes parallel mixed-priority traffic through
 // one server and requires every admitted request to complete correctly —
 // the serving tier's race check (run under -race in make servestress).
 func TestServeConcurrentLoad(t *testing.T) {
 	eng := iatf.NewEngine()
 	eng.SetBatchWindow(200 * time.Microsecond)
-	_, ts := newTestServer(t, Config{Engine: eng, Tenants: map[string]int{"rt": 5}})
+	_, ts := newTestServer(t, Config{Engine: eng, Tenants: map[string]iatf.TenantObjective{"rt": {Class: 5}}})
 
 	const goroutines, per = 8, 12
 	const count, n = 2, 4

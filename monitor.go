@@ -115,6 +115,49 @@ func (e *Engine) ResetShapeStats() { e.inner.ResetShapeStats() }
 // window are omitted.
 func (e *Engine) ShapeStatsDelta() []ShapeStats { return e.inner.Obs().SnapshotDelta() }
 
+// TenantObjective is one tenant's serving contract: the EDF dispatch
+// class, the per-request latency objective (the deadline-miss bar when a
+// request carries no context deadline), and the SLO attainment target
+// the burn rate is computed against (e.g. 0.99). The zero value means
+// "tracked, no SLO".
+type TenantObjective = obs.TenantObjective
+
+// TenantStats is a point-in-time view of one tenant's SLO series:
+// requests/errors/sheds, deadline hits vs misses, the latency histogram
+// with p50/p99, and the sliding-window burn rate (window bad-request
+// fraction over the SLO error budget; >1 means the objective fails if
+// the window's rate holds).
+type TenantStats = obs.TenantSnapshot
+
+// SetTenants installs per-tenant SLO objectives and enables tenant
+// accounting on this engine: every request tagged with WithTenant is
+// classified into its tenant's series, on every resolution path — sync,
+// async, fused rider, fuse-time expiry, queue-full rejection. Origins
+// not in cfg are tracked with a zero objective; nil disables accounting
+// (tagged requests then cost one atomic load).
+func (e *Engine) SetTenants(cfg map[string]TenantObjective) { e.inner.SetTenants(cfg) }
+
+// TenantStats returns the engine's per-tenant SLO series, ordered by
+// request count (nil when accounting is disabled).
+func (e *Engine) TenantStats() []TenantStats { return e.inner.TenantStats() }
+
+// RecordTenantShed accounts one admission-control shed for a tenant — a
+// request a serving tier rejected before submitting it. No-op when
+// accounting is disabled.
+func (e *Engine) RecordTenantShed(name string) { e.inner.RecordTenantShed(name) }
+
+// SetTenants installs per-tenant SLO objectives on every shard; see
+// Engine.SetTenants.
+func (s *EngineSet) SetTenants(cfg map[string]TenantObjective) { s.inner.SetTenants(cfg) }
+
+// TenantStats returns the cross-shard aggregate of every shard's
+// per-tenant series; see Engine.TenantStats.
+func (s *EngineSet) TenantStats() []TenantStats { return s.inner.TenantStats() }
+
+// RecordTenantShed accounts one admission-control shed on the tenant's
+// name-affine shard; see Engine.RecordTenantShed.
+func (s *EngineSet) RecordTenantShed(name string) { s.inner.RecordTenantShed(name) }
+
 // BuildInfo identifies the running module build (module path, version,
 // Go toolchain, GOMAXPROCS, SIMD backend) — metrics dumps carry it so
 // they are self-describing.

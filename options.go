@@ -15,6 +15,9 @@
 package iatf
 
 import (
+	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
 	"iatf/internal/core"
@@ -212,3 +215,45 @@ func (s *EngineSet) StorePath() string { return s.inner.StorePath() }
 // SaveStore writes the union of every shard's tuned state to the set's
 // attached store file; see Engine.SaveStore.
 func (s *EngineSet) SaveStore() error { return s.inner.SaveStore() }
+
+// ParseTenantSpec parses one tenant CLI spec — the shared syntax of the
+// iatf-serve/iatf-monitor -tenant flags:
+//
+//	name=class[:objective_ms[:target]]
+//
+// class is the EDF dispatch class (higher drains first on deadline
+// ties), objective_ms the per-request latency objective in milliseconds,
+// and target the SLO attainment fraction in (0,1) — defaulting to 0.99
+// when an objective is given without one. "rt=5:10:0.999" reads as
+// "tenant rt, class 5, 10ms objective, 99.9% target".
+func ParseTenantSpec(s string) (name string, obj TenantObjective, err error) {
+	name, spec, ok := strings.Cut(s, "=")
+	if !ok || name == "" || spec == "" {
+		return "", obj, fmt.Errorf("iatf: tenant spec %q: want name=class[:objective_ms[:target]]", s)
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) > 3 {
+		return "", obj, fmt.Errorf("iatf: tenant spec %q: too many fields", s)
+	}
+	if obj.Class, err = strconv.Atoi(parts[0]); err != nil {
+		return "", obj, fmt.Errorf("iatf: tenant spec %q: bad class %q", s, parts[0])
+	}
+	if len(parts) >= 2 {
+		ms, ferr := strconv.ParseFloat(parts[1], 64)
+		if ferr != nil || ms < 0 {
+			return "", obj, fmt.Errorf("iatf: tenant spec %q: bad objective_ms %q", s, parts[1])
+		}
+		obj.Objective = time.Duration(ms * float64(time.Millisecond))
+		if obj.Objective > 0 {
+			obj.Target = 0.99
+		}
+	}
+	if len(parts) == 3 {
+		t, ferr := strconv.ParseFloat(parts[2], 64)
+		if ferr != nil || t <= 0 || t >= 1 {
+			return "", obj, fmt.Errorf("iatf: tenant spec %q: target %q must be in (0,1)", s, parts[2])
+		}
+		obj.Target = t
+	}
+	return name, obj, nil
+}

@@ -95,3 +95,48 @@ func TestWithPlanStoreWarmStart(t *testing.T) {
 		t.Fatalf("warm start first call: %+v", s)
 	}
 }
+
+// TestParseTenantSpec pins the -tenant flag grammar shared by
+// iatf-serve and iatf-monitor: name=class[:objective_ms[:target]].
+func TestParseTenantSpec(t *testing.T) {
+	valid := []struct {
+		in   string
+		name string
+		obj  TenantObjective
+	}{
+		{"batch=-1", "batch", TenantObjective{Class: -1}},
+		{"rt=5:10", "rt", TenantObjective{Class: 5, Objective: 10 * time.Millisecond, Target: 0.99}},
+		{"rt=5:10:0.999", "rt", TenantObjective{Class: 5, Objective: 10 * time.Millisecond, Target: 0.999}},
+		{"rt=5:0.5", "rt", TenantObjective{Class: 5, Objective: 500 * time.Microsecond, Target: 0.99}},
+		{"free=0:0", "free", TenantObjective{}}, // zero objective → no target default
+	}
+	for _, tc := range valid {
+		name, obj, err := ParseTenantSpec(tc.in)
+		if err != nil {
+			t.Fatalf("ParseTenantSpec(%q): %v", tc.in, err)
+		}
+		if name != tc.name || obj != tc.obj {
+			t.Fatalf("ParseTenantSpec(%q) = %q %+v, want %q %+v", tc.in, name, obj, tc.name, tc.obj)
+		}
+	}
+
+	invalid := []string{
+		"",                  // empty
+		"rt",                // no =
+		"=5",                // empty name
+		"rt=",               // empty spec
+		"rt=5:10:0.9:extra", // too many fields
+		"rt=high",           // non-numeric class
+		"rt=5:-1",           // negative objective
+		"rt=5:x",            // non-numeric objective
+		"rt=5:10:0",         // target at lower bound
+		"rt=5:10:1",         // target at upper bound
+		"rt=5:10:1.5",       // target out of range
+		"rt=5:10:y",         // non-numeric target
+	}
+	for _, in := range invalid {
+		if _, _, err := ParseTenantSpec(in); err == nil {
+			t.Fatalf("ParseTenantSpec(%q) accepted, want error", in)
+		}
+	}
+}
